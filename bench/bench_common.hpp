@@ -1,0 +1,59 @@
+#pragma once
+
+/// Shared scaffolding for the experiment binaries: canonical experiment
+/// sizes (the "full" evaluation the tables/figures use) and uniform table
+/// printing, so every bench differs only in what it varies.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/baselines/presets.hpp"
+#include "src/common/table.hpp"
+#include "src/core/experiment.hpp"
+
+namespace hpcp::bench {
+
+/// The canonical full-size experiment for one application: 300 training
+/// configurations measured at small scales {1,2,4,8,16} only, 48 held-out
+/// test configurations with ground truth at {32,64,128,256}.
+inline ExperimentConfig full_config(const std::string& app,
+                                    std::uint64_t seed = 2020) {
+  ExperimentConfig cfg;
+  cfg.app_name = app;
+  cfg.num_train = 300;
+  cfg.num_test = 48;
+  cfg.small_scales = {1, 2, 4, 8, 16};
+  cfg.target_scales = {32, 64, 128, 256};
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Applications evaluated in the paper's tables (two, as in the paper);
+/// the third bundled app is exercised by the generality benches.
+inline std::vector<std::string> paper_apps() { return {"heat3d", "minimd"}; }
+inline std::vector<std::string> all_apps() {
+  return {"heat3d", "minimd", "hpl-lu"};
+}
+
+/// Renders one evaluation report as a per-scale MAPE table.
+inline void print_report(const std::string& title,
+                         const EvaluationReport& report) {
+  print_section(std::cout, title);
+  std::vector<std::string> header{"model"};
+  for (const std::size_t p : report.target_scales) {
+    header.push_back("p=" + std::to_string(p));
+  }
+  header.push_back("overall");
+  header.push_back("bias(MPE)");
+  TextTable table(std::move(header));
+  for (const auto& m : report.models) {
+    std::vector<double> row = m.mape;
+    row.push_back(m.overall_mape);
+    row.push_back(m.overall_mpe);
+    table.add_row_numeric(m.model, row);
+  }
+  table.print(std::cout);
+}
+
+}  // namespace hpcp::bench

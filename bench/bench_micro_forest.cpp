@@ -1,0 +1,86 @@
+/// Microbenchmarks of the random-forest learner (google-benchmark):
+/// training and prediction throughput as functions of dataset size and
+/// ensemble size.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.hpp"
+#include "src/forest/random_forest.hpp"
+
+namespace {
+
+using hpcp::Matrix;
+using hpcp::RandomForest;
+using hpcp::Rng;
+
+struct Data {
+  Matrix x;
+  std::vector<double> y;
+};
+
+Data make_data(std::size_t n, std::size_t d) {
+  Rng rng(42);
+  Data data;
+  data.x = Matrix(n, d);
+  data.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      data.x(i, j) = rng.uniform();
+      acc += (static_cast<double>(j) + 1.0) * data.x(i, j);
+    }
+    data.y[i] = acc + rng.normal(0.0, 0.1);
+  }
+  return data;
+}
+
+void BM_ForestFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto trees = static_cast<std::size_t>(state.range(1));
+  const Data data = make_data(n, 4);
+  for (auto _ : state) {
+    RandomForest forest({.num_trees = trees, .compute_oob = false});
+    Rng rng(7);
+    forest.fit(data.x, data.y, rng);
+    benchmark::DoNotOptimize(forest.num_trees());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ForestFit)
+    ->Args({100, 50})
+    ->Args({300, 50})
+    ->Args({1000, 50})
+    ->Args({300, 100})
+    ->Args({300, 200})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ForestPredict(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Data data = make_data(n, 4);
+  RandomForest forest({.num_trees = 100, .compute_oob = false});
+  Rng rng(7);
+  forest.fit(data.x, data.y, rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.predict(data.x.row(i % n)));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ForestPredict)->Arg(300)->Arg(1000)->Unit(benchmark::kMicrosecond);
+
+void BM_SingleTreeFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Data data = make_data(n, 4);
+  for (auto _ : state) {
+    hpcp::RegressionTree tree;
+    Rng rng(3);
+    tree.fit(data.x, data.y, {}, rng);
+    benchmark::DoNotOptimize(tree.num_nodes());
+  }
+}
+BENCHMARK(BM_SingleTreeFit)->Arg(100)->Arg(1000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

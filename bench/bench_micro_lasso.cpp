@@ -1,0 +1,77 @@
+/// Microbenchmarks of the coordinate-descent solvers: lasso, multitask
+/// lasso (vs task count), and NNLS.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.hpp"
+#include "src/linear/lasso.hpp"
+#include "src/linear/multitask_lasso.hpp"
+#include "src/linear/nnls.hpp"
+
+namespace {
+
+using namespace hpcp;
+
+Matrix random_matrix(std::size_t n, std::size_t d, Rng& rng) {
+  Matrix x(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) x(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  return x;
+}
+
+void BM_LassoFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto d = static_cast<std::size_t>(state.range(1));
+  Rng rng(1);
+  const Matrix x = random_matrix(n, d, rng);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = 2.0 * x(i, 0) - x(i, d / 2) + rng.normal(0.0, 0.1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fit_lasso(x, y, {.lambda = 0.05}));
+  }
+}
+BENCHMARK(BM_LassoFit)
+    ->Args({100, 10})
+    ->Args({1000, 10})
+    ->Args({1000, 50})
+    ->Args({5000, 20})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MultiTaskLassoFit(benchmark::State& state) {
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const Matrix x = random_matrix(16, 7, rng);  // the extrapolation shape
+  Matrix y(16, tasks);
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t t = 0; t < tasks; ++t) {
+      y(i, t) = (1.0 + 0.01 * static_cast<double>(t)) * x(i, 0) +
+                rng.normal(0.0, 0.05);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fit_multitask_lasso(x, y, {.lambda = 0.05}));
+  }
+}
+BENCHMARK(BM_MultiTaskLassoFit)->Arg(10)->Arg(50)->Arg(200)->Arg(1000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_NnlsFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  Matrix x = random_matrix(n, 7, rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 7; ++j) x(i, j) = std::abs(x(i, j));
+  }
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = x(i, 0) + 2.0 * x(i, 3) + 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fit_nnls(x, y));
+  }
+}
+BENCHMARK(BM_NnlsFit)->Arg(5)->Arg(50)->Arg(500)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,57 @@
+/// Microbenchmarks of the platform substrate: trace generation and
+/// simulated measurement throughput (history generation is the outer loop
+/// of every experiment).
+
+#include <benchmark/benchmark.h>
+
+#include "src/apps/registry.hpp"
+#include "src/platform/history.hpp"
+#include "src/platform/simulator.hpp"
+
+namespace {
+
+using namespace hpcp;
+
+void BM_TraceGeneration(benchmark::State& state) {
+  const auto app = make_application("hpl-lu");  // longest trace (per-panel)
+  const std::vector<double> params{16384.0, 64.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(app->trace(params, 256));
+  }
+}
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMicrosecond);
+
+void BM_Measure(benchmark::State& state) {
+  const PlatformSimulator sim(reference_machine());
+  const auto app = make_application(
+      state.range(0) == 0 ? "heat3d" : (state.range(0) == 1 ? "minimd"
+                                                            : "hpl-lu"));
+  std::vector<double> params;
+  for (const auto& p : app->parameter_space().params()) {
+    params.push_back(p.from_unit(0.5));
+  }
+  std::uint64_t run = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.measure(*app, params, 64, run++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Measure)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+void BM_GenerateHistory(benchmark::State& state) {
+  const PlatformSimulator sim(reference_machine());
+  const auto app = make_application("heat3d");
+  Rng rng(5);
+  const auto configs =
+      app->parameter_space().sample_lhs(
+          static_cast<std::size_t>(state.range(0)), rng);
+  const std::vector<std::size_t> scales{1, 2, 4, 8, 16};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        generate_history(sim, *app, configs, scales));
+  }
+}
+BENCHMARK(BM_GenerateHistory)->Arg(50)->Arg(300)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

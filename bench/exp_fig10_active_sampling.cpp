@@ -1,0 +1,95 @@
+/// Figure 10 — active history growth (future-work extension): under a
+/// fixed benchmarking budget, does picking the next configurations by
+/// forest disagreement beat random selection? Starting from 40 seed
+/// configurations, the history grows in batches of 20 up to 160, either
+/// randomly or by ActiveSampler ranking over a 400-candidate pool; after
+/// each batch the two-level model is refitted and scored.
+
+#include <iostream>
+#include <set>
+
+#include "bench/bench_common.hpp"
+#include "src/core/active_sampler.hpp"
+
+using namespace hpcp;
+
+namespace {
+
+ExtrapolationProblem problem_from(const Experiment& exp,
+                                  const std::vector<std::vector<double>>& cfgs,
+                                  const std::vector<std::size_t>& scales) {
+  const HistoryStore history = generate_history(
+      exp.simulator, *exp.app, cfgs, scales, 1, /*first_run_id=*/0);
+  return make_problem(history, scales, exp.config.target_scales);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Figure 10 — overall MAPE (%) vs history budget, random vs "
+               "active configuration selection\n";
+  for (const auto& app : bench::paper_apps()) {
+    auto cfg = bench::full_config(app);
+    const auto exp = make_experiment(cfg);
+
+    Rng pool_rng(61);
+    const auto pool =
+        exp.app->parameter_space().sample_lhs(400, pool_rng);
+
+    print_section(std::cout, app);
+    TextTable table({"configs", "random", "active"});
+
+    std::vector<std::vector<double>> random_sel(pool.begin(),
+                                                pool.begin() + 40);
+    std::vector<std::vector<double>> active_sel = random_sel;
+    std::set<std::size_t> active_used;
+    for (std::size_t i = 0; i < 40; ++i) active_used.insert(i);
+    std::size_t random_next = 40;
+
+    std::vector<std::pair<double, double>> results;
+    for (const std::size_t budget : {40u, 60u, 80u, 120u, 160u}) {
+      // Grow the random history to `budget` with the next pool entries.
+      while (random_sel.size() < budget) {
+        random_sel.push_back(pool[random_next++]);
+      }
+      // Grow the active history by sampler ranking over unused candidates.
+      while (active_sel.size() < budget) {
+        const auto current =
+            problem_from(exp, active_sel, cfg.small_scales);
+        std::vector<std::size_t> unused;
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+          if (!active_used.count(i)) unused.push_back(i);
+        }
+        Matrix candidates(unused.size(), exp.app->parameter_space().dimension());
+        for (std::size_t i = 0; i < unused.size(); ++i) {
+          candidates.set_row(i, pool[unused[i]]);
+        }
+        const ActiveSampler sampler;
+        Rng rng(71);
+        const std::size_t batch =
+            std::min<std::size_t>(20, budget - active_sel.size());
+        for (const std::size_t pick :
+             sampler.select(current, candidates, batch, rng)) {
+          active_sel.push_back(pool[unused[pick]]);
+          active_used.insert(unused[pick]);
+        }
+      }
+
+      double mape_of[2];
+      const std::vector<std::vector<double>>* sets[2] = {&random_sel,
+                                                         &active_sel};
+      for (int v = 0; v < 2; ++v) {
+        const auto problem = problem_from(exp, *sets[v], cfg.small_scales);
+        TwoLevelModel model;
+        Rng rng(81);
+        model.fit(problem, rng);
+        mape_of[v] = score_model(model, exp.test).overall_mape;
+      }
+      table.add_row_numeric(std::to_string(budget),
+                            {mape_of[0], mape_of[1]});
+      results.emplace_back(mape_of[0], mape_of[1]);
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+/// Figure 1 — predicted vs measured scaling curves for representative
+/// held-out configurations: the qualitative picture behind Table III. For
+/// each configuration the two-level model's fitted scalability curve is
+/// printed across the full scale range together with the measurements.
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+
+using namespace hpcp;
+
+int main() {
+  std::cout << "Figure 1 — measured vs predicted scaling curves "
+               "(representative held-out configurations)\n";
+  for (const auto& app : bench::paper_apps()) {
+    const auto exp = make_experiment(bench::full_config(app));
+    TwoLevelModel model;
+    Rng rng(3);
+    model.fit(exp.problem, rng);
+
+    for (const std::size_t cfg_idx : {0u, 1u, 2u}) {
+      std::string label = app + " config#" + std::to_string(cfg_idx) + " (";
+      const auto params = exp.test.configs.row(cfg_idx);
+      const auto& names = exp.problem.param_names;
+      for (std::size_t d = 0; d < names.size(); ++d) {
+        label += (d ? ", " : "") + names[d] + "=" +
+                 format_double(params[d], 0);
+      }
+      label += ")";
+      print_section(std::cout, label);
+
+      TextTable table({"p", "measured (s)", "two-level (s)", "error %",
+                       "regime"});
+      const auto curve = model.small_scale_curve(params, {});
+      const auto& small = exp.config.small_scales;
+      const auto& targets = exp.config.target_scales;
+      for (std::size_t s = 0; s < small.size(); ++s) {
+        const double measured = exp.test.small_times(cfg_idx, s);
+        const double pred = curve[s];
+        table.add_row({std::to_string(small[s]), format_double(measured, 3),
+                       format_double(pred, 3),
+                       format_double(100.0 * (pred - measured) / measured, 1),
+                       "interpolation"});
+      }
+      const auto pred_targets = model.predict(params, {});
+      for (std::size_t t = 0; t < targets.size(); ++t) {
+        const double measured = exp.test.target_times(cfg_idx, t);
+        const double pred = pred_targets[t];
+        table.add_row({std::to_string(targets[t]),
+                       format_double(measured, 3), format_double(pred, 3),
+                       format_double(100.0 * (pred - measured) / measured, 1),
+                       "EXTRAPOLATION"});
+      }
+      table.print(std::cout);
+      const std::size_t cluster = model.extrapolation().assign_cluster(curve);
+      std::cout << "assigned cluster " << cluster << " with scaling law {";
+      const auto support = model.extrapolation().support_names(cluster);
+      for (std::size_t i = 0; i < support.size(); ++i) {
+        std::cout << (i ? ", " : "") << support[i];
+      }
+      std::cout << "}\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+/// Figure 2 — error growth with extrapolation distance: MAPE as a function
+/// of the target scale, one series per method, on a denser scale grid than
+/// Table III. The figure's expected shape: every method degrades with
+/// distance, but the two-level model degrades far more slowly.
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+
+using namespace hpcp;
+
+int main() {
+  std::cout << "Figure 2 — MAPE (%) vs target scale\n";
+  for (const auto& app : bench::paper_apps()) {
+    auto cfg = bench::full_config(app);
+    cfg.target_scales = {24, 32, 48, 64, 96, 128, 192, 256, 384, 512};
+    const auto exp = make_experiment(cfg);
+
+    auto paper = make_paper_model();
+    auto baselines = make_baseline_suite();
+    std::vector<ExtrapolationModel*> models{paper.get()};
+    for (const auto& b : baselines) models.push_back(b.get());
+    Rng rng(13);
+    const auto report = evaluate_models(models, exp.problem, exp.test, rng);
+
+    print_section(std::cout, app);
+    std::vector<std::string> header{"model"};
+    for (const std::size_t p : cfg.target_scales) {
+      header.push_back(std::to_string(p));
+    }
+    TextTable table(std::move(header));
+    for (const auto& m : report.models) {
+      table.add_row_numeric(m.model, m.mape, 1);
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+/// Figure 3 — the clustering ablation: extrapolation MAPE as a function of
+/// the number of clusters K in the extrapolation level, plus the
+/// automatically selected K. The paper's claim: clustering (K > 1) beats a
+/// single global scalability model because compute-bound and
+/// communication-bound configurations obey different scaling laws.
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+
+using namespace hpcp;
+
+int main() {
+  std::cout << "Figure 3 — cluster-count ablation (overall MAPE %)\n";
+  for (const auto& app : bench::all_apps()) {
+    const auto exp = make_experiment(bench::full_config(app));
+
+    print_section(std::cout, app);
+    TextTable table({"clusters", "overall MAPE", "p=256 MAPE"});
+    for (std::size_t k = 1; k <= 8; ++k) {
+      auto model = make_two_level_k(k);
+      Rng rng(17);
+      model->fit(exp.problem, rng);
+      const auto errors = score_model(*model, exp.test);
+      table.add_row({std::to_string(k),
+                     format_double(errors.overall_mape, 2),
+                     format_double(errors.mape.back(), 2)});
+    }
+    // Automatic selection.
+    auto auto_model = make_paper_model();
+    Rng rng(17);
+    auto_model->fit(exp.problem, rng);
+    const auto errors = score_model(*auto_model, exp.test);
+    table.add_row({"auto (k=" +
+                       std::to_string(
+                           auto_model->extrapolation().num_clusters()) +
+                       ")",
+                   format_double(errors.overall_mape, 2),
+                   format_double(errors.mape.back(), 2)});
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+/// Figure 4 — design ablations of the extrapolation level:
+///  * multitask lasso (shared scaling-law support) vs independent
+///    single-task curve fits — the paper's "reduce the negative influence
+///    of interpolation errors" mechanism;
+///  * training the extrapolation level on interpolation *predictions*
+///    (paper) vs on measured small-scale curves;
+///  * replacing the predicted curve with the configuration's measured curve
+///    at prediction time (an oracle bound isolating interpolation error);
+///  * the Extra-P-style hypothesis search on predicted and measured curves.
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "src/baselines/extrap_model.hpp"
+
+using namespace hpcp;
+
+int main() {
+  std::cout << "Figure 4 — extrapolation-level ablations (MAPE %)\n";
+  for (const auto& app : bench::paper_apps()) {
+    const auto exp = make_experiment(bench::full_config(app));
+
+    auto paper = make_paper_model();
+    auto single_task = make_two_level_single_task();
+    auto truth_trained = make_two_level_trained_on_truth();
+    auto measured_curve = make_two_level_measured_curve();
+    auto extra_p_rf = std::make_unique<HypothesisSearchModel>();
+    auto extra_p_measured = std::make_unique<HypothesisSearchModel>(
+        HypothesisSearchOptions{.use_measured_curve = true});
+
+    const std::vector<ExtrapolationModel*> models{
+        paper.get(),        single_task.get(),   truth_trained.get(),
+        measured_curve.get(), extra_p_rf.get(),  extra_p_measured.get()};
+    Rng rng(19);
+    const auto report = evaluate_models(models, exp.problem, exp.test, rng);
+    bench::print_report(app, report);
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+/// Figure 5 — sensitivity to history size: overall extrapolation MAPE as a
+/// function of the number of training configurations, for the two-level
+/// model and the strongest direct baseline. The expected shape: the
+/// two-level model improves with history and saturates; direct ML stays bad
+/// regardless, because its failure is the distribution shift, not a lack of
+/// data.
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "src/baselines/direct_models.hpp"
+#include "src/baselines/extrap_model.hpp"
+
+using namespace hpcp;
+
+int main() {
+  std::cout << "Figure 5 — overall MAPE (%) vs training-history size\n";
+  const std::vector<std::size_t> sizes{40, 80, 150, 300, 500};
+  for (const auto& app : bench::paper_apps()) {
+    print_section(std::cout, app);
+    TextTable table({"configs", "two-level", "direct-rf", "extra-p(rf)"});
+    for (const std::size_t n : sizes) {
+      auto cfg = bench::full_config(app);
+      cfg.num_train = n;
+      const auto exp = make_experiment(cfg);
+      auto paper = make_paper_model();
+      auto rf = std::make_unique<DirectForestModel>();
+      auto extra_p = std::make_unique<HypothesisSearchModel>();
+      const std::vector<ExtrapolationModel*> models{paper.get(), rf.get(),
+                                                    extra_p.get()};
+      Rng rng(23);
+      const auto report =
+          evaluate_models(models, exp.problem, exp.test, rng);
+      table.add_row_numeric(
+          std::to_string(n),
+          {report.models[0].overall_mape, report.models[1].overall_mape,
+           report.models[2].overall_mape});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+/// Figure 6 — sensitivity to the number of small scales in the history:
+/// with too few scales the scalability models are under-determined; each
+/// added scale (and especially a larger maximum small scale) shrinks the
+/// extrapolation gap.
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+
+using namespace hpcp;
+
+int main() {
+  std::cout << "Figure 6 — overall MAPE (%) vs small-scale set\n";
+  const std::vector<std::vector<std::size_t>> scale_sets{
+      {1, 2},
+      {1, 2, 4},
+      {1, 2, 4, 8},
+      {1, 2, 4, 8, 16},
+      {1, 2, 4, 8, 16, 24},
+  };
+  for (const auto& app : bench::paper_apps()) {
+    print_section(std::cout, app);
+    TextTable table({"small scales", "two-level", "p=256 MAPE"});
+    for (const auto& scales : scale_sets) {
+      auto cfg = bench::full_config(app);
+      cfg.small_scales = scales;
+      const auto exp = make_experiment(cfg);
+      auto model = make_paper_model();
+      Rng rng(29);
+      model->fit(exp.problem, rng);
+      const auto errors = score_model(*model, exp.test);
+      std::string label;
+      for (std::size_t i = 0; i < scales.size(); ++i) {
+        label += (i ? "," : "") + std::to_string(scales[i]);
+      }
+      table.add_row({label, format_double(errors.overall_mape, 2),
+                     format_double(errors.mape.back(), 2)});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+/// Figure 7 — robustness to measurement noise: overall extrapolation MAPE
+/// as the platform's run-to-run noise σ grows from 0 to 10%. The
+/// multitask shared-support mechanism exists to damp exactly this noise
+/// (via the interpolation level's errors), so the two-level model should
+/// degrade gracefully while the per-configuration Extra-P fit, which sees
+/// each noisy curve in isolation, degrades steeply.
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "src/baselines/extrap_model.hpp"
+
+using namespace hpcp;
+
+int main() {
+  std::cout << "Figure 7 — overall MAPE (%) vs run-to-run noise sigma\n";
+  const std::vector<double> sigmas{0.0, 0.01, 0.03, 0.05, 0.10};
+  for (const auto& app : bench::paper_apps()) {
+    print_section(std::cout, app);
+    TextTable table({"noise sigma", "two-level", "rf+single-lasso",
+                     "extra-p(measured)"});
+    for (const double sigma : sigmas) {
+      MachineModel machine = reference_machine();
+      machine.noise_sigma = sigma;
+      const auto exp = make_experiment(bench::full_config(app), machine);
+      auto paper = make_paper_model();
+      auto single = make_two_level_single_task();
+      auto extra_p = std::make_unique<HypothesisSearchModel>(
+          HypothesisSearchOptions{.use_measured_curve = true});
+      const std::vector<ExtrapolationModel*> models{paper.get(), single.get(),
+                                                    extra_p.get()};
+      Rng rng(37);
+      const auto report =
+          evaluate_models(models, exp.problem, exp.test, rng);
+      table.add_row_numeric(
+          format_double(100.0 * sigma, 0) + " %",
+          {report.models[0].overall_mape, report.models[1].overall_mape,
+           report.models[2].overall_mape});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+/// Figure 8 — generality beyond the paper's two applications: the headline
+/// comparison on all four bundled applications, including the dense-LU
+/// solver (2-D decomposition, serial fraction) and the FFT spectral code
+/// (all-to-all transposes whose cost grows with p — the hardest
+/// extrapolation regime, where runtime stops improving).
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+
+using namespace hpcp;
+
+int main() {
+  std::cout << "Figure 8 — extrapolation MAPE (%) on every bundled "
+               "application\n";
+  for (const auto& app : {std::string("heat3d"), std::string("minimd"),
+                          std::string("hpl-lu"), std::string("fft3d")}) {
+    const auto exp = make_experiment(bench::full_config(app));
+    auto paper = make_paper_model();
+    auto baselines = make_baseline_suite();
+    std::vector<ExtrapolationModel*> models{paper.get()};
+    for (const auto& b : baselines) models.push_back(b.get());
+    Rng rng(41);
+    const auto report = evaluate_models(models, exp.problem, exp.test, rng);
+    bench::print_report(app, report);
+  }
+  return 0;
+}

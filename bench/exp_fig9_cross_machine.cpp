@@ -1,0 +1,95 @@
+/// Figure 9 — cross-machine transfer (future-work extension). The history
+/// is collected on machine A; the large-scale runs happen on machine B
+/// (network or CPU upgraded/downgraded). Straight transfer degrades with
+/// the machine gap; folding a handful of machine-B production runs back in
+/// via TwoLevelModel::calibrate() recovers much of it — the cheap
+/// migration path when a site upgrades hardware.
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+
+using namespace hpcp;
+
+namespace {
+
+struct Variant {
+  std::string name;
+  MachineModel machine;
+};
+
+std::vector<Variant> variants() {
+  std::vector<Variant> out;
+  out.push_back({"same machine", reference_machine()});
+  MachineModel slow_net = reference_machine();
+  slow_net.inter_bandwidth /= 4.0;
+  slow_net.inter_latency *= 4.0;
+  out.push_back({"4x slower network", slow_net});
+  MachineModel fast_cpu = reference_machine();
+  fast_cpu.core_flops *= 2.5;
+  fast_cpu.mem_bandwidth *= 2.5;
+  out.push_back({"2.5x faster cores", fast_cpu});
+  MachineModel old_gen = reference_machine();
+  old_gen.core_flops /= 2.5;
+  old_gen.mem_bandwidth /= 2.5;
+  out.push_back({"2.5x slower cores", old_gen});
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Figure 9 — cross-machine transfer: history on machine A, "
+               "production at scale on machine B (overall MAPE %)\n";
+  constexpr std::size_t kCalibrationRuns = 5;
+
+  for (const auto& app : bench::paper_apps()) {
+    const auto cfg = bench::full_config(app);
+    // History and model: machine A.
+    const auto exp = make_experiment(cfg);
+
+    print_section(std::cout, app);
+    TextTable table({"machine B", "transfer", "after calibration (" +
+                                                  std::to_string(
+                                                      kCalibrationRuns) +
+                                                  " runs on B)"});
+    for (const auto& variant : variants()) {
+      // Ground truth on machine B for the same held-out configurations.
+      const PlatformSimulator sim_b(variant.machine, cfg.seed ^ 0xb);
+      TestSet test_b = exp.test;
+      std::uint64_t run_id = 5'000'000;
+      for (std::size_t i = 0; i < test_b.size(); ++i) {
+        for (std::size_t t = 0; t < cfg.target_scales.size(); ++t) {
+          test_b.target_times(i, t) = sim_b.measure(
+              *exp.app, test_b.configs.row(i), cfg.target_scales[t],
+              run_id++);
+        }
+      }
+
+      TwoLevelModel model;
+      Rng rng(43);
+      model.fit(exp.problem, rng);
+      const double transfer = score_model(model, test_b).overall_mape;
+
+      // Calibrate with the first few configurations' p-max runs on B and
+      // score the remainder.
+      std::vector<std::size_t> rest;
+      for (std::size_t i = kCalibrationRuns; i < test_b.size(); ++i) {
+        rest.push_back(i);
+      }
+      for (std::size_t i = 0; i < kCalibrationRuns; ++i) {
+        model.calibrate(test_b.configs.row(i), cfg.target_scales.back(),
+                        test_b.target_times(i, cfg.target_scales.size() - 1));
+      }
+      TestSet holdout;
+      holdout.configs = test_b.configs.select_rows(rest);
+      holdout.target_times = test_b.target_times.select_rows(rest);
+      const double calibrated = score_model(model, holdout).overall_mape;
+
+      table.add_row({variant.name, format_double(transfer, 2),
+                     format_double(calibrated, 2)});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

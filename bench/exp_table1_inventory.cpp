@@ -1,0 +1,60 @@
+/// Table I — experiment inventory: the evaluated applications, their input
+/// parameter spaces, the simulated platform, and the scale split. (The
+/// paper's evaluation-setup table.)
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "src/apps/registry.hpp"
+
+using namespace hpcp;
+
+int main() {
+  std::cout << "Table I — applications, parameter spaces, and platform\n";
+
+  print_section(std::cout, "Applications");
+  TextTable apps({"application", "parameter", "range", "scale", "type"});
+  for (const auto& app : make_all_applications()) {
+    for (const auto& p : app->parameter_space().params()) {
+      apps.add_row({app->name(), p.name,
+                    "[" + format_double(p.lo, 0) + ", " +
+                        format_double(p.hi, 0) + "]",
+                    p.log_scale ? "log" : "linear",
+                    p.integer ? "integer" : "real"});
+    }
+  }
+  apps.print(std::cout);
+
+  print_section(std::cout, "Simulated platform (substitution for the paper's cluster)");
+  const MachineModel m = reference_machine();
+  TextTable machine({"property", "value"});
+  machine.add_row({"cores per node", std::to_string(m.cores_per_node)});
+  machine.add_row({"core flop rate", format_double(m.core_flops / 1e9, 1) + " Gflop/s"});
+  machine.add_row({"memory bandwidth/core", format_double(m.mem_bandwidth / 1e9, 1) + " GB/s"});
+  machine.add_row({"inter-node latency", format_double(m.inter_latency * 1e6, 2) + " us"});
+  machine.add_row({"inter-node bandwidth", format_double(m.inter_bandwidth / 1e9, 1) + " GB/s"});
+  machine.add_row({"intra-node latency", format_double(m.intra_latency * 1e6, 2) + " us"});
+  machine.add_row({"intra-node bandwidth", format_double(m.intra_bandwidth / 1e9, 1) + " GB/s"});
+  machine.add_row({"run-to-run noise (sigma)", format_double(m.noise_sigma * 100, 1) + " %"});
+  machine.add_row({"per-process jitter (cv)", format_double(m.jitter_cv * 100, 1) + " %"});
+  machine.print(std::cout);
+
+  print_section(std::cout, "History / evaluation protocol");
+  const auto cfg = bench::full_config("heat3d");
+  TextTable proto({"item", "value"});
+  const auto join = [](const std::vector<std::size_t>& v) {
+    std::string s;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      s += (i ? ", " : "") + std::to_string(v[i]);
+    }
+    return s;
+  };
+  proto.add_row({"small scales (history)", join(cfg.small_scales)});
+  proto.add_row({"target scales (predicted)", join(cfg.target_scales)});
+  proto.add_row({"training configurations", std::to_string(cfg.num_train)});
+  proto.add_row({"held-out test configurations", std::to_string(cfg.num_test)});
+  proto.add_row({"sampling design", "Latin hypercube"});
+  proto.add_row({"history coverage", "small scales ONLY (paper's premise)"});
+  proto.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,113 @@
+/// Table II — interpolation-level accuracy. At each small scale, the
+/// random-forest interpolation model is compared against linear regression
+/// and kNN on held-out configurations. This validates the paper's choice of
+/// random forests for the interpolation level: within the i.i.d. regime the
+/// forest wins.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "src/common/metrics.hpp"
+#include "src/linear/ols.hpp"
+#include "src/linear/scaler.hpp"
+
+using namespace hpcp;
+
+namespace {
+
+/// Per-scale linear baseline: OLS on log(params) -> log(time).
+std::vector<double> linear_predictions(const Matrix& train_x,
+                                       std::span<const double> train_y,
+                                       const Matrix& test_x) {
+  const auto log_matrix = [](const Matrix& m) {
+    Matrix out = m;
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+      for (std::size_t c = 0; c < out.cols(); ++c) {
+        out(r, c) = std::log(std::max(out(r, c), 1e-12));
+      }
+    }
+    return out;
+  };
+  std::vector<double> log_y(train_y.begin(), train_y.end());
+  for (auto& v : log_y) v = std::log(v);
+  const LinearModel model = fit_ols(log_matrix(train_x), log_y);
+  const Matrix test_logged = log_matrix(test_x);
+  std::vector<double> pred(test_x.rows());
+  for (std::size_t i = 0; i < test_x.rows(); ++i) {
+    pred[i] = std::exp(model.predict(test_logged.row(i)));
+  }
+  return pred;
+}
+
+/// Per-scale kNN baseline in standardised parameter space.
+std::vector<double> knn_predictions(const Matrix& train_x,
+                                    std::span<const double> train_y,
+                                    const Matrix& test_x, std::size_t k) {
+  const auto scaler = StandardScaler::fit(train_x);
+  const Matrix xs = scaler.transform(train_x);
+  const Matrix ts = scaler.transform(test_x);
+  std::vector<double> pred(test_x.rows());
+  for (std::size_t i = 0; i < test_x.rows(); ++i) {
+    std::vector<std::pair<double, std::size_t>> dist(train_x.rows());
+    for (std::size_t j = 0; j < train_x.rows(); ++j) {
+      double d = 0.0;
+      for (std::size_t c = 0; c < xs.cols(); ++c) {
+        const double diff = xs(j, c) - ts(i, c);
+        d += diff * diff;
+      }
+      dist[j] = {d, j};
+    }
+    std::nth_element(dist.begin(),
+                     dist.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     dist.end());
+    double acc = 0.0;
+    for (std::size_t j = 0; j < k; ++j) acc += train_y[dist[j].second];
+    pred[i] = acc / static_cast<double>(k);
+  }
+  return pred;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Table II — interpolation-level accuracy at each small scale "
+               "(MAPE %, held-out configurations)\n";
+  for (const auto& app : bench::all_apps()) {
+    const auto exp = make_experiment(bench::full_config(app));
+    InterpolationLevel level;
+    Rng rng(5);
+    level.fit(exp.problem, rng);
+
+    print_section(std::cout, app);
+    std::vector<std::string> header{"model"};
+    for (const std::size_t p : exp.config.small_scales) {
+      header.push_back("p=" + std::to_string(p));
+    }
+    TextTable table(std::move(header));
+
+    std::vector<double> rf_row, lin_row, knn_row;
+    for (std::size_t s = 0; s < exp.config.small_scales.size(); ++s) {
+      std::vector<double> truth(exp.test.size());
+      std::vector<double> rf(exp.test.size());
+      for (std::size_t i = 0; i < exp.test.size(); ++i) {
+        truth[i] = exp.test.small_times(i, s);
+        rf[i] = level.predict_curve(exp.test.configs.row(i))[s];
+      }
+      const auto train_y = exp.problem.train_small_times.column(s);
+      const auto lin = linear_predictions(exp.problem.train_configs, train_y,
+                                          exp.test.configs);
+      const auto knn = knn_predictions(exp.problem.train_configs, train_y,
+                                       exp.test.configs, 5);
+      rf_row.push_back(mape(truth, rf));
+      lin_row.push_back(mape(truth, lin));
+      knn_row.push_back(mape(truth, knn));
+    }
+    table.add_row_numeric("random-forest", rf_row);
+    table.add_row_numeric("log-linear", lin_row);
+    table.add_row_numeric("knn(5)", knn_row);
+    table.print(std::cout);
+  }
+  return 0;
+}

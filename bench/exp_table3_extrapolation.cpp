@@ -1,0 +1,44 @@
+/// Table III — the headline result. Extrapolation error (MAPE %) at every
+/// target scale: the paper's two-level model vs existing ML methods trained
+/// directly on the small-scale history (random forest, lasso, ridge, kNN)
+/// and the Extra-P-style per-configuration curve fit. The expected shape,
+/// matching the paper's claim: the two-level model is the most accurate at
+/// every target scale, with the margin widening as the extrapolation
+/// distance grows.
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+
+using namespace hpcp;
+
+int main() {
+  std::cout << "Table III — extrapolation accuracy (MAPE %), two-level vs "
+               "existing ML methods\n";
+  for (const auto& app : bench::paper_apps()) {
+    const auto exp = make_experiment(bench::full_config(app));
+    auto paper = make_paper_model();
+    auto baselines = make_baseline_suite();
+    std::vector<ExtrapolationModel*> models{paper.get()};
+    for (const auto& b : baselines) models.push_back(b.get());
+    Rng rng(7);
+    const auto report = evaluate_models(models, exp.problem, exp.test, rng);
+    bench::print_report(app, report);
+
+    // Paper-style summary line: improvement over the best baseline.
+    double best_baseline = 1e300;
+    std::string best_name;
+    for (const auto& m : report.models) {
+      if (m.model == "two-level") continue;
+      if (m.overall_mape < best_baseline) {
+        best_baseline = m.overall_mape;
+        best_name = m.model;
+      }
+    }
+    const double ours = report.find("two-level").overall_mape;
+    std::cout << "two-level improves on the best baseline (" << best_name
+              << ") by " << format_double(best_baseline / ours, 2)
+              << "x overall\n";
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+/// app_profile — where does the time go as an application scales?
+///
+/// Profiles every bundled application at increasing process counts using
+/// the trace-report API: per-phase-type cost breakdown and the growth of
+/// the communication share. This is the view that explains *why* the
+/// scaling-law clusters in the two-level model look the way they do —
+/// and the tool to reach for when adding a new application model.
+
+#include <iostream>
+
+#include "src/hpcpredict.hpp"
+
+int main() {
+  using namespace hpcp;
+  const PlatformSimulator sim(reference_machine());
+
+  for (const auto& app : make_all_applications()) {
+    // A mid-range configuration of each application.
+    std::vector<double> params;
+    for (const auto& p : app->parameter_space().params()) {
+      params.push_back(p.from_unit(0.5));
+    }
+    std::string label = app->name() + " (";
+    for (std::size_t d = 0; d < params.size(); ++d) {
+      label += (d ? ", " : "") + app->parameter_space().param(d).name + "=" +
+               format_double(params[d], 0);
+    }
+    label += ")";
+    print_section(std::cout, label);
+
+    TextTable summary({"p", "runtime (s)", "comm share", "parallel eff."});
+    double t1 = 0.0;
+    for (const std::size_t p : {1u, 4u, 16u, 64u, 256u}) {
+      const auto report = analyze_trace(sim, app->trace(params, p), p);
+      if (p == 1) t1 = report.total_seconds;
+      const double efficiency =
+          t1 / (report.total_seconds * static_cast<double>(p));
+      summary.add_row({std::to_string(p),
+                       format_double(report.total_seconds, 3),
+                       format_double(100.0 * report.communication_fraction(),
+                                     1) + " %",
+                       format_double(100.0 * efficiency, 1) + " %"});
+    }
+    summary.print(std::cout);
+
+    std::cout << "\nphase breakdown at p=256:\n";
+    print_trace_report(std::cout,
+                       analyze_trace(sim, app->trace(params, 256), 256));
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+/// model_explorer — introspection of a trained two-level model, plus the
+/// history-persistence round trip.
+///
+/// Shows, for each bundled application: which input parameters drive
+/// runtime at each small scale (forest feature importance), out-of-bag
+/// error of the interpolation forests, the scaling-behaviour clusters and
+/// their selected scaling laws, and how to save/reload the execution
+/// history as CSV.
+
+#include <cmath>
+#include <iostream>
+
+#include "src/hpcpredict.hpp"
+
+int main() {
+  using namespace hpcp;
+
+  for (const std::string app_name : {"heat3d", "minimd", "hpl-lu"}) {
+    ExperimentConfig config;
+    config.app_name = app_name;
+    const Experiment exp = make_experiment(config);
+
+    TwoLevelModel model;
+    Rng rng(3);
+    model.fit(exp.problem, rng);
+
+    print_section(std::cout, app_name + " — interpolation forests");
+    std::vector<std::string> header{"scale", "OOB RMSE (log-s)"};
+    for (const auto& name : exp.problem.param_names) {
+      header.push_back("imp:" + name);
+    }
+    TextTable forests(std::move(header));
+    for (std::size_t s = 0; s < exp.problem.small_scales.size(); ++s) {
+      const auto& forest = model.interpolation().forest(s);
+      std::vector<std::string> row{
+          "p=" + std::to_string(exp.problem.small_scales[s]),
+          forest.oob_mse() ? format_double(std::sqrt(*forest.oob_mse()), 3)
+                           : "-"};
+      for (const double imp : forest.feature_importance()) {
+        row.push_back(format_double(imp, 3));
+      }
+      forests.add_row(std::move(row));
+    }
+    forests.print(std::cout);
+
+    print_section(std::cout, app_name + " — scaling-behaviour clusters");
+    const auto& extrap = model.extrapolation();
+    TextTable clusters({"cluster", "configs", "scaling law"});
+    const auto sizes = extrap.clustering().cluster_sizes();
+    for (std::size_t c = 0; c < extrap.num_clusters(); ++c) {
+      std::string law = "c0";
+      for (const auto& term : extrap.support_names(c)) law += " + " + term;
+      clusters.add_row({std::to_string(c), std::to_string(sizes[c]), law});
+    }
+    clusters.print(std::cout);
+  }
+
+  // --- persistence round trip ---
+  print_section(std::cout, "history persistence");
+  ExperimentConfig config;
+  config.app_name = "heat3d";
+  config.num_train = 20;
+  config.num_test = 1;
+  const Experiment exp = make_experiment(config);
+  const std::string path = "/tmp/hpcpredict_history.csv";
+  csv_write_file(path, exp.history.to_csv());
+  const HistoryStore reloaded =
+      HistoryStore::from_csv("heat3d", csv_read_file(path));
+  std::cout << "wrote " << exp.history.size() << " records to " << path
+            << ", reloaded " << reloaded.size() << " records — "
+            << (reloaded.size() == exp.history.size() ? "round trip OK"
+                                                      : "MISMATCH")
+            << '\n';
+  const auto problem =
+      make_problem(reloaded, config.small_scales, config.target_scales);
+  std::cout << "rebuilt problem from reloaded history: "
+            << problem.num_configs() << " configurations\n";
+  return 0;
+}

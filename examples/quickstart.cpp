@@ -1,0 +1,72 @@
+/// quickstart — the five-minute tour of hpcpredict.
+///
+/// Scenario: a site has been running the heat3d solver at 1–16 processes
+/// for months, and a user asks "how long will my configuration take at 256
+/// processes?" — a scale nothing has ever been run at. We build the
+/// history, train the paper's two-level model on it, and answer.
+
+#include <iostream>
+
+#include "src/hpcpredict.hpp"
+
+int main() {
+  using namespace hpcp;
+
+  // 1. Assemble an experiment: a simulated cluster, the heat3d application,
+  //    300 historical configurations measured at small scales {1..16} only,
+  //    and held-out test configurations with ground truth at {32..256}.
+  //    (With real data you would instead fill a HistoryStore from your
+  //    accounting logs and call make_problem().)
+  ExperimentConfig config;
+  config.app_name = "heat3d";
+  const Experiment exp = make_experiment(config);
+  std::cout << "history: " << exp.history.size() << " runs of "
+            << exp.problem.num_configs() << " configurations at scales 1-16\n";
+
+  // 2. Train the two-level model. Level 1: one random forest per small
+  //    scale (parameters -> runtime). Level 2: clustered multitask-lasso
+  //    scalability models (small-scale curve -> large-scale runtime).
+  TwoLevelModel model;
+  Rng rng(42);
+  model.fit(exp.problem, rng);
+  std::cout << "trained: " << model.extrapolation().num_clusters()
+            << " scaling-behaviour cluster(s)\n";
+  for (std::size_t c = 0; c < model.extrapolation().num_clusters(); ++c) {
+    std::cout << "  cluster " << c << " scaling law: t(p) = c0";
+    for (const auto& term : model.extrapolation().support_names(c)) {
+      std::cout << " + c_i*" << term;
+    }
+    std::cout << '\n';
+  }
+
+  // 3. Ask about a configuration the model has never seen.
+  const auto params = exp.test.configs.row(0);
+  std::cout << "\nnew configuration:";
+  for (std::size_t d = 0; d < exp.problem.param_names.size(); ++d) {
+    std::cout << ' ' << exp.problem.param_names[d] << '='
+              << format_double(params[d], 0);
+  }
+  std::cout << '\n';
+
+  const auto curve = model.small_scale_curve(params, {});
+  std::cout << "predicted small-scale curve:";
+  for (std::size_t s = 0; s < curve.size(); ++s) {
+    std::cout << "  p=" << exp.problem.small_scales[s] << ": "
+              << format_double(curve[s], 2) << "s";
+  }
+  std::cout << '\n';
+
+  const auto predictions = model.predict(params);
+  std::cout << "\nlarge-scale predictions vs (held-out) measurements:\n";
+  TextTable table({"processes", "predicted", "measured", "error"});
+  for (std::size_t t = 0; t < exp.problem.target_scales.size(); ++t) {
+    const double measured = exp.test.target_times(0, t);
+    table.add_row({std::to_string(exp.problem.target_scales[t]),
+                   format_double(predictions[t], 2) + " s",
+                   format_double(measured, 2) + " s",
+                   format_double(100.0 * (predictions[t] - measured) /
+                                     measured, 1) + " %"});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "src/apps/lu_app.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.hpp"
+#include "src/platform/proc_grid.hpp"
+
+namespace hpcp {
+
+LuApp::LuApp()
+    : space_(ParameterSpace({
+          {.name = "matrix_n", .lo = 4096, .hi = 24576, .integer = true,
+           .log_scale = true},
+          {.name = "block_nb", .lo = 64, .hi = 256, .integer = true,
+           .log_scale = true},
+      })) {}
+
+WorkloadTrace LuApp::trace(std::span<const double> params,
+                           std::size_t nprocs) const {
+  HPCP_REQUIRE(params.size() == 2, "hpl-lu takes (matrix_n, block_nb)");
+  const double n = params[0];
+  const double nb = params[1];
+  HPCP_REQUIRE(n >= nb && nb >= 1, "invalid hpl-lu parameters");
+
+  const auto [pr, pc] = factorize_2d(nprocs);
+  const auto steps = static_cast<std::size_t>(std::floor(n / nb));
+
+  WorkloadTrace trace;
+  trace.reserve(4 * steps);
+  for (std::size_t k = 0; k < steps; ++k) {
+    const double m = n - static_cast<double>(k) * nb;  // trailing size
+    if (m <= 0) break;
+
+    // Panel factorisation: 2·m·nb² flops on one process column (pr procs);
+    // the nb pivot searches + row scalings inside the panel are sequential
+    // — the code's serial fraction.
+    trace.push_back(
+        Phase::compute(2.0 * m * nb * nb / static_cast<double>(pr),
+                       m * nb * 8.0 / static_cast<double>(pr)));
+    trace.push_back(Phase::serial(3.0 * nb * nb * nb));
+
+    // Panel broadcast along each process-grid row (pc participants).
+    trace.push_back(Phase::broadcast(
+        m * nb * 8.0 / static_cast<double>(pr), 1.0, pc));
+
+    // Pivot-row swaps across the process column.
+    if (pr > 1) {
+      trace.push_back(Phase::neighbor(nb * m * 8.0 / static_cast<double>(pc),
+                                      /*neighbors=*/1));
+    }
+
+    // Trailing update: 2·m²·nb flops spread over all p processes; GEMM is
+    // compute-bound (high arithmetic intensity), so stream few bytes. The
+    // working set is the local trailing block.
+    trace.push_back(
+        Phase::compute(2.0 * m * m * nb / static_cast<double>(nprocs),
+                       m * m * 8.0 / static_cast<double>(nprocs) * 0.25, 1.0,
+                       m * m * 8.0 / static_cast<double>(nprocs)));
+  }
+  return trace;
+}
+
+}  // namespace hpcp

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "src/platform/application.hpp"
+
+/// \file lu_app.hpp
+/// hpl-lu — a blocked right-looking LU factorisation with partial pivoting
+/// on a 2-D block-cyclic process grid (HPL-like). Included as the
+/// generality extension beyond the paper's two applications.
+///
+/// Input parameters
+///   matrix_n  order of the dense matrix
+///   block_nb  panel/block width
+///
+/// Each of the N/nb elimination steps contributes: a panel factorisation
+/// whose critical path is only partly parallel (a genuine serial fraction,
+/// so speedup saturates), a panel broadcast along process-grid rows, a
+/// pivot-row swap, and the trailing-matrix GEMM update which is the
+/// embarrassingly parallel bulk of the 2N³/3 flops.
+
+namespace hpcp {
+
+class LuApp final : public Application {
+ public:
+  LuApp();
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] const ParameterSpace& parameter_space() const override {
+    return space_;
+  }
+  [[nodiscard]] WorkloadTrace trace(std::span<const double> params,
+                                    std::size_t nprocs) const override;
+
+ private:
+  std::string name_ = "hpl-lu";
+  ParameterSpace space_;
+};
+
+}  // namespace hpcp

@@ -1,0 +1,65 @@
+#include "src/apps/nbody_app.hpp"
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace hpcp {
+
+NBodyApp::NBodyApp()
+    : space_(ParameterSpace({
+          {.name = "atoms", .lo = 5.0e4, .hi = 2.0e6, .integer = true,
+           .log_scale = true},
+          {.name = "cutoff", .lo = 2.5, .hi = 5.0},
+          {.name = "steps", .lo = 100, .hi = 1000, .integer = true,
+           .log_scale = true},
+      })) {}
+
+WorkloadTrace NBodyApp::trace(std::span<const double> params,
+                              std::size_t nprocs) const {
+  HPCP_REQUIRE(params.size() == 3, "minimd takes (atoms, cutoff, steps)");
+  const double atoms = params[0];
+  const double cutoff = params[1];
+  const double steps = params[2];
+  HPCP_REQUIRE(atoms >= 1 && cutoff > 0 && steps >= 1,
+               "invalid minimd parameters");
+
+  const double local_atoms = atoms / static_cast<double>(nprocs);
+  // Average neighbours per atom within the cutoff sphere (half list).
+  const double neighbors =
+      0.5 * kDensity * (4.0 / 3.0) * M_PI * cutoff * cutoff * cutoff;
+
+  WorkloadTrace trace;
+  // Pair-force evaluation: ~27 flops per pair (distance, LJ kernel,
+  // accumulation) plus a fixed ~150-flop per-atom overhead (loop setup,
+  // cutoff branches) that real kernels pay regardless of neighbour count;
+  // streams the neighbour list, whose footprint sets the working set.
+  trace.push_back(Phase::compute(
+      local_atoms * (neighbors * 27.0 + 150.0),
+      local_atoms * neighbors * 8.0, steps,
+      /*working_set=*/local_atoms * (neighbors * 8.0 + 96.0)));
+
+  // Ghost-atom exchange: the ghost shell of a cubic local box of volume
+  // atoms/(density·p) has ≈ 6·L²·cutoff·density atoms, 24 B each (x,y,z).
+  const double local_side = std::cbrt(local_atoms / kDensity);
+  const double ghost_atoms =
+      6.0 * local_side * local_side * cutoff * kDensity;
+  trace.push_back(
+      Phase::neighbor(ghost_atoms * 24.0 / 6.0, /*neighbors=*/6, steps));
+
+  // Velocity-Verlet integration: light flops, streams positions/velocities.
+  trace.push_back(Phase::compute(local_atoms * 9.0, local_atoms * 48.0,
+                                 steps, /*working_set=*/local_atoms * 48.0));
+
+  // Global energy/virial reduction each step (2 doubles).
+  trace.push_back(Phase::allreduce(16.0, steps));
+
+  // Neighbour-list rebuild: binning + distance checks over ~1.7× the
+  // cutoff sphere (skin), every kRebuildInterval steps.
+  trace.push_back(Phase::compute(local_atoms * neighbors * 1.7 * 10.0,
+                                 local_atoms * 64.0,
+                                 steps / kRebuildInterval));
+  return trace;
+}
+
+}  // namespace hpcp

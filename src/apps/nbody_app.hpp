@@ -1,0 +1,41 @@
+#pragma once
+
+#include "src/platform/application.hpp"
+
+/// \file nbody_app.hpp
+/// minimd — a short-range molecular-dynamics / N-body code (the second of
+/// the paper's two evaluation applications; see DESIGN.md).
+///
+/// Input parameters
+///   atoms   total particle count
+///   cutoff  interaction cutoff radius (in reduced units; density fixed)
+///   steps   MD time steps
+///
+/// Per step each process computes pair forces over its atoms' neighbour
+/// lists (flop-bound, cost ∝ atoms·cutoff³/p), exchanges ghost atoms with
+/// its spatial neighbours (cost ∝ (atoms/p)^{2/3}·cutoff — surface over
+/// volume), integrates positions (memory-bound), and joins a global energy
+/// allreduce. Neighbour lists are rebuilt every 20 steps.
+
+namespace hpcp {
+
+class NBodyApp final : public Application {
+ public:
+  NBodyApp();
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] const ParameterSpace& parameter_space() const override {
+    return space_;
+  }
+  [[nodiscard]] WorkloadTrace trace(std::span<const double> params,
+                                    std::size_t nprocs) const override;
+
+  static constexpr double kDensity = 0.8442;     ///< LJ liquid density
+  static constexpr double kRebuildInterval = 20.0;
+
+ private:
+  std::string name_ = "minimd";
+  ParameterSpace space_;
+};
+
+}  // namespace hpcp

@@ -1,0 +1,31 @@
+#include "src/apps/registry.hpp"
+
+#include "src/apps/lu_app.hpp"
+#include "src/apps/nbody_app.hpp"
+#include "src/apps/spectral_app.hpp"
+#include "src/apps/stencil_app.hpp"
+#include "src/common/check.hpp"
+
+namespace hpcp {
+
+std::vector<std::string> application_names() {
+  return {"heat3d", "minimd", "hpl-lu", "fft3d"};
+}
+
+std::unique_ptr<Application> make_application(const std::string& name) {
+  if (name == "heat3d") return std::make_unique<StencilApp>();
+  if (name == "minimd") return std::make_unique<NBodyApp>();
+  if (name == "hpl-lu") return std::make_unique<LuApp>();
+  if (name == "fft3d") return std::make_unique<SpectralApp>();
+  throw std::invalid_argument("unknown application: " + name);
+}
+
+std::vector<std::unique_ptr<Application>> make_all_applications() {
+  std::vector<std::unique_ptr<Application>> apps;
+  for (const auto& name : application_names()) {
+    apps.push_back(make_application(name));
+  }
+  return apps;
+}
+
+}  // namespace hpcp

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/platform/application.hpp"
+
+/// \file registry.hpp
+/// Construction of the bundled applications by name, so examples and
+/// benches can iterate "all applications" uniformly.
+
+namespace hpcp {
+
+/// Names of all bundled applications ("heat3d", "minimd", "hpl-lu", "fft3d").
+[[nodiscard]] std::vector<std::string> application_names();
+
+/// Construct a bundled application; throws std::invalid_argument for an
+/// unknown name.
+[[nodiscard]] std::unique_ptr<Application> make_application(
+    const std::string& name);
+
+/// Construct every bundled application.
+[[nodiscard]] std::vector<std::unique_ptr<Application>> make_all_applications();
+
+}  // namespace hpcp

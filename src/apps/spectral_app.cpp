@@ -1,0 +1,54 @@
+#include "src/apps/spectral_app.hpp"
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace hpcp {
+
+SpectralApp::SpectralApp()
+    : space_(ParameterSpace({
+          {.name = "grid_n", .lo = 64, .hi = 256, .integer = true,
+           .log_scale = true},
+          {.name = "timesteps", .lo = 50, .hi = 500, .integer = true,
+           .log_scale = true},
+      })) {}
+
+WorkloadTrace SpectralApp::trace(std::span<const double> params,
+                                 std::size_t nprocs) const {
+  HPCP_REQUIRE(params.size() == 2, "fft3d takes (grid_n, timesteps)");
+  const double n = params[0];
+  const double steps = params[1];
+  HPCP_REQUIRE(n >= 2 && steps >= 1, "invalid fft3d parameters");
+
+  const double total_points = n * n * n;
+  const double local_points = total_points / static_cast<double>(nprocs);
+  const double field_bytes = total_points * 16.0;  // complex doubles
+
+  WorkloadTrace trace;
+  // Forward + inverse 3-D FFT per step: 2 × 5·N³·log₂(N³) flops in total,
+  // split evenly; butterflies stream the local slab.
+  const double fft_flops =
+      2.0 * 5.0 * local_points * 3.0 * std::log2(n);
+  trace.push_back(Phase::compute(fft_flops, local_points * 16.0 * 3.0, steps,
+                                 /*working_set=*/local_points * 16.0));
+
+  // Two global transposes per step: each process exchanges its slab with
+  // everyone — the all-to-all whose per-process payload is the whole field
+  // divided by p.
+  if (nprocs > 1) {
+    trace.push_back(Phase::alltoall(
+        field_bytes / static_cast<double>(nprocs), 2.0 * steps));
+  }
+
+  // Pointwise nonlinear term (dealiased product): light, memory-bound.
+  trace.push_back(Phase::compute(local_points * 12.0, local_points * 32.0,
+                                 steps,
+                                 /*working_set=*/local_points * 32.0));
+
+  // CFL / energy check.
+  trace.push_back(Phase::allreduce(16.0, steps));
+  return trace;
+}
+
+}  // namespace hpcp

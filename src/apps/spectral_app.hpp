@@ -1,0 +1,40 @@
+#pragma once
+
+#include "src/platform/application.hpp"
+
+/// \file spectral_app.hpp
+/// fft3d — a pseudo-spectral solver built around distributed 3-D FFTs
+/// (slab/pencil decomposition). Bundled as a second generality extension:
+/// unlike the stencil and MD codes, its communication is dominated by
+/// **all-to-all transposes**, whose cost *grows* with the process count —
+/// the scaling regime where extrapolation must predict a runtime floor or
+/// even an upturn rather than continued speedup.
+///
+/// Input parameters
+///   grid_n     points per dimension of the N³ spectral grid
+///   timesteps  time steps (two 3-D FFT round trips each)
+///
+/// Per step: forward+inverse 3-D FFT (5·N³·log₂N flops total, perfectly
+/// parallel butterflies) interleaved with two all-to-all transposes of the
+/// full N³ complex field, plus a pointwise nonlinear term and a scalar
+/// allreduce (CFL check).
+
+namespace hpcp {
+
+class SpectralApp final : public Application {
+ public:
+  SpectralApp();
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] const ParameterSpace& parameter_space() const override {
+    return space_;
+  }
+  [[nodiscard]] WorkloadTrace trace(std::span<const double> params,
+                                    std::size_t nprocs) const override;
+
+ private:
+  std::string name_ = "fft3d";
+  ParameterSpace space_;
+};
+
+}  // namespace hpcp

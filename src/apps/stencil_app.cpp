@@ -1,0 +1,67 @@
+#include "src/apps/stencil_app.hpp"
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+#include "src/platform/proc_grid.hpp"
+
+namespace hpcp {
+
+StencilApp::StencilApp()
+    : space_(ParameterSpace({
+          {.name = "grid_n", .lo = 96, .hi = 384, .integer = true,
+           .log_scale = true},
+          {.name = "timesteps", .lo = 200, .hi = 2000, .integer = true,
+           .log_scale = true},
+          {.name = "halo", .lo = 1, .hi = 3, .integer = true},
+      })) {}
+
+WorkloadTrace StencilApp::trace(std::span<const double> params,
+                                std::size_t nprocs) const {
+  HPCP_REQUIRE(params.size() == 3, "heat3d takes (grid_n, timesteps, halo)");
+  const double n = params[0];
+  const double steps = params[1];
+  const double halo = params[2];
+  HPCP_REQUIRE(n >= 1 && steps >= 1 && halo >= 1, "invalid heat3d parameters");
+
+  const auto [px, py, pz] = factorize_3d(nprocs);
+  const double lx = n / static_cast<double>(px);
+  const double ly = n / static_cast<double>(py);
+  const double lz = n / static_cast<double>(pz);
+  const double local_cells = lx * ly * lz;
+
+  WorkloadTrace trace;
+  // Stencil update: (6·halo + 1)-point stencil, 2 flops per point read;
+  // streams the source and destination arrays once each -> memory bound on
+  // most machines, which is what makes large grids scale near-linearly.
+  // One FMA per stencil neighbour plus the centre update: low arithmetic
+  // intensity, so the sweep is memory-bound out of cache — as real stencil
+  // kernels are.
+  const double flops_per_cell = 6.0 * halo + 2.0;
+  const double bytes_per_cell = 8.0 * 2.0 + 8.0 * 0.5;  // rd+wr, partial reuse
+  // Working set: source + destination grids. Once the local block fits in
+  // cache (large p or small grids) the sweep stops paying DRAM bandwidth —
+  // the cache regime switch real stencil codes exhibit.
+  const double working_set = local_cells * 16.0;
+  trace.push_back(Phase::compute(local_cells * flops_per_cell,
+                                 local_cells * bytes_per_cell, steps,
+                                 working_set));
+
+  // Halo exchange: one send+recv pair per decomposed axis per direction.
+  // Face bytes = face area × halo depth × 8 B.
+  const struct {
+    std::size_t procs;
+    double area;
+  } axes[3] = {{px, ly * lz}, {py, lx * lz}, {pz, lx * ly}};
+  for (const auto& axis : axes) {
+    if (axis.procs <= 1) continue;
+    trace.push_back(
+        Phase::neighbor(axis.area * halo * 8.0, /*neighbors=*/2, steps));
+  }
+
+  // Convergence residual: one double, every kReduceInterval iterations.
+  trace.push_back(Phase::allreduce(8.0, steps / kReduceInterval));
+  return trace;
+}
+
+}  // namespace hpcp

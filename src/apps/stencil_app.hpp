@@ -1,0 +1,44 @@
+#pragma once
+
+#include "src/platform/application.hpp"
+
+/// \file stencil_app.hpp
+/// heat3d — a 3-D Jacobi stencil solver (the first of the paper's two
+/// evaluation applications; see DESIGN.md for the substitution rationale).
+///
+/// Input parameters
+///   grid_n     cells per dimension of the global N³ grid
+///   timesteps  Jacobi iterations
+///   halo       stencil radius (ghost-layer width)
+///
+/// Per iteration each process updates its block of the 3-D block
+/// decomposition (memory-bound roofline compute), exchanges halos with up
+/// to six neighbours (surface-proportional messages), and every tenth
+/// iteration joins a scalar allreduce for the convergence residual.
+/// Scaling behaviour therefore shifts from compute-dominated (large grids)
+/// to latency-dominated (small grids at high process counts) across the
+/// parameter space — exactly the heterogeneity the paper's clustering step
+/// targets.
+
+namespace hpcp {
+
+class StencilApp final : public Application {
+ public:
+  StencilApp();
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] const ParameterSpace& parameter_space() const override {
+    return space_;
+  }
+  [[nodiscard]] WorkloadTrace trace(std::span<const double> params,
+                                    std::size_t nprocs) const override;
+
+  /// Iterations between convergence-check allreduces.
+  static constexpr double kReduceInterval = 10.0;
+
+ private:
+  std::string name_ = "heat3d";
+  ParameterSpace space_;
+};
+
+}  // namespace hpcp

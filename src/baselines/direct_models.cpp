@@ -1,0 +1,207 @@
+#include "src/baselines/direct_models.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.hpp"
+#include "src/linear/cv.hpp"
+#include "src/linear/lasso.hpp"
+
+namespace hpcp {
+
+ScaleFeatureExpander::ScaleFeatureExpander(std::size_t num_params)
+    : num_params_(num_params) {}
+
+std::size_t ScaleFeatureExpander::width() const noexcept {
+  return 2 * num_params_ + 4;
+}
+
+std::vector<double> ScaleFeatureExpander::expand(
+    std::span<const double> params, double nprocs) const {
+  HPCP_REQUIRE(params.size() == num_params_, "parameter width mismatch");
+  HPCP_REQUIRE(nprocs >= 1.0, "process count must be at least 1");
+  std::vector<double> row;
+  row.reserve(width());
+  for (const double v : params) row.push_back(v);
+  for (const double v : params) row.push_back(v / nprocs);
+  row.push_back(nprocs);
+  row.push_back(std::log2(nprocs));
+  row.push_back(1.0 / nprocs);
+  row.push_back(std::sqrt(nprocs));
+  return row;
+}
+
+ScaleFeatureExpander::Expanded ScaleFeatureExpander::expand_problem(
+    const ExtrapolationProblem& problem) const {
+  const std::size_t n = problem.num_configs();
+  const std::size_t k = problem.small_scales.size();
+  Expanded out;
+  out.x = Matrix(n * k, width());
+  out.y.resize(n * k);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t s = 0; s < k; ++s) {
+      const auto row =
+          expand(problem.train_configs.row(i),
+                 static_cast<double>(problem.small_scales[s]));
+      out.x.set_row(i * k + s, row);
+      out.y[i * k + s] = problem.train_small_times(i, s);
+    }
+  }
+  return out;
+}
+
+// --- DirectForestModel ---
+
+void DirectForestModel::fit(const ExtrapolationProblem& problem, Rng& rng) {
+  problem.validate();
+  target_scales_ = problem.target_scales;
+  expander_ = std::make_unique<ScaleFeatureExpander>(problem.num_params());
+  const auto data = expander_->expand_problem(problem);
+  forest_ = RandomForest(forest_opts_);
+  forest_.fit(data.x, data.y, rng);
+}
+
+std::vector<double> DirectForestModel::predict(
+    std::span<const double> params,
+    std::span<const double> /*measured_small_times*/) const {
+  HPCP_REQUIRE(expander_ != nullptr, "predict before fit");
+  std::vector<double> pred(target_scales_.size());
+  for (std::size_t t = 0; t < target_scales_.size(); ++t) {
+    const auto row =
+        expander_->expand(params, static_cast<double>(target_scales_[t]));
+    pred[t] = forest_.predict(row);
+  }
+  return pred;
+}
+
+// --- DirectGbmModel ---
+
+void DirectGbmModel::fit(const ExtrapolationProblem& problem, Rng& rng) {
+  problem.validate();
+  target_scales_ = problem.target_scales;
+  expander_ = std::make_unique<ScaleFeatureExpander>(problem.num_params());
+  const auto data = expander_->expand_problem(problem);
+  gbm_ = GradientBoostedTrees(gbm_opts_);
+  gbm_.fit(data.x, data.y, rng);
+}
+
+std::vector<double> DirectGbmModel::predict(
+    std::span<const double> params,
+    std::span<const double> /*measured_small_times*/) const {
+  HPCP_REQUIRE(expander_ != nullptr, "predict before fit");
+  std::vector<double> pred(target_scales_.size());
+  for (std::size_t t = 0; t < target_scales_.size(); ++t) {
+    const auto row =
+        expander_->expand(params, static_cast<double>(target_scales_[t]));
+    pred[t] = std::max(gbm_.predict(row), 1e-9);
+  }
+  return pred;
+}
+
+// --- DirectLinearModel ---
+
+std::string DirectLinearModel::name() const {
+  switch (kind_) {
+    case Kind::kOls: return "direct-ols";
+    case Kind::kRidge: return "direct-ridge";
+    case Kind::kLasso: return "direct-lasso";
+  }
+  return "direct-linear";
+}
+
+void DirectLinearModel::fit(const ExtrapolationProblem& problem, Rng& rng) {
+  problem.validate();
+  target_scales_ = problem.target_scales;
+  expander_ = std::make_unique<ScaleFeatureExpander>(problem.num_params());
+  const auto data = expander_->expand_problem(problem);
+  switch (kind_) {
+    case Kind::kOls:
+      model_ = fit_ols(data.x, data.y);
+      break;
+    case Kind::kRidge:
+      model_ = fit_ridge(data.x, data.y, 1e-3);
+      break;
+    case Kind::kLasso: {
+      Rng cv_rng = rng.fork();
+      model_ = fit_lasso_cv(data.x, data.y, /*folds=*/5, cv_rng);
+      break;
+    }
+  }
+}
+
+std::vector<double> DirectLinearModel::predict(
+    std::span<const double> params,
+    std::span<const double> /*measured_small_times*/) const {
+  HPCP_REQUIRE(expander_ != nullptr, "predict before fit");
+  std::vector<double> pred(target_scales_.size());
+  for (std::size_t t = 0; t < target_scales_.size(); ++t) {
+    const auto row =
+        expander_->expand(params, static_cast<double>(target_scales_[t]));
+    // Extrapolated linear predictions can cross zero; clamp to positive.
+    pred[t] = std::max(model_.predict(row), 1e-9);
+  }
+  return pred;
+}
+
+// --- KnnModel ---
+
+std::vector<double> KnnModel::make_point(std::span<const double> params,
+                                         double nprocs) const {
+  std::vector<double> point(params.begin(), params.end());
+  point.push_back(std::log2(nprocs));
+  return point;
+}
+
+void KnnModel::fit(const ExtrapolationProblem& problem, Rng& /*rng*/) {
+  problem.validate();
+  HPCP_REQUIRE(k_ >= 1, "k must be at least 1");
+  target_scales_ = problem.target_scales;
+  const std::size_t n = problem.num_configs();
+  const std::size_t k_scales = problem.small_scales.size();
+  Matrix raw(n * k_scales, problem.num_params() + 1);
+  times_.resize(n * k_scales);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t s = 0; s < k_scales; ++s) {
+      const auto point =
+          make_point(problem.train_configs.row(i),
+                     static_cast<double>(problem.small_scales[s]));
+      raw.set_row(i * k_scales + s, point);
+      times_[i * k_scales + s] = problem.train_small_times(i, s);
+    }
+  }
+  scaler_ = StandardScaler::fit(raw);
+  points_ = scaler_.transform(raw);
+}
+
+std::vector<double> KnnModel::predict(
+    std::span<const double> params,
+    std::span<const double> /*measured_small_times*/) const {
+  HPCP_REQUIRE(!times_.empty(), "predict before fit");
+  const std::size_t k = std::min(k_, times_.size());
+  std::vector<double> pred(target_scales_.size());
+  for (std::size_t t = 0; t < target_scales_.size(); ++t) {
+    auto query =
+        make_point(params, static_cast<double>(target_scales_[t]));
+    scaler_.transform_row(query);
+    // Partial selection of the k nearest training points.
+    std::vector<std::pair<double, std::size_t>> dist(times_.size());
+    for (std::size_t i = 0; i < times_.size(); ++i) {
+      const auto row = points_.row(i);
+      double d = 0.0;
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        const double diff = row[c] - query[c];
+        d += diff * diff;
+      }
+      dist[i] = {d, i};
+    }
+    std::nth_element(dist.begin(),
+                     dist.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     dist.end());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < k; ++i) acc += times_[dist[i].second];
+    pred[t] = acc / static_cast<double>(k);
+  }
+  return pred;
+}
+
+}  // namespace hpcp

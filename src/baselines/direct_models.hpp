@@ -1,0 +1,132 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/extrapolation_model.hpp"
+#include "src/forest/gbm.hpp"
+#include "src/forest/random_forest.hpp"
+#include "src/linear/ols.hpp"
+#include "src/linear/scaler.hpp"
+
+/// \file direct_models.hpp
+/// "Existing ML methods" baselines: one flat regressor over (parameters,
+/// scale) rows, trained on the small-scale history and asked to predict at
+/// the target scales. These are exactly the models whose i.i.d. assumption
+/// the paper says breaks under extrapolation — the random forest in
+/// particular can never predict outside the range of its training targets.
+
+namespace hpcp {
+
+/// Expands (params, p) into the flat feature row the direct baselines use:
+/// [params…, params_i/p…, p, log2(p), 1/p, sqrt(p)]. The params/p
+/// interaction terms give linear models a fair shot at work-per-process
+/// behaviour.
+class ScaleFeatureExpander {
+ public:
+  explicit ScaleFeatureExpander(std::size_t num_params);
+
+  [[nodiscard]] std::size_t width() const noexcept;
+  [[nodiscard]] std::vector<double> expand(std::span<const double> params,
+                                           double nprocs) const;
+
+  /// Expanded design of every (config, scale) pair in the problem, plus the
+  /// matching runtime vector.
+  struct Expanded {
+    Matrix x;
+    std::vector<double> y;
+  };
+  [[nodiscard]] Expanded expand_problem(
+      const ExtrapolationProblem& problem) const;
+
+ private:
+  std::size_t num_params_;
+};
+
+/// Random forest over expanded (params, scale) rows.
+class DirectForestModel final : public ExtrapolationModel {
+ public:
+  DirectForestModel() = default;
+  explicit DirectForestModel(ForestOptions opts) : forest_opts_(opts) {}
+
+  [[nodiscard]] std::string name() const override { return "direct-rf"; }
+  void fit(const ExtrapolationProblem& problem, Rng& rng) override;
+  using ExtrapolationModel::predict;
+  [[nodiscard]] std::vector<double> predict(
+      std::span<const double> params,
+      std::span<const double> measured_small_times) const override;
+
+ private:
+  ForestOptions forest_opts_{};
+  RandomForest forest_;
+  std::unique_ptr<ScaleFeatureExpander> expander_;
+  std::vector<std::size_t> target_scales_;
+};
+
+/// Linear family over expanded rows.
+class DirectLinearModel final : public ExtrapolationModel {
+ public:
+  enum class Kind { kOls, kRidge, kLasso };
+
+  explicit DirectLinearModel(Kind kind = Kind::kLasso) : kind_(kind) {}
+
+  [[nodiscard]] std::string name() const override;
+  void fit(const ExtrapolationProblem& problem, Rng& rng) override;
+  using ExtrapolationModel::predict;
+  [[nodiscard]] std::vector<double> predict(
+      std::span<const double> params,
+      std::span<const double> measured_small_times) const override;
+
+ private:
+  Kind kind_;
+  LinearModel model_;
+  std::unique_ptr<ScaleFeatureExpander> expander_;
+  std::vector<std::size_t> target_scales_;
+};
+
+/// Gradient-boosted trees over expanded rows — like the direct forest,
+/// a tree ensemble cannot predict outside its training-target range, so it
+/// shares the forest's extrapolation pathology.
+class DirectGbmModel final : public ExtrapolationModel {
+ public:
+  DirectGbmModel() = default;
+  explicit DirectGbmModel(GbmOptions opts) : gbm_opts_(opts) {}
+
+  [[nodiscard]] std::string name() const override { return "direct-gbm"; }
+  void fit(const ExtrapolationProblem& problem, Rng& rng) override;
+  using ExtrapolationModel::predict;
+  [[nodiscard]] std::vector<double> predict(
+      std::span<const double> params,
+      std::span<const double> measured_small_times) const override;
+
+ private:
+  GbmOptions gbm_opts_{};
+  GradientBoostedTrees gbm_;
+  std::unique_ptr<ScaleFeatureExpander> expander_;
+  std::vector<std::size_t> target_scales_;
+};
+
+/// k-nearest-neighbour regression in standardised (params, log2 p) space.
+class KnnModel final : public ExtrapolationModel {
+ public:
+  explicit KnnModel(std::size_t k = 5) : k_(k) {}
+
+  [[nodiscard]] std::string name() const override { return "knn"; }
+  void fit(const ExtrapolationProblem& problem, Rng& rng) override;
+  using ExtrapolationModel::predict;
+  [[nodiscard]] std::vector<double> predict(
+      std::span<const double> params,
+      std::span<const double> measured_small_times) const override;
+
+ private:
+  [[nodiscard]] std::vector<double> make_point(std::span<const double> params,
+                                               double nprocs) const;
+
+  std::size_t k_;
+  Matrix points_;  ///< standardised training points
+  std::vector<double> times_;
+  StandardScaler scaler_;
+  std::vector<std::size_t> target_scales_;
+};
+
+}  // namespace hpcp

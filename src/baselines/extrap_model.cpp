@@ -1,0 +1,147 @@
+#include "src/baselines/extrap_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.hpp"
+
+namespace hpcp {
+
+namespace {
+
+constexpr double kExponentsA[] = {-1.5,       -1.0, -2.0 / 3.0, -0.5,
+                                  -1.0 / 3.0, 1.0 / 3.0, 0.5,   1.0};
+constexpr int kExponentsB[] = {0, 1, 2};
+
+/// Least-squares fit of y ≈ c0 + c1·φ over paired samples.
+struct TwoTermFit {
+  double c0 = 0.0;
+  double c1 = 0.0;
+  bool ok = false;
+};
+
+/// Weighted (relative-error) least squares, weights 1/y²; this matches how
+/// Extra-P judges hypotheses (smallest relative residual).
+TwoTermFit fit_two_term(std::span<const double> phi,
+                        std::span<const double> y) {
+  double sw = 0.0, sp = 0.0, sy = 0.0, spp = 0.0, spy = 0.0;
+  for (std::size_t i = 0; i < phi.size(); ++i) {
+    const double w = 1.0 / std::max(y[i] * y[i], 1e-24);
+    sw += w;
+    sp += w * phi[i];
+    sy += w * y[i];
+    spp += w * phi[i] * phi[i];
+    spy += w * phi[i] * y[i];
+  }
+  const double det = sw * spp - sp * sp;
+  TwoTermFit fit;
+  if (std::abs(det) < 1e-12 * std::max(1.0, sw * spp)) return fit;
+  fit.c1 = (sw * spy - sp * sy) / det;
+  fit.c0 = (sy - fit.c1 * sp) / sw;
+  fit.ok = true;
+  return fit;
+}
+
+double term(double p, double a, int b) {
+  double v = std::pow(p, a);
+  if (b > 0) {
+    const double lg = std::log2(p);
+    for (int i = 0; i < b; ++i) v *= lg;
+  }
+  return v;
+}
+
+}  // namespace
+
+double HypothesisSearchModel::Hypothesis::eval(double p) const {
+  if (constant_only) return std::max(c0, 1e-9);
+  return std::max(c0 + c1 * term(p, exponent_a, exponent_b), 1e-9);
+}
+
+void HypothesisSearchModel::fit(const ExtrapolationProblem& problem,
+                                Rng& rng) {
+  problem.validate();
+  small_scales_ = problem.small_scales;
+  target_scales_ = problem.target_scales;
+  if (!opts_.use_measured_curve) {
+    interpolation_ = InterpolationLevel(opts_.forest);
+    interpolation_.fit(problem, rng);
+  }
+}
+
+HypothesisSearchModel::Hypothesis HypothesisSearchModel::search(
+    std::span<const double> curve) const {
+  HPCP_REQUIRE(curve.size() == small_scales_.size(),
+               "curve width must match small-scale count");
+  const std::size_t k = curve.size();
+  HPCP_REQUIRE(k >= 2, "hypothesis search needs at least two scales");
+
+  std::vector<double> pvals(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    pvals[i] = static_cast<double>(small_scales_[i]);
+  }
+
+  Hypothesis best;
+  best.constant_only = true;
+  double c0_sum = 0.0;
+  for (const double y : curve) c0_sum += y;
+  best.c0 = c0_sum / static_cast<double>(k);
+  // Constant hypothesis LLSO error.
+  double best_err;
+  {
+    double mean = 0.0;
+    for (std::size_t i = 0; i + 1 < k; ++i) mean += curve[i];
+    mean /= static_cast<double>(k - 1);
+    const double rel = (mean - curve[k - 1]) / curve[k - 1];
+    best_err = rel * rel;
+  }
+
+  std::vector<double> phi(k);
+  for (const double a : kExponentsA) {
+    for (const int b : kExponentsB) {
+      for (std::size_t i = 0; i < k; ++i) phi[i] = term(pvals[i], a, b);
+      // Leave-largest-scale-out validation.
+      const auto cv_fit = fit_two_term({phi.data(), k - 1},
+                                       {curve.data(), k - 1});
+      if (!cv_fit.ok) continue;
+      const double pred = cv_fit.c0 + cv_fit.c1 * phi[k - 1];
+      const double rel = (pred - curve[k - 1]) / curve[k - 1];
+      const double err = rel * rel;
+      if (err < best_err) {
+        const auto full_fit = fit_two_term(phi, curve);
+        if (!full_fit.ok) continue;
+        best_err = err;
+        best = Hypothesis{.exponent_a = a,
+                          .exponent_b = b,
+                          .c0 = full_fit.c0,
+                          .c1 = full_fit.c1,
+                          .constant_only = false};
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<double> HypothesisSearchModel::predict(
+    std::span<const double> params,
+    std::span<const double> measured_small_times) const {
+  HPCP_REQUIRE(!small_scales_.empty(), "predict before fit");
+  std::vector<double> curve;
+  if (opts_.use_measured_curve) {
+    HPCP_REQUIRE(!measured_small_times.empty(),
+                 "extra-p(measured) needs the configuration's measured "
+                 "small-scale runtimes");
+    curve.assign(measured_small_times.begin(), measured_small_times.end());
+  } else {
+    curve = interpolation_.predict_curve(params);
+  }
+  const Hypothesis hypothesis = search(curve);
+  std::vector<double> pred(target_scales_.size());
+  for (std::size_t t = 0; t < target_scales_.size(); ++t) {
+    pred[t] = hypothesis.eval(static_cast<double>(target_scales_[t]));
+  }
+  return pred;
+}
+
+}  // namespace hpcp

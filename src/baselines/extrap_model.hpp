@@ -1,0 +1,67 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/extrapolation_model.hpp"
+#include "src/core/interpolation_level.hpp"
+
+/// \file extrap_model.hpp
+/// Extra-P-style per-configuration hypothesis search — the classical
+/// analytical-modeling comparator. Each configuration's scaling curve is
+/// fitted independently against the performance-model normal form
+///   t(p) = c₀ + c₁ · pᵃ · log₂(p)ᵇ
+/// over a grid of exponents (a, b); the hypothesis with the smallest
+/// leave-largest-scale-out error wins and is extrapolated to the target
+/// scales. Unlike the paper's method there is no information sharing across
+/// configurations, so noisy curves pick wrong hypotheses.
+
+namespace hpcp {
+
+struct HypothesisSearchOptions {
+  /// true: fit the test configuration's *measured* small-scale curve
+  /// (requires measurements at prediction time); false: fit the curve
+  /// predicted by an internal interpolation level (pure history mode).
+  bool use_measured_curve = false;
+  ForestOptions forest{};
+};
+
+class HypothesisSearchModel final : public ExtrapolationModel {
+ public:
+  HypothesisSearchModel() = default;
+  explicit HypothesisSearchModel(HypothesisSearchOptions opts)
+      : opts_(opts) {}
+
+  [[nodiscard]] std::string name() const override {
+    return opts_.use_measured_curve ? "extra-p(measured)" : "extra-p(rf)";
+  }
+
+  void fit(const ExtrapolationProblem& problem, Rng& rng) override;
+
+  using ExtrapolationModel::predict;
+  [[nodiscard]] std::vector<double> predict(
+      std::span<const double> params,
+      std::span<const double> measured_small_times) const override;
+
+  /// One fitted hypothesis (exposed for tests and reporting).
+  struct Hypothesis {
+    double exponent_a = 0.0;
+    int exponent_b = 0;
+    double c0 = 0.0;
+    double c1 = 0.0;
+    bool constant_only = false;
+
+    [[nodiscard]] double eval(double p) const;
+  };
+
+  /// Hypothesis search on one curve (public for tests).
+  [[nodiscard]] Hypothesis search(std::span<const double> curve) const;
+
+ private:
+  HypothesisSearchOptions opts_{};
+  InterpolationLevel interpolation_;
+  std::vector<std::size_t> small_scales_;
+  std::vector<std::size_t> target_scales_;
+};
+
+}  // namespace hpcp

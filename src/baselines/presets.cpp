@@ -1,0 +1,62 @@
+#include "src/baselines/presets.hpp"
+
+#include "src/baselines/direct_models.hpp"
+#include "src/baselines/extrap_model.hpp"
+
+namespace hpcp {
+
+std::unique_ptr<TwoLevelModel> make_paper_model() {
+  TwoLevelOptions opts;
+  opts.display_name = "two-level";
+  return std::make_unique<TwoLevelModel>(opts);
+}
+
+std::unique_ptr<TwoLevelModel> make_two_level_no_cluster() {
+  TwoLevelOptions opts;
+  opts.extrapolation.num_clusters = 1;
+  opts.display_name = "two-level(k=1)";
+  return std::make_unique<TwoLevelModel>(opts);
+}
+
+std::unique_ptr<TwoLevelModel> make_two_level_single_task() {
+  TwoLevelOptions opts;
+  opts.extrapolation.multitask = false;
+  opts.display_name = "rf+single-lasso";
+  return std::make_unique<TwoLevelModel>(opts);
+}
+
+std::unique_ptr<TwoLevelModel> make_two_level_trained_on_truth() {
+  TwoLevelOptions opts;
+  opts.train_on_predictions = false;
+  opts.display_name = "two-level(truth-trained)";
+  return std::make_unique<TwoLevelModel>(opts);
+}
+
+std::unique_ptr<TwoLevelModel> make_two_level_measured_curve() {
+  TwoLevelOptions opts;
+  opts.prefer_measured_curve = true;
+  opts.display_name = "two-level(measured-curve)";
+  return std::make_unique<TwoLevelModel>(opts);
+}
+
+std::unique_ptr<TwoLevelModel> make_two_level_k(std::size_t num_clusters) {
+  TwoLevelOptions opts;
+  opts.extrapolation.num_clusters = num_clusters;
+  opts.display_name = "two-level(k=" + std::to_string(num_clusters) + ")";
+  return std::make_unique<TwoLevelModel>(opts);
+}
+
+std::vector<std::unique_ptr<ExtrapolationModel>> make_baseline_suite() {
+  std::vector<std::unique_ptr<ExtrapolationModel>> suite;
+  suite.push_back(std::make_unique<DirectForestModel>());
+  suite.push_back(std::make_unique<DirectGbmModel>());
+  suite.push_back(
+      std::make_unique<DirectLinearModel>(DirectLinearModel::Kind::kLasso));
+  suite.push_back(
+      std::make_unique<DirectLinearModel>(DirectLinearModel::Kind::kRidge));
+  suite.push_back(std::make_unique<KnnModel>());
+  suite.push_back(std::make_unique<HypothesisSearchModel>());
+  return suite;
+}
+
+}  // namespace hpcp

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/core/two_level_model.hpp"
+
+/// \file presets.hpp
+/// Named, pre-configured model instances used throughout the experiments,
+/// so every bench compares identically-configured competitors.
+
+namespace hpcp {
+
+/// The paper's model: RF interpolation + clustered multitask-lasso
+/// scalability models trained on interpolation predictions.
+[[nodiscard]] std::unique_ptr<TwoLevelModel> make_paper_model();
+
+/// Ablation: clustering disabled (one global multitask lasso).
+[[nodiscard]] std::unique_ptr<TwoLevelModel> make_two_level_no_cluster();
+
+/// Ablation: no multitask sharing — each curve fitted by an independent
+/// single-task lasso.
+[[nodiscard]] std::unique_ptr<TwoLevelModel> make_two_level_single_task();
+
+/// Ablation: extrapolation level trained on measured small-scale curves
+/// instead of interpolation predictions.
+[[nodiscard]] std::unique_ptr<TwoLevelModel> make_two_level_trained_on_truth();
+
+/// Oracle-ish variant: at prediction time, uses the configuration's
+/// measured small-scale curve when available (upper bound on level-2
+/// accuracy; isolates interpolation error).
+[[nodiscard]] std::unique_ptr<TwoLevelModel> make_two_level_measured_curve();
+
+/// Paper model with a fixed cluster count (for the cluster-count ablation).
+[[nodiscard]] std::unique_ptr<TwoLevelModel> make_two_level_k(
+    std::size_t num_clusters);
+
+/// The comparison suite the headline table uses: direct-rf, direct-gbm,
+/// direct-lasso, direct-ridge, knn, extra-p(rf).
+[[nodiscard]] std::vector<std::unique_ptr<ExtrapolationModel>>
+make_baseline_suite();
+
+}  // namespace hpcp

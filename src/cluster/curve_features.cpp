@@ -1,0 +1,32 @@
+#include "src/cluster/curve_features.hpp"
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace hpcp {
+
+std::vector<double> normalize_curve_shape(std::span<const double> curve) {
+  HPCP_REQUIRE(!curve.empty(), "cannot normalise an empty curve");
+  std::vector<double> out(curve.size());
+  double mean_log = 0.0;
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    HPCP_REQUIRE(curve[i] > 0.0, "curve values must be positive runtimes");
+    out[i] = std::log(curve[i]);
+    mean_log += out[i];
+  }
+  mean_log /= static_cast<double>(curve.size());
+  for (auto& v : out) v -= mean_log;
+  return out;
+}
+
+Matrix normalize_curve_shapes(const Matrix& curves) {
+  Matrix out(curves.rows(), curves.cols());
+  for (std::size_t r = 0; r < curves.rows(); ++r) {
+    const auto shape = normalize_curve_shape(curves.row(r));
+    out.set_row(r, shape);
+  }
+  return out;
+}
+
+}  // namespace hpcp

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/linear/matrix.hpp"
+
+/// \file curve_features.hpp
+/// Shape normalisation of scaling curves.
+///
+/// Two configurations of very different absolute runtime can still scale
+/// identically (both halving per doubling, say). The paper clusters
+/// configurations by scaling *behaviour*, so the clustering features must be
+/// magnitude-invariant: we map each curve (t_{p1}, …, t_{pk}) to its
+/// log-space shape with the mean removed, i.e.
+///   s_i = log t_{pi} − mean_j log t_{pj}.
+/// Dividing out the geometric mean makes curves that differ only by a
+/// constant factor identical while preserving relative speedups.
+
+namespace hpcp {
+
+/// Normalise one curve (all entries must be positive).
+[[nodiscard]] std::vector<double> normalize_curve_shape(
+    std::span<const double> curve);
+
+/// Normalise every row of a matrix of curves.
+[[nodiscard]] Matrix normalize_curve_shapes(const Matrix& curves);
+
+}  // namespace hpcp

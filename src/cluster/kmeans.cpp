@@ -1,0 +1,220 @@
+#include "src/cluster/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.hpp"
+
+namespace hpcp {
+
+namespace {
+
+double sq_distance(std::span<const double> a, std::span<const double> b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+Matrix kmeanspp_seed(const Matrix& points, std::size_t k, Rng& rng) {
+  const std::size_t n = points.rows();
+  Matrix centroids(k, points.cols());
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+
+  std::size_t first = static_cast<std::size_t>(rng.uniform_index(n));
+  centroids.set_row(0, points.row(first));
+  for (std::size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      dist[i] = std::min(dist[i], sq_distance(points.row(i),
+                                              centroids.row(c - 1)));
+      total += dist[i];
+    }
+    std::size_t chosen = 0;
+    if (total <= 0.0) {
+      // All remaining points coincide with existing centroids.
+      chosen = static_cast<std::size_t>(rng.uniform_index(n));
+    } else {
+      double target = rng.uniform() * total;
+      for (std::size_t i = 0; i < n; ++i) {
+        target -= dist[i];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    }
+    centroids.set_row(c, points.row(chosen));
+  }
+  return centroids;
+}
+
+KMeansResult lloyd(const Matrix& points, Matrix centroids,
+                   const KMeansOptions& opts) {
+  const std::size_t n = points.rows();
+  const std::size_t k = centroids.rows();
+  KMeansResult result;
+  result.labels.assign(n, 0);
+  double prev_inertia = std::numeric_limits<double>::infinity();
+
+  for (std::size_t it = 0; it < opts.max_iter; ++it) {
+    // Assignment step.
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = sq_distance(points.row(i), centroids.row(c));
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      result.labels[i] = best_c;
+      inertia += best;
+    }
+
+    // Update step.
+    Matrix sums(k, points.cols());
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto p = points.row(i);
+      auto s = sums.row(result.labels[i]);
+      for (std::size_t d = 0; d < p.size(); ++d) s[d] += p[d];
+      ++counts[result.labels[i]];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster from the worst-assigned point.
+        std::size_t farthest = 0;
+        double far_d = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d =
+              sq_distance(points.row(i), centroids.row(result.labels[i]));
+          if (d > far_d) {
+            far_d = d;
+            farthest = i;
+          }
+        }
+        centroids.set_row(c, points.row(farthest));
+        continue;
+      }
+      auto s = sums.row(c);
+      auto cent = centroids.row(c);
+      for (std::size_t d = 0; d < cent.size(); ++d) {
+        cent[d] = s[d] / static_cast<double>(counts[c]);
+      }
+    }
+
+    result.iterations = it + 1;
+    result.inertia = inertia;
+    if (prev_inertia - inertia <= opts.tol * std::max(1.0, prev_inertia)) {
+      break;
+    }
+    prev_inertia = inertia;
+  }
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+}  // namespace
+
+std::size_t KMeansResult::assign(std::span<const double> point) const {
+  HPCP_REQUIRE(point.size() == centroids.cols(), "dimension mismatch");
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_c = 0;
+  for (std::size_t c = 0; c < centroids.rows(); ++c) {
+    const double d = sq_distance(point, centroids.row(c));
+    if (d < best) {
+      best = d;
+      best_c = c;
+    }
+  }
+  return best_c;
+}
+
+std::vector<std::size_t> KMeansResult::cluster_sizes() const {
+  std::vector<std::size_t> sizes(k(), 0);
+  for (const std::size_t l : labels) ++sizes[l];
+  return sizes;
+}
+
+KMeansResult kmeans(const Matrix& points, const KMeansOptions& opts,
+                    Rng& rng) {
+  HPCP_REQUIRE(points.rows() > 0, "cannot cluster zero points");
+  HPCP_REQUIRE(opts.k >= 1, "k must be at least 1");
+  HPCP_REQUIRE(opts.k <= points.rows(), "k cannot exceed the point count");
+  HPCP_REQUIRE(opts.restarts >= 1, "need at least one restart");
+
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < opts.restarts; ++r) {
+    auto seeded = kmeanspp_seed(points, opts.k, rng);
+    auto result = lloyd(points, std::move(seeded), opts);
+    if (result.inertia < best.inertia) best = std::move(result);
+  }
+  return best;
+}
+
+double silhouette_score(const Matrix& points,
+                        std::span<const std::size_t> labels, std::size_t k) {
+  const std::size_t n = points.rows();
+  HPCP_REQUIRE(labels.size() == n, "one label per point required");
+  HPCP_REQUIRE(k >= 2 && k <= n, "silhouette needs 2 <= k <= n");
+
+  std::vector<std::size_t> sizes(k, 0);
+  for (const std::size_t l : labels) {
+    HPCP_REQUIRE(l < k, "label out of range");
+    ++sizes[l];
+  }
+
+  double total = 0.0;
+  std::vector<double> mean_dist(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::fill(mean_dist.begin(), mean_dist.end(), 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      mean_dist[labels[j]] +=
+          std::sqrt(sq_distance(points.row(i), points.row(j)));
+    }
+    const std::size_t own = labels[i];
+    double a = 0.0;
+    if (sizes[own] > 1) {
+      a = mean_dist[own] / static_cast<double>(sizes[own] - 1);
+    }
+    double b = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < k; ++c) {
+      if (c == own || sizes[c] == 0) continue;
+      b = std::min(b, mean_dist[c] / static_cast<double>(sizes[c]));
+    }
+    if (!std::isfinite(b)) continue;  // only one non-empty cluster
+    const double s =
+        sizes[own] > 1 ? (b - a) / std::max(a, b) : 0.0;
+    total += s;
+  }
+  return total / static_cast<double>(n);
+}
+
+std::size_t select_k_silhouette(const Matrix& points, std::size_t k_min,
+                                std::size_t k_max, Rng& rng,
+                                double min_silhouette) {
+  HPCP_REQUIRE(k_min >= 1 && k_min <= k_max, "invalid k range");
+  k_max = std::min(k_max, points.rows() > 0 ? points.rows() - 1 : std::size_t{1});
+  std::size_t best_k = k_min;
+  double best_score = -2.0;
+  for (std::size_t k = std::max<std::size_t>(2, k_min); k <= k_max; ++k) {
+    const auto result = kmeans(points, {.k = k}, rng);
+    const double score = silhouette_score(points, result.labels, k);
+    if (score > best_score) {
+      best_score = score;
+      best_k = k;
+    }
+  }
+  if (k_min == 1 && best_score < min_silhouette) return 1;
+  return best_k;
+}
+
+}  // namespace hpcp

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/linear/matrix.hpp"
+
+/// \file kmeans.hpp
+/// Lloyd's k-means with k-means++ seeding. The extrapolation level uses it
+/// to group configurations with similar scaling behaviour before fitting
+/// per-cluster multitask-lasso models.
+
+namespace hpcp {
+
+struct KMeansOptions {
+  std::size_t k = 2;
+  std::size_t max_iter = 300;
+  std::size_t restarts = 4;  ///< keep the best of several seedings
+  double tol = 1e-9;         ///< stop when inertia improvement is below tol
+};
+
+struct KMeansResult {
+  Matrix centroids;                 ///< k × d
+  std::vector<std::size_t> labels;  ///< cluster per input row
+  double inertia = 0.0;             ///< total within-cluster squared distance
+  std::size_t iterations = 0;
+
+  [[nodiscard]] std::size_t k() const noexcept { return centroids.rows(); }
+
+  /// Index of the centroid nearest to `point` (Euclidean).
+  [[nodiscard]] std::size_t assign(std::span<const double> point) const;
+
+  /// Number of points in each cluster.
+  [[nodiscard]] std::vector<std::size_t> cluster_sizes() const;
+};
+
+/// Run k-means on the rows of `points`. Requires k >= 1 and k <= rows.
+/// Empty clusters are re-seeded from the point farthest from its centroid.
+[[nodiscard]] KMeansResult kmeans(const Matrix& points,
+                                  const KMeansOptions& opts, Rng& rng);
+
+/// Mean silhouette coefficient in [-1, 1]; requires 2 <= k < rows and at
+/// least 2 points. Larger is better-separated.
+[[nodiscard]] double silhouette_score(const Matrix& points,
+                                      std::span<const std::size_t> labels,
+                                      std::size_t k);
+
+/// Picks k in [k_min, k_max] by maximum silhouette (k=1 is returned only if
+/// k_min == 1 and every candidate k scores below `min_silhouette`).
+[[nodiscard]] std::size_t select_k_silhouette(const Matrix& points,
+                                              std::size_t k_min,
+                                              std::size_t k_max, Rng& rng,
+                                              double min_silhouette = 0.2);
+
+}  // namespace hpcp

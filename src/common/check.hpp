@@ -1,0 +1,39 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+/// \file check.hpp
+/// Precondition / invariant checking helpers.
+///
+/// Library entry points validate their arguments with HPCP_REQUIRE (throws
+/// std::invalid_argument) and internal invariants with HPCP_ASSERT (throws
+/// std::logic_error). Both are always on: the library is used for offline
+/// modeling, not inner loops, so the cost is negligible and silent
+/// corruption of a performance model is far worse than an exception.
+
+namespace hpcp {
+
+[[noreturn]] inline void throw_invalid_argument(const std::string& expr,
+                                                const std::string& msg) {
+  throw std::invalid_argument("hpcpredict: requirement failed: " + expr +
+                              (msg.empty() ? "" : " — " + msg));
+}
+
+[[noreturn]] inline void throw_logic_error(const std::string& expr,
+                                           const std::string& msg) {
+  throw std::logic_error("hpcpredict: internal invariant failed: " + expr +
+                         (msg.empty() ? "" : " — " + msg));
+}
+
+}  // namespace hpcp
+
+#define HPCP_REQUIRE(cond, msg)                           \
+  do {                                                    \
+    if (!(cond)) ::hpcp::throw_invalid_argument(#cond, msg); \
+  } while (false)
+
+#define HPCP_ASSERT(cond, msg)                        \
+  do {                                                \
+    if (!(cond)) ::hpcp::throw_logic_error(#cond, msg); \
+  } while (false)

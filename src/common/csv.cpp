@@ -1,0 +1,103 @@
+#include "src/common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/check.hpp"
+
+namespace hpcp {
+
+std::vector<std::string> csv_split_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c != '\r') {
+      field += c;
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string csv_join(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out += ',';
+    out += csv_escape(fields[i]);
+  }
+  return out;
+}
+
+std::size_t CsvTable::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw std::invalid_argument("CsvTable: no column named '" + name + "'");
+}
+
+CsvTable csv_read(std::istream& in) {
+  CsvTable table;
+  std::string line;
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line == "\r") continue;
+    auto fields = csv_split_line(line);
+    if (!have_header) {
+      table.header = std::move(fields);
+      have_header = true;
+    } else {
+      HPCP_REQUIRE(fields.size() == table.header.size(),
+                   "CSV row width differs from header");
+      table.rows.push_back(std::move(fields));
+    }
+  }
+  return table;
+}
+
+CsvTable csv_read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open CSV file: " + path);
+  return csv_read(in);
+}
+
+void csv_write(std::ostream& out, const CsvTable& table) {
+  out << csv_join(table.header) << '\n';
+  for (const auto& row : table.rows) out << csv_join(row) << '\n';
+}
+
+void csv_write_file(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write CSV file: " + path);
+  csv_write(out, table);
+}
+
+}  // namespace hpcp

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file csv.hpp
+/// Minimal CSV reading/writing for history persistence and bench output.
+/// Supports quoted fields with embedded commas and doubled quotes.
+
+namespace hpcp {
+
+/// Split one CSV line into fields.
+[[nodiscard]] std::vector<std::string> csv_split_line(const std::string& line);
+
+/// Quote a field if it contains a comma, quote, or newline.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+/// Join fields into one CSV line (no trailing newline).
+[[nodiscard]] std::string csv_join(const std::vector<std::string>& fields);
+
+/// A fully materialised CSV table: a header row plus data rows.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column; throws std::invalid_argument if absent.
+  [[nodiscard]] std::size_t column(const std::string& name) const;
+};
+
+/// Parse a whole stream. First line is the header. Blank lines are skipped.
+[[nodiscard]] CsvTable csv_read(std::istream& in);
+
+/// Read a file; throws std::runtime_error if it cannot be opened.
+[[nodiscard]] CsvTable csv_read_file(const std::string& path);
+
+/// Write a table (header + rows) to a stream.
+void csv_write(std::ostream& out, const CsvTable& table);
+
+/// Write a table to a file; throws std::runtime_error on failure.
+void csv_write_file(const std::string& path, const CsvTable& table);
+
+}  // namespace hpcp

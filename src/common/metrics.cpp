@@ -1,0 +1,82 @@
+#include "src/common/metrics.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/check.hpp"
+#include "src/common/stats.hpp"
+
+namespace hpcp {
+
+namespace {
+void require_paired(std::span<const double> truth,
+                    std::span<const double> pred) {
+  HPCP_REQUIRE(truth.size() == pred.size(),
+               "truth and prediction must have equal length");
+  HPCP_REQUIRE(!truth.empty(), "error metric of empty range");
+}
+
+std::vector<double> abs_percentage_errors(std::span<const double> truth,
+                                          std::span<const double> pred) {
+  require_paired(truth, pred);
+  std::vector<double> ape(truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    HPCP_REQUIRE(truth[i] != 0.0, "percentage error undefined for zero truth");
+    ape[i] = 100.0 * std::abs(pred[i] - truth[i]) / std::abs(truth[i]);
+  }
+  return ape;
+}
+}  // namespace
+
+double mape(std::span<const double> truth, std::span<const double> pred) {
+  const auto ape = abs_percentage_errors(truth, pred);
+  return mean(ape);
+}
+
+double mdape(std::span<const double> truth, std::span<const double> pred) {
+  const auto ape = abs_percentage_errors(truth, pred);
+  return median(ape);
+}
+
+double mpe(std::span<const double> truth, std::span<const double> pred) {
+  require_paired(truth, pred);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    HPCP_REQUIRE(truth[i] != 0.0, "percentage error undefined for zero truth");
+    acc += 100.0 * (pred[i] - truth[i]) / truth[i];
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+double rmse(std::span<const double> truth, std::span<const double> pred) {
+  require_paired(truth, pred);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = pred[i] - truth[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(truth.size()));
+}
+
+double mae(std::span<const double> truth, std::span<const double> pred) {
+  require_paired(truth, pred);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    acc += std::abs(pred[i] - truth[i]);
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+double r_squared(std::span<const double> truth, std::span<const double> pred) {
+  require_paired(truth, pred);
+  const double m = mean(truth);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+    ss_tot += (truth[i] - m) * (truth[i] - m);
+  }
+  HPCP_REQUIRE(ss_tot > 0.0, "R² undefined for constant truth");
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace hpcp

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <span>
+
+/// \file metrics.hpp
+/// Regression-error metrics used throughout the evaluation.
+///
+/// Performance-modeling papers (including the one reproduced here) report
+/// relative errors, because runtimes span orders of magnitude across
+/// configurations and scales. The primary metric is MAPE.
+
+namespace hpcp {
+
+/// Mean absolute percentage error, in percent:
+/// 100/n * Σ |pred_i - truth_i| / |truth_i|. Requires truth_i != 0.
+[[nodiscard]] double mape(std::span<const double> truth,
+                          std::span<const double> pred);
+
+/// Median absolute percentage error, in percent (robust to outliers).
+[[nodiscard]] double mdape(std::span<const double> truth,
+                           std::span<const double> pred);
+
+/// Mean (signed) percentage error, in percent — reveals systematic bias.
+[[nodiscard]] double mpe(std::span<const double> truth,
+                         std::span<const double> pred);
+
+/// Root mean squared error.
+[[nodiscard]] double rmse(std::span<const double> truth,
+                          std::span<const double> pred);
+
+/// Mean absolute error.
+[[nodiscard]] double mae(std::span<const double> truth,
+                         std::span<const double> pred);
+
+/// Coefficient of determination R². 1 is perfect; can be negative.
+/// Requires non-constant truth.
+[[nodiscard]] double r_squared(std::span<const double> truth,
+                               std::span<const double> pred);
+
+}  // namespace hpcp

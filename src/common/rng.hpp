@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation.
+///
+/// All stochastic components of the library (bootstrap sampling, k-means++
+/// seeding, platform noise, samplers) draw from hpcp::Rng so that every
+/// experiment is reproducible from a single seed. The generator is
+/// xoshiro256** seeded through splitmix64, which has good statistical
+/// quality, a tiny state, and is trivially forkable for parallel work.
+
+namespace hpcp {
+
+/// splitmix64 step — used for seeding and for cheap stateless hashing.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** generator with convenience distributions.
+///
+/// Not thread-safe; fork() independent child streams for parallel regions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Next raw 64-bit value.
+  [[nodiscard]] std::uint64_t next() noexcept;
+
+  // UniformRandomBitGenerator interface so std::shuffle etc. also work.
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+  result_type operator()() noexcept { return next(); }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Standard normal via Box–Muller (cached spare).
+  [[nodiscard]] double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+
+  /// Log-normal such that the *median* of the distribution is `median` and
+  /// the underlying normal has standard deviation `sigma` (in log space).
+  [[nodiscard]] double lognormal_median(double median, double sigma) noexcept;
+
+  /// An independent child generator; deterministic given this Rng's state.
+  [[nodiscard]] Rng fork() noexcept;
+
+  /// Fisher–Yates shuffle of `v`.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// k indices sampled without replacement from [0, n). Requires k <= n.
+  [[nodiscard]] std::vector<std::size_t> sample_without_replacement(
+      std::size_t n, std::size_t k);
+
+  /// n indices sampled *with* replacement from [0, n) — a bootstrap sample.
+  [[nodiscard]] std::vector<std::size_t> bootstrap_indices(std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace hpcp

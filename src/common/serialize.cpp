@@ -1,0 +1,108 @@
+#include "src/common/serialize.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hpcp {
+
+void Serializer::tag(const std::string& name) { out_ << '@' << name << '\n'; }
+
+void Serializer::write(double v) {
+  out_ << std::hexfloat << v << std::defaultfloat << '\n';
+}
+
+void Serializer::write(std::size_t v) { out_ << v << '\n'; }
+
+void Serializer::write(std::int64_t v) { out_ << v << '\n'; }
+
+void Serializer::write(bool v) { out_ << (v ? 1 : 0) << '\n'; }
+
+void Serializer::write(const std::string& s) {
+  out_ << s.size() << ' ';
+  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+  out_ << '\n';
+}
+
+void Serializer::write(const std::vector<double>& v) {
+  write(v.size());
+  for (const double x : v) write(x);
+}
+
+void Serializer::write(const std::vector<std::size_t>& v) {
+  write(v.size());
+  for (const std::size_t x : v) write(x);
+}
+
+void Serializer::write(const std::vector<std::string>& v) {
+  write(v.size());
+  for (const auto& s : v) write(s);
+}
+
+std::string Deserializer::next_token() {
+  std::string token;
+  if (!(in_ >> token)) {
+    throw std::runtime_error("model archive truncated");
+  }
+  return token;
+}
+
+void Deserializer::expect_tag(const std::string& name) {
+  const std::string token = next_token();
+  if (token != "@" + name) {
+    throw std::runtime_error("model archive corrupt: expected tag '@" + name +
+                             "', found '" + token + "'");
+  }
+}
+
+double Deserializer::read_double() {
+  // std::hexfloat parsing via strtod handles the written format exactly.
+  const std::string token = next_token();
+  return std::strtod(token.c_str(), nullptr);
+}
+
+std::size_t Deserializer::read_size() {
+  const std::string token = next_token();
+  return std::stoull(token);
+}
+
+std::int64_t Deserializer::read_int() {
+  const std::string token = next_token();
+  return std::stoll(token);
+}
+
+bool Deserializer::read_bool() { return read_size() != 0; }
+
+std::string Deserializer::read_string() {
+  const std::size_t len = read_size();
+  // Skip the single separator space, then read exactly len bytes.
+  in_.get();
+  std::string s(len, '\0');
+  in_.read(s.data(), static_cast<std::streamsize>(len));
+  if (static_cast<std::size_t>(in_.gcount()) != len) {
+    throw std::runtime_error("model archive truncated inside string");
+  }
+  return s;
+}
+
+std::vector<double> Deserializer::read_doubles() {
+  std::vector<double> v(read_size());
+  for (auto& x : v) x = read_double();
+  return v;
+}
+
+std::vector<std::size_t> Deserializer::read_sizes() {
+  std::vector<std::size_t> v(read_size());
+  for (auto& x : v) x = read_size();
+  return v;
+}
+
+std::vector<std::string> Deserializer::read_strings() {
+  std::vector<std::string> v(read_size());
+  for (auto& s : v) s = read_string();
+  return v;
+}
+
+}  // namespace hpcp

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file serialize.hpp
+/// Minimal tagged text serialization for trained models.
+///
+/// Format: whitespace-separated tokens. Every object writes a tag before
+/// its payload and the reader verifies it, so version or structure
+/// mismatches fail loudly instead of mis-parsing. Doubles are written as
+/// hexfloats (exact round trip); strings are length-prefixed (may contain
+/// any byte except the record separator conventions don't matter — the
+/// length governs).
+
+namespace hpcp {
+
+class Serializer {
+ public:
+  explicit Serializer(std::ostream& out) : out_(out) {}
+
+  void tag(const std::string& name);
+  void write(double v);
+  void write(std::size_t v);
+  void write(std::int64_t v);
+  void write(bool v);
+  void write(const std::string& s);
+  void write(const std::vector<double>& v);
+  void write(const std::vector<std::size_t>& v);
+  void write(const std::vector<std::string>& v);
+
+ private:
+  std::ostream& out_;
+};
+
+class Deserializer {
+ public:
+  explicit Deserializer(std::istream& in) : in_(in) {}
+
+  /// Throws std::runtime_error if the next tag differs.
+  void expect_tag(const std::string& name);
+  [[nodiscard]] double read_double();
+  [[nodiscard]] std::size_t read_size();
+  [[nodiscard]] std::int64_t read_int();
+  [[nodiscard]] bool read_bool();
+  [[nodiscard]] std::string read_string();
+  [[nodiscard]] std::vector<double> read_doubles();
+  [[nodiscard]] std::vector<std::size_t> read_sizes();
+  [[nodiscard]] std::vector<std::string> read_strings();
+
+ private:
+  [[nodiscard]] std::string next_token();
+  std::istream& in_;
+};
+
+}  // namespace hpcp

@@ -1,0 +1,110 @@
+#include "src/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/check.hpp"
+
+namespace hpcp {
+
+double mean(std::span<const double> xs) {
+  HPCP_REQUIRE(!xs.empty(), "mean of empty range");
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  HPCP_REQUIRE(xs.size() >= 2, "sample variance needs at least 2 values");
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (const double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double population_variance(std::span<const double> xs) {
+  HPCP_REQUIRE(!xs.empty(), "variance of empty range");
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (const double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size());
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double quantile(std::span<const double> xs, double q) {
+  HPCP_REQUIRE(!xs.empty(), "quantile of empty range");
+  HPCP_REQUIRE(q >= 0.0 && q <= 1.0, "quantile order must be in [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double min_value(std::span<const double> xs) {
+  HPCP_REQUIRE(!xs.empty(), "min of empty range");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  HPCP_REQUIRE(!xs.empty(), "max of empty range");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  HPCP_REQUIRE(xs.size() == ys.size(), "pearson needs equal-length inputs");
+  HPCP_REQUIRE(xs.size() >= 2, "pearson needs at least 2 points");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  HPCP_REQUIRE(sxx > 0.0 && syy > 0.0, "pearson of a constant sequence");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+void RunningStats::push(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace hpcp

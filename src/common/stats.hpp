@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+/// \file stats.hpp
+/// Descriptive statistics over contiguous double sequences.
+
+namespace hpcp {
+
+/// Arithmetic mean. Requires non-empty input.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (n-1 denominator). Requires size >= 2.
+[[nodiscard]] double variance(std::span<const double> xs);
+
+/// Square root of variance(). Requires size >= 2.
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Population variance (n denominator). Requires non-empty input.
+[[nodiscard]] double population_variance(std::span<const double> xs);
+
+/// Median (average of the two middle elements for even sizes).
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Linear-interpolation quantile, q in [0, 1]. Requires non-empty input.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Smallest / largest element. Require non-empty input.
+[[nodiscard]] double min_value(std::span<const double> xs);
+[[nodiscard]] double max_value(std::span<const double> xs);
+
+/// Pearson correlation coefficient. Requires equal sizes >= 2 and
+/// non-constant inputs.
+[[nodiscard]] double pearson(std::span<const double> xs,
+                             std::span<const double> ys);
+
+/// Streaming mean/variance accumulator (Welford). Numerically stable and
+/// mergeable, so it can be used from parallel reductions.
+class RunningStats {
+ public:
+  void push(double x) noexcept;
+
+  /// Merge another accumulator into this one (parallel reduction step).
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace hpcp

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file table.hpp
+/// Aligned ASCII table rendering for the experiment binaries. Every bench
+/// prints its paper table/figure as one of these, so outputs are uniform
+/// and diffable.
+
+namespace hpcp {
+
+class TextTable {
+ public:
+  /// A table with the given column headers.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision; NaN prints "-".
+  void add_row_numeric(const std::string& label,
+                       const std::vector<double>& values, int precision = 2);
+
+  /// Render with a rule under the header, columns padded to fit.
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision; NaN renders as "-".
+[[nodiscard]] std::string format_double(double v, int precision = 2);
+
+/// Prints "== <title> ==" banners uniformly across benches.
+void print_section(std::ostream& out, const std::string& title);
+
+}  // namespace hpcp

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.hpp
+/// A small work-stealing-free fixed thread pool plus a blocked parallel_for.
+///
+/// Used for embarrassingly parallel training work (random-forest trees,
+/// cross-validation folds, parameter sweeps). Determinism note: callers that
+/// need reproducible randomness must pre-fork one Rng per work item *before*
+/// submitting, never share an Rng across items.
+
+namespace hpcp {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; the future reports its result (or exception).
+  template <typename F>
+  [[nodiscard]] std::future<std::invoke_result_t<F>> submit(F&& f) {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      const std::lock_guard lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool, lazily constructed, sized to the hardware.
+[[nodiscard]] ThreadPool& global_thread_pool();
+
+/// Runs body(i) for i in [0, n) across the pool, blocking until all items
+/// finish. Exceptions from any item are rethrown (the first one observed).
+/// Falls back to a serial loop for n <= 1 or a single-worker pool.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  ThreadPool* pool = nullptr);
+
+}  // namespace hpcp

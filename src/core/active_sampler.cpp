@@ -1,0 +1,99 @@
+#include "src/core/active_sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "src/common/check.hpp"
+#include "src/linear/scaler.hpp"
+
+namespace hpcp {
+
+std::vector<double> ActiveSampler::scores(const ExtrapolationProblem& current,
+                                          const Matrix& candidates,
+                                          Rng& rng) const {
+  HPCP_REQUIRE(candidates.cols() == current.num_params(),
+               "candidate width must match the problem's parameters");
+  InterpolationLevel level(opts_.forest, opts_.log_target);
+  level.fit(current, rng);
+
+  std::vector<double> out(candidates.rows());
+  for (std::size_t i = 0; i < candidates.rows(); ++i) {
+    const auto stats = level.predict_curve_stats(candidates.row(i));
+    double acc = 0.0;
+    for (const double s : stats.log_spread) acc += s;
+    out[i] = acc / static_cast<double>(stats.log_spread.size());
+  }
+  return out;
+}
+
+std::vector<std::size_t> ActiveSampler::select(
+    const ExtrapolationProblem& current, const Matrix& candidates,
+    std::size_t count, Rng& rng) const {
+  HPCP_REQUIRE(count <= candidates.rows(),
+               "cannot select more candidates than offered");
+  const auto score = scores(current, candidates, rng);
+  if (count == 0) return {};
+
+  // Standardise parameters over history + candidates so distances are
+  // comparable across dimensions.
+  const std::size_t nh = current.num_configs();
+  const std::size_t nc = candidates.rows();
+  Matrix all(nh + nc, current.num_params());
+  for (std::size_t i = 0; i < nh; ++i) {
+    all.set_row(i, current.train_configs.row(i));
+  }
+  for (std::size_t i = 0; i < nc; ++i) {
+    all.set_row(nh + i, candidates.row(i));
+  }
+  const auto scaler = StandardScaler::fit(all);
+  const Matrix std_all = scaler.transform(all);
+
+  const auto sq_dist = [&](std::size_t a, std::size_t b) {
+    double acc = 0.0;
+    const auto ra = std_all.row(a);
+    const auto rb = std_all.row(b);
+    for (std::size_t c = 0; c < ra.size(); ++c) {
+      const double d = ra[c] - rb[c];
+      acc += d * d;
+    }
+    return acc;
+  };
+
+  // min squared distance of each candidate to anything already run.
+  std::vector<double> min_dist(nc, std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < nc; ++i) {
+    for (std::size_t h = 0; h < nh; ++h) {
+      min_dist[i] = std::min(min_dist[i], sq_dist(nh + i, h));
+    }
+  }
+
+  std::vector<std::size_t> chosen;
+  std::vector<bool> used(nc, false);
+  chosen.reserve(count);
+  while (chosen.size() < count) {
+    double best_value = -1.0;
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < nc; ++i) {
+      if (used[i]) continue;
+      const double value =
+          (score[i] + 1e-12) *
+          std::pow(std::sqrt(min_dist[i]) + 1e-12, opts_.diversity_weight);
+      if (value > best_value) {
+        best_value = value;
+        best = i;
+      }
+    }
+    used[best] = true;
+    chosen.push_back(best);
+    for (std::size_t i = 0; i < nc; ++i) {
+      if (!used[i]) {
+        min_dist[i] = std::min(min_dist[i], sq_dist(nh + i, nh + best));
+      }
+    }
+  }
+  return chosen;
+}
+
+}  // namespace hpcp

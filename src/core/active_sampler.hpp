@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+#include "src/core/interpolation_level.hpp"
+#include "src/core/problem.hpp"
+
+/// \file active_sampler.hpp
+/// Active history growth (future-work extension): which configurations
+/// should the site benchmark next?
+///
+/// Small-scale runs are cheap but not free; a fixed benchmarking budget
+/// should go where the model is most unsure. The sampler fits the
+/// interpolation level on the current history and ranks candidate
+/// configurations by the forests' ensemble disagreement on their predicted
+/// curves — the standard query-by-committee criterion, for free from the
+/// bagged ensemble.
+
+namespace hpcp {
+
+struct ActiveSamplerOptions {
+  ForestOptions forest{};
+  bool log_target = true;
+  /// Exponent on the diversity term in select(): candidates are chosen
+  /// greedily by uncertainty × (distance to everything already run)^w.
+  /// Pure uncertainty (w = 0) herds into the corners of the space where
+  /// ensemble disagreement peaks; the distance factor keeps a batch
+  /// spread out. 1.0 is a good default.
+  double diversity_weight = 1.0;
+};
+
+class ActiveSampler {
+ public:
+  ActiveSampler() = default;
+  explicit ActiveSampler(ActiveSamplerOptions opts) : opts_(opts) {}
+
+  /// Uncertainty score per candidate row (mean log-space ensemble spread
+  /// across the small scales; higher = more informative to run).
+  [[nodiscard]] std::vector<double> scores(
+      const ExtrapolationProblem& current, const Matrix& candidates,
+      Rng& rng) const;
+
+  /// Indices of `count` candidates chosen greedily by uncertainty ×
+  /// diversity (distance in standardised parameter space to the current
+  /// history and to already-chosen candidates), in selection order.
+  [[nodiscard]] std::vector<std::size_t> select(
+      const ExtrapolationProblem& current, const Matrix& candidates,
+      std::size_t count, Rng& rng) const;
+
+ private:
+  ActiveSamplerOptions opts_{};
+};
+
+}  // namespace hpcp

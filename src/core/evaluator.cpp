@@ -1,0 +1,68 @@
+#include "src/core/evaluator.hpp"
+
+#include "src/common/check.hpp"
+#include "src/common/metrics.hpp"
+
+namespace hpcp {
+
+const ModelErrors& EvaluationReport::find(const std::string& model) const {
+  for (const auto& m : models) {
+    if (m.model == model) return m;
+  }
+  throw std::invalid_argument("no model named '" + model + "' in report");
+}
+
+Matrix predict_matrix(const ExtrapolationModel& model, const TestSet& test) {
+  HPCP_REQUIRE(test.size() > 0, "empty test set");
+  Matrix pred(test.size(), test.target_times.cols());
+  for (std::size_t r = 0; r < test.size(); ++r) {
+    const std::span<const double> small =
+        test.has_small_times() ? test.small_times.row(r)
+                               : std::span<const double>{};
+    const auto p = model.predict(test.configs.row(r), small);
+    HPCP_REQUIRE(p.size() == pred.cols(),
+                 "model returned wrong number of target scales");
+    pred.set_row(r, p);
+  }
+  return pred;
+}
+
+ModelErrors score_model(const ExtrapolationModel& model, const TestSet& test) {
+  const Matrix pred = predict_matrix(model, test);
+  const std::size_t m = pred.cols();
+  ModelErrors errors;
+  errors.model = model.name();
+  errors.mape.resize(m);
+  errors.mdape.resize(m);
+  errors.rmse.resize(m);
+  std::vector<double> all_truth, all_pred;
+  for (std::size_t t = 0; t < m; ++t) {
+    const auto truth = test.target_times.column(t);
+    const auto p = pred.column(t);
+    errors.mape[t] = mape(truth, p);
+    errors.mdape[t] = mdape(truth, p);
+    errors.rmse[t] = rmse(truth, p);
+    all_truth.insert(all_truth.end(), truth.begin(), truth.end());
+    all_pred.insert(all_pred.end(), p.begin(), p.end());
+  }
+  errors.overall_mape = mape(all_truth, all_pred);
+  errors.overall_mpe = mpe(all_truth, all_pred);
+  return errors;
+}
+
+EvaluationReport evaluate_models(const std::vector<ExtrapolationModel*>& models,
+                                 const ExtrapolationProblem& problem,
+                                 const TestSet& test, Rng& rng) {
+  HPCP_REQUIRE(!models.empty(), "no models to evaluate");
+  EvaluationReport report;
+  report.target_scales = problem.target_scales;
+  for (ExtrapolationModel* model : models) {
+    HPCP_REQUIRE(model != nullptr, "null model");
+    Rng fit_rng = rng.fork();
+    model->fit(problem, fit_rng);
+    report.models.push_back(score_model(*model, test));
+  }
+  return report;
+}
+
+}  // namespace hpcp

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/extrapolation_model.hpp"
+#include "src/linear/matrix.hpp"
+
+/// \file evaluator.hpp
+/// Shared evaluation harness: fits a set of extrapolation models on one
+/// problem and scores them per target scale on a held-out test set. Every
+/// experiment binary goes through this, so all reported numbers are
+/// computed identically.
+
+namespace hpcp {
+
+/// Held-out configurations with ground-truth runtimes.
+struct TestSet {
+  Matrix configs;       ///< n × d
+  /// n × |small_scales| measured small-scale runtimes; may be 0 × 0 when
+  /// the experiment forbids running test configurations at any scale.
+  Matrix small_times;
+  Matrix target_times;  ///< n × |target_scales| ground truth
+
+  [[nodiscard]] std::size_t size() const noexcept { return configs.rows(); }
+  [[nodiscard]] bool has_small_times() const noexcept {
+    return small_times.rows() == configs.rows() && small_times.cols() > 0;
+  }
+};
+
+/// One model's errors, per target scale and pooled.
+struct ModelErrors {
+  std::string model;
+  std::vector<double> mape;   ///< per target scale, percent
+  std::vector<double> mdape;  ///< per target scale, percent
+  std::vector<double> rmse;   ///< per target scale, seconds
+  double overall_mape = 0.0;  ///< pooled over all target scales
+  double overall_mpe = 0.0;   ///< pooled signed bias, percent
+};
+
+struct EvaluationReport {
+  std::vector<std::size_t> target_scales;
+  std::vector<ModelErrors> models;
+
+  /// Errors of a named model; throws std::invalid_argument if absent.
+  [[nodiscard]] const ModelErrors& find(const std::string& model) const;
+};
+
+/// Predictions of a fitted model over a test set (rows × target scales).
+/// Passes the test configurations' measured small-scale runtimes through
+/// when available.
+[[nodiscard]] Matrix predict_matrix(const ExtrapolationModel& model,
+                                    const TestSet& test);
+
+/// Scores an already-fitted model.
+[[nodiscard]] ModelErrors score_model(const ExtrapolationModel& model,
+                                      const TestSet& test);
+
+/// Fits every model on `problem` (each with a forked Rng) and scores it on
+/// `test`.
+[[nodiscard]] EvaluationReport evaluate_models(
+    const std::vector<ExtrapolationModel*>& models,
+    const ExtrapolationProblem& problem, const TestSet& test, Rng& rng);
+
+}  // namespace hpcp

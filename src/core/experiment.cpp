@@ -1,0 +1,66 @@
+#include "src/core/experiment.hpp"
+
+#include "src/apps/registry.hpp"
+#include "src/common/check.hpp"
+
+namespace hpcp {
+
+Experiment make_experiment(const ExperimentConfig& config) {
+  return make_experiment(config, reference_machine());
+}
+
+Experiment make_experiment(const ExperimentConfig& config,
+                           const MachineModel& machine) {
+  HPCP_REQUIRE(config.num_train >= 3, "too few training configurations");
+  HPCP_REQUIRE(config.num_test >= 1, "need at least one test configuration");
+  HPCP_REQUIRE(!config.small_scales.empty() && !config.target_scales.empty(),
+               "need small and target scales");
+
+  Experiment exp;
+  exp.config = config;
+  exp.app = make_application(config.app_name);
+  exp.simulator = PlatformSimulator(machine, config.seed ^ 0x9e3779b9);
+
+  Rng rng(config.seed);
+  const auto& space = exp.app->parameter_space();
+  const std::size_t total = config.num_train + config.num_test;
+  auto configs = space.sample_lhs(total, rng);
+  rng.shuffle(configs);
+
+  const std::vector<std::vector<double>> train_configs(
+      configs.begin(),
+      configs.begin() + static_cast<std::ptrdiff_t>(config.num_train));
+  const std::vector<std::vector<double>> test_configs(
+      configs.end() - static_cast<std::ptrdiff_t>(config.num_test),
+      configs.end());
+
+  // Training history: small scales only — nothing in training has ever run
+  // at a target scale.
+  exp.history = generate_history(exp.simulator, *exp.app, train_configs,
+                                 config.small_scales, config.runs_per_point,
+                                 /*first_run_id=*/0);
+  exp.problem =
+      make_problem(exp.history, config.small_scales, config.target_scales);
+
+  // Held-out test measurements (disjoint run-id range -> independent noise).
+  exp.test.configs = Matrix(test_configs.size(), space.dimension());
+  exp.test.small_times =
+      Matrix(test_configs.size(), config.small_scales.size());
+  exp.test.target_times =
+      Matrix(test_configs.size(), config.target_scales.size());
+  std::uint64_t run_id = 2'000'000;
+  for (std::size_t i = 0; i < test_configs.size(); ++i) {
+    exp.test.configs.set_row(i, test_configs[i]);
+    for (std::size_t s = 0; s < config.small_scales.size(); ++s) {
+      exp.test.small_times(i, s) = exp.simulator.measure(
+          *exp.app, test_configs[i], config.small_scales[s], run_id++);
+    }
+    for (std::size_t s = 0; s < config.target_scales.size(); ++s) {
+      exp.test.target_times(i, s) = exp.simulator.measure(
+          *exp.app, test_configs[i], config.target_scales[s], run_id++);
+    }
+  }
+  return exp;
+}
+
+}  // namespace hpcp

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/evaluator.hpp"
+#include "src/core/problem.hpp"
+#include "src/platform/simulator.hpp"
+
+/// \file experiment.hpp
+/// End-to-end experiment assembly: sample an application's parameter space,
+/// generate the small-scale execution history on the simulated platform,
+/// and carve out the extrapolation problem plus a held-out test set with
+/// target-scale ground truth. Every bench and example builds its scenario
+/// through this, so experiments differ only in the knobs they turn.
+
+namespace hpcp {
+
+struct ExperimentConfig {
+  std::string app_name = "heat3d";
+  /// Training configurations; each is measured at every small scale and at
+  /// *no* target scale (the paper's premise).
+  std::size_t num_train = 300;
+  /// Held-out configurations, measured at small AND target scales to
+  /// provide evaluation ground truth.
+  std::size_t num_test = 48;
+  std::vector<std::size_t> small_scales{1, 2, 4, 8, 16};
+  std::vector<std::size_t> target_scales{32, 64, 128, 256};
+  std::size_t runs_per_point = 1;
+  std::uint64_t seed = 2020;
+};
+
+struct Experiment {
+  ExperimentConfig config;
+  std::shared_ptr<Application> app;
+  PlatformSimulator simulator;
+  HistoryStore history;          ///< the small-scale training history
+  ExtrapolationProblem problem;  ///< extracted from `history`
+  TestSet test;                  ///< held-out ground truth
+};
+
+/// Build a complete experiment on the reference machine. Deterministic
+/// given the config (sampling, simulated noise, and splits all derive from
+/// config.seed).
+[[nodiscard]] Experiment make_experiment(const ExperimentConfig& config);
+
+/// Same, on a caller-supplied machine model.
+[[nodiscard]] Experiment make_experiment(const ExperimentConfig& config,
+                                         const MachineModel& machine);
+
+}  // namespace hpcp

@@ -1,0 +1,351 @@
+#include "src/core/extrapolation_level.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "src/cluster/curve_features.hpp"
+#include "src/common/check.hpp"
+#include "src/linear/lasso.hpp"
+#include "src/linear/multitask_lasso.hpp"
+#include "src/linear/nnls.hpp"
+
+namespace hpcp {
+
+namespace {
+
+/// Select columns of a matrix.
+Matrix select_columns(const Matrix& m, std::span<const std::size_t> cols) {
+  Matrix out(m.rows(), cols.size());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      out(r, c) = m(r, cols[c]);
+    }
+  }
+  return out;
+}
+
+/// Indices of the `limit` largest-norm rows of W, sorted ascending.
+std::vector<std::size_t> cap_support(const Matrix& w,
+                                     std::vector<std::size_t> support,
+                                     std::size_t limit) {
+  if (support.size() <= limit) return support;
+  std::vector<std::pair<double, std::size_t>> scored;
+  scored.reserve(support.size());
+  for (const std::size_t j : support) {
+    double norm = 0.0;
+    for (const double v : w.row(j)) norm += v * v;
+    scored.emplace_back(norm, j);
+  }
+  std::sort(scored.begin(), scored.end(), std::greater<>());
+  scored.resize(limit);
+  std::vector<std::size_t> out;
+  out.reserve(limit);
+  for (const auto& [norm, j] : scored) out.push_back(j);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+void ExtrapolationLevel::fit(const Matrix& small_times,
+                             std::span<const std::size_t> small_scales,
+                             std::span<const std::size_t> target_scales,
+                             Rng& rng) {
+  HPCP_REQUIRE(small_times.rows() >= 1, "need at least one configuration");
+  HPCP_REQUIRE(small_scales.size() >= 2, "need at least two small scales");
+  HPCP_REQUIRE(small_times.cols() == small_scales.size(),
+               "curve width must match small-scale count");
+  HPCP_REQUIRE(!target_scales.empty(), "need at least one target scale");
+
+  small_scales_.assign(small_scales.begin(), small_scales.end());
+  target_scales_.assign(target_scales.begin(), target_scales.end());
+  design_ = basis_.design(small_scales_);
+
+  const std::size_t n = small_times.rows();
+  const std::size_t k = small_scales_.size();
+  const std::size_t max_support =
+      opts_.max_support == 0 ? std::min<std::size_t>(3, k - 1)
+                             : opts_.max_support;
+
+  // --- cluster configurations by curve shape ---
+  const Matrix shapes = normalize_curve_shapes(small_times);
+  std::size_t num_clusters = opts_.num_clusters;
+  const std::size_t feasible_max = std::max<std::size_t>(
+      1, std::min(opts_.max_clusters,
+                  n / std::max<std::size_t>(1, opts_.min_cluster_size)));
+  if (num_clusters == 0) {
+    num_clusters =
+        n >= 2 ? select_k_silhouette(shapes, 1, feasible_max, rng) : 1;
+  }
+  num_clusters = std::clamp<std::size_t>(num_clusters, 1, n);
+  for (;;) {
+    clustering_ = kmeans(shapes, {.k = num_clusters}, rng);
+    if (num_clusters == 1) break;
+    const auto sizes = clustering_.cluster_sizes();
+    if (*std::min_element(sizes.begin(), sizes.end()) >=
+        std::min<std::size_t>(opts_.min_cluster_size, n / num_clusters / 2 + 1)) {
+      break;
+    }
+    --num_clusters;
+  }
+
+  // --- per-cluster shared-support selection (multitask lasso) ---
+  cluster_supports_.assign(clustering_.k(), {});
+  cluster_lambdas_.assign(clustering_.k(), 0.0);
+  if (!opts_.multitask) {
+    // Single-task mode selects supports per curve at prediction time.
+    fitted_ = true;
+    return;
+  }
+
+  for (std::size_t c = 0; c < clustering_.k(); ++c) {
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (clustering_.labels[i] == c) members.push_back(i);
+    }
+    HPCP_ASSERT(!members.empty(), "kmeans produced an empty cluster");
+
+    // Task matrix: rows = small scales (samples), columns = configurations
+    // (tasks). Tasks are log-scaled... no: runtimes enter raw so the basis
+    // terms combine additively, exactly like the cost mechanisms they
+    // model. Each task is normalised by its geometric mean so large
+    // configurations do not dominate the shared-support selection.
+    Matrix y(k, members.size());
+    for (std::size_t t = 0; t < members.size(); ++t) {
+      double log_mean = 0.0;
+      for (std::size_t s = 0; s < k; ++s) {
+        log_mean += std::log(std::max(small_times(members[t], s), 1e-12));
+      }
+      const double scale = std::exp(log_mean / static_cast<double>(k));
+      for (std::size_t s = 0; s < k; ++s) {
+        y(s, t) = small_times(members[t], s) / scale;
+      }
+    }
+
+    // λ by leave-largest-scale-out: fit on the k−1 smallest scales,
+    // validate the prediction of the largest — a direct proxy for the
+    // extrapolation use of the model.
+    const double lmax = multitask_lambda_max(design_, y);
+    double best_lambda = std::max(lmax, 1e-12) * 1e-2;
+    if (k >= 3 && lmax > 0.0) {
+      std::vector<std::size_t> fit_rows(k - 1);
+      std::iota(fit_rows.begin(), fit_rows.end(), std::size_t{0});
+      const Matrix phi_fit = design_.select_rows(fit_rows);
+      const Matrix y_fit = y.select_rows(fit_rows);
+      const auto held_phi = design_.row(k - 1);
+      const auto grid = lambda_grid(lmax, opts_.lambda_grid_size);
+      std::vector<double> errs(grid.size());
+      double best_err = std::numeric_limits<double>::infinity();
+      for (std::size_t g = 0; g < grid.size(); ++g) {
+        const auto model =
+            fit_multitask_lasso(phi_fit, y_fit, {.lambda = grid[g]});
+        const auto pred = model.predict(held_phi);
+        double err = 0.0;
+        for (std::size_t t = 0; t < members.size(); ++t) {
+          const double truth = y(k - 1, t);
+          const double rel = (pred[t] - truth) / truth;
+          err += rel * rel;
+        }
+        errs[g] = err;
+        best_err = std::min(best_err, err);
+      }
+      // One-standard-error-style rule: the grid is descending in λ, so the
+      // first λ within (1 + slack) of the best error is the sparsest
+      // acceptable scaling law.
+      for (std::size_t g = 0; g < grid.size(); ++g) {
+        if (errs[g] <= best_err * (1.0 + opts_.lambda_slack)) {
+          best_lambda = grid[g];
+          break;
+        }
+      }
+    }
+
+    const auto model =
+        fit_multitask_lasso(design_, y, {.lambda = best_lambda});
+    auto support = model.support();
+    support = cap_support(model.weights(), std::move(support), max_support);
+    if (support.empty()) {
+      // Shrunk to intercept-only: fall back to the perfectly-parallel term,
+      // the single most common mechanism.
+      support.push_back(0);  // "1/p"
+    }
+    cluster_supports_[c] = std::move(support);
+    cluster_lambdas_[c] = best_lambda;
+  }
+  fitted_ = true;
+}
+
+std::size_t ExtrapolationLevel::assign_cluster(
+    std::span<const double> small_curve) const {
+  HPCP_REQUIRE(fitted_, "assign before fit");
+  std::vector<double> positive(small_curve.begin(), small_curve.end());
+  for (auto& v : positive) v = std::max(v, 1e-12);
+  const auto shape = normalize_curve_shape(positive);
+  return clustering_.assign(shape);
+}
+
+ExtrapolationLevel::CurveFit ExtrapolationLevel::fit_curve(
+    std::span<const double> curve,
+    std::span<const std::size_t> support) const {
+  // Weighted *non-negative* least squares: basis coefficients are costs and
+  // cannot be negative (an unconstrained fit lets collinear terms cancel
+  // inside the small-scale range and diverge outside it), and 1/t weights
+  // make the fit minimise relative error, matching how the model is judged.
+  const Matrix phi = select_columns(design_, support);
+  std::vector<double> weights(curve.size());
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    weights[i] = 1.0 / std::max(curve[i] * curve[i], 1e-24);
+  }
+  const NnlsModel ls = fit_nnls(phi, curve, weights);
+  CurveFit fit;
+  fit.intercept = ls.intercept;
+  fit.coef = ls.coef;
+  fit.support.assign(support.begin(), support.end());
+  return fit;
+}
+
+std::vector<std::size_t> ExtrapolationLevel::select_support_single(
+    std::span<const double> curve) const {
+  // Per-curve lasso over the full basis, λ by leave-largest-scale-out.
+  const std::size_t k = small_scales_.size();
+  const std::size_t max_support =
+      opts_.max_support == 0 ? std::min<std::size_t>(3, k - 1)
+                             : opts_.max_support;
+  const double lmax = lasso_lambda_max(design_, curve);
+  if (lmax <= 0.0) return {0};
+  double best_lambda = lmax * 1e-2;
+  if (k >= 3) {
+    std::vector<std::size_t> fit_rows(k - 1);
+    std::iota(fit_rows.begin(), fit_rows.end(), std::size_t{0});
+    const Matrix phi_fit = design_.select_rows(fit_rows);
+    std::vector<double> y_fit(curve.begin(), curve.end() - 1);
+    const auto grid = lambda_grid(lmax, opts_.lambda_grid_size);
+    std::vector<double> errs(grid.size());
+    double best_err = std::numeric_limits<double>::infinity();
+    for (std::size_t g = 0; g < grid.size(); ++g) {
+      const auto model = fit_lasso(phi_fit, y_fit, {.lambda = grid[g]});
+      const double pred = model.predict(design_.row(k - 1));
+      const double rel = (pred - curve[k - 1]) / curve[k - 1];
+      errs[g] = rel * rel;
+      best_err = std::min(best_err, errs[g]);
+    }
+    for (std::size_t g = 0; g < grid.size(); ++g) {
+      if (errs[g] <= best_err * (1.0 + opts_.lambda_slack)) {
+        best_lambda = grid[g];
+        break;
+      }
+    }
+  }
+  const auto model = fit_lasso(design_, curve, {.lambda = best_lambda});
+  std::vector<std::size_t> support;
+  std::vector<std::pair<double, std::size_t>> scored;
+  for (std::size_t j = 0; j < model.coef.size(); ++j) {
+    if (model.coef[j] != 0.0) scored.emplace_back(std::abs(model.coef[j]), j);
+  }
+  std::sort(scored.begin(), scored.end(), std::greater<>());
+  if (scored.size() > max_support) scored.resize(max_support);
+  for (const auto& [mag, j] : scored) support.push_back(j);
+  std::sort(support.begin(), support.end());
+  if (support.empty()) support.push_back(0);
+  return support;
+}
+
+double ExtrapolationLevel::eval_fit(const CurveFit& fit, double p) const {
+  const auto phi = basis_.eval(p);
+  double acc = fit.intercept;
+  for (std::size_t j = 0; j < fit.support.size(); ++j) {
+    acc += fit.coef[j] * phi[fit.support[j]];
+  }
+  // Runtimes are positive; an extrapolated scalability model that crosses
+  // zero has left its region of validity — clamp to a tiny positive floor.
+  return std::max(acc, 1e-9);
+}
+
+std::vector<double> ExtrapolationLevel::predict(
+    std::span<const double> small_curve) const {
+  HPCP_REQUIRE(fitted_, "predict before fit");
+  HPCP_REQUIRE(small_curve.size() == small_scales_.size(),
+               "curve width must match small-scale count");
+  std::vector<std::size_t> support;
+  if (opts_.multitask) {
+    support = cluster_supports_[assign_cluster(small_curve)];
+  } else {
+    support = select_support_single(small_curve);
+  }
+  const CurveFit fit = fit_curve(small_curve, support);
+  std::vector<double> pred(target_scales_.size());
+  for (std::size_t t = 0; t < target_scales_.size(); ++t) {
+    pred[t] = eval_fit(fit, static_cast<double>(target_scales_[t]));
+  }
+  return pred;
+}
+
+double ExtrapolationLevel::predict_at_scale(
+    std::span<const double> small_curve, std::size_t nprocs) const {
+  HPCP_REQUIRE(fitted_, "predict before fit");
+  std::vector<std::size_t> support;
+  if (opts_.multitask) {
+    support = cluster_supports_[assign_cluster(small_curve)];
+  } else {
+    support = select_support_single(small_curve);
+  }
+  const CurveFit fit = fit_curve(small_curve, support);
+  return eval_fit(fit, static_cast<double>(nprocs));
+}
+
+std::vector<std::string> ExtrapolationLevel::support_names(
+    std::size_t c) const {
+  HPCP_REQUIRE(fitted_, "support_names before fit");
+  HPCP_REQUIRE(c < cluster_supports_.size(), "cluster index out of range");
+  std::vector<std::string> names;
+  for (const std::size_t j : cluster_supports_[c]) {
+    names.push_back(basis_.term_name(j));
+  }
+  return names;
+}
+
+void ExtrapolationLevel::save(Serializer& out) const {
+  out.tag("extrapolation-level");
+  out.write(fitted_);
+  out.write(opts_.multitask);
+  out.write(opts_.max_support);
+  out.write(opts_.lambda_grid_size);
+  out.write(opts_.lambda_slack);
+  std::vector<std::string> terms;
+  for (std::size_t j = 0; j < basis_.size(); ++j) {
+    terms.push_back(basis_.term_name(j));
+  }
+  out.write(terms);
+  out.write(small_scales_);
+  out.write(target_scales_);
+  clustering_.centroids.save(out);
+  out.write(static_cast<std::size_t>(cluster_supports_.size()));
+  for (const auto& support : cluster_supports_) out.write(support);
+  out.write(cluster_lambdas_);
+}
+
+ExtrapolationLevel ExtrapolationLevel::load(Deserializer& in) {
+  in.expect_tag("extrapolation-level");
+  ExtrapolationLevel level;
+  level.fitted_ = in.read_bool();
+  level.opts_.multitask = in.read_bool();
+  level.opts_.max_support = in.read_size();
+  level.opts_.lambda_grid_size = in.read_size();
+  level.opts_.lambda_slack = in.read_double();
+  level.opts_.basis_terms = in.read_strings();
+  level.basis_ = ScalingBasis(level.opts_.basis_terms);
+  level.small_scales_ = in.read_sizes();
+  level.target_scales_ = in.read_sizes();
+  level.clustering_.centroids = Matrix::load(in);
+  level.cluster_supports_.resize(in.read_size());
+  for (auto& support : level.cluster_supports_) support = in.read_sizes();
+  level.cluster_lambdas_ = in.read_doubles();
+  if (level.fitted_) {
+    level.design_ = level.basis_.design(level.small_scales_);
+  }
+  return level;
+}
+
+}  // namespace hpcp

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/core/problem.hpp"
+
+/// \file extrapolation_model.hpp
+/// The interface every large-scale performance predictor implements — the
+/// paper's two-level model and all baselines — so the evaluation harness
+/// can treat them uniformly.
+
+namespace hpcp {
+
+class ExtrapolationModel {
+ public:
+  virtual ~ExtrapolationModel() = default;
+
+  /// Display name used in report tables.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Train from the problem's history. Must be called before predict().
+  virtual void fit(const ExtrapolationProblem& problem, Rng& rng) = 0;
+
+  /// Runtimes at every target scale for a new configuration.
+  ///
+  /// `measured_small_times` carries the configuration's *measured*
+  /// small-scale runtimes when the experiment makes them available, and is
+  /// empty otherwise. Most models ignore it (the paper's setting: a new
+  /// configuration has never been run); per-configuration curve-fitting
+  /// baselines require it and must throw std::invalid_argument when it is
+  /// empty.
+  [[nodiscard]] virtual std::vector<double> predict(
+      std::span<const double> params,
+      std::span<const double> measured_small_times) const = 0;
+
+  /// Convenience overload: no measured small-scale runs.
+  [[nodiscard]] std::vector<double> predict(
+      std::span<const double> params) const {
+    return predict(params, {});
+  }
+};
+
+}  // namespace hpcp

@@ -1,0 +1,85 @@
+#include "src/core/interpolation_level.hpp"
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace hpcp {
+
+void InterpolationLevel::fit(const ExtrapolationProblem& problem, Rng& rng) {
+  problem.validate();
+  scales_ = problem.small_scales;
+  forests_.assign(scales_.size(), RandomForest(forest_options_));
+  for (std::size_t s = 0; s < scales_.size(); ++s) {
+    auto y = problem.train_small_times.column(s);
+    if (log_target_) {
+      for (auto& v : y) {
+        HPCP_REQUIRE(v > 0.0, "runtimes must be positive");
+        v = std::log(v);
+      }
+    }
+    Rng forest_rng = rng.fork();
+    forests_[s].fit(problem.train_configs, y, forest_rng);
+  }
+}
+
+std::vector<double> InterpolationLevel::predict_curve(
+    std::span<const double> params) const {
+  HPCP_REQUIRE(fitted(), "predict before fit");
+  std::vector<double> curve(forests_.size());
+  for (std::size_t s = 0; s < forests_.size(); ++s) {
+    const double raw = forests_[s].predict(params);
+    curve[s] = log_target_ ? std::exp(raw) : raw;
+  }
+  return curve;
+}
+
+InterpolationLevel::CurveWithSpread InterpolationLevel::predict_curve_stats(
+    std::span<const double> params) const {
+  HPCP_REQUIRE(fitted(), "predict before fit");
+  CurveWithSpread out;
+  out.curve.resize(forests_.size());
+  out.log_spread.resize(forests_.size());
+  for (std::size_t s = 0; s < forests_.size(); ++s) {
+    const auto stats = forests_[s].predict_stats(params);
+    if (log_target_) {
+      out.curve[s] = std::exp(stats.mean);
+      out.log_spread[s] = stats.stddev;
+    } else {
+      out.curve[s] = stats.mean;
+      // Convert the absolute ensemble spread to a relative (log) spread.
+      out.log_spread[s] =
+          stats.mean > 0.0 ? stats.stddev / stats.mean : 0.0;
+    }
+  }
+  return out;
+}
+
+Matrix InterpolationLevel::predict_curves(const Matrix& configs) const {
+  Matrix out(configs.rows(), forests_.size());
+  for (std::size_t r = 0; r < configs.rows(); ++r) {
+    const auto curve = predict_curve(configs.row(r));
+    out.set_row(r, curve);
+  }
+  return out;
+}
+
+void InterpolationLevel::save(Serializer& out) const {
+  out.tag("interpolation-level");
+  out.write(log_target_);
+  out.write(scales_);
+  out.write(static_cast<std::size_t>(forests_.size()));
+  for (const auto& forest : forests_) forest.save(out);
+}
+
+InterpolationLevel InterpolationLevel::load(Deserializer& in) {
+  in.expect_tag("interpolation-level");
+  InterpolationLevel level;
+  level.log_target_ = in.read_bool();
+  level.scales_ = in.read_sizes();
+  level.forests_.resize(in.read_size());
+  for (auto& forest : level.forests_) forest = RandomForest::load(in);
+  return level;
+}
+
+}  // namespace hpcp

@@ -1,0 +1,42 @@
+#include "src/core/problem.hpp"
+
+#include <algorithm>
+
+#include "src/common/check.hpp"
+
+namespace hpcp {
+
+void ExtrapolationProblem::validate() const {
+  HPCP_REQUIRE(!small_scales.empty(), "need at least one small scale");
+  HPCP_REQUIRE(!target_scales.empty(), "need at least one target scale");
+  HPCP_REQUIRE(std::is_sorted(small_scales.begin(), small_scales.end()),
+               "small scales must be sorted");
+  HPCP_REQUIRE(std::is_sorted(target_scales.begin(), target_scales.end()),
+               "target scales must be sorted");
+  HPCP_REQUIRE(small_scales.back() < target_scales.front(),
+               "target scales must exceed every small scale");
+  HPCP_REQUIRE(train_configs.cols() == param_names.size(),
+               "training config width mismatch");
+  HPCP_REQUIRE(train_configs.rows() == train_small_times.rows(),
+               "training rows mismatch");
+  HPCP_REQUIRE(train_small_times.cols() == small_scales.size(),
+               "training scale count mismatch");
+  HPCP_REQUIRE(train_configs.rows() > 0, "no training configurations");
+}
+
+ExtrapolationProblem make_problem(
+    const HistoryStore& history, const std::vector<std::size_t>& small_scales,
+    const std::vector<std::size_t>& target_scales) {
+  ExtrapolationProblem problem;
+  problem.param_names = history.param_names();
+  problem.small_scales = small_scales;
+  problem.target_scales = target_scales;
+
+  const ScalingTable table = build_scaling_table(history, small_scales);
+  problem.train_configs = table.configs;
+  problem.train_small_times = table.times;
+  problem.validate();
+  return problem;
+}
+
+}  // namespace hpcp

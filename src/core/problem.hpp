@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/linear/matrix.hpp"
+#include "src/platform/history.hpp"
+
+/// \file problem.hpp
+/// The extrapolation problem extracted from an execution history.
+///
+/// Faithful to the paper's premise, the training history contains *only
+/// small-scale* runs: many configurations, each measured at every small
+/// scale. Nothing in training has ever run at a target scale — target-scale
+/// runtimes exist only as held-out ground truth for evaluation.
+
+namespace hpcp {
+
+struct ExtrapolationProblem {
+  std::vector<std::string> param_names;
+  /// Scales present in the history (sorted ascending).
+  std::vector<std::size_t> small_scales;
+  /// Scales to predict (sorted ascending, all larger than every small scale).
+  std::vector<std::size_t> target_scales;
+
+  Matrix train_configs;      ///< n × d input-parameter matrix
+  Matrix train_small_times;  ///< n × |small_scales| (repeat-averaged)
+
+  [[nodiscard]] std::size_t num_params() const noexcept {
+    return param_names.size();
+  }
+  [[nodiscard]] std::size_t num_configs() const noexcept {
+    return train_configs.rows();
+  }
+
+  /// Throws std::invalid_argument if shapes are inconsistent.
+  void validate() const;
+};
+
+/// Extract the problem from a history: configurations covering all small
+/// scales form the training set; incomplete configurations are dropped.
+[[nodiscard]] ExtrapolationProblem make_problem(
+    const HistoryStore& history, const std::vector<std::size_t>& small_scales,
+    const std::vector<std::size_t>& target_scales);
+
+}  // namespace hpcp

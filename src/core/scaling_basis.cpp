@@ -1,0 +1,73 @@
+#include "src/core/scaling_basis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace hpcp {
+
+namespace {
+
+double term_inv_p(double p) { return 1.0 / p; }
+double term_p_m43(double p) { return std::pow(p, -4.0 / 3.0); }
+double term_p_m23(double p) { return std::pow(p, -2.0 / 3.0); }
+double term_p_m12(double p) { return 1.0 / std::sqrt(p); }
+double term_log_over_p(double p) { return std::log2(p) / p; }
+double term_log(double p) { return std::log2(p); }
+double term_sqrt(double p) { return std::sqrt(p); }
+double term_linear(double p) { return p; }
+
+struct NamedTerm {
+  const char* name;
+  double (*fn)(double);
+};
+
+constexpr NamedTerm kAllTerms[] = {
+    {"1/p", term_inv_p},        {"p^-4/3", term_p_m43},
+    {"p^-2/3", term_p_m23},
+    {"p^-1/2", term_p_m12},     {"log2(p)/p", term_log_over_p},
+    {"log2(p)", term_log},      {"sqrt(p)", term_sqrt},
+    {"p", term_linear},
+};
+
+}  // namespace
+
+ScalingBasis::ScalingBasis() : ScalingBasis(default_term_names()) {}
+
+ScalingBasis::ScalingBasis(const std::vector<std::string>& term_names) {
+  HPCP_REQUIRE(!term_names.empty(), "basis needs at least one term");
+  terms_.reserve(term_names.size());
+  for (const auto& name : term_names) {
+    const auto* found =
+        std::find_if(std::begin(kAllTerms), std::end(kAllTerms),
+                     [&](const NamedTerm& t) { return name == t.name; });
+    HPCP_REQUIRE(found != std::end(kAllTerms),
+                 "unknown basis term '" + name + "'");
+    terms_.push_back(Term{found->name, found->fn});
+  }
+}
+
+std::vector<std::string> ScalingBasis::default_term_names() {
+  std::vector<std::string> names;
+  for (const auto& t : kAllTerms) names.emplace_back(t.name);
+  return names;
+}
+
+std::vector<double> ScalingBasis::eval(double p) const {
+  HPCP_REQUIRE(p >= 1.0, "process count must be at least 1");
+  std::vector<double> row(terms_.size());
+  for (std::size_t j = 0; j < terms_.size(); ++j) row[j] = terms_[j].fn(p);
+  return row;
+}
+
+Matrix ScalingBasis::design(std::span<const std::size_t> scales) const {
+  Matrix out(scales.size(), terms_.size());
+  for (std::size_t r = 0; r < scales.size(); ++r) {
+    const auto row = eval(static_cast<double>(scales[r]));
+    out.set_row(r, row);
+  }
+  return out;
+}
+
+}  // namespace hpcp

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/linear/matrix.hpp"
+
+/// \file scaling_basis.hpp
+/// The basis functions of the process count p that scalability models are
+/// built from. Each term corresponds to a mechanism found in parallel
+/// codes; a configuration's runtime curve is modelled as an intercept plus
+/// a sparse non-trivial combination of these:
+///
+///   1/p        perfectly parallel compute
+///   p^(-4/3)   superlinear speedup (shrinking working sets falling into
+///              cache as p grows)
+///   p^(-2/3)   surface-to-volume communication of 3-D decompositions
+///   p^(-1/2)   surface-to-volume of 2-D decompositions
+///   log2(p)/p  parallel work with logarithmic-depth reductions
+///   log2(p)    tree-structured collectives (latency-bound)
+///   sqrt(p)    row/column collectives of 2-D process grids
+///   p          linear-cost collectives (all-to-all), serialisation
+///
+/// (The constant term is the regression intercept, not a basis column.)
+
+namespace hpcp {
+
+class ScalingBasis {
+ public:
+  /// The default seven-term basis above.
+  ScalingBasis();
+
+  /// A custom basis built from (name, function-id) pairs is not supported;
+  /// construct from term names drawn from default_term_names().
+  explicit ScalingBasis(const std::vector<std::string>& term_names);
+
+  [[nodiscard]] static std::vector<std::string> default_term_names();
+
+  [[nodiscard]] std::size_t size() const noexcept { return terms_.size(); }
+  [[nodiscard]] const std::string& term_name(std::size_t j) const {
+    return terms_.at(j).name;
+  }
+
+  /// Value of every term at process count p (p >= 1).
+  [[nodiscard]] std::vector<double> eval(double p) const;
+
+  /// Design matrix: one row per scale, one column per term.
+  [[nodiscard]] Matrix design(std::span<const std::size_t> scales) const;
+
+ private:
+  struct Term {
+    std::string name;
+    double (*fn)(double p);
+  };
+  std::vector<Term> terms_;
+};
+
+}  // namespace hpcp

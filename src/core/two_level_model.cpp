@@ -1,0 +1,210 @@
+#include "src/core/two_level_model.hpp"
+
+#include <bit>
+#include <cmath>
+#include <fstream>
+
+#include "src/common/check.hpp"
+#include "src/common/stats.hpp"
+
+namespace hpcp {
+
+void TwoLevelModel::fit(const ExtrapolationProblem& problem, Rng& rng) {
+  problem.validate();
+  interpolation_ =
+      InterpolationLevel(opts_.forest, opts_.log_interpolation_target);
+  interpolation_.fit(problem, rng);
+
+  // The extrapolation level learns its per-cluster scaling laws from the
+  // interpolation level's *predicted* curves (paper) so that its inputs
+  // have the same statistical character at training and deployment, or
+  // from measured curves (ablation).
+  const Matrix curves =
+      opts_.train_on_predictions
+          ? interpolation_.predict_curves(problem.train_configs)
+          : problem.train_small_times;
+
+  extrapolation_ = ExtrapolationLevel(opts_.extrapolation);
+  extrapolation_.fit(curves, problem.small_scales, problem.target_scales,
+                     rng);
+  calibration_log_ratios_.assign(extrapolation_.num_clusters(), {});
+}
+
+double TwoLevelModel::calibration_factor(std::size_t cluster) const {
+  if (cluster >= calibration_log_ratios_.size() ||
+      calibration_log_ratios_[cluster].empty()) {
+    return 1.0;
+  }
+  // Robust, conservative correction: the *median* log-ratio (one outlier
+  // run must not swing the factor), shrunk toward no-correction while
+  // observations are few — n/(n+2) weighting, i.e. one observation moves a
+  // third of the way, five observations ~70%.
+  const auto& ratios = calibration_log_ratios_[cluster];
+  const double med = median(ratios);
+  const auto n = static_cast<double>(ratios.size());
+  return std::exp(med * n / (n + 2.0));
+}
+
+void TwoLevelModel::calibrate(std::span<const double> params,
+                              std::size_t nprocs, double measured_runtime) {
+  HPCP_REQUIRE(extrapolation_.fitted(), "calibrate before fit");
+  HPCP_REQUIRE(measured_runtime > 0.0, "measured runtime must be positive");
+  const auto curve = interpolation_.predict_curve(params);
+  const std::size_t cluster = extrapolation_.assign_cluster(curve);
+  const double raw = extrapolation_.predict_at_scale(curve, nprocs);
+  calibration_log_ratios_[cluster].push_back(
+      std::log(measured_runtime / raw));
+}
+
+void TwoLevelModel::clear_calibration() {
+  for (auto& ratios : calibration_log_ratios_) ratios.clear();
+}
+
+std::size_t TwoLevelModel::num_calibration_points() const noexcept {
+  std::size_t n = 0;
+  for (const auto& ratios : calibration_log_ratios_) n += ratios.size();
+  return n;
+}
+
+std::vector<double> TwoLevelModel::predict_scaling_curve(
+    std::span<const double> params,
+    std::span<const std::size_t> scales) const {
+  HPCP_REQUIRE(extrapolation_.fitted(), "predict before fit");
+  const auto curve = interpolation_.predict_curve(params);
+  const double factor =
+      calibration_factor(extrapolation_.assign_cluster(curve));
+  std::vector<double> out(scales.size());
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    out[i] = factor * extrapolation_.predict_at_scale(curve, scales[i]);
+  }
+  return out;
+}
+
+std::vector<double> TwoLevelModel::small_scale_curve(
+    std::span<const double> params,
+    std::span<const double> measured_small_times) const {
+  HPCP_REQUIRE(interpolation_.fitted(), "predict before fit");
+  if (opts_.prefer_measured_curve && !measured_small_times.empty()) {
+    HPCP_REQUIRE(measured_small_times.size() == interpolation_.num_scales(),
+                 "measured curve width mismatch");
+    return {measured_small_times.begin(), measured_small_times.end()};
+  }
+  return interpolation_.predict_curve(params);
+}
+
+std::vector<double> TwoLevelModel::predict(
+    std::span<const double> params,
+    std::span<const double> measured_small_times) const {
+  const auto curve = small_scale_curve(params, measured_small_times);
+  auto pred = extrapolation_.predict(curve);
+  const double factor =
+      calibration_factor(extrapolation_.assign_cluster(curve));
+  if (factor != 1.0) {
+    for (auto& v : pred) v *= factor;
+  }
+  return pred;
+}
+
+void TwoLevelModel::save(std::ostream& out) const {
+  HPCP_REQUIRE(interpolation_.fitted() && extrapolation_.fitted(),
+               "cannot save an unfitted model");
+  Serializer s(out);
+  s.tag("hpcpredict-two-level-v1");
+  s.write(opts_.display_name);
+  s.write(opts_.prefer_measured_curve);
+  s.write(opts_.train_on_predictions);
+  s.write(opts_.uncertainty_samples);
+  s.write(opts_.interval_lo_quantile);
+  s.write(opts_.interval_hi_quantile);
+  interpolation_.save(s);
+  extrapolation_.save(s);
+  s.write(static_cast<std::size_t>(calibration_log_ratios_.size()));
+  for (const auto& ratios : calibration_log_ratios_) s.write(ratios);
+}
+
+TwoLevelModel TwoLevelModel::load(std::istream& in) {
+  Deserializer d(in);
+  d.expect_tag("hpcpredict-two-level-v1");
+  TwoLevelModel model;
+  model.opts_.display_name = d.read_string();
+  model.opts_.prefer_measured_curve = d.read_bool();
+  model.opts_.train_on_predictions = d.read_bool();
+  model.opts_.uncertainty_samples = d.read_size();
+  model.opts_.interval_lo_quantile = d.read_double();
+  model.opts_.interval_hi_quantile = d.read_double();
+  model.interpolation_ = InterpolationLevel::load(d);
+  model.extrapolation_ = ExtrapolationLevel::load(d);
+  model.opts_.log_interpolation_target = model.interpolation_.log_target();
+  model.opts_.extrapolation = model.extrapolation_.options();
+  model.calibration_log_ratios_.resize(d.read_size());
+  for (auto& ratios : model.calibration_log_ratios_) {
+    ratios = d.read_doubles();
+  }
+  return model;
+}
+
+void TwoLevelModel::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write model file: " + path);
+  save(out);
+}
+
+TwoLevelModel TwoLevelModel::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open model file: " + path);
+  return load(in);
+}
+
+std::vector<PredictionInterval> TwoLevelModel::predict_with_uncertainty(
+    std::span<const double> params) const {
+  HPCP_REQUIRE(interpolation_.fitted() && extrapolation_.fitted(),
+               "predict before fit");
+  HPCP_REQUIRE(opts_.uncertainty_samples >= 2, "need at least 2 samples");
+  HPCP_REQUIRE(opts_.interval_lo_quantile < opts_.interval_hi_quantile,
+               "interval quantiles must be ordered");
+
+  const auto stats = interpolation_.predict_curve_stats(params);
+  auto point = extrapolation_.predict(stats.curve);
+  const double factor =
+      calibration_factor(extrapolation_.assign_cluster(stats.curve));
+  for (auto& v : point) v *= factor;
+  const std::size_t m = opts_.uncertainty_samples;
+  const std::size_t k = stats.curve.size();
+
+  // Deterministic per input: seed the perturbations from the parameters.
+  std::uint64_t h = 0x5ca1ab1e;
+  for (const double v : params) {
+    h ^= std::bit_cast<std::uint64_t>(v);
+    (void)splitmix64(h);
+  }
+  Rng rng(h);
+
+  // Sample perturbed curves consistent with the forests' ensemble spread
+  // and refit each; the spread of the refits is the model uncertainty.
+  std::vector<std::vector<double>> samples(point.size());
+  std::vector<double> curve(k);
+  for (std::size_t s = 0; s < m; ++s) {
+    for (std::size_t i = 0; i < k; ++i) {
+      curve[i] =
+          stats.curve[i] * std::exp(rng.normal(0.0, stats.log_spread[i]));
+    }
+    const auto pred = extrapolation_.predict(curve);
+    for (std::size_t t = 0; t < pred.size(); ++t) {
+      samples[t].push_back(factor * pred[t]);
+    }
+  }
+
+  std::vector<PredictionInterval> out(point.size());
+  for (std::size_t t = 0; t < point.size(); ++t) {
+    out[t].value = point[t];
+    out[t].lower = quantile(samples[t], opts_.interval_lo_quantile);
+    out[t].upper = quantile(samples[t], opts_.interval_hi_quantile);
+    // The point prediction (from the unperturbed curve) belongs inside its
+    // own interval even if the sampled quantiles land slightly off-centre.
+    out[t].lower = std::min(out[t].lower, point[t]);
+    out[t].upper = std::max(out[t].upper, point[t]);
+  }
+  return out;
+}
+
+}  // namespace hpcp

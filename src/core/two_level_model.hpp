@@ -1,0 +1,136 @@
+#pragma once
+
+#include <string>
+
+#include "src/core/extrapolation_level.hpp"
+#include "src/core/extrapolation_model.hpp"
+#include "src/core/interpolation_level.hpp"
+
+/// \file two_level_model.hpp
+/// The paper's contribution: the two-level performance-extrapolation model.
+///
+/// Level 1 (interpolation) — one random forest per small scale predicts a
+/// configuration's small-scale runtimes from its input parameters.
+/// Level 2 (extrapolation) — per-cluster multitask-lasso scalability models
+/// map the small-scale runtime curve to the target-scale runtimes.
+///
+/// The extrapolation level is trained on the interpolation level's
+/// *predictions* for the training configurations (not on their measured
+/// small-scale runtimes), so the statistical character of its inputs is the
+/// same at training and deployment — the paper's stated defence against
+/// interpolation error. Both that choice and the curve source at prediction
+/// time are configurable for ablation.
+
+namespace hpcp {
+
+struct TwoLevelOptions {
+  ForestOptions forest{};
+  /// Fit the interpolation forests on log-runtime (recommended; see
+  /// InterpolationLevel).
+  bool log_interpolation_target = true;
+  ExtrapolationLevelOptions extrapolation{};
+  /// Train level 2 on level-1 predictions (paper) or measured small-scale
+  /// runtimes (ablation).
+  bool train_on_predictions = true;
+  /// At prediction time, use the configuration's measured small-scale
+  /// runtimes when the caller supplies them instead of level-1 predictions.
+  bool prefer_measured_curve = false;
+  /// Monte-Carlo samples for predict_with_uncertainty.
+  std::size_t uncertainty_samples = 64;
+  /// Quantiles of the sampled predictions reported as the interval.
+  double interval_lo_quantile = 0.05;
+  double interval_hi_quantile = 0.95;
+  std::string display_name = "two-level";
+};
+
+/// A point prediction with a model-uncertainty interval.
+struct PredictionInterval {
+  double value = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+class TwoLevelModel final : public ExtrapolationModel {
+ public:
+  TwoLevelModel() = default;
+  explicit TwoLevelModel(TwoLevelOptions opts) : opts_(std::move(opts)) {}
+
+  [[nodiscard]] std::string name() const override {
+    return opts_.display_name;
+  }
+
+  void fit(const ExtrapolationProblem& problem, Rng& rng) override;
+
+  using ExtrapolationModel::predict;
+  [[nodiscard]] std::vector<double> predict(
+      std::span<const double> params,
+      std::span<const double> measured_small_times) const override;
+
+  /// Point predictions with model-uncertainty intervals, one per target
+  /// scale. The interpolation forests' ensemble spread (a log-space σ per
+  /// small scale) is propagated through the scalability fit by Monte
+  /// Carlo: perturbed curves are refitted and the configured quantiles of
+  /// the resulting target predictions form the interval. Deterministic
+  /// given the model and input. Captures *model* uncertainty only — the
+  /// platform's run-to-run noise is on top.
+  [[nodiscard]] std::vector<PredictionInterval> predict_with_uncertainty(
+      std::span<const double> params) const;
+
+  /// The small-scale curve the model would use for this input (level-1
+  /// predictions, or the measured curve when preferred and available).
+  [[nodiscard]] std::vector<double> small_scale_curve(
+      std::span<const double> params,
+      std::span<const double> measured_small_times) const;
+
+  /// Fitted scalability curve of a configuration evaluated at arbitrary
+  /// scales (not just the configured targets) — for plotting speedup
+  /// curves or sweeping candidate job widths. Calibration is applied.
+  [[nodiscard]] std::vector<double> predict_scaling_curve(
+      std::span<const double> params,
+      std::span<const std::size_t> scales) const;
+
+  /// Few-shot calibration: fold a *measured* large-scale run back into the
+  /// model. Ratios between measurement and (uncalibrated) prediction are
+  /// pooled per scaling-behaviour cluster, and predictions for that
+  /// cluster are rescaled by the geometric-mean ratio. This is the cheap
+  /// online fix for systematic bias the small-scale window cannot reveal
+  /// (e.g. communication terms that only dominate beyond it): one or two
+  /// production runs recalibrate all future predictions in the same
+  /// regime.
+  void calibrate(std::span<const double> params, std::size_t nprocs,
+                 double measured_runtime);
+
+  /// Drop all calibration observations.
+  void clear_calibration();
+  [[nodiscard]] std::size_t num_calibration_points() const noexcept;
+
+  [[nodiscard]] const InterpolationLevel& interpolation() const noexcept {
+    return interpolation_;
+  }
+  [[nodiscard]] const ExtrapolationLevel& extrapolation() const noexcept {
+    return extrapolation_;
+  }
+  [[nodiscard]] const TwoLevelOptions& options() const noexcept {
+    return opts_;
+  }
+
+  /// Persist the fitted model ("train once, predict later"). The archive
+  /// carries everything the prediction path needs — forests, clustering,
+  /// scaling-law supports, calibration — but not fit-time options.
+  void save(std::ostream& out) const;
+  [[nodiscard]] static TwoLevelModel load(std::istream& in);
+  void save_file(const std::string& path) const;
+  [[nodiscard]] static TwoLevelModel load_file(const std::string& path);
+
+ private:
+  /// Multiplicative correction for one cluster (1.0 when uncalibrated).
+  [[nodiscard]] double calibration_factor(std::size_t cluster) const;
+
+  TwoLevelOptions opts_{};
+  InterpolationLevel interpolation_;
+  ExtrapolationLevel extrapolation_;
+  /// Per-cluster log-ratios log(measured / predicted) from calibrate().
+  std::vector<std::vector<double>> calibration_log_ratios_;
+};
+
+}  // namespace hpcp

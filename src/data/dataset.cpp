@@ -1,0 +1,104 @@
+#include "src/data/dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/check.hpp"
+
+namespace hpcp {
+
+Dataset::Dataset(std::vector<std::string> feature_names)
+    : feature_names_(std::move(feature_names)),
+      x_(0, feature_names_.size()) {}
+
+Dataset::Dataset(std::vector<std::string> feature_names, Matrix x,
+                 std::vector<double> y)
+    : feature_names_(std::move(feature_names)),
+      x_(std::move(x)),
+      y_(std::move(y)) {
+  HPCP_REQUIRE(x_.rows() == y_.size(), "feature rows must match target size");
+  HPCP_REQUIRE(x_.cols() == feature_names_.size(),
+               "feature columns must match names");
+}
+
+std::size_t Dataset::feature_index(const std::string& name) const {
+  const auto it =
+      std::find(feature_names_.begin(), feature_names_.end(), name);
+  HPCP_REQUIRE(it != feature_names_.end(), "no feature named '" + name + "'");
+  return static_cast<std::size_t>(it - feature_names_.begin());
+}
+
+void Dataset::add(std::span<const double> features, double target) {
+  HPCP_REQUIRE(features.size() == feature_names_.size(),
+               "feature width mismatch");
+  Matrix next(x_.rows() + 1, feature_names_.size());
+  for (std::size_t r = 0; r < x_.rows(); ++r) next.set_row(r, x_.row(r));
+  next.set_row(x_.rows(), features);
+  x_ = std::move(next);
+  y_.push_back(target);
+}
+
+Dataset Dataset::select(std::span<const std::size_t> idx) const {
+  std::vector<double> sel_y(idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    HPCP_REQUIRE(idx[i] < size(), "row index out of range");
+    sel_y[i] = y_[idx[i]];
+  }
+  return Dataset(feature_names_, x_.select_rows(idx), std::move(sel_y));
+}
+
+Dataset Dataset::with_targets(std::vector<double> new_y) const {
+  HPCP_REQUIRE(new_y.size() == size(), "target size mismatch");
+  return Dataset(feature_names_, x_, std::move(new_y));
+}
+
+CsvTable Dataset::to_csv() const {
+  CsvTable table;
+  table.header = feature_names_;
+  table.header.push_back("target");
+  table.rows.reserve(size());
+  for (std::size_t r = 0; r < size(); ++r) {
+    std::vector<std::string> row;
+    row.reserve(num_features() + 1);
+    for (const double v : x_.row(r)) row.push_back(std::to_string(v));
+    row.push_back(std::to_string(y_[r]));
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+Dataset Dataset::from_csv(const CsvTable& table) {
+  HPCP_REQUIRE(!table.header.empty() && table.header.back() == "target",
+               "dataset CSV must end with a 'target' column");
+  std::vector<std::string> names(table.header.begin(),
+                                 table.header.end() - 1);
+  Matrix x(table.rows.size(), names.size());
+  std::vector<double> y(table.rows.size());
+  for (std::size_t r = 0; r < table.rows.size(); ++r) {
+    const auto& row = table.rows[r];
+    for (std::size_t c = 0; c < names.size(); ++c) x(r, c) = std::stod(row[c]);
+    y[r] = std::stod(row.back());
+  }
+  return Dataset(std::move(names), std::move(x), std::move(y));
+}
+
+TrainTestSplit train_test_split(const Dataset& data, double test_fraction,
+                                Rng& rng) {
+  HPCP_REQUIRE(data.size() >= 2, "need at least 2 rows to split");
+  HPCP_REQUIRE(test_fraction > 0.0 && test_fraction < 1.0,
+               "test fraction must be in (0,1)");
+  const std::size_t n = data.size();
+  auto n_test = static_cast<std::size_t>(
+      std::clamp(test_fraction * static_cast<double>(n), 1.0,
+                 static_cast<double>(n - 1)));
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+  const std::vector<std::size_t> test_idx(order.begin(),
+                                          order.begin() + n_test);
+  const std::vector<std::size_t> train_idx(order.begin() + n_test,
+                                           order.end());
+  return {data.select(train_idx), data.select(test_idx)};
+}
+
+}  // namespace hpcp

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/csv.hpp"
+#include "src/common/rng.hpp"
+#include "src/linear/matrix.hpp"
+
+/// \file dataset.hpp
+/// A supervised-learning dataset: a named feature matrix plus a target
+/// vector. This is the lingua franca between the history store, the
+/// learners, and the evaluation harness.
+
+namespace hpcp {
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// An empty dataset with the given feature schema.
+  explicit Dataset(std::vector<std::string> feature_names);
+
+  /// From pre-built parts; x.rows() must equal y.size().
+  Dataset(std::vector<std::string> feature_names, Matrix x,
+          std::vector<double> y);
+
+  [[nodiscard]] std::size_t size() const noexcept { return y_.size(); }
+  [[nodiscard]] std::size_t num_features() const noexcept {
+    return feature_names_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return y_.empty(); }
+
+  [[nodiscard]] const std::vector<std::string>& feature_names() const noexcept {
+    return feature_names_;
+  }
+  [[nodiscard]] const Matrix& x() const noexcept { return x_; }
+  [[nodiscard]] const std::vector<double>& y() const noexcept { return y_; }
+
+  /// Index of a named feature; throws std::invalid_argument if absent.
+  [[nodiscard]] std::size_t feature_index(const std::string& name) const;
+
+  /// Append one example.
+  void add(std::span<const double> features, double target);
+
+  /// Subset by row indices.
+  [[nodiscard]] Dataset select(std::span<const std::size_t> idx) const;
+
+  /// Dataset with targets replaced (same features). new_y.size() == size().
+  [[nodiscard]] Dataset with_targets(std::vector<double> new_y) const;
+
+  /// Serialise to CSV (features then a final "target" column) and back.
+  [[nodiscard]] CsvTable to_csv() const;
+  [[nodiscard]] static Dataset from_csv(const CsvTable& table);
+
+ private:
+  std::vector<std::string> feature_names_;
+  Matrix x_;
+  std::vector<double> y_;
+};
+
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Random split with `test_fraction` of rows held out (at least one row on
+/// each side). Deterministic given the Rng state.
+[[nodiscard]] TrainTestSplit train_test_split(const Dataset& data,
+                                              double test_fraction, Rng& rng);
+
+}  // namespace hpcp

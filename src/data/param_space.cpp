@@ -1,0 +1,94 @@
+#include "src/data/param_space.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "src/common/check.hpp"
+
+namespace hpcp {
+
+double ParameterDef::from_unit(double u) const {
+  HPCP_REQUIRE(u >= 0.0 && u <= 1.0, "unit coordinate out of range");
+  double v;
+  if (log_scale) {
+    HPCP_REQUIRE(lo > 0.0, "log-scale parameter needs a positive lower bound");
+    v = std::exp(std::log(lo) + u * (std::log(hi) - std::log(lo)));
+  } else {
+    v = lo + u * (hi - lo);
+  }
+  if (integer) v = std::round(v);
+  return v;
+}
+
+ParameterSpace::ParameterSpace(std::vector<ParameterDef> params)
+    : params_(std::move(params)) {
+  for (const auto& p : params_) {
+    HPCP_REQUIRE(p.lo <= p.hi, "parameter '" + p.name + "' has lo > hi");
+  }
+}
+
+std::vector<std::string> ParameterSpace::names() const {
+  std::vector<std::string> out;
+  out.reserve(params_.size());
+  for (const auto& p : params_) out.push_back(p.name);
+  return out;
+}
+
+std::vector<std::vector<double>> ParameterSpace::sample_random(
+    std::size_t count, Rng& rng) const {
+  std::vector<std::vector<double>> out(count);
+  for (auto& config : out) {
+    config.resize(dimension());
+    for (std::size_t d = 0; d < dimension(); ++d) {
+      config[d] = params_[d].from_unit(rng.uniform());
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> ParameterSpace::sample_lhs(std::size_t count,
+                                                            Rng& rng) const {
+  HPCP_REQUIRE(count > 0, "LHS needs a positive sample count");
+  std::vector<std::vector<double>> out(count,
+                                       std::vector<double>(dimension()));
+  std::vector<std::size_t> perm(count);
+  for (std::size_t d = 0; d < dimension(); ++d) {
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    rng.shuffle(perm);
+    for (std::size_t i = 0; i < count; ++i) {
+      const double u = (static_cast<double>(perm[i]) + rng.uniform()) /
+                       static_cast<double>(count);
+      out[i][d] = params_[d].from_unit(std::min(u, 1.0));
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> ParameterSpace::sample_grid(
+    std::size_t points_per_dim) const {
+  HPCP_REQUIRE(points_per_dim >= 1, "grid needs at least one point per dim");
+  std::size_t total = 1;
+  for (std::size_t d = 0; d < dimension(); ++d) total *= points_per_dim;
+  std::vector<std::vector<double>> out;
+  out.reserve(total);
+  std::vector<std::size_t> index(dimension(), 0);
+  for (std::size_t i = 0; i < total; ++i) {
+    std::vector<double> config(dimension());
+    for (std::size_t d = 0; d < dimension(); ++d) {
+      const double u =
+          points_per_dim == 1
+              ? 0.5
+              : static_cast<double>(index[d]) /
+                    static_cast<double>(points_per_dim - 1);
+      config[d] = params_[d].from_unit(u);
+    }
+    out.push_back(std::move(config));
+    for (std::size_t d = 0; d < dimension(); ++d) {
+      if (++index[d] < points_per_dim) break;
+      index[d] = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace hpcp

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+/// \file param_space.hpp
+/// Application input-parameter spaces and sampling designs.
+///
+/// An HPC application exposes a handful of input parameters (grid size,
+/// particle count, time steps, …). A ParameterSpace describes their names
+/// and ranges; samplers draw configurations from it to build the execution
+/// history, mirroring how a batch of benchmark runs is planned on a real
+/// machine.
+
+namespace hpcp {
+
+/// One input parameter of an application.
+struct ParameterDef {
+  std::string name;
+  double lo = 0.0;
+  double hi = 1.0;
+  bool integer = false;    ///< round samples to integers
+  bool log_scale = false;  ///< sample uniformly in log space
+
+  /// Map a unit-interval coordinate u in [0,1] into the parameter's range.
+  [[nodiscard]] double from_unit(double u) const;
+};
+
+class ParameterSpace {
+ public:
+  ParameterSpace() = default;
+  explicit ParameterSpace(std::vector<ParameterDef> params);
+
+  [[nodiscard]] std::size_t dimension() const noexcept {
+    return params_.size();
+  }
+  [[nodiscard]] const std::vector<ParameterDef>& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] const ParameterDef& param(std::size_t i) const {
+    return params_.at(i);
+  }
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// `count` configurations sampled uniformly at random.
+  [[nodiscard]] std::vector<std::vector<double>> sample_random(
+      std::size_t count, Rng& rng) const;
+
+  /// Latin-hypercube design: each dimension is stratified into `count`
+  /// equal slices, each slice used exactly once — better space coverage
+  /// than i.i.d. sampling for the same budget.
+  [[nodiscard]] std::vector<std::vector<double>> sample_lhs(std::size_t count,
+                                                            Rng& rng) const;
+
+  /// Full factorial grid with `points_per_dim` levels in each dimension.
+  [[nodiscard]] std::vector<std::vector<double>> sample_grid(
+      std::size_t points_per_dim) const;
+
+ private:
+  std::vector<ParameterDef> params_;
+};
+
+}  // namespace hpcp

@@ -1,0 +1,73 @@
+#include "src/forest/gbm.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/check.hpp"
+#include "src/common/stats.hpp"
+
+namespace hpcp {
+
+void GradientBoostedTrees::fit(const Matrix& x, std::span<const double> y,
+                               Rng& rng) {
+  HPCP_REQUIRE(x.rows() == y.size(), "row count must match target length");
+  HPCP_REQUIRE(x.rows() > 0, "cannot fit on empty data");
+  HPCP_REQUIRE(opts_.num_rounds > 0, "need at least one round");
+  HPCP_REQUIRE(opts_.learning_rate > 0.0 && opts_.learning_rate <= 1.0,
+               "learning rate must be in (0, 1]");
+  HPCP_REQUIRE(opts_.subsample > 0.0 && opts_.subsample <= 1.0,
+               "subsample fraction must be in (0, 1]");
+
+  const std::size_t n = x.rows();
+  base_prediction_ = mean(y);
+  trees_.clear();
+  trees_.reserve(opts_.num_rounds);
+  train_mse_.clear();
+  train_mse_.reserve(opts_.num_rounds);
+
+  // residual[i] = y_i − F(x_i); for squared loss the negative gradient.
+  std::vector<double> residual(n);
+  for (std::size_t i = 0; i < n; ++i) residual[i] = y[i] - base_prediction_;
+
+  const auto sample_rows = std::max<std::size_t>(
+      1, static_cast<std::size_t>(opts_.subsample * static_cast<double>(n)));
+
+  for (std::size_t round = 0; round < opts_.num_rounds; ++round) {
+    std::vector<std::size_t> rows;
+    if (sample_rows < n) {
+      rows = rng.sample_without_replacement(n, sample_rows);
+    } else {
+      rows.resize(n);
+      std::iota(rows.begin(), rows.end(), std::size_t{0});
+    }
+    RegressionTree tree;
+    Rng tree_rng = rng.fork();
+    tree.fit(x, residual, rows, opts_.tree, tree_rng);
+
+    double mse = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      residual[i] -= opts_.learning_rate * tree.predict(x.row(i));
+      mse += residual[i] * residual[i];
+    }
+    train_mse_.push_back(mse / static_cast<double>(n));
+    trees_.push_back(std::move(tree));
+  }
+  fitted_ = true;
+}
+
+double GradientBoostedTrees::predict(std::span<const double> features) const {
+  HPCP_REQUIRE(fitted_, "predict before fit");
+  double acc = base_prediction_;
+  for (const auto& tree : trees_) {
+    acc += opts_.learning_rate * tree.predict(features);
+  }
+  return acc;
+}
+
+std::vector<double> GradientBoostedTrees::predict(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict(x.row(r));
+  return out;
+}
+
+}  // namespace hpcp

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/forest/tree.hpp"
+#include "src/linear/matrix.hpp"
+
+/// \file gbm.hpp
+/// Gradient-boosted regression trees (least-squares boosting): the other
+/// standard tabular learner HPC-performance papers compare against. Each
+/// stage fits a shallow CART tree to the current residuals and is added
+/// with a small learning rate; optional row subsampling (stochastic
+/// gradient boosting) decorrelates stages.
+
+namespace hpcp {
+
+struct GbmOptions {
+  std::size_t num_rounds = 200;
+  double learning_rate = 0.1;
+  TreeOptions tree{.max_depth = 3, .min_samples_leaf = 3};
+  /// Fraction of rows drawn (without replacement) per round; 1.0 = all.
+  double subsample = 0.8;
+};
+
+class GradientBoostedTrees {
+ public:
+  GradientBoostedTrees() = default;
+  explicit GradientBoostedTrees(GbmOptions opts) : opts_(opts) {}
+
+  void fit(const Matrix& x, std::span<const double> y, Rng& rng);
+
+  [[nodiscard]] double predict(std::span<const double> features) const;
+  [[nodiscard]] std::vector<double> predict(const Matrix& x) const;
+
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+  [[nodiscard]] std::size_t num_rounds() const noexcept {
+    return trees_.size();
+  }
+  [[nodiscard]] const GbmOptions& options() const noexcept { return opts_; }
+
+  /// Training MSE after each round (for monitoring / early-stopping tests).
+  [[nodiscard]] const std::vector<double>& training_curve() const noexcept {
+    return train_mse_;
+  }
+
+ private:
+  GbmOptions opts_{};
+  bool fitted_ = false;
+  double base_prediction_ = 0.0;
+  std::vector<RegressionTree> trees_;
+  std::vector<double> train_mse_;
+};
+
+}  // namespace hpcp

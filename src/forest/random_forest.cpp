@@ -1,0 +1,142 @@
+#include "src/forest/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/check.hpp"
+
+namespace hpcp {
+
+void RandomForest::fit(const Matrix& x, std::span<const double> y, Rng& rng,
+                       ThreadPool* pool) {
+  HPCP_REQUIRE(x.rows() == y.size(), "row count must match target length");
+  HPCP_REQUIRE(x.rows() > 0, "cannot fit on empty data");
+  HPCP_REQUIRE(opts_.num_trees > 0, "need at least one tree");
+
+  num_features_ = x.cols();
+  TreeOptions tree_opts = opts_.tree;
+  if (tree_opts.mtry == 0 && opts_.mtry_ratio < 1.0) {
+    tree_opts.mtry = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::lround(opts_.mtry_ratio * static_cast<double>(x.cols()))));
+  }
+
+  const std::size_t n = x.rows();
+  const std::size_t t = opts_.num_trees;
+  trees_.assign(t, RegressionTree{});
+
+  // Pre-draw per-tree RNGs and bootstrap samples on the caller's thread so
+  // results do not depend on worker scheduling.
+  std::vector<Rng> tree_rngs;
+  tree_rngs.reserve(t);
+  std::vector<std::vector<std::size_t>> samples(t);
+  for (std::size_t i = 0; i < t; ++i) {
+    tree_rngs.push_back(rng.fork());
+    if (opts_.bootstrap) {
+      samples[i] = tree_rngs.back().bootstrap_indices(n);
+    } else {
+      samples[i].resize(n);
+      std::iota(samples[i].begin(), samples[i].end(), std::size_t{0});
+    }
+  }
+
+  parallel_for(
+      t,
+      [&](std::size_t i) {
+        trees_[i].fit(x, y, samples[i], tree_opts, tree_rngs[i]);
+      },
+      pool);
+
+  oob_mse_.reset();
+  if (opts_.bootstrap && opts_.compute_oob) {
+    std::vector<double> oob_sum(n, 0.0);
+    std::vector<std::size_t> oob_count(n, 0);
+    std::vector<char> in_bag(n);
+    for (std::size_t i = 0; i < t; ++i) {
+      std::fill(in_bag.begin(), in_bag.end(), char{0});
+      for (const std::size_t r : samples[i]) in_bag[r] = 1;
+      for (std::size_t r = 0; r < n; ++r) {
+        if (in_bag[r]) continue;
+        oob_sum[r] += trees_[i].predict(x.row(r));
+        ++oob_count[r];
+      }
+    }
+    double mse = 0.0;
+    std::size_t covered = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (oob_count[r] == 0) continue;
+      const double pred = oob_sum[r] / static_cast<double>(oob_count[r]);
+      mse += (pred - y[r]) * (pred - y[r]);
+      ++covered;
+    }
+    if (covered == n) {
+      oob_mse_ = mse / static_cast<double>(n);
+    }
+  }
+}
+
+double RandomForest::predict(std::span<const double> features) const {
+  HPCP_REQUIRE(fitted(), "predict before fit");
+  double acc = 0.0;
+  for (const auto& tree : trees_) acc += tree.predict(features);
+  return acc / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForest::predict(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict(x.row(r));
+  return out;
+}
+
+RandomForest::PredictionStats RandomForest::predict_stats(
+    std::span<const double> features) const {
+  HPCP_REQUIRE(fitted(), "predict before fit");
+  double sum = 0.0, sum_sq = 0.0;
+  for (const auto& tree : trees_) {
+    const double p = tree.predict(features);
+    sum += p;
+    sum_sq += p * p;
+  }
+  const auto t = static_cast<double>(trees_.size());
+  const double mean = sum / t;
+  const double var = std::max(0.0, sum_sq / t - mean * mean);
+  return {.mean = mean, .stddev = std::sqrt(var)};
+}
+
+std::vector<double> RandomForest::feature_importance() const {
+  HPCP_REQUIRE(fitted(), "importance before fit");
+  std::vector<double> total(num_features_, 0.0);
+  for (const auto& tree : trees_) {
+    const auto& imp = tree.impurity_importance();
+    for (std::size_t f = 0; f < num_features_; ++f) total[f] += imp[f];
+  }
+  const double sum = std::accumulate(total.begin(), total.end(), 0.0);
+  if (sum > 0.0) {
+    for (auto& v : total) v /= sum;
+  }
+  return total;
+}
+
+void RandomForest::save(Serializer& out) const {
+  out.tag("forest");
+  out.write(num_features_);
+  out.write(oob_mse_.has_value());
+  out.write(oob_mse_.value_or(0.0));
+  out.write(static_cast<std::size_t>(trees_.size()));
+  for (const auto& tree : trees_) tree.save(out);
+}
+
+RandomForest RandomForest::load(Deserializer& in) {
+  in.expect_tag("forest");
+  RandomForest forest;
+  forest.num_features_ = in.read_size();
+  const bool has_oob = in.read_bool();
+  const double oob = in.read_double();
+  if (has_oob) forest.oob_mse_ = oob;
+  forest.trees_.resize(in.read_size());
+  for (auto& tree : forest.trees_) tree = RegressionTree::load(in);
+  return forest;
+}
+
+}  // namespace hpcp

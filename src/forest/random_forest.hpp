@@ -1,0 +1,79 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/forest/tree.hpp"
+#include "src/linear/matrix.hpp"
+
+/// \file random_forest.hpp
+/// Bagged ensemble of CART regression trees — the paper's interpolation-
+/// level learner.
+
+namespace hpcp {
+
+struct ForestOptions {
+  std::size_t num_trees = 100;
+  TreeOptions tree{.min_samples_leaf = 1, .mtry = 0};
+  bool bootstrap = true;
+  /// Fraction of features tried per split when tree.mtry == 0:
+  /// mtry = max(1, round(ratio * d)). Default considers all features, the
+  /// standard choice for regression forests (scikit-learn's default);
+  /// randomness then comes from bagging alone.
+  double mtry_ratio = 1.0;
+  bool compute_oob = true;
+};
+
+class RandomForest {
+ public:
+  RandomForest() = default;
+  explicit RandomForest(ForestOptions opts) : opts_(opts) {}
+
+  /// Fit all trees; tree fitting is parallelised across the pool (nullptr =
+  /// the global pool). Deterministic given the Rng seed regardless of the
+  /// number of worker threads (per-tree Rngs are forked up front).
+  void fit(const Matrix& x, std::span<const double> y, Rng& rng,
+           ThreadPool* pool = nullptr);
+
+  [[nodiscard]] double predict(std::span<const double> features) const;
+  [[nodiscard]] std::vector<double> predict(const Matrix& x) const;
+
+  /// Mean and standard deviation of the per-tree predictions — the ensemble
+  /// spread, a useful uncertainty proxy.
+  struct PredictionStats {
+    double mean = 0.0;
+    double stddev = 0.0;
+  };
+  [[nodiscard]] PredictionStats predict_stats(
+      std::span<const double> features) const;
+
+  [[nodiscard]] bool fitted() const noexcept { return !trees_.empty(); }
+  [[nodiscard]] std::size_t num_trees() const noexcept { return trees_.size(); }
+  [[nodiscard]] const ForestOptions& options() const noexcept { return opts_; }
+
+  /// Out-of-bag MSE; empty if bootstrap/compute_oob was off or some row was
+  /// never out of bag.
+  [[nodiscard]] std::optional<double> oob_mse() const noexcept {
+    return oob_mse_;
+  }
+
+  /// Impurity-based importance summed over trees, normalised to sum to 1
+  /// (all-zero if no splits were made).
+  [[nodiscard]] std::vector<double> feature_importance() const;
+
+  /// Serialization of the fitted ensemble (fit-time options are not
+  /// persisted; a loaded forest predicts but is not refittable-in-place).
+  void save(Serializer& out) const;
+  [[nodiscard]] static RandomForest load(Deserializer& in);
+
+ private:
+  ForestOptions opts_;
+  std::vector<RegressionTree> trees_;
+  std::optional<double> oob_mse_;
+  std::size_t num_features_ = 0;
+};
+
+}  // namespace hpcp

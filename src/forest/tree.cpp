@@ -1,0 +1,219 @@
+#include "src/forest/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "src/common/check.hpp"
+
+namespace hpcp {
+
+namespace {
+
+/// Mean of y over idx[begin, end).
+double subset_mean(std::span<const double> y,
+                   std::span<const std::size_t> idx) {
+  double acc = 0.0;
+  for (const std::size_t i : idx) acc += y[i];
+  return acc / static_cast<double>(idx.size());
+}
+
+/// Sum of squared deviations of y over idx (n * population variance).
+double subset_sse(std::span<const double> y, std::span<const std::size_t> idx,
+                  double mean) {
+  double acc = 0.0;
+  for (const std::size_t i : idx) {
+    const double d = y[i] - mean;
+    acc += d * d;
+  }
+  return acc;
+}
+
+struct BestSplit {
+  std::size_t feature = 0;
+  double threshold = 0.0;
+  double gain = -1.0;  ///< SSE reduction; negative = no valid split found
+};
+
+}  // namespace
+
+void RegressionTree::fit(const Matrix& x, std::span<const double> y,
+                         const TreeOptions& opts, Rng& rng) {
+  std::vector<std::size_t> idx(x.rows());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  fit(x, y, idx, opts, rng);
+}
+
+void RegressionTree::fit(const Matrix& x, std::span<const double> y,
+                         std::span<const std::size_t> row_idx,
+                         const TreeOptions& opts, Rng& rng) {
+  HPCP_REQUIRE(x.rows() == y.size(), "row count must match target length");
+  HPCP_REQUIRE(!row_idx.empty(), "cannot fit a tree on zero rows");
+  HPCP_REQUIRE(opts.min_samples_leaf >= 1, "min_samples_leaf must be >= 1");
+  nodes_.clear();
+  importance_.assign(x.cols(), 0.0);
+  std::vector<std::size_t> idx(row_idx.begin(), row_idx.end());
+  build(x, y, idx, 0, idx.size(), 0, opts, rng);
+}
+
+std::int32_t RegressionTree::build(const Matrix& x, std::span<const double> y,
+                                   std::vector<std::size_t>& idx,
+                                   std::size_t begin, std::size_t end,
+                                   std::size_t depth, const TreeOptions& opts,
+                                   Rng& rng) {
+  const std::size_t n = end - begin;
+  const std::span<const std::size_t> rows{idx.data() + begin, n};
+  const double node_mean = subset_mean(y, rows);
+  const double node_sse = subset_sse(y, rows, node_mean);
+
+  const auto node_id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{.value = node_mean});
+
+  const bool depth_ok = opts.max_depth == 0 || depth < opts.max_depth;
+  if (!depth_ok || n < opts.min_samples_split ||
+      n < 2 * opts.min_samples_leaf || node_sse <= 1e-24) {
+    return node_id;
+  }
+
+  // Candidate features: all, or an mtry-sized random subset (random forest).
+  const std::size_t d = x.cols();
+  std::vector<std::size_t> features;
+  if (opts.mtry == 0 || opts.mtry >= d) {
+    features.resize(d);
+    std::iota(features.begin(), features.end(), std::size_t{0});
+  } else {
+    features = rng.sample_without_replacement(d, opts.mtry);
+  }
+
+  BestSplit best;
+  std::vector<std::size_t> order(rows.begin(), rows.end());
+  for (const std::size_t f : features) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return x(a, f) < x(b, f);
+    });
+    // Scan split positions with running prefix sums; split between distinct
+    // adjacent feature values only.
+    double left_sum = 0.0;
+    double total_sum = 0.0;
+    for (const std::size_t i : order) total_sum += y[i];
+    for (std::size_t pos = 1; pos < n; ++pos) {
+      left_sum += y[order[pos - 1]];
+      if (x(order[pos - 1], f) == x(order[pos], f)) continue;
+      if (pos < opts.min_samples_leaf || n - pos < opts.min_samples_leaf) {
+        continue;
+      }
+      const auto nl = static_cast<double>(pos);
+      const auto nr = static_cast<double>(n - pos);
+      const double right_sum = total_sum - left_sum;
+      // gain = SSE(parent) - SSE(children); with fixed parent SSE, maximise
+      // sum_l²/n_l + sum_r²/n_r (standard CART identity).
+      const double score =
+          left_sum * left_sum / nl + right_sum * right_sum / nr;
+      const double parent_score = total_sum * total_sum / static_cast<double>(n);
+      const double gain = score - parent_score;
+      if (gain > best.gain) {
+        best.feature = f;
+        best.threshold =
+            0.5 * (x(order[pos - 1], f) + x(order[pos], f));
+        best.gain = gain;
+      }
+    }
+  }
+
+  if (best.gain <= 0.0) return node_id;
+
+  // Partition idx[begin,end) in place around the chosen split.
+  const auto mid_it = std::partition(
+      idx.begin() + static_cast<std::ptrdiff_t>(begin),
+      idx.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t i) { return x(i, best.feature) <= best.threshold; });
+  const auto mid = static_cast<std::size_t>(mid_it - idx.begin());
+  HPCP_ASSERT(mid > begin && mid < end, "degenerate partition");
+
+  importance_[best.feature] += best.gain;
+  nodes_[static_cast<std::size_t>(node_id)].feature =
+      static_cast<std::int32_t>(best.feature);
+  nodes_[static_cast<std::size_t>(node_id)].threshold = best.threshold;
+  const std::int32_t left =
+      build(x, y, idx, begin, mid, depth + 1, opts, rng);
+  const std::int32_t right = build(x, y, idx, mid, end, depth + 1, opts, rng);
+  nodes_[static_cast<std::size_t>(node_id)].left = left;
+  nodes_[static_cast<std::size_t>(node_id)].right = right;
+  return node_id;
+}
+
+double RegressionTree::predict(std::span<const double> features) const {
+  HPCP_REQUIRE(fitted(), "predict before fit");
+  std::size_t node = 0;
+  for (;;) {
+    const Node& cur = nodes_[node];
+    if (cur.left < 0) return cur.value;
+    HPCP_REQUIRE(static_cast<std::size_t>(cur.feature) < features.size(),
+                 "feature width mismatch");
+    node = static_cast<std::size_t>(
+        features[static_cast<std::size_t>(cur.feature)] <= cur.threshold
+            ? cur.left
+            : cur.right);
+  }
+}
+
+std::vector<double> RegressionTree::predict(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict(x.row(r));
+  return out;
+}
+
+std::size_t RegressionTree::num_leaves() const noexcept {
+  std::size_t count = 0;
+  for (const auto& n : nodes_) count += n.left < 0 ? 1 : 0;
+  return count;
+}
+
+std::size_t RegressionTree::depth() const noexcept {
+  if (nodes_.empty()) return 0;
+  // Iterative depth computation over the implicit tree structure.
+  std::vector<std::pair<std::size_t, std::size_t>> stack{{0, 1}};
+  std::size_t best = 0;
+  while (!stack.empty()) {
+    const auto [node, d] = stack.back();
+    stack.pop_back();
+    best = std::max(best, d);
+    const Node& cur = nodes_[node];
+    if (cur.left >= 0) {
+      stack.emplace_back(static_cast<std::size_t>(cur.left), d + 1);
+      stack.emplace_back(static_cast<std::size_t>(cur.right), d + 1);
+    }
+  }
+  return best;
+}
+
+void RegressionTree::save(Serializer& out) const {
+  out.tag("tree");
+  out.write(static_cast<std::size_t>(nodes_.size()));
+  for (const Node& n : nodes_) {
+    out.write(static_cast<std::int64_t>(n.left));
+    out.write(static_cast<std::int64_t>(n.right));
+    out.write(static_cast<std::int64_t>(n.feature));
+    out.write(n.threshold);
+    out.write(n.value);
+  }
+  out.write(importance_);
+}
+
+RegressionTree RegressionTree::load(Deserializer& in) {
+  in.expect_tag("tree");
+  RegressionTree tree;
+  tree.nodes_.resize(in.read_size());
+  for (Node& n : tree.nodes_) {
+    n.left = static_cast<std::int32_t>(in.read_int());
+    n.right = static_cast<std::int32_t>(in.read_int());
+    n.feature = static_cast<std::int32_t>(in.read_int());
+    n.threshold = in.read_double();
+    n.value = in.read_double();
+  }
+  tree.importance_ = in.read_doubles();
+  return tree;
+}
+
+}  // namespace hpcp

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/serialize.hpp"
+#include "src/linear/matrix.hpp"
+
+/// \file tree.hpp
+/// CART regression tree: binary splits chosen by variance reduction.
+
+namespace hpcp {
+
+struct TreeOptions {
+  std::size_t max_depth = 0;         ///< 0 = unlimited
+  std::size_t min_samples_split = 2; ///< fewer samples -> leaf
+  std::size_t min_samples_leaf = 1;  ///< splits leaving smaller children rejected
+  std::size_t mtry = 0;              ///< features tried per node; 0 = all
+};
+
+class RegressionTree {
+ public:
+  /// Fit on all rows of (x, y).
+  void fit(const Matrix& x, std::span<const double> y,
+           const TreeOptions& opts, Rng& rng);
+
+  /// Fit on a subset of rows (duplicates allowed — bootstrap samples).
+  void fit(const Matrix& x, std::span<const double> y,
+           std::span<const std::size_t> row_idx, const TreeOptions& opts,
+           Rng& rng);
+
+  [[nodiscard]] double predict(std::span<const double> features) const;
+  [[nodiscard]] std::vector<double> predict(const Matrix& x) const;
+
+  [[nodiscard]] bool fitted() const noexcept { return !nodes_.empty(); }
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_leaves() const noexcept;
+  [[nodiscard]] std::size_t depth() const noexcept;
+
+  /// Per-feature total variance reduction accumulated over all splits,
+  /// weighted by node size (CART impurity importance, unnormalised).
+  [[nodiscard]] const std::vector<double>& impurity_importance() const noexcept {
+    return importance_;
+  }
+
+  /// Serialization of the fitted structure.
+  void save(Serializer& out) const;
+  [[nodiscard]] static RegressionTree load(Deserializer& in);
+
+ private:
+  struct Node {
+    // Leaf iff left < 0. For internal nodes, rows with
+    // features[feature] <= threshold go left.
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::int32_t feature = -1;
+    double threshold = 0.0;
+    double value = 0.0;  ///< mean target of the node's training rows
+  };
+
+  std::int32_t build(const Matrix& x, std::span<const double> y,
+                     std::vector<std::size_t>& idx, std::size_t begin,
+                     std::size_t end, std::size_t depth,
+                     const TreeOptions& opts, Rng& rng);
+
+  std::vector<Node> nodes_;
+  std::vector<double> importance_;
+};
+
+}  // namespace hpcp

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file hpcpredict.hpp
+/// Umbrella header: the library's whole public API.
+///
+/// hpcpredict reproduces "Using Small-Scale History Data to Predict
+/// Large-Scale Performance of HPC Application" (Zhou, Zhang, Sun, Sun —
+/// IPDPSW 2020): a two-level model that predicts an HPC application's
+/// runtime at large process counts from a history containing only
+/// small-scale runs. See README.md for a walkthrough and DESIGN.md for the
+/// architecture.
+
+// common utilities
+#include "src/common/check.hpp"
+#include "src/common/csv.hpp"
+#include "src/common/metrics.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/serialize.hpp"
+#include "src/common/stats.hpp"
+#include "src/common/table.hpp"
+#include "src/common/thread_pool.hpp"
+
+// datasets and sampling
+#include "src/data/dataset.hpp"
+#include "src/data/param_space.hpp"
+
+// learners
+#include "src/cluster/curve_features.hpp"
+#include "src/cluster/kmeans.hpp"
+#include "src/forest/gbm.hpp"
+#include "src/forest/random_forest.hpp"
+#include "src/forest/tree.hpp"
+#include "src/linear/cv.hpp"
+#include "src/linear/lasso.hpp"
+#include "src/linear/matrix.hpp"
+#include "src/linear/multitask_lasso.hpp"
+#include "src/linear/ols.hpp"
+#include "src/linear/scaler.hpp"
+#include "src/linear/solve.hpp"
+
+// simulated platform and applications
+#include "src/apps/lu_app.hpp"
+#include "src/apps/nbody_app.hpp"
+#include "src/apps/registry.hpp"
+#include "src/apps/spectral_app.hpp"
+#include "src/apps/stencil_app.hpp"
+#include "src/platform/application.hpp"
+#include "src/platform/collectives.hpp"
+#include "src/platform/history.hpp"
+#include "src/platform/machine.hpp"
+#include "src/platform/proc_grid.hpp"
+#include "src/platform/simulator.hpp"
+#include "src/platform/trace_report.hpp"
+#include "src/platform/workload.hpp"
+
+// the paper's model and the evaluation harness
+#include "src/core/active_sampler.hpp"
+#include "src/core/evaluator.hpp"
+#include "src/core/experiment.hpp"
+#include "src/core/extrapolation_level.hpp"
+#include "src/core/extrapolation_model.hpp"
+#include "src/core/interpolation_level.hpp"
+#include "src/core/problem.hpp"
+#include "src/core/scaling_basis.hpp"
+#include "src/core/two_level_model.hpp"
+
+// baselines
+#include "src/baselines/direct_models.hpp"
+#include "src/baselines/extrap_model.hpp"
+#include "src/baselines/presets.hpp"

@@ -1,0 +1,117 @@
+#include "src/linear/lasso.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.hpp"
+#include "src/common/stats.hpp"
+#include "src/linear/scaler.hpp"
+
+namespace hpcp {
+
+namespace {
+double soft_threshold(double v, double t) noexcept {
+  if (v > t) return v - t;
+  if (v < -t) return v + t;
+  return 0.0;
+}
+}  // namespace
+
+LinearModel fit_lasso(const Matrix& x, std::span<const double> y,
+                      const LassoOptions& opts, LassoFitInfo* info) {
+  HPCP_REQUIRE(x.rows() == y.size(), "row count must match target length");
+  HPCP_REQUIRE(x.rows() > 0, "cannot fit on empty data");
+  HPCP_REQUIRE(opts.lambda >= 0.0, "lambda must be non-negative");
+
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  const auto dn = static_cast<double>(n);
+
+  const auto scaler = StandardScaler::fit(x);
+  const Matrix xs = scaler.transform(x);
+  const double y_mean = mean(y);
+
+  // Column views of the standardised design: coordinate descent touches one
+  // column at a time, so store column-major copies.
+  std::vector<std::vector<double>> col(d);
+  std::vector<double> col_sq_norm(d);  // (1/n)·x_jᵀx_j  (1 unless constant)
+  for (std::size_t j = 0; j < d; ++j) {
+    col[j] = xs.column(j);
+    double s = 0.0;
+    for (const double v : col[j]) s += v * v;
+    col_sq_norm[j] = s / dn;
+  }
+
+  std::vector<double> w(d, 0.0);
+  std::vector<double> residual(n);
+  for (std::size_t i = 0; i < n; ++i) residual[i] = y[i] - y_mean;
+
+  LassoFitInfo local_info;
+  for (std::size_t it = 0; it < opts.max_iter; ++it) {
+    double max_delta = 0.0;
+    double max_w = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      if (col_sq_norm[j] <= 0.0) continue;  // constant column stays at 0
+      const double old_wj = w[j];
+      // rho = (1/n)·x_jᵀ(residual + x_j·w_j)
+      double rho = 0.0;
+      for (std::size_t i = 0; i < n; ++i) rho += col[j][i] * residual[i];
+      rho = rho / dn + col_sq_norm[j] * old_wj;
+      const double new_wj = soft_threshold(rho, opts.lambda) / col_sq_norm[j];
+      if (new_wj != old_wj) {
+        const double delta = new_wj - old_wj;
+        for (std::size_t i = 0; i < n; ++i) residual[i] -= delta * col[j][i];
+        w[j] = new_wj;
+        max_delta = std::max(max_delta, std::abs(delta));
+      }
+      max_w = std::max(max_w, std::abs(w[j]));
+    }
+    local_info.iterations = it + 1;
+    if (max_delta <= opts.tol * std::max(max_w, 1e-12)) {
+      local_info.converged = true;
+      break;
+    }
+  }
+
+  LinearModel model;
+  model.coef.assign(d, 0.0);
+  model.intercept = y_mean;
+  for (std::size_t c = 0; c < d; ++c) {
+    if (scaler.is_constant(c) || w[c] == 0.0) continue;
+    model.coef[c] = w[c] / scaler.stds()[c];
+    model.intercept -= model.coef[c] * scaler.means()[c];
+    ++local_info.nonzeros;
+  }
+  if (info != nullptr) *info = local_info;
+  return model;
+}
+
+double lasso_lambda_max(const Matrix& x, std::span<const double> y) {
+  HPCP_REQUIRE(x.rows() == y.size(), "row count must match target length");
+  const auto scaler = StandardScaler::fit(x);
+  const Matrix xs = scaler.transform(x);
+  const double y_mean = mean(y);
+  std::vector<double> yc(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) yc[i] = y[i] - y_mean;
+  const auto corr = xs.transpose_multiply(yc);
+  double best = 0.0;
+  for (const double c : corr) best = std::max(best, std::abs(c));
+  return best / static_cast<double>(x.rows());
+}
+
+std::vector<double> lambda_grid(double lambda_max, std::size_t count,
+                                double ratio) {
+  HPCP_REQUIRE(count >= 2, "lambda grid needs at least 2 points");
+  HPCP_REQUIRE(lambda_max > 0.0, "lambda_max must be positive");
+  HPCP_REQUIRE(ratio > 0.0 && ratio < 1.0, "ratio must be in (0,1)");
+  std::vector<double> grid(count);
+  const double log_hi = std::log(lambda_max);
+  const double log_lo = std::log(lambda_max * ratio);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(count - 1);
+    grid[i] = std::exp(log_hi + t * (log_lo - log_hi));
+  }
+  return grid;
+}
+
+}  // namespace hpcp

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <span>
+
+#include "src/linear/matrix.hpp"
+#include "src/linear/ols.hpp"
+
+/// \file lasso.hpp
+/// L1-penalised least squares via cyclic coordinate descent.
+///
+/// Objective (matching scikit-learn's parameterisation):
+///   min_w (1/2n)·||y − Xw − b||² + λ·||w||₁
+/// Features are standardised internally; the intercept is unpenalised.
+
+namespace hpcp {
+
+struct LassoOptions {
+  double lambda = 0.1;     ///< penalty strength λ ≥ 0
+  std::size_t max_iter = 1000;
+  double tol = 1e-7;       ///< stop when max coefficient change < tol·max|w|
+};
+
+struct LassoFitInfo {
+  std::size_t iterations = 0;
+  bool converged = false;
+  std::size_t nonzeros = 0;
+};
+
+/// Fit a lasso model; optionally reports convergence diagnostics.
+[[nodiscard]] LinearModel fit_lasso(const Matrix& x, std::span<const double> y,
+                                    const LassoOptions& opts,
+                                    LassoFitInfo* info = nullptr);
+
+/// Smallest λ for which the lasso solution is all-zero:
+/// λ_max = max_j |x_jᵀ y_c| / n on standardised features.
+[[nodiscard]] double lasso_lambda_max(const Matrix& x,
+                                      std::span<const double> y);
+
+/// Log-spaced λ grid of `count` values from λ_max down to ratio·λ_max.
+[[nodiscard]] std::vector<double> lambda_grid(double lambda_max,
+                                              std::size_t count = 30,
+                                              double ratio = 1e-3);
+
+}  // namespace hpcp

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "src/common/serialize.hpp"
+
+/// \file matrix.hpp
+/// Dense row-major matrix of doubles. Deliberately small: the library's
+/// design matrices are (configurations × features), i.e. thousands by tens,
+/// so a cache-friendly row-major layout with straightforward loops is the
+/// right tool — no BLAS dependency.
+
+namespace hpcp {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows × cols matrix, zero-initialised.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// rows × cols matrix filled with `value`.
+  Matrix(std::size_t rows, std::size_t cols, double value);
+
+  /// From nested initializer lists; all rows must have equal width.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access; throws std::out_of_range.
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  /// Contiguous view of row r.
+  [[nodiscard]] std::span<double> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Copy of column c.
+  [[nodiscard]] std::vector<double> column(std::size_t c) const;
+
+  /// Overwrite row r from a span of matching width.
+  void set_row(std::size_t r, std::span<const double> values);
+
+  [[nodiscard]] std::span<const double> data() const noexcept { return data_; }
+  [[nodiscard]] std::span<double> data() noexcept { return data_; }
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// this * other; inner dimensions must match.
+  [[nodiscard]] Matrix multiply(const Matrix& other) const;
+
+  /// this * v (matrix–vector); v.size() must equal cols().
+  [[nodiscard]] std::vector<double> multiply(std::span<const double> v) const;
+
+  /// thisᵀ * this (the Gram matrix), computed without materialising the
+  /// transpose.
+  [[nodiscard]] Matrix gram() const;
+
+  /// thisᵀ * v; v.size() must equal rows().
+  [[nodiscard]] std::vector<double> transpose_multiply(
+      std::span<const double> v) const;
+
+  /// Identity matrix of size n.
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  /// New matrix containing the given subset of this matrix's rows.
+  [[nodiscard]] Matrix select_rows(std::span<const std::size_t> idx) const;
+
+  /// Append a column (must match rows(), or set rows for an empty matrix).
+  void append_column(std::span<const double> col);
+
+  [[nodiscard]] bool operator==(const Matrix& other) const = default;
+
+  /// Serialization (see src/common/serialize.hpp).
+  void save(Serializer& out) const;
+  [[nodiscard]] static Matrix load(Deserializer& in);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace hpcp

@@ -1,0 +1,199 @@
+#include "src/linear/multitask_lasso.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.hpp"
+#include "src/linear/scaler.hpp"
+
+namespace hpcp {
+
+MultiTaskLinearModel::MultiTaskLinearModel(std::vector<double> intercepts,
+                                           Matrix weights)
+    : intercepts_(std::move(intercepts)), weights_(std::move(weights)) {
+  HPCP_REQUIRE(weights_.cols() == intercepts_.size(),
+               "one intercept per task required");
+}
+
+std::vector<double> MultiTaskLinearModel::predict(
+    std::span<const double> x) const {
+  HPCP_REQUIRE(x.size() == features(), "feature width mismatch");
+  std::vector<double> out = intercepts_;
+  for (std::size_t j = 0; j < features(); ++j) {
+    const double xj = x[j];
+    if (xj == 0.0) continue;
+    const auto wrow = weights_.row(j);
+    for (std::size_t t = 0; t < out.size(); ++t) out[t] += wrow[t] * xj;
+  }
+  return out;
+}
+
+double MultiTaskLinearModel::predict_task(std::span<const double> x,
+                                          std::size_t task) const {
+  HPCP_REQUIRE(task < tasks(), "task index out of range");
+  HPCP_REQUIRE(x.size() == features(), "feature width mismatch");
+  double acc = intercepts_[task];
+  for (std::size_t j = 0; j < features(); ++j) {
+    acc += weights_(j, task) * x[j];
+  }
+  return acc;
+}
+
+Matrix MultiTaskLinearModel::predict(const Matrix& x) const {
+  Matrix out(x.rows(), tasks());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto pred = predict(x.row(r));
+    out.set_row(r, pred);
+  }
+  return out;
+}
+
+std::vector<std::size_t> MultiTaskLinearModel::support() const {
+  std::vector<std::size_t> idx;
+  for (std::size_t j = 0; j < features(); ++j) {
+    const auto row = weights_.row(j);
+    double norm = 0.0;
+    for (const double v : row) norm += v * v;
+    if (norm > 0.0) idx.push_back(j);
+  }
+  return idx;
+}
+
+MultiTaskLinearModel fit_multitask_lasso(const Matrix& x, const Matrix& y,
+                                         const MultiTaskLassoOptions& opts,
+                                         MultiTaskFitInfo* info) {
+  HPCP_REQUIRE(x.rows() == y.rows(), "X and Y row counts must match");
+  HPCP_REQUIRE(x.rows() > 0, "cannot fit on empty data");
+  HPCP_REQUIRE(y.cols() > 0, "need at least one task");
+  HPCP_REQUIRE(opts.lambda >= 0.0, "lambda must be non-negative");
+
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  const std::size_t T = y.cols();
+  const auto dn = static_cast<double>(n);
+
+  const auto scaler = StandardScaler::fit(x);
+  const Matrix xs = scaler.transform(x);
+
+  std::vector<double> y_mean(T, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = y.row(r);
+    for (std::size_t t = 0; t < T; ++t) y_mean[t] += row[t];
+  }
+  for (auto& m : y_mean) m /= dn;
+
+  std::vector<std::vector<double>> col(d);
+  std::vector<double> col_sq_norm(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    col[j] = xs.column(j);
+    double s = 0.0;
+    for (const double v : col[j]) s += v * v;
+    col_sq_norm[j] = s / dn;
+  }
+
+  // Residual R = Yc − XW, stored row-major (n × T). W rows update jointly.
+  Matrix w(d, T);
+  Matrix residual(n, T);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto yrow = y.row(r);
+    auto rrow = residual.row(r);
+    for (std::size_t t = 0; t < T; ++t) rrow[t] = yrow[t] - y_mean[t];
+  }
+
+  std::vector<double> c(T);
+  MultiTaskFitInfo local_info;
+  for (std::size_t it = 0; it < opts.max_iter; ++it) {
+    double max_delta = 0.0;
+    double max_w = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      if (col_sq_norm[j] <= 0.0) continue;
+      auto wrow = w.row(j);
+      // c = (1/n)·x_jᵀ(R + x_j·W_j) for all tasks at once.
+      std::fill(c.begin(), c.end(), 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double xij = col[j][i];
+        if (xij == 0.0) continue;
+        const auto rrow = residual.row(i);
+        for (std::size_t t = 0; t < T; ++t) c[t] += xij * rrow[t];
+      }
+      double c_norm_sq = 0.0;
+      for (std::size_t t = 0; t < T; ++t) {
+        c[t] = c[t] / dn + col_sq_norm[j] * wrow[t];
+        c_norm_sq += c[t] * c[t];
+      }
+      const double c_norm = std::sqrt(c_norm_sq);
+      // Row-wise (vector) soft threshold.
+      const double shrink =
+          c_norm > opts.lambda ? (1.0 - opts.lambda / c_norm) / col_sq_norm[j]
+                               : 0.0;
+      for (std::size_t t = 0; t < T; ++t) {
+        const double new_wjt = shrink * c[t];
+        const double delta = new_wjt - wrow[t];
+        if (delta != 0.0) {
+          for (std::size_t i = 0; i < n; ++i) {
+            residual(i, t) -= delta * col[j][i];
+          }
+          wrow[t] = new_wjt;
+          max_delta = std::max(max_delta, std::abs(delta));
+        }
+        max_w = std::max(max_w, std::abs(wrow[t]));
+      }
+    }
+    local_info.iterations = it + 1;
+    if (max_delta <= opts.tol * std::max(max_w, 1e-12)) {
+      local_info.converged = true;
+      break;
+    }
+  }
+
+  // Un-standardise: w_raw(j,t) = w_std(j,t)/std_j; intercepts absorb means.
+  Matrix w_raw(d, T);
+  std::vector<double> intercepts = y_mean;
+  for (std::size_t j = 0; j < d; ++j) {
+    if (scaler.is_constant(j)) continue;
+    const auto wrow = w.row(j);
+    bool active = false;
+    for (std::size_t t = 0; t < T; ++t) {
+      if (wrow[t] == 0.0) continue;
+      active = true;
+      const double raw = wrow[t] / scaler.stds()[j];
+      w_raw(j, t) = raw;
+      intercepts[t] -= raw * scaler.means()[j];
+    }
+    if (active) ++local_info.active_features;
+  }
+  if (info != nullptr) *info = local_info;
+  return MultiTaskLinearModel(std::move(intercepts), std::move(w_raw));
+}
+
+double multitask_lambda_max(const Matrix& x, const Matrix& y) {
+  HPCP_REQUIRE(x.rows() == y.rows(), "X and Y row counts must match");
+  HPCP_REQUIRE(x.rows() > 0, "empty data");
+  const std::size_t n = x.rows();
+  const std::size_t T = y.cols();
+  const auto dn = static_cast<double>(n);
+  const auto scaler = StandardScaler::fit(x);
+  const Matrix xs = scaler.transform(x);
+  std::vector<double> y_mean(T, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = y.row(r);
+    for (std::size_t t = 0; t < T; ++t) y_mean[t] += row[t];
+  }
+  for (auto& m : y_mean) m /= dn;
+
+  double best = 0.0;
+  for (std::size_t j = 0; j < x.cols(); ++j) {
+    const auto cj = xs.column(j);
+    double norm_sq = 0.0;
+    for (std::size_t t = 0; t < T; ++t) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) acc += cj[i] * (y(i, t) - y_mean[t]);
+      acc /= dn;
+      norm_sq += acc * acc;
+    }
+    best = std::max(best, std::sqrt(norm_sq));
+  }
+  return best;
+}
+
+}  // namespace hpcp

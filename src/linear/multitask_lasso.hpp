@@ -1,0 +1,79 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/linear/matrix.hpp"
+
+/// \file multitask_lasso.hpp
+/// Multitask lasso: joint L2,1-penalised least squares across T related
+/// regression tasks that share the same design matrix.
+///
+/// Objective (scikit-learn's MultiTaskLasso):
+///   min_W (1/2n)·||Y − XW − b||_F² + λ·Σ_j ||W_{j·}||₂
+///
+/// The ℓ2,1 penalty makes entire *rows* of W (one row per feature, one
+/// column per task) go to zero together, so all tasks share one sparse
+/// support. In this library the tasks are the paper's target (large) scales
+/// and the features are the small-scale performance predictions — shared
+/// support encodes that the same small scales are informative for every
+/// large scale, which is the paper's mechanism for damping interpolation
+/// noise.
+
+namespace hpcp {
+
+struct MultiTaskLassoOptions {
+  double lambda = 0.1;
+  std::size_t max_iter = 1000;
+  double tol = 1e-7;
+};
+
+struct MultiTaskFitInfo {
+  std::size_t iterations = 0;
+  bool converged = false;
+  std::size_t active_features = 0;  ///< rows of W with a nonzero norm
+};
+
+/// A fitted multitask linear model on raw features: for task t,
+/// y_t ≈ intercept[t] + Σ_j weights(j, t)·x_j.
+class MultiTaskLinearModel {
+ public:
+  MultiTaskLinearModel() = default;
+  MultiTaskLinearModel(std::vector<double> intercepts, Matrix weights);
+
+  [[nodiscard]] std::size_t tasks() const noexcept { return intercepts_.size(); }
+  [[nodiscard]] std::size_t features() const noexcept { return weights_.rows(); }
+
+  /// Predictions for all tasks given one feature vector.
+  [[nodiscard]] std::vector<double> predict(std::span<const double> x) const;
+
+  /// Prediction for a single task.
+  [[nodiscard]] double predict_task(std::span<const double> x,
+                                    std::size_t task) const;
+
+  /// Row-wise prediction matrix (rows of X × tasks).
+  [[nodiscard]] Matrix predict(const Matrix& x) const;
+
+  [[nodiscard]] const Matrix& weights() const noexcept { return weights_; }
+  [[nodiscard]] const std::vector<double>& intercepts() const noexcept {
+    return intercepts_;
+  }
+
+  /// Feature indices with a nonzero coefficient row (the shared support).
+  [[nodiscard]] std::vector<std::size_t> support() const;
+
+ private:
+  std::vector<double> intercepts_;
+  Matrix weights_;  // features × tasks
+};
+
+/// Fit by block coordinate descent over feature rows. Y is rows(X) × T.
+[[nodiscard]] MultiTaskLinearModel fit_multitask_lasso(
+    const Matrix& x, const Matrix& y, const MultiTaskLassoOptions& opts,
+    MultiTaskFitInfo* info = nullptr);
+
+/// Smallest λ with an all-zero solution:
+/// λ_max = max_j ||x_jᵀ·Y_c||₂ / n on standardised features.
+[[nodiscard]] double multitask_lambda_max(const Matrix& x, const Matrix& y);
+
+}  // namespace hpcp

@@ -1,0 +1,90 @@
+#include "src/linear/nnls.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace hpcp {
+
+double NnlsModel::predict(std::span<const double> x) const {
+  HPCP_REQUIRE(x.size() == coef.size(), "feature width mismatch");
+  double acc = intercept;
+  for (std::size_t j = 0; j < x.size(); ++j) acc += coef[j] * x[j];
+  return acc;
+}
+
+NnlsModel fit_nnls(const Matrix& x, std::span<const double> y,
+                   std::span<const double> weights, const NnlsOptions& opts) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  HPCP_REQUIRE(n == y.size(), "row count must match target length");
+  HPCP_REQUIRE(n > 0, "cannot fit on empty data");
+  HPCP_REQUIRE(weights.empty() || weights.size() == n,
+               "one weight per sample required");
+
+  std::vector<double> w(n, 1.0);
+  if (!weights.empty()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      HPCP_REQUIRE(weights[i] >= 0.0, "weights must be non-negative");
+      w[i] = weights[i];
+    }
+  }
+
+  // Weighted column inner products with themselves.
+  std::vector<double> col_sq(d, 0.0);
+  double ones_sq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = x.row(i);
+    for (std::size_t j = 0; j < d; ++j) col_sq[j] += w[i] * row[j] * row[j];
+    ones_sq += w[i];
+  }
+
+  NnlsModel model;
+  model.coef.assign(d, 0.0);
+  std::vector<double> residual(y.begin(), y.end());  // y − b − Xw
+
+  for (std::size_t it = 0; it < opts.max_iter; ++it) {
+    double max_delta = 0.0;
+    double max_coef = 0.0;
+
+    // Intercept coordinate.
+    {
+      double num = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        num += w[i] * (residual[i] + model.intercept);
+      }
+      double b = ones_sq > 0.0 ? num / ones_sq : 0.0;
+      if (opts.nonneg_intercept) b = std::max(b, 0.0);
+      const double delta = b - model.intercept;
+      if (delta != 0.0) {
+        for (auto& r : residual) r -= delta;
+        model.intercept = b;
+        max_delta = std::max(max_delta, std::abs(delta));
+      }
+      max_coef = std::max(max_coef, std::abs(b));
+    }
+
+    // Feature coordinates.
+    for (std::size_t j = 0; j < d; ++j) {
+      if (col_sq[j] <= 0.0) continue;
+      double num = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        num += w[i] * x(i, j) * (residual[i] + x(i, j) * model.coef[j]);
+      }
+      const double cj = std::max(num / col_sq[j], 0.0);
+      const double delta = cj - model.coef[j];
+      if (delta != 0.0) {
+        for (std::size_t i = 0; i < n; ++i) residual[i] -= delta * x(i, j);
+        model.coef[j] = cj;
+        max_delta = std::max(max_delta, std::abs(delta));
+      }
+      max_coef = std::max(max_coef, cj);
+    }
+
+    if (max_delta <= opts.tol * std::max(max_coef, 1e-12)) break;
+  }
+  return model;
+}
+
+}  // namespace hpcp

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/linear/matrix.hpp"
+
+/// \file nnls.hpp
+/// Non-negative least squares by clamped cyclic coordinate descent.
+///
+/// Scalability models are sums of cost mechanisms, and costs cannot be
+/// negative: fitting them with sign-constrained coefficients is what keeps
+/// an extrapolation from being hijacked by collinear basis terms cancelling
+/// each other inside the training range and diverging outside it.
+
+namespace hpcp {
+
+struct NnlsOptions {
+  std::size_t max_iter = 1000;
+  double tol = 1e-12;  ///< stop when no coordinate moves more than tol·|w|
+  /// Constrain the intercept to be non-negative too (a constant cost).
+  bool nonneg_intercept = true;
+};
+
+struct NnlsModel {
+  double intercept = 0.0;
+  std::vector<double> coef;
+
+  [[nodiscard]] double predict(std::span<const double> x) const;
+};
+
+/// Minimises Σ_i weight_i·(y_i − b − X_i·w)² subject to w ≥ 0 (and b ≥ 0
+/// unless disabled). Empty `weights` means uniform. The problem is convex,
+/// so coordinate descent with clamping converges to the global optimum.
+[[nodiscard]] NnlsModel fit_nnls(const Matrix& x, std::span<const double> y,
+                                 std::span<const double> weights = {},
+                                 const NnlsOptions& opts = {});
+
+}  // namespace hpcp

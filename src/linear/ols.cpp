@@ -1,0 +1,62 @@
+#include "src/linear/ols.hpp"
+
+#include "src/common/check.hpp"
+#include "src/common/stats.hpp"
+#include "src/linear/scaler.hpp"
+#include "src/linear/solve.hpp"
+
+namespace hpcp {
+
+double LinearModel::predict(std::span<const double> x) const {
+  HPCP_REQUIRE(x.size() == coef.size(), "feature width mismatch");
+  double acc = intercept;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += coef[i] * x[i];
+  return acc;
+}
+
+std::vector<double> LinearModel::predict(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict(x.row(r));
+  return out;
+}
+
+LinearModel fit_ridge(const Matrix& x, std::span<const double> y,
+                      double lambda) {
+  HPCP_REQUIRE(x.rows() == y.size(), "row count must match target length");
+  HPCP_REQUIRE(x.rows() > 0, "cannot fit on empty data");
+  HPCP_REQUIRE(lambda >= 0.0, "lambda must be non-negative");
+
+  const auto scaler = StandardScaler::fit(x);
+  const Matrix xs = scaler.transform(x);
+  const double y_mean = mean(y);
+  std::vector<double> yc(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) yc[i] = y[i] - y_mean;
+
+  // Normal equations on standardised data: (XᵀX/n + λI) w = Xᵀy/n.
+  const auto n = static_cast<double>(x.rows());
+  Matrix a = xs.gram();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) a(i, j) /= n;
+    a(i, i) += lambda + 1e-10;
+  }
+  auto b = xs.transpose_multiply(yc);
+  for (auto& v : b) v /= n;
+  const auto w_std = cholesky_solve(a, b);
+
+  // Map standardised coefficients back to the raw-feature scale.
+  LinearModel model;
+  model.coef.assign(x.cols(), 0.0);
+  model.intercept = y_mean;
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    if (scaler.is_constant(c)) continue;
+    model.coef[c] = w_std[c] / scaler.stds()[c];
+    model.intercept -= model.coef[c] * scaler.means()[c];
+  }
+  return model;
+}
+
+LinearModel fit_ols(const Matrix& x, std::span<const double> y) {
+  return fit_ridge(x, y, 0.0);
+}
+
+}  // namespace hpcp

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/linear/matrix.hpp"
+
+/// \file ols.hpp
+/// Ordinary least squares and ridge regression on raw features.
+
+namespace hpcp {
+
+/// A fitted linear model y ≈ intercept + coef · x on *raw* (unstandardised)
+/// features.
+struct LinearModel {
+  double intercept = 0.0;
+  std::vector<double> coef;
+
+  [[nodiscard]] double predict(std::span<const double> x) const;
+  [[nodiscard]] std::vector<double> predict(const Matrix& x) const;
+};
+
+/// OLS via ridge with a tiny jitter (1e-10) for numerical robustness against
+/// collinear design matrices; exact OLS in the well-conditioned case.
+[[nodiscard]] LinearModel fit_ols(const Matrix& x, std::span<const double> y);
+
+/// Ridge regression: minimises (1/2n)||y − Xw − b||² + (λ/2)||w||² on
+/// standardised features; the intercept is not penalised. λ ≥ 0.
+[[nodiscard]] LinearModel fit_ridge(const Matrix& x, std::span<const double> y,
+                                    double lambda);
+
+}  // namespace hpcp

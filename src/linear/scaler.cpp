@@ -1,0 +1,53 @@
+#include "src/linear/scaler.hpp"
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace hpcp {
+
+StandardScaler StandardScaler::fit(const Matrix& x) {
+  HPCP_REQUIRE(x.rows() > 0, "cannot fit scaler on empty matrix");
+  StandardScaler s;
+  const std::size_t d = x.cols();
+  s.mean_.assign(d, 0.0);
+  s.std_.assign(d, 0.0);
+  s.constant_.assign(d, false);
+  const auto n = static_cast<double>(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    for (std::size_t c = 0; c < d; ++c) s.mean_[c] += row[c];
+  }
+  for (auto& m : s.mean_) m /= n;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    for (std::size_t c = 0; c < d; ++c) {
+      const double dlt = row[c] - s.mean_[c];
+      s.std_[c] += dlt * dlt;
+    }
+  }
+  for (std::size_t c = 0; c < d; ++c) {
+    s.std_[c] = std::sqrt(s.std_[c] / n);
+    if (s.std_[c] <= 1e-12) {
+      s.std_[c] = 1.0;
+      s.constant_[c] = true;
+    }
+  }
+  return s;
+}
+
+Matrix StandardScaler::transform(const Matrix& x) const {
+  HPCP_REQUIRE(x.cols() == width(), "scaler width mismatch");
+  Matrix out = x;
+  for (std::size_t r = 0; r < out.rows(); ++r) transform_row(out.row(r));
+  return out;
+}
+
+void StandardScaler::transform_row(std::span<double> row) const {
+  HPCP_REQUIRE(row.size() == width(), "scaler width mismatch");
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    row[c] = constant_[c] ? 0.0 : (row[c] - mean_[c]) / std_[c];
+  }
+}
+
+}  // namespace hpcp

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "src/linear/matrix.hpp"
+
+/// \file scaler.hpp
+/// Column-wise standardisation (zero mean, unit population std).
+///
+/// All penalised linear fits standardise internally so the penalty treats
+/// features symmetrically; the fitted coefficients are mapped back to the
+/// raw-feature scale before being exposed.
+
+namespace hpcp {
+
+class StandardScaler {
+ public:
+  /// Learn column means and stds from X. Constant columns get std 1 so they
+  /// transform to identically 0 and receive a zero coefficient.
+  static StandardScaler fit(const Matrix& x);
+
+  /// Standardise a copy of X (must have the fitted width).
+  [[nodiscard]] Matrix transform(const Matrix& x) const;
+
+  /// Standardise one row in place.
+  void transform_row(std::span<double> row) const;
+
+  [[nodiscard]] const std::vector<double>& means() const noexcept {
+    return mean_;
+  }
+  [[nodiscard]] const std::vector<double>& stds() const noexcept {
+    return std_;
+  }
+  [[nodiscard]] std::size_t width() const noexcept { return mean_.size(); }
+
+  /// True if column c was constant in the fitted data.
+  [[nodiscard]] bool is_constant(std::size_t c) const {
+    return constant_.at(c);
+  }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+  std::vector<bool> constant_;
+};
+
+}  // namespace hpcp

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "src/data/param_space.hpp"
+#include "src/platform/workload.hpp"
+
+/// \file application.hpp
+/// The interface an HPC application exposes to the platform: a parameter
+/// space and the ability to compile a (parameters, process count) pair into
+/// a workload trace.
+
+namespace hpcp {
+
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  /// Stable identifier used in records and reports.
+  [[nodiscard]] virtual const std::string& name() const = 0;
+
+  /// The application's input parameters (the features the models learn on).
+  [[nodiscard]] virtual const ParameterSpace& parameter_space() const = 0;
+
+  /// The phase trace of one run. `params` must match parameter_space().
+  [[nodiscard]] virtual WorkloadTrace trace(std::span<const double> params,
+                                            std::size_t nprocs) const = 0;
+};
+
+}  // namespace hpcp

@@ -1,0 +1,58 @@
+#include "src/platform/collectives.hpp"
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace hpcp {
+
+double ceil_log2(std::size_t p) {
+  HPCP_REQUIRE(p >= 1, "process count must be positive");
+  if (p == 1) return 0.0;
+  return std::ceil(std::log2(static_cast<double>(p)));
+}
+
+double ptp_time(const MachineModel& m, std::size_t nprocs, double bytes) {
+  HPCP_REQUIRE(bytes >= 0.0, "negative message size");
+  if (nprocs <= 1) return 0.0;
+  return m.alpha(nprocs) + bytes * m.beta(nprocs);
+}
+
+double neighbor_exchange_time(const MachineModel& m, std::size_t nprocs,
+                              double bytes, std::size_t neighbors) {
+  if (nprocs <= 1 || neighbors == 0) return 0.0;
+  // A process cannot have more distinct neighbours than peers.
+  const std::size_t effective =
+      std::min<std::size_t>(neighbors, nprocs - 1);
+  return static_cast<double>(effective) * ptp_time(m, nprocs, bytes);
+}
+
+double broadcast_time(const MachineModel& m, std::size_t nprocs,
+                      double bytes) {
+  if (nprocs <= 1) return 0.0;
+  return ceil_log2(nprocs) * (m.alpha(nprocs) + bytes * m.beta(nprocs));
+}
+
+double allreduce_time(const MachineModel& m, std::size_t nprocs,
+                      double bytes) {
+  HPCP_REQUIRE(bytes >= 0.0, "negative message size");
+  if (nprocs <= 1) return 0.0;
+  const auto p = static_cast<double>(nprocs);
+  const double gamma = 1.0 / m.core_flops;  // per-byte reduction arithmetic
+  return 2.0 * ceil_log2(nprocs) * m.alpha(nprocs) +
+         2.0 * ((p - 1.0) / p) * bytes * m.beta(nprocs) + bytes * gamma;
+}
+
+double alltoall_time(const MachineModel& m, std::size_t nprocs, double bytes) {
+  HPCP_REQUIRE(bytes >= 0.0, "negative message size");
+  if (nprocs <= 1) return 0.0;
+  const auto p = static_cast<double>(nprocs);
+  return (p - 1.0) * (m.alpha(nprocs) + (bytes / p) * m.beta(nprocs));
+}
+
+double barrier_time(const MachineModel& m, std::size_t nprocs) {
+  if (nprocs <= 1) return 0.0;
+  return ceil_log2(nprocs) * m.alpha(nprocs);
+}
+
+}  // namespace hpcp

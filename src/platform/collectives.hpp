@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+
+#include "src/platform/machine.hpp"
+
+/// \file collectives.hpp
+/// Cost models for MPI-style communication operations on the simulated
+/// platform, in the classical α–β(–γ) framework:
+///   point-to-point:  α + n·β
+///   broadcast:       ⌈log₂p⌉·(α + n·β)                (binomial tree)
+///   allreduce:       2⌈log₂p⌉·α + 2·((p−1)/p)·n·β + n·γ  (Rabenseifner)
+///   alltoall:        (p−1)·(α + (n/p)·β)               (pairwise exchange)
+///   barrier:         ⌈log₂p⌉·α                          (dissemination)
+/// where n is the payload in bytes and γ the per-byte reduction cost.
+/// All functions return 0 communication cost for p == 1.
+
+namespace hpcp {
+
+/// One message of `bytes` between two processes.
+[[nodiscard]] double ptp_time(const MachineModel& m, std::size_t nprocs,
+                              double bytes);
+
+/// Simultaneous nearest-neighbour exchange (e.g. halo exchange): each
+/// process sends/receives `bytes` with each of `neighbors` neighbours;
+/// exchanges with distinct neighbours overlap pairwise, so cost is the
+/// per-neighbour message cost times the neighbour count (send+recv
+/// serialise per link).
+[[nodiscard]] double neighbor_exchange_time(const MachineModel& m,
+                                            std::size_t nprocs, double bytes,
+                                            std::size_t neighbors);
+
+[[nodiscard]] double broadcast_time(const MachineModel& m, std::size_t nprocs,
+                                    double bytes);
+
+[[nodiscard]] double allreduce_time(const MachineModel& m, std::size_t nprocs,
+                                    double bytes);
+
+[[nodiscard]] double alltoall_time(const MachineModel& m, std::size_t nprocs,
+                                   double bytes);
+
+[[nodiscard]] double barrier_time(const MachineModel& m, std::size_t nprocs);
+
+/// ⌈log₂ p⌉ as a double (0 for p == 1).
+[[nodiscard]] double ceil_log2(std::size_t p);
+
+}  // namespace hpcp

@@ -1,0 +1,148 @@
+#include "src/platform/history.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/common/check.hpp"
+
+namespace hpcp {
+
+HistoryStore::HistoryStore(std::string app_name,
+                           std::vector<std::string> param_names)
+    : app_name_(std::move(app_name)), param_names_(std::move(param_names)) {}
+
+void HistoryStore::append(ExecutionRecord record) {
+  HPCP_REQUIRE(record.params.size() == param_names_.size(),
+               "record parameter width mismatch");
+  HPCP_REQUIRE(record.nprocs >= 1, "record needs a positive process count");
+  HPCP_REQUIRE(record.runtime > 0.0, "record needs a positive runtime");
+  records_.push_back(std::move(record));
+}
+
+std::vector<std::size_t> HistoryStore::scales() const {
+  std::set<std::size_t> distinct;
+  for (const auto& r : records_) distinct.insert(r.nprocs);
+  return {distinct.begin(), distinct.end()};
+}
+
+Dataset HistoryStore::dataset_at_scale(std::size_t nprocs) const {
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    if (records_[i].nprocs == nprocs) rows.push_back(i);
+  }
+  Matrix x(rows.size(), param_names_.size());
+  std::vector<double> y(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = records_[rows[i]];
+    x.set_row(i, r.params);
+    y[i] = r.runtime;
+  }
+  return Dataset(param_names_, std::move(x), std::move(y));
+}
+
+CsvTable HistoryStore::to_csv() const {
+  CsvTable table;
+  table.header = param_names_;
+  table.header.insert(table.header.end(), {"nprocs", "runtime", "run_id"});
+  table.rows.reserve(records_.size());
+  for (const auto& r : records_) {
+    std::vector<std::string> row;
+    row.reserve(param_names_.size() + 3);
+    for (const double v : r.params) row.push_back(std::to_string(v));
+    row.push_back(std::to_string(r.nprocs));
+    row.push_back(std::to_string(r.runtime));
+    row.push_back(std::to_string(r.run_id));
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+HistoryStore HistoryStore::from_csv(const std::string& app_name,
+                                    const CsvTable& table) {
+  HPCP_REQUIRE(table.header.size() >= 3, "history CSV too narrow");
+  const std::size_t d = table.header.size() - 3;
+  HPCP_REQUIRE(table.header[d] == "nprocs" &&
+                   table.header[d + 1] == "runtime" &&
+                   table.header[d + 2] == "run_id",
+               "history CSV must end with nprocs,runtime,run_id");
+  HistoryStore store(app_name, {table.header.begin(),
+                                table.header.begin() +
+                                    static_cast<std::ptrdiff_t>(d)});
+  for (const auto& row : table.rows) {
+    ExecutionRecord rec;
+    rec.params.reserve(d);
+    for (std::size_t c = 0; c < d; ++c) rec.params.push_back(std::stod(row[c]));
+    rec.nprocs = static_cast<std::size_t>(std::stoull(row[d]));
+    rec.runtime = std::stod(row[d + 1]);
+    rec.run_id = std::stoull(row[d + 2]);
+    store.append(std::move(rec));
+  }
+  return store;
+}
+
+ScalingTable build_scaling_table(const HistoryStore& history,
+                                 const std::vector<std::size_t>& scales) {
+  HPCP_REQUIRE(!scales.empty(), "need at least one scale");
+  // Group runs by configuration, then by scale; average repeats.
+  struct Cell {
+    double sum = 0.0;
+    std::size_t count = 0;
+  };
+  std::map<std::vector<double>, std::map<std::size_t, Cell>> grouped;
+  for (const auto& r : history.records()) {
+    auto& cell = grouped[r.params][r.nprocs];
+    cell.sum += r.runtime;
+    ++cell.count;
+  }
+
+  std::vector<const std::vector<double>*> complete;
+  for (const auto& [params, by_scale] : grouped) {
+    const bool has_all = std::all_of(
+        scales.begin(), scales.end(),
+        [&](std::size_t s) { return by_scale.count(s) > 0; });
+    if (has_all) complete.push_back(&params);
+  }
+
+  ScalingTable table;
+  table.param_names = history.param_names();
+  table.scales = scales;
+  table.configs = Matrix(complete.size(), history.param_names().size());
+  table.times = Matrix(complete.size(), scales.size());
+  for (std::size_t i = 0; i < complete.size(); ++i) {
+    table.configs.set_row(i, *complete[i]);
+    const auto& by_scale = grouped.at(*complete[i]);
+    for (std::size_t s = 0; s < scales.size(); ++s) {
+      const Cell& cell = by_scale.at(scales[s]);
+      table.times(i, s) = cell.sum / static_cast<double>(cell.count);
+    }
+  }
+  return table;
+}
+
+HistoryStore generate_history(const PlatformSimulator& sim,
+                              const Application& app,
+                              const std::vector<std::vector<double>>& configs,
+                              const std::vector<std::size_t>& scales,
+                              std::size_t runs_per_point,
+                              std::uint64_t first_run_id) {
+  HPCP_REQUIRE(runs_per_point >= 1, "need at least one run per point");
+  HistoryStore store(app.name(), app.parameter_space().names());
+  std::uint64_t run_id = first_run_id;
+  for (const auto& config : configs) {
+    for (const std::size_t p : scales) {
+      for (std::size_t rep = 0; rep < runs_per_point; ++rep) {
+        ExecutionRecord rec;
+        rec.params = config;
+        rec.nprocs = p;
+        rec.run_id = run_id;
+        rec.runtime = sim.measure(app, config, p, run_id);
+        ++run_id;
+        store.append(std::move(rec));
+      }
+    }
+  }
+  return store;
+}
+
+}  // namespace hpcp

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/csv.hpp"
+#include "src/data/dataset.hpp"
+#include "src/linear/matrix.hpp"
+#include "src/platform/simulator.hpp"
+
+/// \file history.hpp
+/// The execution-history database: the "small-scale history data" of the
+/// paper's title. Stores per-run records, converts them into learning
+/// datasets, and assembles per-configuration scaling tables.
+
+namespace hpcp {
+
+/// One completed run of one application configuration.
+struct ExecutionRecord {
+  std::vector<double> params;
+  std::size_t nprocs = 0;
+  double runtime = 0.0;
+  std::uint64_t run_id = 0;
+};
+
+/// History of a single application's runs.
+class HistoryStore {
+ public:
+  HistoryStore() = default;
+  HistoryStore(std::string app_name, std::vector<std::string> param_names);
+
+  [[nodiscard]] const std::string& app_name() const noexcept {
+    return app_name_;
+  }
+  [[nodiscard]] const std::vector<std::string>& param_names() const noexcept {
+    return param_names_;
+  }
+  [[nodiscard]] const std::vector<ExecutionRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+  void append(ExecutionRecord record);
+
+  /// Sorted distinct process counts present in the history.
+  [[nodiscard]] std::vector<std::size_t> scales() const;
+
+  /// Supervised dataset of all runs at one scale: X = params, y = runtime.
+  /// Multiple runs of the same configuration stay as separate rows.
+  [[nodiscard]] Dataset dataset_at_scale(std::size_t nprocs) const;
+
+  /// CSV round trip (columns: param names…, nprocs, runtime, run_id).
+  [[nodiscard]] CsvTable to_csv() const;
+  [[nodiscard]] static HistoryStore from_csv(const std::string& app_name,
+                                             const CsvTable& table);
+
+ private:
+  std::string app_name_;
+  std::vector<std::string> param_names_;
+  std::vector<ExecutionRecord> records_;
+};
+
+/// A per-configuration scaling table: one row per configuration, one
+/// runtime column per scale. Configurations missing any requested scale are
+/// dropped; repeated runs of the same (config, scale) are averaged.
+struct ScalingTable {
+  std::vector<std::string> param_names;
+  std::vector<std::size_t> scales;
+  Matrix configs;  ///< n × d parameter matrix
+  Matrix times;    ///< n × |scales| runtimes
+
+  [[nodiscard]] std::size_t size() const noexcept { return configs.rows(); }
+};
+
+[[nodiscard]] ScalingTable build_scaling_table(
+    const HistoryStore& history, const std::vector<std::size_t>& scales);
+
+/// Runs `app` at every (configuration, scale) pair on the simulator,
+/// `runs_per_point` times each, and returns the assembled history — the
+/// synthetic stand-in for a site's accounting/benchmarking database.
+[[nodiscard]] HistoryStore generate_history(
+    const PlatformSimulator& sim, const Application& app,
+    const std::vector<std::vector<double>>& configs,
+    const std::vector<std::size_t>& scales, std::size_t runs_per_point = 1,
+    std::uint64_t first_run_id = 0);
+
+}  // namespace hpcp

@@ -1,0 +1,47 @@
+#include "src/platform/machine.hpp"
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace hpcp {
+
+std::size_t MachineModel::nodes_for(std::size_t nprocs) const {
+  HPCP_REQUIRE(nprocs >= 1, "job needs at least one process");
+  return (nprocs + cores_per_node - 1) / cores_per_node;
+}
+
+bool MachineModel::single_node(std::size_t nprocs) const {
+  return nodes_for(nprocs) == 1;
+}
+
+double MachineModel::alpha(std::size_t nprocs) const {
+  return single_node(nprocs) ? intra_latency : inter_latency;
+}
+
+double MachineModel::beta(std::size_t nprocs) const {
+  return 1.0 / (single_node(nprocs) ? intra_bandwidth : inter_bandwidth);
+}
+
+double MachineModel::startup_time(std::size_t nprocs) const {
+  return startup_base +
+         startup_per_log_p * std::log2(static_cast<double>(nprocs) + 1.0);
+}
+
+double MachineModel::effective_bandwidth(double working_set_bytes) const {
+  HPCP_REQUIRE(working_set_bytes >= 0.0, "working set must be non-negative");
+  if (working_set_bytes <= 0.0 || cache_per_core <= 0.0) {
+    return mem_bandwidth;
+  }
+  const double ratio = working_set_bytes / cache_per_core;
+  if (ratio <= 0.5) return mem_bandwidth * cache_bandwidth_factor;
+  if (ratio >= 2.0) return mem_bandwidth;
+  // Geometric interpolation over the transition band [0.5, 2.0]:
+  // t goes 1 -> 0 as the working set grows past the cache.
+  const double t = std::log2(2.0 / ratio) / 2.0;
+  return mem_bandwidth * std::pow(cache_bandwidth_factor, t);
+}
+
+MachineModel reference_machine() { return MachineModel{}; }
+
+}  // namespace hpcp

@@ -1,0 +1,46 @@
+#include "src/platform/proc_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.hpp"
+
+namespace hpcp {
+
+std::array<std::size_t, 2> factorize_2d(std::size_t p) {
+  HPCP_REQUIRE(p >= 1, "process count must be positive");
+  // Largest divisor <= sqrt(p) gives the most square grid.
+  std::size_t best = 1;
+  for (std::size_t d = 1; d * d <= p; ++d) {
+    if (p % d == 0) best = d;
+  }
+  return {p / best, best};
+}
+
+std::array<std::size_t, 3> factorize_3d(std::size_t p) {
+  HPCP_REQUIRE(p >= 1, "process count must be positive");
+  // Enumerate divisor pairs; pick the triple minimising the block "surface"
+  // (sum of pairwise products), i.e. the most cubic decomposition.
+  std::array<std::size_t, 3> best{p, 1, 1};
+  double best_surface = std::numeric_limits<double>::infinity();
+  for (std::size_t a = 1; a * a * a <= p; ++a) {
+    if (p % a != 0) continue;
+    const std::size_t rest = p / a;
+    for (std::size_t b = a; b * b <= rest; ++b) {
+      if (rest % b != 0) continue;
+      const std::size_t c = rest / b;
+      const double surface = static_cast<double>(a * b) +
+                             static_cast<double>(b * c) +
+                             static_cast<double>(a * c);
+      if (surface < best_surface) {
+        best_surface = surface;
+        best = {c, b, a};  // descending
+      }
+    }
+  }
+  std::sort(best.begin(), best.end(), std::greater<>());
+  return best;
+}
+
+}  // namespace hpcp

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+/// \file proc_grid.hpp
+/// Process-grid factorisations used by domain-decomposed applications.
+
+namespace hpcp {
+
+/// Factorise p into px ≥ py with px·py = p, as square as possible
+/// (MPI_Dims_create-style).
+[[nodiscard]] std::array<std::size_t, 2> factorize_2d(std::size_t p);
+
+/// Factorise p into px ≥ py ≥ pz with px·py·pz = p, as cubic as possible —
+/// minimises the surface-to-volume ratio of a block decomposition.
+[[nodiscard]] std::array<std::size_t, 3> factorize_3d(std::size_t p);
+
+}  // namespace hpcp

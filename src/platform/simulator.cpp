@@ -1,0 +1,111 @@
+#include "src/platform/simulator.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "src/common/check.hpp"
+#include "src/common/rng.hpp"
+#include "src/platform/collectives.hpp"
+
+namespace hpcp {
+
+PlatformSimulator::PlatformSimulator(MachineModel machine,
+                                     std::uint64_t noise_seed)
+    : machine_(std::move(machine)), noise_seed_(noise_seed) {}
+
+double PlatformSimulator::imbalance_factor(std::size_t nprocs, double cv) {
+  if (nprocs <= 1 || cv <= 0.0) return 1.0;
+  // Expected maximum of p i.i.d. draws with mean 1 and std cv is
+  // approximately 1 + cv·√(2·ln p) (Gaussian extreme-value bound); the whole
+  // step waits for the slowest process.
+  return 1.0 + cv * std::sqrt(2.0 * std::log(static_cast<double>(nprocs)));
+}
+
+double PlatformSimulator::phase_time(const Phase& phase,
+                                     std::size_t nprocs) const {
+  HPCP_REQUIRE(nprocs >= 1, "process count must be positive");
+  // Collectives run over a sub-communicator when comm_size is set, but the
+  // link parameters (intra- vs inter-node) are still those of the whole job:
+  // a row of a 2-D process grid generally spans nodes whenever the job does.
+  const std::size_t comm =
+      phase.comm_size == 0 ? nprocs
+                           : std::min(phase.comm_size, nprocs);
+  MachineModel scoped = machine_;
+  if (!machine_.single_node(nprocs)) {
+    scoped.intra_latency = machine_.inter_latency;
+    scoped.intra_bandwidth = machine_.inter_bandwidth;
+  }
+  double once = 0.0;
+  switch (phase.type) {
+    case PhaseType::kCompute: {
+      const double flop_time = phase.flops / machine_.core_flops;
+      const double mem_time =
+          phase.bytes / machine_.effective_bandwidth(phase.working_set);
+      once = std::max(flop_time, mem_time) *
+             imbalance_factor(nprocs, machine_.jitter_cv);
+      break;
+    }
+    case PhaseType::kSerial:
+      // One process computes while the rest wait: no parallel speedup and
+      // no imbalance inflation (there is nothing to balance).
+      once = phase.flops / machine_.core_flops;
+      break;
+    case PhaseType::kNeighbor:
+      once = neighbor_exchange_time(machine_, nprocs, phase.bytes,
+                                    phase.neighbors);
+      break;
+    case PhaseType::kAllreduce:
+      once = allreduce_time(scoped, comm, phase.bytes);
+      break;
+    case PhaseType::kBroadcast:
+      once = broadcast_time(scoped, comm, phase.bytes);
+      break;
+    case PhaseType::kAllToAll:
+      once = alltoall_time(scoped, comm, phase.bytes);
+      break;
+    case PhaseType::kBarrier:
+      once = barrier_time(machine_, nprocs);
+      break;
+  }
+  return once * phase.repetitions;
+}
+
+double PlatformSimulator::trace_time(const WorkloadTrace& trace,
+                                     std::size_t nprocs) const {
+  double total = machine_.startup_time(nprocs);
+  for (const auto& phase : trace) total += phase_time(phase, nprocs);
+  return total;
+}
+
+double PlatformSimulator::true_time(const Application& app,
+                                    std::span<const double> params,
+                                    std::size_t nprocs) const {
+  return trace_time(app.trace(params, nprocs), nprocs);
+}
+
+double PlatformSimulator::measure(const Application& app,
+                                  std::span<const double> params,
+                                  std::size_t nprocs,
+                                  std::uint64_t run_id) const {
+  const double base = true_time(app, params, nprocs);
+  // Seed the noise stream from everything that identifies the run, so the
+  // same run always yields the same measurement and different runs are
+  // independent.
+  std::uint64_t h = noise_seed_;
+  for (const char c : app.name()) {
+    h ^= static_cast<std::uint64_t>(c);
+    (void)splitmix64(h);
+  }
+  for (const double v : params) {
+    h ^= std::bit_cast<std::uint64_t>(v);
+    (void)splitmix64(h);
+  }
+  h ^= nprocs;
+  (void)splitmix64(h);
+  h ^= run_id;
+  Rng rng(splitmix64(h));
+  return rng.lognormal_median(base, machine_.noise_sigma);
+}
+
+}  // namespace hpcp

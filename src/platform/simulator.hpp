@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/platform/application.hpp"
+#include "src/platform/machine.hpp"
+#include "src/platform/workload.hpp"
+
+/// \file simulator.hpp
+/// Executes workload traces against the machine model, producing runtimes.
+///
+/// Two layers:
+///  * `trace_time` — the deterministic analytical time: per-phase roofline /
+///    collective costs, a load-imbalance inflation on compute phases that
+///    grows with √(2·ln p) (the expected maximum of p i.i.d. per-process
+///    jitters), and job startup overhead.
+///  * `measure` — one simulated *measurement*: the deterministic time under
+///    multiplicative log-normal run-to-run noise, seeded from
+///    (app, params, nprocs, run_id) so the whole experimental record is
+///    reproducible bit-for-bit.
+
+namespace hpcp {
+
+class PlatformSimulator {
+ public:
+  /// Default: the reference machine model.
+  PlatformSimulator() : PlatformSimulator(MachineModel{}) {}
+
+  explicit PlatformSimulator(MachineModel machine,
+                             std::uint64_t noise_seed = 0x5eed);
+
+  [[nodiscard]] const MachineModel& machine() const noexcept {
+    return machine_;
+  }
+
+  /// Deterministic cost of one phase at p processes (repetitions included).
+  [[nodiscard]] double phase_time(const Phase& phase,
+                                  std::size_t nprocs) const;
+
+  /// Deterministic cost of a full trace at p processes, including startup.
+  [[nodiscard]] double trace_time(const WorkloadTrace& trace,
+                                  std::size_t nprocs) const;
+
+  /// Noise-free runtime of an application run.
+  [[nodiscard]] double true_time(const Application& app,
+                                 std::span<const double> params,
+                                 std::size_t nprocs) const;
+
+  /// One simulated measurement; deterministic per (app, params, nprocs,
+  /// run_id, noise_seed). Distinct run_ids give independent noise draws.
+  [[nodiscard]] double measure(const Application& app,
+                               std::span<const double> params,
+                               std::size_t nprocs,
+                               std::uint64_t run_id = 0) const;
+
+  /// Load-imbalance inflation applied to compute phases: the expected
+  /// max/mean of p processes with coefficient of variation cv.
+  [[nodiscard]] static double imbalance_factor(std::size_t nprocs, double cv);
+
+ private:
+  MachineModel machine_;
+  std::uint64_t noise_seed_;
+};
+
+}  // namespace hpcp

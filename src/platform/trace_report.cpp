@@ -1,0 +1,62 @@
+#include "src/platform/trace_report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "src/common/check.hpp"
+#include "src/common/table.hpp"
+
+namespace hpcp {
+
+double TraceReport::communication_fraction() const {
+  double comm = 0.0;
+  for (const auto& b : by_type) {
+    if (b.type != PhaseType::kCompute && b.type != PhaseType::kSerial) {
+      comm += b.fraction;
+    }
+  }
+  return comm;
+}
+
+TraceReport analyze_trace(const PlatformSimulator& sim,
+                          const WorkloadTrace& trace, std::size_t nprocs) {
+  HPCP_REQUIRE(nprocs >= 1, "process count must be positive");
+  TraceReport report;
+  report.nprocs = nprocs;
+  report.startup_seconds = sim.machine().startup_time(nprocs);
+  report.total_seconds = report.startup_seconds;
+
+  std::map<PhaseType, double> seconds_by_type;
+  for (const auto& phase : trace) {
+    const double t = sim.phase_time(phase, nprocs);
+    seconds_by_type[phase.type] += t;
+    report.total_seconds += t;
+  }
+  for (const auto& [type, seconds] : seconds_by_type) {
+    report.by_type.push_back(
+        {type, seconds,
+         report.total_seconds > 0.0 ? seconds / report.total_seconds : 0.0});
+  }
+  std::sort(report.by_type.begin(), report.by_type.end(),
+            [](const PhaseBreakdown& a, const PhaseBreakdown& b) {
+              return a.seconds > b.seconds;
+            });
+  return report;
+}
+
+void print_trace_report(std::ostream& out, const TraceReport& report) {
+  TextTable table({"phase", "seconds", "share"});
+  for (const auto& b : report.by_type) {
+    table.add_row({phase_type_name(b.type), format_double(b.seconds, 4),
+                   format_double(100.0 * b.fraction, 1) + " %"});
+  }
+  table.add_row({"(startup)", format_double(report.startup_seconds, 4),
+                 format_double(100.0 * report.startup_seconds /
+                                   std::max(report.total_seconds, 1e-300),
+                               1) + " %"});
+  table.add_row({"total", format_double(report.total_seconds, 4), "100 %"});
+  table.print(out);
+}
+
+}  // namespace hpcp

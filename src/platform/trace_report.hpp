@@ -1,0 +1,41 @@
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "src/platform/simulator.hpp"
+
+/// \file trace_report.hpp
+/// Where does the time go? Per-phase-type cost breakdown of a workload
+/// trace at a given scale — the profiling view used to understand an
+/// application's scaling regime (and to debug new application models).
+
+namespace hpcp {
+
+struct PhaseBreakdown {
+  PhaseType type{};
+  double seconds = 0.0;
+  double fraction = 0.0;  ///< of the total runtime, including startup
+};
+
+struct TraceReport {
+  std::size_t nprocs = 0;
+  double total_seconds = 0.0;
+  double startup_seconds = 0.0;
+  /// One entry per phase type that appears, sorted by descending cost.
+  std::vector<PhaseBreakdown> by_type;
+
+  /// Fraction of the runtime spent communicating (all collective and
+  /// point-to-point phases).
+  [[nodiscard]] double communication_fraction() const;
+};
+
+/// Price every phase of `trace` at `nprocs` on the simulator's machine.
+[[nodiscard]] TraceReport analyze_trace(const PlatformSimulator& sim,
+                                        const WorkloadTrace& trace,
+                                        std::size_t nprocs);
+
+/// Render as an aligned table.
+void print_trace_report(std::ostream& out, const TraceReport& report);
+
+}  // namespace hpcp

@@ -1,0 +1,102 @@
+#include "src/platform/workload.hpp"
+
+#include "src/common/check.hpp"
+
+namespace hpcp {
+
+const char* phase_type_name(PhaseType type) noexcept {
+  switch (type) {
+    case PhaseType::kCompute: return "compute";
+    case PhaseType::kNeighbor: return "neighbor";
+    case PhaseType::kAllreduce: return "allreduce";
+    case PhaseType::kBroadcast: return "broadcast";
+    case PhaseType::kAllToAll: return "alltoall";
+    case PhaseType::kBarrier: return "barrier";
+    case PhaseType::kSerial: return "serial";
+  }
+  return "unknown";
+}
+
+Phase Phase::compute(double flops, double bytes, double repetitions,
+                     double working_set) {
+  HPCP_REQUIRE(flops >= 0.0 && bytes >= 0.0 && repetitions >= 0.0 &&
+                   working_set >= 0.0,
+               "phase quantities must be non-negative");
+  return Phase{.type = PhaseType::kCompute,
+               .flops = flops,
+               .bytes = bytes,
+               .repetitions = repetitions,
+               .working_set = working_set};
+}
+
+Phase Phase::serial(double flops, double repetitions) {
+  HPCP_REQUIRE(flops >= 0.0 && repetitions >= 0.0,
+               "phase quantities must be non-negative");
+  return Phase{.type = PhaseType::kSerial,
+               .flops = flops,
+               .repetitions = repetitions};
+}
+
+Phase Phase::neighbor(double bytes, std::size_t neighbors,
+                      double repetitions) {
+  HPCP_REQUIRE(bytes >= 0.0 && repetitions >= 0.0,
+               "phase quantities must be non-negative");
+  return Phase{.type = PhaseType::kNeighbor,
+               .bytes = bytes,
+               .neighbors = neighbors,
+               .repetitions = repetitions};
+}
+
+Phase Phase::allreduce(double bytes, double repetitions,
+                       std::size_t comm_size) {
+  HPCP_REQUIRE(bytes >= 0.0 && repetitions >= 0.0,
+               "phase quantities must be non-negative");
+  return Phase{.type = PhaseType::kAllreduce,
+               .bytes = bytes,
+               .repetitions = repetitions,
+               .comm_size = comm_size};
+}
+
+Phase Phase::broadcast(double bytes, double repetitions,
+                       std::size_t comm_size) {
+  HPCP_REQUIRE(bytes >= 0.0 && repetitions >= 0.0,
+               "phase quantities must be non-negative");
+  return Phase{.type = PhaseType::kBroadcast,
+               .bytes = bytes,
+               .repetitions = repetitions,
+               .comm_size = comm_size};
+}
+
+Phase Phase::alltoall(double bytes, double repetitions,
+                      std::size_t comm_size) {
+  HPCP_REQUIRE(bytes >= 0.0 && repetitions >= 0.0,
+               "phase quantities must be non-negative");
+  return Phase{.type = PhaseType::kAllToAll,
+               .bytes = bytes,
+               .repetitions = repetitions,
+               .comm_size = comm_size};
+}
+
+Phase Phase::barrier(double repetitions) {
+  HPCP_REQUIRE(repetitions >= 0.0, "repetitions must be non-negative");
+  return Phase{.type = PhaseType::kBarrier, .repetitions = repetitions};
+}
+
+TraceSummary summarize(const WorkloadTrace& trace) {
+  TraceSummary s;
+  for (const auto& phase : trace) {
+    switch (phase.type) {
+      case PhaseType::kCompute:
+      case PhaseType::kSerial:
+        s.total_flops += phase.flops * phase.repetitions;
+        break;
+      default:
+        s.total_message_bytes += phase.bytes * phase.repetitions;
+        s.num_comm_phases += phase.repetitions;
+        break;
+    }
+  }
+  return s;
+}
+
+}  // namespace hpcp

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+/// \file workload.hpp
+/// The phase-trace abstraction applications compile themselves into.
+///
+/// An application run at p processes is described as a sequence of phases;
+/// the simulator prices each phase with the machine and collective models.
+/// `repetitions` folds loops (time-step iterations) so traces stay small.
+
+namespace hpcp {
+
+enum class PhaseType {
+  kCompute,    ///< roofline: max(flops/core_flops, bytes/mem_bandwidth)
+  kNeighbor,   ///< simultaneous point-to-point exchange with `neighbors`
+  kAllreduce,
+  kBroadcast,
+  kAllToAll,
+  kBarrier,
+  kSerial,     ///< un-parallelised work executed by one process (flops)
+};
+
+[[nodiscard]] const char* phase_type_name(PhaseType type) noexcept;
+
+struct Phase {
+  PhaseType type = PhaseType::kCompute;
+  double flops = 0.0;       ///< per-process floating point work (compute/serial)
+  double bytes = 0.0;       ///< per-process bytes streamed (compute) or message payload
+  std::size_t neighbors = 0;  ///< kNeighbor only
+  double repetitions = 1.0;   ///< how many times the phase executes
+  /// Collective phases only: size of the participating communicator.
+  /// 0 means the whole job (the common case); 2-D-decomposed codes
+  /// broadcast along process-grid rows/columns, which are smaller.
+  std::size_t comm_size = 0;
+  /// Compute phases only: per-process working-set size in bytes, used for
+  /// the cache-regime bandwidth model. 0 = not modelled (DRAM bandwidth).
+  double working_set = 0.0;
+
+  [[nodiscard]] static Phase compute(double flops, double bytes,
+                                     double repetitions = 1.0,
+                                     double working_set = 0.0);
+  [[nodiscard]] static Phase serial(double flops, double repetitions = 1.0);
+  [[nodiscard]] static Phase neighbor(double bytes, std::size_t neighbors,
+                                      double repetitions = 1.0);
+  [[nodiscard]] static Phase allreduce(double bytes, double repetitions = 1.0,
+                                       std::size_t comm_size = 0);
+  [[nodiscard]] static Phase broadcast(double bytes, double repetitions = 1.0,
+                                       std::size_t comm_size = 0);
+  [[nodiscard]] static Phase alltoall(double bytes, double repetitions = 1.0,
+                                      std::size_t comm_size = 0);
+  [[nodiscard]] static Phase barrier(double repetitions = 1.0);
+};
+
+using WorkloadTrace = std::vector<Phase>;
+
+/// Aggregate statistics of a trace (for inspection and tests).
+struct TraceSummary {
+  double total_flops = 0.0;          ///< per-process, repetitions included
+  double total_message_bytes = 0.0;  ///< payload bytes across comm phases
+  double num_comm_phases = 0.0;      ///< repetition-weighted count
+};
+
+[[nodiscard]] TraceSummary summarize(const WorkloadTrace& trace);
+
+}  // namespace hpcp

@@ -1,0 +1,174 @@
+#include "src/apps/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/lu_app.hpp"
+#include "src/apps/nbody_app.hpp"
+#include "src/apps/stencil_app.hpp"
+#include "src/platform/simulator.hpp"
+
+namespace hpcp {
+namespace {
+
+PlatformSimulator quiet_sim() {
+  MachineModel m;
+  m.noise_sigma = 0.0;
+  m.jitter_cv = 0.0;
+  return PlatformSimulator(m);
+}
+
+std::vector<double> mid_config(const Application& app) {
+  std::vector<double> params;
+  for (const auto& p : app.parameter_space().params()) {
+    params.push_back(p.from_unit(0.5));
+  }
+  return params;
+}
+
+TEST(Registry, NamesMatchApplications) {
+  const auto names = application_names();
+  ASSERT_EQ(names.size(), 4u);
+  for (const auto& name : names) {
+    const auto app = make_application(name);
+    EXPECT_EQ(app->name(), name);
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW((void)make_application("nope"), std::invalid_argument);
+}
+
+TEST(Registry, MakeAllReturnsEverything) {
+  const auto apps = make_all_applications();
+  EXPECT_EQ(apps.size(), application_names().size());
+}
+
+TEST(Apps, ParameterSpacesAreNonTrivial) {
+  for (const auto& app : make_all_applications()) {
+    const auto& space = app->parameter_space();
+    EXPECT_GE(space.dimension(), 2u) << app->name();
+    for (const auto& p : space.params()) {
+      EXPECT_LT(p.lo, p.hi) << app->name() << "/" << p.name;
+    }
+  }
+}
+
+TEST(Apps, TracesAreWellFormed) {
+  for (const auto& app : make_all_applications()) {
+    const auto params = mid_config(*app);
+    for (const std::size_t p : {1u, 4u, 16u, 64u}) {
+      const auto trace = app->trace(params, p);
+      EXPECT_FALSE(trace.empty()) << app->name();
+      for (const auto& phase : trace) {
+        EXPECT_GE(phase.flops, 0.0);
+        EXPECT_GE(phase.bytes, 0.0);
+        EXPECT_GE(phase.repetitions, 0.0);
+      }
+    }
+  }
+}
+
+TEST(Apps, WrongParameterCountRejected) {
+  const StencilApp stencil;
+  const std::vector<double> too_few{128.0, 100.0};
+  EXPECT_THROW((void)stencil.trace(too_few, 4), std::invalid_argument);
+  const LuApp lu;
+  const std::vector<double> too_many{4096.0, 128.0, 1.0};
+  EXPECT_THROW((void)lu.trace(too_many, 4), std::invalid_argument);
+}
+
+TEST(Apps, PerProcessWorkShrinksWithScale) {
+  for (const auto& app : make_all_applications()) {
+    const auto params = mid_config(*app);
+    const auto t1 = summarize(app->trace(params, 1));
+    const auto t64 = summarize(app->trace(params, 64));
+    EXPECT_LT(t64.total_flops, t1.total_flops) << app->name();
+    EXPECT_GT(t64.total_flops, t1.total_flops / 70.0) << app->name();
+  }
+}
+
+TEST(Apps, StencilWorkGrowsWithGridAndSteps) {
+  const StencilApp app;
+  const auto small = summarize(app.trace(std::vector<double>{128, 300, 1}, 4));
+  const auto big_grid =
+      summarize(app.trace(std::vector<double>{256, 300, 1}, 4));
+  const auto more_steps =
+      summarize(app.trace(std::vector<double>{128, 600, 1}, 4));
+  EXPECT_GT(big_grid.total_flops, 7.0 * small.total_flops);
+  EXPECT_NEAR(more_steps.total_flops / small.total_flops, 2.0, 0.01);
+}
+
+TEST(Apps, NBodyWorkGrowsWithCutoff) {
+  const NBodyApp app;
+  const auto short_rc =
+      summarize(app.trace(std::vector<double>{2e5, 2.5, 200}, 4));
+  const auto long_rc =
+      summarize(app.trace(std::vector<double>{2e5, 5.0, 200}, 4));
+  // Neighbour count ∝ rc³ -> 8× pair work, diluted a little by the fixed
+  // per-atom overhead.
+  const double ratio = long_rc.total_flops / short_rc.total_flops;
+  EXPECT_GT(ratio, 5.0);
+  EXPECT_LT(ratio, 8.5);
+}
+
+TEST(Apps, LuWorkMatchesCubicFlopCount) {
+  const LuApp app;
+  const std::vector<double> params{8192, 128};
+  const auto s = summarize(app.trace(params, 1));
+  // Total ≈ 2N³/3 (trailing updates dominate; panel work adds a little).
+  const double n = params[0];
+  EXPECT_NEAR(s.total_flops / (2.0 * n * n * n / 3.0), 1.0, 0.15);
+}
+
+TEST(Apps, SingleProcessHasNoCommunication) {
+  const PlatformSimulator sim = quiet_sim();
+  for (const auto& app : make_all_applications()) {
+    const auto params = mid_config(*app);
+    const auto trace = app->trace(params, 1);
+    for (const auto& phase : trace) {
+      if (phase.type == PhaseType::kCompute ||
+          phase.type == PhaseType::kSerial) {
+        continue;
+      }
+      EXPECT_DOUBLE_EQ(sim.phase_time(phase, 1), 0.0)
+          << app->name() << " has paid communication at p=1";
+    }
+  }
+}
+
+class AppScalingSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, std::size_t>> {
+};
+
+TEST_P(AppScalingSweep, RuntimeNeverIncreasesMuchWithScale) {
+  const auto [name, p] = GetParam();
+  const auto app = make_application(name);
+  const PlatformSimulator sim = quiet_sim();
+  const auto params = mid_config(*app);
+  const double t = sim.true_time(*app, params, p);
+  const double t2 = sim.true_time(*app, params, 2 * p);
+  EXPECT_LT(t2, t * 1.05) << name << " slowed down at p=" << 2 * p;
+  EXPECT_GT(t2, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AppScalingSweep,
+    ::testing::Combine(::testing::Values("heat3d", "minimd", "hpl-lu"),
+                       ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128)));
+
+TEST(Apps, ScalingEfficiencyDegradesAtHighScale) {
+  // Speedup from 1 -> 256 is sublinear for a mid-size configuration: the
+  // communication terms the extrapolation level must learn are real.
+  const PlatformSimulator sim = quiet_sim();
+  for (const auto& app : make_all_applications()) {
+    const auto params = mid_config(*app);
+    const double t1 = sim.true_time(*app, params, 1);
+    const double t256 = sim.true_time(*app, params, 256);
+    const double speedup = t1 / t256;
+    EXPECT_LT(speedup, 256.0) << app->name();
+    EXPECT_GT(speedup, 4.0) << app->name();
+  }
+}
+
+}  // namespace
+}  // namespace hpcp

@@ -1,0 +1,86 @@
+#include "src/apps/spectral_app.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/platform/simulator.hpp"
+
+namespace hpcp {
+namespace {
+
+PlatformSimulator quiet_sim() {
+  MachineModel m;
+  m.noise_sigma = 0.0;
+  m.jitter_cv = 0.0;
+  return PlatformSimulator(m);
+}
+
+TEST(Spectral, ParameterSpaceShape) {
+  const SpectralApp app;
+  EXPECT_EQ(app.name(), "fft3d");
+  EXPECT_EQ(app.parameter_space().dimension(), 2u);
+}
+
+TEST(Spectral, SingleProcessHasNoAllToAll) {
+  const SpectralApp app;
+  const std::vector<double> params{128, 100};
+  for (const auto& phase : app.trace(params, 1)) {
+    EXPECT_NE(phase.type, PhaseType::kAllToAll);
+  }
+}
+
+TEST(Spectral, ParallelTraceContainsAllToAll) {
+  const SpectralApp app;
+  const std::vector<double> params{128, 100};
+  bool has_alltoall = false;
+  for (const auto& phase : app.trace(params, 16)) {
+    has_alltoall |= phase.type == PhaseType::kAllToAll;
+  }
+  EXPECT_TRUE(has_alltoall);
+}
+
+TEST(Spectral, WorkScalesSuperlinearlyWithGrid) {
+  const SpectralApp app;
+  const auto small = summarize(app.trace(std::vector<double>{64, 100}, 4));
+  const auto large = summarize(app.trace(std::vector<double>{128, 100}, 4));
+  // N³·log N: doubling N is > 8× flops.
+  EXPECT_GT(large.total_flops, 8.0 * small.total_flops);
+}
+
+TEST(Spectral, CommunicationShareGrowsWithScale) {
+  // The defining property of FFT transposes: the communication fraction of
+  // the runtime grows with p, eventually dominating.
+  const SpectralApp app;
+  const PlatformSimulator sim = quiet_sim();
+  const std::vector<double> params{96, 100};
+  const auto comm_fraction = [&](std::size_t p) {
+    double comm = 0.0, total = 0.0;
+    for (const auto& phase : app.trace(params, p)) {
+      const double t = sim.phase_time(phase, p);
+      total += t;
+      if (phase.type == PhaseType::kAllToAll) comm += t;
+    }
+    return comm / total;
+  };
+  EXPECT_LT(comm_fraction(4), comm_fraction(64));
+  EXPECT_LT(comm_fraction(64), comm_fraction(512));
+}
+
+TEST(Spectral, RuntimeSaturatesAtHighScale) {
+  // Speedup from 1 to 512 is well below ideal for a small grid — the
+  // regime where extrapolating "keeps getting faster" is wrong.
+  const SpectralApp app;
+  const PlatformSimulator sim = quiet_sim();
+  const std::vector<double> params{64, 200};
+  const double t1 = sim.true_time(app, params, 1);
+  const double t512 = sim.true_time(app, params, 512);
+  EXPECT_LT(t1 / t512, 100.0);
+}
+
+TEST(Spectral, RejectsWrongParameterCount) {
+  const SpectralApp app;
+  const std::vector<double> bad{128.0};
+  EXPECT_THROW((void)app.trace(bad, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcp

@@ -1,0 +1,201 @@
+#include "src/baselines/direct_models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/experiment.hpp"
+
+namespace hpcp {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.app_name = "heat3d";
+  cfg.num_train = 60;
+  cfg.num_test = 10;
+  cfg.small_scales = {1, 2, 4, 8, 16};
+  cfg.target_scales = {64, 128};
+  cfg.seed = 21;
+  return cfg;
+}
+
+TEST(Expander, WidthAndContent) {
+  const ScaleFeatureExpander expander(2);
+  EXPECT_EQ(expander.width(), 2u * 2u + 4u);
+  const std::vector<double> params{3.0, 5.0};
+  const auto row = expander.expand(params, 4.0);
+  ASSERT_EQ(row.size(), expander.width());
+  EXPECT_DOUBLE_EQ(row[0], 3.0);
+  EXPECT_DOUBLE_EQ(row[1], 5.0);
+  EXPECT_DOUBLE_EQ(row[2], 3.0 / 4.0);   // params/p interactions
+  EXPECT_DOUBLE_EQ(row[3], 5.0 / 4.0);
+  EXPECT_DOUBLE_EQ(row[4], 4.0);          // p
+  EXPECT_DOUBLE_EQ(row[5], 2.0);          // log2 p
+  EXPECT_DOUBLE_EQ(row[6], 0.25);         // 1/p
+  EXPECT_DOUBLE_EQ(row[7], 2.0);          // sqrt p
+}
+
+TEST(Expander, RejectsBadInput) {
+  const ScaleFeatureExpander expander(2);
+  const std::vector<double> wrong{1.0};
+  EXPECT_THROW((void)expander.expand(wrong, 4.0), std::invalid_argument);
+  const std::vector<double> ok{1.0, 2.0};
+  EXPECT_THROW((void)expander.expand(ok, 0.5), std::invalid_argument);
+}
+
+TEST(Expander, ExpandProblemCrossProduct) {
+  const auto exp = make_experiment(small_config());
+  const ScaleFeatureExpander expander(exp.problem.num_params());
+  const auto data = expander.expand_problem(exp.problem);
+  EXPECT_EQ(data.x.rows(), 60u * 5u);
+  EXPECT_EQ(data.y.size(), 60u * 5u);
+  EXPECT_EQ(data.x.cols(), expander.width());
+}
+
+TEST(DirectForest, FitsAndPredictsPositive) {
+  const auto exp = make_experiment(small_config());
+  DirectForestModel model;
+  Rng rng(1);
+  model.fit(exp.problem, rng);
+  const auto pred = model.predict(exp.test.configs.row(0), {});
+  ASSERT_EQ(pred.size(), 2u);
+  for (const double v : pred) EXPECT_GT(v, 0.0);
+}
+
+TEST(DirectForest, CannotPredictBelowTrainingRange) {
+  // The defining pathology the paper exploits: a random forest's prediction
+  // is an average of training targets, so at an unseen large scale it can
+  // never drop below the smallest runtime it ever saw for that region.
+  const auto exp = make_experiment(small_config());
+  DirectForestModel model;
+  Rng rng(2);
+  model.fit(exp.problem, rng);
+  double min_train = 1e300;
+  for (std::size_t i = 0; i < exp.problem.num_configs(); ++i) {
+    for (std::size_t s = 0; s < 5; ++s) {
+      min_train = std::min(min_train, exp.problem.train_small_times(i, s));
+    }
+  }
+  for (std::size_t i = 0; i < exp.test.size(); ++i) {
+    const auto pred = model.predict(exp.test.configs.row(i), {});
+    for (const double v : pred) EXPECT_GE(v, min_train - 1e-9);
+  }
+}
+
+TEST(DirectForest, ExtrapolationIsFlatAcrossTargetScales) {
+  // Predictions at 64 and 128 processes are nearly identical: scale
+  // features beyond the training range land in the same leaves.
+  const auto exp = make_experiment(small_config());
+  DirectForestModel model;
+  Rng rng(3);
+  model.fit(exp.problem, rng);
+  for (std::size_t i = 0; i < exp.test.size(); ++i) {
+    const auto pred = model.predict(exp.test.configs.row(i), {});
+    EXPECT_NEAR(pred[0], pred[1], 0.05 * pred[0] + 1e-9);
+  }
+}
+
+TEST(DirectGbm, FitsAndPredictsPositive) {
+  const auto exp = make_experiment(small_config());
+  DirectGbmModel model;
+  Rng rng(31);
+  model.fit(exp.problem, rng);
+  const auto pred = model.predict(exp.test.configs.row(0), {});
+  ASSERT_EQ(pred.size(), 2u);
+  for (const double v : pred) EXPECT_GT(v, 0.0);
+}
+
+TEST(DirectGbm, SharesTheTreeEnsembleExtrapolationPathology) {
+  // Boosted trees sum many leaf corrections, so unlike a forest they can
+  // edge slightly past the training-target range — but nowhere near the
+  // multiples an extrapolation to 4-16x more processes requires, so like
+  // the forest they systematically over-predict large-scale runtimes.
+  const auto exp = make_experiment(small_config());
+  DirectGbmModel model;
+  Rng rng(32);
+  model.fit(exp.problem, rng);
+  double signed_bias = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < exp.test.size(); ++i) {
+    const auto pred = model.predict(exp.test.configs.row(i), {});
+    for (std::size_t t = 0; t < pred.size(); ++t) {
+      const double truth = exp.test.target_times(i, t);
+      signed_bias += (pred[t] - truth) / truth;
+      ++count;
+    }
+  }
+  signed_bias /= static_cast<double>(count);
+  EXPECT_GT(signed_bias, 0.5);  // > +50% mean over-prediction
+}
+
+TEST(DirectGbm, PredictBeforeFitThrows) {
+  const DirectGbmModel model;
+  const std::vector<double> params{128.0, 500.0, 1.0};
+  EXPECT_THROW((void)model.predict(params, {}), std::invalid_argument);
+}
+
+TEST(DirectLinear, AllKindsFitAndName) {
+  const auto exp = make_experiment(small_config());
+  for (const auto kind :
+       {DirectLinearModel::Kind::kOls, DirectLinearModel::Kind::kRidge,
+        DirectLinearModel::Kind::kLasso}) {
+    DirectLinearModel model(kind);
+    Rng rng(4);
+    model.fit(exp.problem, rng);
+    const auto pred = model.predict(exp.test.configs.row(0), {});
+    ASSERT_EQ(pred.size(), 2u);
+    for (const double v : pred) EXPECT_GT(v, 0.0);  // clamped positive
+  }
+  EXPECT_EQ(DirectLinearModel(DirectLinearModel::Kind::kLasso).name(),
+            "direct-lasso");
+  EXPECT_EQ(DirectLinearModel(DirectLinearModel::Kind::kRidge).name(),
+            "direct-ridge");
+  EXPECT_EQ(DirectLinearModel(DirectLinearModel::Kind::kOls).name(),
+            "direct-ols");
+}
+
+TEST(Knn, FitsAndPredictsFromNeighbours) {
+  const auto exp = make_experiment(small_config());
+  KnnModel model(5);
+  Rng rng(5);
+  model.fit(exp.problem, rng);
+  const auto pred = model.predict(exp.test.configs.row(0), {});
+  ASSERT_EQ(pred.size(), 2u);
+  // kNN predictions are averages of training runtimes -> within range.
+  double lo = 1e300, hi = 0.0;
+  for (std::size_t i = 0; i < exp.problem.num_configs(); ++i) {
+    for (std::size_t s = 0; s < 5; ++s) {
+      lo = std::min(lo, exp.problem.train_small_times(i, s));
+      hi = std::max(hi, exp.problem.train_small_times(i, s));
+    }
+  }
+  for (const double v : pred) {
+    EXPECT_GE(v, lo - 1e-9);
+    EXPECT_LE(v, hi + 1e-9);
+  }
+}
+
+TEST(Knn, PredictBeforeFitThrows) {
+  const KnnModel model;
+  const std::vector<double> params{128.0, 500.0, 1.0};
+  EXPECT_THROW((void)model.predict(params, {}), std::invalid_argument);
+}
+
+TEST(Knn, RejectsZeroK) {
+  const auto exp = make_experiment(small_config());
+  KnnModel model(0);
+  Rng rng(6);
+  EXPECT_THROW(model.fit(exp.problem, rng), std::invalid_argument);
+}
+
+TEST(DirectModels, PredictBeforeFitThrows) {
+  const DirectForestModel forest;
+  const DirectLinearModel linear;
+  const std::vector<double> params{128.0, 500.0, 1.0};
+  EXPECT_THROW((void)forest.predict(params, {}), std::invalid_argument);
+  EXPECT_THROW((void)linear.predict(params, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcp

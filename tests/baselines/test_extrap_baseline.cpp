@@ -1,0 +1,144 @@
+#include "src/baselines/extrap_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/baselines/presets.hpp"
+#include "src/core/experiment.hpp"
+
+namespace hpcp {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.app_name = "heat3d";
+  cfg.num_train = 60;
+  cfg.num_test = 8;
+  cfg.small_scales = {1, 2, 4, 8, 16};
+  cfg.target_scales = {64};
+  cfg.seed = 31;
+  return cfg;
+}
+
+HypothesisSearchModel fitted_model(const Experiment& exp,
+                                   bool use_measured = false) {
+  HypothesisSearchModel model({.use_measured_curve = use_measured});
+  Rng rng(1);
+  model.fit(exp.problem, rng);
+  return model;
+}
+
+TEST(HypothesisSearch, RecoversPurePowerLaw) {
+  const auto exp = make_experiment(small_config());
+  const auto model = fitted_model(exp);
+  // Noise-free curve t(p) = 2 + 40/p.
+  std::vector<double> curve;
+  for (const std::size_t p : exp.problem.small_scales) {
+    curve.push_back(2.0 + 40.0 / static_cast<double>(p));
+  }
+  const auto h = model.search(curve);
+  EXPECT_FALSE(h.constant_only);
+  EXPECT_NEAR(h.exponent_a, -1.0, 1e-9);
+  EXPECT_EQ(h.exponent_b, 0);
+  EXPECT_NEAR(h.c0, 2.0, 1e-6);
+  EXPECT_NEAR(h.c1, 40.0, 1e-5);
+  EXPECT_NEAR(h.eval(64.0), 2.0 + 40.0 / 64.0, 1e-5);
+}
+
+TEST(HypothesisSearch, RecoversLogLaw) {
+  const auto exp = make_experiment(small_config());
+  const auto model = fitted_model(exp);
+  std::vector<double> curve;
+  for (const std::size_t p : exp.problem.small_scales) {
+    curve.push_back(1.0 + 0.5 * std::log2(static_cast<double>(p)) /
+                              static_cast<double>(p));
+  }
+  const auto h = model.search(curve);
+  EXPECT_FALSE(h.constant_only);
+  // log2(p)/p = p^-1·log2(p): a = -1, b = 1.
+  EXPECT_NEAR(h.exponent_a, -1.0, 1e-9);
+  EXPECT_EQ(h.exponent_b, 1);
+}
+
+TEST(HypothesisSearch, ConstantCurvePicksConstant) {
+  const auto exp = make_experiment(small_config());
+  const auto model = fitted_model(exp);
+  const std::vector<double> curve(5, 3.0);
+  const auto h = model.search(curve);
+  EXPECT_NEAR(h.eval(64.0), 3.0, 1e-6);
+}
+
+TEST(HypothesisSearch, EvalClampsToPositive) {
+  HypothesisSearchModel::Hypothesis h;
+  h.constant_only = false;
+  h.exponent_a = 1.0;
+  h.exponent_b = 0;
+  h.c0 = 1.0;
+  h.c1 = -10.0;  // strongly negative slope
+  EXPECT_GT(h.eval(1000.0), 0.0);
+}
+
+TEST(HypothesisSearch, PredictEndToEnd) {
+  const auto exp = make_experiment(small_config());
+  const auto model = fitted_model(exp);
+  const auto pred = model.predict(exp.test.configs.row(0), {});
+  ASSERT_EQ(pred.size(), 1u);
+  EXPECT_GT(pred[0], 0.0);
+}
+
+TEST(HypothesisSearch, MeasuredModeRequiresCurve) {
+  const auto exp = make_experiment(small_config());
+  const auto model = fitted_model(exp, /*use_measured=*/true);
+  EXPECT_THROW((void)model.predict(exp.test.configs.row(0), {}),
+               std::invalid_argument);
+  const auto pred = model.predict(exp.test.configs.row(0),
+                                  exp.test.small_times.row(0));
+  EXPECT_GT(pred[0], 0.0);
+}
+
+TEST(HypothesisSearch, Names) {
+  EXPECT_EQ(HypothesisSearchModel({.use_measured_curve = false}).name(),
+            "extra-p(rf)");
+  EXPECT_EQ(HypothesisSearchModel({.use_measured_curve = true}).name(),
+            "extra-p(measured)");
+}
+
+TEST(HypothesisSearch, MeasuredCurveBeatsWildGuess) {
+  // Fitting the *measured* curve of a test configuration should land within
+  // a factor ~2 of the truth for most configurations.
+  const auto exp = make_experiment(small_config());
+  const auto model = fitted_model(exp, /*use_measured=*/true);
+  std::size_t close = 0;
+  for (std::size_t i = 0; i < exp.test.size(); ++i) {
+    const auto pred = model.predict(exp.test.configs.row(i),
+                                    exp.test.small_times.row(i));
+    const double ratio = pred[0] / exp.test.target_times(i, 0);
+    close += (ratio > 0.4 && ratio < 2.5) ? 1 : 0;
+  }
+  EXPECT_GE(close, exp.test.size() / 2);
+}
+
+TEST(Presets, BaselineSuiteHasDistinctNames) {
+  const auto suite = make_baseline_suite();
+  EXPECT_GE(suite.size(), 5u);
+  std::set<std::string> names;
+  for (const auto& m : suite) names.insert(m->name());
+  EXPECT_EQ(names.size(), suite.size());
+}
+
+TEST(Presets, TwoLevelVariantsConfigured) {
+  EXPECT_EQ(make_paper_model()->name(), "two-level");
+  EXPECT_EQ(make_two_level_no_cluster()->options().extrapolation.num_clusters,
+            1u);
+  EXPECT_FALSE(
+      make_two_level_single_task()->options().extrapolation.multitask);
+  EXPECT_FALSE(make_two_level_trained_on_truth()->options()
+                   .train_on_predictions);
+  EXPECT_TRUE(
+      make_two_level_measured_curve()->options().prefer_measured_curve);
+  EXPECT_EQ(make_two_level_k(3)->options().extrapolation.num_clusters, 3u);
+}
+
+}  // namespace
+}  // namespace hpcp

@@ -1,0 +1,222 @@
+#include "src/cluster/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/cluster/curve_features.hpp"
+#include "src/common/rng.hpp"
+
+namespace hpcp {
+namespace {
+
+/// Three well-separated 2-D blobs of `per_blob` points each.
+Matrix make_blobs(std::size_t per_blob, std::uint64_t seed) {
+  Rng rng(seed);
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  Matrix points(3 * per_blob, 2);
+  for (std::size_t b = 0; b < 3; ++b) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      points(b * per_blob + i, 0) = centers[b][0] + rng.normal(0.0, 0.4);
+      points(b * per_blob + i, 1) = centers[b][1] + rng.normal(0.0, 0.4);
+    }
+  }
+  return points;
+}
+
+TEST(KMeans, RecoversSeparatedBlobs) {
+  const Matrix points = make_blobs(30, 1);
+  Rng rng(2);
+  const auto result = kmeans(points, {.k = 3}, rng);
+  // All points of one blob share a label, and the three labels differ.
+  std::set<std::size_t> blob_labels;
+  for (std::size_t b = 0; b < 3; ++b) {
+    const std::size_t label = result.labels[b * 30];
+    blob_labels.insert(label);
+    for (std::size_t i = 0; i < 30; ++i) {
+      EXPECT_EQ(result.labels[b * 30 + i], label);
+    }
+  }
+  EXPECT_EQ(blob_labels.size(), 3u);
+}
+
+TEST(KMeans, KOneGivesCentroidAtMean) {
+  Matrix points{{0.0}, {2.0}, {4.0}};
+  Rng rng(3);
+  const auto result = kmeans(points, {.k = 1}, rng);
+  EXPECT_NEAR(result.centroids(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(result.inertia, 8.0, 1e-12);
+}
+
+TEST(KMeans, InertiaDecreasesWithK) {
+  const Matrix points = make_blobs(20, 4);
+  Rng rng(5);
+  double prev = std::numeric_limits<double>::infinity();
+  for (const std::size_t k : {1u, 2u, 3u, 5u}) {
+    const auto result = kmeans(points, {.k = k}, rng);
+    EXPECT_LE(result.inertia, prev + 1e-9);
+    prev = result.inertia;
+  }
+}
+
+TEST(KMeans, AssignReturnsNearestCentroid) {
+  const Matrix points = make_blobs(10, 6);
+  Rng rng(7);
+  const auto result = kmeans(points, {.k = 3}, rng);
+  const std::vector<double> near_blob1{10.0, 0.5};
+  const std::size_t c = result.assign(near_blob1);
+  // Whichever centroid that is, it must be the closest one.
+  double d_assigned = 0.0;
+  for (std::size_t j = 0; j < 2; ++j) {
+    const double diff = result.centroids(c, j) - near_blob1[j];
+    d_assigned += diff * diff;
+  }
+  for (std::size_t other = 0; other < 3; ++other) {
+    double d = 0.0;
+    for (std::size_t j = 0; j < 2; ++j) {
+      const double diff = result.centroids(other, j) - near_blob1[j];
+      d += diff * diff;
+    }
+    EXPECT_GE(d + 1e-12, d_assigned);
+  }
+}
+
+TEST(KMeans, ClusterSizesSumToN) {
+  const Matrix points = make_blobs(15, 8);
+  Rng rng(9);
+  const auto result = kmeans(points, {.k = 4}, rng);
+  const auto sizes = result.cluster_sizes();
+  std::size_t total = 0;
+  for (const auto s : sizes) total += s;
+  EXPECT_EQ(total, points.rows());
+}
+
+TEST(KMeans, KEqualsNPutsEachPointAlone) {
+  Matrix points{{0.0}, {5.0}, {9.0}};
+  Rng rng(10);
+  const auto result = kmeans(points, {.k = 3}, rng);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, DuplicatePointsDoNotCrash) {
+  Matrix points(6, 2, 1.0);  // all identical
+  Rng rng(11);
+  const auto result = kmeans(points, {.k = 3}, rng);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, RejectsBadK) {
+  const Matrix points(3, 1);
+  Rng rng(12);
+  EXPECT_THROW((void)kmeans(points, {.k = 0}, rng), std::invalid_argument);
+  EXPECT_THROW((void)kmeans(points, {.k = 4}, rng), std::invalid_argument);
+}
+
+TEST(Silhouette, HighForSeparatedBlobs) {
+  const Matrix points = make_blobs(20, 13);
+  Rng rng(14);
+  const auto result = kmeans(points, {.k = 3}, rng);
+  EXPECT_GT(silhouette_score(points, result.labels, 3), 0.8);
+}
+
+TEST(Silhouette, LowForRandomLabels) {
+  const Matrix points = make_blobs(20, 15);
+  Rng rng(16);
+  std::vector<std::size_t> labels(points.rows());
+  for (auto& l : labels) l = rng.uniform_index(3);
+  EXPECT_LT(silhouette_score(points, labels, 3), 0.3);
+}
+
+TEST(Silhouette, RejectsBadArguments) {
+  const Matrix points(4, 1);
+  const std::vector<std::size_t> labels{0, 1, 0, 1};
+  EXPECT_THROW((void)silhouette_score(points, labels, 1),
+               std::invalid_argument);
+  const std::vector<std::size_t> wrong{0, 1};
+  EXPECT_THROW((void)silhouette_score(points, wrong, 2),
+               std::invalid_argument);
+}
+
+TEST(SelectK, FindsThreeBlobs) {
+  const Matrix points = make_blobs(25, 17);
+  Rng rng(18);
+  EXPECT_EQ(select_k_silhouette(points, 2, 6, rng), 3u);
+}
+
+TEST(SelectK, ReturnsOneForStructurelessData) {
+  Rng data_rng(19);
+  Matrix points(60, 2);
+  for (std::size_t i = 0; i < 60; ++i) {
+    points(i, 0) = data_rng.uniform();
+    points(i, 1) = data_rng.uniform();
+  }
+  Rng rng(20);
+  // Uniform noise has weak silhouette at every k; with k_min == 1 the
+  // fallback applies. (min_silhouette set strictly.)
+  EXPECT_EQ(select_k_silhouette(points, 1, 5, rng, 0.6), 1u);
+}
+
+class KMeansRestartSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KMeansRestartSweep, MoreRestartsNeverWorse) {
+  const Matrix points = make_blobs(15, 21);
+  Rng rng_one(22), rng_many(22);
+  const auto one = kmeans(points, {.k = 3, .restarts = 1}, rng_one);
+  const auto many =
+      kmeans(points, {.k = 3, .restarts = GetParam()}, rng_many);
+  EXPECT_LE(many.inertia, one.inertia + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Restarts, KMeansRestartSweep,
+                         ::testing::Values(2, 4, 8));
+
+TEST(CurveFeatures, ShapeIsScaleInvariant) {
+  const std::vector<double> curve{8.0, 4.0, 2.0, 1.0};
+  std::vector<double> scaled = curve;
+  for (auto& v : scaled) v *= 100.0;
+  const auto a = normalize_curve_shape(curve);
+  const auto b = normalize_curve_shape(scaled);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+TEST(CurveFeatures, ShapeHasZeroMean) {
+  const std::vector<double> curve{5.0, 3.0, 2.0, 1.5, 1.2};
+  const auto shape = normalize_curve_shape(curve);
+  double sum = 0.0;
+  for (const double v : shape) sum += v;
+  EXPECT_NEAR(sum, 0.0, 1e-12);
+}
+
+TEST(CurveFeatures, DifferentShapesDiffer) {
+  const std::vector<double> fast{16.0, 8.0, 4.0, 2.0};   // perfect scaling
+  const std::vector<double> flat{16.0, 15.0, 14.5, 14.2};  // no scaling
+  const auto a = normalize_curve_shape(fast);
+  const auto b = normalize_curve_shape(flat);
+  double dist = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dist += (a[i] - b[i]) * (a[i] - b[i]);
+  }
+  EXPECT_GT(dist, 1.0);
+}
+
+TEST(CurveFeatures, RejectsNonPositive) {
+  const std::vector<double> bad{1.0, 0.0};
+  EXPECT_THROW((void)normalize_curve_shape(bad), std::invalid_argument);
+  const std::vector<double> empty;
+  EXPECT_THROW((void)normalize_curve_shape(empty), std::invalid_argument);
+}
+
+TEST(CurveFeatures, MatrixVersionMatchesRowWise) {
+  Matrix curves{{8.0, 4.0, 2.0}, {3.0, 3.0, 3.0}};
+  const Matrix shapes = normalize_curve_shapes(curves);
+  const auto row0 = normalize_curve_shape(curves.row(0));
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_DOUBLE_EQ(shapes(0, c), row0[c]);
+  }
+  // Flat curve -> all-zero shape.
+  for (std::size_t c = 0; c < 3; ++c) EXPECT_NEAR(shapes(1, c), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hpcp

@@ -1,0 +1,102 @@
+#include "src/common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hpcp {
+namespace {
+
+TEST(Csv, SplitSimpleLine) {
+  const auto fields = csv_split_line("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(Csv, SplitEmptyFields) {
+  const auto fields = csv_split_line("a,,c,");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(Csv, SplitQuotedComma) {
+  const auto fields = csv_split_line("\"a,b\",c");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "a,b");
+}
+
+TEST(Csv, SplitDoubledQuote) {
+  const auto fields = csv_split_line("\"say \"\"hi\"\"\",x");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "say \"hi\"");
+}
+
+TEST(Csv, SplitStripsCarriageReturn) {
+  const auto fields = csv_split_line("a,b\r");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(Csv, EscapePlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+}
+
+TEST(Csv, EscapeCommaAndQuote) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("a\"b"), "\"a\"\"b\"");
+}
+
+TEST(Csv, JoinEscapesAsNeeded) {
+  EXPECT_EQ(csv_join({"a", "b,c"}), "a,\"b,c\"");
+}
+
+TEST(Csv, RoundTripThroughStream) {
+  CsvTable table;
+  table.header = {"name", "value"};
+  table.rows = {{"x", "1.5"}, {"weird,name", "2"}};
+  std::stringstream ss;
+  csv_write(ss, table);
+  const CsvTable back = csv_read(ss);
+  EXPECT_EQ(back.header, table.header);
+  EXPECT_EQ(back.rows, table.rows);
+}
+
+TEST(Csv, ReadSkipsBlankLines) {
+  std::stringstream ss("a,b\n\n1,2\n\n3,4\n");
+  const CsvTable table = csv_read(ss);
+  EXPECT_EQ(table.rows.size(), 2u);
+}
+
+TEST(Csv, ReadRejectsRaggedRows) {
+  std::stringstream ss("a,b\n1,2,3\n");
+  EXPECT_THROW((void)csv_read(ss), std::invalid_argument);
+}
+
+TEST(Csv, ColumnLookup) {
+  CsvTable table;
+  table.header = {"x", "y", "z"};
+  EXPECT_EQ(table.column("y"), 1u);
+  EXPECT_THROW((void)table.column("missing"), std::invalid_argument);
+}
+
+TEST(Csv, FileRoundTrip) {
+  CsvTable table;
+  table.header = {"k", "v"};
+  table.rows = {{"a", "1"}};
+  const std::string path = ::testing::TempDir() + "/hpcp_csv_test.csv";
+  csv_write_file(path, table);
+  const CsvTable back = csv_read_file(path);
+  EXPECT_EQ(back.header, table.header);
+  EXPECT_EQ(back.rows, table.rows);
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW((void)csv_read_file("/nonexistent/path.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hpcp

@@ -1,0 +1,108 @@
+#include "src/common/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace hpcp {
+namespace {
+
+TEST(Metrics, PerfectPredictionIsZeroError) {
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mape(y, y), 0.0);
+  EXPECT_DOUBLE_EQ(mdape(y, y), 0.0);
+  EXPECT_DOUBLE_EQ(rmse(y, y), 0.0);
+  EXPECT_DOUBLE_EQ(mae(y, y), 0.0);
+  EXPECT_DOUBLE_EQ(mpe(y, y), 0.0);
+  EXPECT_DOUBLE_EQ(r_squared(y, y), 1.0);
+}
+
+TEST(Metrics, MapeKnownValue) {
+  const std::vector<double> truth{10.0, 20.0};
+  const std::vector<double> pred{11.0, 18.0};
+  // |1|/10 = 10%, |2|/20 = 10% -> 10%.
+  EXPECT_DOUBLE_EQ(mape(truth, pred), 10.0);
+}
+
+TEST(Metrics, MapeIsSymmetricInErrorSign) {
+  const std::vector<double> truth{10.0};
+  const std::vector<double> over{12.0};
+  const std::vector<double> under{8.0};
+  EXPECT_DOUBLE_EQ(mape(truth, over), mape(truth, under));
+}
+
+TEST(Metrics, MpeCapturesBias) {
+  const std::vector<double> truth{10.0, 10.0};
+  const std::vector<double> pred{12.0, 12.0};
+  EXPECT_DOUBLE_EQ(mpe(truth, pred), 20.0);
+  const std::vector<double> pred_low{8.0, 8.0};
+  EXPECT_DOUBLE_EQ(mpe(truth, pred_low), -20.0);
+}
+
+TEST(Metrics, MdapeRobustToOutlier) {
+  const std::vector<double> truth{10.0, 10.0, 10.0, 10.0, 10.0};
+  const std::vector<double> pred{10.0, 10.0, 10.0, 10.0, 100.0};
+  EXPECT_DOUBLE_EQ(mdape(truth, pred), 0.0);
+  EXPECT_DOUBLE_EQ(mape(truth, pred), 180.0);
+}
+
+TEST(Metrics, RmseKnownValue) {
+  const std::vector<double> truth{0.0, 0.0};
+  const std::vector<double> pred{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(rmse(truth, pred), std::sqrt(12.5));
+}
+
+TEST(Metrics, MaeKnownValue) {
+  const std::vector<double> truth{1.0, 2.0};
+  const std::vector<double> pred{2.0, 0.0};
+  EXPECT_DOUBLE_EQ(mae(truth, pred), 1.5);
+}
+
+TEST(Metrics, RmseAtLeastMae) {
+  const std::vector<double> truth{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> pred{1.5, 1.0, 4.5, 3.0};
+  EXPECT_GE(rmse(truth, pred), mae(truth, pred));
+}
+
+TEST(Metrics, RSquaredMeanPredictorIsZero) {
+  const std::vector<double> truth{1.0, 2.0, 3.0};
+  const std::vector<double> pred{2.0, 2.0, 2.0};  // the mean
+  EXPECT_NEAR(r_squared(truth, pred), 0.0, 1e-12);
+}
+
+TEST(Metrics, RSquaredCanBeNegative) {
+  const std::vector<double> truth{1.0, 2.0, 3.0};
+  const std::vector<double> pred{3.0, 2.0, 1.0};
+  EXPECT_LT(r_squared(truth, pred), 0.0);
+}
+
+TEST(Metrics, RSquaredConstantTruthThrows) {
+  const std::vector<double> truth{2.0, 2.0};
+  const std::vector<double> pred{1.0, 3.0};
+  EXPECT_THROW((void)r_squared(truth, pred), std::invalid_argument);
+}
+
+TEST(Metrics, MismatchedLengthsThrow) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{1.0};
+  EXPECT_THROW((void)mape(a, b), std::invalid_argument);
+  EXPECT_THROW((void)rmse(a, b), std::invalid_argument);
+}
+
+TEST(Metrics, EmptyThrows) {
+  const std::vector<double> e;
+  EXPECT_THROW((void)mape(e, e), std::invalid_argument);
+}
+
+TEST(Metrics, ZeroTruthThrowsForPercentage) {
+  const std::vector<double> truth{0.0};
+  const std::vector<double> pred{1.0};
+  EXPECT_THROW((void)mape(truth, pred), std::invalid_argument);
+  EXPECT_THROW((void)mpe(truth, pred), std::invalid_argument);
+  // Absolute metrics are fine with zero truth.
+  EXPECT_DOUBLE_EQ(mae(truth, pred), 1.0);
+}
+
+}  // namespace
+}  // namespace hpcp

@@ -1,0 +1,207 @@
+#include "src/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace hpcp {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng rng(0);
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 50; ++i) values.insert(rng.next());
+  EXPECT_GT(values.size(), 45u);  // not degenerate
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform_index(7), 7u);
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIndexApproximatelyUniform) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.uniform_index(10)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kN, 0.1, 0.01);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(17);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(19);
+  constexpr int kN = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng rng(23);
+  constexpr int kN = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(29);
+  constexpr int kN = 50001;
+  std::vector<double> xs(kN);
+  for (auto& x : xs) x = rng.lognormal_median(3.0, 0.5);
+  std::nth_element(xs.begin(), xs.begin() + kN / 2, xs.end());
+  EXPECT_NEAR(xs[kN / 2], 3.0, 0.1);
+  for (const double x : xs) EXPECT_GT(x, 0.0);
+}
+
+TEST(Rng, LognormalZeroSigmaIsExact) {
+  Rng rng(31);
+  EXPECT_DOUBLE_EQ(rng.lognormal_median(7.0, 0.0), 7.0);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(37);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to match
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ForkStreamsAreIndependent) {
+  Rng parent(41);
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += parent.next() == child.next() ? 1 : 0;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(43), b(43);
+  Rng ca = a.fork();
+  Rng cb = b.fork();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(ca.next(), cb.next());
+}
+
+TEST(Rng, SampleWithoutReplacementProperties) {
+  Rng rng(47);
+  const auto idx = rng.sample_without_replacement(100, 30);
+  EXPECT_EQ(idx.size(), 30u);
+  std::set<std::size_t> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const auto i : idx) EXPECT_LT(i, 100u);
+}
+
+TEST(Rng, SampleWithoutReplacementFullPopulation) {
+  Rng rng(53);
+  auto idx = rng.sample_without_replacement(10, 10);
+  std::sort(idx.begin(), idx.end());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(idx[i], i);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOversample) {
+  Rng rng(59);
+  EXPECT_THROW((void)rng.sample_without_replacement(5, 6),
+               std::invalid_argument);
+}
+
+TEST(Rng, BootstrapIndicesSizeAndRange) {
+  Rng rng(61);
+  const auto idx = rng.bootstrap_indices(50);
+  EXPECT_EQ(idx.size(), 50u);
+  for (const auto i : idx) EXPECT_LT(i, 50u);
+}
+
+TEST(Rng, BootstrapHasDuplicatesWithHighProbability) {
+  Rng rng(67);
+  const auto idx = rng.bootstrap_indices(100);
+  const std::set<std::size_t> unique(idx.begin(), idx.end());
+  EXPECT_LT(unique.size(), 100u);
+}
+
+class RngSampleSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RngSampleSweep, SampleSizesAlwaysValid) {
+  const std::size_t k = GetParam();
+  Rng rng(100 + k);
+  const auto idx = rng.sample_without_replacement(64, k);
+  EXPECT_EQ(idx.size(), k);
+  const std::set<std::size_t> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RngSampleSweep,
+                         ::testing::Values(0, 1, 2, 13, 32, 63, 64));
+
+}  // namespace
+}  // namespace hpcp

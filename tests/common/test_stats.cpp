@@ -1,0 +1,153 @@
+#include "src/common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace hpcp {
+namespace {
+
+TEST(Stats, MeanBasic) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanSingleElement) {
+  const std::vector<double> xs{7.5};
+  EXPECT_DOUBLE_EQ(mean(xs), 7.5);
+}
+
+TEST(Stats, MeanEmptyThrows) {
+  const std::vector<double> xs;
+  EXPECT_THROW((void)mean(xs), std::invalid_argument);
+}
+
+TEST(Stats, VarianceKnownValue) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Population variance 4 -> sample variance 4*8/7.
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(population_variance(xs), 4.0, 1e-12);
+}
+
+TEST(Stats, VarianceNeedsTwo) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW((void)variance(xs), std::invalid_argument);
+}
+
+TEST(Stats, StddevIsRootOfVariance) {
+  const std::vector<double> xs{1.0, 3.0, 5.0};
+  EXPECT_DOUBLE_EQ(stddev(xs) * stddev(xs), variance(xs));
+}
+
+TEST(Stats, MedianOdd) {
+  const std::vector<double> xs{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+}
+
+TEST(Stats, MedianEven) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Stats, QuantileEndpoints) {
+  const std::vector<double> xs{10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 30.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 20.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+}
+
+TEST(Stats, QuantileRejectsOutOfRange) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW((void)quantile(xs, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)quantile(xs, -0.1), std::invalid_argument);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min_value(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 7.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonPerfectAntiCorrelation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantThrows) {
+  const std::vector<double> xs{1.0, 1.0, 1.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  EXPECT_THROW((void)pearson(xs, ys), std::invalid_argument);
+}
+
+TEST(RunningStats, MatchesBatchStatistics) {
+  Rng rng(5);
+  std::vector<double> xs(500);
+  for (auto& x : xs) x = rng.normal(3.0, 2.0);
+  RunningStats rs;
+  for (const double x : xs) rs.push(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-10);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-8);
+  EXPECT_DOUBLE_EQ(rs.min(), min_value(xs));
+  EXPECT_DOUBLE_EQ(rs.max(), max_value(xs));
+}
+
+TEST(RunningStats, VarianceZeroForFewSamples) {
+  RunningStats rs;
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  rs.push(5.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+class RunningStatsMerge : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RunningStatsMerge, MergeEqualsSequential) {
+  const std::size_t split = GetParam();
+  Rng rng(7 + split);
+  std::vector<double> xs(200);
+  for (auto& x : xs) x = rng.uniform(-5.0, 5.0);
+
+  RunningStats sequential;
+  for (const double x : xs) sequential.push(x);
+
+  RunningStats a, b;
+  for (std::size_t i = 0; i < split; ++i) a.push(xs[i]);
+  for (std::size_t i = split; i < xs.size(); ++i) b.push(xs[i]);
+  a.merge(b);
+
+  EXPECT_EQ(a.count(), sequential.count());
+  EXPECT_NEAR(a.mean(), sequential.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), sequential.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), sequential.min());
+  EXPECT_DOUBLE_EQ(a.max(), sequential.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, RunningStatsMerge,
+                         ::testing::Values(0, 1, 50, 100, 199, 200));
+
+TEST(RunningStats, MergeWithEmptyIsNoop) {
+  RunningStats a;
+  a.push(1.0);
+  a.push(2.0);
+  const RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+}
+
+}  // namespace
+}  // namespace hpcp

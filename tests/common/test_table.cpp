@@ -1,0 +1,64 @@
+#include "src/common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace hpcp {
+namespace {
+
+TEST(TextTable, PrintsHeaderRuleAndRows) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  std::stringstream ss;
+  table.print(ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TextTable, RejectsWrongWidth) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, EmptyHeaderRejected) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, NumericRowFormatsValues) {
+  TextTable table({"label", "x", "y"});
+  table.add_row_numeric("row", {1.234, 5.0}, 1);
+  std::stringstream ss;
+  table.print(ss);
+  EXPECT_NE(ss.str().find("1.2"), std::string::npos);
+  EXPECT_NE(ss.str().find("5.0"), std::string::npos);
+}
+
+TEST(TextTable, NumericRowWidthChecked) {
+  TextTable table({"label", "x"});
+  EXPECT_THROW(table.add_row_numeric("row", {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(FormatDouble, NanRendersDash) {
+  EXPECT_EQ(format_double(std::nan(""), 2), "-");
+}
+
+TEST(PrintSection, ContainsTitle) {
+  std::stringstream ss;
+  print_section(ss, "Table III");
+  EXPECT_NE(ss.str().find("== Table III =="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpcp

@@ -1,0 +1,93 @@
+#include "src/common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace hpcp {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { return 42; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, DefaultSizeIsPositive) {
+  EXPECT_GE(global_thread_pool().size(), 1u);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for(
+      500, [&](std::size_t i) { ++hits[i]; }, &pool);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroItemsIsNoop) {
+  ThreadPool pool(2);
+  parallel_for(
+      0, [](std::size_t) { FAIL() << "body must not run"; }, &pool);
+}
+
+TEST(ParallelFor, SingleItemRunsInline) {
+  ThreadPool pool(2);
+  bool ran = false;
+  parallel_for(
+      1, [&](std::size_t i) { ran = i == 0; }, &pool);
+  EXPECT_TRUE(ran);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(
+                   100,
+                   [](std::size_t i) {
+                     if (i == 37) throw std::logic_error("item 37");
+                   },
+                   &pool),
+               std::logic_error);
+}
+
+class ParallelForSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelForSweep, SumIndependentOfPoolSize) {
+  const std::size_t threads = GetParam();
+  ThreadPool pool(threads);
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(
+      1000, [&](std::size_t i) { sum += static_cast<std::int64_t>(i); },
+      &pool);
+  EXPECT_EQ(sum.load(), 999 * 1000 / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolSizes, ParallelForSweep,
+                         ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace hpcp

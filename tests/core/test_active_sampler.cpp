@@ -1,0 +1,95 @@
+#include "src/core/active_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/core/experiment.hpp"
+
+namespace hpcp {
+namespace {
+
+ExperimentConfig base_config() {
+  ExperimentConfig cfg;
+  cfg.app_name = "heat3d";
+  cfg.num_train = 60;
+  cfg.num_test = 8;
+  cfg.seed = 91;
+  return cfg;
+}
+
+TEST(ActiveSampler, ScoresShapeAndPositivity) {
+  const auto exp = make_experiment(base_config());
+  const ActiveSampler sampler;
+  Rng rng(1);
+  const auto scores =
+      sampler.scores(exp.problem, exp.test.configs, rng);
+  ASSERT_EQ(scores.size(), exp.test.size());
+  for (const double s : scores) EXPECT_GE(s, 0.0);
+}
+
+TEST(ActiveSampler, SelectReturnsDistinctTopCandidates) {
+  const auto exp = make_experiment(base_config());
+  const ActiveSampler sampler;
+  Rng rng_scores(2), rng_select(2);
+  const auto scores =
+      sampler.scores(exp.problem, exp.test.configs, rng_scores);
+  const auto selected =
+      sampler.select(exp.problem, exp.test.configs, 3, rng_select);
+  ASSERT_EQ(selected.size(), 3u);
+  const std::set<std::size_t> unique(selected.begin(), selected.end());
+  EXPECT_EQ(unique.size(), 3u);
+  // Every selected candidate scores at least as high as every unselected.
+  double min_selected = 1e300;
+  for (const std::size_t i : selected) {
+    min_selected = std::min(min_selected, scores[i]);
+  }
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (unique.count(i)) continue;
+    EXPECT_LE(scores[i], min_selected + 1e-12);
+  }
+}
+
+TEST(ActiveSampler, TrainingPointsScoreLowerThanGaps) {
+  // Candidates sitting exactly on training configurations have low
+  // ensemble disagreement compared with the field average.
+  const auto exp = make_experiment(base_config());
+  const ActiveSampler sampler;
+  Rng rng(3);
+  // Pool = the training configs themselves + the unseen test configs.
+  Matrix pool(exp.problem.num_configs() + exp.test.size(),
+              exp.problem.num_params());
+  for (std::size_t i = 0; i < exp.problem.num_configs(); ++i) {
+    pool.set_row(i, exp.problem.train_configs.row(i));
+  }
+  for (std::size_t i = 0; i < exp.test.size(); ++i) {
+    pool.set_row(exp.problem.num_configs() + i, exp.test.configs.row(i));
+  }
+  const auto scores = sampler.scores(exp.problem, pool, rng);
+  double train_mean = 0.0, unseen_mean = 0.0;
+  for (std::size_t i = 0; i < exp.problem.num_configs(); ++i) {
+    train_mean += scores[i];
+  }
+  train_mean /= static_cast<double>(exp.problem.num_configs());
+  for (std::size_t i = 0; i < exp.test.size(); ++i) {
+    unseen_mean += scores[exp.problem.num_configs() + i];
+  }
+  unseen_mean /= static_cast<double>(exp.test.size());
+  EXPECT_LT(train_mean, unseen_mean);
+}
+
+TEST(ActiveSampler, RejectsBadInput) {
+  const auto exp = make_experiment(base_config());
+  const ActiveSampler sampler;
+  Rng rng(4);
+  EXPECT_THROW((void)sampler.scores(exp.problem, Matrix(3, 99), rng),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)sampler.select(exp.problem, exp.test.configs,
+                           exp.test.size() + 1, rng),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcp

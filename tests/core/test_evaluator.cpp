@@ -1,0 +1,176 @@
+#include "src/core/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/experiment.hpp"
+
+namespace hpcp {
+namespace {
+
+/// A stub model that predicts a fixed multiple of a known truth table.
+class StubModel final : public ExtrapolationModel {
+ public:
+  StubModel(std::string name, Matrix predictions)
+      : name_(std::move(name)), predictions_(std::move(predictions)) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  void fit(const ExtrapolationProblem&, Rng&) override { fitted_ = true; }
+
+  [[nodiscard]] std::vector<double> predict(
+      std::span<const double> params,
+      std::span<const double>) const override {
+    // Row index is smuggled through the first parameter.
+    const auto row = static_cast<std::size_t>(params[0]);
+    std::vector<double> out(predictions_.cols());
+    for (std::size_t c = 0; c < out.size(); ++c) {
+      out[c] = predictions_(row, c);
+    }
+    return out;
+  }
+
+  bool fitted_ = false;
+
+ private:
+  std::string name_;
+  Matrix predictions_;
+};
+
+TestSet make_test_set() {
+  TestSet test;
+  test.configs = Matrix(2, 1);
+  test.configs(0, 0) = 0.0;
+  test.configs(1, 0) = 1.0;
+  test.target_times = Matrix{{10.0, 100.0}, {20.0, 200.0}};
+  return test;
+}
+
+ExtrapolationProblem minimal_problem() {
+  ExtrapolationProblem problem;
+  problem.param_names = {"idx"};
+  problem.small_scales = {1, 2};
+  problem.target_scales = {8, 16};
+  problem.train_configs = Matrix(3, 1);
+  problem.train_small_times = Matrix(3, 2, 1.0);
+  return problem;
+}
+
+TEST(Evaluator, ScoreModelComputesExactErrors) {
+  const TestSet test = make_test_set();
+  // Predictions exactly 10% high everywhere.
+  Matrix pred = test.target_times;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) pred(r, c) *= 1.1;
+  }
+  const StubModel model("ten-high", pred);
+  const ModelErrors errors = score_model(model, test);
+  EXPECT_EQ(errors.model, "ten-high");
+  ASSERT_EQ(errors.mape.size(), 2u);
+  EXPECT_NEAR(errors.mape[0], 10.0, 1e-9);
+  EXPECT_NEAR(errors.mape[1], 10.0, 1e-9);
+  EXPECT_NEAR(errors.overall_mape, 10.0, 1e-9);
+  EXPECT_NEAR(errors.overall_mpe, 10.0, 1e-9);  // signed: over-prediction
+  EXPECT_NEAR(errors.mdape[0], 10.0, 1e-9);
+  EXPECT_NEAR(errors.rmse[0], std::sqrt((1.0 + 4.0) / 2.0), 1e-9);
+}
+
+TEST(Evaluator, PerfectModelScoresZero) {
+  const TestSet test = make_test_set();
+  const StubModel model("perfect", test.target_times);
+  const ModelErrors errors = score_model(model, test);
+  EXPECT_DOUBLE_EQ(errors.overall_mape, 0.0);
+  EXPECT_DOUBLE_EQ(errors.rmse[1], 0.0);
+}
+
+TEST(Evaluator, PredictMatrixShape) {
+  const TestSet test = make_test_set();
+  const StubModel model("m", test.target_times);
+  const Matrix pred = predict_matrix(model, test);
+  EXPECT_EQ(pred.rows(), 2u);
+  EXPECT_EQ(pred.cols(), 2u);
+  EXPECT_DOUBLE_EQ(pred(1, 1), 200.0);
+}
+
+TEST(Evaluator, EvaluateModelsFitsEach) {
+  const TestSet test = make_test_set();
+  StubModel a("a", test.target_times), b("b", test.target_times);
+  const auto problem = minimal_problem();
+  Rng rng(1);
+  const EvaluationReport report =
+      evaluate_models({&a, &b}, problem, test, rng);
+  EXPECT_TRUE(a.fitted_);
+  EXPECT_TRUE(b.fitted_);
+  ASSERT_EQ(report.models.size(), 2u);
+  EXPECT_EQ(report.target_scales, problem.target_scales);
+}
+
+TEST(Evaluator, FindLocatesModelOrThrows) {
+  const TestSet test = make_test_set();
+  StubModel a("alpha", test.target_times);
+  const auto problem = minimal_problem();
+  Rng rng(2);
+  const auto report = evaluate_models({&a}, problem, test, rng);
+  EXPECT_EQ(report.find("alpha").model, "alpha");
+  EXPECT_THROW((void)report.find("beta"), std::invalid_argument);
+}
+
+TEST(Evaluator, RejectsEmptyModelListOrNull) {
+  const TestSet test = make_test_set();
+  const auto problem = minimal_problem();
+  Rng rng(3);
+  EXPECT_THROW((void)evaluate_models({}, problem, test, rng),
+               std::invalid_argument);
+  std::vector<ExtrapolationModel*> with_null{nullptr};
+  EXPECT_THROW((void)evaluate_models(with_null, problem, test, rng),
+               std::invalid_argument);
+}
+
+/// Echoes the measured small-scale curve it was given (or −1 markers),
+/// exposing whether the harness forwards measurements.
+class EchoModel final : public ExtrapolationModel {
+ public:
+  [[nodiscard]] std::string name() const override { return "echo"; }
+  void fit(const ExtrapolationProblem&, Rng&) override {}
+  [[nodiscard]] std::vector<double> predict(
+      std::span<const double>,
+      std::span<const double> measured) const override {
+    if (measured.empty()) return {-1.0, -1.0};
+    return {measured[0], measured[1]};
+  }
+};
+
+TEST(Evaluator, ForwardsMeasuredSmallTimesWhenAvailable) {
+  TestSet test = make_test_set();
+  test.small_times = Matrix{{7.0, 8.0, 9.0}, {10.0, 11.0, 12.0}};
+  const EchoModel model;
+  const Matrix pred = predict_matrix(model, test);
+  EXPECT_DOUBLE_EQ(pred(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(pred(1, 1), 11.0);
+}
+
+TEST(Evaluator, OmitsMeasuredSmallTimesWhenAbsent) {
+  const TestSet test = make_test_set();  // no small_times
+  const EchoModel model;
+  const Matrix pred = predict_matrix(model, test);
+  EXPECT_DOUBLE_EQ(pred(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(pred(1, 1), -1.0);
+}
+
+TEST(Evaluator, RejectsModelWithWrongOutputWidth) {
+  TestSet test = make_test_set();
+  test.target_times = Matrix(2, 3, 1.0);  // 3 targets, echo returns 2
+  const EchoModel model;
+  EXPECT_THROW((void)predict_matrix(model, test), std::invalid_argument);
+}
+
+TEST(Evaluator, TestSetHelpers) {
+  TestSet test = make_test_set();
+  EXPECT_EQ(test.size(), 2u);
+  EXPECT_FALSE(test.has_small_times());
+  test.small_times = Matrix(2, 3, 1.0);
+  EXPECT_TRUE(test.has_small_times());
+}
+
+}  // namespace
+}  // namespace hpcp

@@ -1,0 +1,137 @@
+#include "src/core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hpcp {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig cfg;
+  cfg.app_name = "minimd";
+  cfg.num_train = 20;
+  cfg.num_test = 6;
+  cfg.small_scales = {1, 2, 4, 8};
+  cfg.target_scales = {32, 64};
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(Experiment, ShapesMatchConfig) {
+  const auto exp = make_experiment(tiny_config());
+  EXPECT_EQ(exp.problem.num_configs(), 20u);
+  EXPECT_EQ(exp.problem.small_scales, (std::vector<std::size_t>{1, 2, 4, 8}));
+  EXPECT_EQ(exp.problem.target_scales, (std::vector<std::size_t>{32, 64}));
+  EXPECT_EQ(exp.test.size(), 6u);
+  EXPECT_EQ(exp.test.small_times.cols(), 4u);
+  EXPECT_EQ(exp.test.target_times.cols(), 2u);
+  EXPECT_TRUE(exp.test.has_small_times());
+}
+
+TEST(Experiment, HistoryContainsOnlySmallScales) {
+  const auto exp = make_experiment(tiny_config());
+  EXPECT_EQ(exp.history.scales(), (std::vector<std::size_t>{1, 2, 4, 8}));
+  EXPECT_EQ(exp.history.size(), 20u * 4u);
+}
+
+TEST(Experiment, TestConfigsDisjointFromTraining) {
+  const auto exp = make_experiment(tiny_config());
+  std::set<std::vector<double>> train;
+  for (std::size_t i = 0; i < exp.problem.num_configs(); ++i) {
+    const auto row = exp.problem.train_configs.row(i);
+    train.insert({row.begin(), row.end()});
+  }
+  for (std::size_t i = 0; i < exp.test.size(); ++i) {
+    const auto row = exp.test.configs.row(i);
+    EXPECT_EQ(train.count({row.begin(), row.end()}), 0u);
+  }
+}
+
+TEST(Experiment, AllRuntimesPositive) {
+  const auto exp = make_experiment(tiny_config());
+  for (std::size_t i = 0; i < exp.test.size(); ++i) {
+    for (std::size_t s = 0; s < exp.test.small_times.cols(); ++s) {
+      EXPECT_GT(exp.test.small_times(i, s), 0.0);
+    }
+    for (std::size_t s = 0; s < exp.test.target_times.cols(); ++s) {
+      EXPECT_GT(exp.test.target_times(i, s), 0.0);
+    }
+  }
+}
+
+TEST(Experiment, DeterministicGivenSeed) {
+  const auto a = make_experiment(tiny_config());
+  const auto b = make_experiment(tiny_config());
+  EXPECT_EQ(a.problem.train_small_times, b.problem.train_small_times);
+  EXPECT_EQ(a.test.target_times, b.test.target_times);
+}
+
+TEST(Experiment, DifferentSeedsDiffer) {
+  auto cfg = tiny_config();
+  const auto a = make_experiment(cfg);
+  cfg.seed = 12;
+  const auto b = make_experiment(cfg);
+  EXPECT_NE(a.problem.train_small_times, b.problem.train_small_times);
+}
+
+TEST(Experiment, RuntimesDecreaseAcrossSmallScales) {
+  // Sanity of the physics: for most configurations the measured runtime at
+  // p=8 is below that at p=1.
+  const auto exp = make_experiment(tiny_config());
+  std::size_t decreasing = 0;
+  for (std::size_t i = 0; i < exp.problem.num_configs(); ++i) {
+    if (exp.problem.train_small_times(i, 3) <
+        exp.problem.train_small_times(i, 0)) {
+      ++decreasing;
+    }
+  }
+  EXPECT_GE(decreasing, exp.problem.num_configs() * 9 / 10);
+}
+
+TEST(Experiment, WorksForEveryBundledApp) {
+  for (const std::string app : {"heat3d", "minimd", "hpl-lu"}) {
+    auto cfg = tiny_config();
+    cfg.app_name = app;
+    const auto exp = make_experiment(cfg);
+    EXPECT_EQ(exp.app->name(), app);
+    EXPECT_EQ(exp.problem.num_configs(), 20u) << app;
+  }
+}
+
+TEST(Experiment, CustomMachineHonoured) {
+  MachineModel slow = reference_machine();
+  slow.core_flops /= 10.0;
+  const auto fast_exp = make_experiment(tiny_config());
+  const auto slow_exp = make_experiment(tiny_config(), slow);
+  // Same configs, but everything takes longer on the slow machine.
+  double fast_sum = 0.0, slow_sum = 0.0;
+  for (std::size_t i = 0; i < fast_exp.problem.num_configs(); ++i) {
+    fast_sum += fast_exp.problem.train_small_times(i, 0);
+    slow_sum += slow_exp.problem.train_small_times(i, 0);
+  }
+  EXPECT_GT(slow_sum, 2.0 * fast_sum);
+}
+
+TEST(Experiment, RejectsDegenerateConfigs) {
+  auto cfg = tiny_config();
+  cfg.num_train = 2;
+  EXPECT_THROW((void)make_experiment(cfg), std::invalid_argument);
+  cfg = tiny_config();
+  cfg.num_test = 0;
+  EXPECT_THROW((void)make_experiment(cfg), std::invalid_argument);
+  cfg = tiny_config();
+  cfg.app_name = "unknown";
+  EXPECT_THROW((void)make_experiment(cfg), std::invalid_argument);
+}
+
+TEST(Experiment, RepeatedRunsAveragedInProblem) {
+  auto cfg = tiny_config();
+  cfg.runs_per_point = 3;
+  const auto exp = make_experiment(cfg);
+  EXPECT_EQ(exp.history.size(), 20u * 4u * 3u);
+  EXPECT_EQ(exp.problem.num_configs(), 20u);  // still one row per config
+}
+
+}  // namespace
+}  // namespace hpcp

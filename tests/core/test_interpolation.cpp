@@ -1,0 +1,126 @@
+#include "src/core/interpolation_level.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/metrics.hpp"
+
+namespace hpcp {
+namespace {
+
+/// A synthetic noise-free problem: runtime(a, b; p) = a·b / p + 0.1·log2(p).
+ExtrapolationProblem make_synthetic(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  ExtrapolationProblem problem;
+  problem.param_names = {"a", "b"};
+  problem.small_scales = {1, 2, 4, 8};
+  problem.target_scales = {32};
+  problem.train_configs = Matrix(n, 2);
+  problem.train_small_times = Matrix(n, 4);
+  for (std::size_t i = 0; i < n; ++i) {
+    problem.train_configs(i, 0) = rng.uniform(1.0, 10.0);
+    problem.train_configs(i, 1) = rng.uniform(1.0, 10.0);
+    for (std::size_t s = 0; s < 4; ++s) {
+      const double p = static_cast<double>(problem.small_scales[s]);
+      problem.train_small_times(i, s) =
+          problem.train_configs(i, 0) * problem.train_configs(i, 1) / p +
+          0.1 * std::log2(p);
+    }
+  }
+  return problem;
+}
+
+TEST(InterpolationLevel, FitsAndPredictsCurveShape) {
+  const auto problem = make_synthetic(400, 1);
+  InterpolationLevel level;
+  Rng rng(2);
+  level.fit(problem, rng);
+  EXPECT_TRUE(level.fitted());
+  EXPECT_EQ(level.num_scales(), 4u);
+  EXPECT_EQ(level.scales(), problem.small_scales);
+
+  const std::vector<double> params{5.0, 5.0};
+  const auto curve = level.predict_curve(params);
+  ASSERT_EQ(curve.size(), 4u);
+  // True curve: 25/p + 0.1·log2 p.
+  EXPECT_NEAR(curve[0], 25.0, 4.0);
+  EXPECT_NEAR(curve[3], 25.0 / 8.0 + 0.3, 0.8);
+  // Monotone decreasing over these scales.
+  for (std::size_t s = 1; s < 4; ++s) EXPECT_LT(curve[s], curve[s - 1]);
+}
+
+TEST(InterpolationLevel, AccuracyOnHeldOutConfigs) {
+  const auto train = make_synthetic(500, 3);
+  const auto test = make_synthetic(50, 4);
+  InterpolationLevel level;
+  Rng rng(5);
+  level.fit(train, rng);
+  for (std::size_t s = 0; s < 4; ++s) {
+    std::vector<double> truth, pred;
+    for (std::size_t i = 0; i < test.train_configs.rows(); ++i) {
+      truth.push_back(test.train_small_times(i, s));
+      pred.push_back(level.predict_curve(test.train_configs.row(i))[s]);
+    }
+    EXPECT_LT(mape(truth, pred), 12.0) << "scale index " << s;
+  }
+}
+
+TEST(InterpolationLevel, PredictCurvesMatchesRowWise) {
+  const auto problem = make_synthetic(100, 6);
+  InterpolationLevel level;
+  Rng rng(7);
+  level.fit(problem, rng);
+  const Matrix curves = level.predict_curves(problem.train_configs);
+  EXPECT_EQ(curves.rows(), 100u);
+  EXPECT_EQ(curves.cols(), 4u);
+  const auto row0 = level.predict_curve(problem.train_configs.row(0));
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_DOUBLE_EQ(curves(0, s), row0[s]);
+  }
+}
+
+TEST(InterpolationLevel, LogTargetProducesPositivePredictions) {
+  const auto problem = make_synthetic(200, 8);
+  InterpolationLevel level({}, /*log_target=*/true);
+  Rng rng(9);
+  level.fit(problem, rng);
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (const double v : level.predict_curve(problem.train_configs.row(i))) {
+      EXPECT_GT(v, 0.0);
+    }
+  }
+}
+
+TEST(InterpolationLevel, RawTargetOptionWorks) {
+  const auto problem = make_synthetic(200, 10);
+  InterpolationLevel level({}, /*log_target=*/false);
+  Rng rng(11);
+  level.fit(problem, rng);
+  EXPECT_FALSE(level.log_target());
+  const auto curve = level.predict_curve(problem.train_configs.row(0));
+  EXPECT_NEAR(curve[0], problem.train_small_times(0, 0),
+              0.5 * problem.train_small_times(0, 0));
+}
+
+TEST(InterpolationLevel, PredictBeforeFitThrows) {
+  const InterpolationLevel level;
+  const std::vector<double> params{1.0, 2.0};
+  EXPECT_THROW((void)level.predict_curve(params), std::invalid_argument);
+}
+
+TEST(InterpolationLevel, DeterministicGivenRng) {
+  const auto problem = make_synthetic(150, 12);
+  InterpolationLevel a, b;
+  Rng ra(13), rb(13);
+  a.fit(problem, ra);
+  b.fit(problem, rb);
+  const auto ca = a.predict_curve(problem.train_configs.row(0));
+  const auto cb = b.predict_curve(problem.train_configs.row(0));
+  for (std::size_t s = 0; s < ca.size(); ++s) {
+    EXPECT_DOUBLE_EQ(ca[s], cb[s]);
+  }
+}
+
+}  // namespace
+}  // namespace hpcp

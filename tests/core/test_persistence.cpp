@@ -1,0 +1,175 @@
+/// Round-trip tests of model persistence: a loaded model must reproduce
+/// the original's predictions bit-for-bit.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/common/serialize.hpp"
+#include "src/core/experiment.hpp"
+#include "src/core/two_level_model.hpp"
+
+namespace hpcp {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.app_name = "minimd";
+  cfg.num_train = 60;
+  cfg.num_test = 8;
+  cfg.seed = 101;
+  return cfg;
+}
+
+TEST(Serialize, PrimitiveRoundTrip) {
+  std::stringstream ss;
+  Serializer s(ss);
+  s.tag("test");
+  s.write(3.14159265358979);
+  s.write(std::size_t{42});
+  s.write(std::int64_t{-7});
+  s.write(true);
+  s.write(std::string("hello world"));  // embedded space survives
+  s.write(std::vector<double>{1.5, -2.5});
+  s.write(std::vector<std::size_t>{1, 2, 3});
+  s.write(std::vector<std::string>{"a b", "c"});
+
+  Deserializer d(ss);
+  d.expect_tag("test");
+  EXPECT_DOUBLE_EQ(d.read_double(), 3.14159265358979);
+  EXPECT_EQ(d.read_size(), 42u);
+  EXPECT_EQ(d.read_int(), -7);
+  EXPECT_TRUE(d.read_bool());
+  EXPECT_EQ(d.read_string(), "hello world");
+  EXPECT_EQ(d.read_doubles(), (std::vector<double>{1.5, -2.5}));
+  EXPECT_EQ(d.read_sizes(), (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_EQ(d.read_strings(), (std::vector<std::string>{"a b", "c"}));
+}
+
+TEST(Serialize, HexfloatIsExact) {
+  std::stringstream ss;
+  Serializer s(ss);
+  const double tricky = 0.1 + 0.2;  // not representable exactly in decimal
+  s.write(tricky);
+  Deserializer d(ss);
+  EXPECT_EQ(d.read_double(), tricky);  // bitwise equality
+}
+
+TEST(Serialize, WrongTagThrows) {
+  std::stringstream ss;
+  Serializer s(ss);
+  s.tag("alpha");
+  Deserializer d(ss);
+  EXPECT_THROW(d.expect_tag("beta"), std::runtime_error);
+}
+
+TEST(Serialize, TruncationThrows) {
+  std::stringstream ss("@matrix\n2\n");
+  Deserializer d(ss);
+  d.expect_tag("matrix");
+  EXPECT_EQ(d.read_size(), 2u);
+  EXPECT_THROW((void)d.read_size(), std::runtime_error);
+}
+
+TEST(Persistence, MatrixRoundTrip) {
+  const Matrix m{{1.5, -2.25}, {0.0, 1e-300}};
+  std::stringstream ss;
+  Serializer s(ss);
+  m.save(s);
+  Deserializer d(ss);
+  EXPECT_EQ(Matrix::load(d), m);
+}
+
+TEST(Persistence, ForestPredictionsIdenticalAfterRoundTrip) {
+  const auto exp = make_experiment(small_config());
+  RandomForest forest({.num_trees = 20});
+  Rng rng(1);
+  const auto y = exp.problem.train_small_times.column(0);
+  forest.fit(exp.problem.train_configs, y, rng);
+
+  std::stringstream ss;
+  Serializer s(ss);
+  forest.save(s);
+  Deserializer d(ss);
+  const RandomForest back = RandomForest::load(d);
+  EXPECT_EQ(back.num_trees(), forest.num_trees());
+  EXPECT_EQ(back.oob_mse(), forest.oob_mse());
+  for (std::size_t i = 0; i < exp.test.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.predict(exp.test.configs.row(i)),
+                     forest.predict(exp.test.configs.row(i)));
+  }
+}
+
+TEST(Persistence, TwoLevelModelRoundTripBitExact) {
+  const auto exp = make_experiment(small_config());
+  TwoLevelModel model;
+  Rng rng(2);
+  model.fit(exp.problem, rng);
+  model.calibrate(exp.test.configs.row(0), 256,
+                  exp.test.target_times(0, 3));
+
+  std::stringstream ss;
+  model.save(ss);
+  const TwoLevelModel back = TwoLevelModel::load(ss);
+
+  EXPECT_EQ(back.name(), model.name());
+  EXPECT_EQ(back.num_calibration_points(), 1u);
+  EXPECT_EQ(back.extrapolation().num_clusters(),
+            model.extrapolation().num_clusters());
+  for (std::size_t i = 0; i < exp.test.size(); ++i) {
+    const auto a = model.predict(exp.test.configs.row(i), {});
+    const auto b = back.predict(exp.test.configs.row(i), {});
+    for (std::size_t t = 0; t < a.size(); ++t) {
+      EXPECT_DOUBLE_EQ(a[t], b[t]) << "config " << i << " target " << t;
+    }
+    // Uncertainty intervals are seeded per input -> also identical.
+    const auto ua = model.predict_with_uncertainty(exp.test.configs.row(i));
+    const auto ub = back.predict_with_uncertainty(exp.test.configs.row(i));
+    for (std::size_t t = 0; t < ua.size(); ++t) {
+      EXPECT_DOUBLE_EQ(ua[t].lower, ub[t].lower);
+      EXPECT_DOUBLE_EQ(ua[t].upper, ub[t].upper);
+    }
+  }
+}
+
+TEST(Persistence, FileRoundTrip) {
+  const auto exp = make_experiment(small_config());
+  TwoLevelModel model;
+  Rng rng(3);
+  model.fit(exp.problem, rng);
+  const std::string path = ::testing::TempDir() + "/hpcp_model.txt";
+  model.save_file(path);
+  const TwoLevelModel back = TwoLevelModel::load_file(path);
+  const auto a = model.predict(exp.test.configs.row(0), {});
+  const auto b = back.predict(exp.test.configs.row(0), {});
+  for (std::size_t t = 0; t < a.size(); ++t) EXPECT_DOUBLE_EQ(a[t], b[t]);
+}
+
+TEST(Persistence, SingleTaskModeRoundTrips) {
+  const auto exp = make_experiment(small_config());
+  TwoLevelOptions opts;
+  opts.extrapolation.multitask = false;
+  TwoLevelModel model(opts);
+  Rng rng(4);
+  model.fit(exp.problem, rng);
+  std::stringstream ss;
+  model.save(ss);
+  const TwoLevelModel back = TwoLevelModel::load(ss);
+  const auto a = model.predict(exp.test.configs.row(1), {});
+  const auto b = back.predict(exp.test.configs.row(1), {});
+  for (std::size_t t = 0; t < a.size(); ++t) EXPECT_DOUBLE_EQ(a[t], b[t]);
+}
+
+TEST(Persistence, UnfittedModelRefusesToSave) {
+  const TwoLevelModel model;
+  std::stringstream ss;
+  EXPECT_THROW(model.save(ss), std::invalid_argument);
+}
+
+TEST(Persistence, MissingFileThrows) {
+  EXPECT_THROW((void)TwoLevelModel::load_file("/nonexistent/model"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hpcp

@@ -1,0 +1,70 @@
+#include "src/core/problem.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpcp {
+namespace {
+
+HistoryStore make_history() {
+  HistoryStore store("app", {"a"});
+  const auto add = [&](double a, std::size_t p, double t) {
+    store.append({.params = {a}, .nprocs = p, .runtime = t, .run_id = 0});
+  };
+  // Config 1: complete at {2, 4}.
+  add(1.0, 2, 10.0);
+  add(1.0, 4, 6.0);
+  // Config 2: complete at {2, 4}.
+  add(2.0, 2, 20.0);
+  add(2.0, 4, 12.0);
+  // Config 3: only scale 2 -> dropped.
+  add(3.0, 2, 30.0);
+  return store;
+}
+
+TEST(Problem, MakeProblemExtractsCompleteConfigs) {
+  const auto problem = make_problem(make_history(), {2, 4}, {16, 32});
+  EXPECT_EQ(problem.num_configs(), 2u);
+  EXPECT_EQ(problem.num_params(), 1u);
+  EXPECT_EQ(problem.train_small_times.cols(), 2u);
+  EXPECT_DOUBLE_EQ(problem.train_small_times(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(problem.train_small_times(1, 1), 12.0);
+}
+
+TEST(Problem, ValidateAcceptsWellFormed) {
+  const auto problem = make_problem(make_history(), {2, 4}, {16});
+  EXPECT_NO_THROW(problem.validate());
+}
+
+TEST(Problem, ValidateRejectsUnsortedScales) {
+  auto problem = make_problem(make_history(), {2, 4}, {16});
+  problem.small_scales = {4, 2};
+  EXPECT_THROW(problem.validate(), std::invalid_argument);
+}
+
+TEST(Problem, ValidateRejectsOverlappingScales) {
+  auto problem = make_problem(make_history(), {2, 4}, {16});
+  problem.target_scales = {4};
+  EXPECT_THROW(problem.validate(), std::invalid_argument);
+}
+
+TEST(Problem, ValidateRejectsShapeMismatch) {
+  auto problem = make_problem(make_history(), {2, 4}, {16});
+  problem.train_small_times = Matrix(2, 3);
+  EXPECT_THROW(problem.validate(), std::invalid_argument);
+}
+
+TEST(Problem, NoCompleteConfigsThrows) {
+  HistoryStore store("app", {"a"});
+  store.append({.params = {1.0}, .nprocs = 2, .runtime = 1.0, .run_id = 0});
+  EXPECT_THROW((void)make_problem(store, {2, 4}, {16}),
+               std::invalid_argument);
+}
+
+TEST(Problem, EmptyScaleListsRejected) {
+  auto problem = make_problem(make_history(), {2, 4}, {16});
+  problem.small_scales.clear();
+  EXPECT_THROW(problem.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcp

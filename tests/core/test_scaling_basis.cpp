@@ -1,0 +1,93 @@
+#include "src/core/scaling_basis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hpcp {
+namespace {
+
+TEST(ScalingBasis, DefaultTermsPresent) {
+  const ScalingBasis basis;
+  EXPECT_EQ(basis.size(), ScalingBasis::default_term_names().size());
+  EXPECT_EQ(basis.term_name(0), "1/p");
+}
+
+TEST(ScalingBasis, EvalAtOne) {
+  const ScalingBasis basis;
+  const auto row = basis.eval(1.0);
+  // At p=1: 1/p = 1, p^-2/3 = 1, p^-1/2 = 1, log terms = 0, sqrt = 1, p = 1.
+  for (std::size_t j = 0; j < basis.size(); ++j) {
+    const auto& name = basis.term_name(j);
+    if (name.find("log") != std::string::npos) {
+      EXPECT_DOUBLE_EQ(row[j], 0.0) << name;
+    } else {
+      EXPECT_DOUBLE_EQ(row[j], 1.0) << name;
+    }
+  }
+}
+
+TEST(ScalingBasis, EvalKnownValuesAtSixtyFour) {
+  const ScalingBasis basis;
+  const auto row = basis.eval(64.0);
+  const auto names = ScalingBasis::default_term_names();
+  for (std::size_t j = 0; j < names.size(); ++j) {
+    if (names[j] == "1/p") { EXPECT_DOUBLE_EQ(row[j], 1.0 / 64.0); }
+    if (names[j] == "p^-4/3") { EXPECT_NEAR(row[j], std::pow(64.0, -4.0 / 3.0), 1e-12); }
+    if (names[j] == "p^-2/3") { EXPECT_NEAR(row[j], 1.0 / 16.0, 1e-12); }
+    if (names[j] == "p^-1/2") { EXPECT_DOUBLE_EQ(row[j], 0.125); }
+    if (names[j] == "log2(p)") { EXPECT_DOUBLE_EQ(row[j], 6.0); }
+    if (names[j] == "log2(p)/p") { EXPECT_DOUBLE_EQ(row[j], 6.0 / 64.0); }
+    if (names[j] == "sqrt(p)") { EXPECT_DOUBLE_EQ(row[j], 8.0); }
+    if (names[j] == "p") { EXPECT_DOUBLE_EQ(row[j], 64.0); }
+  }
+}
+
+TEST(ScalingBasis, CustomSubsetPreservesOrder) {
+  const ScalingBasis basis({"log2(p)", "1/p"});
+  EXPECT_EQ(basis.size(), 2u);
+  EXPECT_EQ(basis.term_name(0), "log2(p)");
+  const auto row = basis.eval(8.0);
+  EXPECT_DOUBLE_EQ(row[0], 3.0);
+  EXPECT_DOUBLE_EQ(row[1], 0.125);
+}
+
+TEST(ScalingBasis, UnknownTermRejected) {
+  EXPECT_THROW(ScalingBasis({"p^42"}), std::invalid_argument);
+  EXPECT_THROW(ScalingBasis(std::vector<std::string>{}),
+               std::invalid_argument);
+}
+
+TEST(ScalingBasis, EvalRejectsSubUnityProcessCount) {
+  const ScalingBasis basis;
+  EXPECT_THROW((void)basis.eval(0.5), std::invalid_argument);
+}
+
+TEST(ScalingBasis, DesignMatrixShapeAndContent) {
+  const ScalingBasis basis;
+  const std::vector<std::size_t> scales{1, 2, 4};
+  const Matrix design = basis.design(scales);
+  EXPECT_EQ(design.rows(), 3u);
+  EXPECT_EQ(design.cols(), basis.size());
+  const auto row1 = basis.eval(2.0);
+  for (std::size_t j = 0; j < basis.size(); ++j) {
+    EXPECT_DOUBLE_EQ(design(1, j), row1[j]);
+  }
+}
+
+TEST(ScalingBasis, DecayingTermsDecayGrowingTermsGrow) {
+  const ScalingBasis basis;
+  const auto a = basis.eval(4.0);
+  const auto b = basis.eval(16.0);
+  const auto names = ScalingBasis::default_term_names();
+  for (std::size_t j = 0; j < names.size(); ++j) {
+    if (names[j] == "sqrt(p)" || names[j] == "p" || names[j] == "log2(p)") {
+      EXPECT_GT(b[j], a[j]) << names[j];
+    } else {
+      EXPECT_LT(b[j], a[j]) << names[j];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hpcp

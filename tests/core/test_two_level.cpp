@@ -1,0 +1,198 @@
+#include "src/core/two_level_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.hpp"
+
+namespace hpcp {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.app_name = "heat3d";
+  cfg.num_train = 80;
+  cfg.num_test = 16;
+  cfg.small_scales = {1, 2, 4, 8, 16};
+  cfg.target_scales = {32, 64};
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(TwoLevelModel, FitPredictEndToEnd) {
+  const auto exp = make_experiment(small_config());
+  TwoLevelModel model;
+  Rng rng(1);
+  model.fit(exp.problem, rng);
+  EXPECT_TRUE(model.interpolation().fitted());
+  EXPECT_TRUE(model.extrapolation().fitted());
+  const auto pred = model.predict(exp.test.configs.row(0), {});
+  ASSERT_EQ(pred.size(), 2u);
+  for (const double v : pred) EXPECT_GT(v, 0.0);
+}
+
+TEST(TwoLevelModel, PredictionsInTheRightBallpark) {
+  const auto exp = make_experiment(small_config());
+  TwoLevelModel model;
+  Rng rng(2);
+  model.fit(exp.problem, rng);
+  std::size_t within_2x = 0;
+  for (std::size_t i = 0; i < exp.test.size(); ++i) {
+    const auto pred = model.predict(exp.test.configs.row(i), {});
+    for (std::size_t t = 0; t < pred.size(); ++t) {
+      const double ratio = pred[t] / exp.test.target_times(i, t);
+      within_2x += (ratio > 0.5 && ratio < 2.0) ? 1 : 0;
+    }
+  }
+  // Most predictions land within 2× of truth.
+  EXPECT_GE(within_2x, exp.test.size() * 2 * 8 / 10);
+}
+
+TEST(TwoLevelModel, DisplayNameConfigurable) {
+  TwoLevelOptions opts;
+  opts.display_name = "custom";
+  const TwoLevelModel model(opts);
+  EXPECT_EQ(model.name(), "custom");
+}
+
+TEST(TwoLevelModel, SmallScaleCurveUsesPredictionsByDefault) {
+  const auto exp = make_experiment(small_config());
+  TwoLevelModel model;
+  Rng rng(3);
+  model.fit(exp.problem, rng);
+  const auto measured = exp.test.small_times.row(0);
+  const auto curve =
+      model.small_scale_curve(exp.test.configs.row(0), measured);
+  // Default: ignore the measured curve, use the forests.
+  const auto rf_curve =
+      model.interpolation().predict_curve(exp.test.configs.row(0));
+  for (std::size_t s = 0; s < curve.size(); ++s) {
+    EXPECT_DOUBLE_EQ(curve[s], rf_curve[s]);
+  }
+}
+
+TEST(TwoLevelModel, PreferMeasuredCurveOptionUsesMeasurement) {
+  const auto exp = make_experiment(small_config());
+  TwoLevelOptions opts;
+  opts.prefer_measured_curve = true;
+  TwoLevelModel model(opts);
+  Rng rng(4);
+  model.fit(exp.problem, rng);
+  const auto measured = exp.test.small_times.row(0);
+  const auto curve =
+      model.small_scale_curve(exp.test.configs.row(0), measured);
+  for (std::size_t s = 0; s < curve.size(); ++s) {
+    EXPECT_DOUBLE_EQ(curve[s], measured[s]);
+  }
+  // Without a measurement it falls back to the forests.
+  const auto fallback = model.small_scale_curve(exp.test.configs.row(0), {});
+  EXPECT_EQ(fallback.size(), measured.size());
+}
+
+TEST(TwoLevelModel, TrainOnTruthOptionChangesNothingStructurally) {
+  const auto exp = make_experiment(small_config());
+  TwoLevelOptions opts;
+  opts.train_on_predictions = false;
+  TwoLevelModel model(opts);
+  Rng rng(5);
+  model.fit(exp.problem, rng);
+  const auto pred = model.predict(exp.test.configs.row(0), {});
+  for (const double v : pred) EXPECT_GT(v, 0.0);
+}
+
+TEST(TwoLevelModel, FixedClusterCountHonoured) {
+  const auto exp = make_experiment(small_config());
+  TwoLevelOptions opts;
+  opts.extrapolation.num_clusters = 1;
+  TwoLevelModel model(opts);
+  Rng rng(6);
+  model.fit(exp.problem, rng);
+  EXPECT_EQ(model.extrapolation().num_clusters(), 1u);
+}
+
+TEST(TwoLevelModel, DeterministicGivenSeed) {
+  const auto exp = make_experiment(small_config());
+  TwoLevelModel a, b;
+  Rng ra(7), rb(7);
+  a.fit(exp.problem, ra);
+  b.fit(exp.problem, rb);
+  const auto pa = a.predict(exp.test.configs.row(0), {});
+  const auto pb = b.predict(exp.test.configs.row(0), {});
+  for (std::size_t t = 0; t < pa.size(); ++t) {
+    EXPECT_DOUBLE_EQ(pa[t], pb[t]);
+  }
+}
+
+TEST(TwoLevelModel, UncertaintyIntervalsContainPointPrediction) {
+  const auto exp = make_experiment(small_config());
+  TwoLevelModel model;
+  Rng rng(8);
+  model.fit(exp.problem, rng);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto point = model.predict(exp.test.configs.row(i), {});
+    const auto intervals =
+        model.predict_with_uncertainty(exp.test.configs.row(i));
+    ASSERT_EQ(intervals.size(), point.size());
+    for (std::size_t t = 0; t < intervals.size(); ++t) {
+      EXPECT_GT(intervals[t].lower, 0.0);
+      EXPECT_LE(intervals[t].lower, intervals[t].value);
+      EXPECT_GE(intervals[t].upper, intervals[t].value);
+      EXPECT_DOUBLE_EQ(intervals[t].value, point[t]);
+    }
+  }
+}
+
+TEST(TwoLevelModel, UncertaintyIsDeterministicPerInput) {
+  const auto exp = make_experiment(small_config());
+  TwoLevelModel model;
+  Rng rng(9);
+  model.fit(exp.problem, rng);
+  const auto a = model.predict_with_uncertainty(exp.test.configs.row(0));
+  const auto b = model.predict_with_uncertainty(exp.test.configs.row(0));
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    EXPECT_DOUBLE_EQ(a[t].lower, b[t].lower);
+    EXPECT_DOUBLE_EQ(a[t].upper, b[t].upper);
+  }
+}
+
+TEST(TwoLevelModel, UncertaintyCoversMostTruths) {
+  // The 5–95% model-uncertainty interval, widened by nothing else, should
+  // still cover a solid majority of ground truths on a small experiment.
+  const auto exp = make_experiment(small_config());
+  TwoLevelModel model;
+  Rng rng(10);
+  model.fit(exp.problem, rng);
+  std::size_t covered = 0, total = 0;
+  for (std::size_t i = 0; i < exp.test.size(); ++i) {
+    const auto intervals =
+        model.predict_with_uncertainty(exp.test.configs.row(i));
+    for (std::size_t t = 0; t < intervals.size(); ++t) {
+      const double truth = exp.test.target_times(i, t);
+      covered += (truth >= intervals[t].lower * 0.8 &&
+                  truth <= intervals[t].upper * 1.2)
+                     ? 1
+                     : 0;
+      ++total;
+    }
+  }
+  EXPECT_GE(covered * 2, total);
+}
+
+TEST(TwoLevelModel, UncertaintyValidatesOptions) {
+  const auto exp = make_experiment(small_config());
+  TwoLevelOptions opts;
+  opts.uncertainty_samples = 1;
+  TwoLevelModel model(opts);
+  Rng rng(11);
+  model.fit(exp.problem, rng);
+  EXPECT_THROW((void)model.predict_with_uncertainty(exp.test.configs.row(0)),
+               std::invalid_argument);
+}
+
+TEST(TwoLevelModel, PredictBeforeFitThrows) {
+  const TwoLevelModel model;
+  const std::vector<double> params{128.0, 500.0, 1.0};
+  EXPECT_THROW((void)model.predict(params, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcp

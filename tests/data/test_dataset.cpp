@@ -1,0 +1,127 @@
+#include "src/data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hpcp {
+namespace {
+
+Dataset make_dataset(std::size_t n) {
+  Dataset data({"a", "b"});
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::vector<double> row{static_cast<double>(i),
+                                  static_cast<double>(2 * i)};
+    data.add(row, static_cast<double>(10 * i));
+  }
+  return data;
+}
+
+TEST(Dataset, AddAndAccess) {
+  const Dataset data = make_dataset(3);
+  EXPECT_EQ(data.size(), 3u);
+  EXPECT_EQ(data.num_features(), 2u);
+  EXPECT_DOUBLE_EQ(data.x()(2, 1), 4.0);
+  EXPECT_DOUBLE_EQ(data.y()[2], 20.0);
+}
+
+TEST(Dataset, FeatureIndexLookup) {
+  const Dataset data = make_dataset(1);
+  EXPECT_EQ(data.feature_index("b"), 1u);
+  EXPECT_THROW((void)data.feature_index("zzz"), std::invalid_argument);
+}
+
+TEST(Dataset, AddRejectsWrongWidth) {
+  Dataset data({"a", "b"});
+  const std::vector<double> row{1.0};
+  EXPECT_THROW(data.add(row, 0.0), std::invalid_argument);
+}
+
+TEST(Dataset, ConstructorValidatesShapes) {
+  EXPECT_THROW(Dataset({"a"}, Matrix(2, 1), {1.0}), std::invalid_argument);
+  EXPECT_THROW(Dataset({"a", "b"}, Matrix(1, 1), {1.0}),
+               std::invalid_argument);
+}
+
+TEST(Dataset, Select) {
+  const Dataset data = make_dataset(5);
+  const std::vector<std::size_t> idx{4, 0};
+  const Dataset sel = data.select(idx);
+  EXPECT_EQ(sel.size(), 2u);
+  EXPECT_DOUBLE_EQ(sel.y()[0], 40.0);
+  EXPECT_DOUBLE_EQ(sel.y()[1], 0.0);
+}
+
+TEST(Dataset, SelectOutOfRangeThrows) {
+  const Dataset data = make_dataset(2);
+  const std::vector<std::size_t> idx{5};
+  EXPECT_THROW((void)data.select(idx), std::invalid_argument);
+}
+
+TEST(Dataset, WithTargets) {
+  const Dataset data = make_dataset(3);
+  const Dataset replaced = data.with_targets({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(replaced.y()[1], 2.0);
+  EXPECT_EQ(replaced.x(), data.x());
+  EXPECT_THROW((void)data.with_targets({1.0}), std::invalid_argument);
+}
+
+TEST(Dataset, CsvRoundTrip) {
+  const Dataset data = make_dataset(4);
+  const CsvTable table = data.to_csv();
+  EXPECT_EQ(table.header.back(), "target");
+  const Dataset back = Dataset::from_csv(table);
+  EXPECT_EQ(back.size(), data.size());
+  EXPECT_EQ(back.feature_names(), data.feature_names());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(back.y()[i], data.y()[i], 1e-9);
+    EXPECT_NEAR(back.x()(i, 0), data.x()(i, 0), 1e-9);
+  }
+}
+
+TEST(Dataset, FromCsvRequiresTargetColumn) {
+  CsvTable table;
+  table.header = {"a", "b"};
+  EXPECT_THROW((void)Dataset::from_csv(table), std::invalid_argument);
+}
+
+TEST(TrainTestSplit, PartitionsWithoutOverlap) {
+  const Dataset data = make_dataset(20);
+  Rng rng(1);
+  const auto split = train_test_split(data, 0.25, rng);
+  EXPECT_EQ(split.test.size(), 5u);
+  EXPECT_EQ(split.train.size(), 15u);
+  std::set<double> train_targets(split.train.y().begin(),
+                                 split.train.y().end());
+  for (const double t : split.test.y()) {
+    EXPECT_EQ(train_targets.count(t), 0u);
+  }
+}
+
+TEST(TrainTestSplit, AtLeastOneRowEachSide) {
+  const Dataset data = make_dataset(3);
+  Rng rng(2);
+  const auto split = train_test_split(data, 0.01, rng);
+  EXPECT_GE(split.test.size(), 1u);
+  EXPECT_GE(split.train.size(), 1u);
+}
+
+TEST(TrainTestSplit, RejectsBadFraction) {
+  const Dataset data = make_dataset(4);
+  Rng rng(3);
+  EXPECT_THROW((void)train_test_split(data, 0.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)train_test_split(data, 1.0, rng),
+               std::invalid_argument);
+}
+
+TEST(TrainTestSplit, DeterministicGivenSeed) {
+  const Dataset data = make_dataset(30);
+  Rng a(7), b(7);
+  const auto sa = train_test_split(data, 0.3, a);
+  const auto sb = train_test_split(data, 0.3, b);
+  EXPECT_EQ(sa.test.y(), sb.test.y());
+}
+
+}  // namespace
+}  // namespace hpcp

@@ -1,0 +1,152 @@
+#include "src/data/param_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpcp {
+namespace {
+
+TEST(ParameterDef, LinearFromUnit) {
+  const ParameterDef p{.name = "x", .lo = 10.0, .hi = 20.0};
+  EXPECT_DOUBLE_EQ(p.from_unit(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(p.from_unit(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(p.from_unit(0.5), 15.0);
+}
+
+TEST(ParameterDef, LogScaleFromUnit) {
+  const ParameterDef p{.name = "x", .lo = 1.0, .hi = 100.0,
+                       .log_scale = true};
+  EXPECT_NEAR(p.from_unit(0.5), 10.0, 1e-9);
+  EXPECT_NEAR(p.from_unit(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(p.from_unit(1.0), 100.0, 1e-9);
+}
+
+TEST(ParameterDef, IntegerRounds) {
+  const ParameterDef p{.name = "x", .lo = 1.0, .hi = 4.0, .integer = true};
+  EXPECT_DOUBLE_EQ(p.from_unit(0.4), 2.0);
+}
+
+TEST(ParameterDef, LogScaleNeedsPositiveLo) {
+  const ParameterDef p{.name = "x", .lo = 0.0, .hi = 10.0,
+                       .log_scale = true};
+  EXPECT_THROW((void)p.from_unit(0.5), std::invalid_argument);
+}
+
+TEST(ParameterDef, UnitRangeChecked) {
+  const ParameterDef p{.name = "x", .lo = 0.0, .hi = 1.0};
+  EXPECT_THROW((void)p.from_unit(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)p.from_unit(1.1), std::invalid_argument);
+}
+
+ParameterSpace make_space() {
+  return ParameterSpace({
+      {.name = "a", .lo = 0.0, .hi = 1.0},
+      {.name = "b", .lo = 10.0, .hi = 1000.0, .log_scale = true},
+      {.name = "c", .lo = 1.0, .hi = 5.0, .integer = true},
+  });
+}
+
+TEST(ParameterSpace, NamesAndDimension) {
+  const auto space = make_space();
+  EXPECT_EQ(space.dimension(), 3u);
+  EXPECT_EQ(space.names(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ParameterSpace, RejectsInvertedBounds) {
+  EXPECT_THROW(ParameterSpace({{.name = "x", .lo = 2.0, .hi = 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(ParameterSpace, RandomSamplesWithinBounds) {
+  const auto space = make_space();
+  Rng rng(1);
+  const auto samples = space.sample_random(200, rng);
+  EXPECT_EQ(samples.size(), 200u);
+  for (const auto& s : samples) {
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_GE(s[0], 0.0);
+    EXPECT_LE(s[0], 1.0);
+    EXPECT_GE(s[1], 10.0);
+    EXPECT_LE(s[1], 1000.0);
+    EXPECT_GE(s[2], 1.0);
+    EXPECT_LE(s[2], 5.0);
+    EXPECT_DOUBLE_EQ(s[2], std::round(s[2]));
+  }
+}
+
+TEST(ParameterSpace, LhsStratifiesEachDimension) {
+  const ParameterSpace space({{.name = "x", .lo = 0.0, .hi = 1.0}});
+  Rng rng(2);
+  constexpr std::size_t kN = 10;
+  const auto samples = space.sample_lhs(kN, rng);
+  // Exactly one sample per decile.
+  std::vector<int> counts(kN, 0);
+  for (const auto& s : samples) {
+    const auto bin = std::min<std::size_t>(
+        kN - 1, static_cast<std::size_t>(s[0] * kN));
+    ++counts[bin];
+  }
+  for (const int c : counts) EXPECT_EQ(c, 1);
+}
+
+TEST(ParameterSpace, LhsCoversMultipleDimensions) {
+  const auto space = make_space();
+  Rng rng(3);
+  const auto samples = space.sample_lhs(50, rng);
+  EXPECT_EQ(samples.size(), 50u);
+  // Spread check: the first dimension's samples span most of the range.
+  double lo = 1.0, hi = 0.0;
+  for (const auto& s : samples) {
+    lo = std::min(lo, s[0]);
+    hi = std::max(hi, s[0]);
+  }
+  EXPECT_LT(lo, 0.1);
+  EXPECT_GT(hi, 0.9);
+}
+
+TEST(ParameterSpace, GridHasExactCount) {
+  const auto space = make_space();
+  const auto grid = space.sample_grid(3);
+  EXPECT_EQ(grid.size(), 27u);
+}
+
+TEST(ParameterSpace, GridSinglePointIsMidRange) {
+  const ParameterSpace space({{.name = "x", .lo = 0.0, .hi = 10.0}});
+  const auto grid = space.sample_grid(1);
+  ASSERT_EQ(grid.size(), 1u);
+  EXPECT_DOUBLE_EQ(grid[0][0], 5.0);
+}
+
+TEST(ParameterSpace, GridEndpointsIncluded) {
+  const ParameterSpace space({{.name = "x", .lo = 2.0, .hi = 8.0}});
+  const auto grid = space.sample_grid(4);
+  EXPECT_DOUBLE_EQ(grid.front()[0], 2.0);
+  EXPECT_DOUBLE_EQ(grid.back()[0], 8.0);
+}
+
+class LhsSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LhsSweep, StratificationHoldsForAnyCount) {
+  const std::size_t n = GetParam();
+  const ParameterSpace space({{.name = "x", .lo = 0.0, .hi = 1.0},
+                              {.name = "y", .lo = 0.0, .hi = 1.0}});
+  Rng rng(40 + n);
+  const auto samples = space.sample_lhs(n, rng);
+  for (std::size_t d = 0; d < 2; ++d) {
+    std::vector<int> counts(n, 0);
+    for (const auto& s : samples) {
+      const auto bin = std::min<std::size_t>(
+          n - 1,
+          static_cast<std::size_t>(s[d] * static_cast<double>(n)));
+      ++counts[bin];
+    }
+    for (const int c : counts) EXPECT_EQ(c, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, LhsSweep, ::testing::Values(1, 2, 7, 32));
+
+}  // namespace
+}  // namespace hpcp

@@ -1,0 +1,139 @@
+#include "src/forest/gbm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/metrics.hpp"
+#include "src/common/rng.hpp"
+
+namespace hpcp {
+namespace {
+
+struct Data {
+  Matrix x;
+  std::vector<double> y;
+};
+
+Data make_data(std::size_t n, double noise, std::uint64_t seed) {
+  Rng rng(seed);
+  Data data;
+  data.x = Matrix(n, 3);
+  data.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) data.x(i, j) = rng.uniform(0.0, 1.0);
+    data.y[i] = 4.0 * data.x(i, 0) + std::sin(8.0 * data.x(i, 1)) +
+                (noise > 0 ? rng.normal(0.0, noise) : 0.0);
+  }
+  return data;
+}
+
+TEST(Gbm, FitsNonlinearFunction) {
+  const auto train = make_data(600, 0.05, 1);
+  const auto test = make_data(150, 0.05, 2);
+  GradientBoostedTrees gbm;
+  Rng rng(3);
+  gbm.fit(train.x, train.y, rng);
+  const auto pred = gbm.predict(test.x);
+  EXPECT_GT(r_squared(test.y, pred), 0.9);
+}
+
+TEST(Gbm, TrainingLossDecreasesMonotonically) {
+  const auto data = make_data(300, 0.1, 4);
+  GradientBoostedTrees gbm({.num_rounds = 100, .subsample = 1.0});
+  Rng rng(5);
+  gbm.fit(data.x, data.y, rng);
+  const auto& curve = gbm.training_curve();
+  ASSERT_EQ(curve.size(), 100u);
+  // With full sampling and squared loss, every stage reduces training MSE.
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i], curve[i - 1] + 1e-12) << "round " << i;
+  }
+}
+
+TEST(Gbm, MoreRoundsFitTighter) {
+  const auto data = make_data(300, 0.0, 6);
+  GradientBoostedTrees few({.num_rounds = 10});
+  GradientBoostedTrees many({.num_rounds = 300});
+  Rng r1(7), r2(7);
+  few.fit(data.x, data.y, r1);
+  many.fit(data.x, data.y, r2);
+  EXPECT_LT(rmse(data.y, many.predict(data.x)),
+            rmse(data.y, few.predict(data.x)));
+}
+
+TEST(Gbm, ZeroRoundsPredictionIsMean) {
+  const auto data = make_data(50, 0.0, 8);
+  GradientBoostedTrees gbm({.num_rounds = 1, .learning_rate = 1e-12});
+  Rng rng(9);
+  gbm.fit(data.x, data.y, rng);
+  double mean = 0.0;
+  for (const double v : data.y) mean += v;
+  mean /= static_cast<double>(data.y.size());
+  EXPECT_NEAR(gbm.predict(data.x.row(0)), mean, 1e-6);
+}
+
+TEST(Gbm, DeterministicGivenSeed) {
+  const auto data = make_data(200, 0.1, 10);
+  GradientBoostedTrees a, b;
+  Rng ra(11), rb(11);
+  a.fit(data.x, data.y, ra);
+  b.fit(data.x, data.y, rb);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.predict(data.x.row(i)), b.predict(data.x.row(i)));
+  }
+}
+
+TEST(Gbm, CannotPredictOutsideTargetRange) {
+  // The extrapolation pathology the paper exploits: like the forest, GBM
+  // predictions are sums of leaf means and cannot stray far beyond the
+  // training-target range.
+  Rng rng(12);
+  Matrix x(100, 1);
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = static_cast<double>(i);  // y = x
+  }
+  GradientBoostedTrees gbm;
+  Rng fit_rng(13);
+  gbm.fit(x, y, fit_rng);
+  const std::vector<double> far{1000.0};
+  EXPECT_LT(gbm.predict(far), 110.0);  // nowhere near 1000
+}
+
+TEST(Gbm, PredictBeforeFitThrows) {
+  const GradientBoostedTrees gbm;
+  const std::vector<double> x{1.0};
+  EXPECT_THROW((void)gbm.predict(x), std::invalid_argument);
+}
+
+TEST(Gbm, RejectsBadOptions) {
+  const auto data = make_data(20, 0.0, 14);
+  Rng rng(15);
+  GradientBoostedTrees zero_rounds({.num_rounds = 0});
+  EXPECT_THROW(zero_rounds.fit(data.x, data.y, rng), std::invalid_argument);
+  GradientBoostedTrees bad_rate({.learning_rate = 0.0});
+  EXPECT_THROW(bad_rate.fit(data.x, data.y, rng), std::invalid_argument);
+  GradientBoostedTrees bad_subsample({.subsample = 0.0});
+  EXPECT_THROW(bad_subsample.fit(data.x, data.y, rng),
+               std::invalid_argument);
+}
+
+class GbmRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GbmRateSweep, ReasonableFitAcrossLearningRates) {
+  const auto train = make_data(400, 0.05, 16);
+  const auto test = make_data(100, 0.05, 17);
+  GradientBoostedTrees gbm(
+      {.num_rounds = 300, .learning_rate = GetParam()});
+  Rng rng(18);
+  gbm.fit(train.x, train.y, rng);
+  EXPECT_GT(r_squared(test.y, gbm.predict(test.x)), 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, GbmRateSweep,
+                         ::testing::Values(0.05, 0.1, 0.3));
+
+}  // namespace
+}  // namespace hpcp

@@ -1,0 +1,172 @@
+#include "src/forest/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.hpp"
+
+namespace hpcp {
+namespace {
+
+TEST(Tree, FitsStepFunctionExactly) {
+  Matrix x(10, 1);
+  std::vector<double> y(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = i < 5 ? 1.0 : 9.0;
+  }
+  RegressionTree tree;
+  Rng rng(1);
+  tree.fit(x, y, {}, rng);
+  EXPECT_EQ(tree.num_leaves(), 2u);
+  const std::vector<double> left{2.0}, right{7.0};
+  EXPECT_DOUBLE_EQ(tree.predict(left), 1.0);
+  EXPECT_DOUBLE_EQ(tree.predict(right), 9.0);
+}
+
+TEST(Tree, ConstantTargetIsSingleLeaf) {
+  Matrix x(8, 2);
+  Rng data_rng(2);
+  for (std::size_t i = 0; i < 8; ++i) {
+    x(i, 0) = data_rng.uniform();
+    x(i, 1) = data_rng.uniform();
+  }
+  const std::vector<double> y(8, 3.5);
+  RegressionTree tree;
+  Rng rng(3);
+  tree.fit(x, y, {}, rng);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict(x.row(0)), 3.5);
+}
+
+TEST(Tree, DeepTreeInterpolatesTrainingData) {
+  Rng data_rng(4);
+  Matrix x(60, 2);
+  std::vector<double> y(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    x(i, 0) = data_rng.uniform(-3.0, 3.0);
+    x(i, 1) = data_rng.uniform(-3.0, 3.0);
+    y[i] = std::sin(x(i, 0)) + x(i, 1) * x(i, 1);
+  }
+  RegressionTree tree;
+  Rng rng(5);
+  tree.fit(x, y, {}, rng);
+  for (std::size_t i = 0; i < 60; ++i) {
+    EXPECT_NEAR(tree.predict(x.row(i)), y[i], 1e-12);
+  }
+}
+
+TEST(Tree, MaxDepthRespected) {
+  Rng data_rng(6);
+  Matrix x(200, 1);
+  std::vector<double> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    x(i, 0) = data_rng.uniform();
+    y[i] = data_rng.uniform();
+  }
+  RegressionTree tree;
+  Rng rng(7);
+  tree.fit(x, y, {.max_depth = 3}, rng);
+  EXPECT_LE(tree.depth(), 4u);  // root at depth 1
+  EXPECT_LE(tree.num_leaves(), 8u);
+}
+
+TEST(Tree, MinSamplesLeafRespected) {
+  Rng data_rng(8);
+  Matrix x(64, 1);
+  std::vector<double> y(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = data_rng.uniform();
+  }
+  RegressionTree tree;
+  Rng rng(9);
+  tree.fit(x, y, {.min_samples_leaf = 8}, rng);
+  EXPECT_LE(tree.num_leaves(), 8u);
+}
+
+TEST(Tree, MinSamplesSplitRespected) {
+  Matrix x(4, 1);
+  std::vector<double> y{1.0, 2.0, 3.0, 4.0};
+  for (std::size_t i = 0; i < 4; ++i) x(i, 0) = static_cast<double>(i);
+  RegressionTree tree;
+  Rng rng(10);
+  tree.fit(x, y, {.min_samples_split = 100}, rng);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+}
+
+TEST(Tree, ImportanceConcentratesOnInformativeFeature) {
+  Rng data_rng(11);
+  Matrix x(300, 3);
+  std::vector<double> y(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) x(i, j) = data_rng.uniform();
+    y[i] = 10.0 * x(i, 1);  // only feature 1 matters
+  }
+  RegressionTree tree;
+  Rng rng(12);
+  tree.fit(x, y, {}, rng);
+  const auto& imp = tree.impurity_importance();
+  EXPECT_GT(imp[1], 100.0 * std::max(imp[0], imp[2]));
+}
+
+TEST(Tree, PredictBeforeFitThrows) {
+  const RegressionTree tree;
+  const std::vector<double> x{1.0};
+  EXPECT_THROW((void)tree.predict(x), std::invalid_argument);
+}
+
+TEST(Tree, FitOnSubsetUsesOnlyThoseRows) {
+  Matrix x(6, 1);
+  std::vector<double> y(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = i < 3 ? 0.0 : 100.0;
+  }
+  // Subset containing only the low-target half.
+  const std::vector<std::size_t> idx{0, 1, 2};
+  RegressionTree tree;
+  Rng rng(13);
+  tree.fit(x, y, idx, {}, rng);
+  const std::vector<double> far{5.0};
+  EXPECT_DOUBLE_EQ(tree.predict(far), 0.0);
+}
+
+TEST(Tree, DuplicateFeatureValuesNeverSplitBetween) {
+  // Identical x values with different y: no valid split exists.
+  Matrix x(4, 1);
+  for (std::size_t i = 0; i < 4; ++i) x(i, 0) = 2.0;
+  const std::vector<double> y{1.0, 2.0, 3.0, 4.0};
+  RegressionTree tree;
+  Rng rng(14);
+  tree.fit(x, y, {}, rng);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict(x.row(0)), 2.5);
+}
+
+class TreeMtrySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TreeMtrySweep, FitsReasonablyForAnyMtry) {
+  Rng data_rng(15);
+  Matrix x(200, 4);
+  std::vector<double> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) x(i, j) = data_rng.uniform();
+    y[i] = 3.0 * x(i, 0) + x(i, 2);
+  }
+  RegressionTree tree;
+  Rng rng(16);
+  tree.fit(x, y, {.mtry = GetParam()}, rng);
+  double sse = 0.0;
+  for (std::size_t i = 0; i < 200; ++i) {
+    const double e = tree.predict(x.row(i)) - y[i];
+    sse += e * e;
+  }
+  EXPECT_LT(sse / 200.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mtry, TreeMtrySweep, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace hpcp

@@ -1,0 +1,187 @@
+/// First-order optimality (KKT) checks for the coordinate-descent solvers.
+/// These verify the *defining equations* of each optimum on random
+/// problems, independently of how the solver got there — the strongest
+/// correctness evidence short of a reference implementation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.hpp"
+#include "src/linear/lasso.hpp"
+#include "src/linear/multitask_lasso.hpp"
+#include "src/linear/nnls.hpp"
+#include "src/linear/scaler.hpp"
+
+namespace hpcp {
+namespace {
+
+struct Problem {
+  Matrix x;
+  std::vector<double> y;
+};
+
+Problem random_problem(std::size_t n, std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  Problem p;
+  p.x = Matrix(n, d);
+  p.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) p.x(i, j) = rng.uniform(-2.0, 2.0);
+    p.y[i] = rng.uniform(-1.0, 1.0) * p.x(i, 0) + rng.normal(0.0, 0.3);
+  }
+  return p;
+}
+
+/// Lasso KKT on *standardised* data: for the objective
+/// (1/2n)||y − Xw − b||² + λ||w||₁,
+///   w_j ≠ 0  ⟹  (1/n)·x_jᵀr = λ·sign(w_j)
+///   w_j = 0  ⟹  |(1/n)·x_jᵀr| ≤ λ
+/// where r is the residual. We recompute in the standardised frame the
+/// solver optimises in.
+class LassoKkt : public ::testing::TestWithParam<double> {};
+
+TEST_P(LassoKkt, StationarityHolds) {
+  const double lambda = GetParam();
+  const auto prob = random_problem(120, 6, 7);
+  const LinearModel model = fit_lasso(prob.x, prob.y, {.lambda = lambda,
+                                                       .tol = 1e-12});
+
+  const auto scaler = StandardScaler::fit(prob.x);
+  const Matrix xs = scaler.transform(prob.x);
+  const auto n = static_cast<double>(prob.x.rows());
+
+  // Standardised coefficients: w_std_j = w_raw_j · std_j.
+  std::vector<double> w_std(6);
+  for (std::size_t j = 0; j < 6; ++j) {
+    w_std[j] = model.coef[j] * scaler.stds()[j];
+  }
+  // Residual in the standardised frame (intercept = mean(y) there).
+  double y_mean = 0.0;
+  for (const double v : prob.y) y_mean += v;
+  y_mean /= n;
+  std::vector<double> r(prob.x.rows());
+  for (std::size_t i = 0; i < prob.x.rows(); ++i) {
+    double pred = y_mean;
+    for (std::size_t j = 0; j < 6; ++j) pred += w_std[j] * xs(i, j);
+    r[i] = prob.y[i] - pred;
+  }
+  for (std::size_t j = 0; j < 6; ++j) {
+    double corr = 0.0;
+    for (std::size_t i = 0; i < prob.x.rows(); ++i) corr += xs(i, j) * r[i];
+    corr /= n;
+    if (w_std[j] != 0.0) {
+      EXPECT_NEAR(corr, lambda * (w_std[j] > 0 ? 1.0 : -1.0), 1e-6)
+          << "active coordinate " << j;
+    } else {
+      EXPECT_LE(std::abs(corr), lambda + 1e-6) << "inactive coordinate " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, LassoKkt,
+                         ::testing::Values(0.01, 0.05, 0.2, 0.5));
+
+/// Multitask KKT: for row j with W_j ≠ 0,
+///   (1/n)·x_jᵀR = λ·W_j/||W_j||₂; for W_j = 0, ||(1/n)·x_jᵀR||₂ ≤ λ.
+TEST(MultiTaskKkt, StationarityHolds) {
+  Rng rng(11);
+  const std::size_t n = 100, d = 5, T = 3;
+  Matrix x(n, d);
+  Matrix y(n, T);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) x(i, j) = rng.uniform(-1.0, 1.0);
+    for (std::size_t t = 0; t < T; ++t) {
+      y(i, t) = (1.0 + 0.3 * static_cast<double>(t)) * x(i, 1) +
+                rng.normal(0.0, 0.2);
+    }
+  }
+  const double lambda = 0.05;
+  const auto model =
+      fit_multitask_lasso(x, y, {.lambda = lambda, .tol = 1e-12});
+
+  const auto scaler = StandardScaler::fit(x);
+  const Matrix xs = scaler.transform(x);
+  const auto dn = static_cast<double>(n);
+  std::vector<double> y_mean(T, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t t = 0; t < T; ++t) y_mean[t] += y(i, t) / dn;
+  }
+  Matrix w_std(d, T);
+  for (std::size_t j = 0; j < d; ++j) {
+    for (std::size_t t = 0; t < T; ++t) {
+      w_std(j, t) = model.weights()(j, t) * scaler.stds()[j];
+    }
+  }
+  Matrix r(n, T);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t t = 0; t < T; ++t) {
+      double pred = y_mean[t];
+      for (std::size_t j = 0; j < d; ++j) pred += w_std(j, t) * xs(i, j);
+      r(i, t) = y(i, t) - pred;
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    std::vector<double> grad(T, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t t = 0; t < T; ++t) grad[t] += xs(i, j) * r(i, t) / dn;
+    }
+    double w_norm = 0.0, grad_norm = 0.0;
+    for (std::size_t t = 0; t < T; ++t) {
+      w_norm += w_std(j, t) * w_std(j, t);
+      grad_norm += grad[t] * grad[t];
+    }
+    w_norm = std::sqrt(w_norm);
+    grad_norm = std::sqrt(grad_norm);
+    if (w_norm > 0.0) {
+      for (std::size_t t = 0; t < T; ++t) {
+        EXPECT_NEAR(grad[t], lambda * w_std(j, t) / w_norm, 1e-6)
+            << "row " << j << " task " << t;
+      }
+    } else {
+      EXPECT_LE(grad_norm, lambda + 1e-6) << "inactive row " << j;
+    }
+  }
+}
+
+/// NNLS KKT: at the optimum of min Σ w_i·(y_i − b − Xw)² s.t. w ≥ 0,
+/// for each coordinate either w_j > 0 and the gradient is 0, or w_j = 0
+/// and the gradient is ≥ 0 (pushing further into the infeasible region).
+TEST(NnlsKkt, ComplementarySlacknessHolds) {
+  Rng rng(13);
+  const std::size_t n = 60, d = 5;
+  Matrix x(n, d);
+  std::vector<double> y(n), w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) x(i, j) = rng.uniform(-1.0, 1.0);
+    y[i] = rng.normal(0.0, 1.0);
+    w[i] = rng.uniform(0.5, 2.0);
+  }
+  const NnlsModel model = fit_nnls(x, y, w, {.max_iter = 5000, .tol = 1e-14});
+
+  std::vector<double> r(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = y[i] - model.predict(x.row(i));
+  }
+  // Gradient of the loss wrt coefficient j is −2·Σ w_i·x_ij·r_i.
+  for (std::size_t j = 0; j < d; ++j) {
+    double grad = 0.0;
+    for (std::size_t i = 0; i < n; ++i) grad += -2.0 * w[i] * x(i, j) * r[i];
+    if (model.coef[j] > 0.0) {
+      EXPECT_NEAR(grad, 0.0, 1e-6) << "active coordinate " << j;
+    } else {
+      EXPECT_GE(grad, -1e-6) << "clamped coordinate " << j;
+    }
+  }
+  // Intercept coordinate (also clamped at >= 0).
+  double grad_b = 0.0;
+  for (std::size_t i = 0; i < n; ++i) grad_b += -2.0 * w[i] * r[i];
+  if (model.intercept > 0.0) {
+    EXPECT_NEAR(grad_b, 0.0, 1e-6);
+  } else {
+    EXPECT_GE(grad_b, -1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace hpcp

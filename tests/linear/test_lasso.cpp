@@ -1,0 +1,147 @@
+#include "src/linear/lasso.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/linear/ols.hpp"
+
+namespace hpcp {
+namespace {
+
+/// Sparse ground truth: y = 1 + 3·x₀ − 2·x₃; features 1, 2, 4 are noise.
+struct SparseData {
+  Matrix x;
+  std::vector<double> y;
+};
+
+SparseData make_sparse_data(std::size_t n, double noise, std::uint64_t seed) {
+  Rng rng(seed);
+  SparseData data;
+  data.x = Matrix(n, 5);
+  data.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) data.x(i, j) = rng.uniform(-2.0, 2.0);
+    data.y[i] = 1.0 + 3.0 * data.x(i, 0) - 2.0 * data.x(i, 3) +
+                (noise > 0 ? rng.normal(0.0, noise) : 0.0);
+  }
+  return data;
+}
+
+TEST(Lasso, TinyLambdaMatchesOls) {
+  const auto data = make_sparse_data(100, 0.1, 1);
+  const LinearModel ols = fit_ols(data.x, data.y);
+  const LinearModel lasso = fit_lasso(data.x, data.y, {.lambda = 1e-8});
+  for (std::size_t j = 0; j < 5; ++j) {
+    EXPECT_NEAR(lasso.coef[j], ols.coef[j], 1e-3);
+  }
+}
+
+TEST(Lasso, LambdaMaxZeroesEverything) {
+  const auto data = make_sparse_data(100, 0.1, 2);
+  const double lmax = lasso_lambda_max(data.x, data.y);
+  LassoFitInfo info;
+  const LinearModel m =
+      fit_lasso(data.x, data.y, {.lambda = lmax * 1.001}, &info);
+  EXPECT_EQ(info.nonzeros, 0u);
+  for (const double c : m.coef) EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+TEST(Lasso, JustBelowLambdaMaxHasOneFeature) {
+  const auto data = make_sparse_data(200, 0.0, 3);
+  const double lmax = lasso_lambda_max(data.x, data.y);
+  LassoFitInfo info;
+  (void)fit_lasso(data.x, data.y, {.lambda = lmax * 0.95}, &info);
+  EXPECT_GE(info.nonzeros, 1u);
+  EXPECT_LE(info.nonzeros, 2u);
+}
+
+TEST(Lasso, RecoversSparseSupport) {
+  const auto data = make_sparse_data(300, 0.05, 4);
+  const LinearModel m = fit_lasso(data.x, data.y, {.lambda = 0.05});
+  EXPECT_GT(std::abs(m.coef[0]), 1.0);
+  EXPECT_GT(std::abs(m.coef[3]), 1.0);
+  EXPECT_LT(std::abs(m.coef[1]), 0.1);
+  EXPECT_LT(std::abs(m.coef[2]), 0.1);
+  EXPECT_LT(std::abs(m.coef[4]), 0.1);
+}
+
+TEST(Lasso, ShrinksRelativeToOls) {
+  const auto data = make_sparse_data(100, 0.2, 5);
+  const LinearModel ols = fit_ols(data.x, data.y);
+  const LinearModel lasso = fit_lasso(data.x, data.y, {.lambda = 0.3});
+  double ols_norm = 0.0, lasso_norm = 0.0;
+  for (std::size_t j = 0; j < 5; ++j) {
+    ols_norm += std::abs(ols.coef[j]);
+    lasso_norm += std::abs(lasso.coef[j]);
+  }
+  EXPECT_LT(lasso_norm, ols_norm);
+}
+
+class LassoSparsitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LassoSparsitySweep, SparsityMonotoneInLambda) {
+  const auto data = make_sparse_data(150, 0.1, 6);
+  const double lambda = GetParam();
+  LassoFitInfo lo_info, hi_info;
+  (void)fit_lasso(data.x, data.y, {.lambda = lambda}, &lo_info);
+  (void)fit_lasso(data.x, data.y, {.lambda = lambda * 4.0}, &hi_info);
+  EXPECT_GE(lo_info.nonzeros, hi_info.nonzeros);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, LassoSparsitySweep,
+                         ::testing::Values(0.01, 0.05, 0.2, 0.8));
+
+TEST(Lasso, ConvergesOnEasyProblem) {
+  const auto data = make_sparse_data(100, 0.0, 7);
+  LassoFitInfo info;
+  (void)fit_lasso(data.x, data.y, {.lambda = 0.1}, &info);
+  EXPECT_TRUE(info.converged);
+  EXPECT_LT(info.iterations, 500u);
+}
+
+TEST(Lasso, ConstantColumnIgnored) {
+  Matrix x(50, 2);
+  std::vector<double> y(50);
+  Rng rng(8);
+  for (std::size_t i = 0; i < 50; ++i) {
+    x(i, 0) = rng.uniform(-1.0, 1.0);
+    x(i, 1) = 7.0;  // constant
+    y[i] = 2.0 * x(i, 0);
+  }
+  const LinearModel m = fit_lasso(x, y, {.lambda = 1e-6});
+  EXPECT_DOUBLE_EQ(m.coef[1], 0.0);
+  EXPECT_NEAR(m.coef[0], 2.0, 1e-3);
+}
+
+TEST(Lasso, RejectsNegativeLambda) {
+  const auto data = make_sparse_data(10, 0.0, 9);
+  EXPECT_THROW((void)fit_lasso(data.x, data.y, {.lambda = -0.1}),
+               std::invalid_argument);
+}
+
+TEST(LambdaGrid, IsLogSpacedDescending) {
+  const auto grid = lambda_grid(10.0, 5, 1e-2);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid.front(), 10.0);
+  EXPECT_NEAR(grid.back(), 0.1, 1e-9);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_LT(grid[i], grid[i - 1]);
+    // Log-spacing: constant ratio.
+    EXPECT_NEAR(grid[i] / grid[i - 1], grid[1] / grid[0], 1e-9);
+  }
+}
+
+TEST(LambdaGrid, RejectsBadArguments) {
+  EXPECT_THROW((void)lambda_grid(0.0, 5), std::invalid_argument);
+  EXPECT_THROW((void)lambda_grid(1.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)lambda_grid(1.0, 5, 2.0), std::invalid_argument);
+}
+
+TEST(LambdaMax, ConstantTargetGivesZero) {
+  Matrix x{{1.0}, {2.0}, {3.0}};
+  const std::vector<double> y{5.0, 5.0, 5.0};
+  EXPECT_NEAR(lasso_lambda_max(x, y), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hpcp

@@ -1,0 +1,165 @@
+#include "src/linear/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hpcp {
+namespace {
+
+TEST(Matrix, ConstructZeroInitialised) {
+  const Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 0.0);
+  }
+}
+
+TEST(Matrix, ConstructFilled) {
+  const Matrix m(2, 2, 7.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 7.0);
+}
+
+TEST(Matrix, InitializerList) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW((void)m.at(2, 0), std::out_of_range);
+  EXPECT_THROW((void)m.at(0, 2), std::out_of_range);
+  m.at(1, 1) = 5.0;
+  EXPECT_DOUBLE_EQ(m(1, 1), 5.0);
+}
+
+TEST(Matrix, RowSpanWritesThrough) {
+  Matrix m(2, 2);
+  auto row = m.row(0);
+  row[1] = 9.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 9.0);
+}
+
+TEST(Matrix, ColumnCopy) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const auto col = m.column(1);
+  ASSERT_EQ(col.size(), 2u);
+  EXPECT_DOUBLE_EQ(col[0], 2.0);
+  EXPECT_DOUBLE_EQ(col[1], 4.0);
+}
+
+TEST(Matrix, SetRow) {
+  Matrix m(2, 2);
+  const std::vector<double> vals{5.0, 6.0};
+  m.set_row(1, vals);
+  EXPECT_DOUBLE_EQ(m(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 6.0);
+  const std::vector<double> bad{1.0};
+  EXPECT_THROW(m.set_row(0, bad), std::invalid_argument);
+}
+
+TEST(Matrix, Transposed) {
+  const Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, MultiplyKnownResult) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyDimensionMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW((void)a.multiply(b), std::invalid_argument);
+}
+
+TEST(Matrix, MatrixVectorMultiply) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const std::vector<double> v{1.0, -1.0};
+  const auto out = a.multiply(v);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], -1.0);
+  EXPECT_DOUBLE_EQ(out[1], -1.0);
+}
+
+TEST(Matrix, GramEqualsTransposeTimesSelf) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const Matrix g = a.gram();
+  const Matrix expected = a.transposed().multiply(a);
+  EXPECT_EQ(g, expected);
+}
+
+TEST(Matrix, TransposeMultiply) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const std::vector<double> v{1.0, 1.0};
+  const auto out = a.transpose_multiply(v);
+  EXPECT_DOUBLE_EQ(out[0], 4.0);
+  EXPECT_DOUBLE_EQ(out[1], 6.0);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, SelectRows) {
+  const Matrix a{{1.0}, {2.0}, {3.0}};
+  const std::vector<std::size_t> idx{2, 0};
+  const Matrix s = a.select_rows(idx);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_DOUBLE_EQ(s(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(s(1, 0), 1.0);
+}
+
+TEST(Matrix, SelectRowsOutOfRangeThrows) {
+  const Matrix a(2, 1);
+  const std::vector<std::size_t> idx{5};
+  EXPECT_THROW((void)a.select_rows(idx), std::invalid_argument);
+}
+
+TEST(Matrix, AppendColumn) {
+  Matrix a{{1.0}, {2.0}};
+  const std::vector<double> col{9.0, 8.0};
+  a.append_column(col);
+  EXPECT_EQ(a.cols(), 2u);
+  EXPECT_DOUBLE_EQ(a(0, 1), 9.0);
+  EXPECT_DOUBLE_EQ(a(1, 0), 2.0);
+}
+
+TEST(Matrix, AppendColumnToEmpty) {
+  Matrix a;
+  const std::vector<double> col{1.0, 2.0, 3.0};
+  a.append_column(col);
+  EXPECT_EQ(a.rows(), 3u);
+  EXPECT_EQ(a.cols(), 1u);
+}
+
+TEST(Matrix, EqualityOperator) {
+  const Matrix a{{1.0, 2.0}};
+  const Matrix b{{1.0, 2.0}};
+  const Matrix c{{1.0, 3.0}};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace hpcp

@@ -1,0 +1,150 @@
+#include "src/linear/multitask_lasso.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/linear/lasso.hpp"
+
+namespace hpcp {
+namespace {
+
+/// Two tasks sharing support {0, 2} of 5 features.
+struct MultiData {
+  Matrix x;
+  Matrix y;
+};
+
+MultiData make_shared_support_data(std::size_t n, double noise,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  MultiData data;
+  data.x = Matrix(n, 5);
+  data.y = Matrix(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) data.x(i, j) = rng.uniform(-2.0, 2.0);
+    const double e0 = noise > 0 ? rng.normal(0.0, noise) : 0.0;
+    const double e1 = noise > 0 ? rng.normal(0.0, noise) : 0.0;
+    data.y(i, 0) = 1.0 + 2.0 * data.x(i, 0) - 1.0 * data.x(i, 2) + e0;
+    data.y(i, 1) = -0.5 + 1.0 * data.x(i, 0) + 3.0 * data.x(i, 2) + e1;
+  }
+  return data;
+}
+
+TEST(MultiTaskLasso, SingleTaskMatchesLasso) {
+  Rng rng(1);
+  Matrix x(80, 4);
+  std::vector<double> y(80);
+  for (std::size_t i = 0; i < 80; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) x(i, j) = rng.uniform(-1.0, 1.0);
+    y[i] = 2.0 * x(i, 1) - x(i, 3) + rng.normal(0.0, 0.05);
+  }
+  Matrix y_mat(80, 1);
+  for (std::size_t i = 0; i < 80; ++i) y_mat(i, 0) = y[i];
+
+  const LinearModel single = fit_lasso(x, y, {.lambda = 0.05});
+  const MultiTaskLinearModel multi =
+      fit_multitask_lasso(x, y_mat, {.lambda = 0.05});
+  // With T=1, ||W_j||₂ = |w_j| and the objectives coincide.
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(multi.weights()(j, 0), single.coef[j], 1e-6);
+  }
+  EXPECT_NEAR(multi.intercepts()[0], single.intercept, 1e-6);
+}
+
+TEST(MultiTaskLasso, LambdaMaxZeroesEverything) {
+  const auto data = make_shared_support_data(100, 0.1, 2);
+  const double lmax = multitask_lambda_max(data.x, data.y);
+  MultiTaskFitInfo info;
+  const auto m = fit_multitask_lasso(data.x, data.y,
+                                     {.lambda = lmax * 1.001}, &info);
+  EXPECT_EQ(info.active_features, 0u);
+  EXPECT_TRUE(m.support().empty());
+}
+
+TEST(MultiTaskLasso, RecoversSharedSupport) {
+  const auto data = make_shared_support_data(300, 0.05, 3);
+  const auto m = fit_multitask_lasso(data.x, data.y, {.lambda = 0.05});
+  const auto support = m.support();
+  ASSERT_EQ(support.size(), 2u);
+  EXPECT_EQ(support[0], 0u);
+  EXPECT_EQ(support[1], 2u);
+}
+
+TEST(MultiTaskLasso, CoefficientsNearTruthAtTinyLambda) {
+  const auto data = make_shared_support_data(400, 0.0, 4);
+  const auto m = fit_multitask_lasso(data.x, data.y, {.lambda = 1e-8});
+  EXPECT_NEAR(m.weights()(0, 0), 2.0, 1e-3);
+  EXPECT_NEAR(m.weights()(2, 0), -1.0, 1e-3);
+  EXPECT_NEAR(m.weights()(0, 1), 1.0, 1e-3);
+  EXPECT_NEAR(m.weights()(2, 1), 3.0, 1e-3);
+  EXPECT_NEAR(m.intercepts()[0], 1.0, 1e-3);
+  EXPECT_NEAR(m.intercepts()[1], -0.5, 1e-3);
+}
+
+TEST(MultiTaskLasso, RowsDieTogetherAcrossTasks) {
+  const auto data = make_shared_support_data(200, 0.1, 5);
+  const auto m = fit_multitask_lasso(data.x, data.y, {.lambda = 0.2});
+  // For every feature row: all-zero or all-task participation is allowed,
+  // but a row cannot be zero for one task and huge for the other if the
+  // ℓ2,1 shrinkage kept it — verify zero rows are zero in *both* columns.
+  for (std::size_t j = 0; j < 5; ++j) {
+    const bool zero0 = m.weights()(j, 0) == 0.0;
+    const bool zero1 = m.weights()(j, 1) == 0.0;
+    EXPECT_EQ(zero0, zero1) << "row " << j;
+  }
+}
+
+TEST(MultiTaskLasso, PredictAllTasks) {
+  const auto data = make_shared_support_data(150, 0.0, 6);
+  const auto m = fit_multitask_lasso(data.x, data.y, {.lambda = 1e-8});
+  const auto pred = m.predict(data.x.row(0));
+  ASSERT_EQ(pred.size(), 2u);
+  EXPECT_NEAR(pred[0], data.y(0, 0), 1e-2);
+  EXPECT_NEAR(pred[1], data.y(0, 1), 1e-2);
+  EXPECT_NEAR(m.predict_task(data.x.row(0), 1), pred[1], 1e-12);
+}
+
+TEST(MultiTaskLasso, PredictMatrixShape) {
+  const auto data = make_shared_support_data(50, 0.1, 7);
+  const auto m = fit_multitask_lasso(data.x, data.y, {.lambda = 0.1});
+  const Matrix pred = m.predict(data.x);
+  EXPECT_EQ(pred.rows(), 50u);
+  EXPECT_EQ(pred.cols(), 2u);
+}
+
+TEST(MultiTaskLasso, ConvergenceReported) {
+  const auto data = make_shared_support_data(100, 0.05, 8);
+  MultiTaskFitInfo info;
+  (void)fit_multitask_lasso(data.x, data.y, {.lambda = 0.05}, &info);
+  EXPECT_TRUE(info.converged);
+}
+
+class MultiTaskSparsitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MultiTaskSparsitySweep, ActiveRowsMonotoneInLambda) {
+  const auto data = make_shared_support_data(150, 0.1, 9);
+  MultiTaskFitInfo lo, hi;
+  (void)fit_multitask_lasso(data.x, data.y, {.lambda = GetParam()}, &lo);
+  (void)fit_multitask_lasso(data.x, data.y, {.lambda = GetParam() * 5}, &hi);
+  EXPECT_GE(lo.active_features, hi.active_features);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, MultiTaskSparsitySweep,
+                         ::testing::Values(0.01, 0.1, 0.5));
+
+TEST(MultiTaskLasso, RejectsBadShapes) {
+  const Matrix x(5, 2);
+  const Matrix y(4, 2);
+  EXPECT_THROW((void)fit_multitask_lasso(x, y, {.lambda = 0.1}),
+               std::invalid_argument);
+}
+
+TEST(MultiTaskLasso, TaskIndexChecked) {
+  const auto data = make_shared_support_data(30, 0.1, 10);
+  const auto m = fit_multitask_lasso(data.x, data.y, {.lambda = 0.1});
+  EXPECT_THROW((void)m.predict_task(data.x.row(0), 7),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcp

@@ -1,0 +1,113 @@
+#include "src/linear/nnls.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/linear/ols.hpp"
+
+namespace hpcp {
+namespace {
+
+TEST(Nnls, RecoversNonNegativeTruth) {
+  Rng rng(1);
+  Matrix x(100, 3);
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) x(i, j) = rng.uniform(0.0, 2.0);
+    y[i] = 0.5 + 2.0 * x(i, 0) + 0.0 * x(i, 1) + 3.0 * x(i, 2);
+  }
+  const NnlsModel m = fit_nnls(x, y);
+  EXPECT_NEAR(m.intercept, 0.5, 1e-6);
+  EXPECT_NEAR(m.coef[0], 2.0, 1e-6);
+  EXPECT_NEAR(m.coef[1], 0.0, 1e-6);
+  EXPECT_NEAR(m.coef[2], 3.0, 1e-6);
+}
+
+TEST(Nnls, CoefficientsNeverNegative) {
+  Rng rng(2);
+  Matrix x(60, 4);
+  std::vector<double> y(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) x(i, j) = rng.uniform(-1.0, 1.0);
+    y[i] = rng.normal(0.0, 1.0);  // pure noise
+  }
+  const NnlsModel m = fit_nnls(x, y);
+  EXPECT_GE(m.intercept, 0.0);
+  for (const double c : m.coef) EXPECT_GE(c, 0.0);
+}
+
+TEST(Nnls, ClampsTrulyNegativeRelationToZero) {
+  Matrix x(20, 1);
+  std::vector<double> y(20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = 10.0 - 0.5 * static_cast<double>(i);  // decreasing in x
+  }
+  const NnlsModel m = fit_nnls(x, y);
+  EXPECT_DOUBLE_EQ(m.coef[0], 0.0);  // negative slope forbidden
+  EXPECT_GT(m.intercept, 0.0);
+}
+
+TEST(Nnls, MatchesOlsWhenTruthIsNonNegative) {
+  Rng rng(3);
+  Matrix x(200, 2);
+  std::vector<double> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    x(i, 0) = rng.uniform(0.0, 1.0);
+    x(i, 1) = rng.uniform(0.0, 1.0);
+    y[i] = 1.0 + 2.0 * x(i, 0) + 3.0 * x(i, 1) + rng.normal(0.0, 0.01);
+  }
+  const NnlsModel nnls = fit_nnls(x, y);
+  const LinearModel ols = fit_ols(x, y);
+  EXPECT_NEAR(nnls.coef[0], ols.coef[0], 1e-2);
+  EXPECT_NEAR(nnls.coef[1], ols.coef[1], 1e-2);
+  EXPECT_NEAR(nnls.intercept, ols.intercept, 1e-2);
+}
+
+TEST(Nnls, WeightedFitPrioritisesHeavySamples) {
+  // Two inconsistent samples; the heavier one should dominate.
+  Matrix x(2, 1);
+  x(0, 0) = 1.0;
+  x(1, 0) = 1.0;
+  const std::vector<double> y{10.0, 2.0};
+  const std::vector<double> w{100.0, 1.0};
+  const NnlsOptions opts{.nonneg_intercept = true};
+  const NnlsModel m = fit_nnls(x, y, w, opts);
+  const std::vector<double> q{1.0};
+  EXPECT_GT(m.predict(q), 8.0);
+}
+
+TEST(Nnls, AllowNegativeInterceptOption) {
+  Matrix x(3, 1);
+  x(0, 0) = 1.0;
+  x(1, 0) = 2.0;
+  x(2, 0) = 3.0;
+  const std::vector<double> y{0.0, 1.0, 2.0};  // y = x - 1
+  const NnlsModel clamped = fit_nnls(x, y);
+  EXPECT_GE(clamped.intercept, 0.0);
+  const NnlsModel free =
+      fit_nnls(x, y, {}, {.nonneg_intercept = false});
+  EXPECT_NEAR(free.intercept, -1.0, 1e-6);
+  EXPECT_NEAR(free.coef[0], 1.0, 1e-6);
+}
+
+TEST(Nnls, PredictWidthChecked) {
+  NnlsModel m;
+  m.coef = {1.0};
+  const std::vector<double> x{1.0, 2.0};
+  EXPECT_THROW((void)m.predict(x), std::invalid_argument);
+}
+
+TEST(Nnls, RejectsBadInput) {
+  Matrix x(2, 1);
+  const std::vector<double> y{1.0};
+  EXPECT_THROW((void)fit_nnls(x, y), std::invalid_argument);
+  const std::vector<double> y2{1.0, 2.0};
+  const std::vector<double> w{1.0};
+  EXPECT_THROW((void)fit_nnls(x, y2, w), std::invalid_argument);
+  const std::vector<double> wneg{-1.0, 1.0};
+  EXPECT_THROW((void)fit_nnls(x, y2, wneg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcp

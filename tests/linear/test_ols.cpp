@@ -1,0 +1,128 @@
+#include "src/linear/ols.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/metrics.hpp"
+#include "src/common/rng.hpp"
+
+namespace hpcp {
+namespace {
+
+/// y = 3 + 2·x₀ − x₁ with optional noise.
+struct Synthetic {
+  Matrix x;
+  std::vector<double> y;
+};
+
+Synthetic make_linear_data(std::size_t n, double noise, std::uint64_t seed) {
+  Rng rng(seed);
+  Synthetic data;
+  data.x = Matrix(n, 2);
+  data.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data.x(i, 0) = rng.uniform(-5.0, 5.0);
+    data.x(i, 1) = rng.uniform(0.0, 10.0);
+    data.y[i] = 3.0 + 2.0 * data.x(i, 0) - data.x(i, 1) +
+                (noise > 0 ? rng.normal(0.0, noise) : 0.0);
+  }
+  return data;
+}
+
+TEST(Ols, RecoversExactLinearFunction) {
+  const auto data = make_linear_data(50, 0.0, 1);
+  const LinearModel m = fit_ols(data.x, data.y);
+  EXPECT_NEAR(m.intercept, 3.0, 1e-6);
+  EXPECT_NEAR(m.coef[0], 2.0, 1e-6);
+  EXPECT_NEAR(m.coef[1], -1.0, 1e-6);
+}
+
+TEST(Ols, PredictMatchesManualComputation) {
+  LinearModel m;
+  m.intercept = 1.0;
+  m.coef = {2.0, 3.0};
+  const std::vector<double> x{1.0, -1.0};
+  EXPECT_DOUBLE_EQ(m.predict(x), 0.0);
+}
+
+TEST(Ols, PredictWidthMismatchThrows) {
+  LinearModel m;
+  m.coef = {1.0};
+  const std::vector<double> x{1.0, 2.0};
+  EXPECT_THROW((void)m.predict(x), std::invalid_argument);
+}
+
+TEST(Ols, MatrixPredictShape) {
+  const auto data = make_linear_data(10, 0.0, 2);
+  const LinearModel m = fit_ols(data.x, data.y);
+  const auto pred = m.predict(data.x);
+  ASSERT_EQ(pred.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_NEAR(pred[i], data.y[i], 1e-6);
+}
+
+TEST(Ols, HandlesConstantColumn) {
+  Matrix x{{1.0, 5.0}, {2.0, 5.0}, {3.0, 5.0}};
+  const std::vector<double> y{2.0, 4.0, 6.0};
+  const LinearModel m = fit_ols(x, y);
+  EXPECT_NEAR(m.coef[1], 0.0, 1e-9);  // constant feature gets no weight
+  EXPECT_NEAR(m.predict(x.row(1)), 4.0, 1e-9);
+}
+
+TEST(Ols, NoisyFitIsUnbiased) {
+  const auto data = make_linear_data(2000, 0.5, 3);
+  const LinearModel m = fit_ols(data.x, data.y);
+  EXPECT_NEAR(m.coef[0], 2.0, 0.05);
+  EXPECT_NEAR(m.coef[1], -1.0, 0.05);
+}
+
+TEST(Ridge, ZeroLambdaMatchesOls) {
+  const auto data = make_linear_data(60, 0.3, 4);
+  const LinearModel ols = fit_ols(data.x, data.y);
+  const LinearModel ridge = fit_ridge(data.x, data.y, 0.0);
+  EXPECT_NEAR(ols.coef[0], ridge.coef[0], 1e-9);
+  EXPECT_NEAR(ols.coef[1], ridge.coef[1], 1e-9);
+}
+
+TEST(Ridge, LargeLambdaShrinksTowardMean) {
+  const auto data = make_linear_data(60, 0.0, 5);
+  const LinearModel m = fit_ridge(data.x, data.y, 1e6);
+  EXPECT_NEAR(m.coef[0], 0.0, 1e-3);
+  EXPECT_NEAR(m.coef[1], 0.0, 1e-3);
+  double mean = 0.0;
+  for (const double v : data.y) mean += v;
+  mean /= static_cast<double>(data.y.size());
+  const std::vector<double> x0{0.0, 0.0};
+  // With zero coefficients, the prediction everywhere is the target mean.
+  EXPECT_NEAR(m.predict(x0), mean, 0.05);
+}
+
+class RidgeShrinkageSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RidgeShrinkageSweep, CoefficientNormDecreasesWithLambda) {
+  const auto data = make_linear_data(80, 0.2, 6);
+  const double lambda = GetParam();
+  const LinearModel small = fit_ridge(data.x, data.y, lambda);
+  const LinearModel large = fit_ridge(data.x, data.y, lambda * 10.0);
+  const auto norm = [](const LinearModel& m) {
+    double acc = 0.0;
+    for (const double c : m.coef) acc += c * c;
+    return acc;
+  };
+  EXPECT_GE(norm(small), norm(large));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, RidgeShrinkageSweep,
+                         ::testing::Values(1e-4, 1e-2, 1.0, 100.0));
+
+TEST(Ridge, RejectsNegativeLambda) {
+  const auto data = make_linear_data(10, 0.0, 7);
+  EXPECT_THROW((void)fit_ridge(data.x, data.y, -1.0), std::invalid_argument);
+}
+
+TEST(Ridge, RejectsMismatchedSizes) {
+  const Matrix x(3, 2);
+  const std::vector<double> y{1.0, 2.0};
+  EXPECT_THROW((void)fit_ols(x, y), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcp

@@ -1,0 +1,68 @@
+#include "src/linear/scaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hpcp {
+namespace {
+
+TEST(Scaler, TransformsToZeroMeanUnitStd) {
+  const Matrix x{{1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}};
+  const auto scaler = StandardScaler::fit(x);
+  const Matrix xs = scaler.transform(x);
+  for (std::size_t c = 0; c < 2; ++c) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t r = 0; r < 3; ++r) mean += xs(r, c);
+    mean /= 3.0;
+    for (std::size_t r = 0; r < 3; ++r) {
+      var += (xs(r, c) - mean) * (xs(r, c) - mean);
+    }
+    var /= 3.0;
+    EXPECT_NEAR(mean, 0.0, 1e-12);
+    EXPECT_NEAR(var, 1.0, 1e-12);
+  }
+}
+
+TEST(Scaler, StoresMeansAndStds) {
+  const Matrix x{{0.0}, {4.0}};
+  const auto scaler = StandardScaler::fit(x);
+  EXPECT_DOUBLE_EQ(scaler.means()[0], 2.0);
+  EXPECT_DOUBLE_EQ(scaler.stds()[0], 2.0);
+}
+
+TEST(Scaler, ConstantColumnMapsToZero) {
+  const Matrix x{{5.0, 1.0}, {5.0, 2.0}};
+  const auto scaler = StandardScaler::fit(x);
+  EXPECT_TRUE(scaler.is_constant(0));
+  EXPECT_FALSE(scaler.is_constant(1));
+  const Matrix xs = scaler.transform(x);
+  EXPECT_DOUBLE_EQ(xs(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(xs(1, 0), 0.0);
+}
+
+TEST(Scaler, TransformRowMatchesMatrixTransform) {
+  const Matrix x{{1.0, 2.0}, {3.0, 8.0}};
+  const auto scaler = StandardScaler::fit(x);
+  const Matrix xs = scaler.transform(x);
+  std::vector<double> row{3.0, 8.0};
+  scaler.transform_row(row);
+  EXPECT_DOUBLE_EQ(row[0], xs(1, 0));
+  EXPECT_DOUBLE_EQ(row[1], xs(1, 1));
+}
+
+TEST(Scaler, WidthMismatchThrows) {
+  const Matrix x{{1.0, 2.0}};
+  const auto scaler = StandardScaler::fit(x);
+  EXPECT_THROW((void)scaler.transform(Matrix(1, 3)), std::invalid_argument);
+  std::vector<double> row{1.0};
+  EXPECT_THROW(scaler.transform_row(row), std::invalid_argument);
+}
+
+TEST(Scaler, EmptyMatrixThrows) {
+  EXPECT_THROW((void)StandardScaler::fit(Matrix(0, 2)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcp

@@ -1,0 +1,112 @@
+#include "src/platform/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpcp {
+namespace {
+
+MachineModel simple_machine() {
+  MachineModel m;
+  m.cores_per_node = 1;  // every job is inter-node: α, β constant
+  m.inter_latency = 1e-6;
+  m.inter_bandwidth = 1e9;
+  m.core_flops = 1e9;
+  return m;
+}
+
+TEST(CeilLog2, KnownValues) {
+  EXPECT_DOUBLE_EQ(ceil_log2(1), 0.0);
+  EXPECT_DOUBLE_EQ(ceil_log2(2), 1.0);
+  EXPECT_DOUBLE_EQ(ceil_log2(3), 2.0);
+  EXPECT_DOUBLE_EQ(ceil_log2(8), 3.0);
+  EXPECT_DOUBLE_EQ(ceil_log2(9), 4.0);
+  EXPECT_THROW((void)ceil_log2(0), std::invalid_argument);
+}
+
+TEST(Collectives, SingleProcessCostsNothing) {
+  const auto m = simple_machine();
+  EXPECT_DOUBLE_EQ(ptp_time(m, 1, 1024.0), 0.0);
+  EXPECT_DOUBLE_EQ(broadcast_time(m, 1, 1024.0), 0.0);
+  EXPECT_DOUBLE_EQ(allreduce_time(m, 1, 1024.0), 0.0);
+  EXPECT_DOUBLE_EQ(alltoall_time(m, 1, 1024.0), 0.0);
+  EXPECT_DOUBLE_EQ(barrier_time(m, 1), 0.0);
+  EXPECT_DOUBLE_EQ(neighbor_exchange_time(m, 1, 1024.0, 6), 0.0);
+}
+
+TEST(Collectives, PtpIsAlphaPlusBytesBeta) {
+  const auto m = simple_machine();
+  EXPECT_DOUBLE_EQ(ptp_time(m, 2, 1e6), 1e-6 + 1e6 / 1e9);
+}
+
+TEST(Collectives, BroadcastMatchesBinomialTree) {
+  const auto m = simple_machine();
+  // p=8: 3 rounds of (α + nβ).
+  EXPECT_DOUBLE_EQ(broadcast_time(m, 8, 1000.0),
+                   3.0 * (1e-6 + 1000.0 / 1e9));
+}
+
+TEST(Collectives, AllreduceMatchesRabenseifner) {
+  const auto m = simple_machine();
+  const double n = 4096.0;
+  const double expected = 2.0 * 2.0 * 1e-6               // 2·log2(4)·α
+                          + 2.0 * (3.0 / 4.0) * n / 1e9  // bandwidth term
+                          + n / 1e9;                     // reduction γ
+  EXPECT_DOUBLE_EQ(allreduce_time(m, 4, n), expected);
+}
+
+TEST(Collectives, AlltoallMatchesPairwise) {
+  const auto m = simple_machine();
+  const double n = 800.0;
+  EXPECT_DOUBLE_EQ(alltoall_time(m, 4, n),
+                   3.0 * (1e-6 + (n / 4.0) / 1e9));
+}
+
+TEST(Collectives, BarrierIsLatencyOnly) {
+  const auto m = simple_machine();
+  EXPECT_DOUBLE_EQ(barrier_time(m, 16), 4.0 * 1e-6);
+}
+
+TEST(Collectives, NeighborExchangeScalesWithNeighbors) {
+  const auto m = simple_machine();
+  const double one = neighbor_exchange_time(m, 64, 1000.0, 1);
+  const double six = neighbor_exchange_time(m, 64, 1000.0, 6);
+  EXPECT_NEAR(six, 6.0 * one, 1e-15);
+}
+
+TEST(Collectives, NeighborCountCappedByPeers) {
+  const auto m = simple_machine();
+  // 2 processes -> at most 1 distinct neighbour even if 6 requested.
+  EXPECT_DOUBLE_EQ(neighbor_exchange_time(m, 2, 100.0, 6),
+                   neighbor_exchange_time(m, 2, 100.0, 1));
+}
+
+TEST(Collectives, MonotoneInMessageSize) {
+  const auto m = simple_machine();
+  for (const double bytes : {10.0, 1e3, 1e6}) {
+    EXPECT_LT(broadcast_time(m, 8, bytes), broadcast_time(m, 8, bytes * 10));
+    EXPECT_LT(allreduce_time(m, 8, bytes), allreduce_time(m, 8, bytes * 10));
+  }
+}
+
+class CollectiveScaleSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CollectiveScaleSweep, MonotoneNonDecreasingInProcessCount) {
+  const auto m = simple_machine();
+  const std::size_t p = GetParam();
+  EXPECT_LE(broadcast_time(m, p, 1e4), broadcast_time(m, 2 * p, 1e4));
+  EXPECT_LE(allreduce_time(m, p, 1e4), allreduce_time(m, 2 * p, 1e4));
+  EXPECT_LE(alltoall_time(m, p, 1e4), alltoall_time(m, 2 * p, 1e4));
+  EXPECT_LE(barrier_time(m, p), barrier_time(m, 2 * p));
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, CollectiveScaleSweep,
+                         ::testing::Values(2, 4, 8, 16, 64, 256));
+
+TEST(Collectives, NegativeBytesRejected) {
+  const auto m = simple_machine();
+  EXPECT_THROW((void)ptp_time(m, 2, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)allreduce_time(m, 2, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcp

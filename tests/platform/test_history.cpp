@@ -1,0 +1,140 @@
+#include "src/platform/history.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/stencil_app.hpp"
+
+namespace hpcp {
+namespace {
+
+ExecutionRecord record(std::vector<double> params, std::size_t p, double t,
+                       std::uint64_t id = 0) {
+  return {.params = std::move(params), .nprocs = p, .runtime = t,
+          .run_id = id};
+}
+
+TEST(HistoryStore, AppendAndAccess) {
+  HistoryStore store("app", {"a", "b"});
+  store.append(record({1.0, 2.0}, 4, 3.5));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.app_name(), "app");
+  EXPECT_EQ(store.records()[0].nprocs, 4u);
+}
+
+TEST(HistoryStore, AppendValidates) {
+  HistoryStore store("app", {"a"});
+  EXPECT_THROW(store.append(record({1.0, 2.0}, 4, 1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(store.append(record({1.0}, 0, 1.0)), std::invalid_argument);
+  EXPECT_THROW(store.append(record({1.0}, 4, 0.0)), std::invalid_argument);
+}
+
+TEST(HistoryStore, ScalesAreSortedDistinct) {
+  HistoryStore store("app", {"a"});
+  store.append(record({1.0}, 8, 1.0));
+  store.append(record({1.0}, 2, 2.0));
+  store.append(record({2.0}, 8, 3.0));
+  EXPECT_EQ(store.scales(), (std::vector<std::size_t>{2, 8}));
+}
+
+TEST(HistoryStore, DatasetAtScaleFiltersRows) {
+  HistoryStore store("app", {"a"});
+  store.append(record({1.0}, 2, 10.0));
+  store.append(record({2.0}, 4, 20.0));
+  store.append(record({3.0}, 2, 30.0));
+  const Dataset ds = store.dataset_at_scale(2);
+  EXPECT_EQ(ds.size(), 2u);
+  EXPECT_DOUBLE_EQ(ds.y()[0], 10.0);
+  EXPECT_DOUBLE_EQ(ds.y()[1], 30.0);
+  EXPECT_DOUBLE_EQ(ds.x()(1, 0), 3.0);
+}
+
+TEST(HistoryStore, CsvRoundTrip) {
+  HistoryStore store("app", {"x", "y"});
+  store.append(record({1.5, 2.5}, 16, 7.25, 42));
+  store.append(record({3.0, 4.0}, 32, 1.5, 43));
+  const CsvTable table = store.to_csv();
+  const HistoryStore back = HistoryStore::from_csv("app", table);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.param_names(), store.param_names());
+  EXPECT_NEAR(back.records()[0].runtime, 7.25, 1e-6);
+  EXPECT_EQ(back.records()[1].nprocs, 32u);
+  EXPECT_EQ(back.records()[0].run_id, 42u);
+}
+
+TEST(ScalingTable, AveragesRepeatsAndDropsIncomplete) {
+  HistoryStore store("app", {"a"});
+  // Config {1}: complete at scales 2, 4 with a repeated run at 2.
+  store.append(record({1.0}, 2, 10.0));
+  store.append(record({1.0}, 2, 14.0));
+  store.append(record({1.0}, 4, 6.0));
+  // Config {2}: missing scale 4 -> dropped.
+  store.append(record({2.0}, 2, 100.0));
+  const ScalingTable table = build_scaling_table(store, {2, 4});
+  ASSERT_EQ(table.size(), 1u);
+  EXPECT_DOUBLE_EQ(table.configs(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(table.times(0, 0), 12.0);  // mean of 10 and 14
+  EXPECT_DOUBLE_EQ(table.times(0, 1), 6.0);
+}
+
+TEST(ScalingTable, EmptyScalesRejected) {
+  HistoryStore store("app", {"a"});
+  EXPECT_THROW((void)build_scaling_table(store, {}), std::invalid_argument);
+}
+
+TEST(GenerateHistory, ProducesFullCrossProduct) {
+  const PlatformSimulator sim(reference_machine());
+  const StencilApp app;
+  const std::vector<std::vector<double>> configs{{128, 300, 1},
+                                                 {192, 500, 2}};
+  const std::vector<std::size_t> scales{1, 2, 4};
+  const HistoryStore store =
+      generate_history(sim, app, configs, scales, /*runs_per_point=*/2);
+  EXPECT_EQ(store.size(), 2u * 3u * 2u);
+  EXPECT_EQ(store.scales(), scales);
+  // Every record is a valid positive measurement.
+  for (const auto& r : store.records()) EXPECT_GT(r.runtime, 0.0);
+}
+
+TEST(HistoryStore, FromCsvRejectsMalformedHeader) {
+  CsvTable table;
+  table.header = {"a", "b", "c"};  // missing nprocs/runtime/run_id tail
+  EXPECT_THROW((void)HistoryStore::from_csv("app", table),
+               std::invalid_argument);
+  CsvTable too_narrow;
+  too_narrow.header = {"runtime"};
+  EXPECT_THROW((void)HistoryStore::from_csv("app", too_narrow),
+               std::invalid_argument);
+}
+
+TEST(GenerateHistory, MergedHistoriesBuildOneProblem) {
+  // A site appends new benchmark campaigns to its database over time;
+  // records from separate generation runs must compose.
+  const PlatformSimulator sim(reference_machine());
+  const StencilApp app;
+  const std::vector<std::size_t> scales{1, 2, 4};
+  const std::vector<std::vector<double>> batch1{{128, 300, 1}};
+  const std::vector<std::vector<double>> batch2{{192, 500, 2}};
+  HistoryStore merged = generate_history(sim, app, batch1, scales, 1, 0);
+  const HistoryStore extra = generate_history(sim, app, batch2, scales, 1, 100);
+  for (const auto& rec : extra.records()) merged.append(rec);
+  EXPECT_EQ(merged.size(), 6u);
+  const ScalingTable table = build_scaling_table(merged, scales);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(GenerateHistory, DistinctRunIdsAndReproducible) {
+  const PlatformSimulator sim(reference_machine(), 7);
+  const StencilApp app;
+  const std::vector<std::vector<double>> configs{{128, 300, 1}};
+  const auto a = generate_history(sim, app, configs, {1, 2}, 1, 100);
+  const auto b = generate_history(sim, app, configs, {1, 2}, 1, 100);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.records()[i].runtime, b.records()[i].runtime);
+    EXPECT_EQ(a.records()[i].run_id, 100 + i);
+  }
+}
+
+}  // namespace
+}  // namespace hpcp

@@ -1,0 +1,102 @@
+#include "src/platform/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hpcp {
+namespace {
+
+TEST(Machine, NodesForRoundsUp) {
+  MachineModel m;
+  m.cores_per_node = 16;
+  EXPECT_EQ(m.nodes_for(1), 1u);
+  EXPECT_EQ(m.nodes_for(16), 1u);
+  EXPECT_EQ(m.nodes_for(17), 2u);
+  EXPECT_EQ(m.nodes_for(256), 16u);
+}
+
+TEST(Machine, NodesForRejectsZero) {
+  const MachineModel m;
+  EXPECT_THROW((void)m.nodes_for(0), std::invalid_argument);
+}
+
+TEST(Machine, SingleNodeBoundary) {
+  MachineModel m;
+  m.cores_per_node = 8;
+  EXPECT_TRUE(m.single_node(8));
+  EXPECT_FALSE(m.single_node(9));
+}
+
+TEST(Machine, AlphaBetaSwitchAtNodeBoundary) {
+  MachineModel m;
+  m.cores_per_node = 4;
+  EXPECT_DOUBLE_EQ(m.alpha(4), m.intra_latency);
+  EXPECT_DOUBLE_EQ(m.alpha(5), m.inter_latency);
+  EXPECT_DOUBLE_EQ(m.beta(4), 1.0 / m.intra_bandwidth);
+  EXPECT_DOUBLE_EQ(m.beta(5), 1.0 / m.inter_bandwidth);
+}
+
+TEST(Machine, InterNodeIsSlowerThanIntraNode) {
+  const MachineModel m = reference_machine();
+  EXPECT_GT(m.inter_latency, m.intra_latency);
+  EXPECT_LT(m.inter_bandwidth, m.intra_bandwidth);
+}
+
+TEST(Machine, StartupGrowsWithScale) {
+  const MachineModel m = reference_machine();
+  EXPECT_LT(m.startup_time(1), m.startup_time(16));
+  EXPECT_LT(m.startup_time(16), m.startup_time(1024));
+  EXPECT_GT(m.startup_time(1), 0.0);
+}
+
+TEST(Machine, EffectiveBandwidthCacheRegimes) {
+  MachineModel m;
+  m.mem_bandwidth = 1e10;
+  m.cache_per_core = 4e6;
+  m.cache_bandwidth_factor = 3.0;
+  // Unmodelled working set -> DRAM bandwidth.
+  EXPECT_DOUBLE_EQ(m.effective_bandwidth(0.0), 1e10);
+  // Deep in cache -> full boost.
+  EXPECT_DOUBLE_EQ(m.effective_bandwidth(1e6), 3e10);
+  EXPECT_DOUBLE_EQ(m.effective_bandwidth(2e6), 3e10);  // boundary 0.5×
+  // Far out of cache -> DRAM.
+  EXPECT_DOUBLE_EQ(m.effective_bandwidth(8e6), 1e10);  // boundary 2×
+  EXPECT_DOUBLE_EQ(m.effective_bandwidth(1e9), 1e10);
+  // Mid-transition: geometric midpoint of the band gives sqrt(factor).
+  EXPECT_NEAR(m.effective_bandwidth(4e6), 1e10 * std::sqrt(3.0), 1e4);
+}
+
+TEST(Machine, EffectiveBandwidthMonotoneDecreasingInWorkingSet) {
+  const MachineModel m = reference_machine();
+  double prev = m.effective_bandwidth(1.0);
+  for (double ws = 1e5; ws < 1e8; ws *= 1.5) {
+    const double bw = m.effective_bandwidth(ws);
+    EXPECT_LE(bw, prev + 1e-6);
+    prev = bw;
+  }
+}
+
+TEST(Machine, EffectiveBandwidthRejectsNegative) {
+  const MachineModel m = reference_machine();
+  EXPECT_THROW((void)m.effective_bandwidth(-1.0), std::invalid_argument);
+}
+
+TEST(Machine, CacheDisabledMeansFlatBandwidth) {
+  MachineModel m;
+  m.cache_per_core = 0.0;
+  EXPECT_DOUBLE_EQ(m.effective_bandwidth(1.0), m.mem_bandwidth);
+  EXPECT_DOUBLE_EQ(m.effective_bandwidth(1e12), m.mem_bandwidth);
+}
+
+TEST(Machine, ReferenceMachineIsPhysicallySane) {
+  const MachineModel m = reference_machine();
+  EXPECT_GT(m.core_flops, 1e9);
+  EXPECT_GT(m.mem_bandwidth, 1e9);
+  EXPECT_GE(m.cores_per_node, 1u);
+  EXPECT_GT(m.noise_sigma, 0.0);
+  EXPECT_LT(m.noise_sigma, 0.5);
+}
+
+}  // namespace
+}  // namespace hpcp

@@ -1,0 +1,71 @@
+#include "src/platform/proc_grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpcp {
+namespace {
+
+TEST(ProcGrid2D, PerfectSquares) {
+  EXPECT_EQ(factorize_2d(16), (std::array<std::size_t, 2>{4, 4}));
+  EXPECT_EQ(factorize_2d(64), (std::array<std::size_t, 2>{8, 8}));
+}
+
+TEST(ProcGrid2D, NonSquares) {
+  EXPECT_EQ(factorize_2d(8), (std::array<std::size_t, 2>{4, 2}));
+  EXPECT_EQ(factorize_2d(12), (std::array<std::size_t, 2>{4, 3}));
+  EXPECT_EQ(factorize_2d(2), (std::array<std::size_t, 2>{2, 1}));
+}
+
+TEST(ProcGrid2D, PrimesDegradeToLine) {
+  EXPECT_EQ(factorize_2d(7), (std::array<std::size_t, 2>{7, 1}));
+  EXPECT_EQ(factorize_2d(13), (std::array<std::size_t, 2>{13, 1}));
+}
+
+TEST(ProcGrid2D, One) {
+  EXPECT_EQ(factorize_2d(1), (std::array<std::size_t, 2>{1, 1}));
+}
+
+TEST(ProcGrid3D, PerfectCubes) {
+  EXPECT_EQ(factorize_3d(8), (std::array<std::size_t, 3>{2, 2, 2}));
+  EXPECT_EQ(factorize_3d(64), (std::array<std::size_t, 3>{4, 4, 4}));
+}
+
+TEST(ProcGrid3D, PowersOfTwo) {
+  EXPECT_EQ(factorize_3d(16), (std::array<std::size_t, 3>{4, 2, 2}));
+  EXPECT_EQ(factorize_3d(32), (std::array<std::size_t, 3>{4, 4, 2}));
+  EXPECT_EQ(factorize_3d(128), (std::array<std::size_t, 3>{8, 4, 4}));
+}
+
+TEST(ProcGrid3D, RejectsZero) {
+  EXPECT_THROW((void)factorize_3d(0), std::invalid_argument);
+  EXPECT_THROW((void)factorize_2d(0), std::invalid_argument);
+}
+
+class GridSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GridSweep, ProductsAndOrderingHold) {
+  const std::size_t p = GetParam();
+  const auto [a2, b2] = factorize_2d(p);
+  EXPECT_EQ(a2 * b2, p);
+  EXPECT_GE(a2, b2);
+  const auto [a3, b3, c3] = factorize_3d(p);
+  EXPECT_EQ(a3 * b3 * c3, p);
+  EXPECT_GE(a3, b3);
+  EXPECT_GE(b3, c3);
+}
+
+TEST_P(GridSweep, ThreeDNoWorseSurfaceThanDegenerate) {
+  const std::size_t p = GetParam();
+  const auto [a, b, c] = factorize_3d(p);
+  const double surface = static_cast<double>(a * b + b * c + a * c);
+  const double degenerate = static_cast<double>(p + p + 1);  // p×1×1
+  EXPECT_LE(surface, degenerate);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, GridSweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 12, 17, 24, 36, 60,
+                                           96, 100, 121, 144, 250, 256, 500,
+                                           1024));
+
+}  // namespace
+}  // namespace hpcp

@@ -1,0 +1,151 @@
+#include "src/platform/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/apps/stencil_app.hpp"
+#include "src/common/stats.hpp"
+
+namespace hpcp {
+namespace {
+
+MachineModel quiet_machine() {
+  MachineModel m;
+  m.noise_sigma = 0.0;
+  m.jitter_cv = 0.0;
+  m.startup_base = 0.0;
+  m.startup_per_log_p = 0.0;
+  return m;
+}
+
+TEST(Imbalance, OneForSingleProcessOrNoJitter) {
+  EXPECT_DOUBLE_EQ(PlatformSimulator::imbalance_factor(1, 0.1), 1.0);
+  EXPECT_DOUBLE_EQ(PlatformSimulator::imbalance_factor(64, 0.0), 1.0);
+}
+
+TEST(Imbalance, GrowsWithScaleAndJitter) {
+  const double a = PlatformSimulator::imbalance_factor(4, 0.02);
+  const double b = PlatformSimulator::imbalance_factor(64, 0.02);
+  const double c = PlatformSimulator::imbalance_factor(64, 0.08);
+  EXPECT_GT(a, 1.0);
+  EXPECT_GT(b, a);
+  EXPECT_GT(c, b);
+}
+
+TEST(Simulator, ComputePhaseIsRoofline) {
+  const PlatformSimulator sim(quiet_machine());
+  const auto& m = sim.machine();
+  // Flop-bound phase.
+  const Phase flops = Phase::compute(1e10, 0.0);
+  EXPECT_DOUBLE_EQ(sim.phase_time(flops, 1), 1e10 / m.core_flops);
+  // Memory-bound phase.
+  const Phase mem = Phase::compute(1.0, 1e11);
+  EXPECT_DOUBLE_EQ(sim.phase_time(mem, 1), 1e11 / m.mem_bandwidth);
+}
+
+TEST(Simulator, SerialPhaseIgnoresProcessCount) {
+  const PlatformSimulator sim(quiet_machine());
+  const Phase s = Phase::serial(1e9);
+  EXPECT_DOUBLE_EQ(sim.phase_time(s, 1), sim.phase_time(s, 256));
+}
+
+TEST(Simulator, RepetitionsMultiply) {
+  const PlatformSimulator sim(quiet_machine());
+  const Phase once = Phase::compute(1e9, 0.0, 1.0);
+  const Phase thrice = Phase::compute(1e9, 0.0, 3.0);
+  EXPECT_NEAR(sim.phase_time(thrice, 4), 3.0 * sim.phase_time(once, 4),
+              1e-12);
+}
+
+TEST(Simulator, TraceTimeIsSumPlusStartup) {
+  MachineModel m = quiet_machine();
+  m.startup_base = 0.5;
+  const PlatformSimulator sim(m);
+  WorkloadTrace trace{Phase::compute(1e9, 0.0), Phase::allreduce(8.0)};
+  const double expected = 0.5 + sim.phase_time(trace[0], 8) +
+                          sim.phase_time(trace[1], 8);
+  EXPECT_DOUBLE_EQ(sim.trace_time(trace, 8), expected);
+}
+
+TEST(Simulator, CommSizeShrinksCollectiveCost) {
+  const PlatformSimulator sim(quiet_machine());
+  const Phase full = Phase::broadcast(1e6, 1.0, 0);
+  const Phase row = Phase::broadcast(1e6, 1.0, 4);
+  EXPECT_LT(sim.phase_time(row, 64), sim.phase_time(full, 64));
+}
+
+TEST(Simulator, SubCommunicatorUsesInterNodeLinksWhenJobSpansNodes) {
+  MachineModel m = quiet_machine();
+  m.cores_per_node = 16;
+  const PlatformSimulator sim(m);
+  // A 4-wide broadcast inside a 64-process job crosses nodes, so it must
+  // cost at least as much as the same broadcast in a 4-process job (which
+  // fits one node and uses the faster intra-node link).
+  const Phase bcast = Phase::broadcast(1e6, 1.0, 4);
+  EXPECT_GT(sim.phase_time(bcast, 64), sim.phase_time(bcast, 4));
+}
+
+TEST(Simulator, MeasureIsDeterministicPerRunId) {
+  const PlatformSimulator sim(reference_machine(), 99);
+  const StencilApp app;
+  const std::vector<double> params{128, 500, 1};
+  const double a = sim.measure(app, params, 8, 7);
+  const double b = sim.measure(app, params, 8, 7);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Simulator, DifferentRunIdsGiveDifferentNoise) {
+  const PlatformSimulator sim(reference_machine(), 99);
+  const StencilApp app;
+  const std::vector<double> params{128, 500, 1};
+  EXPECT_NE(sim.measure(app, params, 8, 1), sim.measure(app, params, 8, 2));
+}
+
+TEST(Simulator, NoiseMedianMatchesTrueTime) {
+  const PlatformSimulator sim(reference_machine(), 5);
+  const StencilApp app;
+  const std::vector<double> params{128, 500, 1};
+  const double truth = sim.true_time(app, params, 8);
+  std::vector<double> samples(501);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    samples[i] = sim.measure(app, params, 8, i);
+  }
+  EXPECT_NEAR(median(samples) / truth, 1.0, 0.01);
+}
+
+TEST(Simulator, NoiseSeedChangesMeasurements) {
+  const PlatformSimulator a(reference_machine(), 1);
+  const PlatformSimulator b(reference_machine(), 2);
+  const StencilApp app;
+  const std::vector<double> params{128, 500, 1};
+  EXPECT_NE(a.measure(app, params, 8, 0), b.measure(app, params, 8, 0));
+}
+
+TEST(Simulator, ZeroProcsRejected) {
+  const PlatformSimulator sim(quiet_machine());
+  EXPECT_THROW((void)sim.phase_time(Phase::compute(1.0, 0.0), 0),
+               std::invalid_argument);
+}
+
+class SimulatorScaleSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SimulatorScaleSweep, StencilRuntimeDecreasesTowardsPlateau) {
+  const PlatformSimulator sim(quiet_machine());
+  const StencilApp app;
+  const std::vector<double> params{256, 500, 1};
+  const std::size_t p = GetParam();
+  const double t1 = sim.true_time(app, params, p);
+  const double t2 = sim.true_time(app, params, 2 * p);
+  // Doubling processes never makes this compute-heavy config slower.
+  // Superlinear speedup is allowed (the working set can fall into cache),
+  // but is bounded by the cache-bandwidth factor.
+  EXPECT_LT(t2, t1 * 1.02);
+  EXPECT_GT(t2, t1 * 0.45 / reference_machine().cache_bandwidth_factor);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, SimulatorScaleSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace hpcp

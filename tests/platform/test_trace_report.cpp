@@ -1,0 +1,88 @@
+#include "src/platform/trace_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/apps/stencil_app.hpp"
+
+namespace hpcp {
+namespace {
+
+PlatformSimulator quiet_sim() {
+  MachineModel m;
+  m.noise_sigma = 0.0;
+  m.jitter_cv = 0.0;
+  return PlatformSimulator(m);
+}
+
+TEST(TraceReport, TotalsMatchSimulator) {
+  const PlatformSimulator sim = quiet_sim();
+  const StencilApp app;
+  const std::vector<double> params{128, 300, 1};
+  const auto trace = app.trace(params, 16);
+  const auto report = analyze_trace(sim, trace, 16);
+  EXPECT_NEAR(report.total_seconds, sim.trace_time(trace, 16), 1e-12);
+  EXPECT_DOUBLE_EQ(report.startup_seconds,
+                   sim.machine().startup_time(16));
+}
+
+TEST(TraceReport, FractionsSumToOne) {
+  const PlatformSimulator sim = quiet_sim();
+  const StencilApp app;
+  const auto trace = app.trace(std::vector<double>{192, 500, 2}, 32);
+  const auto report = analyze_trace(sim, trace, 32);
+  double total_fraction =
+      report.startup_seconds / report.total_seconds;
+  for (const auto& b : report.by_type) total_fraction += b.fraction;
+  EXPECT_NEAR(total_fraction, 1.0, 1e-9);
+}
+
+TEST(TraceReport, SortedByDescendingCost) {
+  const PlatformSimulator sim = quiet_sim();
+  const StencilApp app;
+  const auto trace = app.trace(std::vector<double>{256, 800, 2}, 64);
+  const auto report = analyze_trace(sim, trace, 64);
+  for (std::size_t i = 1; i < report.by_type.size(); ++i) {
+    EXPECT_GE(report.by_type[i - 1].seconds, report.by_type[i].seconds);
+  }
+}
+
+TEST(TraceReport, CommunicationFractionGrowsWithScale) {
+  const PlatformSimulator sim = quiet_sim();
+  const StencilApp app;
+  const std::vector<double> params{128, 300, 1};
+  const auto at16 = analyze_trace(sim, app.trace(params, 16), 16);
+  const auto at256 = analyze_trace(sim, app.trace(params, 256), 256);
+  EXPECT_GT(at256.communication_fraction(),
+            at16.communication_fraction());
+}
+
+TEST(TraceReport, SerialRunHasNoCommunication) {
+  const PlatformSimulator sim = quiet_sim();
+  const StencilApp app;
+  const auto report =
+      analyze_trace(sim, app.trace(std::vector<double>{128, 300, 1}, 1), 1);
+  EXPECT_DOUBLE_EQ(report.communication_fraction(), 0.0);
+}
+
+TEST(TraceReport, PrintsAlignedTable) {
+  const PlatformSimulator sim = quiet_sim();
+  const StencilApp app;
+  const auto report =
+      analyze_trace(sim, app.trace(std::vector<double>{128, 300, 1}, 8), 8);
+  std::stringstream ss;
+  print_trace_report(ss, report);
+  EXPECT_NE(ss.str().find("compute"), std::string::npos);
+  EXPECT_NE(ss.str().find("total"), std::string::npos);
+}
+
+TEST(TraceReport, EmptyTraceIsStartupOnly) {
+  const PlatformSimulator sim = quiet_sim();
+  const auto report = analyze_trace(sim, {}, 4);
+  EXPECT_TRUE(report.by_type.empty());
+  EXPECT_DOUBLE_EQ(report.total_seconds, report.startup_seconds);
+}
+
+}  // namespace
+}  // namespace hpcp

@@ -1,0 +1,77 @@
+#include "src/platform/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpcp {
+namespace {
+
+TEST(Phase, FactoriesSetTypeAndFields) {
+  const Phase c = Phase::compute(100.0, 50.0, 3.0);
+  EXPECT_EQ(c.type, PhaseType::kCompute);
+  EXPECT_DOUBLE_EQ(c.flops, 100.0);
+  EXPECT_DOUBLE_EQ(c.bytes, 50.0);
+  EXPECT_DOUBLE_EQ(c.repetitions, 3.0);
+
+  const Phase s = Phase::serial(10.0);
+  EXPECT_EQ(s.type, PhaseType::kSerial);
+  EXPECT_DOUBLE_EQ(s.flops, 10.0);
+
+  const Phase n = Phase::neighbor(64.0, 6, 2.0);
+  EXPECT_EQ(n.type, PhaseType::kNeighbor);
+  EXPECT_EQ(n.neighbors, 6u);
+
+  const Phase a = Phase::allreduce(8.0, 5.0);
+  EXPECT_EQ(a.type, PhaseType::kAllreduce);
+  EXPECT_EQ(a.comm_size, 0u);
+
+  const Phase b = Phase::broadcast(16.0, 1.0, 4);
+  EXPECT_EQ(b.type, PhaseType::kBroadcast);
+  EXPECT_EQ(b.comm_size, 4u);
+
+  const Phase t = Phase::alltoall(32.0);
+  EXPECT_EQ(t.type, PhaseType::kAllToAll);
+
+  const Phase bar = Phase::barrier(7.0);
+  EXPECT_EQ(bar.type, PhaseType::kBarrier);
+  EXPECT_DOUBLE_EQ(bar.repetitions, 7.0);
+}
+
+TEST(Phase, FactoriesRejectNegativeQuantities) {
+  EXPECT_THROW((void)Phase::compute(-1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)Phase::compute(0.0, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)Phase::serial(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)Phase::neighbor(-1.0, 2), std::invalid_argument);
+  EXPECT_THROW((void)Phase::allreduce(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)Phase::barrier(-1.0), std::invalid_argument);
+}
+
+TEST(PhaseTypeName, AllNamesDistinct) {
+  EXPECT_STREQ(phase_type_name(PhaseType::kCompute), "compute");
+  EXPECT_STREQ(phase_type_name(PhaseType::kSerial), "serial");
+  EXPECT_STREQ(phase_type_name(PhaseType::kNeighbor), "neighbor");
+  EXPECT_STREQ(phase_type_name(PhaseType::kAllreduce), "allreduce");
+  EXPECT_STREQ(phase_type_name(PhaseType::kBroadcast), "broadcast");
+  EXPECT_STREQ(phase_type_name(PhaseType::kAllToAll), "alltoall");
+  EXPECT_STREQ(phase_type_name(PhaseType::kBarrier), "barrier");
+}
+
+TEST(TraceSummary, AccumulatesWithRepetitions) {
+  WorkloadTrace trace;
+  trace.push_back(Phase::compute(100.0, 10.0, 5.0));  // 500 flops
+  trace.push_back(Phase::serial(50.0, 2.0));          // 100 flops
+  trace.push_back(Phase::allreduce(8.0, 10.0));       // 80 bytes, 10 phases
+  trace.push_back(Phase::neighbor(100.0, 6, 3.0));    // 300 bytes, 3 phases
+  const TraceSummary s = summarize(trace);
+  EXPECT_DOUBLE_EQ(s.total_flops, 600.0);
+  EXPECT_DOUBLE_EQ(s.total_message_bytes, 380.0);
+  EXPECT_DOUBLE_EQ(s.num_comm_phases, 13.0);
+}
+
+TEST(TraceSummary, EmptyTraceIsZero) {
+  const TraceSummary s = summarize({});
+  EXPECT_DOUBLE_EQ(s.total_flops, 0.0);
+  EXPECT_DOUBLE_EQ(s.total_message_bytes, 0.0);
+}
+
+}  // namespace
+}  // namespace hpcp

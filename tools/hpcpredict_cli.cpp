@@ -1,0 +1,265 @@
+/// hpcpredict_cli — drive the library from the command line.
+///
+/// Subcommands:
+///   generate  Simulate an execution history for a bundled application and
+///             write it as CSV (stand-in for exporting a site's logs).
+///   train     Train the two-level model on a history CSV and save it to a
+///             model file for later prediction.
+///   predict   Predict target-scale runtimes of query configurations (CSV
+///             in/out), with optional uncertainty intervals. Trains from
+///             --history, or loads a previously saved --model.
+///   evaluate  Run the full model-vs-baselines comparison for a bundled
+///             application and print the headline table.
+///
+/// Examples:
+///   hpcpredict_cli generate --app heat3d --configs 300
+///       --scales 1,2,4,8,16 --out history.csv
+///   hpcpredict_cli predict --history history.csv --targets 64,256
+///       --queries queries.csv --uncertainty
+///   hpcpredict_cli evaluate --app minimd --targets 32,64,128,256
+
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "src/hpcpredict.hpp"
+
+namespace {
+
+using namespace hpcp;
+
+/// Minimal --flag value parser; flags may also be boolean (present/absent).
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        throw std::invalid_argument("unexpected argument: " + arg);
+      }
+      arg = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "";
+      }
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.count(key) > 0;
+  }
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      if (fallback.empty()) {
+        throw std::invalid_argument("missing required flag --" + key);
+      }
+      return fallback;
+    }
+    return it->second;
+  }
+  [[nodiscard]] std::size_t get_size(const std::string& key,
+                                     std::size_t fallback) const {
+    return has(key) ? std::stoull(get(key)) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+std::vector<std::size_t> parse_scales(const std::string& csv) {
+  std::vector<std::size_t> scales;
+  std::stringstream ss(csv);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    scales.push_back(std::stoull(token));
+  }
+  if (scales.empty()) throw std::invalid_argument("empty scale list");
+  return scales;
+}
+
+int cmd_generate(const Args& args) {
+  const std::string app_name = args.get("app");
+  const auto app = make_application(app_name);
+  const auto scales = parse_scales(args.get("scales", "1,2,4,8,16"));
+  const std::size_t num_configs = args.get_size("configs", 300);
+  const std::uint64_t seed = args.get_size("seed", 2020);
+  const std::size_t runs = args.get_size("runs-per-point", 1);
+  const std::string out = args.get("out");
+
+  const PlatformSimulator sim(reference_machine(), seed ^ 0x9e3779b9);
+  Rng rng(seed);
+  const auto configs = app->parameter_space().sample_lhs(num_configs, rng);
+  const HistoryStore history =
+      generate_history(sim, *app, configs, scales, runs);
+  csv_write_file(out, history.to_csv());
+  std::cout << "wrote " << history.size() << " runs (" << num_configs
+            << " configurations x " << scales.size() << " scales x " << runs
+            << " repeats) to " << out << '\n';
+  return 0;
+}
+
+TwoLevelModel train_from_history(const Args& args,
+                                 std::vector<std::string>* param_names) {
+  const std::string history_path = args.get("history");
+  const auto targets = parse_scales(args.get("targets"));
+  const HistoryStore history =
+      HistoryStore::from_csv("history", csv_read_file(history_path));
+  const ExtrapolationProblem problem =
+      make_problem(history, history.scales(), targets);
+  std::cout << "history: " << problem.num_configs() << " configurations at "
+            << history.scales().size() << " small scales\n";
+  TwoLevelModel model;
+  Rng rng(args.get_size("seed", 42));
+  model.fit(problem, rng);
+  std::cout << "trained two-level model ("
+            << model.extrapolation().num_clusters() << " cluster(s))\n";
+  if (param_names != nullptr) *param_names = problem.param_names;
+  return model;
+}
+
+int cmd_train(const Args& args) {
+  std::vector<std::string> param_names;
+  const TwoLevelModel model = train_from_history(args, &param_names);
+  const std::string path = args.get("save");
+  model.save_file(path);
+  std::cout << "saved model to " << path << '\n';
+  // Record the parameter schema next to the model so predict can check it.
+  CsvTable schema;
+  schema.header = param_names;
+  csv_write_file(path + ".schema.csv", schema);
+  return 0;
+}
+
+int cmd_predict(const Args& args) {
+  TwoLevelModel model;
+  std::vector<std::string> param_names;
+  if (args.has("model")) {
+    model = TwoLevelModel::load_file(args.get("model"));
+    param_names =
+        csv_read_file(args.get("model") + ".schema.csv").header;
+    std::cout << "loaded model " << args.get("model") << " ("
+              << model.extrapolation().num_clusters() << " cluster(s))\n";
+  } else {
+    model = train_from_history(args, &param_names);
+  }
+  const auto targets = model.extrapolation().target_scales();
+
+  // Queries: a CSV whose columns are the history's parameter columns.
+  const CsvTable queries = csv_read_file(args.get("queries"));
+  std::vector<std::size_t> col_of(param_names.size());
+  for (std::size_t d = 0; d < param_names.size(); ++d) {
+    col_of[d] = queries.column(param_names[d]);
+  }
+  const bool uncertainty = args.has("uncertainty");
+
+  CsvTable out;
+  out.header = queries.header;
+  for (const std::size_t p : targets) {
+    out.header.push_back("t_p" + std::to_string(p));
+    if (uncertainty) {
+      out.header.push_back("t_p" + std::to_string(p) + "_lo");
+      out.header.push_back("t_p" + std::to_string(p) + "_hi");
+    }
+  }
+  for (const auto& row : queries.rows) {
+    std::vector<double> params(param_names.size());
+    for (std::size_t d = 0; d < params.size(); ++d) {
+      params[d] = std::stod(row[col_of[d]]);
+    }
+    std::vector<std::string> out_row = row;
+    if (uncertainty) {
+      const auto intervals = model.predict_with_uncertainty(params);
+      for (const auto& iv : intervals) {
+        out_row.push_back(format_double(iv.value, 6));
+        out_row.push_back(format_double(iv.lower, 6));
+        out_row.push_back(format_double(iv.upper, 6));
+      }
+    } else {
+      for (const double v : model.predict(params)) {
+        out_row.push_back(format_double(v, 6));
+      }
+    }
+    out.rows.push_back(std::move(out_row));
+  }
+
+  if (args.has("out")) {
+    csv_write_file(args.get("out"), out);
+    std::cout << "wrote " << out.rows.size() << " predictions to "
+              << args.get("out") << '\n';
+  } else {
+    csv_write(std::cout, out);
+  }
+  return 0;
+}
+
+int cmd_evaluate(const Args& args) {
+  ExperimentConfig config;
+  config.app_name = args.get("app");
+  config.num_train = args.get_size("configs", 300);
+  config.num_test = args.get_size("test-configs", 48);
+  config.seed = args.get_size("seed", 2020);
+  if (args.has("scales")) config.small_scales = parse_scales(args.get("scales"));
+  if (args.has("targets")) config.target_scales = parse_scales(args.get("targets"));
+
+  const Experiment exp = make_experiment(config);
+  auto paper = make_paper_model();
+  auto baselines = make_baseline_suite();
+  std::vector<ExtrapolationModel*> models{paper.get()};
+  for (const auto& b : baselines) models.push_back(b.get());
+  Rng rng(7);
+  const auto report = evaluate_models(models, exp.problem, exp.test, rng);
+
+  std::vector<std::string> header{"model"};
+  for (const std::size_t p : report.target_scales) {
+    header.push_back("p=" + std::to_string(p));
+  }
+  header.push_back("overall");
+  TextTable table(std::move(header));
+  for (const auto& m : report.models) {
+    std::vector<double> row = m.mape;
+    row.push_back(m.overall_mape);
+    table.add_row_numeric(m.model, row);
+  }
+  print_section(std::cout, config.app_name + " — extrapolation MAPE (%)");
+  table.print(std::cout);
+  return 0;
+}
+
+void print_usage() {
+  std::cout <<
+      "usage: hpcpredict_cli <generate|train|predict|evaluate> [--flags]\n"
+      "  generate --app NAME --out FILE [--configs N] [--scales 1,2,4,8,16]\n"
+      "           [--runs-per-point N] [--seed S]\n"
+      "  train    --history FILE --targets P1,P2,... --save FILE [--seed S]\n"
+      "  predict  (--model FILE | --history FILE --targets P1,P2,...)\n"
+      "           --queries FILE [--out FILE] [--uncertainty] [--seed S]\n"
+      "  evaluate --app NAME [--configs N] [--test-configs N]\n"
+      "           [--scales ...] [--targets ...] [--seed S]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    const Args args(argc, argv);
+    if (command == "generate") return cmd_generate(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "predict") return cmd_predict(args);
+    if (command == "evaluate") return cmd_evaluate(args);
+    print_usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
