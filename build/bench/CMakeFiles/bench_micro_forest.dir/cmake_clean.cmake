@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_forest.dir/bench_micro_forest.cpp.o"
+  "CMakeFiles/bench_micro_forest.dir/bench_micro_forest.cpp.o.d"
+  "bench_micro_forest"
+  "bench_micro_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

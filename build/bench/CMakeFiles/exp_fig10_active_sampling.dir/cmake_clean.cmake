@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig10_active_sampling.dir/exp_fig10_active_sampling.cpp.o"
+  "CMakeFiles/exp_fig10_active_sampling.dir/exp_fig10_active_sampling.cpp.o.d"
+  "exp_fig10_active_sampling"
+  "exp_fig10_active_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig10_active_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig1_scaling_curves.dir/exp_fig1_scaling_curves.cpp.o"
+  "CMakeFiles/exp_fig1_scaling_curves.dir/exp_fig1_scaling_curves.cpp.o.d"
+  "exp_fig1_scaling_curves"
+  "exp_fig1_scaling_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig1_scaling_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig2_mape_vs_scale.dir/exp_fig2_mape_vs_scale.cpp.o"
+  "CMakeFiles/exp_fig2_mape_vs_scale.dir/exp_fig2_mape_vs_scale.cpp.o.d"
+  "exp_fig2_mape_vs_scale"
+  "exp_fig2_mape_vs_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig2_mape_vs_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

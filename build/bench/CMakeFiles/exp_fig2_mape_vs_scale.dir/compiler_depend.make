@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_fig2_mape_vs_scale.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig3_cluster_ablation.dir/exp_fig3_cluster_ablation.cpp.o"
+  "CMakeFiles/exp_fig3_cluster_ablation.dir/exp_fig3_cluster_ablation.cpp.o.d"
+  "exp_fig3_cluster_ablation"
+  "exp_fig3_cluster_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig3_cluster_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig4_multitask_ablation.dir/exp_fig4_multitask_ablation.cpp.o"
+  "CMakeFiles/exp_fig4_multitask_ablation.dir/exp_fig4_multitask_ablation.cpp.o.d"
+  "exp_fig4_multitask_ablation"
+  "exp_fig4_multitask_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig4_multitask_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

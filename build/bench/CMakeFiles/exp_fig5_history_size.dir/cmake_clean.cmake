@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig5_history_size.dir/exp_fig5_history_size.cpp.o"
+  "CMakeFiles/exp_fig5_history_size.dir/exp_fig5_history_size.cpp.o.d"
+  "exp_fig5_history_size"
+  "exp_fig5_history_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig5_history_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

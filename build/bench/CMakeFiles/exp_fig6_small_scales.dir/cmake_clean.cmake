@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig6_small_scales.dir/exp_fig6_small_scales.cpp.o"
+  "CMakeFiles/exp_fig6_small_scales.dir/exp_fig6_small_scales.cpp.o.d"
+  "exp_fig6_small_scales"
+  "exp_fig6_small_scales.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig6_small_scales.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

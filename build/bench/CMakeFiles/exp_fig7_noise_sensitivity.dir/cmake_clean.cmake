@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig7_noise_sensitivity.dir/exp_fig7_noise_sensitivity.cpp.o"
+  "CMakeFiles/exp_fig7_noise_sensitivity.dir/exp_fig7_noise_sensitivity.cpp.o.d"
+  "exp_fig7_noise_sensitivity"
+  "exp_fig7_noise_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig7_noise_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

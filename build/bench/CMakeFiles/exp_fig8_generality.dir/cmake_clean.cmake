@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig8_generality.dir/exp_fig8_generality.cpp.o"
+  "CMakeFiles/exp_fig8_generality.dir/exp_fig8_generality.cpp.o.d"
+  "exp_fig8_generality"
+  "exp_fig8_generality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig8_generality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig9_cross_machine.dir/exp_fig9_cross_machine.cpp.o"
+  "CMakeFiles/exp_fig9_cross_machine.dir/exp_fig9_cross_machine.cpp.o.d"
+  "exp_fig9_cross_machine"
+  "exp_fig9_cross_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig9_cross_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

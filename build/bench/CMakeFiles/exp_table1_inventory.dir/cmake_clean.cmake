@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table1_inventory.dir/exp_table1_inventory.cpp.o"
+  "CMakeFiles/exp_table1_inventory.dir/exp_table1_inventory.cpp.o.d"
+  "exp_table1_inventory"
+  "exp_table1_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table1_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table2_interpolation.dir/exp_table2_interpolation.cpp.o"
+  "CMakeFiles/exp_table2_interpolation.dir/exp_table2_interpolation.cpp.o.d"
+  "exp_table2_interpolation"
+  "exp_table2_interpolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table2_interpolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table3_extrapolation.dir/exp_table3_extrapolation.cpp.o"
+  "CMakeFiles/exp_table3_extrapolation.dir/exp_table3_extrapolation.cpp.o.d"
+  "exp_table3_extrapolation"
+  "exp_table3_extrapolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table3_extrapolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

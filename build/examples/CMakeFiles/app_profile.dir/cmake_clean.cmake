@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_profile.dir/app_profile.cpp.o"
+  "CMakeFiles/app_profile.dir/app_profile.cpp.o.d"
+  "app_profile"
+  "app_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

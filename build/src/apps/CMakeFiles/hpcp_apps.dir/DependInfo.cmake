@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/lu_app.cpp" "src/apps/CMakeFiles/hpcp_apps.dir/lu_app.cpp.o" "gcc" "src/apps/CMakeFiles/hpcp_apps.dir/lu_app.cpp.o.d"
+  "/root/repo/src/apps/nbody_app.cpp" "src/apps/CMakeFiles/hpcp_apps.dir/nbody_app.cpp.o" "gcc" "src/apps/CMakeFiles/hpcp_apps.dir/nbody_app.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/apps/CMakeFiles/hpcp_apps.dir/registry.cpp.o" "gcc" "src/apps/CMakeFiles/hpcp_apps.dir/registry.cpp.o.d"
+  "/root/repo/src/apps/spectral_app.cpp" "src/apps/CMakeFiles/hpcp_apps.dir/spectral_app.cpp.o" "gcc" "src/apps/CMakeFiles/hpcp_apps.dir/spectral_app.cpp.o.d"
+  "/root/repo/src/apps/stencil_app.cpp" "src/apps/CMakeFiles/hpcp_apps.dir/stencil_app.cpp.o" "gcc" "src/apps/CMakeFiles/hpcp_apps.dir/stencil_app.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/hpcp_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hpcp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/linear/CMakeFiles/hpcp_linear.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hpcp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcp_apps.dir/lu_app.cpp.o"
+  "CMakeFiles/hpcp_apps.dir/lu_app.cpp.o.d"
+  "CMakeFiles/hpcp_apps.dir/nbody_app.cpp.o"
+  "CMakeFiles/hpcp_apps.dir/nbody_app.cpp.o.d"
+  "CMakeFiles/hpcp_apps.dir/registry.cpp.o"
+  "CMakeFiles/hpcp_apps.dir/registry.cpp.o.d"
+  "CMakeFiles/hpcp_apps.dir/spectral_app.cpp.o"
+  "CMakeFiles/hpcp_apps.dir/spectral_app.cpp.o.d"
+  "CMakeFiles/hpcp_apps.dir/stencil_app.cpp.o"
+  "CMakeFiles/hpcp_apps.dir/stencil_app.cpp.o.d"
+  "libhpcp_apps.a"
+  "libhpcp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

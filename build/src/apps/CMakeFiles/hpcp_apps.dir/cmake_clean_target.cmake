@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhpcp_apps.a"
+)

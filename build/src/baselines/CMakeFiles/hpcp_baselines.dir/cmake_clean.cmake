@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcp_baselines.dir/direct_models.cpp.o"
+  "CMakeFiles/hpcp_baselines.dir/direct_models.cpp.o.d"
+  "CMakeFiles/hpcp_baselines.dir/extrap_model.cpp.o"
+  "CMakeFiles/hpcp_baselines.dir/extrap_model.cpp.o.d"
+  "CMakeFiles/hpcp_baselines.dir/presets.cpp.o"
+  "CMakeFiles/hpcp_baselines.dir/presets.cpp.o.d"
+  "libhpcp_baselines.a"
+  "libhpcp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/curve_features.cpp" "src/cluster/CMakeFiles/hpcp_cluster.dir/curve_features.cpp.o" "gcc" "src/cluster/CMakeFiles/hpcp_cluster.dir/curve_features.cpp.o.d"
+  "/root/repo/src/cluster/kmeans.cpp" "src/cluster/CMakeFiles/hpcp_cluster.dir/kmeans.cpp.o" "gcc" "src/cluster/CMakeFiles/hpcp_cluster.dir/kmeans.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpcp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linear/CMakeFiles/hpcp_linear.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcp_cluster.dir/curve_features.cpp.o"
+  "CMakeFiles/hpcp_cluster.dir/curve_features.cpp.o.d"
+  "CMakeFiles/hpcp_cluster.dir/kmeans.cpp.o"
+  "CMakeFiles/hpcp_cluster.dir/kmeans.cpp.o.d"
+  "libhpcp_cluster.a"
+  "libhpcp_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcp_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcp_common.dir/csv.cpp.o"
+  "CMakeFiles/hpcp_common.dir/csv.cpp.o.d"
+  "CMakeFiles/hpcp_common.dir/metrics.cpp.o"
+  "CMakeFiles/hpcp_common.dir/metrics.cpp.o.d"
+  "CMakeFiles/hpcp_common.dir/rng.cpp.o"
+  "CMakeFiles/hpcp_common.dir/rng.cpp.o.d"
+  "CMakeFiles/hpcp_common.dir/serialize.cpp.o"
+  "CMakeFiles/hpcp_common.dir/serialize.cpp.o.d"
+  "CMakeFiles/hpcp_common.dir/stats.cpp.o"
+  "CMakeFiles/hpcp_common.dir/stats.cpp.o.d"
+  "CMakeFiles/hpcp_common.dir/table.cpp.o"
+  "CMakeFiles/hpcp_common.dir/table.cpp.o.d"
+  "CMakeFiles/hpcp_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/hpcp_common.dir/thread_pool.cpp.o.d"
+  "libhpcp_common.a"
+  "libhpcp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/active_sampler.cpp" "src/core/CMakeFiles/hpcp_core.dir/active_sampler.cpp.o" "gcc" "src/core/CMakeFiles/hpcp_core.dir/active_sampler.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/core/CMakeFiles/hpcp_core.dir/evaluator.cpp.o" "gcc" "src/core/CMakeFiles/hpcp_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/hpcp_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/hpcp_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/extrapolation_level.cpp" "src/core/CMakeFiles/hpcp_core.dir/extrapolation_level.cpp.o" "gcc" "src/core/CMakeFiles/hpcp_core.dir/extrapolation_level.cpp.o.d"
+  "/root/repo/src/core/interpolation_level.cpp" "src/core/CMakeFiles/hpcp_core.dir/interpolation_level.cpp.o" "gcc" "src/core/CMakeFiles/hpcp_core.dir/interpolation_level.cpp.o.d"
+  "/root/repo/src/core/problem.cpp" "src/core/CMakeFiles/hpcp_core.dir/problem.cpp.o" "gcc" "src/core/CMakeFiles/hpcp_core.dir/problem.cpp.o.d"
+  "/root/repo/src/core/scaling_basis.cpp" "src/core/CMakeFiles/hpcp_core.dir/scaling_basis.cpp.o" "gcc" "src/core/CMakeFiles/hpcp_core.dir/scaling_basis.cpp.o.d"
+  "/root/repo/src/core/two_level_model.cpp" "src/core/CMakeFiles/hpcp_core.dir/two_level_model.cpp.o" "gcc" "src/core/CMakeFiles/hpcp_core.dir/two_level_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpcp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hpcp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/linear/CMakeFiles/hpcp_linear.dir/DependInfo.cmake"
+  "/root/repo/build/src/forest/CMakeFiles/hpcp_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hpcp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/hpcp_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/hpcp_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

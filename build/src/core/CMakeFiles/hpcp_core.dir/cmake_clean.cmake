@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcp_core.dir/active_sampler.cpp.o"
+  "CMakeFiles/hpcp_core.dir/active_sampler.cpp.o.d"
+  "CMakeFiles/hpcp_core.dir/evaluator.cpp.o"
+  "CMakeFiles/hpcp_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/hpcp_core.dir/experiment.cpp.o"
+  "CMakeFiles/hpcp_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/hpcp_core.dir/extrapolation_level.cpp.o"
+  "CMakeFiles/hpcp_core.dir/extrapolation_level.cpp.o.d"
+  "CMakeFiles/hpcp_core.dir/interpolation_level.cpp.o"
+  "CMakeFiles/hpcp_core.dir/interpolation_level.cpp.o.d"
+  "CMakeFiles/hpcp_core.dir/problem.cpp.o"
+  "CMakeFiles/hpcp_core.dir/problem.cpp.o.d"
+  "CMakeFiles/hpcp_core.dir/scaling_basis.cpp.o"
+  "CMakeFiles/hpcp_core.dir/scaling_basis.cpp.o.d"
+  "CMakeFiles/hpcp_core.dir/two_level_model.cpp.o"
+  "CMakeFiles/hpcp_core.dir/two_level_model.cpp.o.d"
+  "libhpcp_core.a"
+  "libhpcp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

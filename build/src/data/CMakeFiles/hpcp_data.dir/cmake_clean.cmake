@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcp_data.dir/dataset.cpp.o"
+  "CMakeFiles/hpcp_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/hpcp_data.dir/param_space.cpp.o"
+  "CMakeFiles/hpcp_data.dir/param_space.cpp.o.d"
+  "libhpcp_data.a"
+  "libhpcp_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcp_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forest/gbm.cpp" "src/forest/CMakeFiles/hpcp_forest.dir/gbm.cpp.o" "gcc" "src/forest/CMakeFiles/hpcp_forest.dir/gbm.cpp.o.d"
+  "/root/repo/src/forest/random_forest.cpp" "src/forest/CMakeFiles/hpcp_forest.dir/random_forest.cpp.o" "gcc" "src/forest/CMakeFiles/hpcp_forest.dir/random_forest.cpp.o.d"
+  "/root/repo/src/forest/tree.cpp" "src/forest/CMakeFiles/hpcp_forest.dir/tree.cpp.o" "gcc" "src/forest/CMakeFiles/hpcp_forest.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpcp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linear/CMakeFiles/hpcp_linear.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcp_forest.dir/gbm.cpp.o"
+  "CMakeFiles/hpcp_forest.dir/gbm.cpp.o.d"
+  "CMakeFiles/hpcp_forest.dir/random_forest.cpp.o"
+  "CMakeFiles/hpcp_forest.dir/random_forest.cpp.o.d"
+  "CMakeFiles/hpcp_forest.dir/tree.cpp.o"
+  "CMakeFiles/hpcp_forest.dir/tree.cpp.o.d"
+  "libhpcp_forest.a"
+  "libhpcp_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcp_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linear/cv.cpp" "src/linear/CMakeFiles/hpcp_linear.dir/cv.cpp.o" "gcc" "src/linear/CMakeFiles/hpcp_linear.dir/cv.cpp.o.d"
+  "/root/repo/src/linear/lasso.cpp" "src/linear/CMakeFiles/hpcp_linear.dir/lasso.cpp.o" "gcc" "src/linear/CMakeFiles/hpcp_linear.dir/lasso.cpp.o.d"
+  "/root/repo/src/linear/matrix.cpp" "src/linear/CMakeFiles/hpcp_linear.dir/matrix.cpp.o" "gcc" "src/linear/CMakeFiles/hpcp_linear.dir/matrix.cpp.o.d"
+  "/root/repo/src/linear/multitask_lasso.cpp" "src/linear/CMakeFiles/hpcp_linear.dir/multitask_lasso.cpp.o" "gcc" "src/linear/CMakeFiles/hpcp_linear.dir/multitask_lasso.cpp.o.d"
+  "/root/repo/src/linear/nnls.cpp" "src/linear/CMakeFiles/hpcp_linear.dir/nnls.cpp.o" "gcc" "src/linear/CMakeFiles/hpcp_linear.dir/nnls.cpp.o.d"
+  "/root/repo/src/linear/ols.cpp" "src/linear/CMakeFiles/hpcp_linear.dir/ols.cpp.o" "gcc" "src/linear/CMakeFiles/hpcp_linear.dir/ols.cpp.o.d"
+  "/root/repo/src/linear/scaler.cpp" "src/linear/CMakeFiles/hpcp_linear.dir/scaler.cpp.o" "gcc" "src/linear/CMakeFiles/hpcp_linear.dir/scaler.cpp.o.d"
+  "/root/repo/src/linear/solve.cpp" "src/linear/CMakeFiles/hpcp_linear.dir/solve.cpp.o" "gcc" "src/linear/CMakeFiles/hpcp_linear.dir/solve.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpcp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcp_linear.dir/cv.cpp.o"
+  "CMakeFiles/hpcp_linear.dir/cv.cpp.o.d"
+  "CMakeFiles/hpcp_linear.dir/lasso.cpp.o"
+  "CMakeFiles/hpcp_linear.dir/lasso.cpp.o.d"
+  "CMakeFiles/hpcp_linear.dir/matrix.cpp.o"
+  "CMakeFiles/hpcp_linear.dir/matrix.cpp.o.d"
+  "CMakeFiles/hpcp_linear.dir/multitask_lasso.cpp.o"
+  "CMakeFiles/hpcp_linear.dir/multitask_lasso.cpp.o.d"
+  "CMakeFiles/hpcp_linear.dir/nnls.cpp.o"
+  "CMakeFiles/hpcp_linear.dir/nnls.cpp.o.d"
+  "CMakeFiles/hpcp_linear.dir/ols.cpp.o"
+  "CMakeFiles/hpcp_linear.dir/ols.cpp.o.d"
+  "CMakeFiles/hpcp_linear.dir/scaler.cpp.o"
+  "CMakeFiles/hpcp_linear.dir/scaler.cpp.o.d"
+  "CMakeFiles/hpcp_linear.dir/solve.cpp.o"
+  "CMakeFiles/hpcp_linear.dir/solve.cpp.o.d"
+  "libhpcp_linear.a"
+  "libhpcp_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcp_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

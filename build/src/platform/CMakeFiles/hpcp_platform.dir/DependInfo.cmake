@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/collectives.cpp" "src/platform/CMakeFiles/hpcp_platform.dir/collectives.cpp.o" "gcc" "src/platform/CMakeFiles/hpcp_platform.dir/collectives.cpp.o.d"
+  "/root/repo/src/platform/history.cpp" "src/platform/CMakeFiles/hpcp_platform.dir/history.cpp.o" "gcc" "src/platform/CMakeFiles/hpcp_platform.dir/history.cpp.o.d"
+  "/root/repo/src/platform/machine.cpp" "src/platform/CMakeFiles/hpcp_platform.dir/machine.cpp.o" "gcc" "src/platform/CMakeFiles/hpcp_platform.dir/machine.cpp.o.d"
+  "/root/repo/src/platform/proc_grid.cpp" "src/platform/CMakeFiles/hpcp_platform.dir/proc_grid.cpp.o" "gcc" "src/platform/CMakeFiles/hpcp_platform.dir/proc_grid.cpp.o.d"
+  "/root/repo/src/platform/simulator.cpp" "src/platform/CMakeFiles/hpcp_platform.dir/simulator.cpp.o" "gcc" "src/platform/CMakeFiles/hpcp_platform.dir/simulator.cpp.o.d"
+  "/root/repo/src/platform/trace_report.cpp" "src/platform/CMakeFiles/hpcp_platform.dir/trace_report.cpp.o" "gcc" "src/platform/CMakeFiles/hpcp_platform.dir/trace_report.cpp.o.d"
+  "/root/repo/src/platform/workload.cpp" "src/platform/CMakeFiles/hpcp_platform.dir/workload.cpp.o" "gcc" "src/platform/CMakeFiles/hpcp_platform.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpcp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hpcp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/linear/CMakeFiles/hpcp_linear.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

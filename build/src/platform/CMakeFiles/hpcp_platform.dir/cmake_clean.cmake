@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcp_platform.dir/collectives.cpp.o"
+  "CMakeFiles/hpcp_platform.dir/collectives.cpp.o.d"
+  "CMakeFiles/hpcp_platform.dir/history.cpp.o"
+  "CMakeFiles/hpcp_platform.dir/history.cpp.o.d"
+  "CMakeFiles/hpcp_platform.dir/machine.cpp.o"
+  "CMakeFiles/hpcp_platform.dir/machine.cpp.o.d"
+  "CMakeFiles/hpcp_platform.dir/proc_grid.cpp.o"
+  "CMakeFiles/hpcp_platform.dir/proc_grid.cpp.o.d"
+  "CMakeFiles/hpcp_platform.dir/simulator.cpp.o"
+  "CMakeFiles/hpcp_platform.dir/simulator.cpp.o.d"
+  "CMakeFiles/hpcp_platform.dir/trace_report.cpp.o"
+  "CMakeFiles/hpcp_platform.dir/trace_report.cpp.o.d"
+  "CMakeFiles/hpcp_platform.dir/workload.cpp.o"
+  "CMakeFiles/hpcp_platform.dir/workload.cpp.o.d"
+  "libhpcp_platform.a"
+  "libhpcp_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcp_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_active_sampler.dir/core/test_active_sampler.cpp.o"
+  "CMakeFiles/test_active_sampler.dir/core/test_active_sampler.cpp.o.d"
+  "test_active_sampler"
+  "test_active_sampler.pdb"
+  "test_active_sampler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_active_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

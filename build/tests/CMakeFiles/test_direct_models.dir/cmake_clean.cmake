@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_direct_models.dir/baselines/test_direct_models.cpp.o"
+  "CMakeFiles/test_direct_models.dir/baselines/test_direct_models.cpp.o.d"
+  "test_direct_models"
+  "test_direct_models.pdb"
+  "test_direct_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_direct_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

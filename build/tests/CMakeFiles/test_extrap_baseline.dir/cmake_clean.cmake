@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extrap_baseline.dir/baselines/test_extrap_baseline.cpp.o"
+  "CMakeFiles/test_extrap_baseline.dir/baselines/test_extrap_baseline.cpp.o.d"
+  "test_extrap_baseline"
+  "test_extrap_baseline.pdb"
+  "test_extrap_baseline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extrap_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

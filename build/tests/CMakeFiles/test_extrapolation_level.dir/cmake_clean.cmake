@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extrapolation_level.dir/core/test_extrapolation_level.cpp.o"
+  "CMakeFiles/test_extrapolation_level.dir/core/test_extrapolation_level.cpp.o.d"
+  "test_extrapolation_level"
+  "test_extrapolation_level.pdb"
+  "test_extrapolation_level[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extrapolation_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gbm.dir/forest/test_gbm.cpp.o"
+  "CMakeFiles/test_gbm.dir/forest/test_gbm.cpp.o.d"
+  "test_gbm"
+  "test_gbm.pdb"
+  "test_gbm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multitask_lasso.dir/linear/test_multitask_lasso.cpp.o"
+  "CMakeFiles/test_multitask_lasso.dir/linear/test_multitask_lasso.cpp.o.d"
+  "test_multitask_lasso"
+  "test_multitask_lasso.pdb"
+  "test_multitask_lasso[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multitask_lasso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_multitask_lasso.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nnls.dir/linear/test_nnls.cpp.o"
+  "CMakeFiles/test_nnls.dir/linear/test_nnls.cpp.o.d"
+  "test_nnls"
+  "test_nnls.pdb"
+  "test_nnls[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nnls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ols.dir/linear/test_ols.cpp.o"
+  "CMakeFiles/test_ols.dir/linear/test_ols.cpp.o.d"
+  "test_ols"
+  "test_ols.pdb"
+  "test_ols[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

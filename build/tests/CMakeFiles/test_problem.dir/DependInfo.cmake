@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_problem.cpp" "tests/CMakeFiles/test_problem.dir/core/test_problem.cpp.o" "gcc" "tests/CMakeFiles/test_problem.dir/core/test_problem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/hpcp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hpcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/forest/CMakeFiles/hpcp_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hpcp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/hpcp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/hpcp_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hpcp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/linear/CMakeFiles/hpcp_linear.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hpcp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

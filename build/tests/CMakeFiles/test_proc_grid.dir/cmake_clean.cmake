@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proc_grid.dir/platform/test_proc_grid.cpp.o"
+  "CMakeFiles/test_proc_grid.dir/platform/test_proc_grid.cpp.o.d"
+  "test_proc_grid"
+  "test_proc_grid.pdb"
+  "test_proc_grid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proc_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

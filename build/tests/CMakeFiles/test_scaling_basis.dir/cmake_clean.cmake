@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scaling_basis.dir/core/test_scaling_basis.cpp.o"
+  "CMakeFiles/test_scaling_basis.dir/core/test_scaling_basis.cpp.o.d"
+  "test_scaling_basis"
+  "test_scaling_basis.pdb"
+  "test_scaling_basis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scaling_basis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcpredict_cli.dir/hpcpredict_cli.cpp.o"
+  "CMakeFiles/hpcpredict_cli.dir/hpcpredict_cli.cpp.o.d"
+  "hpcpredict_cli"
+  "hpcpredict_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcpredict_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
