@@ -1,0 +1,139 @@
+/// Fault-tolerance experiment — prediction accuracy vs training-data
+/// corruption. For each corruption rate the clean experiment history is
+/// damaged twice (record-level faults via inject_faults, then unparseable
+/// fields at the CSV text level), pushed through the full lenient ingestion
+/// chain (csv_read_checked → load_history_csv → validate_history), and the
+/// two-level model is trained on whatever survives quarantine. Output is a
+/// JSON document: per app and rate, how much was injected, how much the
+/// pipeline caught, which fallback stages training used, and the resulting
+/// extrapolation MAPE on the *clean* held-out test set.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/common/metrics.hpp"
+#include "src/data/validation.hpp"
+#include "src/platform/fault_injector.hpp"
+
+using namespace hpcp;
+
+namespace {
+
+double pooled_mape(const Matrix& pred, const Matrix& truth) {
+  std::vector<double> p;
+  std::vector<double> t;
+  for (std::size_t r = 0; r < truth.rows(); ++r) {
+    for (std::size_t c = 0; c < truth.cols(); ++c) {
+      p.push_back(pred(r, c));
+      t.push_back(truth(r, c));
+    }
+  }
+  return mape_checked(t, p).value_or(-1.0);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char ch : s) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    if (ch == '\n') {
+      out += "\\n";
+    } else {
+      out += ch;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<double> rates{0.0, 0.05, 0.10, 0.20, 0.40};
+  const auto apps = bench::paper_apps();
+
+  std::cout << "{\n  \"experiment\": \"fault_tolerance\",\n  \"apps\": [\n";
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    const Experiment exp = make_experiment(bench::full_config(apps[a]));
+    std::cout << "    {\n      \"app\": \"" << apps[a]
+              << "\",\n      \"sweep\": [\n";
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      const double rate = rates[i];
+      Rng rng(0xfa177000ULL ^ (a * 101 + i));
+
+      // Record-level damage on the parsed history...
+      FaultSummary injected;
+      const HistoryStore corrupted = inject_faults(
+          exp.history, FaultSpec::uniform(rate), rng, &injected);
+      // ...then text-level damage on its CSV serialization. (No ragged
+      // rows here: those are fatal at the CSV layer by design, which would
+      // end the sweep instead of measuring degradation.)
+      std::ostringstream text;
+      csv_write(text, corrupted.to_csv());
+      CsvFaultSpec text_spec;
+      text_spec.garbage_field_rate = rate * 0.1;
+      const std::string damaged =
+          corrupt_csv_text(text.str(), text_spec, rng);
+
+      std::cout << "        {\"rate\": " << rate << ", \"injected\": "
+                << injected.total();
+
+      // The full ingestion chain; any failure is reported, never thrown.
+      std::istringstream in(damaged);
+      const auto table = csv_read_checked(in);
+      if (!table) {
+        std::cout << ", \"trained\": false, \"error\": \""
+                  << json_escape(table.error().to_string()) << "\"}";
+      } else {
+        auto load = load_history_csv(exp.history.app_name(), *table);
+        if (!load) {
+          std::cout << ", \"trained\": false, \"error\": \""
+                    << json_escape(load.error().to_string()) << "\"}";
+        } else {
+          auto validated = validate_history(load->store);
+          if (!validated) {
+            std::cout << ", \"trained\": false, \"error\": \""
+                      << json_escape(validated.error().to_string()) << "\"}";
+          } else {
+            const HistoryStore& clean = validated->store;
+            const auto problem = make_problem(clean, clean.scales(),
+                                              exp.config.target_scales);
+            TwoLevelModel model;
+            Rng fit_rng(7);
+            auto fit = model.fit_checked(problem, fit_rng);
+            std::cout << ", \"parse_quarantined\": " << load->bad_rows.size()
+                      << ", \"validation_quarantined\": "
+                      << validated->report.num_quarantined()
+                      << ", \"configs\": " << problem.num_configs();
+            if (!fit) {
+              std::cout << ", \"trained\": false, \"error\": \""
+                        << json_escape(fit.error().to_string()) << "\"}";
+            } else {
+              const auto& report = *fit;
+              std::cout
+                  << ", \"trained\": true, \"clusters\": "
+                  << report.num_clusters << ", \"fallbacks\": {"
+                  << "\"cluster_multitask\": "
+                  << report.count_stage(FallbackStage::ClusterMultitask)
+                  << ", \"pooled_multitask\": "
+                  << report.count_stage(FallbackStage::PooledMultitask)
+                  << ", \"per_config_ols\": "
+                  << report.count_stage(FallbackStage::PerConfigOls)
+                  << ", \"amdahl_preset\": "
+                  << report.count_stage(FallbackStage::AmdahlPreset)
+                  << "}, \"mape\": "
+                  << pooled_mape(predict_matrix(model, exp.test),
+                                 exp.test.target_times)
+                  << "}";
+            }
+          }
+        }
+      }
+      std::cout << (i + 1 < rates.size() ? ",\n" : "\n");
+    }
+    std::cout << "      ]\n    }" << (a + 1 < apps.size() ? ",\n" : "\n");
+  }
+  std::cout << "  ]\n}\n";
+  return 0;
+}

@@ -112,6 +112,7 @@ KMeansResult lloyd(const Matrix& points, Matrix centroids,
     result.iterations = it + 1;
     result.inertia = inertia;
     if (prev_inertia - inertia <= opts.tol * std::max(1.0, prev_inertia)) {
+      result.converged = true;
       break;
     }
     prev_inertia = inertia;

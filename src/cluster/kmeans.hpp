@@ -25,6 +25,9 @@ struct KMeansResult {
   std::vector<std::size_t> labels;  ///< cluster per input row
   double inertia = 0.0;             ///< total within-cluster squared distance
   std::size_t iterations = 0;
+  /// False when Lloyd's iteration hit max_iter before the inertia
+  /// improvement fell below tol (for the winning restart).
+  bool converged = false;
 
   [[nodiscard]] std::size_t k() const noexcept { return centroids.rows(); }
 

@@ -7,7 +7,8 @@
 
 namespace hpcp {
 
-std::vector<std::string> csv_split_line(const std::string& line) {
+Expected<std::vector<std::string>> csv_split_line_checked(
+    const std::string& line) {
   std::vector<std::string> fields;
   std::string field;
   bool in_quotes = false;
@@ -33,12 +34,26 @@ std::vector<std::string> csv_split_line(const std::string& line) {
       field += c;
     }
   }
+  if (in_quotes) {
+    // Also how a quoted embedded newline presents to a line-based reader.
+    return Error{ErrorCode::Schema,
+                 "unterminated quote (quoted embedded newlines are "
+                 "unsupported by the line-based CSV reader)",
+                 ""};
+  }
   fields.push_back(std::move(field));
   return fields;
 }
 
+std::vector<std::string> csv_split_line(const std::string& line) {
+  return csv_split_line_checked(line).value_or_throw();
+}
+
 std::string csv_escape(const std::string& field) {
-  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  HPCP_REQUIRE(field.find('\n') == std::string::npos,
+               "embedded newlines cannot round-trip through the line-based "
+               "CSV reader");
+  if (field.find_first_of(",\"") == std::string::npos) return field;
   std::string out = "\"";
   for (const char c : field) {
     if (c == '"') out += "\"\"";
@@ -64,26 +79,54 @@ std::size_t CsvTable::column(const std::string& name) const {
   throw std::invalid_argument("CsvTable: no column named '" + name + "'");
 }
 
-CsvTable csv_read(std::istream& in) {
+Expected<CsvTable> csv_read_checked(std::istream& in) {
   CsvTable table;
   std::string line;
+  std::size_t line_no = 0;
   bool have_header = false;
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty() || line == "\r") continue;
-    auto fields = csv_split_line(line);
+    auto fields = csv_split_line_checked(line);
+    if (!fields.has_value()) {
+      Error error = fields.error();
+      error.context = "line " + std::to_string(line_no);
+      return error;
+    }
     if (!have_header) {
-      table.header = std::move(fields);
+      table.header = std::move(*fields);
       have_header = true;
+    } else if (fields->size() != table.header.size()) {
+      return Error{ErrorCode::Schema,
+                   "ragged row: " + std::to_string(fields->size()) +
+                       " field(s) where the header has " +
+                       std::to_string(table.header.size()),
+                   "line " + std::to_string(line_no)};
     } else {
-      HPCP_REQUIRE(fields.size() == table.header.size(),
-                   "CSV row width differs from header");
-      table.rows.push_back(std::move(fields));
+      table.rows.push_back(std::move(*fields));
     }
   }
   return table;
 }
 
+Expected<CsvTable> csv_read_file_checked(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Error{ErrorCode::Io, "cannot open CSV file", path};
+  auto table = csv_read_checked(in);
+  if (!table.has_value()) {
+    Error error = table.error();
+    error.context = path + ", " + error.context;
+    return error;
+  }
+  return table;
+}
+
+CsvTable csv_read(std::istream& in) {
+  return csv_read_checked(in).value_or_throw();
+}
+
 CsvTable csv_read_file(const std::string& path) {
+  // Preserve the historical error message for a missing file.
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open CSV file: " + path);
   return csv_read(in);

@@ -4,13 +4,24 @@
 #include <string>
 #include <vector>
 
+#include "src/common/error.hpp"
+
 /// \file csv.hpp
 /// Minimal CSV reading/writing for history persistence and bench output.
 /// Supports quoted fields with embedded commas and doubled quotes.
+///
+/// The reader is line-based: a quoted field that embeds a literal newline
+/// cannot be represented and presents to the parser as an *unterminated
+/// quote*, which is rejected explicitly (ErrorCode::Schema) rather than
+/// silently mis-parsed. csv_escape refuses to produce such fields.
 
 namespace hpcp {
 
-/// Split one CSV line into fields.
+/// Split one CSV line into fields; rejects unterminated quotes.
+[[nodiscard]] Expected<std::vector<std::string>> csv_split_line_checked(
+    const std::string& line);
+
+/// Throwing wrapper around csv_split_line_checked.
 [[nodiscard]] std::vector<std::string> csv_split_line(const std::string& line);
 
 /// Quote a field if it contains a comma, quote, or newline.
@@ -29,9 +40,17 @@ struct CsvTable {
 };
 
 /// Parse a whole stream. First line is the header. Blank lines are skipped.
+/// Reported errors (ErrorCode::Schema) carry 1-based line numbers:
+/// unterminated quotes and ragged rows (field count ≠ header width).
+[[nodiscard]] Expected<CsvTable> csv_read_checked(std::istream& in);
+
+/// Read a file: ErrorCode::Io when it cannot be opened, Schema as above.
+[[nodiscard]] Expected<CsvTable> csv_read_file_checked(const std::string& path);
+
+/// Throwing wrapper around csv_read_checked.
 [[nodiscard]] CsvTable csv_read(std::istream& in);
 
-/// Read a file; throws std::runtime_error if it cannot be opened.
+/// Throwing wrapper; std::runtime_error if the file cannot be opened.
 [[nodiscard]] CsvTable csv_read_file(const std::string& path);
 
 /// Write a table (header + rows) to a stream.

@@ -1,0 +1,151 @@
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "src/common/check.hpp"
+
+/// \file error.hpp
+/// Typed, recoverable errors for library entry points.
+///
+/// The library distinguishes three failure regimes:
+///   1. Programming errors (violated internal invariants) — HPCP_ASSERT,
+///      always throws std::logic_error; these are bugs, not conditions.
+///   2. Caller contract violations on in-process data (mismatched widths,
+///      unsorted scales) — HPCP_REQUIRE, throws std::invalid_argument.
+///   3. *Environmental* failures on data that crosses a trust boundary —
+///      files on disk, site execution logs, degenerate training sets.
+///      These are expected in production and must be recoverable: entry
+///      points that ingest external data return Expected<T> so a caller
+///      can quarantine, fall back, or report instead of dying.
+/// Throw-style wrappers are kept for convenience and backwards
+/// compatibility; they funnel through throw_error below.
+
+namespace hpcp {
+
+/// Failure taxonomy for recoverable errors.
+enum class ErrorCode {
+  BadData,       ///< records exist but are semantically invalid (NaN, ≤0…)
+  Degenerate,    ///< input is well-formed but too thin/ill-posed to use
+  NotConverged,  ///< an iterative solver hit its iteration cap
+  Io,            ///< file could not be opened/read/written
+  Schema,        ///< structural mismatch (header layout, column counts)
+};
+
+[[nodiscard]] constexpr const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::BadData: return "bad-data";
+    case ErrorCode::Degenerate: return "degenerate";
+    case ErrorCode::NotConverged: return "not-converged";
+    case ErrorCode::Io: return "io";
+    case ErrorCode::Schema: return "schema";
+  }
+  return "unknown";
+}
+
+/// A rich recoverable error: what failed, why, and where.
+struct Error {
+  ErrorCode code = ErrorCode::BadData;
+  std::string message;  ///< human-readable cause
+  std::string context;  ///< optional locus: file, row, cluster, solver…
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out = "[";
+    out += error_code_name(code);
+    out += "] ";
+    out += message;
+    if (!context.empty()) {
+      out += " (";
+      out += context;
+      out += ")";
+    }
+    return out;
+  }
+};
+
+/// Bridge from the recoverable world to the throwing wrappers: Io errors
+/// become std::runtime_error (matching the pre-existing file-I/O
+/// behaviour), everything else std::invalid_argument.
+[[noreturn]] inline void throw_error(const Error& error) {
+  if (error.code == ErrorCode::Io) {
+    throw std::runtime_error("hpcpredict: " + error.to_string());
+  }
+  throw std::invalid_argument("hpcpredict: " + error.to_string());
+}
+
+/// Minimal result type (std::expected is C++23; this library is C++20).
+/// Holds either a T or an Error. Accessing the wrong side is a programming
+/// error and asserts.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : value_(std::move(value)) {}  // NOLINT(*-explicit-*)
+  Expected(Error error) : error_(std::move(error)) {}  // NOLINT(*-explicit-*)
+
+  [[nodiscard]] bool has_value() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] T& value() & {
+    HPCP_ASSERT(has_value(), "Expected::value() on an error result");
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    HPCP_ASSERT(has_value(), "Expected::value() on an error result");
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    HPCP_ASSERT(has_value(), "Expected::value() on an error result");
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] const Error& error() const {
+    HPCP_ASSERT(!has_value(), "Expected::error() on a success result");
+    return *error_;
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return has_value() ? *value_ : std::move(fallback);
+  }
+
+  /// Unwrap or throw (for the legacy throwing entry points).
+  T&& value_or_throw() && {
+    if (!has_value()) throw_error(*error_);
+    return std::move(*value_);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  std::optional<T> value_;
+  std::optional<Error> error_;
+};
+
+/// Expected<void>: success carries no payload.
+template <>
+class Expected<void> {
+ public:
+  Expected() = default;
+  Expected(Error error) : error_(std::move(error)) {}  // NOLINT(*-explicit-*)
+
+  [[nodiscard]] bool has_value() const noexcept { return !error_.has_value(); }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] const Error& error() const {
+    HPCP_ASSERT(!has_value(), "Expected::error() on a success result");
+    return *error_;
+  }
+
+  void value_or_throw() const {
+    if (!has_value()) throw_error(*error_);
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace hpcp

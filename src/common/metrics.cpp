@@ -16,9 +16,18 @@ void require_paired(std::span<const double> truth,
   HPCP_REQUIRE(!truth.empty(), "error metric of empty range");
 }
 
+void require_finite(std::span<const double> truth,
+                    std::span<const double> pred) {
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    HPCP_REQUIRE(std::isfinite(truth[i]) && std::isfinite(pred[i]),
+                 "error metric over non-finite input — quarantine upstream");
+  }
+}
+
 std::vector<double> abs_percentage_errors(std::span<const double> truth,
                                           std::span<const double> pred) {
   require_paired(truth, pred);
+  require_finite(truth, pred);
   std::vector<double> ape(truth.size());
   for (std::size_t i = 0; i < truth.size(); ++i) {
     HPCP_REQUIRE(truth[i] != 0.0, "percentage error undefined for zero truth");
@@ -27,6 +36,32 @@ std::vector<double> abs_percentage_errors(std::span<const double> truth,
   return ape;
 }
 }  // namespace
+
+Expected<double> mape_checked(std::span<const double> truth,
+                              std::span<const double> pred,
+                              const MapeOptions& opts, std::size_t* used) {
+  if (truth.size() != pred.size()) {
+    return Error{ErrorCode::BadData,
+                 "truth and prediction must have equal length", "mape"};
+  }
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (!std::isfinite(truth[i]) || !std::isfinite(pred[i])) {
+      return Error{ErrorCode::BadData, "non-finite input",
+                   "mape, pair " + std::to_string(i)};
+    }
+    if (std::abs(truth[i]) < opts.min_abs_truth) continue;
+    acc += 100.0 * std::abs(pred[i] - truth[i]) / std::abs(truth[i]);
+    ++n;
+  }
+  if (used != nullptr) *used = n;
+  if (n == 0) {
+    return Error{ErrorCode::Degenerate,
+                 "no pair with |truth| above the epsilon floor", "mape"};
+  }
+  return acc / static_cast<double>(n);
+}
 
 double mape(std::span<const double> truth, std::span<const double> pred) {
   const auto ape = abs_percentage_errors(truth, pred);
@@ -40,6 +75,7 @@ double mdape(std::span<const double> truth, std::span<const double> pred) {
 
 double mpe(std::span<const double> truth, std::span<const double> pred) {
   require_paired(truth, pred);
+  require_finite(truth, pred);
   double acc = 0.0;
   for (std::size_t i = 0; i < truth.size(); ++i) {
     HPCP_REQUIRE(truth[i] != 0.0, "percentage error undefined for zero truth");
@@ -50,6 +86,7 @@ double mpe(std::span<const double> truth, std::span<const double> pred) {
 
 double rmse(std::span<const double> truth, std::span<const double> pred) {
   require_paired(truth, pred);
+  require_finite(truth, pred);
   double acc = 0.0;
   for (std::size_t i = 0; i < truth.size(); ++i) {
     const double d = pred[i] - truth[i];
@@ -60,6 +97,7 @@ double rmse(std::span<const double> truth, std::span<const double> pred) {
 
 double mae(std::span<const double> truth, std::span<const double> pred) {
   require_paired(truth, pred);
+  require_finite(truth, pred);
   double acc = 0.0;
   for (std::size_t i = 0; i < truth.size(); ++i) {
     acc += std::abs(pred[i] - truth[i]);
@@ -69,6 +107,7 @@ double mae(std::span<const double> truth, std::span<const double> pred) {
 
 double r_squared(std::span<const double> truth, std::span<const double> pred) {
   require_paired(truth, pred);
+  require_finite(truth, pred);
   const double m = mean(truth);
   double ss_res = 0.0, ss_tot = 0.0;
   for (std::size_t i = 0; i < truth.size(); ++i) {

@@ -2,19 +2,45 @@
 
 #include <span>
 
+#include "src/common/error.hpp"
+
 /// \file metrics.hpp
 /// Regression-error metrics used throughout the evaluation.
 ///
 /// Performance-modeling papers (including the one reproduced here) report
 /// relative errors, because runtimes span orders of magnitude across
 /// configurations and scales. The primary metric is MAPE.
+///
+/// Input policy: all metrics require *finite* inputs — a NaN or Inf in
+/// either series is a data defect that must be quarantined upstream, not
+/// silently averaged into a report. The throwing entry points reject such
+/// inputs; mape_checked returns a typed error instead.
 
 namespace hpcp {
 
 /// Mean absolute percentage error, in percent:
-/// 100/n * Σ |pred_i - truth_i| / |truth_i|. Requires truth_i != 0.
+/// 100/n * Σ |pred_i - truth_i| / |truth_i|. Requires truth_i != 0 and
+/// finite inputs.
 [[nodiscard]] double mape(std::span<const double> truth,
                           std::span<const double> pred);
+
+/// Epsilon policy for mape_checked: pairs whose |truth| falls below
+/// min_abs_truth are *excluded* from the mean (a percentage error against
+/// a ~zero runtime is meaningless noise, and one such pair would otherwise
+/// dominate the report as ±Inf).
+struct MapeOptions {
+  double min_abs_truth = 1e-12;
+};
+
+/// Recoverable MAPE over possibly-hostile data:
+///   - BadData if any input is NaN/Inf;
+///   - pairs with |truth| < opts.min_abs_truth are skipped;
+///   - Degenerate if no pair survives the epsilon policy.
+/// `used` (optional) reports how many pairs entered the mean.
+[[nodiscard]] Expected<double> mape_checked(std::span<const double> truth,
+                                            std::span<const double> pred,
+                                            const MapeOptions& opts = {},
+                                            std::size_t* used = nullptr);
 
 /// Median absolute percentage error, in percent (robust to outliers).
 [[nodiscard]] double mdape(std::span<const double> truth,

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <optional>
+#include <string>
 
 #include "src/cluster/curve_features.hpp"
 #include "src/common/check.hpp"
@@ -47,12 +49,133 @@ std::vector<std::size_t> cap_support(const Matrix& w,
   return out;
 }
 
+/// Outcome of one multitask shared-support selection. `ok == false` means
+/// the fallback chain must advance; `fail_reason` says why.
+struct SupportAttempt {
+  bool ok = false;
+  std::vector<std::size_t> support;
+  double lambda = 0.0;
+  std::string fail_reason;
+};
+
+/// Shared-support selection for one set of configurations (a cluster, or
+/// all of them pooled): normalise each member curve by its geometric mean,
+/// pick λ by leave-largest-scale-out, fit, cap the support. Reports — not
+/// throws — solver non-convergence and degeneracy so callers can degrade.
+SupportAttempt attempt_multitask_support(
+    const Matrix& design, const Matrix& small_times,
+    const std::vector<std::size_t>& members, std::size_t max_support,
+    const ExtrapolationLevelOptions& opts) {
+  SupportAttempt out;
+  const std::size_t k = small_times.cols();
+
+  // Task matrix: rows = small scales (samples), columns = configurations
+  // (tasks). Runtimes enter raw so the basis terms combine additively,
+  // exactly like the cost mechanisms they model. Each task is normalised by
+  // its geometric mean so large configurations do not dominate the
+  // shared-support selection.
+  Matrix y(k, members.size());
+  for (std::size_t t = 0; t < members.size(); ++t) {
+    double log_mean = 0.0;
+    for (std::size_t s = 0; s < k; ++s) {
+      log_mean += std::log(std::max(small_times(members[t], s), 1e-12));
+    }
+    const double scale = std::exp(log_mean / static_cast<double>(k));
+    for (std::size_t s = 0; s < k; ++s) {
+      y(s, t) = small_times(members[t], s) / scale;
+    }
+  }
+
+  // λ by leave-largest-scale-out: fit on the k−1 smallest scales, validate
+  // the prediction of the largest — a direct proxy for the extrapolation
+  // use of the model.
+  const double lmax = multitask_lambda_max(design, y);
+  if (!std::isfinite(lmax)) {
+    out.fail_reason = "lambda_max is non-finite (degenerate task matrix)";
+    return out;
+  }
+  double best_lambda = std::max(lmax, 1e-12) * 1e-2;
+  if (k >= 3 && lmax > 0.0) {
+    std::vector<std::size_t> fit_rows(k - 1);
+    std::iota(fit_rows.begin(), fit_rows.end(), std::size_t{0});
+    const Matrix phi_fit = design.select_rows(fit_rows);
+    const Matrix y_fit = y.select_rows(fit_rows);
+    const auto held_phi = design.row(k - 1);
+    const auto grid = lambda_grid(lmax, opts.lambda_grid_size);
+    std::vector<double> errs(grid.size());
+    double best_err = std::numeric_limits<double>::infinity();
+    for (std::size_t g = 0; g < grid.size(); ++g) {
+      const auto model =
+          fit_multitask_lasso(phi_fit, y_fit, {.lambda = grid[g]});
+      const auto pred = model.predict(held_phi);
+      double err = 0.0;
+      for (std::size_t t = 0; t < members.size(); ++t) {
+        const double truth = y(k - 1, t);
+        const double rel = (pred[t] - truth) / truth;
+        err += rel * rel;
+      }
+      if (!std::isfinite(err)) err = std::numeric_limits<double>::infinity();
+      errs[g] = err;
+      best_err = std::min(best_err, err);
+    }
+    if (!std::isfinite(best_err)) {
+      out.fail_reason =
+          "lambda search degenerate: no finite validation error on the "
+          "held-out scale";
+      return out;
+    }
+    // One-standard-error-style rule: the grid is descending in λ, so the
+    // first λ within (1 + slack) of the best error is the sparsest
+    // acceptable scaling law.
+    for (std::size_t g = 0; g < grid.size(); ++g) {
+      if (errs[g] <= best_err * (1.0 + opts.lambda_slack)) {
+        best_lambda = grid[g];
+        break;
+      }
+    }
+  }
+
+  // The final fit runs once per cluster on a tiny design (|scales| rows),
+  // so it gets a generous iteration budget and a tolerance matched to
+  // support selection (the coefficients only need to be settled enough that
+  // the active set is stable). Failing to converge under *these* limits
+  // marks a genuinely stuck solver, not an impatient caller.
+  MultiTaskFitInfo info;
+  const auto model = fit_multitask_lasso(
+      design, y, {.lambda = best_lambda, .max_iter = 100'000, .tol = 1e-5},
+      &info);
+  if (!info.converged) {
+    out.fail_reason = "multitask lasso hit its iteration cap (" +
+                      std::to_string(info.iterations) + " iterations)";
+    return out;
+  }
+  auto support = model.support();
+  support = cap_support(model.weights(), std::move(support), max_support);
+  if (support.empty()) {
+    out.fail_reason = "l2,1 penalty shrank every basis term to zero";
+    return out;
+  }
+  out.ok = true;
+  out.support = std::move(support);
+  out.lambda = best_lambda;
+  return out;
+}
+
+/// The per-config power-law fallback needs at least two distinct scales to
+/// identify an exponent.
+std::size_t count_distinct(std::span<const std::size_t> values) {
+  std::vector<std::size_t> v(values.begin(), values.end());
+  std::sort(v.begin(), v.end());
+  return static_cast<std::size_t>(
+      std::distance(v.begin(), std::unique(v.begin(), v.end())));
+}
+
 }  // namespace
 
 void ExtrapolationLevel::fit(const Matrix& small_times,
                              std::span<const std::size_t> small_scales,
                              std::span<const std::size_t> target_scales,
-                             Rng& rng) {
+                             Rng& rng, TrainReport* report) {
   HPCP_REQUIRE(small_times.rows() >= 1, "need at least one configuration");
   HPCP_REQUIRE(small_scales.size() >= 2, "need at least two small scales");
   HPCP_REQUIRE(small_times.cols() == small_scales.size(),
@@ -91,14 +214,49 @@ void ExtrapolationLevel::fit(const Matrix& small_times,
     --num_clusters;
   }
 
+  if (report != nullptr) {
+    *report = TrainReport{};
+    report->num_configs = n;
+    report->num_clusters = clustering_.k();
+    report->clustering_converged = clustering_.converged;
+    if (!clustering_.converged) {
+      report->warnings.push_back("k-means hit its iteration cap");
+    }
+  }
+
   // --- per-cluster shared-support selection (multitask lasso) ---
   cluster_supports_.assign(clustering_.k(), {});
   cluster_lambdas_.assign(clustering_.k(), 0.0);
+  cluster_stages_.assign(clustering_.k(), FallbackStage::ClusterMultitask);
   if (!opts_.multitask) {
     // Single-task mode selects supports per curve at prediction time.
+    if (report != nullptr) {
+      for (std::size_t c = 0; c < clustering_.k(); ++c) {
+        ClusterTrainInfo info;
+        info.cluster = c;
+        info.num_members = clustering_.cluster_sizes()[c];
+        info.reason = "single-task ablation: support chosen per curve at "
+                      "prediction time";
+        report->clusters.push_back(std::move(info));
+      }
+    }
     fitted_ = true;
     return;
   }
+
+  // Pooled fallback support, computed at most once: one multitask lasso
+  // over *all* configurations, used by any cluster whose own fit failed.
+  std::optional<SupportAttempt> pooled;
+  const auto pooled_attempt = [&]() -> const SupportAttempt& {
+    if (!pooled) {
+      std::vector<std::size_t> all(n);
+      std::iota(all.begin(), all.end(), std::size_t{0});
+      pooled = attempt_multitask_support(design_, small_times, all,
+                                         max_support, opts_);
+    }
+    return *pooled;
+  };
+  const bool power_law_feasible = count_distinct(small_scales_) >= 2;
 
   for (std::size_t c = 0; c < clustering_.k(); ++c) {
     std::vector<std::size_t> members;
@@ -107,72 +265,39 @@ void ExtrapolationLevel::fit(const Matrix& small_times,
     }
     HPCP_ASSERT(!members.empty(), "kmeans produced an empty cluster");
 
-    // Task matrix: rows = small scales (samples), columns = configurations
-    // (tasks). Tasks are log-scaled... no: runtimes enter raw so the basis
-    // terms combine additively, exactly like the cost mechanisms they
-    // model. Each task is normalised by its geometric mean so large
-    // configurations do not dominate the shared-support selection.
-    Matrix y(k, members.size());
-    for (std::size_t t = 0; t < members.size(); ++t) {
-      double log_mean = 0.0;
-      for (std::size_t s = 0; s < k; ++s) {
-        log_mean += std::log(std::max(small_times(members[t], s), 1e-12));
-      }
-      const double scale = std::exp(log_mean / static_cast<double>(k));
-      for (std::size_t s = 0; s < k; ++s) {
-        y(s, t) = small_times(members[t], s) / scale;
-      }
+    ClusterTrainInfo info;
+    info.cluster = c;
+    info.num_members = members.size();
+
+    // Walk the degradation ladder: own multitask → pooled multitask →
+    // per-config power law → Amdahl preset. Stop at the first usable rung.
+    auto own = attempt_multitask_support(design_, small_times, members,
+                                         max_support, opts_);
+    if (own.ok) {
+      info.stage = FallbackStage::ClusterMultitask;
+      info.support = own.support;
+      info.lambda = own.lambda;
+    } else if (const auto& p = pooled_attempt(); p.ok) {
+      info.stage = FallbackStage::PooledMultitask;
+      info.support = p.support;
+      info.lambda = p.lambda;
+      info.reason = own.fail_reason + "; reusing the pooled support";
+    } else if (power_law_feasible) {
+      info.stage = FallbackStage::PerConfigOls;
+      info.reason = own.fail_reason + "; pooled fit also failed (" +
+                    pooled_attempt().fail_reason + ")";
+    } else {
+      info.stage = FallbackStage::AmdahlPreset;
+      info.support = {0};  // "1/p" plus intercept
+      info.reason = own.fail_reason +
+                    "; power law unidentifiable with a single distinct "
+                    "small scale";
     }
 
-    // λ by leave-largest-scale-out: fit on the k−1 smallest scales,
-    // validate the prediction of the largest — a direct proxy for the
-    // extrapolation use of the model.
-    const double lmax = multitask_lambda_max(design_, y);
-    double best_lambda = std::max(lmax, 1e-12) * 1e-2;
-    if (k >= 3 && lmax > 0.0) {
-      std::vector<std::size_t> fit_rows(k - 1);
-      std::iota(fit_rows.begin(), fit_rows.end(), std::size_t{0});
-      const Matrix phi_fit = design_.select_rows(fit_rows);
-      const Matrix y_fit = y.select_rows(fit_rows);
-      const auto held_phi = design_.row(k - 1);
-      const auto grid = lambda_grid(lmax, opts_.lambda_grid_size);
-      std::vector<double> errs(grid.size());
-      double best_err = std::numeric_limits<double>::infinity();
-      for (std::size_t g = 0; g < grid.size(); ++g) {
-        const auto model =
-            fit_multitask_lasso(phi_fit, y_fit, {.lambda = grid[g]});
-        const auto pred = model.predict(held_phi);
-        double err = 0.0;
-        for (std::size_t t = 0; t < members.size(); ++t) {
-          const double truth = y(k - 1, t);
-          const double rel = (pred[t] - truth) / truth;
-          err += rel * rel;
-        }
-        errs[g] = err;
-        best_err = std::min(best_err, err);
-      }
-      // One-standard-error-style rule: the grid is descending in λ, so the
-      // first λ within (1 + slack) of the best error is the sparsest
-      // acceptable scaling law.
-      for (std::size_t g = 0; g < grid.size(); ++g) {
-        if (errs[g] <= best_err * (1.0 + opts_.lambda_slack)) {
-          best_lambda = grid[g];
-          break;
-        }
-      }
-    }
-
-    const auto model =
-        fit_multitask_lasso(design_, y, {.lambda = best_lambda});
-    auto support = model.support();
-    support = cap_support(model.weights(), std::move(support), max_support);
-    if (support.empty()) {
-      // Shrunk to intercept-only: fall back to the perfectly-parallel term,
-      // the single most common mechanism.
-      support.push_back(0);  // "1/p"
-    }
-    cluster_supports_[c] = std::move(support);
-    cluster_lambdas_[c] = best_lambda;
+    cluster_supports_[c] = info.support;
+    cluster_lambdas_[c] = info.lambda;
+    cluster_stages_[c] = info.stage;
+    if (report != nullptr) report->clusters.push_back(std::move(info));
   }
   fitted_ = true;
 }
@@ -263,19 +388,71 @@ double ExtrapolationLevel::eval_fit(const CurveFit& fit, double p) const {
   return std::max(acc, 1e-9);
 }
 
+double ExtrapolationLevel::eval_power_law(std::span<const double> curve,
+                                          double p) const {
+  // Log–log OLS of the query curve: log t = log a + b·log p. The weakest
+  // model that still extrapolates — used only when every multitask support
+  // selection failed (FallbackStage::PerConfigOls).
+  const std::size_t k = small_scales_.size();
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    mean_x += std::log(static_cast<double>(small_scales_[i]));
+    mean_y += std::log(std::max(curve[i], 1e-12));
+  }
+  mean_x /= static_cast<double>(k);
+  mean_y /= static_cast<double>(k);
+  double var = 0.0;
+  double cov = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double dx = std::log(static_cast<double>(small_scales_[i])) - mean_x;
+    const double dy = std::log(std::max(curve[i], 1e-12)) - mean_y;
+    var += dx * dx;
+    cov += dx * dy;
+  }
+  const double b = var > 0.0 ? cov / var : 0.0;
+  const double log_pred = mean_y + b * (std::log(p) - mean_x);
+  return std::max(std::exp(log_pred), 1e-9);
+}
+
+double ExtrapolationLevel::predict_one(std::span<const double> small_curve,
+                                       double p) const {
+  std::vector<std::size_t> support;
+  if (opts_.multitask) {
+    const std::size_t c = assign_cluster(small_curve);
+    if (cluster_stages_[c] == FallbackStage::PerConfigOls) {
+      return eval_power_law(small_curve, p);
+    }
+    support = cluster_supports_[c];
+  } else {
+    support = select_support_single(small_curve);
+  }
+  return eval_fit(fit_curve(small_curve, support), p);
+}
+
 std::vector<double> ExtrapolationLevel::predict(
     std::span<const double> small_curve) const {
   HPCP_REQUIRE(fitted_, "predict before fit");
   HPCP_REQUIRE(small_curve.size() == small_scales_.size(),
                "curve width must match small-scale count");
-  std::vector<std::size_t> support;
-  if (opts_.multitask) {
-    support = cluster_supports_[assign_cluster(small_curve)];
-  } else {
-    support = select_support_single(small_curve);
-  }
-  const CurveFit fit = fit_curve(small_curve, support);
   std::vector<double> pred(target_scales_.size());
+  if (opts_.multitask) {
+    const std::size_t c = assign_cluster(small_curve);
+    if (cluster_stages_[c] == FallbackStage::PerConfigOls) {
+      for (std::size_t t = 0; t < target_scales_.size(); ++t) {
+        pred[t] = eval_power_law(small_curve,
+                                 static_cast<double>(target_scales_[t]));
+      }
+      return pred;
+    }
+    const CurveFit fit = fit_curve(small_curve, cluster_supports_[c]);
+    for (std::size_t t = 0; t < target_scales_.size(); ++t) {
+      pred[t] = eval_fit(fit, static_cast<double>(target_scales_[t]));
+    }
+    return pred;
+  }
+  const CurveFit fit =
+      fit_curve(small_curve, select_support_single(small_curve));
   for (std::size_t t = 0; t < target_scales_.size(); ++t) {
     pred[t] = eval_fit(fit, static_cast<double>(target_scales_[t]));
   }
@@ -285,14 +462,7 @@ std::vector<double> ExtrapolationLevel::predict(
 double ExtrapolationLevel::predict_at_scale(
     std::span<const double> small_curve, std::size_t nprocs) const {
   HPCP_REQUIRE(fitted_, "predict before fit");
-  std::vector<std::size_t> support;
-  if (opts_.multitask) {
-    support = cluster_supports_[assign_cluster(small_curve)];
-  } else {
-    support = select_support_single(small_curve);
-  }
-  const CurveFit fit = fit_curve(small_curve, support);
-  return eval_fit(fit, static_cast<double>(nprocs));
+  return predict_one(small_curve, static_cast<double>(nprocs));
 }
 
 std::vector<std::string> ExtrapolationLevel::support_names(
@@ -304,6 +474,12 @@ std::vector<std::string> ExtrapolationLevel::support_names(
     names.push_back(basis_.term_name(j));
   }
   return names;
+}
+
+FallbackStage ExtrapolationLevel::cluster_stage(std::size_t c) const {
+  HPCP_REQUIRE(fitted_, "cluster_stage before fit");
+  HPCP_REQUIRE(c < cluster_stages_.size(), "cluster index out of range");
+  return cluster_stages_[c];
 }
 
 void ExtrapolationLevel::save(Serializer& out) const {
@@ -324,6 +500,12 @@ void ExtrapolationLevel::save(Serializer& out) const {
   out.write(static_cast<std::size_t>(cluster_supports_.size()));
   for (const auto& support : cluster_supports_) out.write(support);
   out.write(cluster_lambdas_);
+  std::vector<std::size_t> stages;
+  stages.reserve(cluster_stages_.size());
+  for (const FallbackStage s : cluster_stages_) {
+    stages.push_back(static_cast<std::size_t>(s));
+  }
+  out.write(stages);
 }
 
 ExtrapolationLevel ExtrapolationLevel::load(Deserializer& in) {
@@ -342,6 +524,13 @@ ExtrapolationLevel ExtrapolationLevel::load(Deserializer& in) {
   level.cluster_supports_.resize(in.read_size());
   for (auto& support : level.cluster_supports_) support = in.read_sizes();
   level.cluster_lambdas_ = in.read_doubles();
+  const auto stage_codes = in.read_sizes();
+  level.cluster_stages_.reserve(stage_codes.size());
+  for (const std::size_t code : stage_codes) {
+    HPCP_REQUIRE(code <= static_cast<std::size_t>(FallbackStage::AmdahlPreset),
+                 "corrupt archive: unknown fallback stage");
+    level.cluster_stages_.push_back(static_cast<FallbackStage>(code));
+  }
   if (level.fitted_) {
     level.design_ = level.basis_.design(level.small_scales_);
   }

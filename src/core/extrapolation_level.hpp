@@ -6,6 +6,7 @@
 #include "src/cluster/kmeans.hpp"
 #include "src/common/rng.hpp"
 #include "src/core/scaling_basis.hpp"
+#include "src/core/train_report.hpp"
 #include "src/linear/matrix.hpp"
 
 /// \file extrapolation_level.hpp
@@ -69,9 +70,15 @@ class ExtrapolationLevel {
 
   /// Fit from training curves (rows = configurations, columns = small
   /// scales, all positive). Requires at least 2 small scales.
+  ///
+  /// Each cluster walks the FallbackStage chain (cluster multitask →
+  /// pooled multitask → per-config log–log OLS → Amdahl preset) instead of
+  /// failing when its multitask lasso is unusable; pass `report` to learn
+  /// which stage each cluster landed on and why.
   void fit(const Matrix& small_times,
            std::span<const std::size_t> small_scales,
-           std::span<const std::size_t> target_scales, Rng& rng);
+           std::span<const std::size_t> target_scales, Rng& rng,
+           TrainReport* report = nullptr);
 
   /// Predicted target-scale runtimes for one small-scale curve.
   [[nodiscard]] std::vector<double> predict(
@@ -95,6 +102,8 @@ class ExtrapolationLevel {
   }
   /// Names of the basis terms in cluster c's shared support.
   [[nodiscard]] std::vector<std::string> support_names(std::size_t c) const;
+  /// Fallback stage cluster c's scaling law was trained with.
+  [[nodiscard]] FallbackStage cluster_stage(std::size_t c) const;
   [[nodiscard]] const ExtrapolationLevelOptions& options() const noexcept {
     return opts_;
   }
@@ -129,6 +138,16 @@ class ExtrapolationLevel {
 
   [[nodiscard]] double eval_fit(const CurveFit& fit, double p) const;
 
+  /// PerConfigOls fallback: log–log power law t ≈ a·p^b fitted to `curve`
+  /// over the small scales, evaluated at scale p.
+  [[nodiscard]] double eval_power_law(std::span<const double> curve,
+                                      double p) const;
+
+  /// Predicted runtime of one curve at scale p, honouring the cluster's
+  /// fallback stage.
+  [[nodiscard]] double predict_one(std::span<const double> small_curve,
+                                   double p) const;
+
   ExtrapolationLevelOptions opts_{};
   ScalingBasis basis_{};
   bool fitted_ = false;
@@ -138,6 +157,9 @@ class ExtrapolationLevel {
   KMeansResult clustering_;
   std::vector<std::vector<std::size_t>> cluster_supports_;
   std::vector<double> cluster_lambdas_;  ///< chosen λ per cluster (diagnostic)
+  /// Which rung of the degradation ladder each cluster trained on. Empty
+  /// supports are only legal for PerConfigOls (support chosen per query).
+  std::vector<FallbackStage> cluster_stages_;
 };
 
 }  // namespace hpcp

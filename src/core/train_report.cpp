@@ -1,0 +1,53 @@
+#include "src/core/train_report.hpp"
+
+#include <sstream>
+
+namespace hpcp {
+
+const char* fallback_stage_name(FallbackStage stage) noexcept {
+  switch (stage) {
+    case FallbackStage::ClusterMultitask:
+      return "cluster-multitask";
+    case FallbackStage::PooledMultitask:
+      return "pooled-multitask";
+    case FallbackStage::PerConfigOls:
+      return "per-config-ols";
+    case FallbackStage::AmdahlPreset:
+      return "amdahl-preset";
+  }
+  return "unknown";
+}
+
+bool TrainReport::fully_nominal() const noexcept {
+  if (!warnings.empty() || !clustering_converged) return false;
+  for (const auto& c : clusters) {
+    if (c.stage != FallbackStage::ClusterMultitask) return false;
+  }
+  return true;
+}
+
+std::size_t TrainReport::count_stage(FallbackStage stage) const noexcept {
+  std::size_t n = 0;
+  for (const auto& c : clusters) {
+    if (c.stage == stage) ++n;
+  }
+  return n;
+}
+
+std::string TrainReport::summary() const {
+  std::ostringstream out;
+  out << "trained on " << num_configs << " configuration(s) in "
+      << num_clusters << " cluster(s)";
+  if (!clustering_converged) out << " (clustering hit its iteration cap)";
+  out << '\n';
+  for (const auto& c : clusters) {
+    out << "  cluster " << c.cluster << " (" << c.num_members
+        << " member(s)): " << fallback_stage_name(c.stage);
+    if (!c.reason.empty()) out << " — " << c.reason;
+    out << '\n';
+  }
+  for (const auto& w : warnings) out << "  warning: " << w << '\n';
+  return out.str();
+}
+
+}  // namespace hpcp

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+/// \file train_report.hpp
+/// Structured account of what the model training actually did.
+///
+/// The extrapolation level degrades gracefully instead of failing: when the
+/// preferred per-cluster multitask lasso cannot produce a usable scaling
+/// law, it walks a fallback chain (see FallbackStage). Each step trades
+/// statistical strength for robustness, and silent degradation would make
+/// predictions look authoritative when they are not — so every cluster
+/// records which stage it landed on and why, and TwoLevelModel::fit_checked
+/// hands the whole account back to the caller.
+
+namespace hpcp {
+
+/// The degradation ladder, strongest first. Training tries each stage in
+/// order and stops at the first one that yields a usable model.
+enum class FallbackStage {
+  /// Nominal path: shared-support multitask lasso over the cluster's
+  /// configurations (the paper's method).
+  ClusterMultitask,
+  /// The cluster was unusable (too few members, solver did not converge,
+  /// degenerate λ search): reuse the support selected by one multitask
+  /// lasso pooled over *all* configurations.
+  PooledMultitask,
+  /// No multitask support anywhere: fit a log–log power law t ≈ a·p^b to
+  /// each query curve at prediction time (per-configuration OLS).
+  PerConfigOls,
+  /// Even a power law is unidentifiable (e.g. a single distinct small
+  /// scale): fall back to the perfectly-parallel Amdahl-style preset,
+  /// support = {"1/p"} plus an intercept.
+  AmdahlPreset,
+};
+
+[[nodiscard]] const char* fallback_stage_name(FallbackStage stage) noexcept;
+
+/// What training did for one scaling-behaviour cluster.
+struct ClusterTrainInfo {
+  std::size_t cluster = 0;
+  std::size_t num_members = 0;
+  FallbackStage stage = FallbackStage::ClusterMultitask;
+  /// Empty on the nominal path; otherwise why the chain advanced.
+  std::string reason;
+  /// Selected basis-term indices (empty for PerConfigOls — its support is
+  /// chosen per query at prediction time).
+  std::vector<std::size_t> support;
+  double lambda = 0.0;  ///< chosen ℓ2,1 penalty (0 when not applicable)
+};
+
+/// Full training account for a fitted two-level model.
+struct TrainReport {
+  std::size_t num_configs = 0;
+  std::size_t num_clusters = 0;
+  bool clustering_converged = true;
+  std::vector<ClusterTrainInfo> clusters;
+  /// Non-fatal oddities (solver iteration caps, re-clustering retries...)
+  /// that did not advance the fallback chain but deserve eyeballs.
+  std::vector<std::string> warnings;
+
+  /// True when every cluster trained on the nominal path and no warnings
+  /// were recorded.
+  [[nodiscard]] bool fully_nominal() const noexcept;
+
+  /// Count of clusters that landed on `stage`.
+  [[nodiscard]] std::size_t count_stage(FallbackStage stage) const noexcept;
+
+  /// Human-readable multi-line summary for logs and the CLI.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace hpcp

@@ -10,7 +10,42 @@
 namespace hpcp {
 
 void TwoLevelModel::fit(const ExtrapolationProblem& problem, Rng& rng) {
-  problem.validate();
+  auto result = fit_checked(problem, rng);
+  if (!result) throw_error(result.error());
+}
+
+Expected<TrainReport> TwoLevelModel::fit_checked(
+    const ExtrapolationProblem& problem, Rng& rng) {
+  // The problem sits at the trust boundary (it is distilled from history
+  // files): shape and value defects come back as typed errors, not throws.
+  try {
+    problem.validate();
+  } catch (const std::exception& e) {
+    return Error{ErrorCode::BadData, e.what(), "problem validation"};
+  }
+  if (problem.num_configs() == 0) {
+    return Error{ErrorCode::Degenerate,
+                 "no complete training configurations survived ingestion", ""};
+  }
+  for (std::size_t r = 0; r < problem.train_configs.rows(); ++r) {
+    for (std::size_t c = 0; c < problem.train_configs.cols(); ++c) {
+      if (!std::isfinite(problem.train_configs(r, c))) {
+        return Error{ErrorCode::BadData, "non-finite input parameter",
+                     "config " + std::to_string(r) + ", param " +
+                         std::to_string(c)};
+      }
+    }
+    for (std::size_t s = 0; s < problem.train_small_times.cols(); ++s) {
+      const double t = problem.train_small_times(r, s);
+      if (!std::isfinite(t) || t <= 0.0) {
+        return Error{ErrorCode::BadData,
+                     "small-scale runtime must be finite and positive",
+                     "config " + std::to_string(r) + ", scale index " +
+                         std::to_string(s)};
+      }
+    }
+  }
+
   interpolation_ =
       InterpolationLevel(opts_.forest, opts_.log_interpolation_target);
   interpolation_.fit(problem, rng);
@@ -26,8 +61,9 @@ void TwoLevelModel::fit(const ExtrapolationProblem& problem, Rng& rng) {
 
   extrapolation_ = ExtrapolationLevel(opts_.extrapolation);
   extrapolation_.fit(curves, problem.small_scales, problem.target_scales,
-                     rng);
+                     rng, &train_report_);
   calibration_log_ratios_.assign(extrapolation_.num_clusters(), {});
+  return train_report_;
 }
 
 double TwoLevelModel::calibration_factor(std::size_t cluster) const {

@@ -2,9 +2,11 @@
 
 #include <string>
 
+#include "src/common/error.hpp"
 #include "src/core/extrapolation_level.hpp"
 #include "src/core/extrapolation_model.hpp"
 #include "src/core/interpolation_level.hpp"
+#include "src/core/train_report.hpp"
 
 /// \file two_level_model.hpp
 /// The paper's contribution: the two-level performance-extrapolation model.
@@ -59,7 +61,23 @@ class TwoLevelModel final : public ExtrapolationModel {
     return opts_.display_name;
   }
 
+  /// Throwing wrapper over fit_checked (ExtrapolationModel contract).
   void fit(const ExtrapolationProblem& problem, Rng& rng) override;
+
+  /// Fit without throwing on bad *data*: returns BadData for non-finite
+  /// parameters or non-positive small-scale runtimes, Degenerate when no
+  /// training configurations survive, and otherwise a TrainReport saying
+  /// which fallback stage every scaling-behaviour cluster landed on.
+  /// Programming errors (shape mismatches between already-validated
+  /// members) still assert.
+  [[nodiscard]] Expected<TrainReport> fit_checked(
+      const ExtrapolationProblem& problem, Rng& rng);
+
+  /// Training account of the last successful fit (default-constructed
+  /// before any fit; not persisted by save/load).
+  [[nodiscard]] const TrainReport& train_report() const noexcept {
+    return train_report_;
+  }
 
   using ExtrapolationModel::predict;
   [[nodiscard]] std::vector<double> predict(
@@ -129,6 +147,7 @@ class TwoLevelModel final : public ExtrapolationModel {
   TwoLevelOptions opts_{};
   InterpolationLevel interpolation_;
   ExtrapolationLevel extrapolation_;
+  TrainReport train_report_;
   /// Per-cluster log-ratios log(measured / predicted) from calibrate().
   std::vector<std::vector<double>> calibration_log_ratios_;
 };

@@ -1,0 +1,187 @@
+#include "src/data/validation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <optional>
+#include <unordered_set>
+
+#include "src/common/stats.hpp"
+
+namespace hpcp {
+
+namespace {
+
+/// Consistent scaling factor making the MAD comparable to a standard
+/// deviation under normality.
+constexpr double kMadToSigma = 1.4826;
+
+std::string format_fault(const ValidationReport& report, RecordFault fault) {
+  const auto count = report.fault_counts[static_cast<std::size_t>(fault)];
+  if (count == 0) return "";
+  return "  " + std::string(record_fault_name(fault)) + ": " +
+         std::to_string(count) + "\n";
+}
+
+}  // namespace
+
+std::string ValidationReport::summary() const {
+  std::string out = "validated " + std::to_string(total) + " record(s): " +
+                    std::to_string(kept) + " kept, " +
+                    std::to_string(num_quarantined()) + " quarantined\n";
+  for (std::size_t f = 0; f < kNumRecordFaults; ++f) {
+    out += format_fault(*this, static_cast<RecordFault>(f));
+  }
+  return out;
+}
+
+CsvTable ValidationReport::to_csv() const {
+  CsvTable table;
+  table.header = {"index", "run_id", "fault", "detail"};
+  table.rows.reserve(quarantined.size());
+  for (const auto& q : quarantined) {
+    table.rows.push_back({std::to_string(q.index), std::to_string(q.run_id),
+                          record_fault_name(q.fault), q.detail});
+  }
+  return table;
+}
+
+Expected<ValidatedHistory> validate_history(const HistoryStore& history,
+                                            const ValidationOptions& opts) {
+  const auto& records = history.records();
+  ValidationReport report;
+  report.total = records.size();
+
+  // survivors[i]: record i has not (yet) been quarantined.
+  std::vector<bool> survivors(records.size(), true);
+  std::optional<Error> strict_error;
+
+  const auto quarantine = [&](std::size_t i, RecordFault fault,
+                              std::string detail) {
+    if (!survivors[i]) return;
+    survivors[i] = false;
+    if (opts.strict && !strict_error.has_value()) {
+      strict_error = Error{
+          ErrorCode::BadData,
+          std::string(record_fault_name(fault)) +
+              (detail.empty() ? "" : ": " + detail),
+          "record " + std::to_string(i) + ", run_id " +
+              std::to_string(records[i].run_id)};
+    }
+    report.fault_counts[static_cast<std::size_t>(fault)]++;
+    report.quarantined.push_back(
+        {i, records[i].run_id, fault, std::move(detail)});
+  };
+
+  // --- pass 1: per-record semantic faults ---
+  std::unordered_set<std::uint64_t> seen_ids;
+  seen_ids.reserve(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& rec = records[i];
+    // The first occurrence claims the id even if it is quarantined for
+    // another reason — a double-entry of a bad record is still a
+    // double-entry.
+    const bool id_already_seen =
+        opts.drop_duplicate_run_ids && !seen_ids.insert(rec.run_id).second;
+    if (!std::isfinite(rec.runtime)) {
+      quarantine(i, RecordFault::NonFiniteRuntime,
+                 "runtime = " + std::to_string(rec.runtime));
+      continue;
+    }
+    if (rec.runtime <= 0.0) {
+      quarantine(i, RecordFault::NonPositiveRuntime,
+                 "runtime = " + std::to_string(rec.runtime));
+      continue;
+    }
+    if (rec.nprocs == 0) {
+      quarantine(i, RecordFault::ZeroProcs, "process count of 0");
+      continue;
+    }
+    bool param_ok = true;
+    for (std::size_t d = 0; d < rec.params.size(); ++d) {
+      if (!std::isfinite(rec.params[d])) {
+        quarantine(i, RecordFault::NonFiniteParam,
+                   "param '" + history.param_names()[d] + "' = " +
+                       std::to_string(rec.params[d]));
+        param_ok = false;
+        break;
+      }
+    }
+    if (!param_ok) continue;
+    if (id_already_seen) {
+      quarantine(i, RecordFault::DuplicateRunId,
+                 "run_id " + std::to_string(rec.run_id) + " already seen");
+    }
+  }
+
+  // --- pass 2: MAD-based runtime outliers, per scale, in log space ---
+  // Runtimes at one scale still vary legitimately across configurations,
+  // so the gate is deliberately loose (see ValidationOptions); it exists
+  // to catch unit-mixups and accounting glitches orders of magnitude off.
+  if (opts.outlier_mad_threshold > 0.0) {
+    std::map<std::size_t, std::vector<std::size_t>> by_scale;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      if (survivors[i]) by_scale[records[i].nprocs].push_back(i);
+    }
+    for (const auto& [scale, idx] : by_scale) {
+      if (idx.size() < 5) continue;  // too few rows for a robust location
+      std::vector<double> logs(idx.size());
+      for (std::size_t j = 0; j < idx.size(); ++j) {
+        logs[j] = std::log(records[idx[j]].runtime);
+      }
+      const double med = median(logs);
+      std::vector<double> dev(logs.size());
+      for (std::size_t j = 0; j < logs.size(); ++j) {
+        dev[j] = std::abs(logs[j] - med);
+      }
+      const double mad = std::max(median(dev) * kMadToSigma, 1e-3);
+      for (std::size_t j = 0; j < idx.size(); ++j) {
+        const double z = std::abs(logs[j] - med) / mad;
+        if (z > opts.outlier_mad_threshold) {
+          quarantine(idx[j], RecordFault::RuntimeOutlier,
+                     "log-runtime " + std::to_string(z) +
+                         " scaled MADs from the p=" + std::to_string(scale) +
+                         " median");
+        }
+      }
+    }
+  }
+
+  // --- pass 3: scales left with too few rows to learn from ---
+  if (opts.min_rows_per_scale > 0) {
+    std::map<std::size_t, std::size_t> rows_at_scale;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      if (survivors[i]) ++rows_at_scale[records[i].nprocs];
+    }
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      if (!survivors[i]) continue;
+      const std::size_t n = rows_at_scale[records[i].nprocs];
+      if (n < opts.min_rows_per_scale) {
+        quarantine(i, RecordFault::SparseScale,
+                   "only " + std::to_string(n) + " row(s) at p=" +
+                       std::to_string(records[i].nprocs));
+      }
+    }
+  }
+
+  if (strict_error.has_value()) return *strict_error;
+
+  ValidatedHistory out;
+  out.store = HistoryStore(history.app_name(), history.param_names());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (survivors[i]) {
+      out.store.append(records[i]);
+      ++report.kept;
+    }
+  }
+  if (report.kept == 0 && report.total > 0) {
+    return Error{ErrorCode::Degenerate,
+                 "every record was quarantined (" +
+                     std::to_string(report.total) + " scanned)",
+                 history.app_name()};
+  }
+  out.report = std::move(report);
+  return out;
+}
+
+}  // namespace hpcp

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/csv.hpp"
+#include "src/common/error.hpp"
+#include "src/platform/history.hpp"
+
+/// \file validation.hpp
+/// History validation & quarantine: the gate between a site's messy
+/// execution logs and the training pipeline.
+///
+/// Real longitudinal monitoring data contains sensor glitches (NaN/Inf
+/// runtimes), failed runs recorded with zero or negative times, duplicated
+/// accounting rows, and scales with too few observations to learn from.
+/// validate_history scans a (leniently ingested) HistoryStore, quarantines
+/// every offending record with a per-record reason, and returns a cleaned
+/// store plus a structured ValidationReport — so one bad record degrades a
+/// training run instead of aborting it. Strict mode turns the first fault
+/// into a typed error for pipelines that must not silently drop data.
+
+namespace hpcp {
+
+/// Why a record was quarantined.
+enum class RecordFault {
+  NonFiniteRuntime,    ///< NaN or ±Inf runtime
+  NonPositiveRuntime,  ///< runtime ≤ 0 (failed/placeholder run)
+  NonFiniteParam,      ///< NaN or ±Inf input parameter
+  ZeroProcs,           ///< process count of 0
+  DuplicateRunId,      ///< run_id already seen (accounting double-entry)
+  RuntimeOutlier,      ///< MAD-based outlier among same-scale runtimes
+  SparseScale,         ///< its scale has fewer rows than min_rows_per_scale
+};
+
+inline constexpr std::size_t kNumRecordFaults = 7;
+
+[[nodiscard]] constexpr const char* record_fault_name(
+    RecordFault fault) noexcept {
+  switch (fault) {
+    case RecordFault::NonFiniteRuntime: return "non-finite-runtime";
+    case RecordFault::NonPositiveRuntime: return "non-positive-runtime";
+    case RecordFault::NonFiniteParam: return "non-finite-param";
+    case RecordFault::ZeroProcs: return "zero-procs";
+    case RecordFault::DuplicateRunId: return "duplicate-run-id";
+    case RecordFault::RuntimeOutlier: return "runtime-outlier";
+    case RecordFault::SparseScale: return "sparse-scale";
+  }
+  return "unknown";
+}
+
+/// One quarantined record: where it sat in the store, who it claimed to
+/// be, and why it was removed.
+struct QuarantinedRecord {
+  std::size_t index = 0;  ///< position in the scanned store's records()
+  std::uint64_t run_id = 0;
+  RecordFault fault = RecordFault::NonFiniteRuntime;
+  std::string detail;
+};
+
+struct ValidationOptions {
+  /// Strict: the first fault is returned as a typed error (BadData)
+  /// instead of being quarantined. Lenient (default): quarantine and keep
+  /// going.
+  bool strict = false;
+  /// Robust outlier gate: quarantine records whose log-runtime sits more
+  /// than this many scaled MADs from its scale's median. 0 disables.
+  /// Applied only to scales with at least 5 surviving rows. The default is
+  /// deliberately loose — it exists to catch 100× accounting glitches, not
+  /// to second-guess platform noise.
+  double outlier_mad_threshold = 8.0;
+  /// Scales with fewer surviving rows than this are quarantined wholesale:
+  /// a 2-point scale cannot support a per-scale interpolation model and
+  /// would poison the scaling table. 0 disables.
+  std::size_t min_rows_per_scale = 3;
+  /// Quarantine re-used run_ids (first occurrence wins). Disable for sites
+  /// whose accounting genuinely recycles ids.
+  bool drop_duplicate_run_ids = true;
+};
+
+/// Structured outcome of a validation pass.
+struct ValidationReport {
+  std::size_t total = 0;  ///< records scanned
+  std::size_t kept = 0;   ///< records surviving into the cleaned store
+  std::vector<QuarantinedRecord> quarantined;
+  std::array<std::size_t, kNumRecordFaults> fault_counts{};
+
+  [[nodiscard]] std::size_t num_quarantined() const noexcept {
+    return quarantined.size();
+  }
+  [[nodiscard]] bool clean() const noexcept { return quarantined.empty(); }
+
+  /// Human-readable multi-line summary (counts per fault kind).
+  [[nodiscard]] std::string summary() const;
+
+  /// Machine-readable quarantine listing (index, run_id, fault, detail).
+  [[nodiscard]] CsvTable to_csv() const;
+};
+
+/// A cleaned store plus the report describing what was removed.
+struct ValidatedHistory {
+  HistoryStore store;
+  ValidationReport report;
+};
+
+/// Scan `history` and quarantine invalid records. Errors:
+///   - BadData (strict mode only): the first fault found;
+///   - Degenerate: nothing survives quarantine (lenient mode).
+/// The cleaned store satisfies HistoryStore::append's invariants for every
+/// record, so downstream make_problem/fit never see quarantined data.
+[[nodiscard]] Expected<ValidatedHistory> validate_history(
+    const HistoryStore& history, const ValidationOptions& opts = {});
+
+}  // namespace hpcp

@@ -13,6 +13,7 @@
 // common utilities
 #include "src/common/check.hpp"
 #include "src/common/csv.hpp"
+#include "src/common/error.hpp"
 #include "src/common/metrics.hpp"
 #include "src/common/rng.hpp"
 #include "src/common/serialize.hpp"
@@ -23,6 +24,7 @@
 // datasets and sampling
 #include "src/data/dataset.hpp"
 #include "src/data/param_space.hpp"
+#include "src/data/validation.hpp"
 
 // learners
 #include "src/cluster/curve_features.hpp"
@@ -46,6 +48,7 @@
 #include "src/apps/stencil_app.hpp"
 #include "src/platform/application.hpp"
 #include "src/platform/collectives.hpp"
+#include "src/platform/fault_injector.hpp"
 #include "src/platform/history.hpp"
 #include "src/platform/machine.hpp"
 #include "src/platform/proc_grid.hpp"
@@ -62,6 +65,7 @@
 #include "src/core/interpolation_level.hpp"
 #include "src/core/problem.hpp"
 #include "src/core/scaling_basis.hpp"
+#include "src/core/train_report.hpp"
 #include "src/core/two_level_model.hpp"
 
 // baselines

@@ -15,7 +15,8 @@ double NnlsModel::predict(std::span<const double> x) const {
 }
 
 NnlsModel fit_nnls(const Matrix& x, std::span<const double> y,
-                   std::span<const double> weights, const NnlsOptions& opts) {
+                   std::span<const double> weights, const NnlsOptions& opts,
+                   NnlsFitInfo* info) {
   const std::size_t n = x.rows();
   const std::size_t d = x.cols();
   HPCP_REQUIRE(n == y.size(), "row count must match target length");
@@ -44,6 +45,7 @@ NnlsModel fit_nnls(const Matrix& x, std::span<const double> y,
   model.coef.assign(d, 0.0);
   std::vector<double> residual(y.begin(), y.end());  // y − b − Xw
 
+  NnlsFitInfo local_info;
   for (std::size_t it = 0; it < opts.max_iter; ++it) {
     double max_delta = 0.0;
     double max_coef = 0.0;
@@ -82,8 +84,13 @@ NnlsModel fit_nnls(const Matrix& x, std::span<const double> y,
       max_coef = std::max(max_coef, cj);
     }
 
-    if (max_delta <= opts.tol * std::max(max_coef, 1e-12)) break;
+    local_info.iterations = it + 1;
+    if (max_delta <= opts.tol * std::max(max_coef, 1e-12)) {
+      local_info.converged = true;
+      break;
+    }
   }
+  if (info != nullptr) *info = local_info;
   return model;
 }
 

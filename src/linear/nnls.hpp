@@ -29,11 +29,21 @@ struct NnlsModel {
   [[nodiscard]] double predict(std::span<const double> x) const;
 };
 
+/// Convergence diagnostics: `converged` is false when the iteration cap
+/// was hit before the coordinate updates fell below tolerance — the model
+/// is still usable (the objective is convex and monotone under CD) but
+/// callers building reports should surface it.
+struct NnlsFitInfo {
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
 /// Minimises Σ_i weight_i·(y_i − b − X_i·w)² subject to w ≥ 0 (and b ≥ 0
 /// unless disabled). Empty `weights` means uniform. The problem is convex,
 /// so coordinate descent with clamping converges to the global optimum.
 [[nodiscard]] NnlsModel fit_nnls(const Matrix& x, std::span<const double> y,
                                  std::span<const double> weights = {},
-                                 const NnlsOptions& opts = {});
+                                 const NnlsOptions& opts = {},
+                                 NnlsFitInfo* info = nullptr);
 
 }  // namespace hpcp

@@ -1,0 +1,125 @@
+#include "src/platform/fault_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "src/common/check.hpp"
+
+namespace hpcp {
+
+FaultSpec FaultSpec::uniform(double rate) {
+  HPCP_REQUIRE(rate >= 0.0 && rate <= 1.0, "corruption rate must be in [0,1]");
+  FaultSpec spec;
+  // Seven fault kinds share the budget; perturbation gets a double share
+  // because it is by far the most common real-world damage (unit mixups).
+  const double share = rate / 8.0;
+  spec.drop_rate = share;
+  spec.nan_runtime_rate = share;
+  spec.negative_runtime_rate = share;
+  spec.zero_runtime_rate = share;
+  spec.perturb_rate = 2.0 * share;
+  spec.duplicate_run_id_rate = share;
+  spec.zero_procs_rate = share;
+  return spec;
+}
+
+HistoryStore inject_faults(const HistoryStore& history, const FaultSpec& spec,
+                           Rng& rng, FaultSummary* summary) {
+  FaultSummary local;
+  HistoryStore out(history.app_name(), history.param_names());
+  const auto& records = history.records();
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    ExecutionRecord rec = records[i];
+    // One roll decides the record's fate; thresholds stack so each record
+    // suffers at most one fault and rates stay independent of order.
+    const double roll = rng.uniform();
+    double acc = spec.drop_rate;
+    if (roll < acc) {
+      ++local.dropped;
+      continue;
+    }
+    if (roll < (acc += spec.nan_runtime_rate)) {
+      rec.runtime = std::numeric_limits<double>::quiet_NaN();
+      ++local.nan_runtime;
+    } else if (roll < (acc += spec.negative_runtime_rate)) {
+      rec.runtime = -rec.runtime;
+      ++local.negative_runtime;
+    } else if (roll < (acc += spec.zero_runtime_rate)) {
+      rec.runtime = 0.0;
+      ++local.zero_runtime;
+    } else if (roll < (acc += spec.perturb_rate)) {
+      rec.runtime *= std::exp(rng.normal(0.0, spec.perturb_sigma));
+      ++local.perturbed;
+    } else if (roll < (acc += spec.duplicate_run_id_rate) && i > 0) {
+      rec.run_id =
+          records[static_cast<std::size_t>(rng.uniform_index(i))].run_id;
+      ++local.duplicated_run_id;
+    } else if (roll < (acc += spec.zero_procs_rate)) {
+      rec.nprocs = 0;
+      ++local.zero_procs;
+    }
+    out.append_unchecked(std::move(rec));
+  }
+  if (summary != nullptr) *summary = local;
+  return out;
+}
+
+std::string corrupt_csv_text(const std::string& text, const CsvFaultSpec& spec,
+                             Rng& rng) {
+  HPCP_REQUIRE(spec.keep_fraction >= 0.0 && spec.keep_fraction <= 1.0,
+               "keep_fraction must be in [0,1]");
+  // Split into lines, keeping the structure editable.
+  std::vector<std::string> lines;
+  std::stringstream ss(text);
+  std::string line;
+  while (std::getline(ss, line)) lines.push_back(std::move(line));
+
+  if (spec.shuffle_columns && !lines.empty()) {
+    const auto header = csv_split_line(lines[0]);
+    std::vector<std::size_t> perm(header.size());
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    rng.shuffle(perm);
+    for (auto& l : lines) {
+      const auto fields = csv_split_line(l);
+      if (fields.size() != perm.size()) continue;
+      std::vector<std::string> shuffled(fields.size());
+      for (std::size_t c = 0; c < perm.size(); ++c) {
+        shuffled[c] = fields[perm[c]];
+      }
+      l = csv_join(shuffled);
+    }
+  }
+
+  for (std::size_t r = 1; r < lines.size(); ++r) {
+    if (spec.ragged_row_rate > 0.0 && rng.uniform() < spec.ragged_row_rate) {
+      const auto cut = lines[r].find_last_of(',');
+      if (cut != std::string::npos) lines[r].resize(cut);
+    }
+    if (spec.garbage_field_rate > 0.0 &&
+        rng.uniform() < spec.garbage_field_rate) {
+      auto fields = csv_split_line(lines[r]);
+      if (!fields.empty()) {
+        fields[static_cast<std::size_t>(rng.uniform_index(fields.size()))] =
+            "???";
+        lines[r] = csv_join(fields);
+      }
+    }
+  }
+
+  std::string out;
+  for (const auto& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  if (spec.keep_fraction < 1.0) {
+    out.resize(static_cast<std::size_t>(
+        static_cast<double>(out.size()) * spec.keep_fraction));
+  }
+  return out;
+}
+
+}  // namespace hpcp

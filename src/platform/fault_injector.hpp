@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/rng.hpp"
+#include "src/platform/history.hpp"
+
+/// \file fault_injector.hpp
+/// Deterministic corruption of execution histories, for testing the
+/// validation/quarantine layer and measuring how prediction accuracy
+/// degrades with data quality (bench/exp_fault_tolerance).
+///
+/// Two levels of attack:
+///   - record-level (inject_faults): the kinds of damage that survive
+///     parsing — dropped records, NaN/negative/perturbed runtimes,
+///     duplicated run_ids, zero process counts;
+///   - text-level (corrupt_csv_text): the kinds of damage a file picks up
+///     in transit — truncated bytes, shuffled columns, ragged rows,
+///     garbage fields.
+/// All corruption draws from common/rng, so a (history, spec, seed)
+/// triple always produces the same damage.
+
+namespace hpcp {
+
+/// Per-record corruption probabilities. Each surviving record suffers at
+/// most one fault; rates are evaluated in declaration order.
+struct FaultSpec {
+  double drop_rate = 0.0;              ///< record silently removed
+  double nan_runtime_rate = 0.0;       ///< runtime := NaN
+  double negative_runtime_rate = 0.0;  ///< runtime := −runtime
+  double zero_runtime_rate = 0.0;      ///< runtime := 0 (failed run)
+  /// runtime multiplied by a gross log-normal factor (unit mix-up scale).
+  double perturb_rate = 0.0;
+  double perturb_sigma = 3.0;  ///< log-space σ of the perturbation
+  double duplicate_run_id_rate = 0.0;  ///< run_id := an earlier record's
+  double zero_procs_rate = 0.0;        ///< nprocs := 0
+
+  /// Spread a single corruption budget uniformly over the fault kinds —
+  /// the one-knob "x% of this history is damaged" constructor used by the
+  /// fault-tolerance experiment.
+  [[nodiscard]] static FaultSpec uniform(double rate);
+};
+
+/// What the injector actually did (counts per fault kind).
+struct FaultSummary {
+  std::size_t dropped = 0;
+  std::size_t nan_runtime = 0;
+  std::size_t negative_runtime = 0;
+  std::size_t zero_runtime = 0;
+  std::size_t perturbed = 0;
+  std::size_t duplicated_run_id = 0;
+  std::size_t zero_procs = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return dropped + nan_runtime + negative_runtime + zero_runtime +
+           perturbed + duplicated_run_id + zero_procs;
+  }
+};
+
+/// Apply record-level corruption. Deterministic given (history, spec, rng
+/// state). The result intentionally violates HistoryStore::append's
+/// invariants — it is built through append_unchecked and exists to be fed
+/// to validate_history.
+[[nodiscard]] HistoryStore inject_faults(const HistoryStore& history,
+                                         const FaultSpec& spec, Rng& rng,
+                                         FaultSummary* summary = nullptr);
+
+/// Text-level corruption of a serialized CSV.
+struct CsvFaultSpec {
+  /// Cut the text to this fraction of its bytes (1 = no truncation). The
+  /// cut lands mid-line on purpose.
+  double keep_fraction = 1.0;
+  bool shuffle_columns = false;    ///< permute all columns consistently
+  double ragged_row_rate = 0.0;    ///< per-row: delete the last field
+  double garbage_field_rate = 0.0; ///< per-row: one field := "???"
+};
+
+/// Corrupt CSV text deterministically. The output may no longer be valid
+/// CSV — that is the point; feed it to csv_read_checked/load_history_csv.
+[[nodiscard]] std::string corrupt_csv_text(const std::string& text,
+                                           const CsvFaultSpec& spec,
+                                           Rng& rng);
+
+}  // namespace hpcp

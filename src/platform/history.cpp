@@ -1,8 +1,10 @@
 #include "src/platform/history.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <map>
 #include <set>
+#include <system_error>
 
 #include "src/common/check.hpp"
 
@@ -17,6 +19,12 @@ void HistoryStore::append(ExecutionRecord record) {
                "record parameter width mismatch");
   HPCP_REQUIRE(record.nprocs >= 1, "record needs a positive process count");
   HPCP_REQUIRE(record.runtime > 0.0, "record needs a positive runtime");
+  records_.push_back(std::move(record));
+}
+
+void HistoryStore::append_unchecked(ExecutionRecord record) {
+  HPCP_REQUIRE(record.params.size() == param_names_.size(),
+               "record parameter width mismatch");
   records_.push_back(std::move(record));
 }
 
@@ -58,26 +66,104 @@ CsvTable HistoryStore::to_csv() const {
   return table;
 }
 
-HistoryStore HistoryStore::from_csv(const std::string& app_name,
-                                    const CsvTable& table) {
-  HPCP_REQUIRE(table.header.size() >= 3, "history CSV too narrow");
+namespace {
+
+/// Non-throwing numeric parse of a whole (trimmed) field. Accepts the
+/// nan/inf spellings std::to_string produces, so semantically bad records
+/// survive ingestion for the validation layer to quarantine.
+bool parse_field(const std::string& field, double& out) {
+  const auto begin = field.find_first_not_of(" \t");
+  if (begin == std::string::npos) return false;
+  const auto end = field.find_last_not_of(" \t") + 1;
+  const char* first = field.data() + begin;
+  const char* last = field.data() + end;
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+bool parse_field(const std::string& field, std::uint64_t& out) {
+  const auto begin = field.find_first_not_of(" \t");
+  if (begin == std::string::npos) return false;
+  const auto end = field.find_last_not_of(" \t") + 1;
+  const char* first = field.data() + begin;
+  const char* last = field.data() + end;
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+}  // namespace
+
+Expected<HistoryLoad> load_history_csv(const std::string& app_name,
+                                       const CsvTable& table) {
+  if (table.header.size() < 3) {
+    return Error{ErrorCode::Schema,
+                 "history CSV too narrow: need at least nprocs,runtime,run_id",
+                 app_name};
+  }
   const std::size_t d = table.header.size() - 3;
-  HPCP_REQUIRE(table.header[d] == "nprocs" &&
-                   table.header[d + 1] == "runtime" &&
-                   table.header[d + 2] == "run_id",
-               "history CSV must end with nprocs,runtime,run_id");
-  HistoryStore store(app_name, {table.header.begin(),
-                                table.header.begin() +
-                                    static_cast<std::ptrdiff_t>(d)});
-  for (const auto& row : table.rows) {
+  if (table.header[d] != "nprocs" || table.header[d + 1] != "runtime" ||
+      table.header[d + 2] != "run_id") {
+    return Error{ErrorCode::Schema,
+                 "history CSV must end with nprocs,runtime,run_id columns",
+                 app_name};
+  }
+  HistoryLoad load;
+  load.store = HistoryStore(
+      app_name,
+      {table.header.begin(),
+       table.header.begin() + static_cast<std::ptrdiff_t>(d)});
+  for (std::size_t r = 0; r < table.rows.size(); ++r) {
+    const auto& row = table.rows[r];
+    const auto bad = [&](const std::string& detail) {
+      load.bad_rows.push_back({r + 1, detail});
+    };
+    if (row.size() != table.header.size()) {
+      bad("field count " + std::to_string(row.size()) + " != header width " +
+          std::to_string(table.header.size()));
+      continue;
+    }
     ExecutionRecord rec;
     rec.params.reserve(d);
-    for (std::size_t c = 0; c < d; ++c) rec.params.push_back(std::stod(row[c]));
-    rec.nprocs = static_cast<std::size_t>(std::stoull(row[d]));
-    rec.runtime = std::stod(row[d + 1]);
-    rec.run_id = std::stoull(row[d + 2]);
-    store.append(std::move(rec));
+    bool ok = true;
+    for (std::size_t c = 0; c < d && ok; ++c) {
+      double v = 0.0;
+      ok = parse_field(row[c], v);
+      if (!ok) bad("unparseable parameter '" + row[c] + "'");
+      rec.params.push_back(v);
+    }
+    if (!ok) continue;
+    std::uint64_t procs = 0;
+    if (!parse_field(row[d], procs)) {
+      bad("unparseable nprocs '" + row[d] + "'");
+      continue;
+    }
+    rec.nprocs = static_cast<std::size_t>(procs);
+    if (!parse_field(row[d + 1], rec.runtime)) {
+      bad("unparseable runtime '" + row[d + 1] + "'");
+      continue;
+    }
+    if (!parse_field(row[d + 2], rec.run_id)) {
+      bad("unparseable run_id '" + row[d + 2] + "'");
+      continue;
+    }
+    load.store.append_unchecked(std::move(rec));
   }
+  return load;
+}
+
+HistoryStore HistoryStore::from_csv(const std::string& app_name,
+                                    const CsvTable& table) {
+  auto load = load_history_csv(app_name, table).value_or_throw();
+  if (!load.bad_rows.empty()) {
+    const auto& first = load.bad_rows.front();
+    throw_error(Error{ErrorCode::BadData, first.detail,
+                      "history row " + std::to_string(first.row) + " (of " +
+                          std::to_string(load.bad_rows.size()) +
+                          " bad row(s))"});
+  }
+  // Re-run the strict per-record invariants the lenient loader skips.
+  HistoryStore store(app_name, load.store.param_names());
+  for (auto& rec : load.store.records_) store.append(std::move(rec));
   return store;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/common/csv.hpp"
+#include "src/common/error.hpp"
 #include "src/data/dataset.hpp"
 #include "src/linear/matrix.hpp"
 #include "src/platform/simulator.hpp"
@@ -22,6 +23,13 @@ struct ExecutionRecord {
   std::size_t nprocs = 0;
   double runtime = 0.0;
   std::uint64_t run_id = 0;
+};
+
+/// A CSV row that could not be turned into an ExecutionRecord at all
+/// (unparseable number, wrong field count). 1-based data-row index.
+struct HistoryParseFault {
+  std::size_t row = 0;
+  std::string detail;
 };
 
 /// History of a single application's runs.
@@ -43,6 +51,13 @@ class HistoryStore {
 
   void append(ExecutionRecord record);
 
+  /// Ingestion-side append that skips the semantic invariants (positive
+  /// runtime, nprocs ≥ 1) so that raw site data can be held for the
+  /// validation layer to inspect and quarantine. The structural invariant
+  /// (parameter width) still holds — a record of the wrong width cannot be
+  /// represented in this store at all.
+  void append_unchecked(ExecutionRecord record);
+
   /// Sorted distinct process counts present in the history.
   [[nodiscard]] std::vector<std::size_t> scales() const;
 
@@ -52,6 +67,9 @@ class HistoryStore {
 
   /// CSV round trip (columns: param names…, nprocs, runtime, run_id).
   [[nodiscard]] CsvTable to_csv() const;
+
+  /// Strict loader: throws std::invalid_argument on any schema problem,
+  /// unparseable row, or semantically invalid record.
   [[nodiscard]] static HistoryStore from_csv(const std::string& app_name,
                                              const CsvTable& table);
 
@@ -60,6 +78,24 @@ class HistoryStore {
   std::vector<std::string> param_names_;
   std::vector<ExecutionRecord> records_;
 };
+
+/// Result of the lenient CSV ingestion path: everything representable is
+/// in `store` (including semantically bad records — NaN runtimes, zero
+/// process counts — for the validation layer to quarantine); rows that
+/// could not be represented are listed in `bad_rows`.
+struct HistoryLoad {
+  HistoryStore store;
+  std::vector<HistoryParseFault> bad_rows;
+};
+
+/// Lenient loader for data that crosses a trust boundary. Returns
+/// ErrorCode::Schema when the header layout is wrong (the table is not an
+/// execution history at all); otherwise ingests every parseable row via
+/// append_unchecked and reports the rest in bad_rows. Pair with
+/// validate_history (src/data/validation.hpp) to quarantine the
+/// semantically bad records it deliberately keeps.
+[[nodiscard]] Expected<HistoryLoad> load_history_csv(
+    const std::string& app_name, const CsvTable& table);
 
 /// A per-configuration scaling table: one row per configuration, one
 /// runtime column per scale. Configurations missing any requested scale are

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 namespace hpcp {
 namespace {
@@ -96,6 +98,79 @@ TEST(Csv, FileRoundTrip) {
 TEST(Csv, MissingFileThrows) {
   EXPECT_THROW((void)csv_read_file("/nonexistent/path.csv"),
                std::runtime_error);
+}
+
+TEST(Csv, UnterminatedQuoteRejected) {
+  const auto bad = csv_split_line_checked("\"never closed,x");
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error().code, ErrorCode::Schema);
+  EXPECT_THROW((void)csv_split_line("\"never closed,x"),
+               std::invalid_argument);
+}
+
+TEST(Csv, UnterminatedQuoteInStreamReportsLineNumber) {
+  std::stringstream ss("a,b\n1,2\n\"oops,3\n");
+  const auto table = csv_read_checked(ss);
+  ASSERT_FALSE(table.has_value());
+  EXPECT_EQ(table.error().code, ErrorCode::Schema);
+  EXPECT_NE(table.error().context.find("line 3"), std::string::npos);
+}
+
+TEST(Csv, RaggedRowReportsWidthsAndLineNumber) {
+  std::stringstream ss("a,b\n1,2\n1,2,3\n");
+  const auto table = csv_read_checked(ss);
+  ASSERT_FALSE(table.has_value());
+  EXPECT_EQ(table.error().code, ErrorCode::Schema);
+  EXPECT_NE(table.error().message.find("3 field(s)"), std::string::npos);
+  EXPECT_NE(table.error().context.find("line 3"), std::string::npos);
+}
+
+TEST(Csv, EmbeddedNewlineFieldRefusedAtWriteTime) {
+  // The line-based reader cannot round-trip it, so escaping rejects it
+  // instead of producing a file the reader would then mis-parse.
+  EXPECT_THROW((void)csv_escape("two\nlines"), std::invalid_argument);
+}
+
+TEST(Csv, CheckedFileReadReturnsIoError) {
+  const auto missing = csv_read_file_checked("/nonexistent/path.csv");
+  ASSERT_FALSE(missing.has_value());
+  EXPECT_EQ(missing.error().code, ErrorCode::Io);
+}
+
+TEST(Csv, HostileInputsNeverCrashOnlyParseOrError) {
+  // Fuzz-style corpus: every input must either parse or yield a typed
+  // error through the checked API — never throw, never crash.
+  const std::vector<std::string> corpus{
+      "",
+      "\n\n\n",
+      ",,,\n,,\n",
+      "a,b\n\"\n",
+      "a,b\n\"\"\"\n",
+      "\xff\xfe\x00garbage,\x01\n1,2\n",
+      "a,b\r\n1,\"x\r\n",
+      "only-header-no-rows",
+      "a,b\n" + std::string(10000, 'q') + ",2\n",
+      "\"a\"\"b\"\"c\",d\ne,f\n",
+  };
+  for (const auto& text : corpus) {
+    std::stringstream ss(text);
+    EXPECT_NO_THROW({ (void)csv_read_checked(ss); }) << "input: " << text;
+  }
+}
+
+TEST(Csv, HostileInputAgreementBetweenCheckedAndThrowing) {
+  // The throwing wrapper must fail exactly when the checked API errors.
+  const std::vector<std::string> corpus{"a,b\n1,2\n", "a,b\n1\n",
+                                        "a,b\n\"open\n"};
+  for (const auto& text : corpus) {
+    std::stringstream s1(text), s2(text);
+    const auto checked = csv_read_checked(s1);
+    if (checked.has_value()) {
+      EXPECT_NO_THROW((void)csv_read(s2));
+    } else {
+      EXPECT_THROW((void)csv_read(s2), std::invalid_argument);
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,75 @@
+#include "src/common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace hpcp {
+namespace {
+
+TEST(Error, ToStringCarriesCodeMessageContext) {
+  const Error e{ErrorCode::Schema, "header mismatch", "row 3"};
+  EXPECT_EQ(e.to_string(), "[schema] header mismatch (row 3)");
+  const Error bare{ErrorCode::BadData, "nan runtime", ""};
+  EXPECT_EQ(bare.to_string(), "[bad-data] nan runtime");
+}
+
+TEST(Error, EveryCodeHasAName) {
+  for (const ErrorCode code :
+       {ErrorCode::BadData, ErrorCode::Degenerate, ErrorCode::NotConverged,
+        ErrorCode::Io, ErrorCode::Schema}) {
+    EXPECT_STRNE(error_code_name(code), "unknown");
+  }
+}
+
+TEST(Expected, HoldsValue) {
+  Expected<int> ok(42);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(ok.value_or(0), 42);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> bad(Error{ErrorCode::Degenerate, "too few rows", ""});
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error().code, ErrorCode::Degenerate);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(Expected, WrongSideAccessAsserts) {
+  Expected<int> ok(1);
+  Expected<int> bad(Error{ErrorCode::BadData, "x", ""});
+  EXPECT_THROW((void)ok.error(), std::logic_error);
+  EXPECT_THROW((void)bad.value(), std::logic_error);
+}
+
+TEST(Expected, ValueOrThrowMapsCodesToExceptionTypes) {
+  EXPECT_THROW(
+      Expected<int>(Error{ErrorCode::Io, "no such file", ""}).value_or_throw(),
+      std::runtime_error);
+  EXPECT_THROW(
+      Expected<int>(Error{ErrorCode::Schema, "bad header", ""})
+          .value_or_throw(),
+      std::invalid_argument);
+  EXPECT_EQ(Expected<int>(7).value_or_throw(), 7);
+}
+
+TEST(Expected, MoveOnlyPayloadsWork) {
+  Expected<std::vector<std::string>> ok(std::vector<std::string>{"a", "b"});
+  const auto v = std::move(ok).value();
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(ExpectedVoid, SuccessAndError) {
+  const Expected<void> ok;
+  EXPECT_TRUE(ok.has_value());
+  ok.value_or_throw();  // no-op
+  const Expected<void> bad(Error{ErrorCode::NotConverged, "cap hit", "nnls"});
+  EXPECT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error().code, ErrorCode::NotConverged);
+  EXPECT_THROW(bad.value_or_throw(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcp

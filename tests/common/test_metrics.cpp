@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 namespace hpcp {
@@ -102,6 +103,66 @@ TEST(Metrics, ZeroTruthThrowsForPercentage) {
   EXPECT_THROW((void)mpe(truth, pred), std::invalid_argument);
   // Absolute metrics are fine with zero truth.
   EXPECT_DOUBLE_EQ(mae(truth, pred), 1.0);
+}
+
+TEST(Metrics, NonFiniteInputsRejectedInsteadOfPropagating) {
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> truth{1.0, 2.0};
+  EXPECT_THROW((void)mape(truth, {std::vector<double>{nan, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)mape({std::vector<double>{inf, 1.0}}, truth),
+               std::invalid_argument);
+  EXPECT_THROW((void)rmse(truth, {std::vector<double>{nan, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)mae(truth, {std::vector<double>{nan, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)mpe(truth, {std::vector<double>{nan, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)r_squared(truth, {std::vector<double>{nan, 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(MapeChecked, MatchesThrowingMapeOnCleanData) {
+  const std::vector<double> truth{10.0, 20.0};
+  const std::vector<double> pred{11.0, 18.0};
+  const auto result = mape_checked(truth, pred);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result.value(), mape(truth, pred));
+}
+
+TEST(MapeChecked, NanInputIsTypedBadData) {
+  const std::vector<double> truth{10.0, 20.0};
+  const std::vector<double> pred{11.0, std::nan("")};
+  const auto result = mape_checked(truth, pred);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, ErrorCode::BadData);
+}
+
+TEST(MapeChecked, NearZeroTruthSkippedByEpsilonPolicy) {
+  const std::vector<double> truth{10.0, 1e-15};
+  const std::vector<double> pred{11.0, 5.0};
+  std::size_t used = 0;
+  const auto result = mape_checked(truth, pred, {}, &used);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(used, 1u);
+  EXPECT_DOUBLE_EQ(result.value(), 10.0);  // only the first pair counts
+}
+
+TEST(MapeChecked, AllZeroTruthIsDegenerate) {
+  const std::vector<double> truth{0.0, 0.0};
+  const std::vector<double> pred{1.0, 2.0};
+  const auto result = mape_checked(truth, pred);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, ErrorCode::Degenerate);
+}
+
+TEST(MapeChecked, LengthMismatchIsBadData) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{1.0};
+  const auto result = mape_checked(a, b);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, ErrorCode::BadData);
 }
 
 }  // namespace

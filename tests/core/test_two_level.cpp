@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "src/core/experiment.hpp"
+#include "src/data/validation.hpp"
+#include "src/platform/fault_injector.hpp"
 
 namespace hpcp {
 namespace {
@@ -192,6 +197,129 @@ TEST(TwoLevelModel, PredictBeforeFitThrows) {
   const TwoLevelModel model;
   const std::vector<double> params{128.0, 500.0, 1.0};
   EXPECT_THROW((void)model.predict(params, {}), std::invalid_argument);
+}
+
+TEST(TwoLevelModel, FitCheckedReportsNominalTraining) {
+  const auto exp = make_experiment(small_config());
+  TwoLevelModel model;
+  Rng rng(20);
+  const auto report = model.fit_checked(exp.problem, rng);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->num_configs, exp.problem.num_configs());
+  EXPECT_EQ(report->num_clusters, model.extrapolation().num_clusters());
+  EXPECT_EQ(report->clusters.size(), report->num_clusters);
+  // On clean simulated data every cluster trains on the nominal path.
+  EXPECT_EQ(report->count_stage(FallbackStage::ClusterMultitask),
+            report->num_clusters);
+  EXPECT_EQ(model.train_report().num_configs, report->num_configs);
+}
+
+TEST(TwoLevelModel, FitCheckedRejectsNonFiniteDataAsTypedError) {
+  const auto exp = make_experiment(small_config());
+  auto problem = exp.problem;
+  problem.train_small_times(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  TwoLevelModel model;
+  Rng rng(21);
+  const auto report = model.fit_checked(problem, rng);
+  ASSERT_FALSE(report.has_value());
+  EXPECT_EQ(report.error().code, ErrorCode::BadData);
+  // The throwing wrapper maps the same defect to invalid_argument.
+  TwoLevelModel thrower;
+  Rng rng2(21);
+  EXPECT_THROW(thrower.fit(problem, rng2), std::invalid_argument);
+}
+
+TEST(TwoLevelModel, DegenerateClusterFallsBackToPowerLaw) {
+  // Identical flat curves: the lasso has nothing to select, so both the
+  // cluster and pooled multitask attempts shrink to an empty support and
+  // the chain must land on the per-config power law — and still predict.
+  Matrix curves(12, 4);
+  for (std::size_t r = 0; r < curves.rows(); ++r) {
+    for (std::size_t c = 0; c < curves.cols(); ++c) curves(r, c) = 7.0;
+  }
+  ExtrapolationLevel level(ExtrapolationLevelOptions{.num_clusters = 1});
+  const std::vector<std::size_t> small{1, 2, 4, 8};
+  const std::vector<std::size_t> targets{32};
+  Rng rng(22);
+  TrainReport report;
+  level.fit(curves, small, targets, rng, &report);
+  ASSERT_EQ(report.clusters.size(), 1u);
+  EXPECT_EQ(report.clusters[0].stage, FallbackStage::PerConfigOls);
+  EXPECT_FALSE(report.clusters[0].reason.empty());
+  EXPECT_FALSE(report.fully_nominal());
+  EXPECT_EQ(level.cluster_stage(0), FallbackStage::PerConfigOls);
+
+  const std::vector<double> flat(4, 7.0);
+  const auto pred = level.predict(flat);
+  ASSERT_EQ(pred.size(), 1u);
+  // A flat curve extrapolates flat under a power law.
+  EXPECT_NEAR(pred[0], 7.0, 0.5);
+}
+
+TEST(TwoLevelModel, AmdahlPresetWhenPowerLawUnidentifiable) {
+  // A single distinct small scale: no exponent is identifiable, so the
+  // last rung of the ladder (support = {"1/p"} + intercept) must catch.
+  Matrix curves(6, 2);
+  for (std::size_t r = 0; r < curves.rows(); ++r) {
+    curves(r, 0) = 3.0;
+    curves(r, 1) = 3.0;
+  }
+  ExtrapolationLevel level(ExtrapolationLevelOptions{.num_clusters = 1});
+  const std::vector<std::size_t> small{4, 4};
+  const std::vector<std::size_t> targets{64};
+  Rng rng(23);
+  TrainReport report;
+  level.fit(curves, small, targets, rng, &report);
+  ASSERT_EQ(report.clusters.size(), 1u);
+  EXPECT_EQ(report.clusters[0].stage, FallbackStage::AmdahlPreset);
+  ASSERT_EQ(report.clusters[0].support.size(), 1u);
+  EXPECT_EQ(report.clusters[0].support[0], 0u);
+
+  const std::vector<double> flat(2, 3.0);
+  const auto pred = level.predict(flat);
+  ASSERT_EQ(pred.size(), 1u);
+  EXPECT_GT(pred[0], 0.0);
+  EXPECT_TRUE(std::isfinite(pred[0]));
+}
+
+TEST(TwoLevelModel, TenPercentCorruptedHistoryStillTrainsEndToEnd) {
+  // The acceptance scenario for the robustness pipeline: corrupt 10% of
+  // the history, quarantine, train via fit_checked, and stay usable on a
+  // clean test set.
+  const auto exp = make_experiment(small_config());
+  Rng fault_rng(24);
+  FaultSummary injected;
+  const HistoryStore corrupted =
+      inject_faults(exp.history, FaultSpec::uniform(0.10), fault_rng,
+                    &injected);
+  EXPECT_GT(injected.total(), 0u);
+
+  const auto validated = validate_history(corrupted);
+  ASSERT_TRUE(validated.has_value());
+  const auto problem = make_problem(
+      validated->store, validated->store.scales(), exp.config.target_scales);
+  ASSERT_GT(problem.num_configs(), 0u);
+
+  TwoLevelModel model;
+  Rng rng(25);
+  const auto report = model.fit_checked(problem, rng);
+  ASSERT_TRUE(report.has_value()) << report.error().to_string();
+
+  std::size_t within_2x = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < exp.test.size(); ++i) {
+    const auto pred = model.predict(exp.test.configs.row(i), {});
+    for (std::size_t t = 0; t < pred.size(); ++t) {
+      ASSERT_TRUE(std::isfinite(pred[t]));
+      ASSERT_GT(pred[t], 0.0);
+      const double ratio = pred[t] / exp.test.target_times(i, t);
+      within_2x += (ratio > 0.5 && ratio < 2.0) ? 1 : 0;
+      ++total;
+    }
+  }
+  // Corruption costs accuracy but not usability: at least half the
+  // predictions stay within 2x of truth.
+  EXPECT_GE(within_2x * 2, total);
 }
 
 }  // namespace

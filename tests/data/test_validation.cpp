@@ -1,0 +1,196 @@
+#include "src/data/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/platform/history.hpp"
+
+namespace hpcp {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+ExecutionRecord record(double param, std::size_t nprocs, double runtime,
+                       std::uint64_t run_id) {
+  return ExecutionRecord{{param}, nprocs, runtime, run_id};
+}
+
+/// A healthy history: `configs` configurations at scales {1, 2, 4}.
+HistoryStore healthy_history(std::size_t configs = 4) {
+  HistoryStore store("app", {"n"});
+  std::uint64_t id = 0;
+  for (std::size_t c = 0; c < configs; ++c) {
+    const double work = 10.0 * static_cast<double>(c + 1);
+    for (const std::size_t p : {1, 2, 4}) {
+      store.append(record(work, p, work / static_cast<double>(p), id++));
+    }
+  }
+  return store;
+}
+
+TEST(Validation, CleanHistoryPassesUntouched) {
+  const auto store = healthy_history();
+  const auto result = validate_history(store);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->report.clean());
+  EXPECT_EQ(result->report.total, store.size());
+  EXPECT_EQ(result->report.kept, store.size());
+  EXPECT_EQ(result->store.size(), store.size());
+}
+
+TEST(Validation, QuarantinesEveryFaultKindWithReasons) {
+  auto store = healthy_history();
+  store.append_unchecked(record(5.0, 2, kNan, 100));    // non-finite runtime
+  store.append_unchecked(record(5.0, 2, -3.0, 101));    // non-positive
+  store.append_unchecked(record(kInf, 2, 1.0, 102));    // non-finite param
+  store.append_unchecked(record(5.0, 0, 1.0, 103));     // zero procs
+  store.append_unchecked(record(5.0, 2, 1.0, 0));       // duplicate run_id
+
+  const auto result = validate_history(store);
+  ASSERT_TRUE(result.has_value());
+  const auto& report = result->report;
+  EXPECT_EQ(report.num_quarantined(), 5u);
+  EXPECT_EQ(report.fault_counts[static_cast<std::size_t>(
+                RecordFault::NonFiniteRuntime)],
+            1u);
+  EXPECT_EQ(report.fault_counts[static_cast<std::size_t>(
+                RecordFault::NonPositiveRuntime)],
+            1u);
+  EXPECT_EQ(report.fault_counts[static_cast<std::size_t>(
+                RecordFault::NonFiniteParam)],
+            1u);
+  EXPECT_EQ(
+      report.fault_counts[static_cast<std::size_t>(RecordFault::ZeroProcs)],
+      1u);
+  EXPECT_EQ(report.fault_counts[static_cast<std::size_t>(
+                RecordFault::DuplicateRunId)],
+            1u);
+  for (const auto& q : report.quarantined) EXPECT_FALSE(q.detail.empty());
+  // The cleaned store only contains the healthy records.
+  EXPECT_EQ(result->store.size(), healthy_history().size());
+}
+
+TEST(Validation, GrossOutlierIsCaughtPlatformNoiseIsNot) {
+  HistoryStore store("app", {"n"});
+  std::uint64_t id = 0;
+  // 12 near-identical runtimes at one scale, one 1000x accounting glitch.
+  for (std::size_t i = 0; i < 12; ++i) {
+    store.append(record(1.0, 4, 10.0 + 0.1 * static_cast<double>(i), id++));
+  }
+  store.append(record(1.0, 4, 10'000.0, id++));
+
+  const auto result = validate_history(store);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->report.num_quarantined(), 1u);
+  EXPECT_EQ(result->report.quarantined[0].fault, RecordFault::RuntimeOutlier);
+  EXPECT_EQ(result->report.quarantined[0].run_id, 12u);
+}
+
+TEST(Validation, SparseScaleIsQuarantinedWholesale) {
+  auto store = healthy_history();
+  // A single stray measurement at p=32: too thin to learn from.
+  store.append(record(10.0, 32, 1.0, 999));
+
+  const auto result = validate_history(store);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->report.num_quarantined(), 1u);
+  EXPECT_EQ(result->report.quarantined[0].fault, RecordFault::SparseScale);
+  // The cleaned store no longer exposes the sparse scale.
+  for (const std::size_t s : result->store.scales()) EXPECT_NE(s, 32u);
+}
+
+TEST(Validation, StrictModeReturnsTypedErrorOnFirstFault) {
+  auto store = healthy_history();
+  store.append_unchecked(record(5.0, 2, kNan, 100));
+
+  ValidationOptions opts;
+  opts.strict = true;
+  const auto result = validate_history(store, opts);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, ErrorCode::BadData);
+  EXPECT_NE(result.error().message.find("non-finite"), std::string::npos);
+}
+
+TEST(Validation, NothingSurvivingIsDegenerate) {
+  HistoryStore store("app", {"n"});
+  store.append_unchecked(record(1.0, 0, kNan, 0));
+  store.append_unchecked(record(2.0, 0, -1.0, 1));
+
+  const auto result = validate_history(store);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, ErrorCode::Degenerate);
+}
+
+TEST(Validation, EmptyHistoryIsCleanNotDegenerate) {
+  const HistoryStore store("app", {"n"});
+  const auto result = validate_history(store);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->report.clean());
+  EXPECT_EQ(result->store.size(), 0u);
+}
+
+TEST(Validation, DisablingKnobsKeepsRecords) {
+  auto store = healthy_history();
+  store.append(record(5.0, 2, 1.0, 0));  // duplicate run_id
+
+  ValidationOptions opts;
+  opts.drop_duplicate_run_ids = false;
+  opts.min_rows_per_scale = 0;
+  opts.outlier_mad_threshold = 0.0;
+  const auto result = validate_history(store, opts);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->report.clean());
+  EXPECT_EQ(result->store.size(), store.size());
+}
+
+TEST(Validation, ReportSummaryAndCsvListQuarantine) {
+  auto store = healthy_history();
+  store.append_unchecked(record(5.0, 2, kNan, 100));
+
+  const auto result = validate_history(store);
+  ASSERT_TRUE(result.has_value());
+  const std::string summary = result->report.summary();
+  EXPECT_NE(summary.find("non-finite-runtime"), std::string::npos);
+  const CsvTable csv = result->report.to_csv();
+  ASSERT_EQ(csv.rows.size(), 1u);
+  EXPECT_EQ(csv.rows[0][csv.column("fault")],
+            std::string("non-finite-runtime"));
+  EXPECT_EQ(csv.rows[0][csv.column("run_id")], std::string("100"));
+}
+
+TEST(Validation, LenientLoadThenValidateHandlesHostileCsv) {
+  // End-to-end through the ingestion chain: a CSV with an unparseable row
+  // and a NaN runtime neither throws nor reaches the cleaned store.
+  CsvTable table;
+  table.header = {"n", "nprocs", "runtime", "run_id"};
+  table.rows = {
+      {"10", "1", "5.0", "0"},
+      {"10", "2", "2.5", "1"},
+      {"10", "4", "1.25", "2"},
+      {"oops", "1", "1.0", "3"},   // unparseable parameter
+      {"20", "1", "nan", "4"},     // parses, quarantined by validation
+      {"20", "2", "5.0", "5"},
+      {"20", "4", "2.5", "6"},
+  };
+  auto load = load_history_csv("app", table);
+  ASSERT_TRUE(load.has_value());
+  EXPECT_EQ(load->bad_rows.size(), 1u);
+  EXPECT_EQ(load->bad_rows[0].row, 4u);
+
+  ValidationOptions opts;
+  opts.min_rows_per_scale = 0;  // the fixture is deliberately tiny
+  const auto result = validate_history(load->store, opts);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->report.num_quarantined(), 1u);
+  EXPECT_EQ(result->report.quarantined[0].fault,
+            RecordFault::NonFiniteRuntime);
+  EXPECT_EQ(result->store.size(), 5u);
+}
+
+}  // namespace
+}  // namespace hpcp

@@ -1,0 +1,162 @@
+#include "src/platform/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "src/data/validation.hpp"
+
+namespace hpcp {
+namespace {
+
+HistoryStore sample_history(std::size_t configs = 40) {
+  HistoryStore store("app", {"n"});
+  std::uint64_t id = 0;
+  for (std::size_t c = 0; c < configs; ++c) {
+    const double work = 5.0 + static_cast<double>(c);
+    for (const std::size_t p : {1, 2, 4, 8}) {
+      store.append(
+          ExecutionRecord{{work}, p, work / static_cast<double>(p), id++});
+    }
+  }
+  return store;
+}
+
+TEST(FaultInjector, ZeroRateIsIdentity) {
+  const auto store = sample_history();
+  Rng rng(1);
+  FaultSummary summary;
+  const auto out = inject_faults(store, FaultSpec::uniform(0.0), rng, &summary);
+  EXPECT_EQ(summary.total(), 0u);
+  ASSERT_EQ(out.size(), store.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out.records()[i].runtime, store.records()[i].runtime);
+    EXPECT_EQ(out.records()[i].run_id, store.records()[i].run_id);
+  }
+}
+
+TEST(FaultInjector, DeterministicGivenSeed) {
+  const auto store = sample_history();
+  const auto spec = FaultSpec::uniform(0.3);
+  Rng rng_a(42);
+  Rng rng_b(42);
+  const auto a = inject_faults(store, spec, rng_a);
+  const auto b = inject_faults(store, spec, rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& ra = a.records()[i];
+    const auto& rb = b.records()[i];
+    EXPECT_EQ(ra.nprocs, rb.nprocs);
+    EXPECT_EQ(ra.run_id, rb.run_id);
+    EXPECT_TRUE(ra.runtime == rb.runtime ||
+                (std::isnan(ra.runtime) && std::isnan(rb.runtime)));
+  }
+}
+
+TEST(FaultInjector, InjectedDamageMatchesSummaryAndRate) {
+  const auto store = sample_history(100);  // 400 records
+  Rng rng(7);
+  FaultSummary summary;
+  const auto out = inject_faults(store, FaultSpec::uniform(0.2), rng, &summary);
+  EXPECT_EQ(out.size() + summary.dropped, store.size());
+  EXPECT_GT(summary.total(), 0u);
+  // ~20% of 400 records, with generous slack for sampling noise.
+  EXPECT_NEAR(static_cast<double>(summary.total()), 80.0, 40.0);
+
+  // Every non-dropped fault kind the summary claims is present in the data.
+  std::size_t nan_count = 0;
+  std::size_t negative = 0;
+  std::size_t zero_rt = 0;
+  std::size_t zero_procs = 0;
+  for (const auto& rec : out.records()) {
+    if (std::isnan(rec.runtime)) ++nan_count;
+    if (rec.runtime < 0.0) ++negative;
+    if (rec.runtime == 0.0) ++zero_rt;
+    if (rec.nprocs == 0) ++zero_procs;
+  }
+  EXPECT_EQ(nan_count, summary.nan_runtime);
+  EXPECT_EQ(negative, summary.negative_runtime);
+  EXPECT_EQ(zero_rt, summary.zero_runtime);
+  EXPECT_EQ(zero_procs, summary.zero_procs);
+}
+
+TEST(FaultInjector, ValidationCatchesEverySurvivingInjectedFault) {
+  // The contract the robustness pipeline rests on: whatever inject_faults
+  // leaves in the store (except plausible perturbations), validate_history
+  // quarantines.
+  const auto store = sample_history(60);
+  Rng rng(11);
+  FaultSpec spec;
+  spec.nan_runtime_rate = 0.05;
+  spec.negative_runtime_rate = 0.05;
+  spec.zero_runtime_rate = 0.05;
+  spec.zero_procs_rate = 0.05;
+  spec.duplicate_run_id_rate = 0.05;
+  FaultSummary summary;
+  const auto corrupted = inject_faults(store, spec, rng, &summary);
+
+  ValidationOptions opts;
+  opts.outlier_mad_threshold = 0.0;  // isolate the semantic faults
+  opts.min_rows_per_scale = 0;
+  const auto result = validate_history(corrupted, opts);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->report.num_quarantined(), summary.total());
+  for (const auto& rec : result->store.records()) {
+    EXPECT_TRUE(std::isfinite(rec.runtime));
+    EXPECT_GT(rec.runtime, 0.0);
+    EXPECT_GE(rec.nprocs, 1u);
+  }
+}
+
+TEST(FaultInjector, RateBoundsAreEnforced) {
+  EXPECT_THROW((void)FaultSpec::uniform(1.5), std::invalid_argument);
+  EXPECT_THROW((void)FaultSpec::uniform(-0.1), std::invalid_argument);
+}
+
+TEST(FaultInjector, CsvTruncationAndGarbageAreDeterministic) {
+  const auto store = sample_history(10);
+  std::ostringstream text;
+  csv_write(text, store.to_csv());
+
+  CsvFaultSpec spec;
+  spec.keep_fraction = 0.6;
+  spec.garbage_field_rate = 0.2;
+  Rng rng_a(3);
+  Rng rng_b(3);
+  const auto a = corrupt_csv_text(text.str(), spec, rng_a);
+  const auto b = corrupt_csv_text(text.str(), spec, rng_b);
+  EXPECT_EQ(a, b);
+  EXPECT_LT(a.size(), text.str().size());
+  EXPECT_NE(a.find("???"), std::string::npos);
+}
+
+TEST(FaultInjector, CorruptedCsvNeverCrashesTheIngestionChain) {
+  const auto store = sample_history(20);
+  std::ostringstream text;
+  csv_write(text, store.to_csv());
+
+  // Sweep several damage shapes; the chain must always produce either a
+  // typed error or a (possibly partial) load — never an exception.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    for (const double keep : {1.0, 0.9, 0.5, 0.1}) {
+      CsvFaultSpec spec;
+      spec.keep_fraction = keep;
+      spec.garbage_field_rate = 0.1;
+      spec.shuffle_columns = (seed % 2) == 1;
+      Rng rng(seed);
+      const auto damaged = corrupt_csv_text(text.str(), spec, rng);
+      std::istringstream in(damaged);
+      const auto table = csv_read_checked(in);
+      if (!table.has_value()) continue;  // typed parse error: acceptable
+      const auto load = load_history_csv("app", *table);
+      if (!load.has_value()) continue;  // typed schema error: acceptable
+      EXPECT_LE(load->store.size() + load->bad_rows.size(),
+                store.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hpcp

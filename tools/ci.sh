@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Local CI: a release build plus an ASan/UBSan build, each running the full
+# test suite. Usage: tools/ci.sh [--skip-sanitizers]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+skip_san=0
+[[ "${1:-}" == "--skip-sanitizers" ]] && skip_san=1
+
+run_matrix_entry() {
+  local name="$1"
+  shift
+  local dir="${repo_root}/build-ci-${name}"
+  echo "=== [${name}] configure ==="
+  cmake -B "${dir}" -S "${repo_root}" "$@"
+  echo "=== [${name}] build ==="
+  cmake --build "${dir}" -j"${jobs}"
+  echo "=== [${name}] test ==="
+  ctest --test-dir "${dir}" --output-on-failure -j"${jobs}"
+}
+
+run_matrix_entry release -DCMAKE_BUILD_TYPE=Release -DHPCP_WERROR=ON
+
+if [[ "${skip_san}" -eq 0 ]]; then
+  run_matrix_entry asan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    "-DHPCP_SANITIZE=address;undefined"
+fi
+
+echo "=== CI matrix passed ==="

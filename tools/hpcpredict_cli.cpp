@@ -10,6 +10,10 @@
 ///             --history, or loads a previously saved --model.
 ///   evaluate  Run the full model-vs-baselines comparison for a bundled
 ///             application and print the headline table.
+///   validate  Check a history CSV without training: parse leniently,
+///             quarantine invalid records, and report what was removed.
+///             Exit code 0 = clean, 3 = records quarantined, 1 = fatal
+///             (unreadable/unusable file). Never crashes on corrupt input.
 ///
 /// Examples:
 ///   hpcpredict_cli generate --app heat3d --configs 300
@@ -107,19 +111,83 @@ TwoLevelModel train_from_history(const Args& args,
                                  std::vector<std::string>* param_names) {
   const std::string history_path = args.get("history");
   const auto targets = parse_scales(args.get("targets"));
-  const HistoryStore history =
-      HistoryStore::from_csv("history", csv_read_file(history_path));
+
+  // Lenient ingestion: unparseable rows and invalid records are quarantined
+  // (and reported) instead of aborting the whole training run.
+  HistoryLoad load =
+      load_history_csv("history", csv_read_file(history_path))
+          .value_or_throw();
+  if (!load.bad_rows.empty()) {
+    std::cout << "quarantined " << load.bad_rows.size()
+              << " unparseable row(s) at load\n";
+  }
+  ValidatedHistory validated =
+      validate_history(load.store).value_or_throw();
+  if (!validated.report.clean()) {
+    std::cout << "quarantined " << validated.report.num_quarantined()
+              << " invalid record(s):\n"
+              << validated.report.summary();
+  }
+  const HistoryStore& history = validated.store;
+
   const ExtrapolationProblem problem =
       make_problem(history, history.scales(), targets);
   std::cout << "history: " << problem.num_configs() << " configurations at "
             << history.scales().size() << " small scales\n";
   TwoLevelModel model;
   Rng rng(args.get_size("seed", 42));
-  model.fit(problem, rng);
+  const TrainReport report = model.fit_checked(problem, rng).value_or_throw();
   std::cout << "trained two-level model ("
             << model.extrapolation().num_clusters() << " cluster(s))\n";
+  if (!report.fully_nominal()) {
+    std::cout << "training degraded from the nominal path:\n"
+              << report.summary();
+  }
   if (param_names != nullptr) *param_names = problem.param_names;
   return model;
+}
+
+int cmd_validate(const Args& args) {
+  // Data faults must come back as messages and exit codes, never as
+  // uncaught exceptions — this subcommand exists to be pointed at garbage.
+  const std::string history_path = args.get("history");
+  auto table = csv_read_file_checked(history_path);
+  if (!table) {
+    std::cerr << "error: " << table.error().to_string() << '\n';
+    return 1;
+  }
+  auto load = load_history_csv("history", *table);
+  if (!load) {
+    std::cerr << "error: " << load.error().to_string() << '\n';
+    return 1;
+  }
+  if (!load->bad_rows.empty()) {
+    std::cout << load->bad_rows.size() << " unparseable row(s):\n";
+    for (const auto& fault : load->bad_rows) {
+      std::cout << "  data row " << fault.row << ": " << fault.detail << '\n';
+    }
+  }
+
+  ValidationOptions opts;
+  opts.strict = args.has("strict");
+  auto validated = validate_history(load->store, opts);
+  if (!validated) {
+    std::cerr << "error: " << validated.error().to_string() << '\n';
+    return 1;
+  }
+  std::cout << validated->report.summary();
+  if (args.has("report")) {
+    csv_write_file(args.get("report"), validated->report.to_csv());
+    std::cout << "wrote quarantine listing to " << args.get("report") << '\n';
+  }
+  if (args.has("out")) {
+    csv_write_file(args.get("out"), validated->store.to_csv());
+    std::cout << "wrote cleaned history ("<< validated->store.size()
+              << " record(s)) to " << args.get("out") << '\n';
+  }
+  const std::size_t faults =
+      load->bad_rows.size() + validated->report.num_quarantined();
+  return faults > 0 ? 3 : 0;
 }
 
 int cmd_train(const Args& args) {
@@ -232,14 +300,17 @@ int cmd_evaluate(const Args& args) {
 
 void print_usage() {
   std::cout <<
-      "usage: hpcpredict_cli <generate|train|predict|evaluate> [--flags]\n"
+      "usage: hpcpredict_cli <generate|train|predict|evaluate|validate> "
+      "[--flags]\n"
       "  generate --app NAME --out FILE [--configs N] [--scales 1,2,4,8,16]\n"
       "           [--runs-per-point N] [--seed S]\n"
       "  train    --history FILE --targets P1,P2,... --save FILE [--seed S]\n"
       "  predict  (--model FILE | --history FILE --targets P1,P2,...)\n"
       "           --queries FILE [--out FILE] [--uncertainty] [--seed S]\n"
       "  evaluate --app NAME [--configs N] [--test-configs N]\n"
-      "           [--scales ...] [--targets ...] [--seed S]\n";
+      "           [--scales ...] [--targets ...] [--seed S]\n"
+      "  validate --history FILE [--strict] [--out CLEAN_FILE]\n"
+      "           [--report QUARANTINE_FILE]\n";
 }
 
 }  // namespace
@@ -250,12 +321,15 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string command = argv[1];
+  // Nothing may escape main: any exception (including data errors on the
+  // non-validate paths) becomes exit code 1 with a one-line message.
   try {
     const Args args(argc, argv);
     if (command == "generate") return cmd_generate(args);
     if (command == "train") return cmd_train(args);
     if (command == "predict") return cmd_predict(args);
     if (command == "evaluate") return cmd_evaluate(args);
+    if (command == "validate") return cmd_validate(args);
     print_usage();
     return 2;
   } catch (const std::exception& e) {
