@@ -1,23 +1,46 @@
-/// Microbenchmarks of the random-forest learner (google-benchmark):
-/// training and prediction throughput as functions of dataset size and
-/// ensemble size.
+/// Pinned-seed forest performance suite: fit (exact vs histogram split
+/// finding), prediction (per-row reference walk vs batched FlatForest), and
+/// the out-of-bag pass, at one and `hardware_concurrency` threads.
+///
+/// Unlike the other microbenchmarks this is a plain executable (no
+/// google-benchmark): every case runs a fixed workload from a fixed seed so
+/// runs are comparable across commits, and the results are written as JSON
+/// (schema "hpcp-bench-forest/1", documented in EXPERIMENTS.md) for the
+/// tracked BENCH_forest.json at the repo root. `tools/ci.sh bench-smoke`
+/// runs `--short` mode and validates the output.
+///
+/// Usage: bench_micro_forest [--short] [--json PATH]
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "src/common/rng.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/forest/random_forest.hpp"
+#include "src/linear/matrix.hpp"
 
 namespace {
 
 using hpcp::Matrix;
 using hpcp::RandomForest;
 using hpcp::Rng;
+using hpcp::SplitMode;
+using hpcp::ThreadPool;
 
 struct Data {
   Matrix x;
   std::vector<double> y;
 };
 
+/// Synthetic regression task from a pinned seed: mildly nonlinear response
+/// over uniform features plus noise, the same shape every run.
 Data make_data(std::size_t n, std::size_t d) {
   Rng rng(42);
   Data data;
@@ -26,61 +49,199 @@ Data make_data(std::size_t n, std::size_t d) {
   for (std::size_t i = 0; i < n; ++i) {
     double acc = 0.0;
     for (std::size_t j = 0; j < d; ++j) {
-      data.x(i, j) = rng.uniform();
-      acc += (static_cast<double>(j) + 1.0) * data.x(i, j);
+      const double v = rng.uniform();
+      data.x(i, j) = v;
+      acc += (static_cast<double>(j) + 1.0) * v;
+      if (j + 1 < d) acc += 0.5 * v * v;
     }
     data.y[i] = acc + rng.normal(0.0, 0.1);
   }
   return data;
 }
 
-void BM_ForestFit(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto trees = static_cast<std::size_t>(state.range(1));
-  const Data data = make_data(n, 4);
-  for (auto _ : state) {
-    RandomForest forest({.num_trees = trees, .compute_oob = false});
-    Rng rng(7);
-    forest.fit(data.x, data.y, rng);
-    benchmark::DoNotOptimize(forest.num_trees());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
-}
-BENCHMARK(BM_ForestFit)
-    ->Args({100, 50})
-    ->Args({300, 50})
-    ->Args({1000, 50})
-    ->Args({300, 100})
-    ->Args({300, 200})
-    ->Unit(benchmark::kMillisecond);
+struct Case {
+  std::string name;
+  double seconds = 0.0;
+  std::size_t reps = 0;
+};
 
-void BM_ForestPredict(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const Data data = make_data(n, 4);
-  RandomForest forest({.num_trees = 100, .compute_oob = false});
-  Rng rng(7);
-  forest.fit(data.x, data.y, rng);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(forest.predict(data.x.row(i % n)));
-    ++i;
+/// Runs fn() `reps` times and records the fastest wall-clock time.
+Case run_case(const std::string& name, std::size_t reps,
+              const std::function<void()>& fn) {
+  Case c{name, 0.0, reps};
+  double best = 0.0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    if (r == 0 || s < best) best = s;
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  c.seconds = best;
+  std::printf("%-28s %10.4f s   (best of %zu)\n", name.c_str(), best, reps);
+  std::fflush(stdout);
+  return c;
 }
-BENCHMARK(BM_ForestPredict)->Arg(300)->Arg(1000)->Unit(benchmark::kMicrosecond);
 
-void BM_SingleTreeFit(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const Data data = make_data(n, 4);
-  for (auto _ : state) {
-    hpcp::RegressionTree tree;
-    Rng rng(3);
-    tree.fit(data.x, data.y, {}, rng);
-    benchmark::DoNotOptimize(tree.num_nodes());
-  }
+hpcp::ForestOptions forest_options(std::size_t trees, SplitMode mode,
+                                   std::size_t max_bins, bool oob) {
+  hpcp::ForestOptions opts;
+  opts.num_trees = trees;
+  opts.compute_oob = oob;
+  opts.tree.split_mode = mode;
+  opts.tree.max_bins = max_bins;
+  return opts;
 }
-BENCHMARK(BM_SingleTreeFit)->Arg(100)->Arg(1000)->Arg(5000)
-    ->Unit(benchmark::kMillisecond);
+
+/// The seed's per-row prediction path: walk every pointer-style tree for
+/// every row. The batched case runs the same forest through FlatForest.
+std::vector<double> predict_per_row(const RandomForest& forest,
+                                    const Matrix& x) {
+  std::vector<double> out(x.rows(), 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    double acc = 0.0;
+    for (std::size_t t = 0; t < forest.num_trees(); ++t) {
+      acc += forest.tree(t).predict(x.row(r));
+    }
+    out[r] = acc / static_cast<double>(forest.num_trees());
+  }
+  return out;
+}
+
+void write_json(const std::string& path, bool short_mode, std::size_t rows,
+                std::size_t cols, std::size_t trees, std::size_t max_bins,
+                std::size_t threads, const std::vector<Case>& cases) {
+  auto find = [&cases](const std::string& name) -> double {
+    for (const auto& c : cases) {
+      if (c.name == name) return c.seconds;
+    }
+    return 0.0;
+  };
+  auto ratio = [](double a, double b) { return b > 0.0 ? a / b : 0.0; };
+  const double fit_speedup = ratio(find("fit_exact_t1"), find("fit_hist_t1"));
+  const double predict_speedup =
+      ratio(find("predict_per_row"), find("predict_batched"));
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << "{\n";
+  out << "  \"schema\": \"hpcp-bench-forest/1\",\n";
+  out << "  \"short_mode\": " << (short_mode ? "true" : "false") << ",\n";
+  out << "  \"config\": {\n";
+  out << "    \"rows\": " << rows << ",\n";
+  out << "    \"cols\": " << cols << ",\n";
+  out << "    \"trees\": " << trees << ",\n";
+  out << "    \"max_bins\": " << max_bins << ",\n";
+  out << "    \"max_threads\": " << threads << "\n";
+  out << "  },\n";
+  out << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    out << "    {\"name\": \"" << cases[i].name
+        << "\", \"seconds\": " << cases[i].seconds
+        << ", \"reps\": " << cases[i].reps << "}"
+        << (i + 1 < cases.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"speedups\": {\n";
+  out << "    \"fit_hist_vs_exact\": " << fit_speedup << ",\n";
+  out << "    \"predict_batched_vs_per_row\": " << predict_speedup << "\n";
+  out << "  }\n";
+  out << "}\n";
+  std::printf("\nspeedups: fit hist/exact = %.2fx, predict batched/per-row = "
+              "%.2fx\nwrote %s\n",
+              fit_speedup, predict_speedup, path.c_str());
+}
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  bool short_mode = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--short") {
+      short_mode = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--short] [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // Full mode is the acceptance workload from DESIGN.md "Performance";
+  // short mode shrinks it for the CI smoke run.
+  const std::size_t rows = short_mode ? 512 : 4096;
+  const std::size_t cols = short_mode ? 8 : 16;
+  const std::size_t trees = short_mode ? 20 : 200;
+  const std::size_t max_bins = 64;
+  const std::size_t reps = short_mode ? 1 : 2;
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  const Data data = make_data(rows, cols);
+  ThreadPool one_thread(1);
+  ThreadPool many_threads(hw);
+
+  std::printf("forest bench: n=%zu d=%zu trees=%zu max_bins=%zu threads=%zu\n\n",
+              rows, cols, trees, max_bins, hw);
+
+  std::vector<Case> cases;
+  cases.push_back(run_case("fit_exact_t1", reps, [&] {
+    RandomForest forest(forest_options(trees, SplitMode::kExact, max_bins,
+                                       /*oob=*/false));
+    Rng rng(7);
+    forest.fit(data.x, data.y, rng, &one_thread);
+  }));
+  cases.push_back(run_case("fit_hist_t1", reps, [&] {
+    RandomForest forest(forest_options(trees, SplitMode::kHistogram, max_bins,
+                                       /*oob=*/false));
+    Rng rng(7);
+    forest.fit(data.x, data.y, rng, &one_thread);
+  }));
+  if (hw > 1) {
+    cases.push_back(run_case("fit_hist_tN", reps, [&] {
+      RandomForest forest(forest_options(trees, SplitMode::kHistogram,
+                                         max_bins, /*oob=*/false));
+      Rng rng(7);
+      forest.fit(data.x, data.y, rng, &many_threads);
+    }));
+  }
+  cases.push_back(run_case("fit_oob_hist_t1", reps, [&] {
+    RandomForest forest(forest_options(trees, SplitMode::kHistogram, max_bins,
+                                       /*oob=*/true));
+    Rng rng(7);
+    forest.fit(data.x, data.y, rng, &one_thread);
+  }));
+
+  RandomForest forest(forest_options(trees, SplitMode::kHistogram, max_bins,
+                                     /*oob=*/false));
+  {
+    Rng rng(7);
+    forest.fit(data.x, data.y, rng, &one_thread);
+  }
+  const std::size_t predict_reps = short_mode ? 2 : 5;
+  std::vector<double> sink;
+  cases.push_back(run_case("predict_per_row", predict_reps, [&] {
+    sink = predict_per_row(forest, data.x);
+  }));
+  const std::vector<double> reference = sink;
+  cases.push_back(run_case("predict_batched", predict_reps, [&] {
+    sink = forest.predict(data.x);
+  }));
+  // Sanity: the fast path must agree with the reference walk bit-for-bit.
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (sink[r] != reference[r]) {
+      std::fprintf(stderr, "batched/per-row mismatch at row %zu\n", r);
+      return 1;
+    }
+  }
+
+  if (!json_path.empty()) {
+    write_json(json_path, short_mode, rows, cols, trees, max_bins, hw, cases);
+  }
+  return 0;
+}

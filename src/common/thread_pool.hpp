@@ -7,6 +7,7 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 /// \file thread_pool.hpp
@@ -65,5 +66,22 @@ class ThreadPool {
 /// Falls back to a serial loop for n <= 1 or a single-worker pool.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   ThreadPool* pool = nullptr);
+
+/// Deterministic parallel map: runs make(i) for every i in [0, n) across
+/// the pool and returns the results in index order, regardless of worker
+/// scheduling. Callers that must reduce deterministically (e.g. the random
+/// forest's OOB accumulation in tree order) fold the returned vector
+/// serially — the parallelism never touches the reduction order. The
+/// result type must be default-constructible; make must not share mutable
+/// state across items (pre-fork any Rngs, see the pool's determinism note).
+template <typename F>
+[[nodiscard]] auto parallel_map(std::size_t n, F&& make,
+                                ThreadPool* pool = nullptr)
+    -> std::vector<std::invoke_result_t<F&, std::size_t>> {
+  std::vector<std::invoke_result_t<F&, std::size_t>> out(n);
+  parallel_for(
+      n, [&](std::size_t i) { out[i] = make(i); }, pool);
+  return out;
+}
 
 }  // namespace hpcp

@@ -56,10 +56,15 @@ InterpolationLevel::CurveWithSpread InterpolationLevel::predict_curve_stats(
 }
 
 Matrix InterpolationLevel::predict_curves(const Matrix& configs) const {
+  HPCP_REQUIRE(fitted(), "predict before fit");
+  // One batched FlatForest pass per scale instead of a scalar tree walk per
+  // (configuration, scale) — the hot path of every experiment driver.
   Matrix out(configs.rows(), forests_.size());
-  for (std::size_t r = 0; r < configs.rows(); ++r) {
-    const auto curve = predict_curve(configs.row(r));
-    out.set_row(r, curve);
+  for (std::size_t s = 0; s < forests_.size(); ++s) {
+    const auto col = forests_[s].predict(configs);
+    for (std::size_t r = 0; r < configs.rows(); ++r) {
+      out(r, s) = log_target_ ? std::exp(col[r]) : col[r];
+    }
   }
   return out;
 }

@@ -1,0 +1,67 @@
+#include "src/forest/binning.hpp"
+
+#include <algorithm>
+
+#include "src/common/check.hpp"
+
+namespace hpcp {
+
+BinnedMatrix BinnedMatrix::build(const Matrix& x, std::size_t max_bins) {
+  HPCP_REQUIRE(max_bins >= 2 && max_bins <= 65536,
+               "max_bins must be in [2, 65536]");
+  HPCP_REQUIRE(!x.empty(), "cannot bin an empty matrix");
+
+  BinnedMatrix out;
+  out.rows_ = x.rows();
+  out.cols_ = x.cols();
+  out.max_bins_ = max_bins;
+  out.boundaries_.resize(x.cols());
+  out.codes_.resize(x.rows() * x.cols());
+
+  std::vector<double> sorted(x.rows());
+  for (std::size_t f = 0; f < x.cols(); ++f) {
+    for (std::size_t r = 0; r < x.rows(); ++r) sorted[r] = x(r, f);
+    std::sort(sorted.begin(), sorted.end());
+
+    std::size_t distinct = 1;
+    for (std::size_t r = 1; r < sorted.size(); ++r) {
+      distinct += sorted[r] != sorted[r - 1] ? 1 : 0;
+    }
+
+    auto& bounds = out.boundaries_[f];
+    if (distinct <= max_bins) {
+      // One bin per distinct value: boundaries at every adjacent-distinct
+      // midpoint, exactly the exact scan's candidate thresholds.
+      bounds.reserve(distinct - 1);
+      for (std::size_t r = 1; r < sorted.size(); ++r) {
+        if (sorted[r] != sorted[r - 1]) {
+          bounds.push_back(0.5 * (sorted[r - 1] + sorted[r]));
+        }
+      }
+    } else {
+      // Evenly spaced quantile cuts, each advanced to the next distinct
+      // adjacent pair so a boundary never lands inside a run of duplicates.
+      bounds.reserve(max_bins - 1);
+      const std::size_t n = sorted.size();
+      for (std::size_t k = 1; k < max_bins; ++k) {
+        std::size_t i = n * k / max_bins;
+        if (i == 0) i = 1;
+        while (i < n && sorted[i] == sorted[i - 1]) ++i;
+        if (i >= n) break;
+        const double cut = 0.5 * (sorted[i - 1] + sorted[i]);
+        if (bounds.empty() || cut > bounds.back()) bounds.push_back(cut);
+      }
+    }
+
+    // code(v) = #{j : bounds[j] < v} = index of first boundary >= v.
+    std::uint16_t* col = out.codes_.data() + f * out.rows_;
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      const auto it =
+          std::lower_bound(bounds.begin(), bounds.end(), x(r, f));
+      col[r] = static_cast<std::uint16_t>(it - bounds.begin());
+    }
+  }
+  return out;
+}
+
+}  // namespace hpcp

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/linear/matrix.hpp"
+
+/// \file binning.hpp
+/// Quantile pre-binning of feature columns for histogram-based split
+/// finding (tree.hpp). Each feature column is discretised once per fit into
+/// at most `max_bins` ordered bins; tree nodes then scan per-bin histograms
+/// instead of re-sorting rows for every candidate feature.
+///
+/// Boundary semantics: `boundaries(f)` is the ascending list of candidate
+/// split thresholds for feature f. A value v falls into bin
+/// `code(v) = #{j : boundaries[j] < v}`, which makes
+/// `code(v) <= b  <=>  v <= boundaries[b]` — so a histogram split "bins
+/// 0..b go left" is exactly the raw-value test `v <= boundaries[b]`, and
+/// thresholds stored in tree nodes remain plain doubles comparable against
+/// unbinned inputs at prediction time.
+///
+/// Boundaries are placed at midpoints between adjacent *distinct* sorted
+/// values. When a feature has at most `max_bins` distinct values, every
+/// distinct value gets its own bin and the candidate thresholds coincide
+/// with the exact sorted-scan's — histogram splits are then identical to
+/// exact splits. Otherwise cut positions are chosen at evenly spaced
+/// quantiles of the (duplicate-weighted) sorted column, nudged forward out
+/// of runs of equal values.
+
+namespace hpcp {
+
+class BinnedMatrix {
+ public:
+  BinnedMatrix() = default;
+
+  /// Bin every column of x over the given rows (duplicates allowed; they
+  /// weight the quantiles). Codes are computed for *all* rows of x so
+  /// arbitrary row subsets (bootstrap samples) can be binned-trained later.
+  /// Requires 2 <= max_bins <= 65536.
+  [[nodiscard]] static BinnedMatrix build(const Matrix& x,
+                                          std::size_t max_bins);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t max_bins() const noexcept { return max_bins_; }
+
+  /// Bin index of row r, feature f; in [0, num_bins(f)).
+  [[nodiscard]] std::uint16_t code(std::size_t r, std::size_t f) const noexcept {
+    return codes_[f * rows_ + r];
+  }
+
+  /// Contiguous column of codes for feature f (one entry per row).
+  [[nodiscard]] const std::uint16_t* column(std::size_t f) const noexcept {
+    return codes_.data() + f * rows_;
+  }
+
+  /// Candidate split thresholds for feature f, ascending. Bins number
+  /// boundaries(f).size() + 1; a constant column has no boundaries.
+  [[nodiscard]] const std::vector<double>& boundaries(std::size_t f) const {
+    return boundaries_[f];
+  }
+
+  [[nodiscard]] std::size_t num_bins(std::size_t f) const {
+    return boundaries_[f].size() + 1;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t max_bins_ = 0;
+  std::vector<std::vector<double>> boundaries_;  ///< per feature
+  std::vector<std::uint16_t> codes_;             ///< column-major [f * rows_ + r]
+};
+
+}  // namespace hpcp

@@ -1,0 +1,196 @@
+#include "src/forest/flat_forest.hpp"
+
+#include <algorithm>
+
+#include "src/common/check.hpp"
+
+namespace hpcp {
+
+FlatForest FlatForest::build(std::span<const RegressionTree> trees) {
+  FlatForest flat;
+  std::size_t total = 0;
+  for (const auto& tree : trees) {
+    HPCP_REQUIRE(tree.fitted(), "cannot flatten an unfitted tree");
+    total += tree.num_nodes();
+  }
+  flat.feature_.reserve(total);
+  flat.threshold_.reserve(total);
+  flat.left_.reserve(total);
+  flat.right_.reserve(total);
+  flat.value_.reserve(total);
+  flat.roots_.reserve(trees.size() + 1);
+  flat.roots_.push_back(0);
+  for (const auto& tree : trees) {
+    const auto base = static_cast<std::int32_t>(flat.value_.size());
+    for (const auto& node : tree.nodes()) {
+      flat.feature_.push_back(node.feature);
+      flat.threshold_.push_back(node.threshold);
+      flat.left_.push_back(node.left < 0 ? -1 : node.left + base);
+      flat.right_.push_back(node.right < 0 ? -1 : node.right + base);
+      flat.value_.push_back(node.value);
+      if (node.left >= 0) {
+        flat.min_width_ = std::max(
+            flat.min_width_, static_cast<std::size_t>(node.feature) + 1);
+      }
+    }
+    flat.roots_.push_back(static_cast<std::int32_t>(flat.value_.size()));
+  }
+  return flat;
+}
+
+void FlatForest::check_width(std::size_t width) const {
+  HPCP_REQUIRE(width >= min_width_, "feature width mismatch");
+}
+
+std::vector<double> FlatForest::predict_mean(const Matrix& x) const {
+  HPCP_REQUIRE(!empty(), "predict before build");
+  check_width(x.cols());
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  const double* xd = x.data().data();
+  std::vector<double> acc(n, 0.0);
+  std::vector<std::int32_t> cur(n);
+  for (std::size_t t = 0; t < num_trees(); ++t) {
+    std::fill(cur.begin(), cur.end(), roots_[t]);
+    // Level-synchronous walk: each pass advances every still-internal row
+    // one level; rows already at a leaf stay put.
+    for (bool active = true; active;) {
+      active = false;
+      for (std::size_t r = 0; r < n; ++r) {
+        const std::int32_t nd = cur[r];
+        const std::int32_t l = left_[nd];
+        if (l < 0) continue;
+        cur[r] = xd[r * d + static_cast<std::size_t>(feature_[nd])] <=
+                         threshold_[nd]
+                     ? l
+                     : right_[nd];
+        active = true;
+      }
+    }
+    for (std::size_t r = 0; r < n; ++r) acc[r] += value_[cur[r]];
+  }
+  // Divide (don't multiply by a reciprocal): bitwise identical to the
+  // per-row reference walk, which the parity tests require.
+  const auto trees = static_cast<double>(num_trees());
+  for (auto& v : acc) v /= trees;
+  return acc;
+}
+
+void FlatForest::predict_moments(const Matrix& x, std::span<double> sum,
+                                 std::span<double> sum_sq) const {
+  HPCP_REQUIRE(!empty(), "predict before build");
+  check_width(x.cols());
+  HPCP_REQUIRE(sum.size() == x.rows() && sum_sq.size() == x.rows(),
+               "moment spans must match row count");
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  const double* xd = x.data().data();
+  std::fill(sum.begin(), sum.end(), 0.0);
+  std::fill(sum_sq.begin(), sum_sq.end(), 0.0);
+  std::vector<std::int32_t> cur(n);
+  for (std::size_t t = 0; t < num_trees(); ++t) {
+    std::fill(cur.begin(), cur.end(), roots_[t]);
+    for (bool active = true; active;) {
+      active = false;
+      for (std::size_t r = 0; r < n; ++r) {
+        const std::int32_t nd = cur[r];
+        const std::int32_t l = left_[nd];
+        if (l < 0) continue;
+        cur[r] = xd[r * d + static_cast<std::size_t>(feature_[nd])] <=
+                         threshold_[nd]
+                     ? l
+                     : right_[nd];
+        active = true;
+      }
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      const double p = value_[cur[r]];
+      sum[r] += p;
+      sum_sq[r] += p * p;
+    }
+  }
+}
+
+void FlatForest::predict_row_moments(std::span<const double> features,
+                                     double& sum, double& sum_sq) const {
+  HPCP_REQUIRE(!empty(), "predict before build");
+  check_width(features.size());
+  sum = 0.0;
+  sum_sq = 0.0;
+  for (std::size_t t = 0; t < num_trees(); ++t) {
+    std::int32_t nd = roots_[t];
+    while (left_[nd] >= 0) {
+      nd = features[static_cast<std::size_t>(feature_[nd])] <= threshold_[nd]
+               ? left_[nd]
+               : right_[nd];
+    }
+    const double p = value_[nd];
+    sum += p;
+    sum_sq += p * p;
+  }
+}
+
+double FlatForest::predict_tree_row(std::size_t t,
+                                    std::span<const double> features) const {
+  HPCP_REQUIRE(t < num_trees(), "tree index out of range");
+  check_width(features.size());
+  std::int32_t nd = roots_[t];
+  while (left_[nd] >= 0) {
+    nd = features[static_cast<std::size_t>(feature_[nd])] <= threshold_[nd]
+             ? left_[nd]
+             : right_[nd];
+  }
+  return value_[nd];
+}
+
+void FlatForest::predict_tree_rows(std::size_t t, const Matrix& x,
+                                   std::span<const std::size_t> rows,
+                                   std::span<double> out) const {
+  HPCP_REQUIRE(t < num_trees(), "tree index out of range");
+  check_width(x.cols());
+  HPCP_REQUIRE(out.size() == rows.size(), "output span must match row list");
+  const std::size_t d = x.cols();
+  const double* xd = x.data().data();
+  std::vector<std::int32_t> cur(rows.size(), roots_[t]);
+  for (bool active = true; active;) {
+    active = false;
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      const std::int32_t nd = cur[k];
+      const std::int32_t l = left_[nd];
+      if (l < 0) continue;
+      cur[k] = xd[rows[k] * d + static_cast<std::size_t>(feature_[nd])] <=
+                       threshold_[nd]
+                   ? l
+                   : right_[nd];
+      active = true;
+    }
+  }
+  for (std::size_t k = 0; k < rows.size(); ++k) out[k] = value_[cur[k]];
+}
+
+void FlatForest::accumulate_tree(std::size_t t, const Matrix& x, double scale,
+                                 std::span<double> acc) const {
+  HPCP_REQUIRE(t < num_trees(), "tree index out of range");
+  check_width(x.cols());
+  HPCP_REQUIRE(acc.size() == x.rows(), "accumulator must match row count");
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  const double* xd = x.data().data();
+  std::vector<std::int32_t> cur(n, roots_[t]);
+  for (bool active = true; active;) {
+    active = false;
+    for (std::size_t r = 0; r < n; ++r) {
+      const std::int32_t nd = cur[r];
+      const std::int32_t l = left_[nd];
+      if (l < 0) continue;
+      cur[r] = xd[r * d + static_cast<std::size_t>(feature_[nd])] <=
+                       threshold_[nd]
+                   ? l
+                   : right_[nd];
+      active = true;
+    }
+  }
+  for (std::size_t r = 0; r < n; ++r) acc[r] += scale * value_[cur[r]];
+}
+
+}  // namespace hpcp

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/forest/tree.hpp"
+#include "src/linear/matrix.hpp"
+
+/// \file flat_forest.hpp
+/// Structure-of-arrays tree ensemble for batched inference.
+///
+/// FlatForest packs any number of fitted RegressionTrees into five
+/// contiguous parallel arrays (feature / threshold / left / right / value)
+/// with per-tree root offsets. Batched prediction walks *all rows
+/// level-by-level*: every pass advances every still-active row one level,
+/// so the upper tree levels — shared by all rows — stay cache-resident
+/// while the row block streams through, and there is no per-row function
+/// call or per-node validity check on the hot path (the feature width is
+/// checked once per call instead).
+///
+/// RandomForest and GradientBoostedTrees build a FlatForest after fitting
+/// and route predict / predict_stats / OOB / staged prediction through it;
+/// the node-based trees remain the canonical fitted representation (and the
+/// serialization format).
+
+namespace hpcp {
+
+class FlatForest {
+ public:
+  FlatForest() = default;
+
+  /// Flatten an ensemble; all trees must be fitted.
+  [[nodiscard]] static FlatForest build(std::span<const RegressionTree> trees);
+
+  [[nodiscard]] std::size_t num_trees() const noexcept {
+    return roots_.empty() ? 0 : roots_.size() - 1;
+  }
+  [[nodiscard]] bool empty() const noexcept { return num_trees() == 0; }
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return value_.size(); }
+  /// Minimum feature-vector width accepted by predict calls.
+  [[nodiscard]] std::size_t min_feature_width() const noexcept {
+    return min_width_;
+  }
+
+  /// Mean per-tree prediction for every row of x (the ensemble average).
+  [[nodiscard]] std::vector<double> predict_mean(const Matrix& x) const;
+
+  /// Per-row sum and sum-of-squares of the per-tree predictions, in tree
+  /// order (for ensemble-spread statistics). Both spans must have x.rows()
+  /// elements.
+  void predict_moments(const Matrix& x, std::span<double> sum,
+                       std::span<double> sum_sq) const;
+
+  /// Scalar path: sum and sum-of-squares over trees for one feature vector.
+  void predict_row_moments(std::span<const double> features, double& sum,
+                           double& sum_sq) const;
+
+  /// Prediction of tree t for one feature vector.
+  [[nodiscard]] double predict_tree_row(std::size_t t,
+                                        std::span<const double> features) const;
+
+  /// Batched prediction of tree t over a row subset: out[k] = tree t's
+  /// prediction for x.row(rows[k]). Used by the out-of-bag pass.
+  void predict_tree_rows(std::size_t t, const Matrix& x,
+                         std::span<const std::size_t> rows,
+                         std::span<double> out) const;
+
+  /// acc[r] += scale * (tree t's prediction for row r), for every row of x.
+  /// Used by GBM's staged residual updates and staged prediction.
+  void accumulate_tree(std::size_t t, const Matrix& x, double scale,
+                       std::span<double> acc) const;
+
+ private:
+  void check_width(std::size_t width) const;
+
+  std::vector<std::int32_t> feature_;
+  std::vector<double> threshold_;
+  std::vector<std::int32_t> left_;
+  std::vector<std::int32_t> right_;
+  std::vector<double> value_;
+  std::vector<std::int32_t> roots_;  ///< tree t's nodes: [roots_[t], roots_[t+1])
+  std::size_t min_width_ = 0;
+};
+
+}  // namespace hpcp

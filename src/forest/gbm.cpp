@@ -5,6 +5,7 @@
 
 #include "src/common/check.hpp"
 #include "src/common/stats.hpp"
+#include "src/forest/binning.hpp"
 
 namespace hpcp {
 
@@ -32,6 +33,16 @@ void GradientBoostedTrees::fit(const Matrix& x, std::span<const double> y,
   const auto sample_rows = std::max<std::size_t>(
       1, static_cast<std::size_t>(opts_.subsample * static_cast<double>(n)));
 
+  // Bin once; every round's tree shares the same feature bins (the feature
+  // matrix never changes across rounds — only the residual target does).
+  const bool want_hist =
+      opts_.tree.split_mode == SplitMode::kHistogram ||
+      (opts_.tree.split_mode == SplitMode::kAuto &&
+       sample_rows > opts_.tree.exact_cutoff);
+  BinnedMatrix bins;
+  if (want_hist) bins = BinnedMatrix::build(x, opts_.tree.max_bins);
+  const BinnedMatrix* shared_bins = want_hist ? &bins : nullptr;
+
   for (std::size_t round = 0; round < opts_.num_rounds; ++round) {
     std::vector<std::size_t> rows;
     if (sample_rows < n) {
@@ -42,31 +53,54 @@ void GradientBoostedTrees::fit(const Matrix& x, std::span<const double> y,
     }
     RegressionTree tree;
     Rng tree_rng = rng.fork();
-    tree.fit(x, residual, rows, opts_.tree, tree_rng);
+    tree.fit(x, residual, rows, opts_.tree, tree_rng, shared_bins);
 
+    // Staged residual update, batched over all rows via the flat layout.
+    const FlatForest stage = FlatForest::build({&tree, 1});
+    stage.accumulate_tree(0, x, -opts_.learning_rate, residual);
     double mse = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      residual[i] -= opts_.learning_rate * tree.predict(x.row(i));
-      mse += residual[i] * residual[i];
-    }
+    for (std::size_t i = 0; i < n; ++i) mse += residual[i] * residual[i];
     train_mse_.push_back(mse / static_cast<double>(n));
     trees_.push_back(std::move(tree));
   }
+  flat_ = FlatForest::build(trees_);
   fitted_ = true;
 }
 
 double GradientBoostedTrees::predict(std::span<const double> features) const {
   HPCP_REQUIRE(fitted_, "predict before fit");
   double acc = base_prediction_;
-  for (const auto& tree : trees_) {
-    acc += opts_.learning_rate * tree.predict(features);
+  for (std::size_t t = 0; t < flat_.num_trees(); ++t) {
+    acc += opts_.learning_rate * flat_.predict_tree_row(t, features);
   }
   return acc;
 }
 
 std::vector<double> GradientBoostedTrees::predict(const Matrix& x) const {
-  std::vector<double> out(x.rows());
-  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict(x.row(r));
+  HPCP_REQUIRE(fitted_, "predict before fit");
+  std::vector<double> out(x.rows(), base_prediction_);
+  for (std::size_t t = 0; t < flat_.num_trees(); ++t) {
+    flat_.accumulate_tree(t, x, opts_.learning_rate, out);
+  }
+  return out;
+}
+
+Matrix GradientBoostedTrees::staged_predict(const Matrix& x,
+                                            std::size_t stride) const {
+  HPCP_REQUIRE(fitted_, "predict before fit");
+  HPCP_REQUIRE(stride >= 1, "stride must be >= 1");
+  const std::size_t rounds = trees_.size();
+  const std::size_t stages = (rounds + stride - 1) / stride;
+  Matrix out(stages, x.rows());
+  std::vector<double> acc(x.rows(), base_prediction_);
+  std::size_t stage = 0;
+  for (std::size_t t = 0; t < rounds; ++t) {
+    flat_.accumulate_tree(t, x, opts_.learning_rate, acc);
+    if ((t + 1) % stride == 0 || t + 1 == rounds) {
+      out.set_row(stage++, acc);
+    }
+  }
+  HPCP_ASSERT(stage == stages, "stage count mismatch");
   return out;
 }
 

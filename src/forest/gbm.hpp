@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/common/rng.hpp"
+#include "src/forest/flat_forest.hpp"
 #include "src/forest/tree.hpp"
 #include "src/linear/matrix.hpp"
 
@@ -13,6 +14,10 @@
 /// stage fits a shallow CART tree to the current residuals and is added
 /// with a small learning rate; optional row subsampling (stochastic
 /// gradient boosting) decorrelates stages.
+///
+/// Training bins the feature columns once and shares the bins across all
+/// rounds; each round's residual update and every predict call run batched
+/// on the flattened (FlatForest) tree layout.
 
 namespace hpcp {
 
@@ -32,7 +37,16 @@ class GradientBoostedTrees {
   void fit(const Matrix& x, std::span<const double> y, Rng& rng);
 
   [[nodiscard]] double predict(std::span<const double> features) const;
+
+  /// Batched prediction over every row of x (FlatForest fast path).
   [[nodiscard]] std::vector<double> predict(const Matrix& x) const;
+
+  /// Staged predictions: row k of the result holds the model's predictions
+  /// after (k + 1) * stride rounds (the last row always includes every
+  /// round). One batched pass over the ensemble — for early-stopping and
+  /// learning-curve analysis without refitting.
+  [[nodiscard]] Matrix staged_predict(const Matrix& x,
+                                      std::size_t stride = 1) const;
 
   [[nodiscard]] bool fitted() const noexcept { return fitted_; }
   [[nodiscard]] std::size_t num_rounds() const noexcept {
@@ -50,6 +64,7 @@ class GradientBoostedTrees {
   bool fitted_ = false;
   double base_prediction_ = 0.0;
   std::vector<RegressionTree> trees_;
+  FlatForest flat_;
   std::vector<double> train_mse_;
 };
 

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "src/common/check.hpp"
+#include "src/forest/binning.hpp"
 
 namespace hpcp {
 
@@ -26,6 +27,16 @@ void RandomForest::fit(const Matrix& x, std::span<const double> y, Rng& rng,
   const std::size_t t = opts_.num_trees;
   trees_.assign(t, RegressionTree{});
 
+  // Quantile-bin the feature columns once and share the bins across all
+  // trees (bootstrap samples draw from the same rows, so per-tree binning
+  // would rediscover near-identical boundaries t times over).
+  const bool want_hist =
+      tree_opts.split_mode == SplitMode::kHistogram ||
+      (tree_opts.split_mode == SplitMode::kAuto && n > tree_opts.exact_cutoff);
+  BinnedMatrix bins;
+  if (want_hist) bins = BinnedMatrix::build(x, tree_opts.max_bins);
+  const BinnedMatrix* shared_bins = want_hist ? &bins : nullptr;
+
   // Pre-draw per-tree RNGs and bootstrap samples on the caller's thread so
   // results do not depend on worker scheduling.
   std::vector<Rng> tree_rngs;
@@ -44,22 +55,41 @@ void RandomForest::fit(const Matrix& x, std::span<const double> y, Rng& rng,
   parallel_for(
       t,
       [&](std::size_t i) {
-        trees_[i].fit(x, y, samples[i], tree_opts, tree_rngs[i]);
+        trees_[i].fit(x, y, samples[i], tree_opts, tree_rngs[i], shared_bins);
       },
       pool);
 
+  flat_ = FlatForest::build(trees_);
+
   oob_mse_.reset();
   if (opts_.bootstrap && opts_.compute_oob) {
+    // Per-tree OOB predictions computed in parallel, then merged serially
+    // in tree order — bit-identical results for any pool size.
+    struct OobPart {
+      std::vector<std::size_t> rows;
+      std::vector<double> preds;
+    };
+    const auto parts = parallel_map(
+        t,
+        [&](std::size_t i) {
+          OobPart part;
+          std::vector<char> in_bag(n, 0);
+          for (const std::size_t r : samples[i]) in_bag[r] = 1;
+          for (std::size_t r = 0; r < n; ++r) {
+            if (!in_bag[r]) part.rows.push_back(r);
+          }
+          part.preds.resize(part.rows.size());
+          flat_.predict_tree_rows(i, x, part.rows, part.preds);
+          return part;
+        },
+        pool);
+
     std::vector<double> oob_sum(n, 0.0);
     std::vector<std::size_t> oob_count(n, 0);
-    std::vector<char> in_bag(n);
-    for (std::size_t i = 0; i < t; ++i) {
-      std::fill(in_bag.begin(), in_bag.end(), char{0});
-      for (const std::size_t r : samples[i]) in_bag[r] = 1;
-      for (std::size_t r = 0; r < n; ++r) {
-        if (in_bag[r]) continue;
-        oob_sum[r] += trees_[i].predict(x.row(r));
-        ++oob_count[r];
+    for (const OobPart& part : parts) {
+      for (std::size_t k = 0; k < part.rows.size(); ++k) {
+        oob_sum[part.rows[k]] += part.preds[k];
+        ++oob_count[part.rows[k]];
       }
     }
     double mse = 0.0;
@@ -78,26 +108,23 @@ void RandomForest::fit(const Matrix& x, std::span<const double> y, Rng& rng,
 
 double RandomForest::predict(std::span<const double> features) const {
   HPCP_REQUIRE(fitted(), "predict before fit");
-  double acc = 0.0;
-  for (const auto& tree : trees_) acc += tree.predict(features);
-  return acc / static_cast<double>(trees_.size());
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  flat_.predict_row_moments(features, sum, sum_sq);
+  return sum / static_cast<double>(trees_.size());
 }
 
 std::vector<double> RandomForest::predict(const Matrix& x) const {
-  std::vector<double> out(x.rows());
-  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict(x.row(r));
-  return out;
+  HPCP_REQUIRE(fitted(), "predict before fit");
+  return flat_.predict_mean(x);
 }
 
 RandomForest::PredictionStats RandomForest::predict_stats(
     std::span<const double> features) const {
   HPCP_REQUIRE(fitted(), "predict before fit");
-  double sum = 0.0, sum_sq = 0.0;
-  for (const auto& tree : trees_) {
-    const double p = tree.predict(features);
-    sum += p;
-    sum_sq += p * p;
-  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  flat_.predict_row_moments(features, sum, sum_sq);
   const auto t = static_cast<double>(trees_.size());
   const double mean = sum / t;
   const double var = std::max(0.0, sum_sq / t - mean * mean);
@@ -136,6 +163,7 @@ RandomForest RandomForest::load(Deserializer& in) {
   if (has_oob) forest.oob_mse_ = oob;
   forest.trees_.resize(in.read_size());
   for (auto& tree : forest.trees_) tree = RegressionTree::load(in);
+  forest.flat_ = FlatForest::build(forest.trees_);
   return forest;
 }
 

@@ -6,12 +6,19 @@
 
 #include "src/common/rng.hpp"
 #include "src/common/thread_pool.hpp"
+#include "src/forest/flat_forest.hpp"
 #include "src/forest/tree.hpp"
 #include "src/linear/matrix.hpp"
 
 /// \file random_forest.hpp
 /// Bagged ensemble of CART regression trees — the paper's interpolation-
 /// level learner.
+///
+/// Training bins the feature columns once per fit and shares the bins
+/// across all trees (histogram split finding; see tree.hpp). After fitting,
+/// the ensemble is packed into a FlatForest and every prediction path —
+/// scalar, batched, ensemble statistics, and the out-of-bag pass — runs on
+/// the flattened structure-of-arrays layout.
 
 namespace hpcp {
 
@@ -32,13 +39,16 @@ class RandomForest {
   RandomForest() = default;
   explicit RandomForest(ForestOptions opts) : opts_(opts) {}
 
-  /// Fit all trees; tree fitting is parallelised across the pool (nullptr =
-  /// the global pool). Deterministic given the Rng seed regardless of the
-  /// number of worker threads (per-tree Rngs are forked up front).
+  /// Fit all trees; tree fitting and the OOB pass are parallelised across
+  /// the pool (nullptr = the global pool). Deterministic given the Rng seed
+  /// regardless of the number of worker threads: per-tree Rngs are forked
+  /// up front and OOB contributions are merged in tree order.
   void fit(const Matrix& x, std::span<const double> y, Rng& rng,
            ThreadPool* pool = nullptr);
 
   [[nodiscard]] double predict(std::span<const double> features) const;
+
+  /// Batched prediction over every row of x (FlatForest fast path).
   [[nodiscard]] std::vector<double> predict(const Matrix& x) const;
 
   /// Mean and standard deviation of the per-tree predictions — the ensemble
@@ -53,6 +63,14 @@ class RandomForest {
   [[nodiscard]] bool fitted() const noexcept { return !trees_.empty(); }
   [[nodiscard]] std::size_t num_trees() const noexcept { return trees_.size(); }
   [[nodiscard]] const ForestOptions& options() const noexcept { return opts_; }
+
+  /// One fitted tree (reference prediction path; the fast path is flat()).
+  [[nodiscard]] const RegressionTree& tree(std::size_t i) const {
+    return trees_.at(i);
+  }
+
+  /// The flattened ensemble every prediction call runs on.
+  [[nodiscard]] const FlatForest& flat() const noexcept { return flat_; }
 
   /// Out-of-bag MSE; empty if bootstrap/compute_oob was off or some row was
   /// never out of bag.
@@ -72,6 +90,7 @@ class RandomForest {
  private:
   ForestOptions opts_;
   std::vector<RegressionTree> trees_;
+  FlatForest flat_;
   std::optional<double> oob_mse_;
   std::size_t num_features_ = 0;
 };

@@ -29,6 +29,8 @@
 // learners
 #include "src/cluster/curve_features.hpp"
 #include "src/cluster/kmeans.hpp"
+#include "src/forest/binning.hpp"
+#include "src/forest/flat_forest.hpp"
 #include "src/forest/gbm.hpp"
 #include "src/forest/random_forest.hpp"
 #include "src/forest/tree.hpp"

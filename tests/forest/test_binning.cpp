@@ -1,0 +1,118 @@
+/// BinnedMatrix: quantile binning for histogram split finding.
+
+#include "src/forest/binning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace hpcp {
+namespace {
+
+TEST(Binning, FewDistinctValuesGetOneBinEach) {
+  Matrix x(9, 1);
+  const double vals[] = {3.0, 1.0, 2.0, 1.0, 3.0, 2.0, 1.0, 2.0, 3.0};
+  for (std::size_t i = 0; i < 9; ++i) x(i, 0) = vals[i];
+  const auto bins = BinnedMatrix::build(x, 64);
+  ASSERT_EQ(bins.num_bins(0), 3u);
+  const auto& bounds = bins.boundaries(0);
+  ASSERT_EQ(bounds.size(), 2u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.5);
+  EXPECT_DOUBLE_EQ(bounds[1], 2.5);
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(bins.code(i, 0), static_cast<std::uint16_t>(vals[i]) - 1);
+  }
+}
+
+TEST(Binning, CodesRespectBoundarySemantics) {
+  // code(v) counts the boundaries strictly below v, so
+  // code(v) <= b  <=>  v <= boundaries[b]: the partition a histogram split
+  // at bin b performs is exactly "value <= threshold".
+  Rng rng(70);
+  Matrix x(500, 2);
+  for (std::size_t i = 0; i < 500; ++i) {
+    x(i, 0) = rng.uniform(-5.0, 5.0);
+    x(i, 1) = rng.normal(0.0, 2.0);
+  }
+  const auto bins = BinnedMatrix::build(x, 16);
+  for (std::size_t f = 0; f < 2; ++f) {
+    const auto& bounds = bins.boundaries(f);
+    ASSERT_FALSE(bounds.empty());
+    EXPECT_TRUE(std::is_sorted(bounds.begin(), bounds.end()));
+    EXPECT_LE(bins.num_bins(f), 16u);
+    for (std::size_t i = 0; i < 500; ++i) {
+      const double v = x(i, f);
+      const std::uint16_t c = bins.code(i, f);
+      if (c > 0) {
+        EXPECT_LT(bounds[c - 1], v);
+      }
+      if (c < bounds.size()) {
+        EXPECT_LE(v, bounds[c]);
+      }
+    }
+  }
+}
+
+TEST(Binning, DuplicateRunsNeverSplitAcrossBins) {
+  // A column dominated by one repeated value: no boundary may land inside
+  // the run, i.e. every duplicate gets the same code.
+  Matrix x(1000, 1);
+  Rng rng(71);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    x(i, 0) = i % 4 == 0 ? rng.uniform() : 0.5;
+  }
+  const auto bins = BinnedMatrix::build(x, 8);
+  std::uint16_t code_of_half = 0;
+  bool seen = false;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    if (x(i, 0) == 0.5) {
+      if (!seen) {
+        code_of_half = bins.code(i, 0);
+        seen = true;
+      } else {
+        ASSERT_EQ(bins.code(i, 0), code_of_half) << "row " << i;
+      }
+    }
+  }
+}
+
+TEST(Binning, ManyDistinctValuesStayWithinMaxBins) {
+  Rng rng(72);
+  Matrix x(4096, 3);
+  for (std::size_t i = 0; i < 4096; ++i) {
+    for (std::size_t f = 0; f < 3; ++f) x(i, f) = rng.uniform();
+  }
+  const auto bins = BinnedMatrix::build(x, 64);
+  for (std::size_t f = 0; f < 3; ++f) {
+    EXPECT_LE(bins.num_bins(f), 64u);
+    EXPECT_GE(bins.num_bins(f), 60u);  // uniform data fills the budget
+    for (std::size_t i = 0; i < 4096; ++i) {
+      EXPECT_LT(bins.code(i, f), bins.num_bins(f));
+    }
+  }
+}
+
+TEST(Binning, ConstantColumnHasSingleBin) {
+  Matrix x(50, 2);
+  for (std::size_t i = 0; i < 50; ++i) {
+    x(i, 0) = 7.0;
+    x(i, 1) = static_cast<double>(i);
+  }
+  const auto bins = BinnedMatrix::build(x, 16);
+  EXPECT_EQ(bins.num_bins(0), 1u);
+  EXPECT_TRUE(bins.boundaries(0).empty());
+  EXPECT_GT(bins.num_bins(1), 1u);
+}
+
+TEST(Binning, RejectsBadArguments) {
+  Matrix x(4, 1);
+  for (std::size_t i = 0; i < 4; ++i) x(i, 0) = static_cast<double>(i);
+  EXPECT_THROW((void)BinnedMatrix::build(x, 1), std::invalid_argument);
+  EXPECT_THROW((void)BinnedMatrix::build(Matrix(), 8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcp

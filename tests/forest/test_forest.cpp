@@ -71,6 +71,43 @@ TEST(Forest, DeterministicAcrossPoolSizes) {
   }
 }
 
+TEST(Forest, FitAndOobBitIdenticalAcrossThreadCounts) {
+  // n > exact_cutoff so the histogram engine (shared bins, subtraction
+  // trick) runs under real multithreading; the whole fit — predictions,
+  // importances, and the parallel OOB pass merged in tree order — must be
+  // bit-identical for the global pool, one worker, and four workers.
+  const auto data = make_data(600, 0.1, 24);
+  ThreadPool pool1(1), pool4(4);
+  RandomForest a({.num_trees = 24}), b({.num_trees = 24}),
+      c({.num_trees = 24});
+  Rng ra(25), rb(25), rc(25);
+  a.fit(data.x, data.y, ra);  // global pool
+  b.fit(data.x, data.y, rb, &pool1);
+  c.fit(data.x, data.y, rc, &pool4);
+
+  const auto pa = a.predict(data.x);
+  const auto pb = b.predict(data.x);
+  const auto pc = c.predict(data.x);
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i], pb[i]) << "row " << i;
+    ASSERT_EQ(pa[i], pc[i]) << "row " << i;
+  }
+
+  const auto ia = a.feature_importance();
+  const auto ib = b.feature_importance();
+  const auto ic = c.feature_importance();
+  for (std::size_t f = 0; f < ia.size(); ++f) {
+    ASSERT_EQ(ia[f], ib[f]) << "feature " << f;
+    ASSERT_EQ(ia[f], ic[f]) << "feature " << f;
+  }
+
+  ASSERT_TRUE(a.oob_mse().has_value());
+  ASSERT_TRUE(b.oob_mse().has_value());
+  ASSERT_TRUE(c.oob_mse().has_value());
+  EXPECT_EQ(*a.oob_mse(), *b.oob_mse());
+  EXPECT_EQ(*a.oob_mse(), *c.oob_mse());
+}
+
 TEST(Forest, OobErrorAvailableAndSane) {
   const auto data = make_data(400, 0.1, 10);
   RandomForest forest({.num_trees = 100});

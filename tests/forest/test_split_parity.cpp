@@ -1,0 +1,165 @@
+/// Exact-vs-histogram split-finding parity (see DESIGN.md "Performance").
+///
+/// When every feature has at most max_bins distinct values, the binner
+/// places one boundary at every adjacent-distinct midpoint — exactly the
+/// exact scan's candidate set — and integer-valued targets make every gain
+/// an identical double in both engines, so the fitted trees must match
+/// bit for bit. On continuous data the engines may legitimately choose
+/// different thresholds; there the histogram forest must stay within a
+/// small accuracy tolerance of the exact one.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/metrics.hpp"
+#include "src/common/rng.hpp"
+#include "src/core/experiment.hpp"
+#include "src/forest/random_forest.hpp"
+#include "src/forest/tree.hpp"
+
+namespace hpcp {
+namespace {
+
+struct Data {
+  Matrix x;
+  std::vector<double> y;
+};
+
+/// Integer feature grid (20 distinct values/feature) with integer targets:
+/// both engines compute every node statistic from exact integer sums.
+Data make_integer_data(std::size_t n, std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  Data data;
+  data.x = Matrix(n, d);
+  data.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const auto v = static_cast<double>(rng.uniform_int(0, 19));
+      data.x(i, j) = v;
+      acc += (static_cast<double>(j) + 1.0) * v;
+    }
+    data.y[i] = acc + static_cast<double>(rng.uniform_int(0, 9));
+  }
+  return data;
+}
+
+TEST(SplitParity, TreeBitIdenticalWhenBinsCoverAllDistinctValues) {
+  const auto data = make_integer_data(500, 3, 40);
+  TreeOptions exact{.split_mode = SplitMode::kExact};
+  TreeOptions hist{.split_mode = SplitMode::kHistogram, .max_bins = 64};
+
+  RegressionTree te, th;
+  Rng re(41), rh(41);
+  te.fit(data.x, data.y, exact, re);
+  th.fit(data.x, data.y, hist, rh);
+
+  ASSERT_EQ(te.num_nodes(), th.num_nodes());
+  ASSERT_EQ(te.num_leaves(), th.num_leaves());
+  for (std::size_t i = 0; i < data.x.rows(); ++i) {
+    ASSERT_EQ(te.predict(data.x.row(i)), th.predict(data.x.row(i)))
+        << "row " << i;
+  }
+  // Same splits means same gains: the importances agree bit for bit too.
+  // (Thresholds in deep nodes may sit at different points of the same
+  // value gap — the partition, not the cut coordinate, is the guarantee;
+  // see DESIGN.md "Performance".)
+  const auto& ie = te.impurity_importance();
+  const auto& ih = th.impurity_importance();
+  for (std::size_t f = 0; f < ie.size(); ++f) {
+    ASSERT_EQ(ie[f], ih[f]) << "feature " << f;
+  }
+}
+
+TEST(SplitParity, TreeParityHoldsUnderMtry) {
+  // With mtry both engines must consume the Rng identically (same node
+  // visit order, same per-node feature subsets), or the trees diverge.
+  const auto data = make_integer_data(400, 4, 43);
+  TreeOptions exact{.mtry = 2, .split_mode = SplitMode::kExact};
+  TreeOptions hist{
+      .mtry = 2, .split_mode = SplitMode::kHistogram, .max_bins = 64};
+
+  RegressionTree te, th;
+  Rng re(44), rh(44);
+  te.fit(data.x, data.y, exact, re);
+  th.fit(data.x, data.y, hist, rh);
+
+  ASSERT_EQ(te.num_nodes(), th.num_nodes());
+  for (std::size_t i = 0; i < data.x.rows(); ++i) {
+    ASSERT_EQ(te.predict(data.x.row(i)), th.predict(data.x.row(i)))
+        << "row " << i;
+  }
+}
+
+TEST(SplitParity, ForestBitIdenticalWithSharedBins) {
+  // bootstrap=false keeps every tree on the full row set, so the forest's
+  // shared BinnedMatrix sees exactly the rows each tree fits — the whole
+  // ensemble must match the exact-mode ensemble bit for bit.
+  const auto data = make_integer_data(600, 4, 45);
+  ForestOptions exact{.num_trees = 12,
+                      .tree = {.mtry = 2, .split_mode = SplitMode::kExact},
+                      .bootstrap = false};
+  ForestOptions hist{.num_trees = 12,
+                     .tree = {.mtry = 2,
+                              .split_mode = SplitMode::kHistogram,
+                              .max_bins = 64},
+                     .bootstrap = false};
+
+  RandomForest fe(exact), fh(hist);
+  Rng re(46), rh(46);
+  fe.fit(data.x, data.y, re);
+  fh.fit(data.x, data.y, rh);
+
+  const auto pe = fe.predict(data.x);
+  const auto ph = fh.predict(data.x);
+  for (std::size_t i = 0; i < pe.size(); ++i) {
+    ASSERT_EQ(pe[i], ph[i]) << "row " << i;
+  }
+  const auto ie = fe.feature_importance();
+  const auto ih = fh.feature_importance();
+  for (std::size_t f = 0; f < ie.size(); ++f) {
+    ASSERT_EQ(ie[f], ih[f]) << "feature " << f;
+  }
+}
+
+TEST(SplitParity, HistogramForestMatchesExactAccuracyOnAppWorkloads) {
+  // Continuous configuration features from the simulated applications: the
+  // engines may pick different thresholds, but the histogram forest's
+  // held-out accuracy must stay within a small tolerance of exact mode.
+  for (const char* app : {"heat3d", "minimd"}) {
+    ExperimentConfig config;
+    config.app_name = app;
+    const auto exp = make_experiment(config);
+    // Log-runtimes, the target the interpolation level actually fits.
+    auto y = exp.problem.train_small_times.column(0);
+    for (auto& v : y) v = std::log(v);
+
+    ForestOptions exact;
+    exact.tree.split_mode = SplitMode::kExact;
+    ForestOptions hist;
+    hist.tree.split_mode = SplitMode::kHistogram;
+    hist.tree.max_bins = 64;
+
+    RandomForest fe(exact), fh(hist);
+    Rng re(47), rh(47);
+    fe.fit(exp.problem.train_configs, y, re);
+    fh.fit(exp.problem.train_configs, y, rh);
+
+    ASSERT_TRUE(exp.test.has_small_times());
+    const auto truth = exp.test.small_times.column(0);
+    auto pe = fe.predict(exp.test.configs);
+    auto ph = fh.predict(exp.test.configs);
+    for (auto& v : pe) v = std::exp(v);
+    for (auto& v : ph) v = std::exp(v);
+    const double mape_exact = mape(truth, pe);
+    const double mape_hist = mape(truth, ph);
+    EXPECT_LT(std::abs(mape_exact - mape_hist), 3.0) << app;
+    // And the two prediction vectors themselves stay close.
+    EXPECT_LT(mape(pe, ph), 10.0) << app;
+  }
+}
+
+}  // namespace
+}  // namespace hpcp

@@ -145,6 +145,50 @@ TEST(Tree, DuplicateFeatureValuesNeverSplitBetween) {
   EXPECT_DOUBLE_EQ(tree.predict(x.row(0)), 2.5);
 }
 
+TEST(Tree, PathologicallyDeepChainFitsWithoutStackOverflow) {
+  // Geometric targets make the largest remaining value dominate the node
+  // variance, so CART peels a thin slice off the top at every split and the
+  // tree degenerates into a chain hundreds of levels deep. The explicit
+  // work-stack builder must handle this where recursion would exhaust the
+  // call stack; this is its regression test.
+  constexpr std::size_t n = 700;
+  Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = std::pow(1.5, static_cast<double>(i));
+  }
+  RegressionTree tree;
+  Rng rng(30);
+  tree.fit(x, y, {.split_mode = SplitMode::kExact}, rng);
+  EXPECT_GT(tree.depth(), 200u);  // far beyond any balanced log2(n) depth
+  EXPECT_EQ(tree.num_leaves(), n);
+  for (std::size_t i = 0; i < n; i += 97) {
+    EXPECT_DOUBLE_EQ(tree.predict(x.row(i)), y[i]);
+  }
+}
+
+TEST(Tree, HistogramModeHandlesDeepChains) {
+  // Same degenerate shape through the histogram engine (no exact fallback).
+  // With one bin per distinct value the boundaries match the exact scan's
+  // candidates, so the chain runs its full depth.
+  constexpr std::size_t n = 400;
+  Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = std::pow(1.5, static_cast<double>(i));
+  }
+  RegressionTree tree;
+  Rng rng(31);
+  tree.fit(x, y, {.split_mode = SplitMode::kHistogram, .max_bins = 512}, rng);
+  EXPECT_GT(tree.depth(), 128u);
+  EXPECT_EQ(tree.num_leaves(), n);
+  for (std::size_t i = 0; i < n; i += 53) {
+    EXPECT_DOUBLE_EQ(tree.predict(x.row(i)), y[i]);
+  }
+}
+
 class TreeMtrySweep : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(TreeMtrySweep, FitsReasonablyForAnyMtry) {

@@ -22,6 +22,30 @@ run_matrix_entry() {
 
 run_matrix_entry release -DCMAKE_BUILD_TYPE=Release -DHPCP_WERROR=ON
 
+# Bench smoke: run the pinned-seed forest suite in --short mode and refresh
+# BENCH_forest.json at the repo root (schema hpcp-bench-forest/1, documented
+# in EXPERIMENTS.md). A malformed or schema-less output fails CI.
+echo "=== [release] bench-smoke ==="
+bench_json="${repo_root}/BENCH_forest.json"
+"${repo_root}/build-ci-release/bench/bench_micro_forest" \
+  --short --json "${bench_json}"
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "${bench_json}" << 'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc.get("schema") == "hpcp-bench-forest/1", "bad schema marker"
+assert doc["cases"], "no cases recorded"
+for case in doc["cases"]:
+    assert case["seconds"] > 0, f"non-positive timing in {case['name']}"
+assert "speedups" in doc, "missing derived speedups"
+print(f"BENCH_forest.json ok ({len(doc['cases'])} cases)")
+EOF
+else
+  grep -q '"schema": "hpcp-bench-forest/1"' "${bench_json}" \
+    || { echo "BENCH_forest.json missing schema marker" >&2; exit 1; }
+fi
+
 if [[ "${skip_san}" -eq 0 ]]; then
   run_matrix_entry asan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \

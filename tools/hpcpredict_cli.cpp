@@ -134,7 +134,13 @@ TwoLevelModel train_from_history(const Args& args,
       make_problem(history, history.scales(), targets);
   std::cout << "history: " << problem.num_configs() << " configurations at "
             << history.scales().size() << " small scales\n";
-  TwoLevelModel model;
+  TwoLevelOptions opts;
+  // Histogram resolution of the interpolation forests' split finding
+  // (tree.hpp); fits of at most `exact_cutoff` rows use exact splits and
+  // ignore this.
+  opts.forest.tree.max_bins =
+      args.get_size("max-bins", opts.forest.tree.max_bins);
+  TwoLevelModel model(opts);
   Rng rng(args.get_size("seed", 42));
   const TrainReport report = model.fit_checked(problem, rng).value_or_throw();
   std::cout << "trained two-level model ("
@@ -305,8 +311,10 @@ void print_usage() {
       "  generate --app NAME --out FILE [--configs N] [--scales 1,2,4,8,16]\n"
       "           [--runs-per-point N] [--seed S]\n"
       "  train    --history FILE --targets P1,P2,... --save FILE [--seed S]\n"
+      "           [--max-bins N]\n"
       "  predict  (--model FILE | --history FILE --targets P1,P2,...)\n"
       "           --queries FILE [--out FILE] [--uncertainty] [--seed S]\n"
+      "           [--max-bins N]\n"
       "  evaluate --app NAME [--configs N] [--test-configs N]\n"
       "           [--scales ...] [--targets ...] [--seed S]\n"
       "  validate --history FILE [--strict] [--out CLEAN_FILE]\n"
