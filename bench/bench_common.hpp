@@ -1,18 +1,71 @@
 #pragma once
 
 /// Shared scaffolding for the experiment binaries: canonical experiment
-/// sizes (the "full" evaluation the tables/figures use) and uniform table
-/// printing, so every bench differs only in what it varies.
+/// sizes (the "full" evaluation the tables/figures use), uniform table
+/// printing, and the one timing idiom every bench uses — obs::Stopwatch
+/// under an obs::Span, so bench sections show up in --trace output and no
+/// harness hand-rolls its own chrono arithmetic.
 
+#include <cstdio>
+#include <functional>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/baselines/presets.hpp"
 #include "src/common/table.hpp"
 #include "src/core/experiment.hpp"
+#include "src/obs/obs.hpp"
 
 namespace hpcp::bench {
+
+/// One timed benchmark case: the fastest of `reps` runs.
+struct BenchCase {
+  std::string name;
+  double seconds = 0.0;
+  std::size_t reps = 0;
+};
+
+/// Runs fn() `reps` times and records the fastest wall-clock time (each
+/// repetition is a `bench.case` span when tracing is on).
+inline BenchCase run_case(const std::string& name, std::size_t reps,
+                          const std::function<void()>& fn) {
+  BenchCase c{name, 0.0, reps};
+  double best = 0.0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const obs::Span span("bench.case", name);
+    const obs::Stopwatch watch;
+    fn();
+    const double s = watch.seconds();
+    if (r == 0 || s < best) best = s;
+  }
+  c.seconds = best;
+  std::printf("%-28s %10.4f s   (best of %zu)\n", name.c_str(), best, reps);
+  std::fflush(stdout);
+  return c;
+}
+
+/// RAII wall-time report for one experiment section (typically one
+/// application's evaluation): prints `[label] N.NNN s` on scope exit and
+/// records a `bench.section` span when tracing is on.
+class SectionTimer {
+ public:
+  explicit SectionTimer(std::string label)
+      : label_(std::move(label)), span_("bench.section", label_) {}
+  ~SectionTimer() {
+    std::printf("[%s] %.3f s\n", label_.c_str(), watch_.seconds());
+    std::fflush(stdout);
+  }
+
+  SectionTimer(const SectionTimer&) = delete;
+  SectionTimer& operator=(const SectionTimer&) = delete;
+
+ private:
+  std::string label_;
+  obs::Span span_;
+  obs::Stopwatch watch_;
+};
 
 /// The canonical full-size experiment for one application: 300 training
 /// configurations measured at small scales {1,2,4,8,16} only, 48 held-out

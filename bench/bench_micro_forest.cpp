@@ -1,30 +1,34 @@
 /// Pinned-seed forest performance suite: fit (exact vs histogram split
 /// finding), prediction (per-row reference walk vs batched FlatForest), and
-/// the out-of-bag pass, at one and `hardware_concurrency` threads.
+/// the out-of-bag pass, at one and `hardware_concurrency` threads. Also
+/// guards the observability contract: with tracing/metrics off the
+/// instrumented fit path must cost nothing beyond measurement noise (A/A
+/// re-measure), and turning them on must not change predictions bitwise.
 ///
 /// Unlike the other microbenchmarks this is a plain executable (no
 /// google-benchmark): every case runs a fixed workload from a fixed seed so
 /// runs are comparable across commits, and the results are written as JSON
 /// (schema "hpcp-bench-forest/1", documented in EXPERIMENTS.md) for the
 /// tracked BENCH_forest.json at the repo root. `tools/ci.sh bench-smoke`
-/// runs `--short` mode and validates the output.
+/// runs `--short` mode and validates the output, including the obs
+/// overhead guard.
 ///
 /// Usage: bench_micro_forest [--short] [--json PATH]
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <fstream>
-#include <functional>
 #include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.hpp"
 #include "src/common/rng.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/forest/random_forest.hpp"
 #include "src/linear/matrix.hpp"
+#include "src/obs/obs.hpp"
 
 namespace {
 
@@ -33,6 +37,8 @@ using hpcp::RandomForest;
 using hpcp::Rng;
 using hpcp::SplitMode;
 using hpcp::ThreadPool;
+using hpcp::bench::BenchCase;
+using hpcp::bench::run_case;
 
 struct Data {
   Matrix x;
@@ -57,30 +63,6 @@ Data make_data(std::size_t n, std::size_t d) {
     data.y[i] = acc + rng.normal(0.0, 0.1);
   }
   return data;
-}
-
-struct Case {
-  std::string name;
-  double seconds = 0.0;
-  std::size_t reps = 0;
-};
-
-/// Runs fn() `reps` times and records the fastest wall-clock time.
-Case run_case(const std::string& name, std::size_t reps,
-              const std::function<void()>& fn) {
-  Case c{name, 0.0, reps};
-  double best = 0.0;
-  for (std::size_t r = 0; r < reps; ++r) {
-    const auto t0 = std::chrono::steady_clock::now();
-    fn();
-    const auto t1 = std::chrono::steady_clock::now();
-    const double s = std::chrono::duration<double>(t1 - t0).count();
-    if (r == 0 || s < best) best = s;
-  }
-  c.seconds = best;
-  std::printf("%-28s %10.4f s   (best of %zu)\n", name.c_str(), best, reps);
-  std::fflush(stdout);
-  return c;
 }
 
 hpcp::ForestOptions forest_options(std::size_t trees, SplitMode mode,
@@ -110,7 +92,8 @@ std::vector<double> predict_per_row(const RandomForest& forest,
 
 void write_json(const std::string& path, bool short_mode, std::size_t rows,
                 std::size_t cols, std::size_t trees, std::size_t max_bins,
-                std::size_t threads, const std::vector<Case>& cases) {
+                std::size_t threads, const std::vector<BenchCase>& cases,
+                bool obs_bitwise_identical) {
   auto find = [&cases](const std::string& name) -> double {
     for (const auto& c : cases) {
       if (c.name == name) return c.seconds;
@@ -121,6 +104,14 @@ void write_json(const std::string& path, bool short_mode, std::size_t rows,
   const double fit_speedup = ratio(find("fit_exact_t1"), find("fit_hist_t1"));
   const double predict_speedup =
       ratio(find("predict_per_row"), find("predict_batched"));
+  // Off overhead is an A/A ratio: the same disabled-path workload measured
+  // twice. Anything persistently above ~1.01 means the disabled spans are
+  // no longer free. Traced overhead is informational (tracing on is allowed
+  // to cost something).
+  const double off_overhead =
+      ratio(find("fit_hist_t1_obs_off"), find("fit_hist_t1"));
+  const double traced_overhead =
+      ratio(find("fit_hist_t1_traced"), find("fit_hist_t1"));
 
   std::ofstream out(path);
   if (!out) {
@@ -148,11 +139,19 @@ void write_json(const std::string& path, bool short_mode, std::size_t rows,
   out << "  \"speedups\": {\n";
   out << "    \"fit_hist_vs_exact\": " << fit_speedup << ",\n";
   out << "    \"predict_batched_vs_per_row\": " << predict_speedup << "\n";
+  out << "  },\n";
+  out << "  \"obs\": {\n";
+  out << "    \"off_overhead\": " << off_overhead << ",\n";
+  out << "    \"traced_overhead\": " << traced_overhead << ",\n";
+  out << "    \"bitwise_identical_on_off\": "
+      << (obs_bitwise_identical ? "true" : "false") << "\n";
   out << "  }\n";
   out << "}\n";
   std::printf("\nspeedups: fit hist/exact = %.2fx, predict batched/per-row = "
-              "%.2fx\nwrote %s\n",
-              fit_speedup, predict_speedup, path.c_str());
+              "%.2fx\nobs: off overhead = %.3fx (A/A), traced = %.2fx\n"
+              "wrote %s\n",
+              fit_speedup, predict_speedup, off_overhead, traced_overhead,
+              path.c_str());
 }
 
 }  // namespace
@@ -189,19 +188,30 @@ int main(int argc, char** argv) {
   std::printf("forest bench: n=%zu d=%zu trees=%zu max_bins=%zu threads=%zu\n\n",
               rows, cols, trees, max_bins, hw);
 
-  std::vector<Case> cases;
+  std::vector<BenchCase> cases;
   cases.push_back(run_case("fit_exact_t1", reps, [&] {
     RandomForest forest(forest_options(trees, SplitMode::kExact, max_bins,
                                        /*oob=*/false));
     Rng rng(7);
     forest.fit(data.x, data.y, rng, &one_thread);
   }));
-  cases.push_back(run_case("fit_hist_t1", reps, [&] {
+  const auto fit_hist_t1 = [&] {
     RandomForest forest(forest_options(trees, SplitMode::kHistogram, max_bins,
                                        /*oob=*/false));
     Rng rng(7);
     forest.fit(data.x, data.y, rng, &one_thread);
-  }));
+  };
+  cases.push_back(run_case("fit_hist_t1", reps, fit_hist_t1));
+  // A/A re-measure of the identical disabled-path workload: the ratio to
+  // fit_hist_t1 is the off-mode overhead guard (tools/ci.sh asserts ~1.0).
+  cases.push_back(run_case("fit_hist_t1_obs_off", reps, fit_hist_t1));
+  // The same workload with tracing + metrics live (informational).
+  hpcp::obs::Tracer::instance().clear();
+  hpcp::obs::set_trace_enabled(true);
+  hpcp::obs::set_metrics_enabled(true);
+  cases.push_back(run_case("fit_hist_t1_traced", reps, fit_hist_t1));
+  hpcp::obs::set_trace_enabled(false);
+  hpcp::obs::set_metrics_enabled(false);
   if (hw > 1) {
     cases.push_back(run_case("fit_hist_tN", reps, [&] {
       RandomForest forest(forest_options(trees, SplitMode::kHistogram,
@@ -240,8 +250,32 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Observability must never change results: an identical fit + predict
+  // with tracing and metrics live has to be bitwise equal to obs-off.
+  bool obs_identical = true;
+  {
+    hpcp::obs::Tracer::instance().clear();
+    hpcp::obs::set_trace_enabled(true);
+    hpcp::obs::set_metrics_enabled(true);
+    RandomForest traced(forest_options(trees, SplitMode::kHistogram, max_bins,
+                                       /*oob=*/false));
+    Rng rng(7);
+    traced.fit(data.x, data.y, rng, &one_thread);
+    const auto traced_pred = traced.predict(data.x);
+    hpcp::obs::set_trace_enabled(false);
+    hpcp::obs::set_metrics_enabled(false);
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (traced_pred[r] != sink[r]) {
+        obs_identical = false;
+        std::fprintf(stderr, "obs on/off prediction mismatch at row %zu\n", r);
+        return 1;
+      }
+    }
+  }
+
   if (!json_path.empty()) {
-    write_json(json_path, short_mode, rows, cols, trees, max_bins, hw, cases);
+    write_json(json_path, short_mode, rows, cols, trees, max_bins, hw, cases,
+               obs_identical);
   }
   return 0;
 }

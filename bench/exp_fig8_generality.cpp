@@ -15,6 +15,7 @@ int main() {
                "application\n";
   for (const auto& app : {std::string("heat3d"), std::string("minimd"),
                           std::string("hpl-lu"), std::string("fft3d")}) {
+    const bench::SectionTimer timer(app);
     const auto exp = make_experiment(bench::full_config(app));
     auto paper = make_paper_model();
     auto baselines = make_baseline_suite();

@@ -75,6 +75,7 @@ int main() {
   std::cout << "Table II — interpolation-level accuracy at each small scale "
                "(MAPE %, held-out configurations)\n";
   for (const auto& app : bench::all_apps()) {
+    const bench::SectionTimer timer(app);
     const auto exp = make_experiment(bench::full_config(app));
     InterpolationLevel level;
     Rng rng(5);

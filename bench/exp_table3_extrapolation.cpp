@@ -16,6 +16,7 @@ int main() {
   std::cout << "Table III — extrapolation accuracy (MAPE %), two-level vs "
                "existing ML methods\n";
   for (const auto& app : bench::paper_apps()) {
+    const bench::SectionTimer timer(app);
     const auto exp = make_experiment(bench::full_config(app));
     auto paper = make_paper_model();
     auto baselines = make_baseline_suite();

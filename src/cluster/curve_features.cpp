@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/common/check.hpp"
+#include "src/obs/trace.hpp"
 
 namespace hpcp {
 
@@ -21,6 +22,7 @@ std::vector<double> normalize_curve_shape(std::span<const double> curve) {
 }
 
 Matrix normalize_curve_shapes(const Matrix& curves) {
+  const obs::Span span("cluster.curve_features");
   Matrix out(curves.rows(), curves.cols());
   for (std::size_t r = 0; r < curves.rows(); ++r) {
     const auto shape = normalize_curve_shape(curves.row(r));

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/common/check.hpp"
+#include "src/obs/obs.hpp"
 
 namespace hpcp {
 
@@ -145,6 +146,7 @@ std::vector<std::size_t> KMeansResult::cluster_sizes() const {
 
 KMeansResult kmeans(const Matrix& points, const KMeansOptions& opts,
                     Rng& rng) {
+  const obs::Span span("cluster.kmeans");
   HPCP_REQUIRE(points.rows() > 0, "cannot cluster zero points");
   HPCP_REQUIRE(opts.k >= 1, "k must be at least 1");
   HPCP_REQUIRE(opts.k <= points.rows(), "k cannot exceed the point count");
@@ -157,6 +159,11 @@ KMeansResult kmeans(const Matrix& points, const KMeansOptions& opts,
     auto result = lloyd(points, std::move(seeded), opts);
     if (result.inertia < best.inertia) best = std::move(result);
   }
+  obs::count("cluster.kmeans_runs");
+  if (!best.converged) obs::count("cluster.kmeans_nonconverged");
+  obs::gauge_set("cluster.kmeans_iterations",
+                 static_cast<double>(best.iterations));
+  obs::gauge_set("cluster.kmeans_inertia", best.inertia);
   return best;
 }
 
@@ -202,6 +209,7 @@ double silhouette_score(const Matrix& points,
 std::size_t select_k_silhouette(const Matrix& points, std::size_t k_min,
                                 std::size_t k_max, Rng& rng,
                                 double min_silhouette) {
+  const obs::Span span("cluster.select_k");
   HPCP_REQUIRE(k_min >= 1 && k_min <= k_max, "invalid k range");
   k_max = std::min(k_max, points.rows() > 0 ? points.rows() - 1 : std::size_t{1});
   std::size_t best_k = k_min;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <string>
+
+#include "src/obs/trace.hpp"
 
 namespace hpcp {
 
@@ -12,7 +15,12 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      // Stable per-thread ids + names make every span recorded from inside
+      // a pooled task land on a labelled lane of the exported trace.
+      obs::set_current_thread_name("hpcp-worker-" + std::to_string(i));
+      worker_loop();
+    });
   }
 }
 
@@ -48,6 +56,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   ThreadPool* pool) {
   if (n == 0) return;
   if (pool == nullptr) pool = &global_thread_pool();
+  const obs::Span span("thread_pool.parallel_for");
   if (n == 1 || pool->size() == 1) {
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
@@ -65,6 +74,9 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
   futures.reserve(chunks);
   for (std::size_t c = 0; c < chunks; ++c) {
     futures.push_back(pool->submit([&] {
+      // One span per worker chunk (not per item): visible scheduling without
+      // per-item cost. Item-level spans are the mapped function's business.
+      const obs::Span chunk_span("thread_pool.chunk");
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n || failed.load(std::memory_order_relaxed)) return;

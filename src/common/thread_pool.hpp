@@ -17,6 +17,11 @@
 /// cross-validation folds, parameter sweeps). Determinism note: callers that
 /// need reproducible randomness must pre-fork one Rng per work item *before*
 /// submitting, never share an Rng across items.
+///
+/// Observability: workers register as `hpcp-worker-<i>` with the tracer, so
+/// spans opened inside pooled tasks (obs/trace.hpp) carry stable worker
+/// thread ids; parallel_for itself emits a `thread_pool.parallel_for` span
+/// plus one `thread_pool.chunk` span per worker chunk when tracing is on.
 
 namespace hpcp {
 

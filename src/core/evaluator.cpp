@@ -2,6 +2,7 @@
 
 #include "src/common/check.hpp"
 #include "src/common/metrics.hpp"
+#include "src/obs/obs.hpp"
 
 namespace hpcp {
 
@@ -28,6 +29,7 @@ Matrix predict_matrix(const ExtrapolationModel& model, const TestSet& test) {
 }
 
 ModelErrors score_model(const ExtrapolationModel& model, const TestSet& test) {
+  const obs::Span span("eval.score_model");
   const Matrix pred = predict_matrix(model, test);
   const std::size_t m = pred.cols();
   ModelErrors errors;
@@ -54,13 +56,18 @@ EvaluationReport evaluate_models(const std::vector<ExtrapolationModel*>& models,
                                  const ExtrapolationProblem& problem,
                                  const TestSet& test, Rng& rng) {
   HPCP_REQUIRE(!models.empty(), "no models to evaluate");
+  const obs::Span span("eval.models");
   EvaluationReport report;
   report.target_scales = problem.target_scales;
   for (ExtrapolationModel* model : models) {
     HPCP_REQUIRE(model != nullptr, "null model");
     Rng fit_rng = rng.fork();
-    model->fit(problem, fit_rng);
+    {
+      const obs::Span fit_span("eval.fit_model", model->name());
+      model->fit(problem, fit_rng);
+    }
     report.models.push_back(score_model(*model, test));
+    obs::count("eval.models_evaluated");
   }
   return report;
 }

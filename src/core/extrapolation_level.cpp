@@ -12,6 +12,7 @@
 #include "src/linear/lasso.hpp"
 #include "src/linear/multitask_lasso.hpp"
 #include "src/linear/nnls.hpp"
+#include "src/obs/obs.hpp"
 
 namespace hpcp {
 
@@ -176,6 +177,7 @@ void ExtrapolationLevel::fit(const Matrix& small_times,
                              std::span<const std::size_t> small_scales,
                              std::span<const std::size_t> target_scales,
                              Rng& rng, TrainReport* report) {
+  const obs::Span fit_span("extrap.fit");
   HPCP_REQUIRE(small_times.rows() >= 1, "need at least one configuration");
   HPCP_REQUIRE(small_scales.size() >= 2, "need at least two small scales");
   HPCP_REQUIRE(small_times.cols() == small_scales.size(),
@@ -193,32 +195,40 @@ void ExtrapolationLevel::fit(const Matrix& small_times,
                              : opts_.max_support;
 
   // --- cluster configurations by curve shape ---
-  const Matrix shapes = normalize_curve_shapes(small_times);
-  std::size_t num_clusters = opts_.num_clusters;
-  const std::size_t feasible_max = std::max<std::size_t>(
-      1, std::min(opts_.max_clusters,
-                  n / std::max<std::size_t>(1, opts_.min_cluster_size)));
-  if (num_clusters == 0) {
-    num_clusters =
-        n >= 2 ? select_k_silhouette(shapes, 1, feasible_max, rng) : 1;
-  }
-  num_clusters = std::clamp<std::size_t>(num_clusters, 1, n);
-  for (;;) {
-    clustering_ = kmeans(shapes, {.k = num_clusters}, rng);
-    if (num_clusters == 1) break;
-    const auto sizes = clustering_.cluster_sizes();
-    if (*std::min_element(sizes.begin(), sizes.end()) >=
-        std::min<std::size_t>(opts_.min_cluster_size, n / num_clusters / 2 + 1)) {
-      break;
+  const obs::Stopwatch cluster_watch;
+  {
+    const obs::Span cluster_span("extrap.cluster");
+    const Matrix shapes = normalize_curve_shapes(small_times);
+    std::size_t num_clusters = opts_.num_clusters;
+    const std::size_t feasible_max = std::max<std::size_t>(
+        1, std::min(opts_.max_clusters,
+                    n / std::max<std::size_t>(1, opts_.min_cluster_size)));
+    if (num_clusters == 0) {
+      num_clusters =
+          n >= 2 ? select_k_silhouette(shapes, 1, feasible_max, rng) : 1;
     }
-    --num_clusters;
+    num_clusters = std::clamp<std::size_t>(num_clusters, 1, n);
+    for (;;) {
+      clustering_ = kmeans(shapes, {.k = num_clusters}, rng);
+      if (num_clusters == 1) break;
+      const auto sizes = clustering_.cluster_sizes();
+      if (*std::min_element(sizes.begin(), sizes.end()) >=
+          std::min<std::size_t>(opts_.min_cluster_size,
+                                n / num_clusters / 2 + 1)) {
+        break;
+      }
+      --num_clusters;
+    }
   }
+  obs::gauge_set("extrap.clusters", static_cast<double>(clustering_.k()));
 
   if (report != nullptr) {
     *report = TrainReport{};
     report->num_configs = n;
     report->num_clusters = clustering_.k();
     report->clustering_converged = clustering_.converged;
+    report->timings.push_back({"extrapolation.cluster",
+                               cluster_watch.seconds()});
     if (!clustering_.converged) {
       report->warnings.push_back("k-means hit its iteration cap");
     }
@@ -258,7 +268,9 @@ void ExtrapolationLevel::fit(const Matrix& small_times,
   };
   const bool power_law_feasible = count_distinct(small_scales_) >= 2;
 
+  const obs::Stopwatch support_watch;
   for (std::size_t c = 0; c < clustering_.k(); ++c) {
+    const obs::Span cluster_span("extrap.cluster_fit");
     std::vector<std::size_t> members;
     for (std::size_t i = 0; i < n; ++i) {
       if (clustering_.labels[i] == c) members.push_back(i);
@@ -294,10 +306,15 @@ void ExtrapolationLevel::fit(const Matrix& small_times,
                     "small scale";
     }
 
+    obs::count("fallback.rung", 1, {{"stage", fallback_stage_name(info.stage)}});
     cluster_supports_[c] = info.support;
     cluster_lambdas_[c] = info.lambda;
     cluster_stages_[c] = info.stage;
     if (report != nullptr) report->clusters.push_back(std::move(info));
+  }
+  if (report != nullptr) {
+    report->timings.push_back({"extrapolation.support",
+                               support_watch.seconds()});
   }
   fitted_ = true;
 }

@@ -3,14 +3,17 @@
 #include <cmath>
 
 #include "src/common/check.hpp"
+#include "src/obs/obs.hpp"
 
 namespace hpcp {
 
 void InterpolationLevel::fit(const ExtrapolationProblem& problem, Rng& rng) {
+  const obs::Span span("interp.fit");
   problem.validate();
   scales_ = problem.small_scales;
   forests_.assign(scales_.size(), RandomForest(forest_options_));
   for (std::size_t s = 0; s < scales_.size(); ++s) {
+    const obs::Span scale_span("interp.fit_scale");
     auto y = problem.train_small_times.column(s);
     if (log_target_) {
       for (auto& v : y) {
@@ -56,6 +59,8 @@ InterpolationLevel::CurveWithSpread InterpolationLevel::predict_curve_stats(
 }
 
 Matrix InterpolationLevel::predict_curves(const Matrix& configs) const {
+  const obs::Span span("interp.predict_curves");
+  obs::count("interp.curve_rows", configs.rows());
   HPCP_REQUIRE(fitted(), "predict before fit");
   // One batched FlatForest pass per scale instead of a scalar tree walk per
   // (configuration, scale) — the hot path of every experiment driver.

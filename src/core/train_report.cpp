@@ -1,5 +1,6 @@
 #include "src/core/train_report.hpp"
 
+#include <iomanip>
 #include <sstream>
 
 namespace hpcp {
@@ -34,6 +35,13 @@ std::size_t TrainReport::count_stage(FallbackStage stage) const noexcept {
   return n;
 }
 
+double TrainReport::stage_seconds(std::string_view stage) const noexcept {
+  for (const auto& t : timings) {
+    if (t.stage == stage) return t.seconds;
+  }
+  return 0.0;
+}
+
 std::string TrainReport::summary() const {
   std::ostringstream out;
   out << "trained on " << num_configs << " configuration(s) in "
@@ -47,6 +55,14 @@ std::string TrainReport::summary() const {
     out << '\n';
   }
   for (const auto& w : warnings) out << "  warning: " << w << '\n';
+  if (!timings.empty()) {
+    out << "  stage timings:";
+    for (const auto& t : timings) {
+      out << ' ' << t.stage << '=' << std::fixed << std::setprecision(3)
+          << t.seconds * 1e3 << "ms";
+    }
+    out << '\n';
+  }
   return out.str();
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <string>
+#include <string_view>
 #include <vector>
 
 /// \file train_report.hpp
@@ -51,6 +52,17 @@ struct ClusterTrainInfo {
   double lambda = 0.0;  ///< chosen ℓ2,1 penalty (0 when not applicable)
 };
 
+/// Wall-clock seconds one named pipeline stage took during fit. Stage
+/// names follow the span convention of src/obs (dotted lowercase), e.g.
+/// "interpolation.fit" or "extrapolation.support"; "total" covers the
+/// whole fit. Always recorded — the clock reads are stage-grained and
+/// free next to the work they measure — independent of whether span
+/// tracing is enabled.
+struct StageTiming {
+  std::string stage;
+  double seconds = 0.0;
+};
+
 /// Full training account for a fitted two-level model.
 struct TrainReport {
   std::size_t num_configs = 0;
@@ -60,6 +72,8 @@ struct TrainReport {
   /// Non-fatal oddities (solver iteration caps, re-clustering retries...)
   /// that did not advance the fallback chain but deserve eyeballs.
   std::vector<std::string> warnings;
+  /// Per-stage wall times, in execution order ("total" last).
+  std::vector<StageTiming> timings;
 
   /// True when every cluster trained on the nominal path and no warnings
   /// were recorded.
@@ -67,6 +81,9 @@ struct TrainReport {
 
   /// Count of clusters that landed on `stage`.
   [[nodiscard]] std::size_t count_stage(FallbackStage stage) const noexcept;
+
+  /// Seconds recorded for `stage`, or 0.0 when the stage is absent.
+  [[nodiscard]] double stage_seconds(std::string_view stage) const noexcept;
 
   /// Human-readable multi-line summary for logs and the CLI.
   [[nodiscard]] std::string summary() const;

@@ -6,6 +6,7 @@
 
 #include "src/common/check.hpp"
 #include "src/common/stats.hpp"
+#include "src/obs/obs.hpp"
 
 namespace hpcp {
 
@@ -16,53 +17,92 @@ void TwoLevelModel::fit(const ExtrapolationProblem& problem, Rng& rng) {
 
 Expected<TrainReport> TwoLevelModel::fit_checked(
     const ExtrapolationProblem& problem, Rng& rng) {
-  // The problem sits at the trust boundary (it is distilled from history
-  // files): shape and value defects come back as typed errors, not throws.
-  try {
-    problem.validate();
-  } catch (const std::exception& e) {
-    return Error{ErrorCode::BadData, e.what(), "problem validation"};
-  }
-  if (problem.num_configs() == 0) {
-    return Error{ErrorCode::Degenerate,
-                 "no complete training configurations survived ingestion", ""};
-  }
-  for (std::size_t r = 0; r < problem.train_configs.rows(); ++r) {
-    for (std::size_t c = 0; c < problem.train_configs.cols(); ++c) {
-      if (!std::isfinite(problem.train_configs(r, c))) {
-        return Error{ErrorCode::BadData, "non-finite input parameter",
-                     "config " + std::to_string(r) + ", param " +
-                         std::to_string(c)};
+  const obs::Span fit_span("twolevel.fit");
+  obs::count("twolevel.fits");
+  const obs::Stopwatch total_watch;
+  std::vector<StageTiming> timings;
+
+  {
+    const obs::Span span("twolevel.validate");
+    const obs::Stopwatch watch;
+    // The problem sits at the trust boundary (it is distilled from history
+    // files): shape and value defects come back as typed errors, not throws.
+    try {
+      problem.validate();
+    } catch (const std::exception& e) {
+      return Error{ErrorCode::BadData, e.what(), "problem validation"};
+    }
+    if (problem.num_configs() == 0) {
+      return Error{ErrorCode::Degenerate,
+                   "no complete training configurations survived ingestion",
+                   ""};
+    }
+    for (std::size_t r = 0; r < problem.train_configs.rows(); ++r) {
+      for (std::size_t c = 0; c < problem.train_configs.cols(); ++c) {
+        if (!std::isfinite(problem.train_configs(r, c))) {
+          return Error{ErrorCode::BadData, "non-finite input parameter",
+                       "config " + std::to_string(r) + ", param " +
+                           std::to_string(c)};
+        }
+      }
+      for (std::size_t s = 0; s < problem.train_small_times.cols(); ++s) {
+        const double t = problem.train_small_times(r, s);
+        if (!std::isfinite(t) || t <= 0.0) {
+          return Error{ErrorCode::BadData,
+                       "small-scale runtime must be finite and positive",
+                       "config " + std::to_string(r) + ", scale index " +
+                           std::to_string(s)};
+        }
       }
     }
-    for (std::size_t s = 0; s < problem.train_small_times.cols(); ++s) {
-      const double t = problem.train_small_times(r, s);
-      if (!std::isfinite(t) || t <= 0.0) {
-        return Error{ErrorCode::BadData,
-                     "small-scale runtime must be finite and positive",
-                     "config " + std::to_string(r) + ", scale index " +
-                         std::to_string(s)};
-      }
-    }
+    timings.push_back({"twolevel.validate", watch.seconds()});
   }
 
-  interpolation_ =
-      InterpolationLevel(opts_.forest, opts_.log_interpolation_target);
-  interpolation_.fit(problem, rng);
+  {
+    const obs::Span span("interpolation.fit");
+    const obs::Stopwatch watch;
+    interpolation_ =
+        InterpolationLevel(opts_.forest, opts_.log_interpolation_target);
+    interpolation_.fit(problem, rng);
+    timings.push_back({"interpolation.fit", watch.seconds()});
+  }
 
   // The extrapolation level learns its per-cluster scaling laws from the
   // interpolation level's *predicted* curves (paper) so that its inputs
   // have the same statistical character at training and deployment, or
   // from measured curves (ablation).
-  const Matrix curves =
-      opts_.train_on_predictions
-          ? interpolation_.predict_curves(problem.train_configs)
-          : problem.train_small_times;
+  Matrix curves;
+  {
+    const obs::Span span("interpolation.predict_curves");
+    const obs::Stopwatch watch;
+    curves = opts_.train_on_predictions
+                 ? interpolation_.predict_curves(problem.train_configs)
+                 : problem.train_small_times;
+    timings.push_back({"interpolation.predict_curves", watch.seconds()});
+  }
 
-  extrapolation_ = ExtrapolationLevel(opts_.extrapolation);
-  extrapolation_.fit(curves, problem.small_scales, problem.target_scales,
-                     rng, &train_report_);
+  {
+    const obs::Span span("extrapolation.fit");
+    const obs::Stopwatch watch;
+    extrapolation_ = ExtrapolationLevel(opts_.extrapolation);
+    extrapolation_.fit(curves, problem.small_scales, problem.target_scales,
+                       rng, &train_report_);
+    timings.push_back({"extrapolation.fit", watch.seconds()});
+  }
   calibration_log_ratios_.assign(extrapolation_.num_clusters(), {});
+
+  // The extrapolation fit appended its sub-stage timings to the (reset)
+  // report; put the outer stages first and close with the fit total.
+  timings.insert(timings.end(), train_report_.timings.begin(),
+                 train_report_.timings.end());
+  timings.push_back({"total", total_watch.seconds()});
+  train_report_.timings = std::move(timings);
+  if (obs::metrics_enabled()) {
+    for (const auto& t : train_report_.timings) {
+      obs::observe("twolevel.stage_seconds", t.seconds,
+                   obs::default_time_bounds(), {{"stage", t.stage}});
+    }
+  }
   return train_report_;
 }
 
@@ -131,6 +171,8 @@ std::vector<double> TwoLevelModel::small_scale_curve(
 std::vector<double> TwoLevelModel::predict(
     std::span<const double> params,
     std::span<const double> measured_small_times) const {
+  const obs::Span span("twolevel.predict");
+  obs::count("twolevel.predictions");
   const auto curve = small_scale_curve(params, measured_small_times);
   auto pred = extrapolation_.predict(curve);
   const double factor =
@@ -193,6 +235,8 @@ TwoLevelModel TwoLevelModel::load_file(const std::string& path) {
 
 std::vector<PredictionInterval> TwoLevelModel::predict_with_uncertainty(
     std::span<const double> params) const {
+  const obs::Span span("twolevel.predict_with_uncertainty");
+  obs::count("twolevel.predictions");
   HPCP_REQUIRE(interpolation_.fitted() && extrapolation_.fitted(),
                "predict before fit");
   HPCP_REQUIRE(opts_.uncertainty_samples >= 2, "need at least 2 samples");

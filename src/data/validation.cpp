@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "src/common/stats.hpp"
+#include "src/obs/obs.hpp"
 
 namespace hpcp {
 
@@ -48,6 +49,7 @@ CsvTable ValidationReport::to_csv() const {
 
 Expected<ValidatedHistory> validate_history(const HistoryStore& history,
                                             const ValidationOptions& opts) {
+  const obs::Span span("validation.history");
   const auto& records = history.records();
   ValidationReport report;
   report.total = records.size();
@@ -180,6 +182,8 @@ Expected<ValidatedHistory> validate_history(const HistoryStore& history,
                      std::to_string(report.total) + " scanned)",
                  history.app_name()};
   }
+  obs::count("validation.runs");
+  obs::count("validation.rows_quarantined", report.num_quarantined());
   out.report = std::move(report);
   return out;
 }

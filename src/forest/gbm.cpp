@@ -6,11 +6,13 @@
 #include "src/common/check.hpp"
 #include "src/common/stats.hpp"
 #include "src/forest/binning.hpp"
+#include "src/obs/obs.hpp"
 
 namespace hpcp {
 
 void GradientBoostedTrees::fit(const Matrix& x, std::span<const double> y,
                                Rng& rng) {
+  const obs::Span span("gbm.fit");
   HPCP_REQUIRE(x.rows() == y.size(), "row count must match target length");
   HPCP_REQUIRE(x.rows() > 0, "cannot fit on empty data");
   HPCP_REQUIRE(opts_.num_rounds > 0, "need at least one round");
@@ -39,6 +41,8 @@ void GradientBoostedTrees::fit(const Matrix& x, std::span<const double> y,
       opts_.tree.split_mode == SplitMode::kHistogram ||
       (opts_.tree.split_mode == SplitMode::kAuto &&
        sample_rows > opts_.tree.exact_cutoff);
+  obs::count("forest.split_mode", 1,
+             {{"engine", want_hist ? "hist" : "exact"}});
   BinnedMatrix bins;
   if (want_hist) bins = BinnedMatrix::build(x, opts_.tree.max_bins);
   const BinnedMatrix* shared_bins = want_hist ? &bins : nullptr;

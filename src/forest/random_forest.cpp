@@ -6,11 +6,13 @@
 
 #include "src/common/check.hpp"
 #include "src/forest/binning.hpp"
+#include "src/obs/obs.hpp"
 
 namespace hpcp {
 
 void RandomForest::fit(const Matrix& x, std::span<const double> y, Rng& rng,
                        ThreadPool* pool) {
+  const obs::Span span("forest.fit");
   HPCP_REQUIRE(x.rows() == y.size(), "row count must match target length");
   HPCP_REQUIRE(x.rows() > 0, "cannot fit on empty data");
   HPCP_REQUIRE(opts_.num_trees > 0, "need at least one tree");
@@ -33,6 +35,8 @@ void RandomForest::fit(const Matrix& x, std::span<const double> y, Rng& rng,
   const bool want_hist =
       tree_opts.split_mode == SplitMode::kHistogram ||
       (tree_opts.split_mode == SplitMode::kAuto && n > tree_opts.exact_cutoff);
+  obs::count("forest.split_mode", 1,
+             {{"engine", want_hist ? "hist" : "exact"}});
   BinnedMatrix bins;
   if (want_hist) bins = BinnedMatrix::build(x, tree_opts.max_bins);
   const BinnedMatrix* shared_bins = want_hist ? &bins : nullptr;

@@ -6,6 +6,7 @@
 #include "src/common/check.hpp"
 #include "src/common/stats.hpp"
 #include "src/linear/scaler.hpp"
+#include "src/obs/obs.hpp"
 
 namespace hpcp {
 
@@ -19,6 +20,7 @@ double soft_threshold(double v, double t) noexcept {
 
 LinearModel fit_lasso(const Matrix& x, std::span<const double> y,
                       const LassoOptions& opts, LassoFitInfo* info) {
+  const obs::Span span("lasso.fit");
   HPCP_REQUIRE(x.rows() == y.size(), "row count must match target length");
   HPCP_REQUIRE(x.rows() > 0, "cannot fit on empty data");
   HPCP_REQUIRE(opts.lambda >= 0.0, "lambda must be non-negative");
@@ -82,6 +84,8 @@ LinearModel fit_lasso(const Matrix& x, std::span<const double> y,
     model.intercept -= model.coef[c] * scaler.means()[c];
     ++local_info.nonzeros;
   }
+  obs::count("lasso.single_fits");
+  obs::count("lasso.single_iterations", local_info.iterations);
   if (info != nullptr) *info = local_info;
   return model;
 }

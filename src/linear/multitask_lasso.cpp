@@ -5,6 +5,7 @@
 
 #include "src/common/check.hpp"
 #include "src/linear/scaler.hpp"
+#include "src/obs/obs.hpp"
 
 namespace hpcp {
 
@@ -62,6 +63,7 @@ std::vector<std::size_t> MultiTaskLinearModel::support() const {
 MultiTaskLinearModel fit_multitask_lasso(const Matrix& x, const Matrix& y,
                                          const MultiTaskLassoOptions& opts,
                                          MultiTaskFitInfo* info) {
+  const obs::Span span("lasso.multitask_fit");
   HPCP_REQUIRE(x.rows() == y.rows(), "X and Y row counts must match");
   HPCP_REQUIRE(x.rows() > 0, "cannot fit on empty data");
   HPCP_REQUIRE(y.cols() > 0, "need at least one task");
@@ -102,6 +104,12 @@ MultiTaskLinearModel fit_multitask_lasso(const Matrix& x, const Matrix& y,
 
   std::vector<double> c(T);
   MultiTaskFitInfo local_info;
+  // Resolve the gauge once outside the loop: registry lookups take a lock,
+  // the per-iteration set() is a single relaxed store.
+  obs::Gauge* delta_gauge =
+      obs::metrics_enabled()
+          ? &obs::global_metrics().gauge("lasso.multitask_max_delta")
+          : nullptr;
   for (std::size_t it = 0; it < opts.max_iter; ++it) {
     double max_delta = 0.0;
     double max_w = 0.0;
@@ -140,11 +148,15 @@ MultiTaskLinearModel fit_multitask_lasso(const Matrix& x, const Matrix& y,
       }
     }
     local_info.iterations = it + 1;
+    if (delta_gauge != nullptr) delta_gauge->set(max_delta);
     if (max_delta <= opts.tol * std::max(max_w, 1e-12)) {
       local_info.converged = true;
       break;
     }
   }
+  obs::count("lasso.multitask_fits");
+  obs::count("lasso.multitask_iterations", local_info.iterations);
+  if (!local_info.converged) obs::count("lasso.multitask_nonconverged");
 
   // Un-standardise: w_raw(j,t) = w_std(j,t)/std_j; intercepts absorb means.
   Matrix w_raw(d, T);

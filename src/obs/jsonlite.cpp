@@ -1,0 +1,259 @@
+#include "src/obs/jsonlite.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace hpcp::obs {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t pos, const std::string& what) {
+  throw std::runtime_error("jsonlite: " + what + " at byte " +
+                           std::to_string(pos));
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    skip_ws();
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail(pos_, "trailing characters");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail(pos_, "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char ch) {
+    if (peek() != ch) {
+      fail(pos_, std::string("expected '") + ch + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail(pos_, "bad literal");
+        return JsonValue(true);
+      case 'f':
+        if (!consume_literal("false")) fail(pos_, "bad literal");
+        return JsonValue(false);
+      case 'n':
+        if (!consume_literal("null")) fail(pos_, "bad literal");
+        return JsonValue();
+      default: return JsonValue(parse_number());
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonObject obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(obj));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      obj[std::move(key)] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue(std::move(obj));
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonArray arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(arr));
+    }
+    for (;;) {
+      skip_ws();
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue(std::move(arr));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail(pos_, "unterminated string");
+      const char ch = text_[pos_++];
+      if (ch == '"') return out;
+      if (static_cast<unsigned char>(ch) < 0x20) {
+        fail(pos_ - 1, "raw control character in string");
+      }
+      if (ch != '\\') {
+        out += ch;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail(pos_, "unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail(pos_, "truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail(pos_ - 1, "bad hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // produced by our exporters; pass them through as-is bytes).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail(pos_ - 1, "unknown escape");
+      }
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    auto digits = [&] {
+      const std::size_t before = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      return pos_ > before;
+    };
+    if (!digits()) fail(pos_, "expected number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digits()) fail(pos_, "expected fraction digits");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!digits()) fail(pos_, "expected exponent digits");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    return std::strtod(token.c_str(), nullptr);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+[[noreturn]] void kind_error(const char* wanted) {
+  throw std::runtime_error(std::string("jsonlite: value is not a ") + wanted);
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::Bool) kind_error("bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (kind_ != Kind::Number) kind_error("number");
+  return num_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::String) kind_error("string");
+  return str_;
+}
+
+const JsonArray& JsonValue::as_array() const {
+  if (kind_ != Kind::Array) kind_error("array");
+  return *arr_;
+}
+
+const JsonObject& JsonValue::as_object() const {
+  if (kind_ != Kind::Object) kind_error("object");
+  return *obj_;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const auto& obj = as_object();
+  const auto it = obj.find(key);
+  if (it == obj.end()) {
+    throw std::runtime_error("jsonlite: missing key '" + key + "'");
+  }
+  return it->second;
+}
+
+bool JsonValue::contains(const std::string& key) const {
+  if (kind_ != Kind::Object) return false;
+  return obj_->count(key) > 0;
+}
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace hpcp::obs

@@ -1,0 +1,162 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// \file metrics.hpp (obs)
+/// Named counters, gauges, and fixed-bucket histograms behind a process
+/// registry, dumpable as Prometheus-style text and as the stable JSON
+/// schema `hpcp-metrics/1` (EXPERIMENTS.md documents both).
+///
+/// Like tracing (trace.hpp), metric recording is off by default: the
+/// guarded helpers (`count`, `gauge_set`, `observe`) cost one relaxed
+/// atomic load plus a branch while disabled. Instrumentation that updates
+/// a metric inside a loop should fetch the metric object once up front
+/// (registry lookups take a lock) and then use the lock-free atomic ops on
+/// the object itself.
+///
+/// Naming convention mirrors spans — dotted lowercase `subsystem.metric` —
+/// with optional Prometheus-style labels, e.g.
+/// `forest.split_mode{engine="hist"}` or `fallback.rung{stage="pooled-
+/// multitask"}`. DESIGN.md "Observability" keeps the metric catalog.
+///
+/// This header is distinct from src/common/metrics.hpp (model error
+/// metrics: MAPE and friends); namespaces keep them apart.
+
+namespace hpcp::obs {
+
+/// Label set for one metric instance, e.g. {{"engine", "hist"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+}  // namespace detail
+
+[[nodiscard]] inline bool metrics_enabled() noexcept {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns metric recording on or off (off is the default).
+void set_metrics_enabled(bool on) noexcept;
+
+/// Monotonic event count. Thread-safe and lock-free.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value. Thread-safe and lock-free.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are the strictly increasing inclusive
+/// upper edges; one implicit overflow bucket catches everything above the
+/// last edge. Cumulative-free representation (per-bucket counts) so
+/// concurrent observes only touch one atomic each.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] std::span<const double> bounds() const noexcept {
+    return bounds_;
+  }
+  /// Count in bucket i (i == bounds().size() is the overflow bucket).
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Log-spaced duration buckets (seconds) from 1 µs to 100 s — the shared
+/// edges for every `*.seconds` stage-timing histogram.
+[[nodiscard]] std::span<const double> default_time_bounds() noexcept;
+
+/// Registry of named metrics. Registration is idempotent: looking up the
+/// same (name, labels) returns the same object, so instrument sites can
+/// re-fetch freely. References stay valid for the registry's lifetime;
+/// reset_values() zeroes values but never invalidates references.
+class MetricRegistry {
+ public:
+  Counter& counter(std::string_view name, const Labels& labels = {});
+  Gauge& gauge(std::string_view name, const Labels& labels = {});
+  /// `bounds` are used on first registration only; later lookups with the
+  /// same key ignore them.
+  Histogram& histogram(std::string_view name, std::span<const double> bounds,
+                       const Labels& labels = {});
+
+  /// Zeroes every value (tests and repeated CLI runs); entries remain.
+  void reset_values();
+
+  /// Prometheus text exposition (dots become underscores in metric names).
+  [[nodiscard]] std::string to_prometheus() const;
+  /// Stable JSON, schema "hpcp-metrics/1" (see EXPERIMENTS.md).
+  [[nodiscard]] std::string to_json() const;
+  bool write_json(const std::string& path) const;
+  bool write_prometheus(const std::string& path) const;
+
+ private:
+  template <typename T>
+  struct Entry {
+    std::string name;
+    Labels labels;
+    std::unique_ptr<T> metric;
+  };
+
+  mutable std::mutex mutex_;
+  // Keyed by name + rendered labels; std::map keeps dumps sorted and
+  // therefore deterministic.
+  std::map<std::string, Entry<Counter>> counters_;
+  std::map<std::string, Entry<Gauge>> gauges_;
+  std::map<std::string, Entry<Histogram>> histograms_;
+};
+
+[[nodiscard]] MetricRegistry& global_metrics();
+
+/// Guarded conveniences against the global registry: no-ops while metrics
+/// are disabled. Fine for stage-grained call sites; per-iteration updates
+/// should fetch the metric object once instead.
+void count(std::string_view name, std::uint64_t delta = 1,
+           const Labels& labels = {});
+void gauge_set(std::string_view name, double v, const Labels& labels = {});
+void observe(std::string_view name, double v, std::span<const double> bounds,
+             const Labels& labels = {});
+
+}  // namespace hpcp::obs

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <chrono>
+
+/// \file stopwatch.hpp
+/// The one wall-clock timer of the codebase: benches, experiment
+/// harnesses, and the pipeline's per-stage timings all measure through
+/// this (bench/bench_common.hpp builds its `run_case` on it) so every
+/// reported duration means the same thing — monotonic wall time.
+
+namespace hpcp::obs {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last restart().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hpcp::obs

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+/// \file trace.hpp
+/// RAII pipeline spans with a thread-aware in-memory ring buffer and a
+/// Chrome trace-event JSON exporter (load the output in chrome://tracing
+/// or Perfetto).
+///
+/// Tracing is *off* by default and the entire cost of a Span on the off
+/// path is one relaxed atomic load plus a branch, so instrumented hot
+/// paths stay bit-identical and effectively free when nobody is looking
+/// (DESIGN.md "Observability" states the overhead contract; tools/ci.sh
+/// asserts it in the forest bench). Span naming convention:
+/// dotted lowercase `subsystem.action` (e.g. `interp.fit`,
+/// `cluster.kmeans`, `lasso.multitask_fit`).
+///
+/// This subsystem is self-contained (standard library only): it sits
+/// *below* hpcp_common so even the thread pool can emit spans.
+
+namespace hpcp::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace detail
+
+/// True while span recording is active. Relaxed load: callers only use it
+/// to skip work, never for synchronisation.
+[[nodiscard]] inline bool trace_enabled() noexcept {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns span recording on or off (off is the default).
+void set_trace_enabled(bool on) noexcept;
+
+/// Stable small integer id for the calling thread, assigned on first use.
+/// Worker threads therefore carry the same id for every span they record,
+/// which is what makes the exported trace's per-thread lanes meaningful.
+[[nodiscard]] std::uint32_t current_thread_id() noexcept;
+
+/// Registers a human-readable name for the calling thread (exported as a
+/// Chrome `thread_name` metadata event). The thread pool names its workers
+/// `hpcp-worker-<i>`.
+void set_current_thread_name(std::string name);
+
+/// One completed span, timestamps in microseconds since the tracer epoch.
+struct TraceEvent {
+  std::string name;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::uint32_t tid = 0;
+};
+
+/// Process-wide span sink: a fixed-capacity ring buffer (oldest events are
+/// overwritten once full, with a drop counter) guarded by a mutex. Spans
+/// are stage-grained, so contention on the lock is negligible; the hot-path
+/// guarantee comes from not reaching the sink at all while disabled.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Resizes the ring (default 65536 events) and clears it.
+  void set_capacity(std::size_t capacity);
+  /// Drops all recorded events and zeroes the drop counter. Does not touch
+  /// thread names (ids are stable for the process lifetime).
+  void clear();
+
+  void record(TraceEvent event);
+
+  /// Events oldest-to-newest, then sorted by (ts, tid, name) so the export
+  /// order is deterministic for any interleaving that produced the same
+  /// timestamps (ties broken without relying on arrival order).
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  /// Number of events overwritten because the ring was full.
+  [[nodiscard]] std::size_t dropped() const;
+
+  /// Microseconds since the tracer epoch (process start of tracing use).
+  [[nodiscard]] double now_us() const;
+
+  /// Chrome trace-event JSON ("traceEvents" array of "X" duration events
+  /// plus thread_name metadata; `otherData.schema` = "hpcp-trace/1").
+  [[nodiscard]] std::string to_chrome_json() const;
+  /// Writes to_chrome_json() to `path`; returns false on I/O failure.
+  bool write_chrome_json(const std::string& path) const;
+
+  void name_thread(std::uint32_t tid, std::string name);
+
+ private:
+  Tracer();
+
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_ = 65536;
+  std::size_t next_ = 0;      // ring write cursor
+  std::size_t size_ = 0;      // live events (<= capacity_)
+  std::size_t dropped_ = 0;
+  std::map<std::uint32_t, std::string> thread_names_;
+  std::int64_t epoch_ns_ = 0;  // steady-clock origin for ts_us
+};
+
+/// RAII span: records one TraceEvent for its lifetime when tracing is
+/// enabled, otherwise costs a single branch. `name` must outlive the span
+/// (string literals in practice); use the (name, detail) overload for
+/// dynamic suffixes — the string is only materialised when enabled.
+class Span {
+ public:
+  explicit Span(const char* name) noexcept {
+    if (trace_enabled()) begin(name, nullptr);
+  }
+  Span(const char* name, const std::string& detail) noexcept {
+    if (trace_enabled()) begin(name, &detail);
+  }
+  ~Span() {
+    if (start_us_ >= 0.0) end();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void begin(const char* name, const std::string* detail) noexcept;
+  void end() noexcept;
+
+  std::string name_;
+  double start_us_ = -1.0;
+};
+
+}  // namespace hpcp::obs

@@ -7,6 +7,7 @@
 
 #include "src/core/experiment.hpp"
 #include "src/data/validation.hpp"
+#include "src/obs/obs.hpp"
 #include "src/platform/fault_injector.hpp"
 
 namespace hpcp {
@@ -212,6 +213,76 @@ TEST(TwoLevelModel, FitCheckedReportsNominalTraining) {
   EXPECT_EQ(report->count_stage(FallbackStage::ClusterMultitask),
             report->num_clusters);
   EXPECT_EQ(model.train_report().num_configs, report->num_configs);
+}
+
+TEST(TwoLevelModel, FitRecordsStageTimings) {
+  const auto exp = make_experiment(small_config());
+  TwoLevelModel model;
+  Rng rng(26);
+  const auto report = model.fit_checked(exp.problem, rng);
+  ASSERT_TRUE(report.has_value());
+  ASSERT_FALSE(report->timings.empty());
+  // "total" closes the list and dominates every stage it contains.
+  EXPECT_EQ(report->timings.back().stage, "total");
+  const double total = report->stage_seconds("total");
+  EXPECT_GT(total, 0.0);
+  for (const char* stage :
+       {"twolevel.validate", "interpolation.fit",
+        "interpolation.predict_curves", "extrapolation.fit"}) {
+    const double s = report->stage_seconds(stage);
+    EXPECT_GE(s, 0.0) << stage;
+    EXPECT_LE(s, total) << stage;
+  }
+  // Timings are recorded unconditionally — no tracing/metrics involved.
+  EXPECT_FALSE(obs::trace_enabled());
+  EXPECT_FALSE(obs::metrics_enabled());
+  // Unknown stages read as zero, not a crash.
+  EXPECT_DOUBLE_EQ(report->stage_seconds("no.such.stage"), 0.0);
+}
+
+TEST(TwoLevelModel, FitWithMetricsCountsFallbackRungs) {
+  const auto exp = make_experiment(small_config());
+  obs::global_metrics().reset_values();
+  obs::set_metrics_enabled(true);
+  TwoLevelModel model;
+  Rng rng(27);
+  const auto report = model.fit_checked(exp.problem, rng);
+  obs::set_metrics_enabled(false);
+  ASSERT_TRUE(report.has_value());
+  // Every cluster lands on exactly one ladder rung; on clean data that is
+  // the nominal cluster-multitask rung for all of them.
+  const auto nominal =
+      obs::global_metrics()
+          .counter("fallback.rung", {{"stage", "cluster-multitask"}})
+          .value();
+  EXPECT_EQ(nominal, report->num_clusters);
+  EXPECT_GE(obs::global_metrics().counter("lasso.multitask_fits").value(),
+            1u);
+  obs::global_metrics().reset_values();
+}
+
+TEST(TwoLevelModel, MetricsOnDoesNotChangePredictions) {
+  const auto exp = make_experiment(small_config());
+  TwoLevelModel off_model;
+  Rng off_rng(28);
+  off_model.fit(exp.problem, off_rng);
+  const auto off_pred = off_model.predict(exp.test.configs.row(0), {});
+
+  obs::set_metrics_enabled(true);
+  obs::set_trace_enabled(true);
+  TwoLevelModel on_model;
+  Rng on_rng(28);
+  on_model.fit(exp.problem, on_rng);
+  const auto on_pred = on_model.predict(exp.test.configs.row(0), {});
+  obs::set_trace_enabled(false);
+  obs::set_metrics_enabled(false);
+  obs::global_metrics().reset_values();
+  obs::Tracer::instance().clear();
+
+  ASSERT_EQ(on_pred.size(), off_pred.size());
+  for (std::size_t t = 0; t < on_pred.size(); ++t) {
+    EXPECT_DOUBLE_EQ(on_pred[t], off_pred[t]);
+  }
 }
 
 TEST(TwoLevelModel, FitCheckedRejectsNonFiniteDataAsTypedError) {

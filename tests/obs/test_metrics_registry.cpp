@@ -1,0 +1,188 @@
+#include "src/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/jsonlite.hpp"
+
+namespace hpcp {
+namespace {
+
+/// Metric enablement is process-global; restore the disabled default
+/// around every test and keep the global registry's values zeroed.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+
+  static void reset() {
+    obs::set_metrics_enabled(false);
+    obs::global_metrics().reset_values();
+  }
+};
+
+TEST_F(MetricsTest, CounterAddsAndResets) {
+  obs::MetricRegistry registry;
+  auto& c = registry.counter("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  registry.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(MetricsTest, GaugeIsLastWriteWins) {
+  obs::MetricRegistry registry;
+  auto& g = registry.gauge("test.gauge");
+  g.set(1.5);
+  g.set(-3.25);
+  EXPECT_DOUBLE_EQ(g.value(), -3.25);
+}
+
+TEST_F(MetricsTest, LookupIsIdempotentAndLabelsDistinguish) {
+  obs::MetricRegistry registry;
+  auto& a = registry.counter("forest.split_mode", {{"engine", "hist"}});
+  auto& b = registry.counter("forest.split_mode", {{"engine", "exact"}});
+  auto& a2 = registry.counter("forest.split_mode", {{"engine", "hist"}});
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(&a, &a2);
+  a.add(3);
+  b.add(1);
+  EXPECT_EQ(a.value(), 3u);
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST_F(MetricsTest, HistogramBucketsInclusiveUpperEdges) {
+  obs::MetricRegistry registry;
+  const std::vector<double> bounds{1.0, 2.0, 4.0};
+  auto& h = registry.histogram("test.hist", bounds);
+  h.observe(0.5);   // bucket 0
+  h.observe(1.0);   // bucket 0 (inclusive upper edge)
+  h.observe(1.5);   // bucket 1
+  h.observe(4.0);   // bucket 2
+  h.observe(100.0); // overflow
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 100.0);
+}
+
+TEST_F(MetricsTest, HistogramRejectsBadBounds) {
+  EXPECT_THROW(obs::Histogram({}), std::invalid_argument);
+  EXPECT_THROW(obs::Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST_F(MetricsTest, ConcurrentCounterIncrementsSumExactly) {
+  obs::MetricRegistry registry;
+  auto& c = registry.counter("test.concurrent");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST_F(MetricsTest, ConcurrentLookupAndAddFromManyThreads) {
+  obs::MetricRegistry registry;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        registry.counter("test.lookup").add();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.counter("test.lookup").value(), kThreads * kPerThread);
+}
+
+TEST_F(MetricsTest, ToJsonParsesAndFollowsSchema) {
+  obs::MetricRegistry registry;
+  registry.counter("fallback.rung", {{"stage", "pooled-multitask"}}).add(2);
+  registry.gauge("lasso.multitask_max_delta").set(1e-7);
+  const std::vector<double> bounds{0.001, 0.1};
+  registry.histogram("twolevel.stage_seconds", bounds).observe(0.05);
+
+  const obs::JsonValue doc = obs::parse_json(registry.to_json());
+  EXPECT_EQ(doc.at("schema").as_string(), "hpcp-metrics/1");
+
+  const auto& counters = doc.at("counters").as_array();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0].at("name").as_string(), "fallback.rung");
+  EXPECT_EQ(counters[0].at("labels").at("stage").as_string(),
+            "pooled-multitask");
+  EXPECT_DOUBLE_EQ(counters[0].at("value").as_number(), 2.0);
+
+  const auto& gauges = doc.at("gauges").as_array();
+  ASSERT_EQ(gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(gauges[0].at("value").as_number(), 1e-7);
+
+  const auto& hists = doc.at("histograms").as_array();
+  ASSERT_EQ(hists.size(), 1u);
+  EXPECT_EQ(hists[0].at("count").as_number(), 1.0);
+  const auto& buckets = hists[0].at("buckets").as_array();
+  ASSERT_EQ(buckets.size(), 3u);  // two bounds + overflow
+  EXPECT_EQ(buckets.back().at("le").as_string(), "+Inf");
+  EXPECT_DOUBLE_EQ(buckets[1].at("count").as_number(), 1.0);
+}
+
+TEST_F(MetricsTest, ToPrometheusRendersCumulativeBuckets) {
+  obs::MetricRegistry registry;
+  registry.counter("forest.split_mode", {{"engine", "hist"}}).add(4);
+  const std::vector<double> bounds{1.0, 2.0};
+  auto& h = registry.histogram("test.hist", bounds);
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(9.0);
+
+  const std::string text = registry.to_prometheus();
+  EXPECT_NE(text.find("# TYPE forest_split_mode counter"), std::string::npos);
+  EXPECT_NE(text.find("forest_split_mode{engine=\"hist\"} 4"),
+            std::string::npos);
+  // Cumulative: le=1 -> 1, le=2 -> 2, +Inf -> total count.
+  EXPECT_NE(text.find("test_hist_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("test_hist_bucket{le=\"2\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("test_hist_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("test_hist_count 3"), std::string::npos);
+}
+
+TEST_F(MetricsTest, GuardedHelpersNoOpWhileDisabled) {
+  ASSERT_FALSE(obs::metrics_enabled());
+  obs::count("test.guarded");
+  obs::gauge_set("test.guarded_gauge", 7.0);
+  EXPECT_EQ(obs::global_metrics().counter("test.guarded").value(), 0u);
+  EXPECT_DOUBLE_EQ(obs::global_metrics().gauge("test.guarded_gauge").value(),
+                   0.0);
+}
+
+TEST_F(MetricsTest, GuardedHelpersRecordWhileEnabled) {
+  obs::set_metrics_enabled(true);
+  obs::count("test.guarded", 2, {{"k", "v"}});
+  obs::count("test.guarded", 3, {{"k", "v"}});
+  obs::gauge_set("test.guarded_gauge", 7.0);
+  obs::set_metrics_enabled(false);
+  EXPECT_EQ(
+      obs::global_metrics().counter("test.guarded", {{"k", "v"}}).value(),
+      5u);
+  EXPECT_DOUBLE_EQ(obs::global_metrics().gauge("test.guarded_gauge").value(),
+                   7.0);
+}
+
+}  // namespace
+}  // namespace hpcp

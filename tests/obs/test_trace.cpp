@@ -1,0 +1,173 @@
+#include "src/obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/thread_pool.hpp"
+#include "src/obs/jsonlite.hpp"
+
+namespace hpcp {
+namespace {
+
+/// The tracer is process-global; every test starts from a clean, disabled
+/// state and leaves the same behind.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+
+  static void reset() {
+    obs::set_trace_enabled(false);
+    obs::Tracer::instance().set_capacity(65536);  // also clears the ring
+  }
+
+  static std::vector<std::string> names_of(
+      const std::vector<obs::TraceEvent>& events) {
+    std::vector<std::string> names;
+    names.reserve(events.size());
+    for (const auto& e : events) names.push_back(e.name);
+    return names;
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  {
+    const obs::Span outer("outer");
+    const obs::Span inner("inner");
+  }
+  EXPECT_TRUE(obs::Tracer::instance().snapshot().empty());
+  EXPECT_EQ(obs::Tracer::instance().dropped(), 0u);
+}
+
+TEST_F(TraceTest, NestedSpansRecordWithDurations) {
+  obs::set_trace_enabled(true);
+  {
+    const obs::Span outer("outer");
+    { const obs::Span inner("inner"); }
+  }
+  obs::set_trace_enabled(false);
+  const auto events = obs::Tracer::instance().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  const auto names = names_of(events);
+  EXPECT_NE(std::find(names.begin(), names.end(), "outer"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "inner"), names.end());
+  for (const auto& e : events) {
+    EXPECT_GE(e.dur_us, 0.0);
+    EXPECT_GE(e.ts_us, 0.0);
+  }
+  // The outer span fully contains the inner one.
+  const auto& outer = events[0].name == "outer" ? events[0] : events[1];
+  const auto& inner = events[0].name == "inner" ? events[0] : events[1];
+  EXPECT_LE(outer.ts_us, inner.ts_us);
+  EXPECT_GE(outer.ts_us + outer.dur_us, inner.ts_us + inner.dur_us);
+}
+
+TEST_F(TraceTest, SpanDetailSuffixesTheName) {
+  obs::set_trace_enabled(true);
+  { const obs::Span span("stage", std::string("heat3d")); }
+  obs::set_trace_enabled(false);
+  const auto events = obs::Tracer::instance().snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NE(events[0].name.find("stage"), std::string::npos);
+  EXPECT_NE(events[0].name.find("heat3d"), std::string::npos);
+}
+
+TEST_F(TraceTest, RingOverwritesOldestAndCountsDrops) {
+  obs::Tracer::instance().set_capacity(4);
+  obs::set_trace_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    const obs::Span span("s");
+  }
+  obs::set_trace_enabled(false);
+  EXPECT_EQ(obs::Tracer::instance().snapshot().size(), 4u);
+  EXPECT_EQ(obs::Tracer::instance().dropped(), 6u);
+}
+
+TEST_F(TraceTest, ParallelMapSpansAreDeterministicAcrossPoolSizes) {
+  constexpr std::size_t kItems = 32;
+  std::map<std::size_t, std::vector<std::string>> user_spans;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    obs::Tracer::instance().clear();
+    obs::set_trace_enabled(true);
+    ThreadPool pool(threads);
+    const auto out = parallel_map(
+        kItems,
+        [](std::size_t i) {
+          const obs::Span span("item");
+          return i;
+        },
+        &pool);
+    obs::set_trace_enabled(false);
+    for (std::size_t i = 0; i < kItems; ++i) EXPECT_EQ(out[i], i);
+
+    // Infrastructure spans (thread_pool.chunk) scale with the worker count
+    // by design; the user-visible "item" spans must not.
+    std::vector<std::string> items;
+    for (const auto& e : obs::Tracer::instance().snapshot()) {
+      if (e.name == "item") items.push_back(e.name);
+    }
+    user_spans[threads] = items;
+  }
+  EXPECT_EQ(user_spans[1].size(), kItems);
+  EXPECT_EQ(user_spans[4].size(), kItems);
+  EXPECT_EQ(user_spans[1], user_spans[4]);
+}
+
+TEST_F(TraceTest, ChromeJsonRoundTripsThroughJsonlite) {
+  obs::set_trace_enabled(true);
+  ThreadPool pool(2);
+  const auto out = parallel_map(
+      8,
+      [](std::size_t i) {
+        const obs::Span span("item");
+        return i;
+      },
+      &pool);
+  (void)out;
+  obs::set_trace_enabled(false);
+
+  const std::string json = obs::Tracer::instance().to_chrome_json();
+  const obs::JsonValue doc = obs::parse_json(json);
+
+  ASSERT_TRUE(doc.contains("traceEvents"));
+  EXPECT_EQ(doc.at("otherData").at("schema").as_string(), "hpcp-trace/1");
+
+  std::size_t duration_events = 0;
+  bool has_worker_name = false;
+  for (const auto& event : doc.at("traceEvents").as_array()) {
+    const std::string ph = event.at("ph").as_string();
+    if (ph == "X") {
+      ++duration_events;
+      EXPECT_GE(event.at("dur").as_number(), 0.0);
+      EXPECT_GE(event.at("ts").as_number(), 0.0);
+      EXPECT_FALSE(event.at("name").as_string().empty());
+    } else if (ph == "M" &&
+               event.at("name").as_string() == "thread_name" &&
+               event.at("args").at("name").as_string().rfind("hpcp-worker-",
+                                                             0) == 0) {
+      has_worker_name = true;
+    }
+  }
+  EXPECT_GE(duration_events, 8u);
+  EXPECT_TRUE(has_worker_name);
+}
+
+TEST_F(TraceTest, SnapshotIsSortedByTimestamp) {
+  obs::set_trace_enabled(true);
+  for (int i = 0; i < 20; ++i) {
+    const obs::Span span("s");
+  }
+  obs::set_trace_enabled(false);
+  const auto events = obs::Tracer::instance().snapshot();
+  ASSERT_EQ(events.size(), 20u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts_us, events[i].ts_us);
+  }
+}
+
+}  // namespace
+}  // namespace hpcp

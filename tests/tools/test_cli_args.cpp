@@ -1,0 +1,98 @@
+#include "tools/cli_support.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace hpcp {
+namespace {
+
+using cli::Args;
+using cli::FlagSpec;
+using cli::UsageError;
+using cli::spec_for;
+
+TEST(CliSpec, EveryCommandAcceptsObservabilityFlags) {
+  for (const char* cmd :
+       {"generate", "train", "fit", "predict", "evaluate", "validate"}) {
+    const FlagSpec spec = spec_for(cmd);
+    EXPECT_TRUE(spec.is_value("trace")) << cmd;
+    EXPECT_TRUE(spec.is_value("metrics-out")) << cmd;
+    EXPECT_TRUE(spec.is_value("metrics-text")) << cmd;
+  }
+}
+
+TEST(CliSpec, FitIsAnAliasOfTrain) {
+  const FlagSpec spec = spec_for("fit");
+  EXPECT_TRUE(spec.is_value("history"));
+  EXPECT_TRUE(spec.is_value("targets"));
+  EXPECT_TRUE(spec.is_value("save"));
+}
+
+TEST(CliSpec, UnknownCommandThrowsUsageError) {
+  EXPECT_THROW(spec_for("frobnicate"), UsageError);
+  EXPECT_THROW(spec_for(""), UsageError);
+}
+
+TEST(CliArgs, ParsesKnownValueAndBoolFlags) {
+  const Args args(spec_for("predict"),
+                  {"--history", "h.csv", "--targets", "16,32", "--queries",
+                   "q.csv", "--uncertainty"});
+  EXPECT_TRUE(args.has("history"));
+  EXPECT_EQ(args.get("history"), "h.csv");
+  EXPECT_EQ(args.get("targets"), "16,32");
+  EXPECT_TRUE(args.has("uncertainty"));
+  EXPECT_FALSE(args.has("model"));
+  EXPECT_EQ(args.get("seed", "42"), "42");  // fallback when absent
+}
+
+TEST(CliArgs, UnknownOptionIsAnError) {
+  // The seed parser silently accepted any --flag; unknown options must now
+  // be rejected so typos cannot pass as defaults.
+  EXPECT_THROW(
+      Args(spec_for("train"),
+           {"--history", "h.csv", "--targets", "16", "--sede", "7"}),
+      UsageError);
+}
+
+TEST(CliArgs, PositionalArgumentIsAnError) {
+  EXPECT_THROW(Args(spec_for("train"), {"history.csv"}), UsageError);
+  EXPECT_THROW(
+      Args(spec_for("train"), {"--history", "h.csv", "stray"}),
+      UsageError);
+}
+
+TEST(CliArgs, ValueFlagWithoutValueIsAnError) {
+  EXPECT_THROW(Args(spec_for("train"), {"--history"}), UsageError);
+  // A following flag token is not a value.
+  EXPECT_THROW(Args(spec_for("train"), {"--history", "--targets", "16"}),
+               UsageError);
+}
+
+TEST(CliArgs, MissingRequiredFlagThrowsUsageError) {
+  const Args args(spec_for("train"), {});
+  EXPECT_THROW((void)args.get("history"), UsageError);
+}
+
+TEST(CliArgs, GetSizeParsesAndRejectsGarbage) {
+  const Args args(spec_for("train"),
+                  {"--seed", "7", "--max-bins", "sixty-four"});
+  EXPECT_EQ(args.get_size("seed", 42), 7u);
+  EXPECT_EQ(args.get_size("configs", 300), 300u);  // absent -> fallback
+  EXPECT_THROW((void)args.get_size("max-bins", 64), UsageError);
+}
+
+TEST(CliObsSession, NoFlagsLeavesObservabilityDisabled) {
+  const Args args(spec_for("train"), {});
+  {
+    const cli::ObsSession session(args);
+    EXPECT_FALSE(obs::trace_enabled());
+    EXPECT_FALSE(obs::metrics_enabled());
+  }
+  EXPECT_FALSE(obs::trace_enabled());
+  EXPECT_FALSE(obs::metrics_enabled());
+}
+
+}  // namespace
+}  // namespace hpcp

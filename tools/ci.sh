@@ -46,6 +46,85 @@ else
     || { echo "BENCH_forest.json missing schema marker" >&2; exit 1; }
 fi
 
+# Observability off-mode overhead guard: the bench times the identical
+# disabled-instrumentation workload twice (A/A); their ratio must stay within
+# noise of 1.0 and the traced run must not perturb predictions. Timing is
+# retried because a loaded CI host can spike a single best-of measurement.
+echo "=== [release] obs-overhead-guard ==="
+if command -v python3 > /dev/null 2>&1; then
+  obs_guard_ok=0
+  for attempt in 1 2 3; do
+    if python3 - "${bench_json}" << 'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+obs = doc["obs"]
+assert obs["bitwise_identical_on_off"] is True, \
+    "predictions differ between obs on and off"
+ratio = obs["off_overhead"]
+assert ratio <= 1.01, f"disabled-obs overhead {ratio:.4f}x exceeds 1%"
+print(f"obs off-mode overhead {ratio:.4f}x (<= 1.01), on/off bitwise identical")
+EOF
+    then
+      obs_guard_ok=1
+      break
+    fi
+    echo "obs overhead guard failed (attempt ${attempt}); re-timing" >&2
+    "${repo_root}/build-ci-release/bench/bench_micro_forest" \
+      --short --json "${bench_json}"
+  done
+  [[ "${obs_guard_ok}" -eq 1 ]] \
+    || { echo "obs off-mode overhead guard failed after retries" >&2; exit 1; }
+fi
+
+# Trace smoke: fit a real (tiny) history with --trace/--metrics-out and make
+# sure the Chrome trace covers the pipeline stages and the metrics dump
+# follows the hpcp-metrics/1 schema documented in EXPERIMENTS.md.
+echo "=== [release] trace-smoke ==="
+cli="${repo_root}/build-ci-release/tools/hpcpredict_cli"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "${smoke_dir}"' EXIT
+"${cli}" generate --app heat3d --out "${smoke_dir}/hist.csv" \
+  --configs 24 --scales 1,2,4,8 --seed 3
+"${cli}" fit --history "${smoke_dir}/hist.csv" --targets 16,32 --seed 5 \
+  --trace "${smoke_dir}/trace.json" \
+  --metrics-out "${smoke_dir}/metrics.json" \
+  --metrics-text "${smoke_dir}/metrics.prom"
+usage_status=0
+"${cli}" fit --history "${smoke_dir}/hist.csv" --no-such-flag \
+  > /dev/null 2>&1 || usage_status=$?
+if [[ "${usage_status}" -ne 2 ]]; then
+  echo "unknown CLI option exited ${usage_status}, expected 2" >&2
+  exit 1
+fi
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "${smoke_dir}/trace.json" "${smoke_dir}/metrics.json" << 'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+assert trace["otherData"]["schema"] == "hpcp-trace/1", "bad trace schema"
+names = {e["name"] for e in trace["traceEvents"] if e.get("ph") == "X"}
+for span in ("twolevel.fit", "interpolation.fit", "cluster.kmeans",
+             "lasso.multitask_fit", "extrapolation.fit",
+             "validation.history"):
+    assert span in names, f"trace missing span {span}"
+with open(sys.argv[2]) as f:
+    metrics = json.load(f)
+assert metrics["schema"] == "hpcp-metrics/1", "bad metrics schema"
+counters = {c["name"] for c in metrics["counters"]}
+for name in ("forest.split_mode", "lasso.multitask_iterations",
+             "fallback.rung", "validation.rows_quarantined"):
+    assert name in counters, f"metrics missing counter {name}"
+print(f"trace-smoke ok ({len(names)} distinct spans,"
+      f" {len(counters)} counters)")
+EOF
+else
+  grep -q '"hpcp-trace/1"' "${smoke_dir}/trace.json" \
+    || { echo "trace.json missing schema marker" >&2; exit 1; }
+  grep -q '"hpcp-metrics/1"' "${smoke_dir}/metrics.json" \
+    || { echo "metrics.json missing schema marker" >&2; exit 1; }
+fi
+
 if [[ "${skip_san}" -eq 0 ]]; then
   run_matrix_entry asan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \

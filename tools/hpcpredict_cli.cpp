@@ -3,8 +3,8 @@
 /// Subcommands:
 ///   generate  Simulate an execution history for a bundled application and
 ///             write it as CSV (stand-in for exporting a site's logs).
-///   train     Train the two-level model on a history CSV and save it to a
-///             model file for later prediction.
+///   train     Train the two-level model on a history CSV; optionally save
+///             it to a model file for later prediction. `fit` is an alias.
 ///   predict   Predict target-scale runtimes of query configurations (CSV
 ///             in/out), with optional uncertainty intervals. Trains from
 ///             --history, or loads a previously saved --model.
@@ -15,65 +15,33 @@
 ///             Exit code 0 = clean, 3 = records quarantined, 1 = fatal
 ///             (unreadable/unusable file). Never crashes on corrupt input.
 ///
+/// Every subcommand also takes the observability flags --trace FILE
+/// (Chrome trace-event JSON of pipeline spans), --metrics-out FILE
+/// (hpcp-metrics/1 JSON), and --metrics-text FILE (Prometheus text).
+/// Malformed command lines — unknown options included — print the usage
+/// text and exit 2.
+///
 /// Examples:
 ///   hpcpredict_cli generate --app heat3d --configs 300
 ///       --scales 1,2,4,8,16 --out history.csv
+///   hpcpredict_cli fit --history history.csv --targets 64,256
+///       --trace trace.json --metrics-out metrics.json
 ///   hpcpredict_cli predict --history history.csv --targets 64,256
 ///       --queries queries.csv --uncertainty
 ///   hpcpredict_cli evaluate --app minimd --targets 32,64,128,256
 
 #include <iostream>
-#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
 
 #include "src/hpcpredict.hpp"
+#include "tools/cli_support.hpp"
 
 namespace {
 
 using namespace hpcp;
-
-/// Minimal --flag value parser; flags may also be boolean (present/absent).
-class Args {
- public:
-  Args(int argc, char** argv) {
-    for (int i = 2; i < argc; ++i) {
-      std::string arg = argv[i];
-      if (arg.rfind("--", 0) != 0) {
-        throw std::invalid_argument("unexpected argument: " + arg);
-      }
-      arg = arg.substr(2);
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-        values_[arg] = argv[++i];
-      } else {
-        values_[arg] = "";
-      }
-    }
-  }
-
-  [[nodiscard]] bool has(const std::string& key) const {
-    return values_.count(key) > 0;
-  }
-  [[nodiscard]] std::string get(const std::string& key,
-                                const std::string& fallback = "") const {
-    const auto it = values_.find(key);
-    if (it == values_.end()) {
-      if (fallback.empty()) {
-        throw std::invalid_argument("missing required flag --" + key);
-      }
-      return fallback;
-    }
-    return it->second;
-  }
-  [[nodiscard]] std::size_t get_size(const std::string& key,
-                                     std::size_t fallback) const {
-    return has(key) ? std::stoull(get(key)) : fallback;
-  }
-
- private:
-  std::map<std::string, std::string> values_;
-};
+using cli::Args;
 
 std::vector<std::size_t> parse_scales(const std::string& csv) {
   std::vector<std::size_t> scales;
@@ -145,6 +113,14 @@ TwoLevelModel train_from_history(const Args& args,
   const TrainReport report = model.fit_checked(problem, rng).value_or_throw();
   std::cout << "trained two-level model ("
             << model.extrapolation().num_clusters() << " cluster(s))\n";
+  if (!report.timings.empty()) {
+    std::cout << "stage timings:";
+    for (const auto& t : report.timings) {
+      std::cout << ' ' << t.stage << '='
+                << format_double(t.seconds * 1e3, 3) << "ms";
+    }
+    std::cout << '\n';
+  }
   if (!report.fully_nominal()) {
     std::cout << "training degraded from the nominal path:\n"
               << report.summary();
@@ -199,13 +175,15 @@ int cmd_validate(const Args& args) {
 int cmd_train(const Args& args) {
   std::vector<std::string> param_names;
   const TwoLevelModel model = train_from_history(args, &param_names);
-  const std::string path = args.get("save");
-  model.save_file(path);
-  std::cout << "saved model to " << path << '\n';
-  // Record the parameter schema next to the model so predict can check it.
-  CsvTable schema;
-  schema.header = param_names;
-  csv_write_file(path + ".schema.csv", schema);
+  if (args.has("save")) {
+    const std::string path = args.get("save");
+    model.save_file(path);
+    std::cout << "saved model to " << path << '\n';
+    // Record the parameter schema next to the model so predict can check it.
+    CsvTable schema;
+    schema.header = param_names;
+    csv_write_file(path + ".schema.csv", schema);
+  }
   return 0;
 }
 
@@ -310,15 +288,17 @@ void print_usage() {
       "[--flags]\n"
       "  generate --app NAME --out FILE [--configs N] [--scales 1,2,4,8,16]\n"
       "           [--runs-per-point N] [--seed S]\n"
-      "  train    --history FILE --targets P1,P2,... --save FILE [--seed S]\n"
-      "           [--max-bins N]\n"
+      "  train    --history FILE --targets P1,P2,... [--save FILE]\n"
+      "           [--seed S] [--max-bins N]   (alias: fit)\n"
       "  predict  (--model FILE | --history FILE --targets P1,P2,...)\n"
       "           --queries FILE [--out FILE] [--uncertainty] [--seed S]\n"
       "           [--max-bins N]\n"
       "  evaluate --app NAME [--configs N] [--test-configs N]\n"
       "           [--scales ...] [--targets ...] [--seed S]\n"
       "  validate --history FILE [--strict] [--out CLEAN_FILE]\n"
-      "           [--report QUARANTINE_FILE]\n";
+      "           [--report QUARANTINE_FILE]\n"
+      "observability (all commands):\n"
+      "  [--trace FILE] [--metrics-out FILE] [--metrics-text FILE]\n";
 }
 
 }  // namespace
@@ -328,16 +308,23 @@ int main(int argc, char** argv) {
     print_usage();
     return 2;
   }
-  const std::string command = argv[1];
-  // Nothing may escape main: any exception (including data errors on the
-  // non-validate paths) becomes exit code 1 with a one-line message.
+  std::string command = argv[1];
+  if (command == "fit") command = "train";
+  // Nothing may escape main: a malformed command line (unknown command or
+  // option, missing value) prints the usage text and exits 2; any other
+  // exception (including data errors on the non-validate paths) becomes
+  // exit code 1 with a one-line message.
   try {
-    const Args args(argc, argv);
+    const cli::FlagSpec spec = cli::spec_for(command);
+    const Args args(spec, std::vector<std::string>(argv + 2, argv + argc));
+    const cli::ObsSession obs_session(args);
     if (command == "generate") return cmd_generate(args);
     if (command == "train") return cmd_train(args);
     if (command == "predict") return cmd_predict(args);
     if (command == "evaluate") return cmd_evaluate(args);
-    if (command == "validate") return cmd_validate(args);
+    return cmd_validate(args);
+  } catch (const cli::UsageError& e) {
+    std::cerr << "error: " << e.what() << '\n';
     print_usage();
     return 2;
   } catch (const std::exception& e) {
