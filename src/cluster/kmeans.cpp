@@ -20,7 +20,23 @@ double sq_distance(std::span<const double> a, std::span<const double> b) {
   return acc;
 }
 
-Matrix kmeanspp_seed(const Matrix& points, std::size_t k, Rng& rng) {
+/// Per-point distance work below this row count runs serially: one
+/// parallel_for dispatch costs more than a few thousand subtractions. The
+/// cutoff only affects scheduling, never results, so determinism across
+/// pool sizes is preserved by construction.
+constexpr std::size_t kParallelPointCutoff = 128;
+
+void for_each_point(std::size_t n, ThreadPool* pool,
+                    const std::function<void(std::size_t)>& body) {
+  if (n < kParallelPointCutoff) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+  } else {
+    parallel_for(n, body, pool);
+  }
+}
+
+Matrix kmeanspp_seed(const Matrix& points, std::size_t k, Rng& rng,
+                     ThreadPool* pool) {
   const std::size_t n = points.rows();
   Matrix centroids(k, points.cols());
   std::vector<double> dist(n, std::numeric_limits<double>::infinity());
@@ -28,12 +44,14 @@ Matrix kmeanspp_seed(const Matrix& points, std::size_t k, Rng& rng) {
   std::size_t first = static_cast<std::size_t>(rng.uniform_index(n));
   centroids.set_row(0, points.row(first));
   for (std::size_t c = 1; c < k; ++c) {
+    // Distance refresh per point in parallel (indexed slots), then a serial
+    // sum in point order — the prefix scan below consumes exact totals.
+    for_each_point(n, pool, [&](std::size_t i) {
+      dist[i] = std::min(dist[i],
+                         sq_distance(points.row(i), centroids.row(c - 1)));
+    });
     double total = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      dist[i] = std::min(dist[i], sq_distance(points.row(i),
-                                              centroids.row(c - 1)));
-      total += dist[i];
-    }
+    for (std::size_t i = 0; i < n; ++i) total += dist[i];
     std::size_t chosen = 0;
     if (total <= 0.0) {
       // All remaining points coincide with existing centroids.
@@ -54,17 +72,19 @@ Matrix kmeanspp_seed(const Matrix& points, std::size_t k, Rng& rng) {
 }
 
 KMeansResult lloyd(const Matrix& points, Matrix centroids,
-                   const KMeansOptions& opts) {
+                   const KMeansOptions& opts, ThreadPool* pool) {
   const std::size_t n = points.rows();
   const std::size_t k = centroids.rows();
   KMeansResult result;
   result.labels.assign(n, 0);
+  std::vector<double> best_dist(n, 0.0);
   double prev_inertia = std::numeric_limits<double>::infinity();
 
   for (std::size_t it = 0; it < opts.max_iter; ++it) {
-    // Assignment step.
-    double inertia = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
+    // Assignment step: per-point nearest centroid in parallel (each point
+    // writes only its own label/distance slot), then a serial point-order
+    // inertia sum so the total is bitwise independent of scheduling.
+    for_each_point(n, pool, [&](std::size_t i) {
       double best = std::numeric_limits<double>::infinity();
       std::size_t best_c = 0;
       for (std::size_t c = 0; c < k; ++c) {
@@ -75,8 +95,10 @@ KMeansResult lloyd(const Matrix& points, Matrix centroids,
         }
       }
       result.labels[i] = best_c;
-      inertia += best;
-    }
+      best_dist[i] = best;
+    });
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) inertia += best_dist[i];
 
     // Update step.
     Matrix sums(k, points.cols());
@@ -145,7 +167,7 @@ std::vector<std::size_t> KMeansResult::cluster_sizes() const {
 }
 
 KMeansResult kmeans(const Matrix& points, const KMeansOptions& opts,
-                    Rng& rng) {
+                    Rng& rng, ThreadPool* pool) {
   const obs::Span span("cluster.kmeans");
   HPCP_REQUIRE(points.rows() > 0, "cannot cluster zero points");
   HPCP_REQUIRE(opts.k >= 1, "k must be at least 1");
@@ -155,8 +177,8 @@ KMeansResult kmeans(const Matrix& points, const KMeansOptions& opts,
   KMeansResult best;
   best.inertia = std::numeric_limits<double>::infinity();
   for (std::size_t r = 0; r < opts.restarts; ++r) {
-    auto seeded = kmeanspp_seed(points, opts.k, rng);
-    auto result = lloyd(points, std::move(seeded), opts);
+    auto seeded = kmeanspp_seed(points, opts.k, rng, pool);
+    auto result = lloyd(points, std::move(seeded), opts, pool);
     if (result.inertia < best.inertia) best = std::move(result);
   }
   obs::count("cluster.kmeans_runs");
@@ -168,7 +190,8 @@ KMeansResult kmeans(const Matrix& points, const KMeansOptions& opts,
 }
 
 double silhouette_score(const Matrix& points,
-                        std::span<const std::size_t> labels, std::size_t k) {
+                        std::span<const std::size_t> labels, std::size_t k,
+                        ThreadPool* pool) {
   const std::size_t n = points.rows();
   HPCP_REQUIRE(labels.size() == n, "one label per point required");
   HPCP_REQUIRE(k >= 2 && k <= n, "silhouette needs 2 <= k <= n");
@@ -179,10 +202,12 @@ double silhouette_score(const Matrix& points,
     ++sizes[l];
   }
 
-  double total = 0.0;
-  std::vector<double> mean_dist(k);
-  for (std::size_t i = 0; i < n; ++i) {
-    std::fill(mean_dist.begin(), mean_dist.end(), 0.0);
+  // Each O(n) silhouette row is independent; rows land in indexed slots and
+  // the total folds serially in row order. A skipped row (only one non-empty
+  // cluster) contributes an exact 0.0, which is bitwise neutral in the sum.
+  std::vector<double> s_value(n, 0.0);
+  for_each_point(n, pool, [&](std::size_t i) {
+    std::vector<double> mean_dist(k, 0.0);
     for (std::size_t j = 0; j < n; ++j) {
       if (i == j) continue;
       mean_dist[labels[j]] +=
@@ -198,25 +223,25 @@ double silhouette_score(const Matrix& points,
       if (c == own || sizes[c] == 0) continue;
       b = std::min(b, mean_dist[c] / static_cast<double>(sizes[c]));
     }
-    if (!std::isfinite(b)) continue;  // only one non-empty cluster
-    const double s =
-        sizes[own] > 1 ? (b - a) / std::max(a, b) : 0.0;
-    total += s;
-  }
+    if (!std::isfinite(b)) return;  // only one non-empty cluster
+    s_value[i] = sizes[own] > 1 ? (b - a) / std::max(a, b) : 0.0;
+  });
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) total += s_value[i];
   return total / static_cast<double>(n);
 }
 
 std::size_t select_k_silhouette(const Matrix& points, std::size_t k_min,
                                 std::size_t k_max, Rng& rng,
-                                double min_silhouette) {
+                                double min_silhouette, ThreadPool* pool) {
   const obs::Span span("cluster.select_k");
   HPCP_REQUIRE(k_min >= 1 && k_min <= k_max, "invalid k range");
   k_max = std::min(k_max, points.rows() > 0 ? points.rows() - 1 : std::size_t{1});
   std::size_t best_k = k_min;
   double best_score = -2.0;
   for (std::size_t k = std::max<std::size_t>(2, k_min); k <= k_max; ++k) {
-    const auto result = kmeans(points, {.k = k}, rng);
-    const double score = silhouette_score(points, result.labels, k);
+    const auto result = kmeans(points, {.k = k}, rng, pool);
+    const double score = silhouette_score(points, result.labels, k, pool);
     if (score > best_score) {
       best_score = score;
       best_k = k;

@@ -4,12 +4,20 @@
 #include <vector>
 
 #include "src/common/rng.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/linear/matrix.hpp"
 
 /// \file kmeans.hpp
 /// Lloyd's k-means with k-means++ seeding. The extrapolation level uses it
 /// to group configurations with similar scaling behaviour before fitting
 /// per-cluster multitask-lasso models.
+///
+/// Parallelism & determinism: the per-point distance work (k-means++
+/// distance refresh, Lloyd assignment, silhouette rows) batches over a
+/// ThreadPool; every per-point result lands in an indexed slot and all
+/// reductions (inertia, centroid sums, silhouette total) run serially in
+/// point order afterwards, so results are bitwise identical for any pool
+/// size. All Rng draws stay on the calling thread.
 
 namespace hpcp {
 
@@ -40,20 +48,26 @@ struct KMeansResult {
 
 /// Run k-means on the rows of `points`. Requires k >= 1 and k <= rows.
 /// Empty clusters are re-seeded from the point farthest from its centroid.
+/// Distance/assignment steps batch over `pool` (nullptr = the global pool)
+/// for large inputs; the result is bitwise independent of the pool size.
 [[nodiscard]] KMeansResult kmeans(const Matrix& points,
-                                  const KMeansOptions& opts, Rng& rng);
+                                  const KMeansOptions& opts, Rng& rng,
+                                  ThreadPool* pool = nullptr);
 
 /// Mean silhouette coefficient in [-1, 1]; requires 2 <= k < rows and at
-/// least 2 points. Larger is better-separated.
+/// least 2 points. Larger is better-separated. The O(n²) distance rows
+/// batch over `pool`; the score is bitwise independent of the pool size.
 [[nodiscard]] double silhouette_score(const Matrix& points,
                                       std::span<const std::size_t> labels,
-                                      std::size_t k);
+                                      std::size_t k,
+                                      ThreadPool* pool = nullptr);
 
 /// Picks k in [k_min, k_max] by maximum silhouette (k=1 is returned only if
 /// k_min == 1 and every candidate k scores below `min_silhouette`).
 [[nodiscard]] std::size_t select_k_silhouette(const Matrix& points,
                                               std::size_t k_min,
                                               std::size_t k_max, Rng& rng,
-                                              double min_silhouette = 0.2);
+                                              double min_silhouette = 0.2,
+                                              ThreadPool* pool = nullptr);
 
 }  // namespace hpcp

@@ -9,6 +9,19 @@
 
 namespace hpcp {
 
+namespace {
+/// Set for the lifetime of every pool worker thread; parallel_for reads it
+/// to detect nested fan-out (which must run inline — see the header note).
+thread_local bool t_in_pool_worker = false;
+}  // namespace
+
+bool in_pool_worker() noexcept { return t_in_pool_worker; }
+
+std::size_t parallel_width(const ThreadPool* pool) {
+  if (t_in_pool_worker) return 1;
+  return pool != nullptr ? pool->size() : global_thread_pool().size();
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -19,6 +32,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
       // Stable per-thread ids + names make every span recorded from inside
       // a pooled task land on a labelled lane of the exported trace.
       obs::set_current_thread_name("hpcp-worker-" + std::to_string(i));
+      t_in_pool_worker = true;
       worker_loop();
     });
   }
@@ -55,6 +69,13 @@ ThreadPool& global_thread_pool() {
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   ThreadPool* pool) {
   if (n == 0) return;
+  // A fan-out from inside a pooled task runs inline: with no work stealing,
+  // blocking a worker on futures that only workers can run would deadlock
+  // once every worker is itself inside a nested section.
+  if (in_pool_worker()) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
   if (pool == nullptr) pool = &global_thread_pool();
   const obs::Span span("thread_pool.parallel_for");
   if (n == 1 || pool->size() == 1) {

@@ -14,9 +14,17 @@
 /// A small work-stealing-free fixed thread pool plus a blocked parallel_for.
 ///
 /// Used for embarrassingly parallel training work (random-forest trees,
-/// cross-validation folds, parameter sweeps). Determinism note: callers that
-/// need reproducible randomness must pre-fork one Rng per work item *before*
-/// submitting, never share an Rng across items.
+/// per-scale interpolation fits, per-cluster scaling-law fits, parameter
+/// sweeps). Determinism note: callers that need reproducible randomness must
+/// pre-derive one Rng per work item *before* submitting, never share an Rng
+/// across items.
+///
+/// Nesting: parallel_for may be called from inside a pooled task. Because
+/// the pool has no work stealing, a nested fan-out that *blocked* on worker
+/// futures could deadlock (every worker waiting on tasks only workers can
+/// run), so nested sections run inline on the calling worker instead. Layers
+/// that choose a fan-out level (e.g. scales vs trees) query parallel_width()
+/// to see how wide a parallel_for from the current thread would actually be.
 ///
 /// Observability: workers register as `hpcp-worker-<i>` with the tracer, so
 /// spans opened inside pooled tasks (obs/trace.hpp) carry stable worker
@@ -66,9 +74,21 @@ class ThreadPool {
 /// Process-wide pool, lazily constructed, sized to the hardware.
 [[nodiscard]] ThreadPool& global_thread_pool();
 
+/// True while the current thread is a ThreadPool worker executing a task.
+/// parallel_for consults it to run nested parallel sections inline.
+[[nodiscard]] bool in_pool_worker() noexcept;
+
+/// How many items a parallel_for issued from the *current thread* over
+/// `pool` (nullptr = the global pool) would run concurrently: 1 on a pool
+/// worker (nested sections run inline) or when the pool has one worker,
+/// otherwise the pool size. Deterministic layers use this to pick a fan-out
+/// level; the choice never changes results, only scheduling.
+[[nodiscard]] std::size_t parallel_width(const ThreadPool* pool = nullptr);
+
 /// Runs body(i) for i in [0, n) across the pool, blocking until all items
 /// finish. Exceptions from any item are rethrown (the first one observed).
-/// Falls back to a serial loop for n <= 1 or a single-worker pool.
+/// Falls back to a serial loop for n <= 1, a single-worker pool, or when
+/// called from inside a pooled task (see the nesting note above).
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   ThreadPool* pool = nullptr);
 

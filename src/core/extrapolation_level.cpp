@@ -63,10 +63,12 @@ struct SupportAttempt {
 /// all of them pooled): normalise each member curve by its geometric mean,
 /// pick λ by leave-largest-scale-out, fit, cap the support. Reports — not
 /// throws — solver non-convergence and degeneracy so callers can degrade.
+/// The λ-grid search batches over `pool`; the result is bitwise independent
+/// of the pool size (indexed error slots, serial grid-order selection).
 SupportAttempt attempt_multitask_support(
     const Matrix& design, const Matrix& small_times,
     const std::vector<std::size_t>& members, std::size_t max_support,
-    const ExtrapolationLevelOptions& opts) {
+    const ExtrapolationLevelOptions& opts, ThreadPool* pool) {
   SupportAttempt out;
   const std::size_t k = small_times.cols();
 
@@ -103,22 +105,28 @@ SupportAttempt attempt_multitask_support(
     const Matrix y_fit = y.select_rows(fit_rows);
     const auto held_phi = design.row(k - 1);
     const auto grid = lambda_grid(lmax, opts.lambda_grid_size);
-    std::vector<double> errs(grid.size());
+    // Each grid point's fit + held-out validation is independent of the
+    // others; errors land in grid-indexed slots, and the best-error scan
+    // plus the sparsest-λ selection below run serially in grid order.
+    const auto errs = parallel_map(
+        grid.size(),
+        [&](std::size_t g) {
+          const auto model =
+              fit_multitask_lasso(phi_fit, y_fit, {.lambda = grid[g]});
+          const auto pred = model.predict(held_phi);
+          double err = 0.0;
+          for (std::size_t t = 0; t < members.size(); ++t) {
+            const double truth = y(k - 1, t);
+            const double rel = (pred[t] - truth) / truth;
+            err += rel * rel;
+          }
+          return std::isfinite(err)
+                     ? err
+                     : std::numeric_limits<double>::infinity();
+        },
+        pool);
     double best_err = std::numeric_limits<double>::infinity();
-    for (std::size_t g = 0; g < grid.size(); ++g) {
-      const auto model =
-          fit_multitask_lasso(phi_fit, y_fit, {.lambda = grid[g]});
-      const auto pred = model.predict(held_phi);
-      double err = 0.0;
-      for (std::size_t t = 0; t < members.size(); ++t) {
-        const double truth = y(k - 1, t);
-        const double rel = (pred[t] - truth) / truth;
-        err += rel * rel;
-      }
-      if (!std::isfinite(err)) err = std::numeric_limits<double>::infinity();
-      errs[g] = err;
-      best_err = std::min(best_err, err);
-    }
+    for (const double err : errs) best_err = std::min(best_err, err);
     if (!std::isfinite(best_err)) {
       out.fail_reason =
           "lambda search degenerate: no finite validation error on the "
@@ -176,7 +184,8 @@ std::size_t count_distinct(std::span<const std::size_t> values) {
 void ExtrapolationLevel::fit(const Matrix& small_times,
                              std::span<const std::size_t> small_scales,
                              std::span<const std::size_t> target_scales,
-                             Rng& rng, TrainReport* report) {
+                             Rng& rng, TrainReport* report,
+                             ThreadPool* pool) {
   const obs::Span fit_span("extrap.fit");
   HPCP_REQUIRE(small_times.rows() >= 1, "need at least one configuration");
   HPCP_REQUIRE(small_scales.size() >= 2, "need at least two small scales");
@@ -205,11 +214,12 @@ void ExtrapolationLevel::fit(const Matrix& small_times,
                     n / std::max<std::size_t>(1, opts_.min_cluster_size)));
     if (num_clusters == 0) {
       num_clusters =
-          n >= 2 ? select_k_silhouette(shapes, 1, feasible_max, rng) : 1;
+          n >= 2 ? select_k_silhouette(shapes, 1, feasible_max, rng, 0.2, pool)
+                 : 1;
     }
     num_clusters = std::clamp<std::size_t>(num_clusters, 1, n);
     for (;;) {
-      clustering_ = kmeans(shapes, {.k = num_clusters}, rng);
+      clustering_ = kmeans(shapes, {.k = num_clusters}, rng, pool);
       if (num_clusters == 1) break;
       const auto sizes = clustering_.cluster_sizes();
       if (*std::min_element(sizes.begin(), sizes.end()) >=
@@ -254,50 +264,74 @@ void ExtrapolationLevel::fit(const Matrix& small_times,
     return;
   }
 
-  // Pooled fallback support, computed at most once: one multitask lasso
-  // over *all* configurations, used by any cluster whose own fit failed.
-  std::optional<SupportAttempt> pooled;
-  const auto pooled_attempt = [&]() -> const SupportAttempt& {
-    if (!pooled) {
-      std::vector<std::size_t> all(n);
-      std::iota(all.begin(), all.end(), std::size_t{0});
-      pooled = attempt_multitask_support(design_, small_times, all,
-                                         max_support, opts_);
-    }
-    return *pooled;
-  };
   const bool power_law_feasible = count_distinct(small_scales_) >= 2;
 
   const obs::Stopwatch support_watch;
-  for (std::size_t c = 0; c < clustering_.k(); ++c) {
-    const obs::Span cluster_span("extrap.cluster_fit");
-    std::vector<std::size_t> members;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (clustering_.labels[i] == c) members.push_back(i);
-    }
-    HPCP_ASSERT(!members.empty(), "kmeans produced an empty cluster");
 
+  // Member lists per cluster, built serially (labels are fixed by now).
+  std::vector<std::vector<std::size_t>> cluster_members(clustering_.k());
+  for (std::size_t i = 0; i < n; ++i) {
+    cluster_members[clustering_.labels[i]].push_back(i);
+  }
+
+  // Phase 1 — every cluster's own support selection, into cluster-indexed
+  // slots. Attempts are pure functions of (design, times, members, opts),
+  // so running them concurrently changes nothing but wall time. Fan-out
+  // policy: with more workers than clusters, keep the outer loop serial so
+  // each attempt's λ-grid spreads across the whole pool; with few workers,
+  // fan out over clusters (the grid then runs inline on the worker).
+  const auto attempt_own = [&](std::size_t c) {
+    const obs::Span cluster_span("extrap.cluster_fit");
+    HPCP_ASSERT(!cluster_members[c].empty(),
+                "kmeans produced an empty cluster");
+    return attempt_multitask_support(design_, small_times, cluster_members[c],
+                                     max_support, opts_, pool);
+  };
+  std::vector<SupportAttempt> own_attempts(clustering_.k());
+  if (parallel_width(pool) > clustering_.k()) {
+    for (std::size_t c = 0; c < clustering_.k(); ++c) {
+      own_attempts[c] = attempt_own(c);
+    }
+  } else {
+    own_attempts = parallel_map(clustering_.k(), attempt_own, pool);
+  }
+
+  // Phase 2 — pooled fallback support (one multitask lasso over *all*
+  // configurations), computed once iff some cluster's own attempt failed.
+  std::optional<SupportAttempt> pooled;
+  const bool any_failed =
+      std::any_of(own_attempts.begin(), own_attempts.end(),
+                  [](const SupportAttempt& a) { return !a.ok; });
+  if (any_failed) {
+    std::vector<std::size_t> all(n);
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    pooled = attempt_multitask_support(design_, small_times, all, max_support,
+                                       opts_, pool);
+  }
+
+  // Phase 3 — resolve the degradation ladder serially in cluster order:
+  // own multitask → pooled multitask → per-config power law → Amdahl
+  // preset. Keeping this merge serial pins the report/metric order and
+  // makes the fitted level bitwise independent of the pool size.
+  for (std::size_t c = 0; c < clustering_.k(); ++c) {
     ClusterTrainInfo info;
     info.cluster = c;
-    info.num_members = members.size();
+    info.num_members = cluster_members[c].size();
 
-    // Walk the degradation ladder: own multitask → pooled multitask →
-    // per-config power law → Amdahl preset. Stop at the first usable rung.
-    auto own = attempt_multitask_support(design_, small_times, members,
-                                         max_support, opts_);
+    const SupportAttempt& own = own_attempts[c];
     if (own.ok) {
       info.stage = FallbackStage::ClusterMultitask;
       info.support = own.support;
       info.lambda = own.lambda;
-    } else if (const auto& p = pooled_attempt(); p.ok) {
+    } else if (pooled->ok) {
       info.stage = FallbackStage::PooledMultitask;
-      info.support = p.support;
-      info.lambda = p.lambda;
+      info.support = pooled->support;
+      info.lambda = pooled->lambda;
       info.reason = own.fail_reason + "; reusing the pooled support";
     } else if (power_law_feasible) {
       info.stage = FallbackStage::PerConfigOls;
       info.reason = own.fail_reason + "; pooled fit also failed (" +
-                    pooled_attempt().fail_reason + ")";
+                    pooled->fail_reason + ")";
     } else {
       info.stage = FallbackStage::AmdahlPreset;
       info.support = {0};  // "1/p" plus intercept

@@ -75,10 +75,18 @@ class ExtrapolationLevel {
   /// pooled multitask → per-config log–log OLS → Amdahl preset) instead of
   /// failing when its multitask lasso is unusable; pass `report` to learn
   /// which stage each cluster landed on and why.
+  ///
+  /// Parallelism & determinism: the per-cluster support selections (and the
+  /// λ-grid search inside each) batch over `pool` (nullptr = the global
+  /// pool). Every attempt lands in a cluster-indexed slot and the fallback
+  /// ladder is resolved serially in cluster order afterwards, so the fitted
+  /// level — supports, λs, stages, report entries — is bitwise identical to
+  /// a serial fit for any pool size. All Rng draws (clustering) happen on
+  /// the calling thread before any parallel work.
   void fit(const Matrix& small_times,
            std::span<const std::size_t> small_scales,
            std::span<const std::size_t> target_scales, Rng& rng,
-           TrainReport* report = nullptr);
+           TrainReport* report = nullptr, ThreadPool* pool = nullptr);
 
   /// Predicted target-scale runtimes for one small-scale curve.
   [[nodiscard]] std::vector<double> predict(

@@ -7,12 +7,30 @@
 
 namespace hpcp {
 
-void InterpolationLevel::fit(const ExtrapolationProblem& problem, Rng& rng) {
+void InterpolationLevel::fit(const ExtrapolationProblem& problem, Rng& rng,
+                             ThreadPool* pool) {
   const obs::Span span("interp.fit");
   problem.validate();
   scales_ = problem.small_scales;
   forests_.assign(scales_.size(), RandomForest(forest_options_));
+
+  // One anchor draw from the caller's stream, then a scale-derived (not
+  // order-derived) seed per forest: scale s mixes (anchor, scale value, s)
+  // through splitmix64, so its randomness is fixed before any fit starts
+  // and identical under any scheduling of the fits below.
+  const std::uint64_t anchor = rng.next();
+  std::vector<Rng> scale_rngs;
+  scale_rngs.reserve(scales_.size());
   for (std::size_t s = 0; s < scales_.size(); ++s) {
+    std::uint64_t state =
+        anchor + 0x9e3779b97f4a7c15ULL *
+                     (static_cast<std::uint64_t>(scales_[s]) + 1);
+    (void)splitmix64(state);
+    state ^= static_cast<std::uint64_t>(s);
+    scale_rngs.emplace_back(splitmix64(state));
+  }
+
+  const auto fit_scale = [&](std::size_t s) {
     const obs::Span scale_span("interp.fit_scale");
     auto y = problem.train_small_times.column(s);
     if (log_target_) {
@@ -21,8 +39,17 @@ void InterpolationLevel::fit(const ExtrapolationProblem& problem, Rng& rng) {
         v = std::log(v);
       }
     }
-    Rng forest_rng = rng.fork();
-    forests_[s].fit(problem.train_configs, y, forest_rng);
+    forests_[s].fit(problem.train_configs, y, scale_rngs[s], pool);
+  };
+
+  // Fan-out policy: with more workers than scales, keep the outer loop
+  // serial so each forest spreads its trees across the whole pool; with
+  // few workers, fan out over scales (tree fits then run inline on the
+  // worker). The per-scale seeds above make both branches bitwise equal.
+  if (parallel_width(pool) > scales_.size()) {
+    for (std::size_t s = 0; s < scales_.size(); ++s) fit_scale(s);
+  } else {
+    parallel_for(scales_.size(), fit_scale, pool);
   }
 }
 

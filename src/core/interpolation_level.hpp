@@ -12,6 +12,14 @@
 /// scale, each mapping application parameters to the runtime at that scale.
 /// Training data at small scales is plentiful and i.i.d. with respect to
 /// the prediction targets, so standard supervised learning applies.
+///
+/// Parallelism & determinism: fit() draws one anchor from the caller's Rng
+/// and derives an independent stream per scale from (anchor, scale value,
+/// scale index), so every scale's forest sees the same randomness no matter
+/// how the per-scale fits are scheduled. When the pool is wider than the
+/// scale count the scales fit serially and each forest parallelizes over
+/// its trees; otherwise the scales fan out and trees build inline. Both
+/// policies produce bitwise-identical forests.
 
 namespace hpcp {
 
@@ -28,7 +36,10 @@ class InterpolationLevel {
       : forest_options_(forest_options), log_target_(log_target) {}
 
   /// Fit one forest per small scale on (interp_configs, interp_small_times).
-  void fit(const ExtrapolationProblem& problem, Rng& rng);
+  /// Per-scale fits batch over `pool` (nullptr = the global pool); the
+  /// fitted forests are bitwise independent of the pool size.
+  void fit(const ExtrapolationProblem& problem, Rng& rng,
+           ThreadPool* pool = nullptr);
 
   /// Predicted small-scale runtime curve (one value per small scale).
   [[nodiscard]] std::vector<double> predict_curve(

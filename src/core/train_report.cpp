@@ -46,6 +46,7 @@ std::string TrainReport::summary() const {
   std::ostringstream out;
   out << "trained on " << num_configs << " configuration(s) in "
       << num_clusters << " cluster(s)";
+  if (threads > 0) out << " using " << threads << " thread(s)";
   if (!clustering_converged) out << " (clustering hit its iteration cap)";
   out << '\n';
   for (const auto& c : clusters) {

@@ -67,6 +67,10 @@ struct StageTiming {
 struct TrainReport {
   std::size_t num_configs = 0;
   std::size_t num_clusters = 0;
+  /// Worker threads the parallel fit stages ran on (0 before any fit). The
+  /// fitted model is bitwise identical for any value — this is purely a
+  /// wall-time diagnostic next to `timings`.
+  std::size_t threads = 0;
   bool clustering_converged = true;
   std::vector<ClusterTrainInfo> clusters;
   /// Non-fatal oddities (solver iteration caps, re-clustering retries...)

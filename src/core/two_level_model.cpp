@@ -3,6 +3,7 @@
 #include <bit>
 #include <cmath>
 #include <fstream>
+#include <optional>
 
 #include "src/common/check.hpp"
 #include "src/common/stats.hpp"
@@ -16,11 +17,23 @@ void TwoLevelModel::fit(const ExtrapolationProblem& problem, Rng& rng) {
 }
 
 Expected<TrainReport> TwoLevelModel::fit_checked(
-    const ExtrapolationProblem& problem, Rng& rng) {
+    const ExtrapolationProblem& problem, Rng& rng,
+    const FitOptions& fit_opts) {
   const obs::Span fit_span("twolevel.fit");
   obs::count("twolevel.fits");
   const obs::Stopwatch total_watch;
   std::vector<StageTiming> timings;
+
+  // threads == 0 → the shared hardware-sized pool; otherwise a dedicated
+  // pool of exactly the requested width, torn down when the fit returns.
+  std::optional<ThreadPool> local_pool;
+  ThreadPool* pool = nullptr;
+  if (fit_opts.threads > 0) {
+    local_pool.emplace(fit_opts.threads);
+    pool = &*local_pool;
+  }
+  const std::size_t effective_threads =
+      pool != nullptr ? pool->size() : global_thread_pool().size();
 
   {
     const obs::Span span("twolevel.validate");
@@ -63,7 +76,7 @@ Expected<TrainReport> TwoLevelModel::fit_checked(
     const obs::Stopwatch watch;
     interpolation_ =
         InterpolationLevel(opts_.forest, opts_.log_interpolation_target);
-    interpolation_.fit(problem, rng);
+    interpolation_.fit(problem, rng, pool);
     timings.push_back({"interpolation.fit", watch.seconds()});
   }
 
@@ -86,13 +99,15 @@ Expected<TrainReport> TwoLevelModel::fit_checked(
     const obs::Stopwatch watch;
     extrapolation_ = ExtrapolationLevel(opts_.extrapolation);
     extrapolation_.fit(curves, problem.small_scales, problem.target_scales,
-                       rng, &train_report_);
+                       rng, &train_report_, pool);
     timings.push_back({"extrapolation.fit", watch.seconds()});
   }
   calibration_log_ratios_.assign(extrapolation_.num_clusters(), {});
 
   // The extrapolation fit appended its sub-stage timings to the (reset)
   // report; put the outer stages first and close with the fit total.
+  train_report_.threads = effective_threads;
+  obs::gauge_set("train.threads", static_cast<double>(effective_threads));
   timings.insert(timings.end(), train_report_.timings.begin(),
                  train_report_.timings.end());
   timings.push_back({"total", total_watch.seconds()});
@@ -231,6 +246,24 @@ TwoLevelModel TwoLevelModel::load_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open model file: " + path);
   return load(in);
+}
+
+Expected<TwoLevelModel> TwoLevelModel::load_checked(std::istream& in) {
+  // The deserializer throws on truncation, tag mismatches, and malformed
+  // tokens; archives arrive from outside the process, so those surface as
+  // typed errors here rather than exceptions.
+  try {
+    return load(in);
+  } catch (const std::exception& e) {
+    return Error{ErrorCode::BadData, e.what(), "model archive"};
+  }
+}
+
+Expected<TwoLevelModel> TwoLevelModel::load_file_checked(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Error{ErrorCode::Io, "cannot open model file", path};
+  return load_checked(in);
 }
 
 std::vector<PredictionInterval> TwoLevelModel::predict_with_uncertainty(

@@ -52,6 +52,16 @@ struct PredictionInterval {
   double upper = 0.0;
 };
 
+/// Execution options for TwoLevelModel::fit_checked — orthogonal to the
+/// statistical options in TwoLevelOptions. `threads == 0` runs the parallel
+/// fit stages on the process-global pool (sized to the hardware);
+/// `threads >= 1` builds a dedicated pool of exactly that size for the
+/// fit. The fitted model is bitwise identical for every setting (see
+/// DESIGN.md, "Parallel training & determinism contract").
+struct TwoLevelFitOptions {
+  std::size_t threads = 0;
+};
+
 class TwoLevelModel final : public ExtrapolationModel {
  public:
   TwoLevelModel() = default;
@@ -60,6 +70,8 @@ class TwoLevelModel final : public ExtrapolationModel {
   [[nodiscard]] std::string name() const override {
     return opts_.display_name;
   }
+
+  using FitOptions = TwoLevelFitOptions;
 
   /// Throwing wrapper over fit_checked (ExtrapolationModel contract).
   void fit(const ExtrapolationProblem& problem, Rng& rng) override;
@@ -71,7 +83,8 @@ class TwoLevelModel final : public ExtrapolationModel {
   /// Programming errors (shape mismatches between already-validated
   /// members) still assert.
   [[nodiscard]] Expected<TrainReport> fit_checked(
-      const ExtrapolationProblem& problem, Rng& rng);
+      const ExtrapolationProblem& problem, Rng& rng,
+      const FitOptions& fit_opts = {});
 
   /// Training account of the last successful fit (default-constructed
   /// before any fit; not persisted by save/load).
@@ -139,6 +152,14 @@ class TwoLevelModel final : public ExtrapolationModel {
   [[nodiscard]] static TwoLevelModel load(std::istream& in);
   void save_file(const std::string& path) const;
   [[nodiscard]] static TwoLevelModel load_file(const std::string& path);
+
+  /// Non-throwing load for archives at a trust boundary (files on disk,
+  /// bytes off the network): truncated, corrupt, or wrong-format streams
+  /// come back as a typed BadData error instead of an exception;
+  /// load_file_checked reports an unopenable path as Io.
+  [[nodiscard]] static Expected<TwoLevelModel> load_checked(std::istream& in);
+  [[nodiscard]] static Expected<TwoLevelModel> load_file_checked(
+      const std::string& path);
 
  private:
   /// Multiplicative correction for one cluster (1.0 when uncalibrated).

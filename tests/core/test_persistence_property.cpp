@@ -1,0 +1,165 @@
+/// Property tests of model persistence over many randomly generated
+/// training histories: load(save(m)) must predict bitwise-identically to m
+/// for every seed, and adversarial archives — truncated or bit-flipped —
+/// must come back from load_checked as typed errors, never as crashes or
+/// uncaught exceptions. The point-wise round-trip tests live in
+/// test_persistence.cpp; this file covers the input space.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/core/problem.hpp"
+#include "src/core/two_level_model.hpp"
+
+namespace hpcp {
+namespace {
+
+constexpr std::size_t kNumHistories = 50;
+
+/// A random but valid training history: n configurations with random
+/// parameters and positive, roughly-decaying runtime curves over the small
+/// scales. Deliberately messier than the simulator's output — persistence
+/// must survive whatever a fit accepts.
+ExtrapolationProblem random_problem(std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t n = 12 + rng.uniform_index(28);   // 12..39 configs
+  const std::size_t d = 2 + rng.uniform_index(3);     // 2..4 parameters
+  ExtrapolationProblem problem;
+  for (std::size_t j = 0; j < d; ++j) {
+    problem.param_names.push_back("p" + std::to_string(j));
+  }
+  problem.small_scales = {1, 2, 4, 8};
+  problem.target_scales = {16, 32};
+  problem.train_configs = Matrix(n, d);
+  problem.train_small_times = Matrix(n, problem.small_scales.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      problem.train_configs(i, j) = rng.uniform(1.0, 100.0);
+    }
+    const double base = rng.uniform(0.5, 50.0);
+    const double serial_frac = rng.uniform(0.05, 0.9);
+    for (std::size_t s = 0; s < problem.small_scales.size(); ++s) {
+      const auto p = static_cast<double>(problem.small_scales[s]);
+      const double amdahl = serial_frac + (1.0 - serial_frac) / p;
+      problem.train_small_times(i, s) =
+          base * amdahl * rng.lognormal_median(1.0, 0.1);
+    }
+  }
+  return problem;
+}
+
+/// Small forests keep 50 fits fast; the serialization paths exercised are
+/// identical to full-size models.
+TwoLevelModel fit_model(const ExtrapolationProblem& problem,
+                        std::uint64_t seed) {
+  TwoLevelOptions opts;
+  opts.forest.num_trees = 10;
+  TwoLevelModel model(opts);
+  Rng rng(seed);
+  model.fit_checked(problem, rng).value_or_throw();
+  return model;
+}
+
+TEST(PersistenceProperty, RoundTripPredictsBitwiseIdentically) {
+  for (std::uint64_t seed = 1; seed <= kNumHistories; ++seed) {
+    const ExtrapolationProblem problem = random_problem(seed);
+    const TwoLevelModel model = fit_model(problem, seed);
+
+    std::stringstream archive;
+    model.save(archive);
+    const auto loaded = TwoLevelModel::load_checked(archive);
+    ASSERT_TRUE(loaded.has_value())
+        << "seed " << seed << ": " << loaded.error().to_string();
+
+    for (std::size_t i = 0; i < problem.num_configs(); ++i) {
+      const auto a = model.predict(problem.train_configs.row(i), {});
+      const auto b = loaded->predict(problem.train_configs.row(i), {});
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t t = 0; t < a.size(); ++t) {
+        // Exact double comparison — bitwise for the finite values a
+        // prediction must be.
+        ASSERT_EQ(a[t], b[t])
+            << "seed " << seed << " config " << i << " target " << t;
+      }
+    }
+  }
+}
+
+TEST(PersistenceProperty, TruncatedArchivesReturnTypedErrors) {
+  const ExtrapolationProblem problem = random_problem(7);
+  const TwoLevelModel model = fit_model(problem, 7);
+  std::ostringstream out;
+  model.save(out);
+  const std::string full = out.str();
+  ASSERT_GT(full.size(), 100u);
+
+  // Every strict prefix that loses real tokens must fail cleanly. Cut at
+  // many points across the archive, including mid-token positions.
+  for (std::size_t tenth = 0; tenth < 10; ++tenth) {
+    const std::size_t len = full.size() * tenth / 10;
+    std::istringstream in(full.substr(0, len));
+    const auto result = TwoLevelModel::load_checked(in);
+    ASSERT_FALSE(result.has_value()) << "truncation to " << len
+                                     << " bytes parsed as a whole model";
+    EXPECT_EQ(result.error().code, ErrorCode::BadData);
+    EXPECT_FALSE(result.error().message.empty());
+  }
+}
+
+TEST(PersistenceProperty, BitFlippedArchivesNeverCrashLoad) {
+  const ExtrapolationProblem problem = random_problem(9);
+  const TwoLevelModel model = fit_model(problem, 9);
+  std::ostringstream out;
+  model.save(out);
+  const std::string full = out.str();
+
+  // Flip one bit at positions spread over the whole archive. A flip may
+  // still yield a parseable archive (e.g. inside a hexfloat mantissa) —
+  // that is fine; what is forbidden is an uncaught exception or crash.
+  std::size_t parsed = 0;
+  std::size_t rejected = 0;
+  for (std::size_t k = 0; k < 64; ++k) {
+    const std::size_t pos = (full.size() - 1) * k / 63;
+    std::string mutated = full;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x04);
+    std::istringstream in(mutated);
+    const auto result = TwoLevelModel::load_checked(in);
+    if (result.has_value()) {
+      ++parsed;
+    } else {
+      ++rejected;
+      EXPECT_EQ(result.error().code, ErrorCode::BadData);
+    }
+  }
+  // The header tag alone guarantees some flips are rejected; if none were,
+  // the checker is not actually validating.
+  EXPECT_GT(rejected, 0u);
+  EXPECT_EQ(parsed + rejected, 64u);
+}
+
+TEST(PersistenceProperty, WrongFormatInputsReturnTypedErrors) {
+  for (const auto& junk :
+       {std::string{}, std::string{"not a model"},
+        std::string{"@hpcpredict-two-level-v999\n"},
+        std::string(4096, 'x')}) {
+    std::istringstream in(junk);
+    const auto result = TwoLevelModel::load_checked(in);
+    ASSERT_FALSE(result.has_value());
+    EXPECT_EQ(result.error().code, ErrorCode::BadData);
+  }
+}
+
+TEST(PersistenceProperty, MissingFileIsIoError) {
+  const auto result =
+      TwoLevelModel::load_file_checked("/nonexistent/dir/model.txt");
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, ErrorCode::Io);
+}
+
+}  // namespace
+}  // namespace hpcp

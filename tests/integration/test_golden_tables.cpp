@@ -1,0 +1,154 @@
+/// Golden regression tests pinning the paper tables: refit Table II
+/// (interpolation MAPE per small scale) and Table III (extrapolation MAPE
+/// per target scale) on the synthetic inventory and compare every number
+/// to the committed files under tests/golden/ within 1e-9. Any change that
+/// silently moves the paper numbers — a solver tweak, an RNG reordering, a
+/// "harmless" refactor — fails here instead of passing unnoticed.
+///
+/// To *intentionally* re-bless after a change whose numeric drift is
+/// understood and accepted (workflow in EXPERIMENTS.md):
+///   HPCP_BLESS_GOLDEN=1 ./build/tests/test_golden_tables
+/// then commit the rewritten tests/golden/*.json with an explanation.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/common/metrics.hpp"
+#include "src/obs/jsonlite.hpp"
+
+namespace hpcp {
+namespace {
+
+constexpr double kTolerance = 1e-9;
+
+std::string golden_path(const std::string& file) {
+  return std::string(HPCP_GOLDEN_DIR) + "/" + file;
+}
+
+bool bless_mode() { return std::getenv("HPCP_BLESS_GOLDEN") != nullptr; }
+
+struct AppGolden {
+  std::string app;
+  std::vector<std::size_t> scales;
+  std::vector<double> mape;
+};
+
+/// Table II, random-forest row: per-small-scale MAPE of the interpolation
+/// level on held-out configurations — the same computation as
+/// bench/exp_table2_interpolation.cpp (same experiment, same Rng(5)).
+AppGolden compute_table2(const std::string& app) {
+  const auto exp = make_experiment(bench::full_config(app));
+  InterpolationLevel level;
+  Rng rng(5);
+  level.fit(exp.problem, rng);
+  AppGolden out{app, exp.config.small_scales, {}};
+  for (std::size_t s = 0; s < exp.config.small_scales.size(); ++s) {
+    std::vector<double> truth(exp.test.size());
+    std::vector<double> pred(exp.test.size());
+    for (std::size_t i = 0; i < exp.test.size(); ++i) {
+      truth[i] = exp.test.small_times(i, s);
+      pred[i] = level.predict_curve(exp.test.configs.row(i))[s];
+    }
+    out.mape.push_back(mape(truth, pred));
+  }
+  return out;
+}
+
+/// Table III, two-level row: per-target-scale MAPE plus overall — the same
+/// computation as bench/exp_table3_extrapolation.cpp. evaluate_models
+/// forks the Rng per model in list order, so evaluating the two-level
+/// model alone consumes exactly the stream the full-suite binary gives it
+/// as models[0].
+AppGolden compute_table3(const std::string& app) {
+  const auto exp = make_experiment(bench::full_config(app));
+  auto paper = make_paper_model();
+  Rng rng(7);
+  const auto report =
+      evaluate_models({paper.get()}, exp.problem, exp.test, rng);
+  const auto& m = report.find("two-level");
+  AppGolden out{app, report.target_scales, m.mape};
+  out.mape.push_back(m.overall_mape);  // last entry = overall
+  return out;
+}
+
+void write_golden(const std::string& path, const std::string& schema,
+                  const std::string& scales_key,
+                  const std::vector<AppGolden>& apps) {
+  std::ofstream out(path);
+  ASSERT_TRUE(out) << "cannot write " << path;
+  out << std::setprecision(17);
+  out << "{\n  \"schema\": \"" << schema << "\",\n  \"apps\": [\n";
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    out << "    {\"app\": \"" << apps[a].app << "\", \"" << scales_key
+        << "\": [";
+    for (std::size_t i = 0; i < apps[a].scales.size(); ++i) {
+      out << (i ? ", " : "") << apps[a].scales[i];
+    }
+    out << "], \"mape\": [";
+    for (std::size_t i = 0; i < apps[a].mape.size(); ++i) {
+      out << (i ? ", " : "") << apps[a].mape[i];
+    }
+    out << "]}" << (a + 1 < apps.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+void compare_golden(const std::string& path, const std::string& schema,
+                    const std::vector<AppGolden>& fresh) {
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " — generate it with HPCP_BLESS_GOLDEN=1";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto doc = obs::parse_json(buf.str());
+  ASSERT_EQ(doc.at("schema").as_string(), schema);
+  const auto& apps = doc.at("apps").as_array();
+  ASSERT_EQ(apps.size(), fresh.size());
+  for (std::size_t a = 0; a < fresh.size(); ++a) {
+    EXPECT_EQ(apps[a].at("app").as_string(), fresh[a].app);
+    const auto& golden_mape = apps[a].at("mape").as_array();
+    ASSERT_EQ(golden_mape.size(), fresh[a].mape.size())
+        << fresh[a].app << ": golden entry count changed";
+    for (std::size_t i = 0; i < fresh[a].mape.size(); ++i) {
+      EXPECT_NEAR(fresh[a].mape[i], golden_mape[i].as_number(), kTolerance)
+          << fresh[a].app << " entry " << i
+          << " drifted from the committed golden value";
+    }
+  }
+}
+
+TEST(GoldenTables, Table2InterpolationMapes) {
+  std::vector<AppGolden> fresh;
+  for (const auto& app : bench::all_apps()) {
+    fresh.push_back(compute_table2(app));
+  }
+  const std::string path = golden_path("table2.json");
+  if (bless_mode()) {
+    write_golden(path, "hpcp-golden-table2/1", "scales", fresh);
+    GTEST_SKIP() << "blessed " << path;
+  }
+  compare_golden(path, "hpcp-golden-table2/1", fresh);
+}
+
+TEST(GoldenTables, Table3ExtrapolationMapes) {
+  std::vector<AppGolden> fresh;
+  for (const auto& app : bench::paper_apps()) {
+    fresh.push_back(compute_table3(app));
+  }
+  const std::string path = golden_path("table3.json");
+  if (bless_mode()) {
+    write_golden(path, "hpcp-golden-table3/1", "targets", fresh);
+    GTEST_SKIP() << "blessed " << path;
+  }
+  compare_golden(path, "hpcp-golden-table3/1", fresh);
+}
+
+}  // namespace
+}  // namespace hpcp

@@ -16,8 +16,13 @@ run_matrix_entry() {
   cmake -B "${dir}" -S "${repo_root}" "$@"
   echo "=== [${name}] build ==="
   cmake --build "${dir}" -j"${jobs}"
-  echo "=== [${name}] test ==="
-  ctest --test-dir "${dir}" --output-on-failure -j"${jobs}"
+  # Fail-fast ordering: the fast unit tier runs first; the slower
+  # integration / golden / determinism tiers only run once it is green
+  # (labels are assigned in tests/CMakeLists.txt).
+  echo "=== [${name}] test (unit) ==="
+  ctest --test-dir "${dir}" --output-on-failure -j"${jobs}" -L unit
+  echo "=== [${name}] test (integration+golden+determinism) ==="
+  ctest --test-dir "${dir}" --output-on-failure -j"${jobs}" -LE unit
 }
 
 run_matrix_entry release -DCMAKE_BUILD_TYPE=Release -DHPCP_WERROR=ON
@@ -44,6 +49,38 @@ EOF
 else
   grep -q '"schema": "hpcp-bench-forest/1"' "${bench_json}" \
     || { echo "BENCH_forest.json missing schema marker" >&2; exit 1; }
+fi
+
+# Training-pipeline bench smoke: run the serial-vs-parallel fit suite in
+# --short mode and validate the hpcp-bench-train/1 schema plus the embedded
+# 1-vs-8-thread byte-identity verdict. (The tracked BENCH_train.json at the
+# repo root is the full-mode run; see EXPERIMENTS.md.) The bench itself
+# exits non-zero if the t1 and t8 archives differ.
+echo "=== [release] bench-train-smoke ==="
+train_json="${repo_root}/build-ci-release/BENCH_train_smoke.json"
+"${repo_root}/build-ci-release/bench/bench_micro_train" \
+  --short --json "${train_json}"
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "${train_json}" << 'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc.get("schema") == "hpcp-bench-train/1", "bad schema marker"
+assert doc["cases"], "no cases recorded"
+for case in doc["cases"]:
+    assert case["seconds"] > 0, f"non-positive timing in {case['name']}"
+assert "fit_t8_vs_t1" in doc["speedups"], "missing derived speedup"
+assert doc["determinism"]["byte_identical_models_t1_t8"] is True, \
+    "t1 and t8 fits produced different model archives"
+print(f"BENCH_train_smoke.json ok ({len(doc['cases'])} cases, "
+      f"t8/t1 speedup {doc['speedups']['fit_t8_vs_t1']:.2f}x, "
+      "t1/t8 byte-identical)")
+EOF
+else
+  grep -q '"schema": "hpcp-bench-train/1"' "${train_json}" \
+    || { echo "BENCH_train_smoke.json missing schema marker" >&2; exit 1; }
+  grep -q '"byte_identical_models_t1_t8": true' "${train_json}" \
+    || { echo "t1/t8 archives not byte-identical" >&2; exit 1; }
 fi
 
 # Observability off-mode overhead guard: the bench times the identical
@@ -124,6 +161,22 @@ else
   grep -q '"hpcp-metrics/1"' "${smoke_dir}/metrics.json" \
     || { echo "metrics.json missing schema marker" >&2; exit 1; }
 fi
+
+# End-to-end determinism check through the CLI: the same history trained at
+# --threads 1 and --threads 8 must save byte-identical model files. This
+# exercises the whole user-facing path (CSV ingestion -> fit -> save), not
+# just the library calls the determinism tests cover.
+echo "=== [release] cli-determinism ==="
+"${cli}" train --history "${smoke_dir}/hist.csv" --targets 16,32 --seed 5 \
+  --threads 1 --save "${smoke_dir}/model_t1.txt" > /dev/null
+"${cli}" train --history "${smoke_dir}/hist.csv" --targets 16,32 --seed 5 \
+  --threads 8 --save "${smoke_dir}/model_t8.txt" > /dev/null
+if ! cmp -s "${smoke_dir}/model_t1.txt" "${smoke_dir}/model_t8.txt"; then
+  echo "model files differ between --threads 1 and --threads 8" >&2
+  cmp "${smoke_dir}/model_t1.txt" "${smoke_dir}/model_t8.txt" >&2 || true
+  exit 1
+fi
+echo "cli-determinism ok (--threads 1 and --threads 8 models byte-identical)"
 
 if [[ "${skip_san}" -eq 0 ]]; then
   run_matrix_entry asan \

@@ -60,10 +60,10 @@ inline FlagSpec spec_for(const std::string& command) {
   if (command == "generate") {
     add({"app", "out", "scales", "configs", "runs-per-point", "seed"});
   } else if (command == "train" || command == "fit") {
-    add({"history", "targets", "save", "seed", "max-bins"});
+    add({"history", "targets", "save", "seed", "max-bins", "threads"});
   } else if (command == "predict") {
     add({"model", "history", "targets", "queries", "out", "seed",
-         "max-bins"});
+         "max-bins", "threads"});
     spec.bool_flags = {"uncertainty"};
   } else if (command == "evaluate") {
     add({"app", "configs", "test-configs", "scales", "targets", "seed"});

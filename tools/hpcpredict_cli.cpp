@@ -110,9 +110,15 @@ TwoLevelModel train_from_history(const Args& args,
       args.get_size("max-bins", opts.forest.tree.max_bins);
   TwoLevelModel model(opts);
   Rng rng(args.get_size("seed", 42));
-  const TrainReport report = model.fit_checked(problem, rng).value_or_throw();
+  // --threads N caps the parallel fit stages at N workers; the default (0)
+  // uses hardware concurrency. Any value trains the byte-identical model.
+  const TwoLevelModel::FitOptions fit_opts{
+      .threads = args.get_size("threads", 0)};
+  const TrainReport report =
+      model.fit_checked(problem, rng, fit_opts).value_or_throw();
   std::cout << "trained two-level model ("
-            << model.extrapolation().num_clusters() << " cluster(s))\n";
+            << model.extrapolation().num_clusters() << " cluster(s), "
+            << report.threads << " thread(s))\n";
   if (!report.timings.empty()) {
     std::cout << "stage timings:";
     for (const auto& t : report.timings) {
@@ -191,7 +197,10 @@ int cmd_predict(const Args& args) {
   TwoLevelModel model;
   std::vector<std::string> param_names;
   if (args.has("model")) {
-    model = TwoLevelModel::load_file(args.get("model"));
+    // Model files sit at a trust boundary: a truncated or corrupt archive
+    // must come back as a clean error message, not a crash.
+    model = TwoLevelModel::load_file_checked(args.get("model"))
+                .value_or_throw();
     param_names =
         csv_read_file(args.get("model") + ".schema.csv").header;
     std::cout << "loaded model " << args.get("model") << " ("
@@ -289,10 +298,10 @@ void print_usage() {
       "  generate --app NAME --out FILE [--configs N] [--scales 1,2,4,8,16]\n"
       "           [--runs-per-point N] [--seed S]\n"
       "  train    --history FILE --targets P1,P2,... [--save FILE]\n"
-      "           [--seed S] [--max-bins N]   (alias: fit)\n"
+      "           [--seed S] [--max-bins N] [--threads N]   (alias: fit)\n"
       "  predict  (--model FILE | --history FILE --targets P1,P2,...)\n"
       "           --queries FILE [--out FILE] [--uncertainty] [--seed S]\n"
-      "           [--max-bins N]\n"
+      "           [--max-bins N] [--threads N]\n"
       "  evaluate --app NAME [--configs N] [--test-configs N]\n"
       "           [--scales ...] [--targets ...] [--seed S]\n"
       "  validate --history FILE [--strict] [--out CLEAN_FILE]\n"
