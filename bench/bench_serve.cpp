@@ -1,0 +1,263 @@
+/// Pinned-seed prediction-serving suite: replays a fixed request stream
+/// through serve::Server and measures end-to-end throughput at 1 and 8
+/// workers, plus per-request latency cold (computed) vs hot (prediction
+/// cache). Also enforces the serve determinism contract inline: the replay
+/// must produce byte-identical response streams at 1 vs 8 workers and with
+/// the cache on vs off — a mismatch is a hard failure, not a statistic.
+///
+/// Like bench_micro_train this is a plain executable (no
+/// google-benchmark): a fixed workload from a fixed seed, results written
+/// as JSON (schema "hpcp-bench-serve/1", documented in EXPERIMENTS.md) for
+/// the tracked BENCH_serve.json at the repo root. `tools/ci.sh` runs
+/// `--short` mode and validates the output. Speedups are measured on
+/// whatever host runs the bench; `hardware_concurrency` is recorded so a
+/// 1x "speedup" on a single-core box reads as what it is.
+///
+/// Usage: bench_serve [--short] [--json PATH]
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/common/rng.hpp"
+#include "src/core/two_level_model.hpp"
+#include "src/obs/jsonlite.hpp"
+#include "src/serve/server.hpp"
+
+namespace {
+
+using hpcp::ExperimentConfig;
+using hpcp::Rng;
+using hpcp::TwoLevelModel;
+using hpcp::bench::BenchCase;
+using hpcp::bench::run_case;
+using hpcp::serve::ServeOptions;
+using hpcp::serve::Server;
+
+/// One canonical predict request line for a parameter row.
+std::string predict_line(std::size_t id, std::span<const double> params,
+                         const char* scales_json) {
+  std::string line = "{\"id\":" + std::to_string(id) + ",\"params\":[";
+  for (std::size_t d = 0; d < params.size(); ++d) {
+    if (d > 0) line += ',';
+    hpcp::obs::json_number_into(line, params[d]);
+  }
+  line += "],\"scales\":";
+  line += scales_json;
+  line += '}';
+  return line;
+}
+
+std::unique_ptr<Server> make_server(const TwoLevelModel& model,
+                                    ServeOptions opts) {
+  auto server = std::make_unique<Server>(opts);
+  server->set_model(model, "bench-in-process");
+  return server;
+}
+
+/// Runs the whole replay through one server configuration and returns the
+/// response byte stream.
+std::string run_replay(const TwoLevelModel& model, ServeOptions opts,
+                       const std::string& replay) {
+  const auto server = make_server(model, opts);
+  std::istringstream in(replay);
+  std::ostringstream out;
+  (void)server->run(in, out);
+  return out.str();
+}
+
+double percentile(std::vector<double> sorted_ascending, double q) {
+  std::sort(sorted_ascending.begin(), sorted_ascending.end());
+  const std::size_t n = sorted_ascending.size();
+  const std::size_t i =
+      std::min(n - 1, static_cast<std::size_t>(q * static_cast<double>(n)));
+  return sorted_ascending[i];
+}
+
+struct Latency {
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+};
+
+/// Per-request wall time of handle_line over `lines`, as sorted-percentile
+/// microseconds.
+Latency measure_latency(Server& server,
+                        const std::vector<std::string>& lines) {
+  std::vector<double> us;
+  us.reserve(lines.size());
+  for (const std::string& line : lines) {
+    const hpcp::obs::Stopwatch watch;
+    const std::string response = server.handle_line(line);
+    us.push_back(watch.seconds() * 1e6);
+    if (response.find("\"ok\":true") == std::string::npos) {
+      std::fprintf(stderr, "FATAL: bench request failed: %s\n",
+                   response.c_str());
+      std::exit(1);
+    }
+  }
+  return Latency{percentile(us, 0.50), percentile(us, 0.95)};
+}
+
+void write_json(const std::string& path, bool short_mode,
+                std::size_t num_configs, std::size_t replay_requests,
+                std::size_t hw, const std::vector<BenchCase>& cases,
+                const Latency& cold, const Latency& hot,
+                double cache_speedup, double throughput_speedup,
+                bool byte_identical) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << "{\n";
+  out << "  \"schema\": \"hpcp-bench-serve/1\",\n";
+  out << "  \"short_mode\": " << (short_mode ? "true" : "false") << ",\n";
+  out << "  \"config\": {\n";
+  out << "    \"app\": \"heat3d\",\n";
+  out << "    \"train_configs\": " << num_configs << ",\n";
+  out << "    \"replay_requests\": " << replay_requests << ",\n";
+  out << "    \"hardware_concurrency\": " << hw << "\n";
+  out << "  },\n";
+  out << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    out << "    {\"name\": \"" << cases[i].name
+        << "\", \"seconds\": " << cases[i].seconds
+        << ", \"reps\": " << cases[i].reps << "}"
+        << (i + 1 < cases.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"latency_us\": {\n";
+  out << "    \"cold_p50\": " << cold.p50_us << ",\n";
+  out << "    \"cold_p95\": " << cold.p95_us << ",\n";
+  out << "    \"hit_p50\": " << hot.p50_us << ",\n";
+  out << "    \"hit_p95\": " << hot.p95_us << "\n";
+  out << "  },\n";
+  out << "  \"speedups\": {\n";
+  out << "    \"cache_hit_p50\": " << cache_speedup << ",\n";
+  out << "    \"throughput_t8_vs_t1\": " << throughput_speedup << "\n";
+  out << "  },\n";
+  out << "  \"determinism\": {\n";
+  out << "    \"byte_identical_responses\": "
+      << (byte_identical ? "true" : "false") << "\n";
+  out << "  }\n";
+  out << "}\n";
+  std::printf("\nspeedup: cache-hit p50 = %.2fx, throughput t8/t1 = %.2fx "
+              "(hardware_concurrency=%zu)\n"
+              "determinism: replay responses %s\nwrote %s\n",
+              cache_speedup, throughput_speedup, hw,
+              byte_identical ? "byte-identical" : "DIFFER", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool short_mode = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--short") {
+      short_mode = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--short] [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  ExperimentConfig cfg = hpcp::bench::full_config("heat3d");
+  if (short_mode) cfg.num_train = 96;
+  const auto exp = hpcp::make_experiment(cfg);
+  const std::size_t replay_requests = short_mode ? 2000 : 10000;
+  const std::size_t reps = short_mode ? 1 : 3;
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  std::printf(
+      "serve bench: app=heat3d configs=%zu replay=%zu hw_threads=%zu\n\n",
+      cfg.num_train, replay_requests, hw);
+
+  TwoLevelModel model;
+  {
+    const hpcp::bench::SectionTimer timer("fit reference model");
+    Rng rng(42);
+    model.fit_checked(exp.problem, rng, {}).value_or_throw();
+  }
+
+  // The replay: a fixed, seedless mix of distinct configurations (train
+  // rows round-robin) and exact repeats (cache hits), over three scale
+  // sets. Same stream for every server configuration.
+  const std::size_t rows = exp.problem.train_configs.rows();
+  std::string replay;
+  std::vector<std::string> distinct_lines;
+  for (std::size_t i = 0; i < replay_requests; ++i) {
+    const auto params = exp.problem.train_configs.row(i % rows);
+    const char* scales = (i % 3 == 0)   ? "[64,256]"
+                         : (i % 3 == 1) ? "[32,64,128,256]"
+                                        : "[128]";
+    replay += predict_line(i, params, scales);
+    replay += '\n';
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    distinct_lines.push_back(
+        predict_line(i, exp.problem.train_configs.row(i), "[64,256]"));
+  }
+
+  // Determinism gate: 1 vs 8 workers, cache on vs off, batch 1 vs default.
+  {
+    const hpcp::bench::SectionTimer timer("determinism replay x4");
+    const std::string reference =
+        run_replay(model, {.threads = 1}, replay);
+    const bool ok =
+        run_replay(model, {.threads = 8}, replay) == reference &&
+        run_replay(model, {.threads = 8, .cache_entries = 0}, replay) ==
+            reference &&
+        run_replay(model, {.threads = 8, .batch_max = 1}, replay) ==
+            reference;
+    if (!ok) {
+      std::fprintf(stderr,
+                   "FATAL: serve replay responses differ across worker "
+                   "count / cache / batching — the serve determinism "
+                   "contract is broken\n");
+      return 1;
+    }
+  }
+
+  std::vector<BenchCase> cases;
+  cases.push_back(run_case("replay_t1", reps, [&] {
+    (void)run_replay(model, {.threads = 1}, replay);
+  }));
+  cases.push_back(run_case("replay_t8", reps, [&] {
+    (void)run_replay(model, {.threads = 8}, replay);
+  }));
+  cases.push_back(run_case("replay_t8_nocache", reps, [&] {
+    (void)run_replay(model, {.threads = 8, .cache_entries = 0}, replay);
+  }));
+
+  // Latency: the same distinct requests served cold (first touch, full
+  // compute) and hot (every (params, scale) already cached).
+  const auto latency_server = make_server(model, {});
+  const Latency cold = measure_latency(*latency_server, distinct_lines);
+  const Latency hot = measure_latency(*latency_server, distinct_lines);
+  std::printf("latency: cold p50=%.1fus p95=%.1fus | hit p50=%.1fus "
+              "p95=%.1fus\n",
+              cold.p50_us, cold.p95_us, hot.p50_us, hot.p95_us);
+
+  const double cache_speedup =
+      hot.p50_us > 0.0 ? cold.p50_us / hot.p50_us : 0.0;
+  const double throughput_speedup =
+      cases[1].seconds > 0.0 ? cases[0].seconds / cases[1].seconds : 0.0;
+
+  if (!json_path.empty()) {
+    write_json(json_path, short_mode, cfg.num_train, replay_requests, hw,
+               cases, cold, hot, cache_speedup, throughput_speedup,
+               /*byte_identical=*/true);
+  }
+  return 0;
+}

@@ -22,16 +22,17 @@ std::size_t parallel_width(const ThreadPool* pool) {
   return pool != nullptr ? pool->size() : global_thread_pool().size();
 }
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads, std::string worker_name_prefix) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this, i] {
+    workers_.emplace_back([this, i, worker_name_prefix] {
       // Stable per-thread ids + names make every span recorded from inside
       // a pooled task land on a labelled lane of the exported trace.
-      obs::set_current_thread_name("hpcp-worker-" + std::to_string(i));
+      obs::set_current_thread_name(worker_name_prefix + "-" +
+                                   std::to_string(i));
       t_in_pool_worker = true;
       worker_loop();
     });

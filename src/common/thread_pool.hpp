@@ -36,8 +36,12 @@ namespace hpcp {
 class ThreadPool {
  public:
   /// Creates `threads` workers; 0 means std::thread::hardware_concurrency()
-  /// (at least 1).
-  explicit ThreadPool(std::size_t threads = 0);
+  /// (at least 1). Workers register with the tracer as
+  /// `<worker_name_prefix>-<i>`, so a subsystem that owns a dedicated pool
+  /// (e.g. the prediction server's `serve-worker`s) gets distinguishable
+  /// trace lanes.
+  explicit ThreadPool(std::size_t threads = 0,
+                      std::string worker_name_prefix = "hpcp-worker");
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

@@ -63,6 +63,10 @@ class InterpolationLevel {
   [[nodiscard]] std::size_t num_scales() const noexcept {
     return forests_.size();
   }
+  /// Parameter-vector width the forests expect (0 before any fit).
+  [[nodiscard]] std::size_t num_features() const noexcept {
+    return forests_.empty() ? 0 : forests_.front().num_features();
+  }
   [[nodiscard]] const RandomForest& forest(std::size_t scale_idx) const {
     return forests_.at(scale_idx);
   }

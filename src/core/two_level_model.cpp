@@ -162,11 +162,18 @@ std::vector<double> TwoLevelModel::predict_scaling_curve(
     std::span<const std::size_t> scales) const {
   HPCP_REQUIRE(extrapolation_.fitted(), "predict before fit");
   const auto curve = interpolation_.predict_curve(params);
+  return predict_curve_at_scales(curve, scales);
+}
+
+std::vector<double> TwoLevelModel::predict_curve_at_scales(
+    std::span<const double> small_curve,
+    std::span<const std::size_t> scales) const {
+  HPCP_REQUIRE(extrapolation_.fitted(), "predict before fit");
   const double factor =
-      calibration_factor(extrapolation_.assign_cluster(curve));
+      calibration_factor(extrapolation_.assign_cluster(small_curve));
   std::vector<double> out(scales.size());
   for (std::size_t i = 0; i < scales.size(); ++i) {
-    out[i] = factor * extrapolation_.predict_at_scale(curve, scales[i]);
+    out[i] = factor * extrapolation_.predict_at_scale(small_curve, scales[i]);
   }
   return out;
 }

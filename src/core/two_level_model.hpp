@@ -120,6 +120,17 @@ class TwoLevelModel final : public ExtrapolationModel {
       std::span<const double> params,
       std::span<const std::size_t> scales) const;
 
+  /// Level-2 half of predict_scaling_curve for an *already predicted*
+  /// small-scale curve: cluster assignment, calibration, and the fitted
+  /// scalability model evaluated at `scales`. The prediction server's
+  /// batched hot path obtains many curves in one
+  /// InterpolationLevel::predict_curves call and finishes each row here;
+  /// predict_scaling_curve(params, scales) is bitwise-equal to
+  /// predict_curve_at_scales(predict_curve(params), scales).
+  [[nodiscard]] std::vector<double> predict_curve_at_scales(
+      std::span<const double> small_curve,
+      std::span<const std::size_t> scales) const;
+
   /// Few-shot calibration: fold a *measured* large-scale run back into the
   /// model. Ratios between measurement and (uncalibrated) prediction are
   /// pooled per scaling-behaviour cluster, and predictions for that

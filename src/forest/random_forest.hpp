@@ -62,6 +62,11 @@ class RandomForest {
 
   [[nodiscard]] bool fitted() const noexcept { return !trees_.empty(); }
   [[nodiscard]] std::size_t num_trees() const noexcept { return trees_.size(); }
+  /// Width of the feature vectors this forest was fitted on (persisted, so
+  /// loaded models can validate query widths at a trust boundary).
+  [[nodiscard]] std::size_t num_features() const noexcept {
+    return num_features_;
+  }
   [[nodiscard]] const ForestOptions& options() const noexcept { return opts_; }
 
   /// One fitted tree (reference prediction path; the fast path is flat()).

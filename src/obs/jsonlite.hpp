@@ -61,4 +61,19 @@ class JsonValue {
 /// garbage rejected). Throws std::runtime_error on malformed input.
 [[nodiscard]] JsonValue parse_json(std::string_view text);
 
+/// Writer-side helpers shared by the hand-rolled JSON emitters (metrics,
+/// serve protocol). Kept here so every subsystem escapes and formats
+/// numbers the same way — the serve determinism contract depends on one
+/// canonical rendering.
+
+/// Appends `s` JSON-escaped (without surrounding quotes).
+void json_escape_into(std::string& out, std::string_view s);
+
+/// `s` as a complete quoted JSON string token.
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+/// Appends the shortest decimal that round-trips `v` (std::to_chars).
+/// Non-finite values — which plain JSON cannot carry — render as null.
+void json_number_into(std::string& out, double v);
+
 }  // namespace hpcp::obs

@@ -1,0 +1,110 @@
+#include "src/serve/prediction_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hpcp::serve {
+
+namespace {
+
+/// FNV-1a over raw bytes: stable across platforms and fast enough for a
+/// per-request key. Only used for shard selection — correctness rests on
+/// the exact key comparison in the shard's index.
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+PredictionCache::PredictionCache(std::size_t max_entries,
+                                 std::size_t num_shards)
+    : max_entries_(max_entries) {
+  if (max_entries_ == 0) return;
+  num_shards = std::clamp<std::size_t>(num_shards, 1, max_entries_);
+  shards_.reserve(num_shards);
+  // Distribute capacity so the shard totals sum to exactly max_entries.
+  const std::size_t base = max_entries_ / num_shards;
+  const std::size_t extra = max_entries_ % num_shards;
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = base + (i < extra ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::string PredictionCache::make_key(std::span<const double> params,
+                                      std::size_t scale) {
+  std::string key(params.size_bytes() + sizeof(scale), '\0');
+  if (!params.empty()) {
+    std::memcpy(key.data(), params.data(), params.size_bytes());
+  }
+  std::memcpy(key.data() + params.size_bytes(), &scale, sizeof(scale));
+  return key;
+}
+
+PredictionCache::Shard& PredictionCache::shard_for(const std::string& key) {
+  return *shards_[fnv1a(key) % shards_.size()];
+}
+
+std::optional<double> PredictionCache::lookup(std::span<const double> params,
+                                              std::size_t scale) {
+  if (!enabled()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  const std::string key = make_key(params, scale);
+  Shard& shard = shard_for(key);
+  const std::lock_guard lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->value;
+}
+
+void PredictionCache::insert(std::span<const double> params,
+                             std::size_t scale, double value) {
+  if (!enabled()) return;
+  std::string key = make_key(params, scale);
+  Shard& shard = shard_for(key);
+  const std::lock_guard lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->value = value;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  while (shard.lru.size() >= shard.capacity && !shard.lru.empty()) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+  }
+  shard.lru.push_front(Entry{key, value});
+  shard.index.emplace(std::move(key), shard.lru.begin());
+}
+
+void PredictionCache::clear() {
+  for (const auto& shard : shards_) {
+    const std::lock_guard lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+std::size_t PredictionCache::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard lock(shard->mutex);
+    n += shard->lru.size();
+  }
+  return n;
+}
+
+}  // namespace hpcp::serve

@@ -1,0 +1,180 @@
+#include "src/serve/protocol.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/obs/jsonlite.hpp"
+
+namespace hpcp::serve {
+
+namespace {
+
+using obs::JsonValue;
+
+bool fail(ErrorInfo* err, std::string code, std::string message) {
+  err->code = std::move(code);
+  err->message = std::move(message);
+  return false;
+}
+
+/// `id` may be a string or a number; anything else is a protocol error.
+bool render_id(const JsonValue& v, std::string* out, ErrorInfo* err) {
+  if (v.kind() == JsonValue::Kind::String) {
+    *out = obs::json_quote(v.as_string());
+    return true;
+  }
+  if (v.kind() == JsonValue::Kind::Number) {
+    out->clear();
+    obs::json_number_into(*out, v.as_number());
+    return true;
+  }
+  return fail(err, "bad-request", "id must be a string or a number");
+}
+
+bool parse_params(const JsonValue& doc, Request* out, ErrorInfo* err) {
+  if (!doc.contains("params")) {
+    return fail(err, "bad-request", "predict request missing params");
+  }
+  const JsonValue& params = doc.at("params");
+  if (params.kind() != JsonValue::Kind::Array) {
+    return fail(err, "bad-request", "params must be an array of numbers");
+  }
+  if (params.as_array().empty()) {
+    return fail(err, "bad-request", "params must not be empty");
+  }
+  out->params.reserve(params.as_array().size());
+  for (const JsonValue& v : params.as_array()) {
+    if (v.kind() != JsonValue::Kind::Number ||
+        !std::isfinite(v.as_number())) {
+      return fail(err, "bad-request", "params must be finite numbers");
+    }
+    out->params.push_back(v.as_number());
+  }
+  return true;
+}
+
+bool parse_scales(const JsonValue& doc, Request* out, ErrorInfo* err) {
+  if (!doc.contains("scales")) return true;  // default: model targets
+  const JsonValue& scales = doc.at("scales");
+  if (scales.kind() != JsonValue::Kind::Array) {
+    return fail(err, "bad-request", "scales must be an array of integers");
+  }
+  if (scales.as_array().empty()) {
+    return fail(err, "bad-request", "empty scale list");
+  }
+  out->scales.reserve(scales.as_array().size());
+  for (const JsonValue& v : scales.as_array()) {
+    if (v.kind() != JsonValue::Kind::Number) {
+      return fail(err, "bad-request", "scales must be integers");
+    }
+    const double s = v.as_number();
+    if (!(s >= 1.0) || s != std::floor(s) || s > 1e12) {
+      return fail(err, "bad-request",
+                  "scales must be positive integers (got a non-integral, "
+                  "non-positive, or oversized value)");
+    }
+    out->scales.push_back(static_cast<std::size_t>(s));
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parse_request(const std::string& line, Request* out, ErrorInfo* err) {
+  *out = Request{};
+  JsonValue doc;
+  try {
+    doc = obs::parse_json(line);
+  } catch (const std::runtime_error& e) {
+    return fail(err, "bad-request", std::string("malformed JSON: ") +
+                                        e.what());
+  }
+  if (doc.kind() != JsonValue::Kind::Object) {
+    return fail(err, "bad-request", "request must be a JSON object");
+  }
+  // Echo the id even on later failures: parse it before anything else.
+  if (doc.contains("id") && !render_id(doc.at("id"), &out->id_json, err)) {
+    return false;
+  }
+
+  std::string cmd = "predict";
+  if (doc.contains("cmd")) {
+    if (doc.at("cmd").kind() != JsonValue::Kind::String) {
+      return fail(err, "bad-request", "cmd must be a string");
+    }
+    cmd = doc.at("cmd").as_string();
+  }
+  if (cmd == "predict") {
+    out->cmd = Request::Cmd::kPredict;
+    return parse_params(doc, out, err) && parse_scales(doc, out, err);
+  }
+  if (cmd == "ping") {
+    out->cmd = Request::Cmd::kPing;
+    return true;
+  }
+  if (cmd == "reload") {
+    out->cmd = Request::Cmd::kReload;
+    if (doc.contains("model")) {
+      if (doc.at("model").kind() != JsonValue::Kind::String) {
+        return fail(err, "bad-request", "model must be a string path");
+      }
+      out->model_path = doc.at("model").as_string();
+    }
+    return true;
+  }
+  if (cmd == "stats") {
+    out->cmd = Request::Cmd::kStats;
+    return true;
+  }
+  if (cmd == "shutdown") {
+    out->cmd = Request::Cmd::kShutdown;
+    return true;
+  }
+  return fail(err, "unknown-cmd", "unknown cmd: " + cmd);
+}
+
+std::string render_predictions(const std::string& id_json,
+                               std::uint64_t model_version,
+                               const std::vector<std::size_t>& scales,
+                               const std::vector<double>& predictions) {
+  std::string out = "{";
+  if (!id_json.empty()) {
+    out += "\"id\":";
+    out += id_json;
+    out += ',';
+  }
+  out += "\"ok\":true,\"model_version\":";
+  out += std::to_string(model_version);
+  out += ",\"scales\":[";
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(scales[i]);
+  }
+  out += "],\"predictions\":[";
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (i > 0) out += ',';
+    obs::json_number_into(out, predictions[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string render_error(const std::string& id_json,
+                         std::uint64_t model_version, const ErrorInfo& err) {
+  std::string out = "{";
+  if (!id_json.empty()) {
+    out += "\"id\":";
+    out += id_json;
+    out += ',';
+  }
+  out += "\"ok\":false,\"model_version\":";
+  out += std::to_string(model_version);
+  out += ",\"error\":{\"code\":";
+  out += obs::json_quote(err.code);
+  out += ",\"message\":";
+  out += obs::json_quote(err.message);
+  out += "}}";
+  return out;
+}
+
+}  // namespace hpcp::serve

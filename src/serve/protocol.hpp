@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file protocol.hpp (serve)
+/// The `hpcp-serve/1` wire protocol: one JSON object per line in, one JSON
+/// object per line out, in request order. Designed for replayability — a
+/// response line is a pure function of (request line, model version), so
+/// identical request streams produce bitwise-identical response streams
+/// regardless of worker count or cache state (DESIGN.md "Serving").
+///
+/// Requests:
+///   {"id":"q1","params":[256,8,0.1],"scales":[64,256]}   predict (default)
+///   {"cmd":"ping"}                                        liveness probe
+///   {"cmd":"reload"} / {"cmd":"reload","model":"m.txt"}   hot model reload
+///   {"cmd":"stats"}                                       serving counters
+///   {"cmd":"shutdown"}                                    stop the server
+///
+/// `id` (string or number) is echoed verbatim on the response. `params`
+/// are the model's training parameter columns, in history-schema order.
+/// `scales` are the process counts to predict at; omitted means the
+/// model's trained target scales, and an explicitly *empty* list is a
+/// protocol error. Responses carry `"ok"` plus either the payload and
+/// `"model_version"`, or `"error":{"code","message"}`. Numbers are
+/// rendered with the shortest round-trip decimal (obs::json_number_into),
+/// never with locale- or path-dependent formatting.
+
+namespace hpcp::serve {
+
+/// Protocol schema marker, reported by ping/stats responses.
+inline constexpr const char* kProtocolSchema = "hpcp-serve/1";
+
+/// One parsed request line.
+struct Request {
+  enum class Cmd { kPredict, kPing, kReload, kStats, kShutdown };
+
+  Cmd cmd = Cmd::kPredict;
+  /// The client's `id`, already rendered as a JSON token ("\"q1\"" or
+  /// "17"); empty when the request carried none. Echoed on responses.
+  std::string id_json;
+  std::vector<double> params;       ///< predict only
+  std::vector<std::size_t> scales;  ///< predict only; empty = model targets
+  std::string model_path;           ///< reload only; empty = original path
+};
+
+/// A protocol-level failure, rendered as the response's `error` object.
+/// Codes: "bad-request" (malformed JSON or fields), "unknown-cmd", and the
+/// ErrorCode names ("io", "bad-data", …) for model-side failures.
+struct ErrorInfo {
+  std::string code;
+  std::string message;
+};
+
+/// Parses one request line. On success fills `out` and returns true; on a
+/// protocol violation fills `err` and returns false. Never throws on
+/// malformed input — garbage lines are expected at this trust boundary.
+[[nodiscard]] bool parse_request(const std::string& line, Request* out,
+                                 ErrorInfo* err);
+
+/// Success response for a predict request:
+/// {"id":…,"ok":true,"model_version":V,"scales":[…],"predictions":[…]}
+[[nodiscard]] std::string render_predictions(
+    const std::string& id_json, std::uint64_t model_version,
+    const std::vector<std::size_t>& scales,
+    const std::vector<double>& predictions);
+
+/// Error response: {"id":…,"ok":false,"model_version":V,"error":{…}}.
+[[nodiscard]] std::string render_error(const std::string& id_json,
+                                       std::uint64_t model_version,
+                                       const ErrorInfo& err);
+
+}  // namespace hpcp::serve

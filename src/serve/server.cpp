@@ -1,0 +1,342 @@
+#include "src/serve/server.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "src/linear/matrix.hpp"
+#include "src/obs/jsonlite.hpp"
+
+namespace hpcp::serve {
+
+namespace {
+
+/// Requests whose line failed to parse or validate still occupy their slot
+/// in the response order; this sentinel marks them as already rendered.
+bool is_rendered(const std::string& response) { return !response.empty(); }
+
+bool is_blank(const std::string& line) {
+  return std::all_of(line.begin(), line.end(), [](unsigned char c) {
+    return c == ' ' || c == '\t' || c == '\r';
+  });
+}
+
+}  // namespace
+
+std::atomic<bool>& reload_flag() noexcept {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+Server::Server(ServeOptions opts)
+    : opts_(opts), cache_(opts.cache_entries, opts.cache_shards) {
+  if (opts_.batch_max == 0) opts_.batch_max = 1;
+  if (opts_.threads >= 1) {
+    own_pool_ = std::make_unique<ThreadPool>(opts_.threads, "serve-worker");
+    pool_ = own_pool_.get();
+  }
+}
+
+std::shared_ptr<const Server::Snapshot> Server::snapshot() const {
+  const std::lock_guard lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+void Server::install(Snapshot snap) {
+  auto shared = std::make_shared<const Snapshot>(std::move(snap));
+  {
+    const std::lock_guard lock(snapshot_mutex_);
+    snapshot_ = std::move(shared);
+  }
+  // Cached values belong to the previous model; a stale hit would break
+  // the "response = f(request, model_version)" contract.
+  cache_.clear();
+}
+
+Expected<void> Server::load_model_file(const std::string& path) {
+  const obs::Span span("serve.reload", path);
+  auto loaded = TwoLevelModel::load_file_checked(path);
+  if (!loaded) {
+    obs::count("serve.reload_failures");
+    return loaded.error();
+  }
+  Snapshot snap;
+  snap.model = std::move(*loaded);
+  snap.version = model_version() + 1;
+  snap.source_path = path;
+  snap.default_scales = snap.model.extrapolation().target_scales();
+  snap.num_features = snap.model.interpolation().num_features();
+  install(std::move(snap));
+  obs::count("serve.reloads");
+  return {};
+}
+
+void Server::set_model(TwoLevelModel model, std::string source_path) {
+  Snapshot snap;
+  snap.version = model_version() + 1;
+  snap.source_path = std::move(source_path);
+  snap.default_scales = model.extrapolation().target_scales();
+  snap.num_features = model.interpolation().num_features();
+  snap.model = std::move(model);
+  install(std::move(snap));
+}
+
+std::uint64_t Server::model_version() const {
+  const auto snap = snapshot();
+  return snap ? snap->version : 0;
+}
+
+std::optional<Request> Server::enqueue(const std::string& line,
+                                       std::vector<Pending>* batch) {
+  Pending pending;  // Stopwatch starts here, when the line arrives
+  ErrorInfo err;
+  if (!parse_request(line, &pending.req, &err)) {
+    pending.response =
+        render_error(pending.req.id_json, model_version(), err);
+    batch->push_back(std::move(pending));
+    return std::nullopt;
+  }
+  if (pending.req.cmd != Request::Cmd::kPredict) {
+    return std::move(pending.req);
+  }
+  batch->push_back(std::move(pending));
+  return std::nullopt;
+}
+
+void Server::flush(std::vector<Pending>* batch, std::ostream& out) {
+  if (batch->empty()) return;
+  const obs::Span span("serve.batch");
+  obs::count("serve.batches");
+  obs::gauge_set("serve.batch_size", static_cast<double>(batch->size()));
+
+  const auto snap = snapshot();
+  const std::uint64_t version = snap ? snap->version : 0;
+
+  // Resolve every request to either a rendered error, a full cache hit,
+  // or a row of the batched compute. All serially, in request order, so
+  // cache hit/miss accounting and LRU movement are deterministic.
+  struct Slot {
+    std::vector<std::size_t> scales;
+    std::vector<double> predictions;
+    bool compute = false;
+  };
+  std::vector<Slot> slots(batch->size());
+  std::vector<std::size_t> compute_rows;
+  for (std::size_t i = 0; i < batch->size(); ++i) {
+    Pending& p = (*batch)[i];
+    if (is_rendered(p.response)) continue;
+    if (!snap) {
+      p.response = render_error(
+          p.req.id_json, version,
+          {"unavailable", "no model loaded"});
+      continue;
+    }
+    if (p.req.params.size() != snap->num_features) {
+      p.response = render_error(
+          p.req.id_json, version,
+          {"bad-request",
+           "params width mismatch: got " +
+               std::to_string(p.req.params.size()) + ", model expects " +
+               std::to_string(snap->num_features)});
+      continue;
+    }
+    Slot& slot = slots[i];
+    slot.scales =
+        p.req.scales.empty() ? snap->default_scales : p.req.scales;
+    slot.predictions.resize(slot.scales.size());
+    bool all_hit = cache_.enabled();
+    for (std::size_t s = 0; all_hit && s < slot.scales.size(); ++s) {
+      const auto hit = cache_.lookup(p.req.params, slot.scales[s]);
+      if (hit.has_value()) {
+        slot.predictions[s] = *hit;
+      } else {
+        all_hit = false;
+      }
+    }
+    if (all_hit) {
+      obs::count("serve.cache_hit");
+    } else {
+      obs::count("serve.cache_miss");
+      slot.compute = true;
+      compute_rows.push_back(i);
+    }
+  }
+
+  if (!compute_rows.empty()) {
+    const obs::Span compute_span("serve.batch_compute");
+    Matrix configs(compute_rows.size(), snap->num_features);
+    for (std::size_t r = 0; r < compute_rows.size(); ++r) {
+      configs.set_row(r, (*batch)[compute_rows[r]].req.params);
+    }
+    // Level 1 batched over all miss rows at once; level 2 fans the
+    // per-row evaluation out over the pool. parallel_map writes results
+    // into index-ordered slots, so worker count never reorders anything.
+    const Matrix curves = snap->model.interpolation().predict_curves(configs);
+    auto results = parallel_map(
+        compute_rows.size(),
+        [&](std::size_t r) {
+          const Slot& slot = slots[compute_rows[r]];
+          return snap->model.predict_curve_at_scales(curves.row(r),
+                                                     slot.scales);
+        },
+        pool_);
+    // Cache inserts happen serially in request order — eviction order is
+    // part of the determinism contract.
+    for (std::size_t r = 0; r < compute_rows.size(); ++r) {
+      Slot& slot = slots[compute_rows[r]];
+      slot.predictions = std::move(results[r]);
+      const Pending& p = (*batch)[compute_rows[r]];
+      for (std::size_t s = 0; s < slot.scales.size(); ++s) {
+        cache_.insert(p.req.params, slot.scales[s], slot.predictions[s]);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < batch->size(); ++i) {
+    Pending& p = (*batch)[i];
+    const obs::Span request_span("serve.request");
+    if (!is_rendered(p.response)) {
+      p.response = render_predictions(p.req.id_json, version,
+                                      slots[i].scales,
+                                      slots[i].predictions);
+      ++requests_served_;
+    }
+    out << p.response << '\n';
+    obs::count("serve.requests");
+    obs::observe("serve.latency_seconds", p.watch.seconds(),
+                 obs::default_time_bounds());
+  }
+  out.flush();
+  batch->clear();
+}
+
+std::string Server::handle_control(const Request& req) {
+  const std::uint64_t version = model_version();
+  const auto prefix = [&req](const char* cmd) {
+    std::string out = "{";
+    if (!req.id_json.empty()) {
+      out += "\"id\":";
+      out += req.id_json;
+      out += ',';
+    }
+    out += "\"ok\":true,\"cmd\":\"";
+    out += cmd;
+    out += "\"";
+    return out;
+  };
+  switch (req.cmd) {
+    case Request::Cmd::kPing: {
+      std::string out = prefix("ping");
+      out += ",\"schema\":\"";
+      out += kProtocolSchema;
+      out += "\",\"model_version\":";
+      out += std::to_string(version);
+      out += '}';
+      return out;
+    }
+    case Request::Cmd::kReload: {
+      const obs::Span span("serve.cmd_reload");
+      std::string path = req.model_path;
+      if (path.empty()) {
+        const auto snap = snapshot();
+        if (snap) path = snap->source_path;
+      }
+      if (path.empty()) {
+        return render_error(req.id_json, version,
+                            {"bad-request", "no model path to reload"});
+      }
+      const auto result = load_model_file(path);
+      if (!result) {
+        // The old snapshot is untouched: requests keep being answered by
+        // the model that was live before the failed reload.
+        return render_error(req.id_json, version,
+                            {error_code_name(result.error().code),
+                             result.error().to_string()});
+      }
+      std::string out = prefix("reload");
+      out += ",\"model_version\":";
+      out += std::to_string(model_version());
+      out += ",\"model\":";
+      out += obs::json_quote(path);
+      out += '}';
+      return out;
+    }
+    case Request::Cmd::kStats: {
+      std::string out = prefix("stats");
+      out += ",\"schema\":\"";
+      out += kProtocolSchema;
+      out += "\",\"model_version\":";
+      out += std::to_string(version);
+      out += ",\"requests\":";
+      out += std::to_string(requests_served_);
+      out += ",\"cache_hits\":";
+      out += std::to_string(cache_.hits());
+      out += ",\"cache_misses\":";
+      out += std::to_string(cache_.misses());
+      out += ",\"cache_entries\":";
+      out += std::to_string(cache_.size());
+      out += ",\"cache_capacity\":";
+      out += std::to_string(cache_.max_entries());
+      out += '}';
+      return out;
+    }
+    case Request::Cmd::kShutdown: {
+      std::string out = prefix("shutdown");
+      out += '}';
+      return out;
+    }
+    case Request::Cmd::kPredict:
+      break;  // never routed here
+  }
+  return render_error(req.id_json, version,
+                      {"bad-request", "unroutable command"});
+}
+
+bool Server::run(std::istream& in, std::ostream& out) {
+  const obs::Span span("serve.session");
+  std::vector<Pending> batch;
+  std::string line;
+  for (;;) {
+    if (reload_flag().exchange(false)) {
+      const auto snap = snapshot();
+      if (snap && !snap->source_path.empty()) {
+        // SIGHUP reload is out-of-band: it produces no response line, so
+        // replayed request streams stay aligned with their responses.
+        (void)load_model_file(snap->source_path);
+      }
+    }
+    if (!std::getline(in, line)) break;
+    if (is_blank(line)) continue;
+    auto control = enqueue(line, &batch);
+    if (control.has_value()) {
+      flush(&batch, out);
+      out << handle_control(*control) << '\n';
+      out.flush();
+      if (control->cmd == Request::Cmd::kShutdown) return true;
+      continue;
+    }
+    // Flush when the batch is full, or as soon as the input would block —
+    // an interactive client gets its answer now, a replayed burst batches.
+    if (batch.size() >= opts_.batch_max || in.rdbuf()->in_avail() <= 0) {
+      flush(&batch, out);
+    }
+  }
+  flush(&batch, out);
+  return false;
+}
+
+std::string Server::handle_line(const std::string& line) {
+  if (is_blank(line)) return "";
+  std::vector<Pending> batch;
+  auto control = enqueue(line, &batch);
+  if (control.has_value()) return handle_control(*control);
+  std::ostringstream rendered;
+  flush(&batch, rendered);
+  std::string response = rendered.str();
+  if (!response.empty() && response.back() == '\n') response.pop_back();
+  return response;
+}
+
+}  // namespace hpcp::serve

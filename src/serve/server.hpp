@@ -1,0 +1,145 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/core/two_level_model.hpp"
+#include "src/obs/obs.hpp"
+#include "src/serve/prediction_cache.hpp"
+#include "src/serve/protocol.hpp"
+
+/// \file server.hpp (serve)
+/// The long-lived prediction server behind `hpcpredict_cli serve`: loads a
+/// model archive once, then answers `hpcp-serve/1` request lines
+/// (protocol.hpp) until EOF or a shutdown command.
+///
+/// Request flow: lines are micro-batched (up to `batch_max`, flushed early
+/// whenever the input would block so interactive clients never wait on a
+/// timer), each batch resolves cache hits, runs the misses through one
+/// batched InterpolationLevel::predict_curves call, fans the per-row
+/// level-2 evaluation out over the worker pool, then renders responses
+/// serially in request order.
+///
+/// Determinism contract: the response byte stream is identical for any
+/// worker count and any cache configuration — per-row predictions are
+/// independent of batch composition, cached values are the exact doubles
+/// the batched path produced, rendering is canonical (jsonlite writers),
+/// and all merges/inserts happen serially in request order.
+///
+/// Hot reload: SIGHUP (via reload_flag()) or {"cmd":"reload"} swaps in a
+/// freshly loaded snapshot atomically — in-flight batches finished on the
+/// old shared_ptr snapshot, so no request ever sees a torn model — bumps
+/// the advertised model_version, and clears the prediction cache. A failed
+/// reload (missing/corrupt archive) reports a typed error and leaves the
+/// old model serving.
+
+namespace hpcp::serve {
+
+struct ServeOptions {
+  /// Worker threads for the batched level-2 fan-out: 0 = the process-global
+  /// pool; N >= 1 builds a dedicated pool of that size (workers register
+  /// as `serve-worker-<i>` in traces).
+  std::size_t threads = 0;
+  /// Micro-batch bound: at most this many predict requests are grouped
+  /// into one batched inference call.
+  std::size_t batch_max = 32;
+  /// Prediction-cache capacity in entries ((params, scale) pairs);
+  /// 0 disables caching.
+  std::size_t cache_entries = 4096;
+  std::size_t cache_shards = 8;
+};
+
+/// Process-wide asynchronous reload request, safe to set from a SIGHUP
+/// handler (lock-free atomic store only). Server::run polls and clears it
+/// between batches and reloads from the current model's source path.
+[[nodiscard]] std::atomic<bool>& reload_flag() noexcept;
+
+class Server {
+ public:
+  explicit Server(ServeOptions opts = {});
+
+  /// Loads (or hot-reloads) the model from `path`. On success the new
+  /// snapshot is installed, model_version is bumped, and the cache is
+  /// cleared; on failure (Io / BadData) the previous model keeps serving.
+  [[nodiscard]] Expected<void> load_model_file(const std::string& path);
+
+  /// Installs an in-process model (tests, benches). `source_path` is what
+  /// a later {"cmd":"reload"} without an explicit path will re-read.
+  void set_model(TwoLevelModel model, std::string source_path);
+
+  /// 0 until the first successful load; bumped by every successful reload.
+  [[nodiscard]] std::uint64_t model_version() const;
+
+  /// Serves request lines from `in` until EOF or {"cmd":"shutdown"};
+  /// responses go to `out`, one line per request, in request order.
+  /// Returns true iff a shutdown command ended the loop.
+  bool run(std::istream& in, std::ostream& out);
+
+  /// Processes exactly one request line (a batch of one) and returns its
+  /// response line — byte-identical to what run() would emit. Test/bench
+  /// entry point; shutdown is acknowledged but only run() loops can stop.
+  [[nodiscard]] std::string handle_line(const std::string& line);
+
+  [[nodiscard]] const ServeOptions& options() const noexcept {
+    return opts_;
+  }
+  [[nodiscard]] const PredictionCache& cache() const noexcept {
+    return cache_;
+  }
+  /// Total predict requests answered (cached or computed) since start.
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_served_;
+  }
+
+ private:
+  /// Immutable view of one loaded model; swapped wholesale on reload.
+  struct Snapshot {
+    TwoLevelModel model;
+    std::uint64_t version = 0;
+    std::string source_path;
+    std::vector<std::size_t> default_scales;
+    std::size_t num_features = 0;
+  };
+
+  /// One request line waiting in the current micro-batch.
+  struct Pending {
+    Request req;
+    std::string response;  ///< pre-rendered (parse error) when non-empty
+    obs::Stopwatch watch;  ///< started when the line was read
+  };
+
+  [[nodiscard]] std::shared_ptr<const Snapshot> snapshot() const;
+  void install(Snapshot snap);
+
+  /// Parses a line into the batch, or returns the control request (ping /
+  /// reload / stats / shutdown) that must flush the batch first.
+  [[nodiscard]] std::optional<Request> enqueue(
+      const std::string& line, std::vector<Pending>* batch);
+
+  /// Predicts + renders every pending request, in order.
+  void flush(std::vector<Pending>* batch, std::ostream& out);
+
+  /// Ping / reload / stats / shutdown responses.
+  [[nodiscard]] std::string handle_control(const Request& req);
+
+  ServeOptions opts_;
+  std::unique_ptr<ThreadPool> own_pool_;  ///< when opts_.threads >= 1
+  ThreadPool* pool_ = nullptr;            ///< nullptr = global pool
+  PredictionCache cache_;
+
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<const Snapshot> snapshot_;
+
+  std::uint64_t requests_served_ = 0;
+};
+
+}  // namespace hpcp::serve

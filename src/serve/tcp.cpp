@@ -1,0 +1,141 @@
+#include "src/serve/tcp.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <streambuf>
+#include <string>
+
+namespace hpcp::serve {
+
+namespace {
+
+/// A std::streambuf over a connected socket fd, good for both reading and
+/// writing. in_avail() reports only already-buffered bytes, which is what
+/// Server::run keys its micro-batch flushing on: a quiet interactive
+/// client flushes immediately, a burst batches.
+class FdStreambuf final : public std::streambuf {
+ public:
+  explicit FdStreambuf(int fd) : fd_(fd) {
+    setg(in_.data(), in_.data(), in_.data());
+    setp(out_.data(), out_.data() + out_.size());
+  }
+  FdStreambuf(const FdStreambuf&) = delete;
+  FdStreambuf& operator=(const FdStreambuf&) = delete;
+  ~FdStreambuf() override { sync(); }
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    ssize_t n;
+    do {
+      n = ::read(fd_, in_.data(), in_.size());
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return traits_type::eof();
+    setg(in_.data(), in_.data(), in_.data() + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  int_type overflow(int_type ch) override {
+    if (flush_out() != 0) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override { return flush_out(); }
+
+ private:
+  int flush_out() {
+    const char* p = pbase();
+    while (p < pptr()) {
+      ssize_t n;
+      do {
+        n = ::write(fd_, p, static_cast<std::size_t>(pptr() - p));
+      } while (n < 0 && errno == EINTR);
+      if (n <= 0) return -1;
+      p += n;
+    }
+    setp(out_.data(), out_.data() + out_.size());
+    return 0;
+  }
+
+  int fd_;
+  std::array<char, 8192> in_{};
+  std::array<char, 8192> out_{};
+};
+
+Error io_error(const std::string& what) {
+  return Error{ErrorCode::Io, what + ": " + std::strerror(errno), {}};
+}
+
+}  // namespace
+
+Expected<void> run_tcp_server(Server& server, std::uint16_t port,
+                              std::ostream& log) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) return io_error("socket");
+
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Error err = io_error("bind 127.0.0.1:" + std::to_string(port));
+    ::close(listener);
+    return err;
+  }
+  if (::listen(listener, 16) != 0) {
+    const Error err = io_error("listen");
+    ::close(listener);
+    return err;
+  }
+
+  // Report the actual port (useful with port 0 = kernel-assigned).
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listener, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port = ntohs(bound.sin_port);
+  }
+  log << "serve: listening on 127.0.0.1:" << port << '\n' << std::flush;
+
+  bool shutdown = false;
+  while (!shutdown) {
+    int conn;
+    do {
+      conn = ::accept(listener, nullptr, nullptr);
+    } while (conn < 0 && errno == EINTR);
+    if (conn < 0) {
+      const Error err = io_error("accept");
+      ::close(listener);
+      return err;
+    }
+    log << "serve: connection opened\n" << std::flush;
+    {
+      FdStreambuf buf(conn);
+      std::istream in(&buf);
+      std::ostream out(&buf);
+      shutdown = server.run(in, out);
+    }
+    ::close(conn);
+    log << "serve: connection closed\n" << std::flush;
+  }
+  ::close(listener);
+  log << "serve: shutdown\n" << std::flush;
+  return {};
+}
+
+}  // namespace hpcp::serve

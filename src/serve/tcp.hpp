@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "src/common/error.hpp"
+#include "src/serve/server.hpp"
+
+/// \file tcp.hpp (serve)
+/// Minimal POSIX TCP front-end for the prediction server: binds a
+/// listening socket on localhost, then serves connections one at a time —
+/// each connection is one `Server::run` session over a socket-backed
+/// stream, so the line protocol, batching, and determinism contract are
+/// identical to `--stdio` mode. A {"cmd":"shutdown"} on any connection
+/// stops the listener; a plain disconnect just moves on to the next
+/// accept. Sequential accept keeps responses totally ordered per
+/// connection and the server single-writer, which is what the bitwise
+/// determinism contract requires.
+
+namespace hpcp::serve {
+
+/// Listens on 127.0.0.1:`port` and serves connections until a client sends
+/// {"cmd":"shutdown"}. `log` receives one line per lifecycle event (bound
+/// port, connection open/close). Returns an Io error when the socket
+/// cannot be created or bound.
+[[nodiscard]] Expected<void> run_tcp_server(Server& server,
+                                            std::uint16_t port,
+                                            std::ostream& log);
+
+}  // namespace hpcp::serve

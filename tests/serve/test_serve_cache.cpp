@@ -1,0 +1,101 @@
+/// PredictionCache behaviour: exact-key hits, LRU eviction under a tiny
+/// bound, shard clamping, and the disabled (capacity 0) mode the serve
+/// determinism contract relies on being value-transparent.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/serve/prediction_cache.hpp"
+
+namespace hpcp::serve {
+namespace {
+
+const std::vector<double> kA{1.0, 2.0, 3.0};
+const std::vector<double> kB{1.0, 2.0, 4.0};
+
+TEST(PredictionCache, HitReturnsTheExactStoredValue) {
+  PredictionCache cache(16);
+  EXPECT_FALSE(cache.lookup(kA, 64).has_value());
+  const double v = 0.1 + 0.2;  // not exactly representable
+  cache.insert(kA, 64, v);
+  const auto hit = cache.lookup(kA, 64);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, v);  // bitwise, not approximately
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(PredictionCache, KeyIsParamsAndScaleExactly) {
+  PredictionCache cache(16);
+  cache.insert(kA, 64, 1.0);
+  EXPECT_FALSE(cache.lookup(kA, 128).has_value());  // same params, new scale
+  EXPECT_FALSE(cache.lookup(kB, 64).has_value());   // new params, same scale
+  ASSERT_TRUE(cache.lookup(kA, 64).has_value());
+}
+
+TEST(PredictionCache, ZeroCapacityDisablesEverything) {
+  PredictionCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.insert(kA, 64, 1.0);  // dropped
+  EXPECT_FALSE(cache.lookup(kA, 64).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.misses(), 1u);  // disabled lookups still count misses
+}
+
+TEST(PredictionCache, EvictsLeastRecentlyUsedUnderTinyBound) {
+  PredictionCache cache(2, 1);  // one shard so the LRU order is global
+  cache.insert(kA, 1, 1.0);
+  cache.insert(kA, 2, 2.0);
+  cache.insert(kA, 3, 3.0);  // evicts (kA, 1)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.lookup(kA, 1).has_value());
+  EXPECT_TRUE(cache.lookup(kA, 2).has_value());
+  EXPECT_TRUE(cache.lookup(kA, 3).has_value());
+}
+
+TEST(PredictionCache, LookupRefreshesLruPosition) {
+  PredictionCache cache(2, 1);
+  cache.insert(kA, 1, 1.0);
+  cache.insert(kA, 2, 2.0);
+  ASSERT_TRUE(cache.lookup(kA, 1).has_value());  // 1 is now most recent
+  cache.insert(kA, 3, 3.0);                      // evicts 2, not 1
+  EXPECT_TRUE(cache.lookup(kA, 1).has_value());
+  EXPECT_FALSE(cache.lookup(kA, 2).has_value());
+}
+
+TEST(PredictionCache, OverwriteDoesNotGrow) {
+  PredictionCache cache(4, 1);
+  cache.insert(kA, 1, 1.0);
+  cache.insert(kA, 1, 2.0);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*cache.lookup(kA, 1), 2.0);
+}
+
+TEST(PredictionCache, ShardCountIsClampedToCapacity) {
+  const PredictionCache cache(4, 16);
+  EXPECT_EQ(cache.num_shards(), 4u);  // at least one entry per shard
+  const PredictionCache one(10, 0);
+  EXPECT_EQ(one.num_shards(), 1u);
+}
+
+TEST(PredictionCache, TotalCapacityIsRespectedAcrossShards) {
+  PredictionCache cache(5, 3);  // shard capacities 2 + 2 + 1
+  for (std::size_t s = 0; s < 100; ++s) cache.insert(kA, s, 1.0);
+  EXPECT_LE(cache.size(), 5u);
+  EXPECT_GT(cache.size(), 0u);
+}
+
+TEST(PredictionCache, ClearDropsEntriesButKeepsCounters) {
+  PredictionCache cache(16);
+  cache.insert(kA, 1, 1.0);
+  ASSERT_TRUE(cache.lookup(kA, 1).has_value());
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup(kA, 1).has_value());
+  EXPECT_EQ(cache.hits(), 1u);  // cumulative across the clear
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+}  // namespace
+}  // namespace hpcp::serve

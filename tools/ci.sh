@@ -1,97 +1,143 @@
 #!/usr/bin/env bash
-# Local CI: a release build plus an ASan/UBSan build, each running the full
-# test suite. Usage: tools/ci.sh [--skip-sanitizers]
+# Local/hosted CI: a release build plus an ASan/UBSan build, each running
+# the full test suite, followed by bench smokes, the bench-regression
+# gate, observability guards, and CLI-level determinism checks (train and
+# serve). The hosted matrix (.github/workflows/ci.yml) reuses these stages
+# verbatim via --only.
+#
+# Usage: tools/ci.sh [--skip-sanitizers] [--only STAGE]
+#                    [--build-dir-prefix PREFIX] [--artifact-dir DIR]
+#   STAGE  one of: release bench obs trace serve cli asan
+#   PREFIX build tree prefix, default "build-ci-" (trees land at
+#          <repo>/<prefix><name>; keep it matching .gitignore's build-*/)
+#   DIR    where bench/trace/metrics JSONs are written, default
+#          <release build dir>/ci-artifacts (hosted CI uploads this
+#          directory when a run fails)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
 skip_san=0
-[[ "${1:-}" == "--skip-sanitizers" ]] && skip_san=1
+only_stage=""
+build_prefix="build-ci-"
+artifact_dir=""
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --skip-sanitizers) skip_san=1; shift ;;
+    --only) only_stage="$2"; shift 2 ;;
+    --build-dir-prefix) build_prefix="$2"; shift 2 ;;
+    --artifact-dir) artifact_dir="$2"; shift 2 ;;
+    *) echo "usage: tools/ci.sh [--skip-sanitizers] [--only STAGE]" \
+            "[--build-dir-prefix PREFIX] [--artifact-dir DIR]" >&2
+       exit 2 ;;
+  esac
+done
+
+release_dir="${repo_root}/${build_prefix}release"
+if [[ -z "${artifact_dir}" ]]; then
+  artifact_dir="${release_dir}/ci-artifacts"
+fi
+mkdir -p "${artifact_dir}"
+cli="${release_dir}/tools/hpcpredict_cli"
 
 run_matrix_entry() {
   local name="$1"
   shift
-  local dir="${repo_root}/build-ci-${name}"
+  local dir="${repo_root}/${build_prefix}${name}"
   echo "=== [${name}] configure ==="
   cmake -B "${dir}" -S "${repo_root}" "$@"
   echo "=== [${name}] build ==="
   cmake --build "${dir}" -j"${jobs}"
   # Fail-fast ordering: the fast unit tier runs first; the slower
-  # integration / golden / determinism tiers only run once it is green
-  # (labels are assigned in tests/CMakeLists.txt).
+  # integration / golden / determinism / serve tiers only run once it is
+  # green (labels are assigned in tests/CMakeLists.txt).
   echo "=== [${name}] test (unit) ==="
   ctest --test-dir "${dir}" --output-on-failure -j"${jobs}" -L unit
-  echo "=== [${name}] test (integration+golden+determinism) ==="
+  echo "=== [${name}] test (integration+golden+determinism+serve) ==="
   ctest --test-dir "${dir}" --output-on-failure -j"${jobs}" -LE unit
 }
 
-run_matrix_entry release -DCMAKE_BUILD_TYPE=Release -DHPCP_WERROR=ON
+stage_release() {
+  run_matrix_entry release -DCMAKE_BUILD_TYPE=Release -DHPCP_WERROR=ON
+}
 
-# Bench smoke: run the pinned-seed forest suite in --short mode and refresh
-# BENCH_forest.json at the repo root (schema hpcp-bench-forest/1, documented
-# in EXPERIMENTS.md). A malformed or schema-less output fails CI.
-echo "=== [release] bench-smoke ==="
-bench_json="${repo_root}/BENCH_forest.json"
-"${repo_root}/build-ci-release/bench/bench_micro_forest" \
-  --short --json "${bench_json}"
-if command -v python3 > /dev/null 2>&1; then
-  python3 - "${bench_json}" << 'EOF'
-import json, sys
-with open(sys.argv[1]) as f:
-    doc = json.load(f)
-assert doc.get("schema") == "hpcp-bench-forest/1", "bad schema marker"
-assert doc["cases"], "no cases recorded"
-for case in doc["cases"]:
-    assert case["seconds"] > 0, f"non-positive timing in {case['name']}"
-assert "speedups" in doc, "missing derived speedups"
-print(f"BENCH_forest.json ok ({len(doc['cases'])} cases)")
-EOF
-else
-  grep -q '"schema": "hpcp-bench-forest/1"' "${bench_json}" \
-    || { echo "BENCH_forest.json missing schema marker" >&2; exit 1; }
-fi
+stage_asan() {
+  run_matrix_entry asan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    "-DHPCP_SANITIZE=address;undefined"
+}
 
-# Training-pipeline bench smoke: run the serial-vs-parallel fit suite in
-# --short mode and validate the hpcp-bench-train/1 schema plus the embedded
-# 1-vs-8-thread byte-identity verdict. (The tracked BENCH_train.json at the
-# repo root is the full-mode run; see EXPERIMENTS.md.) The bench itself
-# exits non-zero if the t1 and t8 archives differ.
-echo "=== [release] bench-train-smoke ==="
-train_json="${repo_root}/build-ci-release/BENCH_train_smoke.json"
-"${repo_root}/build-ci-release/bench/bench_micro_train" \
-  --short --json "${train_json}"
-if command -v python3 > /dev/null 2>&1; then
-  python3 - "${train_json}" << 'EOF'
+# Bench smoke + regression gate: run every pinned-seed suite in --short
+# mode, validate the schema of each output, then compare the derived
+# speedup ratios against the committed short-mode baselines in
+# bench/baselines/ (tools/check_bench_regression.py; tolerance
+# overridable via HPCP_BENCH_TOLERANCE for noisy hosts). Fresh outputs go
+# to the artifact dir — the tracked repo-root BENCH_*.json files are
+# full-mode runs and are never overwritten by CI.
+stage_bench() {
+  echo "=== [release] bench-smoke ==="
+  local forest_json="${artifact_dir}/BENCH_forest.json"
+  local train_json="${artifact_dir}/BENCH_train.json"
+  local serve_json="${artifact_dir}/BENCH_serve.json"
+  "${release_dir}/bench/bench_micro_forest" --short --json "${forest_json}"
+  "${release_dir}/bench/bench_micro_train" --short --json "${train_json}"
+  "${release_dir}/bench/bench_serve" --short --json "${serve_json}"
+  if command -v python3 > /dev/null 2>&1; then
+    python3 - "${forest_json}" "${train_json}" "${serve_json}" << 'EOF'
 import json, sys
-with open(sys.argv[1]) as f:
-    doc = json.load(f)
-assert doc.get("schema") == "hpcp-bench-train/1", "bad schema marker"
-assert doc["cases"], "no cases recorded"
-for case in doc["cases"]:
-    assert case["seconds"] > 0, f"non-positive timing in {case['name']}"
-assert "fit_t8_vs_t1" in doc["speedups"], "missing derived speedup"
-assert doc["determinism"]["byte_identical_models_t1_t8"] is True, \
-    "t1 and t8 fits produced different model archives"
-print(f"BENCH_train_smoke.json ok ({len(doc['cases'])} cases, "
-      f"t8/t1 speedup {doc['speedups']['fit_t8_vs_t1']:.2f}x, "
-      "t1/t8 byte-identical)")
+schemas = ("hpcp-bench-forest/1", "hpcp-bench-train/1", "hpcp-bench-serve/1")
+for path, want in zip(sys.argv[1:], schemas):
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc.get("schema") == want, f"{path}: bad schema marker"
+    assert doc["cases"], f"{path}: no cases recorded"
+    for case in doc["cases"]:
+        assert case["seconds"] > 0, \
+            f"{path}: non-positive timing in {case['name']}"
+    assert "speedups" in doc, f"{path}: missing derived speedups"
+    for key, flag in doc.get("determinism", {}).items():
+        assert flag is True, f"{path}: determinism flag {key} is false"
+    print(f"{path.rsplit('/', 1)[-1]} ok ({len(doc['cases'])} cases)")
 EOF
-else
-  grep -q '"schema": "hpcp-bench-train/1"' "${train_json}" \
-    || { echo "BENCH_train_smoke.json missing schema marker" >&2; exit 1; }
-  grep -q '"byte_identical_models_t1_t8": true' "${train_json}" \
-    || { echo "t1/t8 archives not byte-identical" >&2; exit 1; }
-fi
+    echo "=== [release] bench-regression-gate ==="
+    local tol="${HPCP_BENCH_TOLERANCE:-0.25}"
+    python3 "${repo_root}/tools/check_bench_regression.py" \
+      --baseline "${repo_root}/bench/baselines/BENCH_forest_short.json" \
+      --fresh "${forest_json}" --tolerance "${tol}"
+    python3 "${repo_root}/tools/check_bench_regression.py" \
+      --baseline "${repo_root}/bench/baselines/BENCH_train_short.json" \
+      --fresh "${train_json}" --tolerance "${tol}"
+    # Serve ratios span hosts less cleanly (cache hits are tens of
+    # nanoseconds of work); gate loosely on the ratio but pin the
+    # acceptance floor: cached answers at least 5x faster than cold.
+    python3 "${repo_root}/tools/check_bench_regression.py" \
+      --baseline "${repo_root}/bench/baselines/BENCH_serve_short.json" \
+      --fresh "${serve_json}" --tolerance "${HPCP_SERVE_TOLERANCE:-0.6}" \
+      --require "cache_hit_p50>=5"
+  else
+    grep -q '"schema": "hpcp-bench-serve/1"' "${serve_json}" \
+      || { echo "BENCH_serve.json missing schema marker" >&2; exit 1; }
+    echo "python3 unavailable; schema-grep only, regression gate skipped"
+  fi
+}
 
 # Observability off-mode overhead guard: the bench times the identical
-# disabled-instrumentation workload twice (A/A); their ratio must stay within
-# noise of 1.0 and the traced run must not perturb predictions. Timing is
-# retried because a loaded CI host can spike a single best-of measurement.
-echo "=== [release] obs-overhead-guard ==="
-if command -v python3 > /dev/null 2>&1; then
-  obs_guard_ok=0
-  for attempt in 1 2 3; do
-    if python3 - "${bench_json}" << 'EOF'
+# disabled-instrumentation workload twice (A/A); their ratio must stay
+# within noise of 1.0 and the traced run must not perturb predictions.
+# Timing is retried because a loaded CI host can spike a single
+# best-of measurement.
+stage_obs() {
+  echo "=== [release] obs-overhead-guard ==="
+  local bench_json="${artifact_dir}/BENCH_forest.json"
+  if [[ ! -f "${bench_json}" ]]; then
+    "${release_dir}/bench/bench_micro_forest" --short --json "${bench_json}"
+  fi
+  if command -v python3 > /dev/null 2>&1; then
+    local obs_guard_ok=0
+    local attempt
+    for attempt in 1 2 3; do
+      if python3 - "${bench_json}" << 'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
@@ -102,40 +148,41 @@ ratio = obs["off_overhead"]
 assert ratio <= 1.01, f"disabled-obs overhead {ratio:.4f}x exceeds 1%"
 print(f"obs off-mode overhead {ratio:.4f}x (<= 1.01), on/off bitwise identical")
 EOF
-    then
-      obs_guard_ok=1
-      break
-    fi
-    echo "obs overhead guard failed (attempt ${attempt}); re-timing" >&2
-    "${repo_root}/build-ci-release/bench/bench_micro_forest" \
-      --short --json "${bench_json}"
-  done
-  [[ "${obs_guard_ok}" -eq 1 ]] \
-    || { echo "obs off-mode overhead guard failed after retries" >&2; exit 1; }
-fi
+      then
+        obs_guard_ok=1
+        break
+      fi
+      echo "obs overhead guard failed (attempt ${attempt}); re-timing" >&2
+      "${release_dir}/bench/bench_micro_forest" --short --json "${bench_json}"
+    done
+    [[ "${obs_guard_ok}" -eq 1 ]] \
+      || { echo "obs off-mode overhead guard failed after retries" >&2
+           exit 1; }
+  fi
+}
 
-# Trace smoke: fit a real (tiny) history with --trace/--metrics-out and make
-# sure the Chrome trace covers the pipeline stages and the metrics dump
-# follows the hpcp-metrics/1 schema documented in EXPERIMENTS.md.
-echo "=== [release] trace-smoke ==="
-cli="${repo_root}/build-ci-release/tools/hpcpredict_cli"
-smoke_dir="$(mktemp -d)"
-trap 'rm -rf "${smoke_dir}"' EXIT
-"${cli}" generate --app heat3d --out "${smoke_dir}/hist.csv" \
-  --configs 24 --scales 1,2,4,8 --seed 3
-"${cli}" fit --history "${smoke_dir}/hist.csv" --targets 16,32 --seed 5 \
-  --trace "${smoke_dir}/trace.json" \
-  --metrics-out "${smoke_dir}/metrics.json" \
-  --metrics-text "${smoke_dir}/metrics.prom"
-usage_status=0
-"${cli}" fit --history "${smoke_dir}/hist.csv" --no-such-flag \
-  > /dev/null 2>&1 || usage_status=$?
-if [[ "${usage_status}" -ne 2 ]]; then
-  echo "unknown CLI option exited ${usage_status}, expected 2" >&2
-  exit 1
-fi
-if command -v python3 > /dev/null 2>&1; then
-  python3 - "${smoke_dir}/trace.json" "${smoke_dir}/metrics.json" << 'EOF'
+# Trace smoke: fit a real (tiny) history with --trace/--metrics-out and
+# make sure the Chrome trace covers the pipeline stages and the metrics
+# dump follows the hpcp-metrics/1 schema documented in EXPERIMENTS.md.
+stage_trace() {
+  echo "=== [release] trace-smoke ==="
+  local dir="${artifact_dir}/trace-smoke"
+  mkdir -p "${dir}"
+  "${cli}" generate --app heat3d --out "${dir}/hist.csv" \
+    --configs 24 --scales 1,2,4,8 --seed 3
+  "${cli}" fit --history "${dir}/hist.csv" --targets 16,32 --seed 5 \
+    --trace "${dir}/trace.json" \
+    --metrics-out "${dir}/metrics.json" \
+    --metrics-text "${dir}/metrics.prom"
+  local usage_status=0
+  "${cli}" fit --history "${dir}/hist.csv" --no-such-flag \
+    > /dev/null 2>&1 || usage_status=$?
+  if [[ "${usage_status}" -ne 2 ]]; then
+    echo "unknown CLI option exited ${usage_status}, expected 2" >&2
+    exit 1
+  fi
+  if command -v python3 > /dev/null 2>&1; then
+    python3 - "${dir}/trace.json" "${dir}/metrics.json" << 'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     trace = json.load(f)
@@ -155,33 +202,134 @@ for name in ("forest.split_mode", "lasso.multitask_iterations",
 print(f"trace-smoke ok ({len(names)} distinct spans,"
       f" {len(counters)} counters)")
 EOF
-else
-  grep -q '"hpcp-trace/1"' "${smoke_dir}/trace.json" \
-    || { echo "trace.json missing schema marker" >&2; exit 1; }
-  grep -q '"hpcp-metrics/1"' "${smoke_dir}/metrics.json" \
-    || { echo "metrics.json missing schema marker" >&2; exit 1; }
+  else
+    grep -q '"hpcp-trace/1"' "${dir}/trace.json" \
+      || { echo "trace.json missing schema marker" >&2; exit 1; }
+    grep -q '"hpcp-metrics/1"' "${dir}/metrics.json" \
+      || { echo "metrics.json missing schema marker" >&2; exit 1; }
+  fi
+}
+
+# Serve smoke: train a tiny model through the CLI, replay a request file
+# (valid predictions, repeats for cache hits, malformed lines, a failed
+# reload, control commands) through `hpcpredict_cli serve --stdio`, and
+# require byte-identical response streams across worker counts and cache
+# configurations — the user-facing half of the serve determinism contract.
+stage_serve() {
+  echo "=== [release] serve-smoke ==="
+  local dir="${artifact_dir}/serve-smoke"
+  mkdir -p "${dir}"
+  "${cli}" generate --app heat3d --out "${dir}/hist.csv" \
+    --configs 24 --scales 1,2,4,8 --seed 3
+  "${cli}" train --history "${dir}/hist.csv" --targets 16,32 --seed 5 \
+    --save "${dir}/model.txt" > /dev/null
+
+  {
+    local i
+    for i in $(seq 1 60); do
+      printf '{"id":%d,"params":[%d,%d,%d],"scales":[16,32]}\n' \
+        "${i}" "$((200 + i * 7))" "$((100 + i * 3))" "$((1 + i % 3))"
+      printf '{"id":%d,"params":[256,150,2],"scales":[16,32]}\n' \
+        "$((1000 + i))"   # exact repeat every round: cache hits
+    done
+    printf '{"id":"oops","params":[1,2],"scales":[16]}\n'   # width mismatch
+    printf 'not json at all\n'
+    printf '{"id":"bad","cmd":"frobnicate"}\n'
+    printf '{"cmd":"reload","model":"%s/nonexistent.txt"}\n' "${dir}"
+    printf '{"id":"after-reload","params":[256,150,2],"scales":[16,32]}\n'
+    printf '{"cmd":"ping"}\n'
+    printf '{"cmd":"shutdown"}\n'
+  } > "${dir}/replay.txt"
+
+  local variant
+  for variant in "t1:--threads 1" "t8:--threads 8" \
+                 "t8-nocache:--threads 8 --cache-entries 0" \
+                 "t8-batch1:--threads 8 --batch-max 1"; do
+    local name="${variant%%:*}"
+    local flags="${variant#*:}"
+    # shellcheck disable=SC2086
+    "${cli}" serve --model "${dir}/model.txt" --stdio ${flags} \
+      < "${dir}/replay.txt" > "${dir}/out-${name}.txt" 2> /dev/null
+  done
+  local name
+  for name in t8 t8-nocache t8-batch1; do
+    if ! cmp -s "${dir}/out-t1.txt" "${dir}/out-${name}.txt"; then
+      echo "serve responses differ between t1 and ${name}" >&2
+      diff "${dir}/out-t1.txt" "${dir}/out-${name}.txt" | head >&2 || true
+      exit 1
+    fi
+  done
+  grep -q '"code":"io"' "${dir}/out-t1.txt" \
+    || { echo "failed reload did not produce a typed io error" >&2; exit 1; }
+  grep -q '"id":"after-reload","ok":true' "${dir}/out-t1.txt" \
+    || { echo "old model stopped serving after a failed reload" >&2
+         exit 1; }
+  grep -q '"cmd":"shutdown"' "${dir}/out-t1.txt" \
+    || { echo "shutdown was not acknowledged" >&2; exit 1; }
+
+  # A missing model archive must be a clean exit 1, not a crash; an
+  # unknown serve flag must be the usual usage exit 2.
+  local status=0
+  "${cli}" serve --model "${dir}/no-such-model.txt" --stdio \
+    < /dev/null > /dev/null 2>&1 || status=$?
+  [[ "${status}" -eq 1 ]] \
+    || { echo "serve with missing model exited ${status}, expected 1" >&2
+         exit 1; }
+  status=0
+  "${cli}" serve --model "${dir}/model.txt" --no-such-flag \
+    > /dev/null 2>&1 || status=$?
+  [[ "${status}" -eq 2 ]] \
+    || { echo "unknown serve option exited ${status}, expected 2" >&2
+         exit 1; }
+  echo "serve-smoke ok (4 variants byte-identical, errors typed)"
+}
+
+# End-to-end determinism check through the CLI: the same history trained
+# at --threads 1 and --threads 8 must save byte-identical model files.
+# This exercises the whole user-facing path (CSV ingestion -> fit ->
+# save), not just the library calls the determinism tests cover.
+stage_cli() {
+  echo "=== [release] cli-determinism ==="
+  local dir="${artifact_dir}/cli-smoke"
+  mkdir -p "${dir}"
+  "${cli}" generate --app heat3d --out "${dir}/hist.csv" \
+    --configs 24 --scales 1,2,4,8 --seed 3
+  "${cli}" train --history "${dir}/hist.csv" --targets 16,32 --seed 5 \
+    --threads 1 --save "${dir}/model_t1.txt" > /dev/null
+  "${cli}" train --history "${dir}/hist.csv" --targets 16,32 --seed 5 \
+    --threads 8 --save "${dir}/model_t8.txt" > /dev/null
+  if ! cmp -s "${dir}/model_t1.txt" "${dir}/model_t8.txt"; then
+    echo "model files differ between --threads 1 and --threads 8" >&2
+    cmp "${dir}/model_t1.txt" "${dir}/model_t8.txt" >&2 || true
+    exit 1
+  fi
+  echo "cli-determinism ok (--threads 1 and --threads 8 models" \
+       "byte-identical)"
+}
+
+if [[ -n "${only_stage}" ]]; then
+  case "${only_stage}" in
+    release) stage_release ;;
+    bench)   stage_bench ;;
+    obs)     stage_obs ;;
+    trace)   stage_trace ;;
+    serve)   stage_serve ;;
+    cli)     stage_cli ;;
+    asan)    stage_asan ;;
+    *) echo "unknown stage: ${only_stage} (expected" \
+            "release|bench|obs|trace|serve|cli|asan)" >&2; exit 2 ;;
+  esac
+  echo "=== stage ${only_stage} passed ==="
+  exit 0
 fi
 
-# End-to-end determinism check through the CLI: the same history trained at
-# --threads 1 and --threads 8 must save byte-identical model files. This
-# exercises the whole user-facing path (CSV ingestion -> fit -> save), not
-# just the library calls the determinism tests cover.
-echo "=== [release] cli-determinism ==="
-"${cli}" train --history "${smoke_dir}/hist.csv" --targets 16,32 --seed 5 \
-  --threads 1 --save "${smoke_dir}/model_t1.txt" > /dev/null
-"${cli}" train --history "${smoke_dir}/hist.csv" --targets 16,32 --seed 5 \
-  --threads 8 --save "${smoke_dir}/model_t8.txt" > /dev/null
-if ! cmp -s "${smoke_dir}/model_t1.txt" "${smoke_dir}/model_t8.txt"; then
-  echo "model files differ between --threads 1 and --threads 8" >&2
-  cmp "${smoke_dir}/model_t1.txt" "${smoke_dir}/model_t8.txt" >&2 || true
-  exit 1
-fi
-echo "cli-determinism ok (--threads 1 and --threads 8 models byte-identical)"
-
+stage_release
+stage_bench
+stage_obs
+stage_trace
+stage_serve
+stage_cli
 if [[ "${skip_san}" -eq 0 ]]; then
-  run_matrix_entry asan \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    "-DHPCP_SANITIZE=address;undefined"
+  stage_asan
 fi
-
 echo "=== CI matrix passed ==="

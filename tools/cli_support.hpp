@@ -70,6 +70,10 @@ inline FlagSpec spec_for(const std::string& command) {
   } else if (command == "validate") {
     add({"history", "out", "report"});
     spec.bool_flags = {"strict"};
+  } else if (command == "serve") {
+    add({"model", "port", "threads", "batch-max", "cache-entries",
+         "cache-shards"});
+    spec.bool_flags = {"stdio"};
   } else {
     throw UsageError("unknown command: " + command);
   }

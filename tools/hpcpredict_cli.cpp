@@ -14,6 +14,11 @@
 ///             quarantine invalid records, and report what was removed.
 ///             Exit code 0 = clean, 3 = records quarantined, 1 = fatal
 ///             (unreadable/unusable file). Never crashes on corrupt input.
+///   serve     Long-lived prediction server speaking the line-delimited
+///             hpcp-serve/1 JSON protocol: loads a saved --model once, then
+///             answers predict/ping/stats/reload/shutdown request lines on
+///             stdin/stdout (default, or --stdio) or over TCP (--port N).
+///             SIGHUP hot-reloads the model archive in place.
 ///
 /// Every subcommand also takes the observability flags --trace FILE
 /// (Chrome trace-event JSON of pipeline spans), --metrics-out FILE
@@ -30,12 +35,15 @@
 ///       --queries queries.csv --uncertainty
 ///   hpcpredict_cli evaluate --app minimd --targets 32,64,128,256
 
+#include <csignal>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
 
 #include "src/hpcpredict.hpp"
+#include "src/serve/server.hpp"
+#include "src/serve/tcp.hpp"
 #include "tools/cli_support.hpp"
 
 namespace {
@@ -258,6 +266,41 @@ int cmd_predict(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  serve::ServeOptions opts;
+  opts.threads = args.get_size("threads", 0);
+  opts.batch_max = args.get_size("batch-max", 32);
+  opts.cache_entries = args.get_size("cache-entries", 4096);
+  opts.cache_shards = args.get_size("cache-shards", 8);
+  if (args.has("port") && args.has("stdio")) {
+    throw cli::UsageError("--port and --stdio are mutually exclusive");
+  }
+
+  serve::Server server(opts);
+  server.load_model_file(args.get("model")).value_or_throw();
+  // Diagnostics go to stderr: in stdio mode stdout carries only protocol
+  // response lines, so replayed sessions can be compared byte-for-byte.
+  std::cerr << "serve: loaded " << args.get("model") << " (model_version "
+            << server.model_version() << ", threads=" << opts.threads
+            << ", batch_max=" << opts.batch_max
+            << ", cache_entries=" << opts.cache_entries << ")\n";
+  std::signal(SIGHUP,
+              [](int) { serve::reload_flag().store(true); });
+
+  if (args.has("port")) {
+    const std::size_t port = args.get_size("port", 0);
+    if (port > 65535) {
+      throw cli::UsageError("--port expects a value in [0, 65535]");
+    }
+    serve::run_tcp_server(server, static_cast<std::uint16_t>(port),
+                          std::cerr)
+        .value_or_throw();
+    return 0;
+  }
+  server.run(std::cin, std::cout);
+  return 0;
+}
+
 int cmd_evaluate(const Args& args) {
   ExperimentConfig config;
   config.app_name = args.get("app");
@@ -293,8 +336,8 @@ int cmd_evaluate(const Args& args) {
 
 void print_usage() {
   std::cout <<
-      "usage: hpcpredict_cli <generate|train|predict|evaluate|validate> "
-      "[--flags]\n"
+      "usage: hpcpredict_cli "
+      "<generate|train|predict|evaluate|validate|serve> [--flags]\n"
       "  generate --app NAME --out FILE [--configs N] [--scales 1,2,4,8,16]\n"
       "           [--runs-per-point N] [--seed S]\n"
       "  train    --history FILE --targets P1,P2,... [--save FILE]\n"
@@ -306,6 +349,8 @@ void print_usage() {
       "           [--scales ...] [--targets ...] [--seed S]\n"
       "  validate --history FILE [--strict] [--out CLEAN_FILE]\n"
       "           [--report QUARANTINE_FILE]\n"
+      "  serve    --model FILE [--port N | --stdio] [--threads N]\n"
+      "           [--batch-max N] [--cache-entries N] [--cache-shards N]\n"
       "observability (all commands):\n"
       "  [--trace FILE] [--metrics-out FILE] [--metrics-text FILE]\n";
 }
@@ -331,6 +376,7 @@ int main(int argc, char** argv) {
     if (command == "train") return cmd_train(args);
     if (command == "predict") return cmd_predict(args);
     if (command == "evaluate") return cmd_evaluate(args);
+    if (command == "serve") return cmd_serve(args);
     return cmd_validate(args);
   } catch (const cli::UsageError& e) {
     std::cerr << "error: " << e.what() << '\n';
