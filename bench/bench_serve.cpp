@@ -109,7 +109,8 @@ void write_json(const std::string& path, bool short_mode,
                 std::size_t hw, const std::vector<BenchCase>& cases,
                 const Latency& cold, const Latency& hot,
                 double cache_speedup, double throughput_speedup,
-                bool byte_identical) {
+                double overload_speedup, double deadline_speedup,
+                bool byte_identical, bool byte_identical_overload) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -140,18 +141,26 @@ void write_json(const std::string& path, bool short_mode,
   out << "  },\n";
   out << "  \"speedups\": {\n";
   out << "    \"cache_hit_p50\": " << cache_speedup << ",\n";
-  out << "    \"throughput_t8_vs_t1\": " << throughput_speedup << "\n";
+  out << "    \"throughput_t8_vs_t1\": " << throughput_speedup << ",\n";
+  out << "    \"overload_shed_vs_nocache\": " << overload_speedup << ",\n";
+  out << "    \"deadline_vs_nocache\": " << deadline_speedup << "\n";
   out << "  },\n";
   out << "  \"determinism\": {\n";
   out << "    \"byte_identical_responses\": "
-      << (byte_identical ? "true" : "false") << "\n";
+      << (byte_identical ? "true" : "false") << ",\n";
+  out << "    \"byte_identical_overload\": "
+      << (byte_identical_overload ? "true" : "false") << "\n";
   out << "  }\n";
   out << "}\n";
-  std::printf("\nspeedup: cache-hit p50 = %.2fx, throughput t8/t1 = %.2fx "
+  std::printf("\nspeedup: cache-hit p50 = %.2fx, throughput t8/t1 = %.2fx, "
+              "overload-shed = %.2fx, deadline = %.2fx "
               "(hardware_concurrency=%zu)\n"
-              "determinism: replay responses %s\nwrote %s\n",
-              cache_speedup, throughput_speedup, hw,
-              byte_identical ? "byte-identical" : "DIFFER", path.c_str());
+              "determinism: replay responses %s, shed replay %s\nwrote %s\n",
+              cache_speedup, throughput_speedup, overload_speedup,
+              deadline_speedup, hw,
+              byte_identical ? "byte-identical" : "DIFFER",
+              byte_identical_overload ? "byte-identical" : "DIFFER",
+              path.c_str());
 }
 
 }  // namespace
@@ -229,6 +238,41 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Resilience-path configurations. Overload: a tiny admission bound
+  // under a large batch, so most of the burst is shed before any model
+  // compute — the fast-rejection path must actually be fast. Deadline: a
+  // clock that leaps 1s per read against a 1ms deadline, so every request
+  // expires before flush and the server only parses and renders. Both are
+  // measured against the nocache replay (full compute for every request).
+  const ServeOptions overload_opts{.threads = 8,
+                                   .batch_max = 64,
+                                   .cache_entries = 0,
+                                   .max_pending = 8};
+  const auto deadline_opts = [] {
+    ServeOptions opts;
+    opts.threads = 8;
+    opts.cache_entries = 0;
+    opts.request_deadline_ms = 1;
+    opts.clock_ms = [t = std::uint64_t{0}]() mutable { return t += 1000; };
+    return opts;
+  };
+
+  // Shedding must be as replayable as serving: same stream, same options,
+  // same bytes — on every run.
+  bool byte_identical_overload;
+  {
+    const hpcp::bench::SectionTimer timer("overload determinism replay x2");
+    byte_identical_overload =
+        run_replay(model, overload_opts, replay) ==
+        run_replay(model, overload_opts, replay);
+    if (!byte_identical_overload) {
+      std::fprintf(stderr,
+                   "FATAL: overload replay responses differ between runs — "
+                   "shedding is not deterministic\n");
+      return 1;
+    }
+  }
+
   std::vector<BenchCase> cases;
   cases.push_back(run_case("replay_t1", reps, [&] {
     (void)run_replay(model, {.threads = 1}, replay);
@@ -238,6 +282,12 @@ int main(int argc, char** argv) {
   }));
   cases.push_back(run_case("replay_t8_nocache", reps, [&] {
     (void)run_replay(model, {.threads = 8, .cache_entries = 0}, replay);
+  }));
+  cases.push_back(run_case("replay_overload", reps, [&] {
+    (void)run_replay(model, overload_opts, replay);
+  }));
+  cases.push_back(run_case("replay_deadline", reps, [&] {
+    (void)run_replay(model, deadline_opts(), replay);
   }));
 
   // Latency: the same distinct requests served cold (first touch, full
@@ -253,11 +303,16 @@ int main(int argc, char** argv) {
       hot.p50_us > 0.0 ? cold.p50_us / hot.p50_us : 0.0;
   const double throughput_speedup =
       cases[1].seconds > 0.0 ? cases[0].seconds / cases[1].seconds : 0.0;
+  const double overload_speedup =
+      cases[3].seconds > 0.0 ? cases[2].seconds / cases[3].seconds : 0.0;
+  const double deadline_speedup =
+      cases[4].seconds > 0.0 ? cases[2].seconds / cases[4].seconds : 0.0;
 
   if (!json_path.empty()) {
     write_json(json_path, short_mode, cfg.num_train, replay_requests, hw,
                cases, cold, hot, cache_speedup, throughput_speedup,
-               /*byte_identical=*/true);
+               overload_speedup, deadline_speedup,
+               /*byte_identical=*/true, byte_identical_overload);
   }
   return 0;
 }

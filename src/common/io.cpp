@@ -1,0 +1,84 @@
+#include "src/common/io.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+
+namespace hpcp {
+
+namespace {
+
+Error io_error(const std::string& step, const std::string& path) {
+  return Error{ErrorCode::Io, step + ": " + std::strerror(errno), path};
+}
+
+/// fsync the file at `path` (any open mode will do for a regular file).
+bool fsync_path(const std::string& path, int flags) {
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) return false;
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  ::close(fd);
+  return rc == 0;
+}
+
+}  // namespace
+
+Expected<void> atomic_write_file(
+    const std::string& path,
+    const std::function<void(std::ostream&)>& writer) {
+  // The scratch name embeds pid + a process-local counter: concurrent
+  // writers (two processes saving the same archive, or two threads in
+  // one) each stage into their own file, and whichever rename lands last
+  // wins wholesale — never an interleaving of the two.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) +
+                          "." +
+                          std::to_string(counter.fetch_add(1) + 1);
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return io_error("cannot create temp file", tmp);
+    try {
+      writer(out);
+    } catch (...) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw;
+    }
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return io_error("write failed", tmp);
+    }
+  }
+  if (!fsync_path(tmp, O_WRONLY)) {
+    const Error err = io_error("fsync failed", tmp);
+    std::remove(tmp.c_str());
+    return err;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Error err = io_error("rename failed", path);
+    std::remove(tmp.c_str());
+    return err;
+  }
+  // Durability of the rename itself needs the directory entry flushed;
+  // failure here is not worth un-publishing an already-complete file.
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  (void)fsync_path(dir, O_RDONLY | O_DIRECTORY);
+  return {};
+}
+
+}  // namespace hpcp

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "src/common/error.hpp"
+
+/// \file io.hpp
+/// Crash-safe file I/O helpers for data that must never be observed torn.
+///
+/// A plain `ofstream(path)` truncates the destination first, so a writer
+/// that crashes (or an injected fault that fires) mid-stream leaves a
+/// half-written file where a good one used to be. Model archives are the
+/// prediction server's only durable state — a torn archive turns the next
+/// reload or restart into an outage. atomic_write_file gives the standard
+/// POSIX remedy: write a sibling temp file, fsync it, then rename() over
+/// the destination. rename() on the same filesystem is atomic, so readers
+/// (and crash recovery) only ever see the complete old bytes or the
+/// complete new bytes, never a mixture.
+
+namespace hpcp {
+
+/// Atomically replaces `path` with whatever `writer` streams out.
+///
+/// The contents are written to a sibling scratch file (`path` + a
+/// ".tmp.<pid>.<n>" suffix, unique per writer so concurrent savers never
+/// interleave), flushed and fsync'd to stable storage, then renamed over
+/// `path`; the containing directory is
+/// fsync'd afterwards (best-effort) so the rename itself is durable. On
+/// any failure — the temp file cannot be created, the writer leaves the
+/// stream in a failed state, fsync or rename fail — the temp file is
+/// removed, `path` is untouched, and an Io error describes the step that
+/// failed. A `writer` that throws also leaves `path` untouched (the temp
+/// file is cleaned up before the exception propagates), which is the
+/// simulated-crash contract the persistence tests pin down.
+[[nodiscard]] Expected<void> atomic_write_file(
+    const std::string& path,
+    const std::function<void(std::ostream&)>& writer);
+
+}  // namespace hpcp

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "src/common/check.hpp"
+#include "src/common/io.hpp"
 #include "src/common/stats.hpp"
 #include "src/obs/obs.hpp"
 
@@ -244,9 +245,13 @@ TwoLevelModel TwoLevelModel::load(std::istream& in) {
 }
 
 void TwoLevelModel::save_file(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot write model file: " + path);
-  save(out);
+  save_file_checked(path).value_or_throw();
+}
+
+Expected<void> TwoLevelModel::save_file_checked(
+    const std::string& path) const {
+  return atomic_write_file(path,
+                           [this](std::ostream& out) { save(out); });
 }
 
 TwoLevelModel TwoLevelModel::load_file(const std::string& path) {

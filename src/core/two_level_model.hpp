@@ -161,6 +161,9 @@ class TwoLevelModel final : public ExtrapolationModel {
   /// scaling-law supports, calibration — but not fit-time options.
   void save(std::ostream& out) const;
   [[nodiscard]] static TwoLevelModel load(std::istream& in);
+  /// Atomic on-disk publish (temp file + fsync + rename): a crash or I/O
+  /// failure mid-save leaves the previous archive at `path` intact and
+  /// loadable, never a torn file. Throwing wrapper over save_file_checked.
   void save_file(const std::string& path) const;
   [[nodiscard]] static TwoLevelModel load_file(const std::string& path);
 
@@ -171,6 +174,13 @@ class TwoLevelModel final : public ExtrapolationModel {
   [[nodiscard]] static Expected<TwoLevelModel> load_checked(std::istream& in);
   [[nodiscard]] static Expected<TwoLevelModel> load_file_checked(
       const std::string& path);
+
+  /// Non-throwing save for long-lived processes (the serving retrain
+  /// path): an unwritable directory or full disk comes back as a typed Io
+  /// error instead of an exception, and the destination archive is either
+  /// fully replaced or untouched.
+  [[nodiscard]] Expected<void> save_file_checked(
+      const std::string& path) const;
 
  private:
   /// Multiplicative correction for one cluster (1.0 when uncalibrated).

@@ -1,0 +1,196 @@
+#include "src/serve/faults.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/common/rng.hpp"
+
+namespace hpcp::serve {
+
+namespace {
+
+/// Garbage frames cover the malformed-input taxonomy the protocol must
+/// survive: non-JSON text, truncated JSON, wrong top-level type, unknown
+/// commands, binary junk, and an oversized line (trips --max-line-bytes
+/// when it is configured small). Every frame is newline-terminated so it
+/// occupies exactly one protocol slot and real neighbours stay intact.
+std::string garbage_frame(std::uint64_t pick) {
+  switch (pick % 7) {
+    case 0: return "not json at all\n";
+    case 1: return "{{{\n";
+    case 2: return "{\"cmd\":\"frobnicate\"}\n";
+    case 3: return "[1,2,3]\n";
+    case 4: return "{\"id\":42,\"params\":\n";
+    case 5: {
+      std::string junk = "\x01\x02\xfe\xff{\x7f\x1b";
+      junk += '\n';
+      return junk;
+    }
+    default: {
+      std::string long_line(5000, 'G');
+      long_line += '\n';
+      return long_line;
+    }
+  }
+}
+
+bool parse_double(const std::string& value, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(value.c_str(), &end);
+  return end != nullptr && *end == '\0' && !value.empty();
+}
+
+}  // namespace
+
+Expected<FaultSpec> parse_fault_spec(const std::string& text) {
+  FaultSpec spec;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      return Error{ErrorCode::BadData,
+                   "fault spec item is not key=value: " + item, text};
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "seed" || key == "clock_skip_ms") {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || value.empty()) {
+        return Error{ErrorCode::BadData,
+                     "fault spec " + key + " is not an integer: " + value,
+                     text};
+      }
+      (key == "seed" ? spec.seed : spec.clock_skip_ms) = v;
+      continue;
+    }
+    double p = 0.0;
+    if (!parse_double(value, &p) || p < 0.0 || p > 1.0) {
+      return Error{ErrorCode::BadData,
+                   "fault spec " + key + " needs a probability in [0,1]: " +
+                       value,
+                   text};
+    }
+    if (key == "short_read") {
+      spec.short_read = p;
+    } else if (key == "disconnect") {
+      spec.disconnect = p;
+    } else if (key == "garbage") {
+      spec.garbage = p;
+    } else if (key == "short_write") {
+      spec.short_write = p;
+    } else if (key == "write_error") {
+      spec.write_error = p;
+    } else if (key == "clock_skip") {
+      spec.clock_skip = p;
+    } else {
+      return Error{ErrorCode::BadData, "unknown fault spec key: " + key,
+                   text};
+    }
+  }
+  return spec;
+}
+
+bool FaultInjector::roll(double p) noexcept {
+  if (p <= 0.0) return false;
+  // 53-bit uniform in [0, 1), the usual double construction.
+  const double u =
+      static_cast<double>(splitmix64(state_) >> 11) * 0x1.0p-53;
+  return u < p;
+}
+
+std::uint64_t FaultInjector::uniform(std::uint64_t n) noexcept {
+  if (n == 0) return 0;
+  return splitmix64(state_) % n;
+}
+
+std::size_t FaultInjector::clamp_read(std::size_t want) noexcept {
+  if (want == 0 || !roll(spec_.short_read)) return want;
+  return std::min<std::size_t>(want, 1 + uniform(8));
+}
+
+std::size_t FaultInjector::clamp_write(std::size_t want) noexcept {
+  if (want == 0 || !roll(spec_.short_write)) return want;
+  return std::min<std::size_t>(want, 1 + uniform(8));
+}
+
+FaultInjector* process_faults() {
+  static FaultInjector* injector = []() -> FaultInjector* {
+    const char* env = std::getenv("HPCP_SERVE_FAULTS");
+    if (env == nullptr || *env == '\0') return nullptr;
+    auto spec = parse_fault_spec(env);
+    if (!spec) {
+      std::fprintf(stderr, "HPCP_SERVE_FAULTS ignored: %s\n",
+                   spec.error().to_string().c_str());
+      return nullptr;
+    }
+    if (!spec->enabled()) return nullptr;
+    static FaultInjector instance(*spec);
+    return &instance;
+  }();
+  return injector;
+}
+
+std::function<std::uint64_t()> make_skipping_clock(FaultInjector* injector,
+                                                   std::uint64_t start_ms) {
+  return [injector, t = start_ms]() mutable {
+    t += 1;  // monotonic, independent of wall time
+    if (injector != nullptr && injector->roll(injector->spec().clock_skip)) {
+      t += injector->spec().clock_skip_ms;
+    }
+    return t;
+  };
+}
+
+ChaosStreambuf::ChaosStreambuf(std::streambuf* source,
+                               FaultInjector* injector)
+    : source_(source), injector_(injector) {
+  setg(buf_, buf_, buf_);
+}
+
+ChaosStreambuf::int_type ChaosStreambuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  // Queued garbage bytes are delivered before touching the source again.
+  if (!pending_.empty()) {
+    const std::size_t n = std::min(pending_.size(), sizeof(buf_));
+    std::memcpy(buf_, pending_.data(), n);
+    pending_.erase(0, n);
+    at_line_start_ = buf_[n - 1] == '\n';
+    setg(buf_, buf_, buf_ + n);
+    return traits_type::to_int_type(buf_[0]);
+  }
+  if (disconnected_) return traits_type::eof();
+  const bool active = injector_ != nullptr && injector_->enabled();
+  if (active && at_line_start_ && injector_->roll(injector_->spec().garbage)) {
+    pending_ = garbage_frame(injector_->uniform(7));
+    ++garbage_frames_;
+    return underflow();
+  }
+  // Decide the read size before consuming the source, so a short read
+  // never swallows bytes it does not deliver.
+  std::size_t want = sizeof(buf_);
+  if (active) want = injector_->clamp_read(want);
+  const std::streamsize n =
+      source_->sgetn(buf_, static_cast<std::streamsize>(want));
+  if (n <= 0) return traits_type::eof();
+  std::size_t deliver = static_cast<std::size_t>(n);
+  if (active && injector_->read_disconnects()) {
+    // The peer vanishes mid-line: an arbitrary prefix arrives, then EOF
+    // forever. Bytes past the cut are gone, exactly like a real RST.
+    disconnected_ = true;
+    deliver = static_cast<std::size_t>(injector_->uniform(deliver));
+    if (deliver == 0) return traits_type::eof();
+  }
+  at_line_start_ = buf_[deliver - 1] == '\n';
+  setg(buf_, buf_, buf_ + deliver);
+  return traits_type::to_int_type(buf_[0]);
+}
+
+}  // namespace hpcp::serve

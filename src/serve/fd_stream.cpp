@@ -1,0 +1,135 @@
+#include "src/serve/fd_stream.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hpcp::serve {
+
+FdStreambuf::FdStreambuf(int fd) : FdStreambuf(fd, Options{}) {}
+
+FdStreambuf::FdStreambuf(int fd, Options opts) : fd_(fd), opts_(opts) {
+  setg(in_.data(), in_.data(), in_.data());
+  setp(out_.data(), out_.data() + out_.size());
+}
+
+FdStreambuf::~FdStreambuf() { sync(); }
+
+void FdStreambuf::end(EndReason reason) noexcept {
+  // First reason wins: a write error after a read timeout is a symptom,
+  // not the cause.
+  if (reason_ == EndReason::kNone) {
+    reason_ = reason;
+    errno_ = (reason == EndReason::kError) ? errno : 0;
+  }
+}
+
+const char* FdStreambuf::end_reason_name() const noexcept {
+  switch (reason_) {
+    case EndReason::kNone: return "open";
+    case EndReason::kEof: return "eof";
+    case EndReason::kTimeout: return "timeout";
+    case EndReason::kInjected: return "injected-disconnect";
+    case EndReason::kError: break;
+  }
+  return errno_ == EPIPE        ? "epipe"
+         : errno_ == ECONNRESET ? "econnreset"
+                                : "error";
+}
+
+bool FdStreambuf::wait_ready(short events, int timeout_ms) {
+  if (timeout_ms < 0) return true;  // blocking mode: let the syscall wait
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = events;
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc == 0) {
+    end(EndReason::kTimeout);
+    return false;
+  }
+  if (rc < 0) {
+    end(EndReason::kError);
+    return false;
+  }
+  return true;
+}
+
+FdStreambuf::int_type FdStreambuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  if (reason_ != EndReason::kNone) return traits_type::eof();
+  if (!wait_ready(POLLIN, opts_.read_timeout_ms)) return traits_type::eof();
+  std::size_t want = in_.size();
+  if (opts_.faults != nullptr && opts_.faults->enabled()) {
+    if (opts_.faults->read_disconnects()) {
+      end(EndReason::kInjected);
+      return traits_type::eof();
+    }
+    want = opts_.faults->clamp_read(want);
+  }
+  ssize_t n;
+  do {
+    n = ::read(fd_, in_.data(), want);
+  } while (n < 0 && errno == EINTR);
+  if (n == 0) {
+    end(EndReason::kEof);
+    return traits_type::eof();
+  }
+  if (n < 0) {
+    end(EndReason::kError);
+    return traits_type::eof();
+  }
+  setg(in_.data(), in_.data(), in_.data() + n);
+  return traits_type::to_int_type(*gptr());
+}
+
+FdStreambuf::int_type FdStreambuf::overflow(int_type ch) {
+  if (flush_out() != 0) return traits_type::eof();
+  if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+    *pptr() = traits_type::to_char_type(ch);
+    pbump(1);
+  }
+  return traits_type::not_eof(ch);
+}
+
+int FdStreambuf::sync() { return flush_out(); }
+
+int FdStreambuf::flush_out() {
+  const char* p = pbase();
+  while (p < pptr()) {
+    if (reason_ != EndReason::kNone) return -1;
+    if (!wait_ready(POLLOUT, opts_.write_timeout_ms)) return -1;
+    std::size_t len = static_cast<std::size_t>(pptr() - p);
+    if (opts_.faults != nullptr && opts_.faults->enabled()) {
+      if (opts_.faults->write_fails()) {
+        errno = EPIPE;
+        end(EndReason::kInjected);
+        return -1;
+      }
+      len = opts_.faults->clamp_write(len);
+    }
+    // MSG_NOSIGNAL: a peer that already closed produces EPIPE on *our*
+    // return path instead of delivering SIGPIPE to the process. Non-socket
+    // fds (stdio chaos runs, tests over pipes) fall back to write(),
+    // which is why run_tcp_server / the CLI also ignore SIGPIPE.
+    ssize_t n;
+    do {
+      n = ::send(fd_, p, len, MSG_NOSIGNAL);
+      if (n < 0 && errno == ENOTSOCK) n = ::write(fd_, p, len);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) {
+      end(EndReason::kError);
+      return -1;
+    }
+    p += n;
+  }
+  setp(out_.data(), out_.data() + out_.size());
+  return 0;
+}
+
+}  // namespace hpcp::serve

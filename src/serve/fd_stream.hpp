@@ -1,0 +1,84 @@
+#pragma once
+
+#include <array>
+#include <streambuf>
+
+#include "src/serve/faults.hpp"
+
+/// \file fd_stream.hpp (serve)
+/// A std::streambuf over a connected socket (or pipe) fd that survives the
+/// client misbehaving. The seed version of this class lived inside tcp.cpp
+/// and assumed a well-behaved peer; this one is the serving path's actual
+/// trust boundary:
+///   - reads and writes go through poll() with configurable timeouts, so a
+///     slow-loris client (connects, then trickles or sends nothing) cannot
+///     pin the daemon on a blocking syscall forever;
+///   - writes use send(MSG_NOSIGNAL) where possible, so a peer that
+///     disconnected mid-response yields EPIPE on the return path instead
+///     of a process-killing SIGPIPE (run_tcp_server additionally ignores
+///     SIGPIPE for the non-socket fallback path);
+///   - the reason the stream ended (EOF / timeout / error + errno) is
+///     recorded, so the connection lifecycle log can say *why* a session
+///     closed instead of treating every close as success;
+///   - an optional FaultInjector clamps reads/writes and forces
+///     disconnects at the syscall layer, which is how the chaos harness
+///     reaches this code without a misbehaving kernel.
+///
+/// in_avail() reports only already-buffered bytes, which Server::run keys
+/// its micro-batch flushing on: a quiet interactive client flushes
+/// immediately, a burst batches.
+
+namespace hpcp::serve {
+
+class FdStreambuf final : public std::streambuf {
+ public:
+  struct Options {
+    /// Max milliseconds to wait for the peer on one read / one write;
+    /// -1 blocks forever (the seed behaviour).
+    int read_timeout_ms = -1;
+    int write_timeout_ms = -1;
+    /// Chaos hook; nullptr in production.
+    FaultInjector* faults = nullptr;
+  };
+
+  /// Why the session over this fd ended, for the lifecycle log line.
+  enum class EndReason {
+    kNone,     ///< still healthy
+    kEof,      ///< orderly close by the peer
+    kTimeout,  ///< peer exceeded a read/write deadline
+    kError,    ///< syscall failure (EPIPE, ECONNRESET, ...) — see last_errno
+    kInjected  ///< a FaultInjector forced the disconnect
+  };
+
+  explicit FdStreambuf(int fd);
+  FdStreambuf(int fd, Options opts);
+  FdStreambuf(const FdStreambuf&) = delete;
+  FdStreambuf& operator=(const FdStreambuf&) = delete;
+  ~FdStreambuf() override;
+
+  [[nodiscard]] EndReason end_reason() const noexcept { return reason_; }
+  [[nodiscard]] int last_errno() const noexcept { return errno_; }
+  /// Human-readable end reason ("eof", "timeout", "error: Broken pipe").
+  [[nodiscard]] const char* end_reason_name() const noexcept;
+
+ protected:
+  int_type underflow() override;
+  int_type overflow(int_type ch) override;
+  int sync() override;
+
+ private:
+  int flush_out();
+  /// poll() for `events` within the timeout; false on timeout/error (and
+  /// records the reason). EINTR retries.
+  bool wait_ready(short events, int timeout_ms);
+  void end(EndReason reason) noexcept;
+
+  int fd_;
+  Options opts_;
+  EndReason reason_ = EndReason::kNone;
+  int errno_ = 0;
+  std::array<char, 8192> in_{};
+  std::array<char, 8192> out_{};
+};
+
+}  // namespace hpcp::serve

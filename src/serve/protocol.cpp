@@ -112,6 +112,10 @@ bool parse_request(const std::string& line, Request* out, ErrorInfo* err) {
     out->cmd = Request::Cmd::kPing;
     return true;
   }
+  if (cmd == "health") {
+    out->cmd = Request::Cmd::kHealth;
+    return true;
+  }
   if (cmd == "reload") {
     out->cmd = Request::Cmd::kReload;
     if (doc.contains("model")) {
@@ -173,6 +177,10 @@ std::string render_error(const std::string& id_json,
   out += obs::json_quote(err.code);
   out += ",\"message\":";
   out += obs::json_quote(err.message);
+  if (err.retry_after_ms > 0) {
+    out += ",\"retry_after_ms\":";
+    out += std::to_string(err.retry_after_ms);
+  }
   out += "}}";
   return out;
 }

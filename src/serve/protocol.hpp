@@ -15,6 +15,7 @@
 /// Requests:
 ///   {"id":"q1","params":[256,8,0.1],"scales":[64,256]}   predict (default)
 ///   {"cmd":"ping"}                                        liveness probe
+///   {"cmd":"health"}                                      readiness probe
 ///   {"cmd":"reload"} / {"cmd":"reload","model":"m.txt"}   hot model reload
 ///   {"cmd":"stats"}                                       serving counters
 ///   {"cmd":"shutdown"}                                    stop the server
@@ -30,12 +31,21 @@
 
 namespace hpcp::serve {
 
-/// Protocol schema marker, reported by ping/stats responses.
+/// Protocol schema marker, reported by ping/health/stats responses.
 inline constexpr const char* kProtocolSchema = "hpcp-serve/1";
+
+/// Resilience-layer error codes (beyond "bad-request"/"unknown-cmd" and
+/// the ErrorCode names). Responses carrying one of these are *degraded*
+/// responses: they are the server protecting itself, not a function of
+/// the request alone, so the byte-identity contract exempts them.
+inline constexpr const char* kErrTooLarge = "too-large";      ///< line > --max-line-bytes
+inline constexpr const char* kErrOverloaded = "overloaded";   ///< queue full, request shed
+inline constexpr const char* kErrDegraded = "degraded";       ///< cache-only mode, miss rejected
+inline constexpr const char* kErrDeadline = "deadline";       ///< request deadline expired
 
 /// One parsed request line.
 struct Request {
-  enum class Cmd { kPredict, kPing, kReload, kStats, kShutdown };
+  enum class Cmd { kPredict, kPing, kHealth, kReload, kStats, kShutdown };
 
   Cmd cmd = Cmd::kPredict;
   /// The client's `id`, already rendered as a JSON token ("\"q1\"" or
@@ -52,6 +62,9 @@ struct Request {
 struct ErrorInfo {
   std::string code;
   std::string message;
+  /// Retry-After hint in milliseconds, rendered as "retry_after_ms" inside
+  /// the error object when non-zero (overloaded / degraded responses).
+  std::uint64_t retry_after_ms = 0;
 };
 
 /// Parses one request line. On success fills `out` and returns true; on a

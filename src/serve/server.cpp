@@ -1,6 +1,7 @@
 #include "src/serve/server.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -23,6 +24,39 @@ bool is_blank(const std::string& line) {
   });
 }
 
+/// Outcome of one bounded line read.
+enum class LineRead {
+  kLine,    ///< a complete line (or final unterminated line) was read
+  kEof,     ///< end of stream, nothing read
+  kTooLong  ///< the line exceeded the bound; its remainder was discarded
+};
+
+/// getline with a hard byte bound: a line longer than `max` is *discarded*
+/// (consumed up to its newline so the stream stays line-aligned) instead
+/// of being buffered without limit — one hostile client must not be able
+/// to balloon the daemon's memory.
+LineRead read_line_bounded(std::istream& in, std::string* line,
+                           std::size_t max) {
+  line->clear();
+  std::streambuf* buf = in.rdbuf();
+  constexpr int kEofCh = std::char_traits<char>::eof();
+  for (;;) {
+    const int c = buf->sbumpc();
+    if (c == kEofCh) {
+      in.setstate(std::ios::eofbit);
+      return line->empty() ? LineRead::kEof : LineRead::kLine;
+    }
+    if (c == '\n') return LineRead::kLine;
+    if (line->size() >= max) {
+      int d = c;
+      while (d != kEofCh && d != '\n') d = buf->sbumpc();
+      if (d == kEofCh) in.setstate(std::ios::eofbit);
+      return LineRead::kTooLong;
+    }
+    line->push_back(static_cast<char>(c));
+  }
+}
+
 }  // namespace
 
 std::atomic<bool>& reload_flag() noexcept {
@@ -31,12 +65,28 @@ std::atomic<bool>& reload_flag() noexcept {
 }
 
 Server::Server(ServeOptions opts)
-    : opts_(opts), cache_(opts.cache_entries, opts.cache_shards) {
+    : opts_(std::move(opts)), cache_(opts_.cache_entries, opts_.cache_shards) {
   if (opts_.batch_max == 0) opts_.batch_max = 1;
+  if (opts_.max_pending == 0) opts_.max_pending = 1;
+  if (opts_.max_line_bytes == 0) opts_.max_line_bytes = 1;
   if (opts_.threads >= 1) {
     own_pool_ = std::make_unique<ThreadPool>(opts_.threads, "serve-worker");
     pool_ = own_pool_.get();
   }
+}
+
+std::uint64_t Server::now_ms() const {
+  if (opts_.clock_ms) return opts_.clock_ms();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool Server::degraded() const noexcept {
+  return degraded_saturated_ ||
+         (opts_.degraded_reload_streak > 0 &&
+          reload_failure_streak_ >= opts_.degraded_reload_streak);
 }
 
 std::shared_ptr<const Server::Snapshot> Server::snapshot() const {
@@ -73,6 +123,48 @@ Expected<void> Server::load_model_file(const std::string& path) {
   return {};
 }
 
+Expected<void> Server::try_reload(const std::string& path) {
+  auto result = load_model_file(path);
+  if (result) {
+    reload_failure_streak_ = 0;
+    reload_backoff_ms_ = 0;
+    reload_retry_pending_ = false;
+    obs::gauge_set("serve.reload_backoff_ms", 0.0);
+  } else {
+    ++reload_failure_streak_;
+    // Capped exponential backoff: a torn archive or unavailable path is
+    // retried at 1s, 2s, 4s, ... up to the cap, instead of being dropped
+    // on the floor after one attempt. The old model serves throughout.
+    reload_backoff_ms_ =
+        reload_backoff_ms_ == 0
+            ? opts_.reload_backoff_initial_ms
+            : std::min(opts_.reload_backoff_max_ms, reload_backoff_ms_ * 2);
+    reload_retry_at_ms_ = now_ms() + reload_backoff_ms_;
+    reload_retry_path_ = path;
+    reload_retry_pending_ = opts_.reload_backoff_initial_ms > 0;
+    obs::gauge_set("serve.reload_backoff_ms",
+                   static_cast<double>(reload_backoff_ms_));
+  }
+  obs::gauge_set("serve.degraded", degraded() ? 1.0 : 0.0);
+  return result;
+}
+
+void Server::poll_reloads() {
+  if (reload_flag().exchange(false)) {
+    const auto snap = snapshot();
+    if (snap && !snap->source_path.empty()) {
+      // SIGHUP reload is out-of-band: it produces no response line, so
+      // replayed request streams stay aligned with their responses.
+      (void)try_reload(snap->source_path);
+    }
+    return;
+  }
+  if (reload_retry_pending_ && now_ms() >= reload_retry_at_ms_) {
+    obs::count("serve.reload_retries");
+    (void)try_reload(reload_retry_path_);
+  }
+}
+
 void Server::set_model(TwoLevelModel model, std::string source_path) {
   Snapshot snap;
   snap.version = model_version() + 1;
@@ -101,6 +193,39 @@ std::optional<Request> Server::enqueue(const std::string& line,
   if (pending.req.cmd != Request::Cmd::kPredict) {
     return std::move(pending.req);
   }
+  // Admission control: more admitted-but-unanswered requests than
+  // max_pending means the client is pipelining faster than we drain;
+  // shed the overflow *now* with a typed hint instead of queueing
+  // without bound. Shed responses still occupy their slot in the
+  // response order.
+  const std::size_t admitted = static_cast<std::size_t>(
+      std::count_if(batch->begin(), batch->end(),
+                    [](const Pending& p) { return p.admitted; }));
+  if (admitted >= opts_.max_pending) {
+    ++sheds_;
+    ++shed_streak_;
+    obs::count("serve.shed");
+    if (opts_.degraded_shed_streak > 0 && !degraded_saturated_ &&
+        shed_streak_ >= opts_.degraded_shed_streak) {
+      degraded_saturated_ = true;
+      obs::count("serve.degraded_entries");
+      obs::gauge_set("serve.degraded", 1.0);
+    }
+    pending.response = render_error(
+        pending.req.id_json, model_version(),
+        {kErrOverloaded,
+         "request queue full (max_pending=" +
+             std::to_string(opts_.max_pending) + "), request shed",
+         opts_.retry_after_ms});
+  } else {
+    shed_streak_ = 0;
+    if (degraded_saturated_) {
+      degraded_saturated_ = false;
+      obs::gauge_set("serve.degraded", degraded() ? 1.0 : 0.0);
+    }
+    pending.admitted = true;
+    if (opts_.request_deadline_ms > 0) pending.arrival_ms = now_ms();
+  }
   batch->push_back(std::move(pending));
   return std::nullopt;
 }
@@ -113,6 +238,9 @@ void Server::flush(std::vector<Pending>* batch, std::ostream& out) {
 
   const auto snap = snapshot();
   const std::uint64_t version = snap ? snap->version : 0;
+  const bool cache_only = degraded();
+  const std::uint64_t flush_now =
+      opts_.request_deadline_ms > 0 ? now_ms() : 0;
 
   // Resolve every request to either a rendered error, a full cache hit,
   // or a row of the batched compute. All serially, in request order, so
@@ -127,6 +255,20 @@ void Server::flush(std::vector<Pending>* batch, std::ostream& out) {
   for (std::size_t i = 0; i < batch->size(); ++i) {
     Pending& p = (*batch)[i];
     if (is_rendered(p.response)) continue;
+    if (opts_.request_deadline_ms > 0 &&
+        flush_now >= p.arrival_ms + opts_.request_deadline_ms) {
+      // The answer would arrive after the client stopped caring; say so
+      // explicitly instead of spending compute on it.
+      ++deadline_expired_;
+      obs::count("serve.deadline_expired");
+      p.response = render_error(
+          p.req.id_json, version,
+          {kErrDeadline,
+           "request deadline (" +
+               std::to_string(opts_.request_deadline_ms) +
+               "ms) expired before the response was produced"});
+      continue;
+    }
     if (!snap) {
       p.response = render_error(
           p.req.id_json, version,
@@ -157,6 +299,17 @@ void Server::flush(std::vector<Pending>* batch, std::ostream& out) {
     }
     if (all_hit) {
       obs::count("serve.cache_hit");
+    } else if (cache_only) {
+      // Degraded cache-only mode: hits above were served from the live
+      // cache; a miss would need the compute path we are protecting, so
+      // it gets a typed rejection with a retry hint.
+      ++degraded_rejects_;
+      obs::count("serve.degraded_rejects");
+      p.response = render_error(
+          p.req.id_json, version,
+          {kErrDegraded,
+           "server is in degraded cache-only mode; prediction not cached",
+           opts_.retry_after_ms});
     } else {
       obs::count("serve.cache_miss");
       slot.compute = true;
@@ -236,6 +389,37 @@ std::string Server::handle_control(const Request& req) {
       out += '}';
       return out;
     }
+    case Request::Cmd::kHealth: {
+      // The readiness probe a load balancer or watchdog polls: liveness
+      // plus *mode*. "ok" serves everything, "degraded" serves cache hits
+      // only, "unavailable" has no model at all.
+      const auto snap = snapshot();
+      const char* status =
+          !snap ? "unavailable" : (degraded() ? "degraded" : "ok");
+      std::string out = prefix("health");
+      out += ",\"schema\":\"";
+      out += kProtocolSchema;
+      out += "\",\"model_version\":";
+      out += std::to_string(version);
+      out += ",\"status\":\"";
+      out += status;
+      out += "\",\"max_pending\":";
+      out += std::to_string(opts_.max_pending);
+      out += ",\"shed\":";
+      out += std::to_string(sheds_);
+      out += ",\"too_large\":";
+      out += std::to_string(too_large_);
+      out += ",\"deadline_expired\":";
+      out += std::to_string(deadline_expired_);
+      out += ",\"reload_failure_streak\":";
+      out += std::to_string(reload_failure_streak_);
+      if (!snap || degraded()) {
+        out += ",\"retry_after_ms\":";
+        out += std::to_string(opts_.retry_after_ms);
+      }
+      out += '}';
+      return out;
+    }
     case Request::Cmd::kReload: {
       const obs::Span span("serve.cmd_reload");
       std::string path = req.model_path;
@@ -247,10 +431,11 @@ std::string Server::handle_control(const Request& req) {
         return render_error(req.id_json, version,
                             {"bad-request", "no model path to reload"});
       }
-      const auto result = load_model_file(path);
+      const auto result = try_reload(path);
       if (!result) {
         // The old snapshot is untouched: requests keep being answered by
-        // the model that was live before the failed reload.
+        // the model that was live before the failed reload, and
+        // poll_reloads retries on the backoff schedule.
         return render_error(req.id_json, version,
                             {error_code_name(result.error().code),
                              result.error().to_string()});
@@ -299,28 +484,39 @@ bool Server::run(std::istream& in, std::ostream& out) {
   std::vector<Pending> batch;
   std::string line;
   for (;;) {
-    if (reload_flag().exchange(false)) {
-      const auto snap = snapshot();
-      if (snap && !snap->source_path.empty()) {
-        // SIGHUP reload is out-of-band: it produces no response line, so
-        // replayed request streams stay aligned with their responses.
-        (void)load_model_file(snap->source_path);
+    poll_reloads();
+    const LineRead status =
+        read_line_bounded(in, &line, opts_.max_line_bytes);
+    if (status == LineRead::kEof) break;
+    if (status == LineRead::kTooLong) {
+      ++too_large_;
+      obs::count("serve.too_large");
+      Pending pending;
+      pending.response = render_error(
+          "", model_version(),
+          {kErrTooLarge,
+           "request line exceeds max_line_bytes=" +
+               std::to_string(opts_.max_line_bytes) + "; line discarded"});
+      batch.push_back(std::move(pending));
+    } else {
+      if (is_blank(line)) continue;
+      auto control = enqueue(line, &batch);
+      if (control.has_value()) {
+        flush(&batch, out);
+        out << handle_control(*control) << '\n';
+        out.flush();
+        if (control->cmd == Request::Cmd::kShutdown) return true;
+        if (!out) return false;
+        continue;
       }
-    }
-    if (!std::getline(in, line)) break;
-    if (is_blank(line)) continue;
-    auto control = enqueue(line, &batch);
-    if (control.has_value()) {
-      flush(&batch, out);
-      out << handle_control(*control) << '\n';
-      out.flush();
-      if (control->cmd == Request::Cmd::kShutdown) return true;
-      continue;
     }
     // Flush when the batch is full, or as soon as the input would block —
     // an interactive client gets its answer now, a replayed burst batches.
     if (batch.size() >= opts_.batch_max || in.rdbuf()->in_avail() <= 0) {
       flush(&batch, out);
+      // A dead output stream means the client is gone (EPIPE, timeout):
+      // stop spending compute on responses nobody will read.
+      if (!out) return false;
     }
   }
   flush(&batch, out);
@@ -328,6 +524,15 @@ bool Server::run(std::istream& in, std::ostream& out) {
 }
 
 std::string Server::handle_line(const std::string& line) {
+  if (line.size() > opts_.max_line_bytes) {
+    ++too_large_;
+    obs::count("serve.too_large");
+    return render_error(
+        "", model_version(),
+        {kErrTooLarge,
+         "request line exceeds max_line_bytes=" +
+             std::to_string(opts_.max_line_bytes) + "; line discarded"});
+  }
   if (is_blank(line)) return "";
   std::vector<Pending> batch;
   auto control = enqueue(line, &batch);

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
@@ -22,25 +23,52 @@
 /// model archive once, then answers `hpcp-serve/1` request lines
 /// (protocol.hpp) until EOF or a shutdown command.
 ///
-/// Request flow: lines are micro-batched (up to `batch_max`, flushed early
-/// whenever the input would block so interactive clients never wait on a
-/// timer), each batch resolves cache hits, runs the misses through one
-/// batched InterpolationLevel::predict_curves call, fans the per-row
+/// Request flow: lines are read with a hard byte bound (an over-long line
+/// is discarded and answered with a typed "too-large" error, never
+/// buffered without limit), micro-batched (up to `batch_max`, flushed
+/// early whenever the input would block so interactive clients never wait
+/// on a timer), each batch resolves cache hits, runs the misses through
+/// one batched InterpolationLevel::predict_curves call, fans the per-row
 /// level-2 evaluation out over the worker pool, then renders responses
 /// serially in request order.
 ///
-/// Determinism contract: the response byte stream is identical for any
-/// worker count and any cache configuration — per-row predictions are
-/// independent of batch composition, cached values are the exact doubles
-/// the batched path produced, rendering is canonical (jsonlite writers),
-/// and all merges/inserts happen serially in request order.
+/// Failure model (DESIGN.md "Failure model & degraded modes"):
+///   - Admission control: at most `max_pending` admitted-but-unanswered
+///     predict requests; overflow is shed immediately with a typed
+///     "overloaded" error carrying a retry_after_ms hint. Shedding is a
+///     pure function of the request stream and options, so it is as
+///     replayable as everything else.
+///   - Deadlines: with `request_deadline_ms` set, a request still
+///     unanswered when its deadline passes is answered with a typed
+///     "deadline" error instead of stale data. The clock is injectable
+///     (`clock_ms`) so deadline behaviour is testable without wall time.
+///   - Degraded cache-only mode: entered when reloads keep failing
+///     (`degraded_reload_streak` consecutive failures) or admission stays
+///     saturated (`degraded_shed_streak` consecutive sheds). While
+///     degraded, cache hits are served normally and misses get a typed
+///     "degraded" error; a successful reload or relieved queue exits the
+///     mode. {"cmd":"health"} reports the current mode and counters.
+///   - Reload retry: a failed reload (SIGHUP or {"cmd":"reload"}) is
+///     retried with capped exponential backoff
+///     (`reload_backoff_initial_ms` doubling up to
+///     `reload_backoff_max_ms`) instead of being dropped; the old model
+///     keeps serving throughout.
+///
+/// Determinism contract: the *non-degraded* response byte stream is
+/// identical for any worker count and any cache configuration — per-row
+/// predictions are independent of batch composition, cached values are the
+/// exact doubles the batched path produced, rendering is canonical
+/// (jsonlite writers), and all merges/inserts happen serially in request
+/// order. Degraded responses (overloaded / degraded / deadline /
+/// too-large) depend on the resilience options and injected clock by
+/// design and are exempt.
 ///
 /// Hot reload: SIGHUP (via reload_flag()) or {"cmd":"reload"} swaps in a
-/// freshly loaded snapshot atomically — in-flight batches finished on the
+/// freshly loaded snapshot atomically — in-flight batches finish on the
 /// old shared_ptr snapshot, so no request ever sees a torn model — bumps
 /// the advertised model_version, and clears the prediction cache. A failed
-/// reload (missing/corrupt archive) reports a typed error and leaves the
-/// old model serving.
+/// reload (missing/corrupt/torn archive) reports a typed error, leaves the
+/// old model serving, and schedules a backoff retry.
 
 namespace hpcp::serve {
 
@@ -49,13 +77,40 @@ struct ServeOptions {
   /// pool; N >= 1 builds a dedicated pool of that size (workers register
   /// as `serve-worker-<i>` in traces).
   std::size_t threads = 0;
-  /// Micro-batch bound: at most this many predict requests are grouped
-  /// into one batched inference call.
+  /// Micro-batch bound: at most this many request lines (admitted or
+  /// already rendered) are grouped before a flush.
   std::size_t batch_max = 32;
   /// Prediction-cache capacity in entries ((params, scale) pairs);
   /// 0 disables caching.
   std::size_t cache_entries = 4096;
   std::size_t cache_shards = 8;
+
+  /// Hard bound on one request line; longer lines are discarded and
+  /// answered with a typed "too-large" error (default 1 MiB).
+  std::size_t max_line_bytes = 1 << 20;
+  /// Admission bound: max admitted-but-unanswered predict requests. A
+  /// request arriving above the bound is shed with "overloaded". The
+  /// effective in-flight bound is min(batch_max, max_pending) because a
+  /// flush drains the queue; the default never sheds in normal operation.
+  std::size_t max_pending = 256;
+  /// Retry-After hint attached to overloaded/degraded responses.
+  std::uint64_t retry_after_ms = 50;
+  /// Per-request deadline in milliseconds; 0 disables (default). Checked
+  /// at flush time against the injectable clock.
+  std::uint64_t request_deadline_ms = 0;
+  /// Consecutive reload failures that flip the server into degraded
+  /// cache-only mode.
+  std::size_t degraded_reload_streak = 3;
+  /// Consecutive shed admissions that flip the server into degraded
+  /// cache-only mode (relieved as soon as an admission succeeds).
+  std::size_t degraded_shed_streak = 1024;
+  /// Backoff schedule for automatic reload retries after a failure:
+  /// initial, then doubling, capped.
+  std::uint64_t reload_backoff_initial_ms = 1000;
+  std::uint64_t reload_backoff_max_ms = 30000;
+  /// Monotonic millisecond clock; unset = std::chrono::steady_clock. The
+  /// chaos harness injects a deterministic skipping clock here.
+  std::function<std::uint64_t()> clock_ms;
 };
 
 /// Process-wide asynchronous reload request, safe to set from a SIGHUP
@@ -79,9 +134,10 @@ class Server {
   /// 0 until the first successful load; bumped by every successful reload.
   [[nodiscard]] std::uint64_t model_version() const;
 
-  /// Serves request lines from `in` until EOF or {"cmd":"shutdown"};
-  /// responses go to `out`, one line per request, in request order.
-  /// Returns true iff a shutdown command ended the loop.
+  /// Serves request lines from `in` until EOF, a dead output stream (the
+  /// client vanished), or {"cmd":"shutdown"}; responses go to `out`, one
+  /// line per request, in request order. Returns true iff a shutdown
+  /// command ended the loop.
   bool run(std::istream& in, std::ostream& out);
 
   /// Processes exactly one request line (a batch of one) and returns its
@@ -100,6 +156,24 @@ class Server {
     return requests_served_;
   }
 
+  /// Currently in degraded cache-only mode (reload failures or admission
+  /// saturation)?
+  [[nodiscard]] bool degraded() const noexcept;
+  /// Consecutive failed reloads since the last success.
+  [[nodiscard]] std::uint64_t reload_failure_streak() const noexcept {
+    return reload_failure_streak_;
+  }
+  /// Requests shed by admission control since start.
+  [[nodiscard]] std::uint64_t sheds() const noexcept { return sheds_; }
+  /// Over-long lines rejected since start.
+  [[nodiscard]] std::uint64_t too_large_rejects() const noexcept {
+    return too_large_;
+  }
+  /// Requests answered with a "deadline" error since start.
+  [[nodiscard]] std::uint64_t deadline_rejects() const noexcept {
+    return deadline_expired_;
+  }
+
  private:
   /// Immutable view of one loaded model; swapped wholesale on reload.
   struct Snapshot {
@@ -113,22 +187,34 @@ class Server {
   /// One request line waiting in the current micro-batch.
   struct Pending {
     Request req;
-    std::string response;  ///< pre-rendered (parse error) when non-empty
+    std::string response;  ///< pre-rendered (parse error, shed) when non-empty
+    bool admitted = false;  ///< occupies an admission slot
+    std::uint64_t arrival_ms = 0;  ///< set when deadlines are enabled
     obs::Stopwatch watch;  ///< started when the line was read
   };
 
   [[nodiscard]] std::shared_ptr<const Snapshot> snapshot() const;
   void install(Snapshot snap);
 
+  /// Monotonic milliseconds from opts_.clock_ms or steady_clock.
+  [[nodiscard]] std::uint64_t now_ms() const;
+
+  /// Reload `path`, tracking the failure streak and scheduling a capped
+  /// exponential backoff retry on failure.
+  Expected<void> try_reload(const std::string& path);
+  /// SIGHUP flag and due backoff retries; called between batches.
+  void poll_reloads();
+
   /// Parses a line into the batch, or returns the control request (ping /
-  /// reload / stats / shutdown) that must flush the batch first.
+  /// health / reload / stats / shutdown) that must flush the batch first.
+  /// Applies admission control to predict requests.
   [[nodiscard]] std::optional<Request> enqueue(
       const std::string& line, std::vector<Pending>* batch);
 
   /// Predicts + renders every pending request, in order.
   void flush(std::vector<Pending>* batch, std::ostream& out);
 
-  /// Ping / reload / stats / shutdown responses.
+  /// Ping / health / reload / stats / shutdown responses.
   [[nodiscard]] std::string handle_control(const Request& req);
 
   ServeOptions opts_;
@@ -140,6 +226,19 @@ class Server {
   std::shared_ptr<const Snapshot> snapshot_;
 
   std::uint64_t requests_served_ = 0;
+
+  // Resilience state (all touched only from the serving thread).
+  std::uint64_t reload_failure_streak_ = 0;
+  std::uint64_t reload_backoff_ms_ = 0;
+  std::uint64_t reload_retry_at_ms_ = 0;
+  std::string reload_retry_path_;
+  bool reload_retry_pending_ = false;
+  std::uint64_t shed_streak_ = 0;
+  bool degraded_saturated_ = false;
+  std::uint64_t sheds_ = 0;
+  std::uint64_t too_large_ = 0;
+  std::uint64_t deadline_expired_ = 0;
+  std::uint64_t degraded_rejects_ = 0;
 };
 
 }  // namespace hpcp::serve

@@ -4,74 +4,19 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <array>
 #include <cerrno>
+#include <csignal>
 #include <cstring>
 #include <istream>
 #include <ostream>
-#include <streambuf>
 #include <string>
+
+#include "src/obs/obs.hpp"
+#include "src/serve/fd_stream.hpp"
 
 namespace hpcp::serve {
 
 namespace {
-
-/// A std::streambuf over a connected socket fd, good for both reading and
-/// writing. in_avail() reports only already-buffered bytes, which is what
-/// Server::run keys its micro-batch flushing on: a quiet interactive
-/// client flushes immediately, a burst batches.
-class FdStreambuf final : public std::streambuf {
- public:
-  explicit FdStreambuf(int fd) : fd_(fd) {
-    setg(in_.data(), in_.data(), in_.data());
-    setp(out_.data(), out_.data() + out_.size());
-  }
-  FdStreambuf(const FdStreambuf&) = delete;
-  FdStreambuf& operator=(const FdStreambuf&) = delete;
-  ~FdStreambuf() override { sync(); }
-
- protected:
-  int_type underflow() override {
-    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
-    ssize_t n;
-    do {
-      n = ::read(fd_, in_.data(), in_.size());
-    } while (n < 0 && errno == EINTR);
-    if (n <= 0) return traits_type::eof();
-    setg(in_.data(), in_.data(), in_.data() + n);
-    return traits_type::to_int_type(*gptr());
-  }
-
-  int_type overflow(int_type ch) override {
-    if (flush_out() != 0) return traits_type::eof();
-    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
-      *pptr() = traits_type::to_char_type(ch);
-      pbump(1);
-    }
-    return traits_type::not_eof(ch);
-  }
-
-  int sync() override { return flush_out(); }
-
- private:
-  int flush_out() {
-    const char* p = pbase();
-    while (p < pptr()) {
-      ssize_t n;
-      do {
-        n = ::write(fd_, p, static_cast<std::size_t>(pptr() - p));
-      } while (n < 0 && errno == EINTR);
-      if (n <= 0) return -1;
-      p += n;
-    }
-    setp(out_.data(), out_.data() + out_.size());
-    return 0;
-  }
-
-  int fd_;
-  std::array<char, 8192> in_{};
-  std::array<char, 8192> out_{};
-};
 
 Error io_error(const std::string& what) {
   return Error{ErrorCode::Io, what + ": " + std::strerror(errno), {}};
@@ -80,7 +25,13 @@ Error io_error(const std::string& what) {
 }  // namespace
 
 Expected<void> run_tcp_server(Server& server, std::uint16_t port,
-                              std::ostream& log) {
+                              std::ostream& log, const TcpOptions& opts) {
+  // A client that disconnects while we are writing its response must be a
+  // recoverable EPIPE, not a fatal SIGPIPE. send(MSG_NOSIGNAL) covers the
+  // socket path; this covers any fallback write() and keeps the contract
+  // even if a future transport forgets the flag.
+  std::signal(SIGPIPE, SIG_IGN);
+
   const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listener < 0) return io_error("socket");
 
@@ -111,6 +62,9 @@ Expected<void> run_tcp_server(Server& server, std::uint16_t port,
     port = ntohs(bound.sin_port);
   }
   log << "serve: listening on 127.0.0.1:" << port << '\n' << std::flush;
+  if (opts.bound_port != nullptr) {
+    opts.bound_port->store(port, std::memory_order_release);
+  }
 
   bool shutdown = false;
   while (!shutdown) {
@@ -124,14 +78,29 @@ Expected<void> run_tcp_server(Server& server, std::uint16_t port,
       return err;
     }
     log << "serve: connection opened\n" << std::flush;
+    obs::count("serve.connections");
     {
-      FdStreambuf buf(conn);
+      FdStreambuf::Options fd_opts;
+      fd_opts.read_timeout_ms = opts.io_timeout_ms;
+      fd_opts.write_timeout_ms = opts.io_timeout_ms;
+      fd_opts.faults = opts.faults;
+      FdStreambuf buf(conn, fd_opts);
       std::istream in(&buf);
       std::ostream out(&buf);
       shutdown = server.run(in, out);
+      // Whatever ended the session — orderly EOF, a mid-line disconnect,
+      // a slow-client timeout, EPIPE halfway through a response — is a
+      // logged lifecycle event; the daemon itself is unharmed.
+      log << "serve: connection closed ("
+          << (shutdown ? "shutdown" : buf.end_reason_name()) << ")\n"
+          << std::flush;
+      if (buf.end_reason() == FdStreambuf::EndReason::kTimeout) {
+        obs::count("serve.connection_timeouts");
+      } else if (buf.end_reason() == FdStreambuf::EndReason::kError) {
+        obs::count("serve.connection_errors");
+      }
     }
     ::close(conn);
-    log << "serve: connection closed\n" << std::flush;
   }
   ::close(listener);
   log << "serve: shutdown\n" << std::flush;

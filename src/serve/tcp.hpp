@@ -1,30 +1,53 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 
 #include "src/common/error.hpp"
+#include "src/serve/faults.hpp"
 #include "src/serve/server.hpp"
 
 /// \file tcp.hpp (serve)
 /// Minimal POSIX TCP front-end for the prediction server: binds a
 /// listening socket on localhost, then serves connections one at a time —
 /// each connection is one `Server::run` session over a socket-backed
-/// stream, so the line protocol, batching, and determinism contract are
-/// identical to `--stdio` mode. A {"cmd":"shutdown"} on any connection
-/// stops the listener; a plain disconnect just moves on to the next
-/// accept. Sequential accept keeps responses totally ordered per
-/// connection and the server single-writer, which is what the bitwise
-/// determinism contract requires.
+/// stream (fd_stream.hpp), so the line protocol, batching, and determinism
+/// contract are identical to `--stdio` mode. A {"cmd":"shutdown"} on any
+/// connection stops the listener; every other way a connection can end —
+/// orderly EOF, a mid-line or mid-response disconnect, a read/write
+/// timeout, EPIPE from a vanished peer — is a logged lifecycle event
+/// followed by the next accept, never process death (SIGPIPE is ignored
+/// for the lifetime of the listener). Sequential accept keeps responses
+/// totally ordered per connection and the server single-writer, which is
+/// what the bitwise determinism contract requires.
 
 namespace hpcp::serve {
 
+/// Knobs for one listener, all optional.
+struct TcpOptions {
+  /// Per-read/per-write deadline against a slow or stalled client, in
+  /// milliseconds; <= 0 blocks forever (the seed behaviour). A timed-out
+  /// connection is closed and logged; the daemon moves on to the next
+  /// accept.
+  int io_timeout_ms = -1;
+  /// When non-null, receives the actually bound port once listening —
+  /// with port 0 the kernel picks one, and tests need to find it without
+  /// scraping the log stream.
+  std::atomic<std::uint16_t>* bound_port = nullptr;
+  /// Chaos hook applied to every connection's fd transport; nullptr in
+  /// production (the CLI wires process_faults() here under
+  /// HPCP_SERVE_FAULTS).
+  FaultInjector* faults = nullptr;
+};
+
 /// Listens on 127.0.0.1:`port` and serves connections until a client sends
 /// {"cmd":"shutdown"}. `log` receives one line per lifecycle event (bound
-/// port, connection open/close). Returns an Io error when the socket
-/// cannot be created or bound.
+/// port, connection open, connection close + reason). Returns an Io error
+/// when the socket cannot be created or bound.
 [[nodiscard]] Expected<void> run_tcp_server(Server& server,
                                             std::uint16_t port,
-                                            std::ostream& log);
+                                            std::ostream& log,
+                                            const TcpOptions& opts = {});
 
 }  // namespace hpcp::serve

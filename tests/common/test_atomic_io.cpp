@@ -1,0 +1,129 @@
+/// atomic_write_file is the crash-safety primitive under every model
+/// archive: these tests pin the publish-or-nothing contract — a reader
+/// sees the complete old bytes or the complete new bytes, never a torn
+/// file, no matter how the writer dies — and that concurrent writers to
+/// one path cannot interleave.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <ios>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/io.hpp"
+
+namespace hpcp {
+namespace {
+
+std::string unique_path(const std::string& name) {
+  return ::testing::TempDir() + "/atomic_io_" + name;
+}
+
+std::string read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Any leftover ".tmp" siblings of `path` are a broken-cleanup bug.
+std::size_t count_scratch_files(const std::string& path) {
+  const std::filesystem::path target(path);
+  const std::string prefix = target.filename().string() + ".tmp";
+  std::size_t n = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(target.parent_path())) {
+    if (entry.path().filename().string().rfind(prefix, 0) == 0) ++n;
+  }
+  return n;
+}
+
+TEST(AtomicIo, WritesTheStreamedContent) {
+  const std::string path = unique_path("basic.txt");
+  const auto result = atomic_write_file(
+      path, [](std::ostream& out) { out << "hello\nworld\n"; });
+  ASSERT_TRUE(result.has_value()) << result.error().to_string();
+  EXPECT_EQ(read_all(path), "hello\nworld\n");
+  EXPECT_EQ(count_scratch_files(path), 0u);
+}
+
+TEST(AtomicIo, OverwriteReplacesWholesale) {
+  const std::string path = unique_path("overwrite.txt");
+  ASSERT_TRUE(atomic_write_file(
+      path, [](std::ostream& out) { out << std::string(4096, 'a'); }));
+  ASSERT_TRUE(atomic_write_file(
+      path, [](std::ostream& out) { out << "b"; }));
+  // The short new content fully replaces the long old content — a
+  // truncate-then-die writer would have left a prefix of 'a's.
+  EXPECT_EQ(read_all(path), "b");
+}
+
+TEST(AtomicIo, ThrowingWriterLeavesTheTargetUntouched) {
+  const std::string path = unique_path("crash.txt");
+  ASSERT_TRUE(atomic_write_file(
+      path, [](std::ostream& out) { out << "precious"; }));
+  // The writer dying mid-stream is the simulated crash: it had already
+  // emitted partial bytes when it threw.
+  EXPECT_THROW(
+      {
+        (void)atomic_write_file(path, [](std::ostream& out) {
+          out << "partial garbage";
+          throw std::runtime_error("writer crashed");
+        });
+      },
+      std::runtime_error);
+  EXPECT_EQ(read_all(path), "precious");
+  EXPECT_EQ(count_scratch_files(path), 0u);
+}
+
+TEST(AtomicIo, FailedStreamIsAnIoErrorAndTargetSurvives) {
+  const std::string path = unique_path("failbit.txt");
+  ASSERT_TRUE(atomic_write_file(
+      path, [](std::ostream& out) { out << "precious"; }));
+  const auto result = atomic_write_file(path, [](std::ostream& out) {
+    out << "partial";
+    out.setstate(std::ios::failbit);
+  });
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, ErrorCode::Io);
+  EXPECT_EQ(read_all(path), "precious");
+  EXPECT_EQ(count_scratch_files(path), 0u);
+}
+
+TEST(AtomicIo, UnwritableDirectoryIsAnIoError) {
+  const auto result = atomic_write_file(
+      "/nonexistent-dir-zzz/file.txt",
+      [](std::ostream& out) { out << "x"; });
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, ErrorCode::Io);
+}
+
+TEST(AtomicIo, ConcurrentWritersNeverInterleave) {
+  const std::string path = unique_path("race.txt");
+  // Distinct single-character payloads: any mixture of two writers would
+  // produce a file containing more than one character value.
+  constexpr int kWriters = 8;
+  constexpr std::size_t kSize = 64 * 1024;
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&path, w] {
+      const std::string payload(kSize, static_cast<char>('A' + w));
+      ASSERT_TRUE(atomic_write_file(
+          path, [&payload](std::ostream& out) { out << payload; }));
+    });
+  }
+  for (auto& t : threads) t.join();
+  const std::string final = read_all(path);
+  ASSERT_EQ(final.size(), kSize);
+  for (char c : final) ASSERT_EQ(c, final[0]);
+  EXPECT_EQ(count_scratch_files(path), 0u);
+}
+
+}  // namespace
+}  // namespace hpcp

@@ -1,0 +1,288 @@
+/// The deterministic chaos suite: hundreds of seeded fault scenarios
+/// driven through the full Server loop. The invariants under ANY fault
+/// schedule:
+///   1. the server never crashes or hangs (the suite finishing is the
+///      proof; tools/ci.sh additionally runs it under a watchdog),
+///   2. every line the transport actually delivered gets exactly one
+///      well-formed JSON response, in order,
+///   3. a delivered line that byte-matches a fault-free request gets the
+///      byte-identical fault-free response — unless it carries a
+///      degraded-class code (deadline scenarios), which is the documented
+///      exemption.
+/// Scenario = (fault shape, seed); a CI failure replays locally from
+/// those two values alone.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/experiment.hpp"
+#include "src/core/two_level_model.hpp"
+#include "src/obs/jsonlite.hpp"
+#include "src/serve/faults.hpp"
+#include "src/serve/server.hpp"
+
+namespace hpcp::serve {
+namespace {
+
+struct Fixture {
+  Experiment exp;
+  TwoLevelModel model;
+  std::string replay;                     ///< fault-free request stream
+  std::vector<std::string> request_lines;
+  /// request line -> fault-free response (pure function of the line and
+  /// model_version, so one map serves every scenario).
+  std::unordered_map<std::string, std::string> reference;
+};
+
+const Fixture& fixture() {
+  static const Fixture* f = [] {
+    auto* out = new Fixture;
+    ExperimentConfig cfg;
+    cfg.app_name = "minimd";
+    cfg.num_train = 60;
+    cfg.num_test = 8;
+    cfg.seed = 101;
+    out->exp = make_experiment(cfg);
+    Rng rng(2);
+    out->model.fit(out->exp.problem, rng);
+
+    const auto& test = out->exp.test;
+    for (std::size_t i = 0; i < 24; ++i) {
+      const auto row = test.configs.row(i % test.size());
+      std::string line = "{\"id\":" + std::to_string(i) + ",\"params\":[";
+      for (std::size_t d = 0; d < row.size(); ++d) {
+        if (d > 0) line += ',';
+        obs::json_number_into(line, row[d]);
+      }
+      line += ']';
+      if (i % 3 == 0) line += ",\"scales\":[64,256]";
+      if (i % 3 == 1) line += ",\"scales\":[128]";
+      line += '}';
+      out->request_lines.push_back(line);
+      out->replay += line + '\n';
+    }
+
+    Server reference_server;
+    reference_server.set_model(out->model, "");
+    for (const auto& line : out->request_lines) {
+      out->reference[line] = reference_server.handle_line(line);
+    }
+    return out;
+  }();
+  return *f;
+}
+
+std::unique_ptr<Server> make_server(ServeOptions opts = {}) {
+  auto server = std::make_unique<Server>(opts);
+  server->set_model(fixture().model, "");
+  return server;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(pos));
+      break;
+    }
+    lines.push_back(text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+bool is_blank(const std::string& line) {
+  for (char c : line) {
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;
+}
+
+/// What the transport delivered for this (shape, seed): the injector is a
+/// pure function of its seed, so a second injector with the same spec
+/// replays the exact byte stream the server saw.
+std::string capture_delivered(const FaultSpec& spec) {
+  FaultInjector injector(spec);
+  std::istringstream source(fixture().replay);
+  ChaosStreambuf chaos(source.rdbuf(), &injector);
+  std::string out;
+  for (int c = chaos.sbumpc();
+       c != std::char_traits<char>::eof(); c = chaos.sbumpc()) {
+    out.push_back(static_cast<char>(c));
+  }
+  return out;
+}
+
+struct ScenarioResult {
+  std::size_t responses = 0;
+  std::size_t matched_reference = 0;
+  std::size_t degraded_class = 0;
+};
+
+/// Runs one seeded scenario and checks invariants 2 and 3.
+ScenarioResult run_scenario(const FaultSpec& spec,
+                            const ServeOptions& opts,
+                            bool allow_deadline) {
+  const std::string delivered = capture_delivered(spec);
+
+  FaultInjector injector(spec);
+  std::istringstream source(fixture().replay);
+  ChaosStreambuf chaos(source.rdbuf(), &injector);
+  std::istream in(&chaos);
+  std::ostringstream out;
+  ServeOptions run_opts = opts;
+  FaultInjector clock_injector(spec);
+  if (spec.clock_skip > 0.0) {
+    run_opts.clock_ms = make_skipping_clock(&clock_injector);
+  }
+  const auto server = make_server(run_opts);
+  (void)server->run(in, out);
+
+  std::vector<std::string> expected;
+  for (const auto& line : split_lines(delivered)) {
+    if (!is_blank(line)) expected.push_back(line);
+  }
+  const auto responses = split_lines(out.str());
+
+  ScenarioResult result;
+  result.responses = responses.size();
+  EXPECT_EQ(responses.size(), expected.size())
+      << "seed=" << spec.seed
+      << ": every delivered line gets exactly one response";
+  const std::size_t n = std::min(responses.size(), expected.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    // Invariant 2: well-formed JSON, always.
+    bool well_formed = false;
+    try {
+      const obs::JsonValue doc = obs::parse_json(responses[i]);
+      well_formed =
+          doc.kind() == obs::JsonValue::Kind::Object && doc.contains("ok");
+    } catch (...) {
+    }
+    EXPECT_TRUE(well_formed) << "seed=" << spec.seed << " response " << i
+                             << ": " << responses[i];
+
+    const bool deadline_response =
+        responses[i].find("\"code\":\"deadline\"") != std::string::npos;
+    if (deadline_response) {
+      EXPECT_TRUE(allow_deadline)
+          << "seed=" << spec.seed << ": unexpected deadline response";
+      ++result.degraded_class;
+      continue;
+    }
+    // Invariant 3: an intact request line answers byte-identically.
+    const auto ref = fixture().reference.find(expected[i]);
+    if (ref != fixture().reference.end()) {
+      EXPECT_EQ(responses[i], ref->second)
+          << "seed=" << spec.seed << " line " << i
+          << ": non-degraded response must be byte-identical";
+      ++result.matched_reference;
+    } else {
+      // Garbage frames and truncated lines must be rejected, not served.
+      EXPECT_NE(responses[i].find("\"ok\":false"), std::string::npos)
+          << "seed=" << spec.seed << " line " << i << ": " << responses[i]
+          << " for input: " << expected[i];
+    }
+  }
+  return result;
+}
+
+TEST(ServeChaos, ShortReadScenarios) {
+  std::size_t matched = 0;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    FaultSpec spec;
+    spec.seed = seed;
+    spec.short_read = 0.4;
+    matched += run_scenario(spec, {}, false).matched_reference;
+  }
+  // Short reads reorder nothing and drop nothing: every request answered
+  // from the reference in every scenario.
+  EXPECT_EQ(matched, 100 * fixture().request_lines.size());
+}
+
+TEST(ServeChaos, GarbageAndDisconnectScenarios) {
+  std::size_t total_responses = 0;
+  std::size_t matched = 0;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    FaultSpec spec;
+    spec.seed = seed;
+    spec.garbage = 0.15;
+    spec.disconnect = 0.04;
+    const auto r = run_scenario(spec, {}, false);
+    total_responses += r.responses;
+    matched += r.matched_reference;
+  }
+  EXPECT_GT(total_responses, 0u);
+  EXPECT_GT(matched, 0u) << "no intact request was ever answered";
+}
+
+TEST(ServeChaos, FullFaultMixScenarios) {
+  std::size_t total_responses = 0;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    FaultSpec spec;
+    spec.seed = seed;
+    spec.short_read = 0.3;
+    spec.garbage = 0.1;
+    spec.disconnect = 0.03;
+    // Tight batches exercise flush boundaries interacting with faults.
+    total_responses +=
+        run_scenario(spec, {.batch_max = 4, .cache_entries = 16}, false)
+            .responses;
+  }
+  EXPECT_GT(total_responses, 0u);
+}
+
+TEST(ServeChaos, SkippingClockDeadlineScenarios) {
+  std::size_t deadline_hits = 0;
+  std::size_t matched = 0;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    FaultSpec spec;
+    spec.seed = seed;
+    spec.clock_skip = 0.2;
+    spec.clock_skip_ms = 50;
+    // No transport faults: every request arrives; each is answered either
+    // from the reference or with a typed deadline error, depending on
+    // where the injected clock jumped.
+    const auto r =
+        run_scenario(spec, {.request_deadline_ms = 20}, true);
+    EXPECT_EQ(r.responses, fixture().request_lines.size());
+    deadline_hits += r.degraded_class;
+    matched += r.matched_reference;
+  }
+  EXPECT_GT(deadline_hits, 0u) << "the skipping clock never expired a deadline";
+  EXPECT_GT(matched, 0u) << "every request expired — deadline too tight";
+}
+
+/// The replay determinism proof under chaos: one (shape, seed) pair must
+/// produce byte-identical response streams on repeated runs.
+TEST(ServeChaos, ScenariosReplayByteIdentically) {
+  FaultSpec spec;
+  spec.seed = 1234;
+  spec.short_read = 0.3;
+  spec.garbage = 0.2;
+  spec.disconnect = 0.05;
+  const auto run_once = [&spec] {
+    FaultInjector injector(spec);
+    std::istringstream source(fixture().replay);
+    ChaosStreambuf chaos(source.rdbuf(), &injector);
+    std::istream in(&chaos);
+    std::ostringstream out;
+    const auto server = make_server();
+    (void)server->run(in, out);
+    return out.str();
+  };
+  const std::string first = run_once();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(run_once(), first);
+  EXPECT_EQ(run_once(), first);
+}
+
+}  // namespace
+}  // namespace hpcp::serve

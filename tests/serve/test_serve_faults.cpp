@@ -1,0 +1,209 @@
+/// Unit tests for the deterministic fault-injection layer: spec parsing
+/// (a typoed HPCP_SERVE_FAULTS must be a hard error, never a silently
+/// clean chaos run), injector reproducibility, the ChaosStreambuf byte
+/// accounting rules, and the skipping clock.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/serve/faults.hpp"
+
+namespace hpcp::serve {
+namespace {
+
+std::string drain(std::streambuf* buf) {
+  std::string out;
+  for (int c = buf->sbumpc();
+       c != std::char_traits<char>::eof(); c = buf->sbumpc()) {
+    out.push_back(static_cast<char>(c));
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(FaultSpec, ParsesAllKeys) {
+  const auto spec = parse_fault_spec(
+      "seed=42,short_read=0.25,disconnect=0.1,garbage=0.5,short_write=0.2,"
+      "write_error=0.05,clock_skip=0.3,clock_skip_ms=777");
+  ASSERT_TRUE(spec.has_value()) << spec.error().to_string();
+  EXPECT_EQ(spec->seed, 42u);
+  EXPECT_DOUBLE_EQ(spec->short_read, 0.25);
+  EXPECT_DOUBLE_EQ(spec->disconnect, 0.1);
+  EXPECT_DOUBLE_EQ(spec->garbage, 0.5);
+  EXPECT_DOUBLE_EQ(spec->short_write, 0.2);
+  EXPECT_DOUBLE_EQ(spec->write_error, 0.05);
+  EXPECT_DOUBLE_EQ(spec->clock_skip, 0.3);
+  EXPECT_EQ(spec->clock_skip_ms, 777u);
+  EXPECT_TRUE(spec->enabled());
+}
+
+TEST(FaultSpec, EmptyAndDefaultSpecsAreDisabled) {
+  const auto spec = parse_fault_spec("");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_FALSE(spec->enabled());
+  EXPECT_FALSE(FaultSpec{}.enabled());
+}
+
+TEST(FaultSpec, RejectsUnknownKeysAndBadValues) {
+  EXPECT_FALSE(parse_fault_spec("shortread=0.5").has_value());
+  EXPECT_FALSE(parse_fault_spec("short_read=1.5").has_value());
+  EXPECT_FALSE(parse_fault_spec("short_read=-0.1").has_value());
+  EXPECT_FALSE(parse_fault_spec("short_read=abc").has_value());
+  EXPECT_FALSE(parse_fault_spec("seed=12x").has_value());
+  EXPECT_FALSE(parse_fault_spec("garbage").has_value());
+}
+
+TEST(FaultInjector, SameSeedSameDecisionStream) {
+  FaultSpec spec;
+  spec.seed = 7;
+  spec.short_read = 0.5;
+  spec.disconnect = 0.2;
+  FaultInjector a(spec);
+  FaultInjector b(spec);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(a.roll(0.5), b.roll(0.5));
+    ASSERT_EQ(a.uniform(17), b.uniform(17));
+    ASSERT_EQ(a.clamp_read(4096), b.clamp_read(4096));
+  }
+}
+
+TEST(FaultInjector, DisabledInjectorNeverFaults) {
+  FaultInjector off;
+  EXPECT_FALSE(off.enabled());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(off.clamp_read(4096), 4096u);
+    EXPECT_EQ(off.clamp_write(4096), 4096u);
+    EXPECT_FALSE(off.read_disconnects());
+    EXPECT_FALSE(off.write_fails());
+  }
+}
+
+TEST(ChaosStreambuf, PassThroughWithoutInjector) {
+  const std::string payload = "{\"cmd\":\"ping\"}\nline two\n";
+  std::istringstream source(payload);
+  ChaosStreambuf chaos(source.rdbuf(), nullptr);
+  EXPECT_EQ(drain(&chaos), payload);
+  EXPECT_FALSE(chaos.disconnected());
+  EXPECT_EQ(chaos.garbage_frames(), 0u);
+}
+
+TEST(ChaosStreambuf, ShortReadsNeverAlterTheBytes) {
+  std::string payload;
+  for (int i = 0; i < 50; ++i) {
+    payload += "{\"id\":" + std::to_string(i) + ",\"cmd\":\"ping\"}\n";
+  }
+  FaultSpec spec;
+  spec.seed = 3;
+  spec.short_read = 0.9;  // nearly every read is a 1..8-byte sliver
+  FaultInjector injector(spec);
+  std::istringstream source(payload);
+  ChaosStreambuf chaos(source.rdbuf(), &injector);
+  EXPECT_EQ(drain(&chaos), payload);
+}
+
+TEST(ChaosStreambuf, GarbageFramesAreWholeExtraLines) {
+  std::vector<std::string> originals;
+  std::string payload;
+  for (int i = 0; i < 40; ++i) {
+    originals.push_back("{\"id\":" + std::to_string(i) +
+                        ",\"cmd\":\"ping\"}");
+    payload += originals.back() + "\n";
+  }
+  FaultSpec spec;
+  spec.seed = 11;
+  spec.garbage = 0.5;
+  FaultInjector injector(spec);
+  std::istringstream source(payload);
+  ChaosStreambuf chaos(source.rdbuf(), &injector);
+  const auto lines = split_lines(drain(&chaos));
+  ASSERT_GT(chaos.garbage_frames(), 0u);
+  EXPECT_EQ(lines.size(), originals.size() + chaos.garbage_frames());
+  // Every original line survives intact and in order; the injected frames
+  // only ever occupy whole slots of their own.
+  std::size_t next = 0;
+  for (const auto& line : lines) {
+    if (next < originals.size() && line == originals[next]) ++next;
+  }
+  EXPECT_EQ(next, originals.size());
+}
+
+TEST(ChaosStreambuf, DisconnectTruncatesAndPinsEof) {
+  std::string payload;
+  for (int i = 0; i < 200; ++i) {
+    payload += "{\"id\":" + std::to_string(i) + ",\"cmd\":\"ping\"}\n";
+  }
+  FaultSpec spec;
+  spec.seed = 5;
+  spec.short_read = 0.9;  // many small reads => many disconnect rolls
+  spec.disconnect = 0.1;
+  FaultInjector injector(spec);
+  std::istringstream source(payload);
+  ChaosStreambuf chaos(source.rdbuf(), &injector);
+  const std::string delivered = drain(&chaos);
+  ASSERT_TRUE(chaos.disconnected());
+  EXPECT_LT(delivered.size(), payload.size());
+  // A disconnect is a prefix cut, never a rewrite.
+  EXPECT_EQ(payload.compare(0, delivered.size(), delivered), 0);
+  // And it is permanent: further reads stay EOF.
+  EXPECT_EQ(chaos.sbumpc(), std::char_traits<char>::eof());
+  EXPECT_EQ(chaos.sbumpc(), std::char_traits<char>::eof());
+}
+
+TEST(ChaosStreambuf, SameSeedDeliversIdenticalStreams) {
+  std::string payload;
+  for (int i = 0; i < 100; ++i) {
+    payload += "{\"id\":" + std::to_string(i) + ",\"cmd\":\"ping\"}\n";
+  }
+  FaultSpec spec;
+  spec.seed = 99;
+  spec.short_read = 0.3;
+  spec.garbage = 0.2;
+  spec.disconnect = 0.02;
+  const auto run = [&] {
+    FaultInjector injector(spec);
+    std::istringstream source(payload);
+    ChaosStreambuf chaos(source.rdbuf(), &injector);
+    return drain(&chaos);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SkippingClock, MonotonicAndDeterministic) {
+  FaultSpec spec;
+  spec.seed = 13;
+  spec.clock_skip = 0.25;
+  spec.clock_skip_ms = 500;
+  FaultInjector a(spec);
+  FaultInjector b(spec);
+  auto clock_a = make_skipping_clock(&a, 1000);
+  auto clock_b = make_skipping_clock(&b, 1000);
+  std::uint64_t prev = 0;
+  bool skipped = false;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t t = clock_a();
+    ASSERT_EQ(t, clock_b());
+    ASSERT_GT(t, prev);
+    if (t - prev > 1) skipped = true;
+    prev = t;
+  }
+  EXPECT_TRUE(skipped) << "clock_skip=0.25 never fired in 200 reads";
+}
+
+TEST(SkippingClock, NullInjectorTicksPlainly) {
+  auto clock = make_skipping_clock(nullptr, 10);
+  EXPECT_EQ(clock(), 11u);
+  EXPECT_EQ(clock(), 12u);
+}
+
+}  // namespace
+}  // namespace hpcp::serve

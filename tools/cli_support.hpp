@@ -72,7 +72,8 @@ inline FlagSpec spec_for(const std::string& command) {
     spec.bool_flags = {"strict"};
   } else if (command == "serve") {
     add({"model", "port", "threads", "batch-max", "cache-entries",
-         "cache-shards"});
+         "cache-shards", "max-line-bytes", "max-pending", "deadline-ms",
+         "io-timeout-ms"});
     spec.bool_flags = {"stdio"};
   } else {
     throw UsageError("unknown command: " + command);

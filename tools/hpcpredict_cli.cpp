@@ -272,8 +272,25 @@ int cmd_serve(const Args& args) {
   opts.batch_max = args.get_size("batch-max", 32);
   opts.cache_entries = args.get_size("cache-entries", 4096);
   opts.cache_shards = args.get_size("cache-shards", 8);
+  opts.max_line_bytes = args.get_size("max-line-bytes", 1 << 20);
+  opts.max_pending = args.get_size("max-pending", 256);
+  opts.request_deadline_ms = args.get_size("deadline-ms", 0);
+  const std::size_t io_timeout = args.get_size("io-timeout-ms", 0);
   if (args.has("port") && args.has("stdio")) {
     throw cli::UsageError("--port and --stdio are mutually exclusive");
+  }
+
+  // A peer that disconnects mid-response must surface as a write error on
+  // our side, never as a process-killing SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  serve::FaultInjector* faults = serve::process_faults();
+  if (faults != nullptr) {
+    std::cerr << "serve: FAULT INJECTION ACTIVE (HPCP_SERVE_FAULTS, seed="
+              << faults->spec().seed << ")\n";
+    if (faults->spec().clock_skip > 0.0) {
+      opts.clock_ms = serve::make_skipping_clock(faults);
+    }
   }
 
   serve::Server server(opts);
@@ -283,7 +300,8 @@ int cmd_serve(const Args& args) {
   std::cerr << "serve: loaded " << args.get("model") << " (model_version "
             << server.model_version() << ", threads=" << opts.threads
             << ", batch_max=" << opts.batch_max
-            << ", cache_entries=" << opts.cache_entries << ")\n";
+            << ", cache_entries=" << opts.cache_entries
+            << ", max_pending=" << opts.max_pending << ")\n";
   std::signal(SIGHUP,
               [](int) { serve::reload_flag().store(true); });
 
@@ -292,9 +310,22 @@ int cmd_serve(const Args& args) {
     if (port > 65535) {
       throw cli::UsageError("--port expects a value in [0, 65535]");
     }
+    serve::TcpOptions tcp_opts;
+    tcp_opts.io_timeout_ms =
+        io_timeout > 0 ? static_cast<int>(io_timeout) : -1;
+    tcp_opts.faults = faults;
     serve::run_tcp_server(server, static_cast<std::uint16_t>(port),
-                          std::cerr)
+                          std::cerr, tcp_opts)
         .value_or_throw();
+    return 0;
+  }
+  if (faults != nullptr) {
+    serve::ChaosStreambuf chaos(std::cin.rdbuf(), faults);
+    std::istream chaotic(&chaos);
+    server.run(chaotic, std::cout);
+    if (chaos.disconnected()) {
+      std::cerr << "serve: injected disconnect ended the session\n";
+    }
     return 0;
   }
   server.run(std::cin, std::cout);
@@ -351,6 +382,8 @@ void print_usage() {
       "           [--report QUARANTINE_FILE]\n"
       "  serve    --model FILE [--port N | --stdio] [--threads N]\n"
       "           [--batch-max N] [--cache-entries N] [--cache-shards N]\n"
+      "           [--max-line-bytes N] [--max-pending N] [--deadline-ms N]\n"
+      "           [--io-timeout-ms N]   (env HPCP_SERVE_FAULTS=chaos spec)\n"
       "observability (all commands):\n"
       "  [--trace FILE] [--metrics-out FILE] [--metrics-text FILE]\n";
 }
