@@ -5,6 +5,19 @@
 /// must produce byte-identical response streams at 1 vs 8 workers and with
 /// the cache on vs off — a mismatch is a hard failure, not a statistic.
 ///
+/// On top of the in-process replay, the suite drives the epoll TCP
+/// front-end over real localhost sockets: the same stream split
+/// round-robin across 1/4/16 concurrent connections (replay_1conn,
+/// replay_concurrent_{4,16}conn), closed-loop per-request latency on one
+/// connection while three neighbours pump pipelined load (load4_p50/p99),
+/// and a byte-identity sweep over (connections x threads x cache) — every
+/// per-connection response stream must equal the sequential replay of
+/// that connection's lines (`byte_identical_concurrent`). Thread- and
+/// connection-scaling ratios only mean something on multi-core hosts, so
+/// each case records `hardware_concurrency` and the JSON carries a
+/// `scaling` block naming the min core count per ratio;
+/// tools/check_bench_regression.py skips those gates on smaller runners.
+///
 /// Like bench_micro_train this is a plain executable (no
 /// google-benchmark): a fixed workload from a fixed seed, results written
 /// as JSON (schema "hpcp-bench-serve/1", documented in EXPERIMENTS.md) for
@@ -15,8 +28,16 @@
 ///
 /// Usage: bench_serve [--short] [--json PATH]
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -29,6 +50,7 @@
 #include "src/core/two_level_model.hpp"
 #include "src/obs/jsonlite.hpp"
 #include "src/serve/server.hpp"
+#include "src/serve/tcp.hpp"
 
 namespace {
 
@@ -72,6 +94,134 @@ std::string run_replay(const TwoLevelModel& model, ServeOptions opts,
   return out.str();
 }
 
+// --- real-socket replay through the epoll front-end -----------------------
+
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void send_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+std::string recv_until_eof(int fd) {
+  std::string bytes;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return bytes;
+    bytes.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+std::string recv_one_line(int fd) {
+  std::string line;
+  char c;
+  for (;;) {
+    const ssize_t n = ::recv(fd, &c, 1, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return line;
+    if (c == '\n') return line;
+    line.push_back(c);
+  }
+}
+
+/// One live epoll listener on an ephemeral port, shut down by the
+/// protocol's own {"cmd":"shutdown"}.
+class TcpBenchServer {
+ public:
+  TcpBenchServer(const TwoLevelModel& model, const ServeOptions& opts) {
+    server_ = make_server(model, opts);
+    hpcp::serve::TcpOptions tcp_opts;
+    tcp_opts.bound_port = &port_;
+    tcp_opts.max_connections = 64;
+    thread_ = std::thread([this, tcp_opts] {
+      std::ostringstream log;
+      if (!hpcp::serve::run_tcp_server(*server_, 0, log, tcp_opts)) {
+        std::fprintf(stderr, "FATAL: bench TCP listener failed\n%s",
+                     log.str().c_str());
+        std::exit(1);
+      }
+    });
+    while (port_.load(std::memory_order_acquire) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  ~TcpBenchServer() {
+    const int fd = connect_loopback(port());
+    if (fd >= 0) {
+      const char kShutdown[] = "{\"cmd\":\"shutdown\"}\n";
+      send_all(fd, kShutdown, sizeof(kShutdown) - 1);
+      (void)recv_until_eof(fd);
+      ::close(fd);
+    }
+    thread_.join();
+  }
+
+  [[nodiscard]] std::uint16_t port() const {
+    return port_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::unique_ptr<Server> server_;
+  std::atomic<std::uint16_t> port_{0};
+  std::thread thread_;
+};
+
+/// Splits `lines` round-robin into per-connection pipelined streams —
+/// the deterministic partition every concurrent replay and its sequential
+/// reference share.
+std::vector<std::string> partition_round_robin(
+    const std::vector<std::string>& lines, std::size_t conns) {
+  std::vector<std::string> streams(conns);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    streams[i % conns] += lines[i];
+    streams[i % conns] += '\n';
+  }
+  return streams;
+}
+
+/// Replays `lines` through a live TCP server over `conns` concurrent
+/// connections (one client thread each: pipeline everything, half-close,
+/// drain to EOF) and returns each connection's response byte stream.
+std::vector<std::string> run_tcp_replay(std::uint16_t port,
+                                        const std::vector<std::string>& streams) {
+  std::vector<std::string> per_conn(streams.size());
+  std::vector<std::thread> clients;
+  clients.reserve(streams.size());
+  for (std::size_t j = 0; j < streams.size(); ++j) {
+    clients.emplace_back([&, j] {
+      const int fd = connect_loopback(port);
+      if (fd < 0) return;
+      send_all(fd, streams[j].data(), streams[j].size());
+      ::shutdown(fd, SHUT_WR);
+      per_conn[j] = recv_until_eof(fd);
+      ::close(fd);
+    });
+  }
+  for (auto& t : clients) t.join();
+  return per_conn;
+}
+
 double percentile(std::vector<double> sorted_ascending, double q) {
   std::sort(sorted_ascending.begin(), sorted_ascending.end());
   const std::size_t n = sorted_ascending.size();
@@ -84,6 +234,102 @@ struct Latency {
   double p50_us = 0.0;
   double p95_us = 0.0;
 };
+
+struct LoadLatency {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// Closed-loop latency under load: one probe connection sends a request
+/// and waits for its response while `loaders` neighbour connections pump
+/// the pipelined load stream in a loop — the p50/p99 a well-behaved
+/// client sees when it shares the event loop with bulk replays.
+LoadLatency measure_latency_under_load(const TwoLevelModel& model,
+                                       const ServeOptions& opts,
+                                       const std::vector<std::string>& probes,
+                                       const std::string& load_stream,
+                                       std::size_t loaders) {
+  const TcpBenchServer listener(model, opts);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> load_threads;
+  for (std::size_t j = 0; j < loaders; ++j) {
+    load_threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const int fd = connect_loopback(listener.port());
+        if (fd < 0) return;
+        send_all(fd, load_stream.data(), load_stream.size());
+        ::shutdown(fd, SHUT_WR);
+        (void)recv_until_eof(fd);
+        ::close(fd);
+      }
+    });
+  }
+
+  std::vector<double> us;
+  us.reserve(probes.size());
+  const int fd = connect_loopback(listener.port());
+  for (const std::string& line : probes) {
+    const std::string framed = line + '\n';
+    const hpcp::obs::Stopwatch watch;
+    send_all(fd, framed.data(), framed.size());
+    const std::string response = recv_one_line(fd);
+    us.push_back(watch.seconds() * 1e6);
+    if (response.find("\"ok\":true") == std::string::npos) {
+      std::fprintf(stderr, "FATAL: probe request failed under load: %s\n",
+                   response.c_str());
+      std::exit(1);
+    }
+  }
+  ::close(fd);
+  stop.store(true, std::memory_order_release);
+  for (auto& t : load_threads) t.join();
+  return LoadLatency{percentile(us, 0.50), percentile(us, 0.99)};
+}
+
+/// The concurrent half of the determinism contract: for every
+/// (connections x threads x cache) configuration, each connection's TCP
+/// response stream must equal the sequential Server replay of that
+/// connection's lines. Returns false (and prints) on the first mismatch.
+bool verify_concurrent_identity(const TwoLevelModel& model,
+                                const std::vector<std::string>& lines) {
+  for (const std::size_t conns : {std::size_t{1}, std::size_t{4},
+                                  std::size_t{16}}) {
+    const auto streams = partition_round_robin(lines, conns);
+    // The sequential ground truth for this partition: a fresh server
+    // replaying each connection's lines in order.
+    std::vector<std::string> reference(conns);
+    {
+      const auto seq = make_server(model, {});
+      for (std::size_t j = 0; j < conns; ++j) {
+        std::istringstream in(streams[j]);
+        std::string line;
+        while (std::getline(in, line)) {
+          reference[j] += seq->handle_line(line);
+          reference[j] += '\n';
+        }
+      }
+    }
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+      for (const bool cache : {true, false}) {
+        ServeOptions opts;
+        opts.threads = threads;
+        if (!cache) opts.cache_entries = 0;
+        const TcpBenchServer listener(model, opts);
+        const auto per_conn = run_tcp_replay(listener.port(), streams);
+        for (std::size_t j = 0; j < conns; ++j) {
+          if (per_conn[j] != reference[j]) {
+            std::fprintf(stderr,
+                         "concurrent replay differs from sequential replay: "
+                         "conns=%zu threads=%zu cache=%d connection %zu\n",
+                         conns, threads, cache ? 1 : 0, j);
+            return false;
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
 
 /// Per-request wall time of handle_line over `lines`, as sorted-percentile
 /// microseconds.
@@ -108,9 +354,12 @@ void write_json(const std::string& path, bool short_mode,
                 std::size_t num_configs, std::size_t replay_requests,
                 std::size_t hw, const std::vector<BenchCase>& cases,
                 const Latency& cold, const Latency& hot,
-                double cache_speedup, double throughput_speedup,
-                double overload_speedup, double deadline_speedup,
-                bool byte_identical, bool byte_identical_overload) {
+                const LoadLatency& load4, double cache_speedup,
+                double throughput_speedup, double overload_speedup,
+                double deadline_speedup, double conn4_speedup,
+                double conn16_speedup, bool byte_identical,
+                bool byte_identical_overload,
+                bool byte_identical_concurrent) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -127,9 +376,13 @@ void write_json(const std::string& path, bool short_mode,
   out << "  },\n";
   out << "  \"cases\": [\n";
   for (std::size_t i = 0; i < cases.size(); ++i) {
+    // hardware_concurrency rides on every case: thread- and
+    // connection-scaling numbers are meaningless without the core count
+    // of the host that produced them.
     out << "    {\"name\": \"" << cases[i].name
         << "\", \"seconds\": " << cases[i].seconds
-        << ", \"reps\": " << cases[i].reps << "}"
+        << ", \"reps\": " << cases[i].reps
+        << ", \"hardware_concurrency\": " << hw << "}"
         << (i + 1 < cases.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
@@ -137,29 +390,46 @@ void write_json(const std::string& path, bool short_mode,
   out << "    \"cold_p50\": " << cold.p50_us << ",\n";
   out << "    \"cold_p95\": " << cold.p95_us << ",\n";
   out << "    \"hit_p50\": " << hot.p50_us << ",\n";
-  out << "    \"hit_p95\": " << hot.p95_us << "\n";
+  out << "    \"hit_p95\": " << hot.p95_us << ",\n";
+  out << "    \"load4_p50\": " << load4.p50_us << ",\n";
+  out << "    \"load4_p99\": " << load4.p99_us << "\n";
   out << "  },\n";
   out << "  \"speedups\": {\n";
   out << "    \"cache_hit_p50\": " << cache_speedup << ",\n";
   out << "    \"throughput_t8_vs_t1\": " << throughput_speedup << ",\n";
   out << "    \"overload_shed_vs_nocache\": " << overload_speedup << ",\n";
-  out << "    \"deadline_vs_nocache\": " << deadline_speedup << "\n";
+  out << "    \"deadline_vs_nocache\": " << deadline_speedup << ",\n";
+  out << "    \"concurrent_4conn_vs_1conn\": " << conn4_speedup << ",\n";
+  out << "    \"concurrent_16conn_vs_1conn\": " << conn16_speedup << "\n";
+  out << "  },\n";
+  // Which speedup ratios require real parallel hardware, and how much:
+  // the regression gate skips a ratio (and its --require floor) when the
+  // fresh run's host has fewer cores than min_cores.
+  out << "  \"scaling\": {\n";
+  out << "    \"throughput_t8_vs_t1\": {\"min_cores\": 2},\n";
+  out << "    \"concurrent_4conn_vs_1conn\": {\"min_cores\": 4},\n";
+  out << "    \"concurrent_16conn_vs_1conn\": {\"min_cores\": 4}\n";
   out << "  },\n";
   out << "  \"determinism\": {\n";
   out << "    \"byte_identical_responses\": "
       << (byte_identical ? "true" : "false") << ",\n";
   out << "    \"byte_identical_overload\": "
-      << (byte_identical_overload ? "true" : "false") << "\n";
+      << (byte_identical_overload ? "true" : "false") << ",\n";
+  out << "    \"byte_identical_concurrent\": "
+      << (byte_identical_concurrent ? "true" : "false") << "\n";
   out << "  }\n";
   out << "}\n";
   std::printf("\nspeedup: cache-hit p50 = %.2fx, throughput t8/t1 = %.2fx, "
-              "overload-shed = %.2fx, deadline = %.2fx "
+              "overload-shed = %.2fx, deadline = %.2fx,\n"
+              "         4conn/1conn = %.2fx, 16conn/1conn = %.2fx "
               "(hardware_concurrency=%zu)\n"
-              "determinism: replay responses %s, shed replay %s\nwrote %s\n",
+              "determinism: replay responses %s, shed replay %s, "
+              "concurrent replay %s\nwrote %s\n",
               cache_speedup, throughput_speedup, overload_speedup,
-              deadline_speedup, hw,
+              deadline_speedup, conn4_speedup, conn16_speedup, hw,
               byte_identical ? "byte-identical" : "DIFFER",
               byte_identical_overload ? "byte-identical" : "DIFFER",
+              byte_identical_concurrent ? "byte-identical" : "DIFFER",
               path.c_str());
 }
 
@@ -204,13 +474,16 @@ int main(int argc, char** argv) {
   // sets. Same stream for every server configuration.
   const std::size_t rows = exp.problem.train_configs.rows();
   std::string replay;
+  std::vector<std::string> replay_lines;
   std::vector<std::string> distinct_lines;
+  replay_lines.reserve(replay_requests);
   for (std::size_t i = 0; i < replay_requests; ++i) {
     const auto params = exp.problem.train_configs.row(i % rows);
     const char* scales = (i % 3 == 0)   ? "[64,256]"
                          : (i % 3 == 1) ? "[32,64,128,256]"
                                         : "[128]";
-    replay += predict_line(i, params, scales);
+    replay_lines.push_back(predict_line(i, params, scales));
+    replay += replay_lines.back();
     replay += '\n';
   }
   for (std::size_t i = 0; i < rows; ++i) {
@@ -290,6 +563,46 @@ int main(int argc, char** argv) {
     (void)run_replay(model, deadline_opts(), replay);
   }));
 
+  // Real-socket replays through the epoll front-end: the same stream,
+  // split round-robin across 1 / 4 / 16 concurrent connections. One
+  // connection cannot fill cross-connection windows, so the concurrent
+  // cases are where the event loop earns its keep (on multi-core hosts;
+  // the scaling block below tells the gate when the ratio is meaningful).
+  ServeOptions tcp_serve_opts;
+  tcp_serve_opts.threads = 8;
+  for (const std::size_t conns : {std::size_t{1}, std::size_t{4},
+                                  std::size_t{16}}) {
+    const auto streams = partition_round_robin(replay_lines, conns);
+    const std::string name =
+        conns == 1 ? "replay_1conn"
+                   : "replay_concurrent_" + std::to_string(conns) + "conn";
+    cases.push_back(run_case(name, reps, [&] {
+      const TcpBenchServer listener(model, tcp_serve_opts);
+      (void)run_tcp_replay(listener.port(), streams);
+    }));
+  }
+
+  // The concurrent determinism sweep runs a shortened stream so 12
+  // configurations stay cheap; identity is exact, not sampled, within it.
+  bool byte_identical_concurrent;
+  {
+    const hpcp::bench::SectionTimer timer(
+        "concurrent identity sweep (conns x threads x cache)");
+    const std::size_t subset = std::min<std::size_t>(replay_lines.size(),
+                                                     short_mode ? 480 : 1600);
+    const std::vector<std::string> head(replay_lines.begin(),
+                                        replay_lines.begin() +
+                                            static_cast<std::ptrdiff_t>(subset));
+    byte_identical_concurrent = verify_concurrent_identity(model, head);
+    if (!byte_identical_concurrent) {
+      std::fprintf(stderr,
+                   "FATAL: concurrent replay responses differ from the "
+                   "sequential replay — the serve determinism contract is "
+                   "broken under concurrency\n");
+      return 1;
+    }
+  }
+
   // Latency: the same distinct requests served cold (first touch, full
   // compute) and hot (every (params, scale) already cached).
   const auto latency_server = make_server(model, {});
@@ -299,20 +612,53 @@ int main(int argc, char** argv) {
               "p95=%.1fus\n",
               cold.p50_us, cold.p95_us, hot.p50_us, hot.p95_us);
 
+  // Closed-loop latency over real sockets while three neighbour
+  // connections pump pipelined load through the same event loop.
+  LoadLatency load4;
+  {
+    const hpcp::bench::SectionTimer timer("latency under 4-connection load");
+    std::string load_stream;
+    const std::size_t load_lines = std::min<std::size_t>(
+        replay_lines.size(), short_mode ? 400 : 1000);
+    for (std::size_t i = 0; i < load_lines; ++i) {
+      load_stream += replay_lines[i];
+      load_stream += '\n';
+    }
+    std::vector<std::string> probes = distinct_lines;
+    probes.insert(probes.end(), distinct_lines.begin(), distinct_lines.end());
+    load4 = measure_latency_under_load(model, tcp_serve_opts, probes,
+                                       load_stream, /*loaders=*/3);
+  }
+  std::printf("latency under load4: p50=%.1fus p99=%.1fus\n", load4.p50_us,
+              load4.p99_us);
+
+  auto find_case = [&cases](const std::string& name) -> double {
+    for (const auto& c : cases) {
+      if (c.name == name) return c.seconds;
+    }
+    return 0.0;
+  };
+  auto ratio = [](double a, double b) { return b > 0.0 ? a / b : 0.0; };
   const double cache_speedup =
       hot.p50_us > 0.0 ? cold.p50_us / hot.p50_us : 0.0;
   const double throughput_speedup =
-      cases[1].seconds > 0.0 ? cases[0].seconds / cases[1].seconds : 0.0;
+      ratio(find_case("replay_t1"), find_case("replay_t8"));
   const double overload_speedup =
-      cases[3].seconds > 0.0 ? cases[2].seconds / cases[3].seconds : 0.0;
+      ratio(find_case("replay_t8_nocache"), find_case("replay_overload"));
   const double deadline_speedup =
-      cases[4].seconds > 0.0 ? cases[2].seconds / cases[4].seconds : 0.0;
+      ratio(find_case("replay_t8_nocache"), find_case("replay_deadline"));
+  const double conn4_speedup = ratio(find_case("replay_1conn"),
+                                     find_case("replay_concurrent_4conn"));
+  const double conn16_speedup = ratio(find_case("replay_1conn"),
+                                      find_case("replay_concurrent_16conn"));
 
   if (!json_path.empty()) {
     write_json(json_path, short_mode, cfg.num_train, replay_requests, hw,
-               cases, cold, hot, cache_speedup, throughput_speedup,
-               overload_speedup, deadline_speedup,
-               /*byte_identical=*/true, byte_identical_overload);
+               cases, cold, hot, load4, cache_speedup, throughput_speedup,
+               overload_speedup, deadline_speedup, conn4_speedup,
+               conn16_speedup,
+               /*byte_identical=*/true, byte_identical_overload,
+               byte_identical_concurrent);
   }
   return 0;
 }

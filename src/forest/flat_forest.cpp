@@ -1,10 +1,265 @@
 #include "src/forest/flat_forest.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 
 #include "src/common/check.hpp"
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
 namespace hpcp {
+
+namespace {
+
+/// Advances one row to its leaf. The traversal step is shared verbatim by
+/// every kernel: go left iff x <= threshold, where a NaN threshold or NaN
+/// feature value compares false and sends the row right.
+inline std::int32_t walk_one(const FlatForest::Node* nodes, std::int32_t nd,
+                             const double* xd, std::int32_t xbase) {
+  while (nodes[nd].feature >= 0) {
+    const FlatForest::Node& node = nodes[nd];
+    nd = node.left + (xd[xbase + node.feature] <= node.threshold ? 0 : 1);
+  }
+  return nd;
+}
+
+/// Reference kernel: level-synchronous over the whole row block. Upper
+/// tree levels stay cache-resident while the rows stream through.
+void walk_scalar(const FlatForest::Node* nodes, const double* xd,
+                 const std::int32_t* xbase, std::int32_t* cur,
+                 std::size_t n) {
+  for (bool active = true; active;) {
+    active = false;
+    for (std::size_t k = 0; k < n; ++k) {
+      const FlatForest::Node& nd = nodes[cur[k]];
+      if (nd.feature < 0) continue;
+      cur[k] = nd.left + (xd[xbase[k] + nd.feature] <= nd.threshold ? 0 : 1);
+      active = true;
+    }
+  }
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+
+/// Vector tiers: active-list compaction. The scalar reference revisits
+/// every parked row on every sweep, so an unbalanced tree (unlimited
+/// depth — the production configuration) costs n * max_depth row visits
+/// even though only n * mean_depth of them do work; on measured fitted
+/// forests max_depth is roughly twice mean_depth, i.e. half the scalar
+/// sweeps' visits are wasted. The compaction walk keeps a packed list of
+/// still-active (node, row) entries — node index in the high 32 bits,
+/// row in the low 32 — steps every entry one level per sweep, and writes
+/// survivors back densely, so parked rows are never touched again and
+/// each sweep is a straight streaming pass with branch-free bookkeeping.
+/// The eager survivor test (an entry is appended only while its next
+/// node is internal) keeps the step itself clamp-free: entries are
+/// never leaves.
+///
+/// The compare runs two rows at a time through _mm_cmpnle_pd, whose
+/// predicate is exactly the scalar `!(x <= thr)` including the NaN
+/// case (unordered compares true, so NaN features and NaN thresholds
+/// send the row right) — that is what keeps the parity contract bitwise.
+/// Wider compares were measured and rejected: 4-wide _mm256_cmp_pd needs
+/// lane-crossing vector builds that cost more than the compare saves,
+/// and the AVX2 hardware-gather formulation loses outright because each
+/// step's gather depends on the previous level's result — a dependent
+/// gather chain serialises at memory latency while independent scalar
+/// loads overlap. The walk is memory-level-parallelism bound, so the
+/// four-entry unroll exists to keep many independent node loads in
+/// flight, not to fill vector lanes.
+///
+/// Row offsets: the batched predict paths walk contiguous row blocks, so
+/// the kernels fold the offset multiply into the step (kContiguous,
+/// xb = row * d) instead of loading a precomputed table; the out-of-bag
+/// path walks a row subset and passes its offset table explicitly.
+template <bool kContiguous>
+__attribute__((always_inline)) inline void walk_compact(
+    const FlatForest::Node* nodes, const double* xd,
+    const std::int32_t* xbase, std::int32_t d, std::int32_t root,
+    std::int32_t* cur, std::size_t n, std::int64_t* act) {
+  // Every row starts at the root, so the initial active list is either
+  // everything (internal root) or nothing (single-leaf tree, where cur
+  // must still report the root). Rows that leave the list have had their
+  // final leaf written to cur by the step below, so no caller prefill of
+  // cur is needed — batched callers reuse one scratch list across trees
+  // instead of refilling per tree.
+  if (nodes[root].feature < 0) {
+    std::fill(cur, cur + n, root);
+    return;
+  }
+  std::size_t m = n;
+  for (std::size_t k = 0; k < n; ++k) {
+    act[k] = static_cast<std::int64_t>(root) << 32 |
+             static_cast<std::uint32_t>(k);
+  }
+  while (m) {
+    std::size_t w = 0;
+    std::size_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+      const std::int64_t e0 = act[i];
+      const std::int64_t e1 = act[i + 1];
+      const std::int64_t e2 = act[i + 2];
+      const std::int64_t e3 = act[i + 3];
+      const auto k0 = static_cast<std::int32_t>(e0);
+      const auto k1 = static_cast<std::int32_t>(e1);
+      const auto k2 = static_cast<std::int32_t>(e2);
+      const auto k3 = static_cast<std::int32_t>(e3);
+      const auto c0 = static_cast<std::int32_t>(e0 >> 32);
+      const auto c1 = static_cast<std::int32_t>(e1 >> 32);
+      const auto c2 = static_cast<std::int32_t>(e2 >> 32);
+      const auto c3 = static_cast<std::int32_t>(e3 >> 32);
+      const FlatForest::Node& n0 = nodes[c0];
+      const FlatForest::Node& n1 = nodes[c1];
+      const FlatForest::Node& n2 = nodes[c2];
+      const FlatForest::Node& n3 = nodes[c3];
+      const std::int32_t xb0 = kContiguous ? k0 * d : xbase[k0];
+      const std::int32_t xb1 = kContiguous ? k1 * d : xbase[k1];
+      const std::int32_t xb2 = kContiguous ? k2 * d : xbase[k2];
+      const std::int32_t xb3 = kContiguous ? k3 * d : xbase[k3];
+      const __m128d vx01 =
+          _mm_set_pd(xd[xb1 + n1.feature], xd[xb0 + n0.feature]);
+      const __m128d vt01 = _mm_set_pd(n1.threshold, n0.threshold);
+      const __m128d vx23 =
+          _mm_set_pd(xd[xb3 + n3.feature], xd[xb2 + n2.feature]);
+      const __m128d vt23 = _mm_set_pd(n3.threshold, n2.threshold);
+      const int g01 = _mm_movemask_pd(_mm_cmpnle_pd(vx01, vt01));
+      const int g23 = _mm_movemask_pd(_mm_cmpnle_pd(vx23, vt23));
+      const std::int32_t x0 = n0.left + (g01 & 1);
+      const std::int32_t x1 = n1.left + ((g01 >> 1) & 1);
+      const std::int32_t x2 = n2.left + (g23 & 1);
+      const std::int32_t x3 = n3.left + ((g23 >> 1) & 1);
+      cur[k0] = x0;
+      cur[k1] = x1;
+      cur[k2] = x2;
+      cur[k3] = x3;
+      act[w] = static_cast<std::int64_t>(x0) << 32 |
+               static_cast<std::uint32_t>(k0);
+      w += nodes[x0].feature >= 0 ? 1 : 0;
+      act[w] = static_cast<std::int64_t>(x1) << 32 |
+               static_cast<std::uint32_t>(k1);
+      w += nodes[x1].feature >= 0 ? 1 : 0;
+      act[w] = static_cast<std::int64_t>(x2) << 32 |
+               static_cast<std::uint32_t>(k2);
+      w += nodes[x2].feature >= 0 ? 1 : 0;
+      act[w] = static_cast<std::int64_t>(x3) << 32 |
+               static_cast<std::uint32_t>(k3);
+      w += nodes[x3].feature >= 0 ? 1 : 0;
+    }
+    for (; i < m; ++i) {
+      const std::int64_t e = act[i];
+      const auto k = static_cast<std::int32_t>(e);
+      const auto c = static_cast<std::int32_t>(e >> 32);
+      const FlatForest::Node& nd = nodes[c];
+      const std::int32_t xb = kContiguous ? k * d : xbase[k];
+      const std::int32_t nxt =
+          nd.left + (xd[xb + nd.feature] <= nd.threshold ? 0 : 1);
+      cur[k] = nxt;
+      act[w] = static_cast<std::int64_t>(nxt) << 32 |
+               static_cast<std::uint32_t>(k);
+      w += nodes[nxt].feature >= 0 ? 1 : 0;
+    }
+    m = w;
+  }
+}
+
+/// Baseline x86-64 tier (SSE2 is architectural there).
+__attribute__((target("sse2"))) void walk_sse2(
+    const FlatForest::Node* nodes, const double* xd,
+    const std::int32_t* xbase, std::int32_t d, std::int32_t root,
+    std::int32_t* cur, std::size_t n, std::int64_t* act) {
+  if (xbase == nullptr) {
+    walk_compact<true>(nodes, xd, nullptr, d, root, cur, n, act);
+  } else {
+    walk_compact<false>(nodes, xd, xbase, d, root, cur, n, act);
+  }
+}
+
+/// AVX2 tier: the same compaction walk force-inlined under an AVX2
+/// target, so the compare/bookkeeping lower to VEX three-operand forms.
+/// It shares the 128-bit pairwise compare deliberately — see the
+/// walk_compact comment for why wider formulations measured slower.
+__attribute__((target("avx2"))) void walk_avx2(
+    const FlatForest::Node* nodes, const double* xd,
+    const std::int32_t* xbase, std::int32_t d, std::int32_t root,
+    std::int32_t* cur, std::size_t n, std::int64_t* act) {
+  if (xbase == nullptr) {
+    walk_compact<true>(nodes, xd, nullptr, d, root, cur, n, act);
+  } else {
+    walk_compact<false>(nodes, xd, xbase, d, root, cur, n, act);
+  }
+}
+
+#endif  // x86
+
+/// Row offsets as int32 indices; the size guard in the predict entry
+/// points bounds rows*cols, so the cast cannot truncate.
+std::vector<std::int32_t> make_xbase(std::size_t n, std::size_t d) {
+  std::vector<std::int32_t> xbase(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    xbase[r] = static_cast<std::int32_t>(r * d);
+  }
+  return xbase;
+}
+
+/// The scalar reference takes a precomputed offset table; the vector
+/// tiers compute contiguous offsets themselves (walk_compact's
+/// kContiguous path), so batched callers skip building the table when a
+/// vector tier resolved.
+bool kernel_needs_xbase(ForestIsa isa) {
+#if defined(__x86_64__) || defined(__i386__)
+  return isa == ForestIsa::kScalar;
+#else
+  (void)isa;
+  return true;
+#endif
+}
+
+}  // namespace
+
+void FlatForest::append_tree(std::span<const RegressionTree::Node> tree) {
+  // Renumber breadth-first with sibling children adjacent: right ==
+  // left + 1 (the branchless step relies on it) and each level is one
+  // contiguous run. The queue pairs (source index, packed index); both
+  // child slots are claimed when the parent is written.
+  const auto base = static_cast<std::int32_t>(nodes_.size());
+  const auto size = static_cast<std::int32_t>(tree.size());
+  nodes_.resize(nodes_.size() + tree.size());
+  std::vector<std::pair<std::int32_t, std::int32_t>> queue;
+  queue.reserve(tree.size());
+  queue.emplace_back(0, base);
+  std::int32_t next = base + 1;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const auto [src, dst] = queue[head];
+    const RegressionTree::Node& node = tree[static_cast<std::size_t>(src)];
+    Node packed;
+    if (node.left < 0) {
+      packed.threshold = node.value;  // leaf: prediction rides here
+    } else {
+      // Corrupt archives reach this path via load(); reject malformed
+      // links (out-of-range children, shared subtrees / cycles that
+      // would claim more slots than the tree has nodes) instead of
+      // scribbling past the packed array.
+      HPCP_REQUIRE(node.left < size && node.right >= 0 &&
+                       node.right < size && node.feature >= 0,
+                   "malformed tree: child link out of range");
+      HPCP_REQUIRE(next + 2 <= base + size,
+                   "malformed tree: node linked more than once");
+      packed.threshold = node.threshold;
+      packed.feature = node.feature;
+      packed.left = next;
+      queue.emplace_back(node.left, next);
+      queue.emplace_back(node.right, next + 1);
+      next += 2;
+      min_width_ = std::max(min_width_,
+                            static_cast<std::size_t>(node.feature) + 1);
+    }
+    nodes_[static_cast<std::size_t>(dst)] = packed;
+  }
+  roots_.push_back(static_cast<std::int32_t>(nodes_.size()));
+}
 
 FlatForest FlatForest::build(std::span<const RegressionTree> trees) {
   FlatForest flat;
@@ -13,28 +268,29 @@ FlatForest FlatForest::build(std::span<const RegressionTree> trees) {
     HPCP_REQUIRE(tree.fitted(), "cannot flatten an unfitted tree");
     total += tree.num_nodes();
   }
-  flat.feature_.reserve(total);
-  flat.threshold_.reserve(total);
-  flat.left_.reserve(total);
-  flat.right_.reserve(total);
-  flat.value_.reserve(total);
+  HPCP_REQUIRE(total < (std::numeric_limits<std::int32_t>::max)() / 16,
+               "ensemble too large for 32-bit traversal indices");
+  flat.nodes_.reserve(total);
   flat.roots_.reserve(trees.size() + 1);
   flat.roots_.push_back(0);
+  for (const auto& tree : trees) flat.append_tree(tree.nodes());
+  return flat;
+}
+
+FlatForest FlatForest::from_nodes(
+    std::span<const std::vector<RegressionTree::Node>> trees) {
+  FlatForest flat;
+  std::size_t total = 0;
   for (const auto& tree : trees) {
-    const auto base = static_cast<std::int32_t>(flat.value_.size());
-    for (const auto& node : tree.nodes()) {
-      flat.feature_.push_back(node.feature);
-      flat.threshold_.push_back(node.threshold);
-      flat.left_.push_back(node.left < 0 ? -1 : node.left + base);
-      flat.right_.push_back(node.right < 0 ? -1 : node.right + base);
-      flat.value_.push_back(node.value);
-      if (node.left >= 0) {
-        flat.min_width_ = std::max(
-            flat.min_width_, static_cast<std::size_t>(node.feature) + 1);
-      }
-    }
-    flat.roots_.push_back(static_cast<std::int32_t>(flat.value_.size()));
+    HPCP_REQUIRE(!tree.empty(), "cannot flatten an empty node list");
+    total += tree.size();
   }
+  HPCP_REQUIRE(total < (std::numeric_limits<std::int32_t>::max)() / 16,
+               "ensemble too large for 32-bit traversal indices");
+  flat.nodes_.reserve(total);
+  flat.roots_.reserve(trees.size() + 1);
+  flat.roots_.push_back(0);
+  for (const auto& tree : trees) flat.append_tree(tree);
   return flat;
 }
 
@@ -42,32 +298,60 @@ void FlatForest::check_width(std::size_t width) const {
   HPCP_REQUIRE(width >= min_width_, "feature width mismatch");
 }
 
+void FlatForest::walk_tree(std::size_t t, const double* xd,
+                           const std::int32_t* xbase, std::int32_t d,
+                           std::int32_t* cur, std::size_t n, ForestIsa isa,
+                           std::int64_t* act) const {
+  const Node* nodes = nodes_.data();
+  const std::int32_t root = roots_[t];
+  switch (isa) {
+#if defined(__x86_64__) || defined(__i386__)
+    case ForestIsa::kAvx2:
+      walk_avx2(nodes, xd, xbase, d, root, cur, n, act);
+      return;
+    case ForestIsa::kSse2:
+      walk_sse2(nodes, xd, xbase, d, root, cur, n, act);
+      return;
+#else
+    case ForestIsa::kAvx2:
+    case ForestIsa::kSse2:
+#endif
+    case ForestIsa::kScalar:
+      break;
+  }
+  // kernel_needs_xbase guarantees xbase is populated on this path; the
+  // reference sweep revisits parked rows, so it needs every cur slot
+  // seeded with the root up front.
+  std::fill(cur, cur + n, root);
+  walk_scalar(nodes, xd, xbase, cur, n);
+  (void)d;
+  (void)act;
+}
+
 std::vector<double> FlatForest::predict_mean(const Matrix& x) const {
   HPCP_REQUIRE(!empty(), "predict before build");
   check_width(x.cols());
+  HPCP_REQUIRE(x.data().size() <=
+                   static_cast<std::size_t>(
+                       (std::numeric_limits<std::int32_t>::max)()),
+               "matrix too large for flat traversal");
   const std::size_t n = x.rows();
-  const std::size_t d = x.cols();
+  const auto d = static_cast<std::int32_t>(x.cols());
   const double* xd = x.data().data();
+  const ForestIsa isa = resolve_forest_isa();
+  std::vector<std::int32_t> xbase;
+  if (kernel_needs_xbase(isa)) xbase = make_xbase(n, x.cols());
+  const std::int32_t* xb = xbase.empty() ? nullptr : xbase.data();
+  // One active-list scratch buffer shared by every tree's walk; the
+  // vector kernels seed it (and cur) themselves, so there is no per-tree
+  // refill here.
+  std::vector<std::int64_t> act(kernel_needs_xbase(isa) ? 0 : n);
+  std::int64_t* ap = act.empty() ? nullptr : act.data();
   std::vector<double> acc(n, 0.0);
   std::vector<std::int32_t> cur(n);
   for (std::size_t t = 0; t < num_trees(); ++t) {
-    std::fill(cur.begin(), cur.end(), roots_[t]);
-    // Level-synchronous walk: each pass advances every still-internal row
-    // one level; rows already at a leaf stay put.
-    for (bool active = true; active;) {
-      active = false;
-      for (std::size_t r = 0; r < n; ++r) {
-        const std::int32_t nd = cur[r];
-        const std::int32_t l = left_[nd];
-        if (l < 0) continue;
-        cur[r] = xd[r * d + static_cast<std::size_t>(feature_[nd])] <=
-                         threshold_[nd]
-                     ? l
-                     : right_[nd];
-        active = true;
-      }
-    }
-    for (std::size_t r = 0; r < n; ++r) acc[r] += value_[cur[r]];
+    walk_tree(t, xd, xb, d, cur.data(), n, isa, ap);
+    for (std::size_t r = 0; r < n; ++r) acc[r] += nodes_[cur[r]].threshold;
   }
   // Divide (don't multiply by a reciprocal): bitwise identical to the
   // per-row reference walk, which the parity tests require.
@@ -82,29 +366,26 @@ void FlatForest::predict_moments(const Matrix& x, std::span<double> sum,
   check_width(x.cols());
   HPCP_REQUIRE(sum.size() == x.rows() && sum_sq.size() == x.rows(),
                "moment spans must match row count");
+  HPCP_REQUIRE(x.data().size() <=
+                   static_cast<std::size_t>(
+                       (std::numeric_limits<std::int32_t>::max)()),
+               "matrix too large for flat traversal");
   const std::size_t n = x.rows();
-  const std::size_t d = x.cols();
+  const auto d = static_cast<std::int32_t>(x.cols());
   const double* xd = x.data().data();
+  const ForestIsa isa = resolve_forest_isa();
+  std::vector<std::int32_t> xbase;
+  if (kernel_needs_xbase(isa)) xbase = make_xbase(n, x.cols());
+  const std::int32_t* xb = xbase.empty() ? nullptr : xbase.data();
   std::fill(sum.begin(), sum.end(), 0.0);
   std::fill(sum_sq.begin(), sum_sq.end(), 0.0);
+  std::vector<std::int64_t> act(kernel_needs_xbase(isa) ? 0 : n);
+  std::int64_t* ap = act.empty() ? nullptr : act.data();
   std::vector<std::int32_t> cur(n);
   for (std::size_t t = 0; t < num_trees(); ++t) {
-    std::fill(cur.begin(), cur.end(), roots_[t]);
-    for (bool active = true; active;) {
-      active = false;
-      for (std::size_t r = 0; r < n; ++r) {
-        const std::int32_t nd = cur[r];
-        const std::int32_t l = left_[nd];
-        if (l < 0) continue;
-        cur[r] = xd[r * d + static_cast<std::size_t>(feature_[nd])] <=
-                         threshold_[nd]
-                     ? l
-                     : right_[nd];
-        active = true;
-      }
-    }
+    walk_tree(t, xd, xb, d, cur.data(), n, isa, ap);
     for (std::size_t r = 0; r < n; ++r) {
-      const double p = value_[cur[r]];
+      const double p = nodes_[cur[r]].threshold;
       sum[r] += p;
       sum_sq[r] += p * p;
     }
@@ -118,13 +399,9 @@ void FlatForest::predict_row_moments(std::span<const double> features,
   sum = 0.0;
   sum_sq = 0.0;
   for (std::size_t t = 0; t < num_trees(); ++t) {
-    std::int32_t nd = roots_[t];
-    while (left_[nd] >= 0) {
-      nd = features[static_cast<std::size_t>(feature_[nd])] <= threshold_[nd]
-               ? left_[nd]
-               : right_[nd];
-    }
-    const double p = value_[nd];
+    const std::int32_t nd =
+        walk_one(nodes_.data(), roots_[t], features.data(), 0);
+    const double p = nodes_[static_cast<std::size_t>(nd)].threshold;
     sum += p;
     sum_sq += p * p;
   }
@@ -134,13 +411,9 @@ double FlatForest::predict_tree_row(std::size_t t,
                                     std::span<const double> features) const {
   HPCP_REQUIRE(t < num_trees(), "tree index out of range");
   check_width(features.size());
-  std::int32_t nd = roots_[t];
-  while (left_[nd] >= 0) {
-    nd = features[static_cast<std::size_t>(feature_[nd])] <= threshold_[nd]
-             ? left_[nd]
-             : right_[nd];
-  }
-  return value_[nd];
+  const std::int32_t nd =
+      walk_one(nodes_.data(), roots_[t], features.data(), 0);
+  return nodes_[static_cast<std::size_t>(nd)].threshold;
 }
 
 void FlatForest::predict_tree_rows(std::size_t t, const Matrix& x,
@@ -149,23 +422,25 @@ void FlatForest::predict_tree_rows(std::size_t t, const Matrix& x,
   HPCP_REQUIRE(t < num_trees(), "tree index out of range");
   check_width(x.cols());
   HPCP_REQUIRE(out.size() == rows.size(), "output span must match row list");
+  HPCP_REQUIRE(x.data().size() <=
+                   static_cast<std::size_t>(
+                       (std::numeric_limits<std::int32_t>::max)()),
+               "matrix too large for flat traversal");
   const std::size_t d = x.cols();
   const double* xd = x.data().data();
-  std::vector<std::int32_t> cur(rows.size(), roots_[t]);
-  for (bool active = true; active;) {
-    active = false;
-    for (std::size_t k = 0; k < rows.size(); ++k) {
-      const std::int32_t nd = cur[k];
-      const std::int32_t l = left_[nd];
-      if (l < 0) continue;
-      cur[k] = xd[rows[k] * d + static_cast<std::size_t>(feature_[nd])] <=
-                       threshold_[nd]
-                   ? l
-                   : right_[nd];
-      active = true;
-    }
+  // Non-contiguous row subset: every kernel takes the offset table here.
+  std::vector<std::int32_t> xbase(rows.size());
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    xbase[k] = static_cast<std::int32_t>(rows[k] * d);
   }
-  for (std::size_t k = 0; k < rows.size(); ++k) out[k] = value_[cur[k]];
+  const ForestIsa isa = resolve_forest_isa();
+  std::vector<std::int64_t> act(kernel_needs_xbase(isa) ? 0 : rows.size());
+  std::vector<std::int32_t> cur(rows.size());
+  walk_tree(t, xd, xbase.data(), static_cast<std::int32_t>(d), cur.data(),
+            rows.size(), isa, act.empty() ? nullptr : act.data());
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    out[k] = nodes_[static_cast<std::size_t>(cur[k])].threshold;
+  }
 }
 
 void FlatForest::accumulate_tree(std::size_t t, const Matrix& x, double scale,
@@ -173,24 +448,23 @@ void FlatForest::accumulate_tree(std::size_t t, const Matrix& x, double scale,
   HPCP_REQUIRE(t < num_trees(), "tree index out of range");
   check_width(x.cols());
   HPCP_REQUIRE(acc.size() == x.rows(), "accumulator must match row count");
+  HPCP_REQUIRE(x.data().size() <=
+                   static_cast<std::size_t>(
+                       (std::numeric_limits<std::int32_t>::max)()),
+               "matrix too large for flat traversal");
   const std::size_t n = x.rows();
-  const std::size_t d = x.cols();
+  const auto d = static_cast<std::int32_t>(x.cols());
   const double* xd = x.data().data();
-  std::vector<std::int32_t> cur(n, roots_[t]);
-  for (bool active = true; active;) {
-    active = false;
-    for (std::size_t r = 0; r < n; ++r) {
-      const std::int32_t nd = cur[r];
-      const std::int32_t l = left_[nd];
-      if (l < 0) continue;
-      cur[r] = xd[r * d + static_cast<std::size_t>(feature_[nd])] <=
-                       threshold_[nd]
-                   ? l
-                   : right_[nd];
-      active = true;
-    }
+  const ForestIsa isa = resolve_forest_isa();
+  std::vector<std::int32_t> xbase;
+  if (kernel_needs_xbase(isa)) xbase = make_xbase(n, x.cols());
+  std::vector<std::int64_t> act(kernel_needs_xbase(isa) ? 0 : n);
+  std::vector<std::int32_t> cur(n);
+  walk_tree(t, xd, xbase.empty() ? nullptr : xbase.data(), d, cur.data(), n,
+            isa, act.empty() ? nullptr : act.data());
+  for (std::size_t r = 0; r < n; ++r) {
+    acc[r] += scale * nodes_[cur[r]].threshold;
   }
-  for (std::size_t r = 0; r < n; ++r) acc[r] += scale * value_[cur[r]];
 }
 
 }  // namespace hpcp

@@ -4,20 +4,38 @@
 #include <span>
 #include <vector>
 
+#include "src/forest/forest_isa.hpp"
 #include "src/forest/tree.hpp"
 #include "src/linear/matrix.hpp"
 
 /// \file flat_forest.hpp
-/// Structure-of-arrays tree ensemble for batched inference.
+/// Cache-blocked tree ensemble for batched inference.
 ///
-/// FlatForest packs any number of fitted RegressionTrees into five
-/// contiguous parallel arrays (feature / threshold / left / right / value)
-/// with per-tree root offsets. Batched prediction walks *all rows
-/// level-by-level*: every pass advances every still-active row one level,
-/// so the upper tree levels — shared by all rows — stay cache-resident
-/// while the row block streams through, and there is no per-row function
-/// call or per-node validity check on the hot path (the feature width is
-/// checked once per call instead).
+/// FlatForest packs any number of fitted RegressionTrees into one
+/// contiguous array of 16-byte nodes (threshold + feature + left-child
+/// index; four nodes per cache line) with per-tree root offsets. Nodes
+/// are renumbered breadth-first with sibling children adjacent, so
+///   - `right == left + 1` always: the traversal step is branchless
+///     index arithmetic (`left + (x > threshold)`), and
+///   - one tree level occupies one contiguous run, which is exactly the
+///     access pattern of the level-synchronous walk below.
+/// A leaf stores its prediction in the threshold slot (feature < 0), so
+/// the hot loop touches a single array.
+///
+/// Batched prediction walks *all rows level-by-level*: every pass
+/// advances every still-active row one level, so the upper tree levels —
+/// shared by all rows — stay cache-resident while the row block streams
+/// through. The walk ships as three bitwise-identical kernels selected at
+/// runtime per batch (forest_isa.hpp; `HPCP_FOREST_ISA` forces a tier):
+/// a scalar reference that sweeps the whole block, and SSE2/AVX2 tiers
+/// that keep a compacted active list of (node, row) entries so rows
+/// already parked at a leaf are never revisited — on unbalanced
+/// unlimited-depth trees that halves the visit count, which is where the
+/// measured speedup comes from (see flat_forest.cpp for the kernel
+/// anatomy and the rejected alternatives, hardware gathers included).
+/// Parity is a contract, not an aspiration: the parity suite and bench
+/// compare scalar vs SIMD predictions bit for bit, NaN thresholds
+/// included.
 ///
 /// RandomForest and GradientBoostedTrees build a FlatForest after fitting
 /// and route predict / predict_stats / OOB / staged prediction through it;
@@ -28,16 +46,36 @@ namespace hpcp {
 
 class FlatForest {
  public:
+  /// One packed traversal node. Internal: feature >= 0, `threshold` is the
+  /// split, children live at `left` and `left + 1` (rows with
+  /// x[feature] <= threshold go left; a NaN threshold or NaN feature value
+  /// goes right, matching IEEE `<=`). Leaf: feature < 0, `threshold`
+  /// holds the prediction, `left` is unused (-1).
+  struct alignas(16) Node {
+    double threshold = 0.0;
+    std::int32_t feature = -1;
+    std::int32_t left = -1;
+  };
+  static_assert(sizeof(Node) == 16, "traversal node must pack to 16 bytes");
+
   FlatForest() = default;
 
   /// Flatten an ensemble; all trees must be fitted.
   [[nodiscard]] static FlatForest build(std::span<const RegressionTree> trees);
 
+  /// Builds directly from raw per-tree node lists. Test/fuzz entry point
+  /// for shapes a real fit cannot produce (NaN thresholds, degenerate
+  /// one-leaf trees); semantics identical to build().
+  [[nodiscard]] static FlatForest from_nodes(
+      std::span<const std::vector<RegressionTree::Node>> trees);
+
   [[nodiscard]] std::size_t num_trees() const noexcept {
     return roots_.empty() ? 0 : roots_.size() - 1;
   }
   [[nodiscard]] bool empty() const noexcept { return num_trees() == 0; }
-  [[nodiscard]] std::size_t num_nodes() const noexcept { return value_.size(); }
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return nodes_.size();
+  }
   /// Minimum feature-vector width accepted by predict calls.
   [[nodiscard]] std::size_t min_feature_width() const noexcept {
     return min_width_;
@@ -73,12 +111,23 @@ class FlatForest {
 
  private:
   void check_width(std::size_t width) const;
+  void append_tree(std::span<const RegressionTree::Node> nodes);
 
-  std::vector<std::int32_t> feature_;
-  std::vector<double> threshold_;
-  std::vector<std::int32_t> left_;
-  std::vector<std::int32_t> right_;
-  std::vector<double> value_;
+  /// Walks rows through tree t, leaving every cur[k] at its leaf; the
+  /// kernels seed the traversal from the tree root themselves, so cur
+  /// needs no prefill by the caller. Row k's features sit at
+  /// xd + xbase[k] when an offset table is given; a null xbase means the
+  /// rows are contiguous (offset k * d) and is only valid for the vector
+  /// tiers — the scalar reference always takes the table
+  /// (kernel_needs_xbase in flat_forest.cpp). `act` is the vector tiers'
+  /// active-list scratch (>= n entries, reusable across trees); it may
+  /// be null for the scalar tier.
+  void walk_tree(std::size_t t, const double* xd,
+                 const std::int32_t* xbase, std::int32_t d,
+                 std::int32_t* cur, std::size_t n, ForestIsa isa,
+                 std::int64_t* act) const;
+
+  std::vector<Node> nodes_;
   std::vector<std::int32_t> roots_;  ///< tree t's nodes: [roots_[t], roots_[t+1])
   std::size_t min_width_ = 0;
 };

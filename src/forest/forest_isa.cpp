@@ -1,0 +1,43 @@
+#include "src/forest/forest_isa.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace hpcp {
+
+ForestIsa detect_forest_isa() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx2")) return ForestIsa::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return ForestIsa::kSse2;
+#endif
+  return ForestIsa::kScalar;
+}
+
+ForestIsa resolve_forest_isa() {
+  const ForestIsa widest = detect_forest_isa();
+  const char* env = std::getenv("HPCP_FOREST_ISA");
+  if (env == nullptr || std::strcmp(env, "auto") == 0) return widest;
+  // Requests wider than the CPU clamp down instead of faulting: asking
+  // for avx2 on an sse2-only box runs sse2, never SIGILL.
+  if (std::strcmp(env, "avx2") == 0) {
+    return widest == ForestIsa::kAvx2 ? ForestIsa::kAvx2 : widest;
+  }
+  if (std::strcmp(env, "sse2") == 0) {
+    return widest == ForestIsa::kScalar ? ForestIsa::kScalar
+                                        : ForestIsa::kSse2;
+  }
+  // "scalar" and anything unrecognised: the reference path. A typo must
+  // degrade to correct-but-slow, never to undefined behaviour.
+  return ForestIsa::kScalar;
+}
+
+const char* forest_isa_name(ForestIsa isa) {
+  switch (isa) {
+    case ForestIsa::kAvx2: return "avx2";
+    case ForestIsa::kSse2: return "sse2";
+    case ForestIsa::kScalar: break;
+  }
+  return "scalar";
+}
+
+}  // namespace hpcp

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file forest_isa.hpp
+/// Runtime instruction-set dispatch for the FlatForest traversal kernels.
+///
+/// The batched tree walk ships in three builds of the same algorithm: a
+/// scalar reference, an SSE2 two-lane kernel, and an AVX2 four-lane
+/// gather kernel (flat_forest.cpp). All three are bitwise-identical by
+/// contract — same comparisons (`x <= threshold`, NaN thresholds send
+/// rows right under both scalar and `_CMP_LE_OQ` semantics), same leaf
+/// values, same accumulation order — so which one runs is purely a speed
+/// decision and every caller inherits it invisibly.
+///
+/// Selection order: the `HPCP_FOREST_ISA` environment variable
+/// (`scalar` / `sse2` / `avx2` / `auto`, re-read on every resolve so
+/// tests can flip it mid-process), clamped to what the CPU actually
+/// supports, else the widest supported kernel. On non-x86 builds the
+/// answer is always `kScalar`.
+
+namespace hpcp {
+
+enum class ForestIsa {
+  kScalar,  ///< portable reference walker
+  kSse2,    ///< two rows per step, vector compare/select
+  kAvx2,    ///< four rows per step, hardware gathers
+};
+
+/// Kernel the next FlatForest batch call will run: env override clamped
+/// to CPU support. Cheap enough to call per batch (one getenv).
+[[nodiscard]] ForestIsa resolve_forest_isa();
+
+/// Widest kernel this CPU supports, ignoring the env override.
+[[nodiscard]] ForestIsa detect_forest_isa();
+
+/// "scalar" / "sse2" / "avx2" — bench artifacts record this.
+[[nodiscard]] const char* forest_isa_name(ForestIsa isa);
+
+}  // namespace hpcp

@@ -230,7 +230,7 @@ std::optional<Request> Server::enqueue(const std::string& line,
   return std::nullopt;
 }
 
-void Server::flush(std::vector<Pending>* batch, std::ostream& out) {
+void Server::resolve(std::vector<Pending>* batch) {
   if (batch->empty()) return;
   const obs::Span span("serve.batch");
   obs::count("serve.batches");
@@ -356,13 +356,73 @@ void Server::flush(std::vector<Pending>* batch, std::ostream& out) {
                                       slots[i].predictions);
       ++requests_served_;
     }
-    out << p.response << '\n';
     obs::count("serve.requests");
     obs::observe("serve.latency_seconds", p.watch.seconds(),
                  obs::default_time_bounds());
   }
+}
+
+void Server::flush(std::vector<Pending>* batch, std::ostream& out) {
+  if (batch->empty()) return;
+  resolve(batch);
+  for (const Pending& p : *batch) out << p.response << '\n';
   out.flush();
   batch->clear();
+}
+
+Server::BatchOutcome Server::handle_batch(std::span<const BatchLine> lines) {
+  poll_reloads();
+  BatchOutcome result;
+  result.responses.resize(lines.size());
+  std::vector<Pending> batch;
+  std::vector<std::size_t> origin;  // window slot per batch entry
+  const auto flush_into = [&] {
+    if (batch.empty()) return;
+    resolve(&batch);
+    for (std::size_t j = 0; j < batch.size(); ++j) {
+      result.responses[origin[j]] = std::move(batch[j].response);
+    }
+    batch.clear();
+    origin.clear();
+  };
+  std::size_t i = 0;
+  for (; i < lines.size(); ++i) {
+    const BatchLine& line = lines[i];
+    if (line.too_long) {
+      ++too_large_;
+      obs::count("serve.too_large");
+      Pending pending;
+      pending.response = render_error(
+          "", model_version(),
+          {kErrTooLarge,
+           "request line exceeds max_line_bytes=" +
+               std::to_string(opts_.max_line_bytes) + "; line discarded"});
+      origin.push_back(i);
+      batch.push_back(std::move(pending));
+    } else if (is_blank(line.text)) {
+      // no response; the slot stays empty
+    } else {
+      auto control = enqueue(line.text, &batch);
+      if (control.has_value()) {
+        // A control command observes everything admitted before it, just
+        // like the stream loop: flush first, then answer.
+        flush_into();
+        result.responses[i] = handle_control(*control);
+        if (control->cmd == Request::Cmd::kShutdown) {
+          result.shutdown = true;
+          ++i;
+          break;
+        }
+        continue;
+      }
+      origin.push_back(i);
+    }
+    if (batch.size() >= opts_.batch_max) flush_into();
+  }
+  flush_into();
+  result.consumed = i;
+  result.responses.resize(result.consumed);
+  return result;
 }
 
 std::string Server::handle_control(const Request& req) {

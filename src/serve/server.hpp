@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -110,7 +111,7 @@ struct ServeOptions {
   std::uint64_t reload_backoff_max_ms = 30000;
   /// Monotonic millisecond clock; unset = std::chrono::steady_clock. The
   /// chaos harness injects a deterministic skipping clock here.
-  std::function<std::uint64_t()> clock_ms;
+  std::function<std::uint64_t()> clock_ms = {};
 };
 
 /// Process-wide asynchronous reload request, safe to set from a SIGHUP
@@ -144,6 +145,37 @@ class Server {
   /// response line — byte-identical to what run() would emit. Test/bench
   /// entry point; shutdown is acknowledged but only run() loops can stop.
   [[nodiscard]] std::string handle_line(const std::string& line);
+
+  /// One transport line submitted to handle_batch. `too_long` marks a line
+  /// the transport already discarded for exceeding max_line_bytes; its
+  /// text is ignored and a typed "too-large" error is rendered, exactly as
+  /// run() does for an over-long stdio line.
+  struct BatchLine {
+    std::string text;
+    bool too_long = false;
+  };
+
+  /// Result of handle_batch. responses[i] answers lines[i]; an empty
+  /// string means "no response" (a blank line). `consumed` counts lines
+  /// actually processed — it falls short of the input only when a
+  /// shutdown command stopped the window, in which case `shutdown` is
+  /// true and the later lines were never looked at.
+  struct BatchOutcome {
+    std::vector<std::string> responses;
+    std::size_t consumed = 0;
+    bool shutdown = false;
+  };
+
+  /// Serves one window of request lines gathered by a concurrent
+  /// transport: the epoll front-end drains every ready connection into a
+  /// single call, so requests from different connections share micro-
+  /// batches (chunked at batch_max) and one batched predict_curves call
+  /// serves the whole flush window. Admission, control handling, and
+  /// response bytes are identical to feeding the same lines through
+  /// run() — position in the window is the only thing that matters, so
+  /// per-connection response order and byte-identity are preserved no
+  /// matter how many connections contributed.
+  [[nodiscard]] BatchOutcome handle_batch(std::span<const BatchLine> lines);
 
   [[nodiscard]] const ServeOptions& options() const noexcept {
     return opts_;
@@ -211,7 +243,12 @@ class Server {
   [[nodiscard]] std::optional<Request> enqueue(
       const std::string& line, std::vector<Pending>* batch);
 
-  /// Predicts + renders every pending request, in order.
+  /// Predicts + renders every pending request in order: after resolve()
+  /// every Pending carries its final response line. Shared by the stream
+  /// loop (flush) and the window entry point (handle_batch).
+  void resolve(std::vector<Pending>* batch);
+
+  /// resolve() + emit to `out`, one line per request, then clear.
   void flush(std::vector<Pending>* batch, std::ostream& out);
 
   /// Ping / health / reload / stats / shutdown responses.

@@ -1,18 +1,25 @@
 #include "src/serve/tcp.hpp"
 
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
-#include <istream>
+#include <limits>
+#include <map>
 #include <ostream>
 #include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/obs/obs.hpp"
-#include "src/serve/fd_stream.hpp"
 
 namespace hpcp::serve {
 
@@ -20,6 +27,142 @@ namespace {
 
 Error io_error(const std::string& what) {
   return Error{ErrorCode::Io, what + ": " + std::strerror(errno), {}};
+}
+
+std::uint64_t steady_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Responses waiting for a reader are bounded: a client that pipelines
+/// requests but never drains its socket is closed as an error instead of
+/// ballooning the daemon's memory.
+constexpr std::size_t kMaxOutbufBytes = std::size_t{64} << 20;
+
+/// One live client connection: reassembly state for inbound lines and an
+/// outbound buffer for responses the socket has not accepted yet.
+struct Conn {
+  int fd = -1;
+  std::uint64_t id = 0;  ///< accept order; window drain is pinned to it
+  std::string acc;       ///< current partial request line
+  bool discarding = false;  ///< over-long line: dropping bytes to '\n'
+  std::vector<Server::BatchLine> ready;  ///< complete, unanswered lines
+  std::string outbuf;
+  std::size_t out_off = 0;
+  bool saw_eof = false;
+  bool dead = false;  ///< transport error; close without draining
+  bool writable_armed = false;
+  const char* reason = "eof";
+  std::uint64_t last_activity = 0;
+};
+
+/// Line reassembly with the same contract as the stream loop's bounded
+/// read: a line longer than `max` is discarded up to its newline and
+/// surfaces as one too_long marker (answered with a typed error), so a
+/// hostile client cannot balloon memory; everything else becomes a
+/// BatchLine when its '\n' arrives.
+void push_byte(Conn& c, char ch, std::size_t max) {
+  if (c.discarding) {
+    if (ch == '\n') {
+      c.discarding = false;
+      c.ready.push_back({std::string(), true});
+    }
+    return;
+  }
+  if (ch == '\n') {
+    c.ready.push_back({std::move(c.acc), false});
+    c.acc.clear();
+    return;
+  }
+  if (c.acc.size() >= max) {
+    c.acc.clear();
+    c.discarding = true;
+    return;
+  }
+  c.acc.push_back(ch);
+}
+
+/// EOF flushes reassembly exactly like the stream loop: a final
+/// unterminated line is still served, a half-discarded over-long line
+/// still gets its typed error.
+void flush_partial_at_eof(Conn& c) {
+  if (c.discarding) {
+    c.discarding = false;
+    c.ready.push_back({std::string(), true});
+  } else if (!c.acc.empty()) {
+    c.ready.push_back({std::move(c.acc), false});
+    c.acc.clear();
+  }
+}
+
+/// Drains everything the socket has, through the fault model, into the
+/// connection's line assembler. Sets saw_eof / dead instead of throwing;
+/// the event loop decides when the connection actually closes.
+void drain_reads(Conn& c, FaultInjector* faults, std::size_t max_line) {
+  char buf[4096];
+  for (;;) {
+    std::size_t want = sizeof(buf);
+    if (faults != nullptr && faults->enabled()) {
+      if (faults->read_disconnects()) {
+        c.saw_eof = true;
+        c.reason = "injected-disconnect";
+        return;
+      }
+      want = faults->clamp_read(want);
+    }
+    ssize_t n;
+    do {
+      n = ::recv(c.fd, buf, want, 0);
+    } while (n < 0 && errno == EINTR);
+    if (n == 0) {
+      c.saw_eof = true;
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      c.dead = true;
+      c.reason = errno == ECONNRESET ? "econnreset" : "error";
+      return;
+    }
+    c.last_activity = steady_ms();
+    for (ssize_t i = 0; i < n; ++i) push_byte(c, buf[i], max_line);
+  }
+}
+
+/// Writes as much of the outbound buffer as the socket accepts right now
+/// (MSG_NOSIGNAL: a vanished peer is EPIPE on our return path, never
+/// SIGPIPE). Partial progress is kept; the loop arms EPOLLOUT for the
+/// rest.
+void drain_writes(Conn& c, FaultInjector* faults) {
+  while (c.out_off < c.outbuf.size()) {
+    std::size_t len = c.outbuf.size() - c.out_off;
+    if (faults != nullptr && faults->enabled()) {
+      if (faults->write_fails()) {
+        c.dead = true;
+        c.reason = "injected-disconnect";
+        return;
+      }
+      len = faults->clamp_write(len);
+    }
+    ssize_t n;
+    do {
+      n = ::send(c.fd, c.outbuf.data() + c.out_off, len, MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      c.dead = true;
+      c.reason = errno == EPIPE          ? "epipe"
+                 : errno == ECONNRESET   ? "econnreset"
+                                         : "error";
+      return;
+    }
+    c.out_off += static_cast<std::size_t>(n);
+    c.last_activity = steady_ms();
+  }
+  c.outbuf.clear();
+  c.out_off = 0;
 }
 
 }  // namespace
@@ -48,11 +191,13 @@ Expected<void> run_tcp_server(Server& server, std::uint16_t port,
     ::close(listener);
     return err;
   }
-  if (::listen(listener, 16) != 0) {
+  if (::listen(listener, 64) != 0) {
     const Error err = io_error("listen");
     ::close(listener);
     return err;
   }
+  const int fl = ::fcntl(listener, F_GETFL, 0);
+  ::fcntl(listener, F_SETFL, fl | O_NONBLOCK);
 
   // Report the actual port (useful with port 0 = kernel-assigned).
   sockaddr_in bound{};
@@ -61,47 +206,224 @@ Expected<void> run_tcp_server(Server& server, std::uint16_t port,
                     &bound_len) == 0) {
     port = ntohs(bound.sin_port);
   }
+
+  const int epfd = ::epoll_create1(0);
+  if (epfd < 0) {
+    const Error err = io_error("epoll_create1");
+    ::close(listener);
+    return err;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listener;
+  if (::epoll_ctl(epfd, EPOLL_CTL_ADD, listener, &ev) != 0) {
+    const Error err = io_error("epoll_ctl add listener");
+    ::close(epfd);
+    ::close(listener);
+    return err;
+  }
+
   log << "serve: listening on 127.0.0.1:" << port << '\n' << std::flush;
   if (opts.bound_port != nullptr) {
     opts.bound_port->store(port, std::memory_order_release);
   }
 
+  const std::size_t max_line = server.options().max_line_bytes;
+  std::map<std::uint64_t, Conn> conns;  // keyed by accept order
+  std::unordered_map<int, std::uint64_t> by_fd;
+  std::uint64_t next_id = 1;
+  std::uint64_t seq = 0;
   bool shutdown = false;
+
+  const auto close_conn = [&](Conn& c, const char* reason) {
+    ::epoll_ctl(epfd, EPOLL_CTL_DEL, c.fd, nullptr);
+    ::close(c.fd);
+    by_fd.erase(c.fd);
+    log << "serve: connection closed (" << reason << ")\n" << std::flush;
+    if (std::strcmp(reason, "timeout") == 0) {
+      obs::count("serve.connection_timeouts");
+    } else if (std::strcmp(reason, "eof") != 0 &&
+               std::strcmp(reason, "shutdown") != 0) {
+      obs::count("serve.connection_errors");
+    }
+  };
+
   while (!shutdown) {
-    int conn;
-    do {
-      conn = ::accept(listener, nullptr, nullptr);
-    } while (conn < 0 && errno == EINTR);
-    if (conn < 0) {
-      const Error err = io_error("accept");
+    // Wake at the earliest idle deadline (or block: an idle listener with
+    // no deadline waits exactly like the old blocking accept did).
+    int timeout = -1;
+    if (opts.io_timeout_ms > 0 && !conns.empty()) {
+      const std::uint64_t now = steady_ms();
+      std::uint64_t earliest = (std::numeric_limits<std::uint64_t>::max)();
+      for (const auto& [id, c] : conns) {
+        earliest = std::min(
+            earliest,
+            c.last_activity + static_cast<std::uint64_t>(opts.io_timeout_ms));
+      }
+      timeout = earliest <= now
+                    ? 0
+                    : static_cast<int>(std::min<std::uint64_t>(
+                          earliest - now,
+                          (std::numeric_limits<int>::max)()));
+    }
+
+    epoll_event events[64];
+    const int nev = ::epoll_wait(epfd, events, 64, timeout);
+    if (nev < 0) {
+      if (errno == EINTR) continue;
+      const Error err = io_error("epoll_wait");
+      for (auto& [id, c] : conns) {
+        ::close(c.fd);
+      }
+      ::close(epfd);
       ::close(listener);
       return err;
     }
-    log << "serve: connection opened\n" << std::flush;
-    obs::count("serve.connections");
-    {
-      FdStreambuf::Options fd_opts;
-      fd_opts.read_timeout_ms = opts.io_timeout_ms;
-      fd_opts.write_timeout_ms = opts.io_timeout_ms;
-      fd_opts.faults = opts.faults;
-      FdStreambuf buf(conn, fd_opts);
-      std::istream in(&buf);
-      std::ostream out(&buf);
-      shutdown = server.run(in, out);
-      // Whatever ended the session — orderly EOF, a mid-line disconnect,
-      // a slow-client timeout, EPIPE halfway through a response — is a
-      // logged lifecycle event; the daemon itself is unharmed.
-      log << "serve: connection closed ("
-          << (shutdown ? "shutdown" : buf.end_reason_name()) << ")\n"
-          << std::flush;
-      if (buf.end_reason() == FdStreambuf::EndReason::kTimeout) {
-        obs::count("serve.connection_timeouts");
-      } else if (buf.end_reason() == FdStreambuf::EndReason::kError) {
-        obs::count("serve.connection_errors");
+
+    for (int e = 0; e < nev; ++e) {
+      const int fd = events[e].data.fd;
+      if (fd == listener) {
+        for (;;) {
+          int cfd;
+          do {
+            cfd = ::accept4(listener, nullptr, nullptr, SOCK_NONBLOCK);
+          } while (cfd < 0 && errno == EINTR);
+          if (cfd < 0) break;  // EAGAIN, or a transient accept error
+          if (conns.size() >= opts.max_connections) {
+            // Shedding at the front door keeps the event loop's state
+            // bounded; the client sees an immediate close.
+            log << "serve: connection rejected (capacity)\n" << std::flush;
+            obs::count("serve.connection_rejects");
+            ::close(cfd);
+            continue;
+          }
+          Conn c;
+          c.fd = cfd;
+          c.id = next_id++;
+          c.last_activity = steady_ms();
+          epoll_event cev{};
+          cev.events = EPOLLIN;
+          cev.data.fd = cfd;
+          if (::epoll_ctl(epfd, EPOLL_CTL_ADD, cfd, &cev) != 0) {
+            ::close(cfd);
+            continue;
+          }
+          by_fd[cfd] = c.id;
+          conns.emplace(c.id, std::move(c));
+          log << "serve: connection opened\n" << std::flush;
+          obs::count("serve.connections");
+        }
+        continue;
+      }
+      const auto idit = by_fd.find(fd);
+      if (idit == by_fd.end()) continue;  // already closed this wake
+      Conn& c = conns.at(idit->second);
+      if ((events[e].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0 &&
+          !c.saw_eof && !c.dead) {
+        drain_reads(c, opts.faults, max_line);
+        if (c.saw_eof) flush_partial_at_eof(c);
+      }
+      if ((events[e].events & EPOLLOUT) != 0 && !c.dead) {
+        drain_writes(c, opts.faults);
       }
     }
-    ::close(conn);
+
+    // Harvest the window: every complete line from every live connection,
+    // in connection-accept order — the pinned cross-connection order that
+    // seq_log records. One handle_batch call serves them all.
+    std::vector<Server::BatchLine> lines;
+    std::vector<std::uint64_t> owner;
+    for (auto& [id, c] : conns) {
+      if (c.dead) continue;  // transport is gone; nobody to answer
+      for (auto& bl : c.ready) {
+        owner.push_back(id);
+        lines.push_back(std::move(bl));
+      }
+      c.ready.clear();
+    }
+    if (!lines.empty()) {
+      if (opts.seq_log != nullptr) {
+        for (std::size_t k = 0; k < lines.size(); ++k) {
+          *opts.seq_log << "seq " << seq++ << " conn " << owner[k] << '\n';
+        }
+        opts.seq_log->flush();
+      }
+      obs::gauge_set("serve.window_lines",
+                     static_cast<double>(lines.size()));
+      const Server::BatchOutcome outcome = server.handle_batch(lines);
+      for (std::size_t k = 0; k < outcome.consumed; ++k) {
+        if (outcome.responses[k].empty()) continue;
+        const auto cit = conns.find(owner[k]);
+        if (cit == conns.end() || cit->second.dead) continue;
+        cit->second.outbuf += outcome.responses[k];
+        cit->second.outbuf += '\n';
+      }
+      shutdown = outcome.shutdown;
+    }
+
+    // Push responses out and (re)arm EPOLLOUT only while bytes wait — a
+    // level-triggered EPOLLOUT on an idle socket would spin the loop.
+    for (auto& [id, c] : conns) {
+      if (!c.dead && !c.outbuf.empty()) drain_writes(c, opts.faults);
+      if (!c.dead && c.outbuf.size() - c.out_off > kMaxOutbufBytes) {
+        c.dead = true;
+        c.reason = "error";
+      }
+      const bool want = !c.dead && c.out_off < c.outbuf.size();
+      if (want != c.writable_armed) {
+        epoll_event cev{};
+        cev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+        cev.data.fd = c.fd;
+        ::epoll_ctl(epfd, EPOLL_CTL_MOD, c.fd, &cev);
+        c.writable_armed = want;
+      }
+    }
+
+    // Close what finished: errors immediately, EOF once everything the
+    // client sent is answered and written, idlers past the deadline.
+    const std::uint64_t now = steady_ms();
+    for (auto it = conns.begin(); it != conns.end();) {
+      Conn& c = it->second;
+      const bool drained =
+          c.ready.empty() && c.acc.empty() && c.outbuf.empty();
+      if (c.dead) {
+        close_conn(c, c.reason);
+        it = conns.erase(it);
+      } else if (c.saw_eof && drained) {
+        close_conn(c, c.reason);  // "eof" or "injected-disconnect"
+        it = conns.erase(it);
+      } else if (opts.io_timeout_ms > 0 &&
+                 now >= c.last_activity +
+                            static_cast<std::uint64_t>(opts.io_timeout_ms)) {
+        close_conn(c, "timeout");
+        it = conns.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
+
+  // Shutdown: best-effort flush of already-routed responses (the client
+  // that asked for shutdown is still waiting for its ack), then close
+  // everything.
+  for (auto& [id, c] : conns) {
+    const std::uint64_t deadline = steady_ms() + 1000;
+    while (!c.dead && c.out_off < c.outbuf.size() &&
+           steady_ms() < deadline) {
+      pollfd pfd{};
+      pfd.fd = c.fd;
+      pfd.events = POLLOUT;
+      int rc;
+      do {
+        rc = ::poll(&pfd, 1, 100);
+      } while (rc < 0 && errno == EINTR);
+      if (rc <= 0) break;
+      drain_writes(c, opts.faults);
+    }
+    close_conn(c, "shutdown");
+  }
+  conns.clear();
+  ::close(epfd);
   ::close(listener);
   log << "serve: shutdown\n" << std::flush;
   return {};

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 
@@ -9,33 +10,55 @@
 #include "src/serve/server.hpp"
 
 /// \file tcp.hpp (serve)
-/// Minimal POSIX TCP front-end for the prediction server: binds a
-/// listening socket on localhost, then serves connections one at a time —
-/// each connection is one `Server::run` session over a socket-backed
-/// stream (fd_stream.hpp), so the line protocol, batching, and determinism
-/// contract are identical to `--stdio` mode. A {"cmd":"shutdown"} on any
-/// connection stops the listener; every other way a connection can end —
-/// orderly EOF, a mid-line or mid-response disconnect, a read/write
-/// timeout, EPIPE from a vanished peer — is a logged lifecycle event
-/// followed by the next accept, never process death (SIGPIPE is ignored
-/// for the lifetime of the listener). Sequential accept keeps responses
-/// totally ordered per connection and the server single-writer, which is
-/// what the bitwise determinism contract requires.
+/// Epoll-based POSIX TCP front-end for the prediction server: binds a
+/// listening socket on localhost and serves many concurrent connections
+/// from one event loop. Each connection gets bounded line reassembly (the
+/// same max_line_bytes discard-and-typed-error contract as `--stdio`
+/// mode), and every epoll wake drains the complete lines of *all* ready
+/// connections into a single Server::handle_batch window — cross-
+/// connection micro-batching: one batched predict_curves call serves the
+/// whole flush window, and responses are routed back to their connections
+/// afterwards.
+///
+/// Ordering contract: requests from one connection are answered on that
+/// connection, in the order they arrived, byte-identical to replaying the
+/// same lines through `--stdio` mode — which connection a request rode in
+/// on, and what its neighbours in the window were, never changes its
+/// response bytes (the Server determinism contract does the heavy
+/// lifting; the loop only ever appends responses per connection in
+/// request order). *Cross*-connection order within a window is pinned to
+/// connection-accept order; `seq_log` records it (`seq <n> conn <id>`,
+/// one line per admitted request) so a concurrent replay can be audited.
+///
+/// A {"cmd":"shutdown"} on any connection stops the listener; every other
+/// way a connection can end — orderly EOF, a mid-line or mid-response
+/// disconnect, idling past the io timeout, EPIPE from a vanished peer —
+/// is a logged lifecycle event followed by more serving, never process
+/// death (SIGPIPE is ignored for the lifetime of the listener).
 
 namespace hpcp::serve {
 
 /// Knobs for one listener, all optional.
 struct TcpOptions {
-  /// Per-read/per-write deadline against a slow or stalled client, in
-  /// milliseconds; <= 0 blocks forever (the seed behaviour). A timed-out
-  /// connection is closed and logged; the daemon moves on to the next
-  /// accept.
+  /// Idle deadline per connection in milliseconds: a connection with no
+  /// read/write progress for this long is closed ("timeout" lifecycle
+  /// event) and the daemon keeps serving the others. <= 0 means no
+  /// deadline (connections may idle forever); the CLI defaults the
+  /// daemon path to a finite value and reserves an explicit flag for
+  /// "block forever".
   int io_timeout_ms = -1;
+  /// Concurrent-connection bound; a connection accepted above the bound
+  /// is closed immediately ("rejected (capacity)" lifecycle event).
+  std::size_t max_connections = 256;
   /// When non-null, receives the actually bound port once listening —
   /// with port 0 the kernel picks one, and tests need to find it without
   /// scraping the log stream.
   std::atomic<std::uint16_t>* bound_port = nullptr;
-  /// Chaos hook applied to every connection's fd transport; nullptr in
+  /// When non-null, receives one `seq <n> conn <id>` line per admitted
+  /// request in global admission order — the audit trail for cross-
+  /// connection batching.
+  std::ostream* seq_log = nullptr;
+  /// Chaos hook applied to every connection's reads/writes; nullptr in
   /// production (the CLI wires process_faults() here under
   /// HPCP_SERVE_FAULTS).
   FaultInjector* faults = nullptr;

@@ -19,6 +19,16 @@ baseline must never be compared against a full-mode run), and every
 determinism flag that is true in the baseline must still be true in the
 fresh output.
 
+Some ratios only exist on real parallel hardware: thread- and
+connection-scaling speedups are ~1.0x on a single-core runner no matter
+how good the code is, and the SIMD-vs-scalar ratio is 1.0x when the host
+resolves the scalar kernel. The bench JSONs carry a `scaling` block
+mapping such keys to their preconditions ({"min_cores": N} and/or
+{"requires_simd": true}); when the fresh run's `config` shows the
+precondition unmet (hardware_concurrency < min_cores, or simd_isa ==
+"scalar"), both the ratio gate and any --require floor for that key are
+skipped with a printed reason instead of failing spuriously.
+
 Exit codes: 0 = within tolerance, 1 = regression or contract violation,
 2 = bad invocation / unreadable input.
 """
@@ -75,6 +85,27 @@ def main():
     fresh = load(args.fresh)
     failures = []
 
+    # Scaling preconditions: the baseline's block is authoritative (it is
+    # committed), the fresh block fills in keys the baseline predates.
+    scaling = dict(fresh.get("scaling") or {})
+    scaling.update(base.get("scaling") or {})
+    fresh_config = fresh.get("config") or {}
+    hw = fresh_config.get("hardware_concurrency")
+    simd_isa = fresh_config.get("simd_isa")
+
+    def skip_reason(key):
+        rule = scaling.get(key)
+        if not isinstance(rule, dict):
+            return None
+        min_cores = rule.get("min_cores")
+        if isinstance(min_cores, (int, float)) and \
+                isinstance(hw, (int, float)) and hw < min_cores:
+            return (f"runner has {hw:g} core(s) < min_cores "
+                    f"{min_cores:g}")
+        if rule.get("requires_simd") and simd_isa == "scalar":
+            return "runner resolves the scalar ISA"
+        return None
+
     if base.get("schema") != fresh.get("schema"):
         failures.append(
             f"schema mismatch: baseline {base.get('schema')!r} vs "
@@ -87,6 +118,10 @@ def main():
 
     fresh_speedups = fresh.get("speedups") or {}
     for key, baseline_value in sorted((base.get("speedups") or {}).items()):
+        reason = skip_reason(key)
+        if reason is not None:
+            print(f"  {key}: skipped ({reason})")
+            continue
         fresh_value = fresh_speedups.get(key)
         if not isinstance(fresh_value, (int, float)):
             failures.append(f"fresh output missing speedup {key!r}")
@@ -109,6 +144,10 @@ def main():
               f"fresh {fresh_value:.3f}x [{verdict}]")
 
     for key, floor in map(parse_requirement, args.require):
+        reason = skip_reason(key)
+        if reason is not None:
+            print(f"  {key}: required floor skipped ({reason})")
+            continue
         fresh_value = fresh_speedups.get(key)
         if not isinstance(fresh_value, (int, float)):
             failures.append(f"fresh output missing required speedup {key!r}")

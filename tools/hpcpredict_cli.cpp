@@ -36,6 +36,7 @@
 ///   hpcpredict_cli evaluate --app minimd --targets 32,64,128,256
 
 #include <csignal>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -275,7 +276,6 @@ int cmd_serve(const Args& args) {
   opts.max_line_bytes = args.get_size("max-line-bytes", 1 << 20);
   opts.max_pending = args.get_size("max-pending", 256);
   opts.request_deadline_ms = args.get_size("deadline-ms", 0);
-  const std::size_t io_timeout = args.get_size("io-timeout-ms", 0);
   if (args.has("port") && args.has("stdio")) {
     throw cli::UsageError("--port and --stdio are mutually exclusive");
   }
@@ -311,8 +311,22 @@ int cmd_serve(const Args& args) {
       throw cli::UsageError("--port expects a value in [0, 65535]");
     }
     serve::TcpOptions tcp_opts;
+    // Daemon sockets default to a finite idle deadline so one stalled
+    // client cannot pin a connection slot forever; --io-timeout-ms 0
+    // explicitly restores "block forever".
+    const std::size_t io_timeout = args.get_size("io-timeout-ms", 30000);
     tcp_opts.io_timeout_ms =
         io_timeout > 0 ? static_cast<int>(io_timeout) : -1;
+    tcp_opts.max_connections = args.get_size("max-conns", 256);
+    std::ofstream seq_log;
+    if (args.has("seq-log")) {
+      seq_log.open(args.get("seq-log"));
+      if (!seq_log) {
+        throw cli::UsageError("cannot open --seq-log file " +
+                              args.get("seq-log"));
+      }
+      tcp_opts.seq_log = &seq_log;
+    }
     tcp_opts.faults = faults;
     serve::run_tcp_server(server, static_cast<std::uint16_t>(port),
                           std::cerr, tcp_opts)
@@ -383,7 +397,9 @@ void print_usage() {
       "  serve    --model FILE [--port N | --stdio] [--threads N]\n"
       "           [--batch-max N] [--cache-entries N] [--cache-shards N]\n"
       "           [--max-line-bytes N] [--max-pending N] [--deadline-ms N]\n"
-      "           [--io-timeout-ms N]   (env HPCP_SERVE_FAULTS=chaos spec)\n"
+      "           [--io-timeout-ms N (default 30000; 0 = no deadline)]\n"
+      "           [--max-conns N] [--seq-log FILE]\n"
+      "           (env HPCP_SERVE_FAULTS=chaos spec)\n"
       "observability (all commands):\n"
       "  [--trace FILE] [--metrics-out FILE] [--metrics-text FILE]\n";
 }
