@@ -49,6 +49,7 @@
 #include "src/common/rng.hpp"
 #include "src/core/two_level_model.hpp"
 #include "src/obs/jsonlite.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/serve/server.hpp"
 #include "src/serve/tcp.hpp"
 
@@ -357,9 +358,9 @@ void write_json(const std::string& path, bool short_mode,
                 const LoadLatency& load4, double cache_speedup,
                 double throughput_speedup, double overload_speedup,
                 double deadline_speedup, double conn4_speedup,
-                double conn16_speedup, bool byte_identical,
-                bool byte_identical_overload,
-                bool byte_identical_concurrent) {
+                double conn16_speedup, double obs_on_vs_off,
+                bool byte_identical, bool byte_identical_overload,
+                bool byte_identical_concurrent, bool byte_identical_obs) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -400,7 +401,10 @@ void write_json(const std::string& path, bool short_mode,
   out << "    \"overload_shed_vs_nocache\": " << overload_speedup << ",\n";
   out << "    \"deadline_vs_nocache\": " << deadline_speedup << ",\n";
   out << "    \"concurrent_4conn_vs_1conn\": " << conn4_speedup << ",\n";
-  out << "    \"concurrent_16conn_vs_1conn\": " << conn16_speedup << "\n";
+  out << "    \"concurrent_16conn_vs_1conn\": " << conn16_speedup << ",\n";
+  // Observability tax: median on/off wall-clock ratio of the nocache
+  // replay; the regression gate caps this with --require-max.
+  out << "    \"obs_on_vs_off\": " << obs_on_vs_off << "\n";
   out << "  },\n";
   // Which speedup ratios require real parallel hardware, and how much:
   // the regression gate skips a ratio (and its --require floor) when the
@@ -416,20 +420,24 @@ void write_json(const std::string& path, bool short_mode,
   out << "    \"byte_identical_overload\": "
       << (byte_identical_overload ? "true" : "false") << ",\n";
   out << "    \"byte_identical_concurrent\": "
-      << (byte_identical_concurrent ? "true" : "false") << "\n";
+      << (byte_identical_concurrent ? "true" : "false") << ",\n";
+  out << "    \"byte_identical_obs\": "
+      << (byte_identical_obs ? "true" : "false") << "\n";
   out << "  }\n";
   out << "}\n";
   std::printf("\nspeedup: cache-hit p50 = %.2fx, throughput t8/t1 = %.2fx, "
               "overload-shed = %.2fx, deadline = %.2fx,\n"
-              "         4conn/1conn = %.2fx, 16conn/1conn = %.2fx "
-              "(hardware_concurrency=%zu)\n"
+              "         4conn/1conn = %.2fx, 16conn/1conn = %.2fx, "
+              "obs on/off = %.4fx (hardware_concurrency=%zu)\n"
               "determinism: replay responses %s, shed replay %s, "
-              "concurrent replay %s\nwrote %s\n",
+              "concurrent replay %s, obs replay %s\nwrote %s\n",
               cache_speedup, throughput_speedup, overload_speedup,
-              deadline_speedup, conn4_speedup, conn16_speedup, hw,
+              deadline_speedup, conn4_speedup, conn16_speedup,
+              obs_on_vs_off, hw,
               byte_identical ? "byte-identical" : "DIFFER",
               byte_identical_overload ? "byte-identical" : "DIFFER",
               byte_identical_concurrent ? "byte-identical" : "DIFFER",
+              byte_identical_obs ? "byte-identical" : "DIFFER",
               path.c_str());
 }
 
@@ -563,6 +571,58 @@ int main(int argc, char** argv) {
     (void)run_replay(model, deadline_opts(), replay);
   }));
 
+  // Observability overhead: the same compute-bound nocache replay with
+  // the metric registry hot vs cold. Byte identity across the toggle is
+  // checked first (metrics must never leak into response bytes) at the
+  // full worker count; the timing pairs then run single-threaded — the
+  // per-request instrumentation cost is identical, but an oversubscribed
+  // scheduler (8 workers on a 1-core runner) adds multi-percent noise
+  // that would drown a 1% gate. Interleaved (off, on) pairs, then the
+  // ratio of fastest-of runs — the same best-of estimator run_case uses,
+  // because host noise only ever adds time, so the minima are the
+  // closest observations to the true cost on each side.
+  double obs_on_vs_off;
+  bool byte_identical_obs;
+  {
+    const hpcp::bench::SectionTimer timer("observability on/off pairs");
+    const bool was_enabled = hpcp::obs::metrics_enabled();
+    hpcp::obs::set_metrics_enabled(false);
+    const std::string off_bytes =
+        run_replay(model, {.threads = 8, .cache_entries = 0}, replay);
+    hpcp::obs::set_metrics_enabled(true);
+    byte_identical_obs =
+        run_replay(model, {.threads = 8, .cache_entries = 0}, replay) ==
+        off_bytes;
+    if (!byte_identical_obs) {
+      std::fprintf(stderr,
+                   "FATAL: enabling metrics changed replay response bytes\n");
+      return 1;
+    }
+
+    const ServeOptions obs_opts{.threads = 1, .cache_entries = 0};
+    const std::size_t pairs = short_mode ? 5 : 7;
+    std::vector<double> offs, ons;
+    for (std::size_t r = 0; r < pairs; ++r) {
+      hpcp::obs::set_metrics_enabled(false);
+      const hpcp::obs::Stopwatch off_watch;
+      (void)run_replay(model, obs_opts, replay);
+      offs.push_back(off_watch.seconds());
+      hpcp::obs::set_metrics_enabled(true);
+      const hpcp::obs::Stopwatch on_watch;
+      (void)run_replay(model, obs_opts, replay);
+      ons.push_back(on_watch.seconds());
+    }
+    hpcp::obs::set_metrics_enabled(was_enabled);
+    const double off_best = *std::min_element(offs.begin(), offs.end());
+    const double on_best = *std::min_element(ons.begin(), ons.end());
+    obs_on_vs_off = off_best > 0.0 ? on_best / off_best : 0.0;
+    cases.push_back(BenchCase{"replay_obs_off", off_best, pairs});
+    cases.push_back(BenchCase{"replay_obs_on", on_best, pairs});
+    std::printf("observability overhead: obs_on/obs_off best-of-%zu "
+                "ratio = %.4fx (single-threaded)\n",
+                pairs, obs_on_vs_off);
+  }
+
   // Real-socket replays through the epoll front-end: the same stream,
   // split round-robin across 1 / 4 / 16 concurrent connections. One
   // connection cannot fill cross-connection windows, so the concurrent
@@ -656,9 +716,9 @@ int main(int argc, char** argv) {
     write_json(json_path, short_mode, cfg.num_train, replay_requests, hw,
                cases, cold, hot, load4, cache_speedup, throughput_speedup,
                overload_speedup, deadline_speedup, conn4_speedup,
-               conn16_speedup,
+               conn16_speedup, obs_on_vs_off,
                /*byte_identical=*/true, byte_identical_overload,
-               byte_identical_concurrent);
+               byte_identical_concurrent, byte_identical_obs);
   }
   return 0;
 }

@@ -66,12 +66,28 @@ std::string prometheus_name(const std::string& name) {
   return out;
 }
 
+/// Prometheus exposition-format label-value escaping: backslash, double
+/// quote, and line feed are the three characters the format reserves.
+void prometheus_label_value_into(std::string& out, const std::string& v) {
+  for (const char ch : v) {
+    switch (ch) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += ch;
+    }
+  }
+}
+
 std::string prometheus_labels(const Labels& labels) {
   if (labels.empty()) return "";
   std::string out = "{";
   for (std::size_t i = 0; i < labels.size(); ++i) {
     if (i > 0) out += ',';
-    out += labels[i].first + "=\"" + labels[i].second + "\"";
+    out += labels[i].first;
+    out += "=\"";
+    prometheus_label_value_into(out, labels[i].second);
+    out += '"';
   }
   out += '}';
   return out;

@@ -3,12 +3,14 @@
 /// \file obs.hpp
 /// Umbrella header for the observability subsystem: RAII spans with a
 /// Chrome-trace exporter (trace.hpp), the counter/gauge/histogram registry
-/// with Prometheus and `hpcp-metrics/1` JSON dumps (metrics.hpp), and the
-/// shared wall-clock Stopwatch (stopwatch.hpp). Both spans and metrics are
+/// with Prometheus and `hpcp-metrics/1` JSON dumps (metrics.hpp), windowed
+/// SLO primitives over rings of time buckets (rolling.hpp), and the shared
+/// wall-clock Stopwatch (stopwatch.hpp). Both spans and metrics are
 /// disabled by default and cost one branch-on-atomic each while off; see
 /// DESIGN.md "Observability" for the naming conventions, metric catalog,
 /// and overhead contract.
 
 #include "src/obs/metrics.hpp"   // IWYU pragma: export
+#include "src/obs/rolling.hpp"   // IWYU pragma: export
 #include "src/obs/stopwatch.hpp" // IWYU pragma: export
 #include "src/obs/trace.hpp"     // IWYU pragma: export

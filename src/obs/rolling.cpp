@@ -1,0 +1,138 @@
+#include "src/obs/rolling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hpcp::obs {
+
+namespace {
+
+/// Absolute time bucket for `now_ms`; +1 keeps 0 as the "empty" state.
+std::uint64_t epoch_of(std::uint64_t now_ms, std::uint64_t width_ms) {
+  return now_ms / width_ms + 1;
+}
+
+/// Number of ring buckets a window covers: the current bucket plus the
+/// full buckets before it, at least one, at most the whole usable ring.
+std::size_t window_buckets(std::uint64_t window_ms, std::uint64_t width_ms,
+                           std::size_t slots) {
+  const std::uint64_t k = window_ms / width_ms;
+  return static_cast<std::size_t>(
+      std::clamp<std::uint64_t>(k, 1, slots - 1));
+}
+
+}  // namespace
+
+RollingCounter::RollingCounter(std::uint64_t bucket_width_ms,
+                               std::size_t num_buckets)
+    : width_ms_(bucket_width_ms), slots_size_(num_buckets) {
+  if (width_ms_ == 0) throw std::invalid_argument("bucket width must be > 0");
+  if (slots_size_ < 2) throw std::invalid_argument("need >= 2 time buckets");
+  slots_ = std::make_unique<Slot[]>(slots_size_);
+}
+
+void RollingCounter::add(std::uint64_t now_ms, std::uint64_t delta) noexcept {
+  const std::uint64_t e = epoch_of(now_ms, width_ms_);
+  Slot& slot = slots_[e % slots_size_];
+  if (!detail::rotate_slot(slot.epoch, e, [&slot] {
+        slot.value.store(0, std::memory_order_relaxed);
+      })) {
+    return;  // older than the ring covers
+  }
+  slot.value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+std::uint64_t RollingCounter::sum(std::uint64_t now_ms,
+                                  std::uint64_t window_ms) const noexcept {
+  const std::uint64_t now_e = epoch_of(now_ms, width_ms_);
+  const std::size_t k = window_buckets(window_ms, width_ms_, slots_size_);
+  const std::uint64_t min_e = now_e >= k ? now_e - k + 1 : 1;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < slots_size_; ++i) {
+    const Slot& slot = slots_[i];
+    const std::uint64_t e = slot.epoch.load(std::memory_order_acquire);
+    if (e == detail::kEmptyEpoch || e == detail::kClaimEpoch) continue;
+    if (e < min_e || e > now_e) continue;
+    total += slot.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+RollingHistogram::RollingHistogram(std::span<const double> bounds,
+                                   std::uint64_t bucket_width_ms,
+                                   std::size_t num_buckets)
+    : bounds_(bounds.begin(), bounds.end()),
+      width_ms_(bucket_width_ms),
+      slots_size_(num_buckets) {
+  if (bounds_.empty()) throw std::invalid_argument("histogram needs bounds");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument("histogram bounds must strictly increase");
+    }
+  }
+  if (width_ms_ == 0) throw std::invalid_argument("bucket width must be > 0");
+  if (slots_size_ < 2) throw std::invalid_argument("need >= 2 time buckets");
+  slots_ = std::make_unique<Slot[]>(slots_size_);
+  for (std::size_t i = 0; i < slots_size_; ++i) {
+    slots_[i].cells =
+        std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    for (std::size_t j = 0; j <= bounds_.size(); ++j) {
+      slots_[i].cells[j].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void RollingHistogram::observe(std::uint64_t now_ms, double value) noexcept {
+  const std::uint64_t e = epoch_of(now_ms, width_ms_);
+  Slot& slot = slots_[e % slots_size_];
+  if (!detail::rotate_slot(slot.epoch, e, [this, &slot] {
+        for (std::size_t j = 0; j <= bounds_.size(); ++j) {
+          slot.cells[j].store(0, std::memory_order_relaxed);
+        }
+      })) {
+    return;
+  }
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  slot.cells[idx].fetch_add(1, std::memory_order_relaxed);
+}
+
+RollingHistogram::Window RollingHistogram::window(
+    std::uint64_t now_ms, std::uint64_t window_ms) const {
+  Window out;
+  out.counts.assign(bounds_.size() + 1, 0);
+  const std::uint64_t now_e = epoch_of(now_ms, width_ms_);
+  const std::size_t k = window_buckets(window_ms, width_ms_, slots_size_);
+  const std::uint64_t min_e = now_e >= k ? now_e - k + 1 : 1;
+  for (std::size_t i = 0; i < slots_size_; ++i) {
+    const Slot& slot = slots_[i];
+    const std::uint64_t e = slot.epoch.load(std::memory_order_acquire);
+    if (e == detail::kEmptyEpoch || e == detail::kClaimEpoch) continue;
+    if (e < min_e || e > now_e) continue;
+    for (std::size_t j = 0; j <= bounds_.size(); ++j) {
+      const std::uint64_t c = slot.cells[j].load(std::memory_order_relaxed);
+      out.counts[j] += c;
+      out.total += c;
+    }
+  }
+  return out;
+}
+
+double RollingHistogram::Window::quantile(
+    double q, std::span<const double> bounds) const {
+  if (total == 0) return 0.0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(clamped * static_cast<double>(total))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (cumulative >= rank) {
+      return i < bounds.size() ? bounds[i] : bounds.back();
+    }
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+}  // namespace hpcp::obs

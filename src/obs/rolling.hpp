@@ -1,0 +1,158 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+/// \file rolling.hpp
+/// Windowed SLO primitives: a counter and a histogram over a fixed ring of
+/// time buckets, so a long-running daemon can report "over the last 1s /
+/// 10s / 60s" instead of since-boot totals.
+///
+/// Design:
+///   - The caller passes `now_ms` explicitly on every call. There is no
+///     hidden clock: the serving layer forwards its injectable clock, so
+///     windowed aggregates are exactly as deterministic as the rest of the
+///     server under test (DESIGN.md "Observability").
+///   - One event is O(1): map `now_ms` to its absolute time bucket
+///     ("epoch"), index the ring, and fetch_add with relaxed ordering.
+///     Stale ring slots are recycled lazily by the first writer that
+///     touches them in a new epoch (a tiny claim/zero/publish protocol, so
+///     a reader never observes a half-reset slot as live).
+///   - Reading a window sums the slots whose epoch falls inside it. The
+///     window covers the current (partial) bucket plus the
+///     `window_ms / bucket_width_ms - 1` buckets before it; `window_ms`
+///     must not exceed `max_window_ms()` or older epochs would already
+///     have been recycled.
+///
+/// Writers may race a slot rotation at a bucket boundary; the claim
+/// protocol keeps counts consistent (an event lands either in its own
+/// epoch's slot or — if the ring already moved a full revolution past it —
+/// is dropped), which is the right trade for monitoring data.
+
+namespace hpcp::obs {
+
+namespace detail {
+
+/// Slot life cycle: kEmptyEpoch (never written) -> claimed (kClaimEpoch,
+/// being zeroed) -> published epoch (now_ms / width + 1; the +1 keeps 0 as
+/// the distinct "empty" state).
+inline constexpr std::uint64_t kEmptyEpoch = 0;
+inline constexpr std::uint64_t kClaimEpoch = ~std::uint64_t{0};
+
+/// Rotates `epoch` to `want` if it is stale, spinning through a concurrent
+/// claim. Returns false when the slot already belongs to a *newer* epoch
+/// (the event is older than the ring covers and must be dropped). The
+/// caller zeroes the slot's payload inside `zero` while holding the claim.
+template <typename ZeroFn>
+bool rotate_slot(std::atomic<std::uint64_t>& epoch, std::uint64_t want,
+                 ZeroFn&& zero) noexcept {
+  std::uint64_t cur = epoch.load(std::memory_order_acquire);
+  while (cur != want) {
+    if (cur == kClaimEpoch) {  // another writer is zeroing; wait it out
+      cur = epoch.load(std::memory_order_acquire);
+      continue;
+    }
+    if (cur != kEmptyEpoch && cur > want) return false;  // ring moved on
+    if (epoch.compare_exchange_weak(cur, kClaimEpoch,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+      zero();
+      epoch.store(want, std::memory_order_release);
+      return true;
+    }
+  }
+  return true;
+}
+
+}  // namespace detail
+
+/// Event counter over a ring of time buckets. Thread-safe; see file
+/// comment for the (deliberately relaxed) boundary semantics.
+class RollingCounter {
+ public:
+  /// `bucket_width_ms` >= 1; `num_buckets` >= 2. The largest answerable
+  /// window is (num_buckets - 1) * bucket_width_ms.
+  RollingCounter(std::uint64_t bucket_width_ms, std::size_t num_buckets);
+
+  void add(std::uint64_t now_ms, std::uint64_t delta = 1) noexcept;
+
+  /// Events in the trailing `window_ms` as of `now_ms` (current partial
+  /// bucket included). `window_ms` is clamped to max_window_ms().
+  [[nodiscard]] std::uint64_t sum(std::uint64_t now_ms,
+                                  std::uint64_t window_ms) const noexcept;
+
+  [[nodiscard]] std::uint64_t bucket_width_ms() const noexcept {
+    return width_ms_;
+  }
+  [[nodiscard]] std::size_t num_buckets() const noexcept {
+    return slots_size_;
+  }
+  [[nodiscard]] std::uint64_t max_window_ms() const noexcept {
+    return width_ms_ * (slots_size_ - 1);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> epoch{detail::kEmptyEpoch};
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  std::uint64_t width_ms_;
+  std::size_t slots_size_;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+/// Histogram over a ring of time buckets: each time bucket holds one count
+/// per value bound (same upper-edge convention as obs::Histogram) plus an
+/// overflow cell. Quantiles over a window are answered from the merged
+/// counts, reported as the upper edge of the containing value bucket —
+/// coarse by construction, deterministic by construction.
+class RollingHistogram {
+ public:
+  RollingHistogram(std::span<const double> bounds,
+                   std::uint64_t bucket_width_ms, std::size_t num_buckets);
+
+  void observe(std::uint64_t now_ms, double value) noexcept;
+
+  /// Merged view of one trailing window.
+  struct Window {
+    std::uint64_t total = 0;
+    std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 cells
+
+    /// Upper edge of the value bucket containing the ceil(q * total)-th
+    /// event (q in [0, 1]); events above the last bound clamp to the last
+    /// bound. 0.0 when the window is empty.
+    [[nodiscard]] double quantile(double q,
+                                  std::span<const double> bounds) const;
+  };
+
+  [[nodiscard]] Window window(std::uint64_t now_ms,
+                              std::uint64_t window_ms) const;
+
+  [[nodiscard]] std::span<const double> bounds() const noexcept {
+    return bounds_;
+  }
+  [[nodiscard]] std::uint64_t bucket_width_ms() const noexcept {
+    return width_ms_;
+  }
+  [[nodiscard]] std::uint64_t max_window_ms() const noexcept {
+    return width_ms_ * (slots_size_ - 1);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> epoch{detail::kEmptyEpoch};
+    std::unique_ptr<std::atomic<std::uint64_t>[]> cells;
+  };
+
+  std::vector<double> bounds_;
+  std::uint64_t width_ms_;
+  std::size_t slots_size_;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace hpcp::obs

@@ -130,6 +130,16 @@ bool parse_request(const std::string& line, Request* out, ErrorInfo* err) {
     out->cmd = Request::Cmd::kStats;
     return true;
   }
+  if (cmd == "trace-dump") {
+    out->cmd = Request::Cmd::kTraceDump;
+    if (doc.contains("path")) {
+      if (doc.at("path").kind() != JsonValue::Kind::String) {
+        return fail(err, "bad-request", "path must be a string");
+      }
+      out->model_path = doc.at("path").as_string();
+    }
+    return true;
+  }
   if (cmd == "shutdown") {
     out->cmd = Request::Cmd::kShutdown;
     return true;

@@ -17,7 +17,8 @@
 ///   {"cmd":"ping"}                                        liveness probe
 ///   {"cmd":"health"}                                      readiness probe
 ///   {"cmd":"reload"} / {"cmd":"reload","model":"m.txt"}   hot model reload
-///   {"cmd":"stats"}                                       serving counters
+///   {"cmd":"stats"}                                       hpcp-stats/1 snapshot
+///   {"cmd":"trace-dump","path":"t.json"}                  live Chrome-trace dump
 ///   {"cmd":"shutdown"}                                    stop the server
 ///
 /// `id` (string or number) is echoed verbatim on the response. `params`
@@ -45,7 +46,15 @@ inline constexpr const char* kErrDeadline = "deadline";       ///< request deadl
 
 /// One parsed request line.
 struct Request {
-  enum class Cmd { kPredict, kPing, kHealth, kReload, kStats, kShutdown };
+  enum class Cmd {
+    kPredict,
+    kPing,
+    kHealth,
+    kReload,
+    kStats,
+    kTraceDump,
+    kShutdown
+  };
 
   Cmd cmd = Cmd::kPredict;
   /// The client's `id`, already rendered as a JSON token ("\"q1\"" or
@@ -53,7 +62,9 @@ struct Request {
   std::string id_json;
   std::vector<double> params;       ///< predict only
   std::vector<std::size_t> scales;  ///< predict only; empty = model targets
-  std::string model_path;           ///< reload only; empty = original path
+  /// reload: the archive to load (empty = original path). trace-dump: the
+  /// output file for the Chrome-trace snapshot (required).
+  std::string model_path;
 };
 
 /// A protocol-level failure, rendered as the response's `error` object.

@@ -24,6 +24,18 @@ bool is_blank(const std::string& line) {
   });
 }
 
+/// Lifecycle stamps are raw steady-clock microseconds on purpose: routing
+/// them through the injectable millisecond clock would make every stamp a
+/// tick of the chaos harness's skipping clock and perturb deadline
+/// scenarios. The slow log is a wall-time diagnostic, exempt from the
+/// byte-determinism contract.
+std::uint64_t steady_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 /// Outcome of one bounded line read.
 enum class LineRead {
   kLine,    ///< a complete line (or final unterminated line) was read
@@ -73,6 +85,8 @@ Server::Server(ServeOptions opts)
     own_pool_ = std::make_unique<ThreadPool>(opts_.threads, "serve-worker");
     pool_ = own_pool_.get();
   }
+  start_ms_ = now_ms();  // uptime_ms anchor, on the injectable clock
+  slow_log_.reserve(kSlowLogEntries);
 }
 
 std::uint64_t Server::now_ms() const {
@@ -185,6 +199,7 @@ std::optional<Request> Server::enqueue(const std::string& line,
   Pending pending;  // Stopwatch starts here, when the line arrives
   ErrorInfo err;
   if (!parse_request(line, &pending.req, &err)) {
+    pending.trace.code = err.code;
     pending.response =
         render_error(pending.req.id_json, model_version(), err);
     batch->push_back(std::move(pending));
@@ -211,6 +226,8 @@ std::optional<Request> Server::enqueue(const std::string& line,
       obs::count("serve.degraded_entries");
       obs::gauge_set("serve.degraded", 1.0);
     }
+    roll_sheds_.add(now_ms());
+    pending.trace.code = kErrOverloaded;
     pending.response = render_error(
         pending.req.id_json, model_version(),
         {kErrOverloaded,
@@ -224,6 +241,8 @@ std::optional<Request> Server::enqueue(const std::string& line,
       obs::gauge_set("serve.degraded", degraded() ? 1.0 : 0.0);
     }
     pending.admitted = true;
+    pending.trace.id = ++next_request_id_;
+    pending.trace.admit_us = steady_us();
     if (opts_.request_deadline_ms > 0) pending.arrival_ms = now_ms();
   }
   batch->push_back(std::move(pending));
@@ -235,12 +254,20 @@ void Server::resolve(std::vector<Pending>* batch) {
   const obs::Span span("serve.batch");
   obs::count("serve.batches");
   obs::gauge_set("serve.batch_size", static_cast<double>(batch->size()));
+  last_batch_lines_ = batch->size();
+  last_queue_depth_ = static_cast<std::size_t>(
+      std::count_if(batch->begin(), batch->end(),
+                    [](const Pending& p) { return p.admitted; }));
 
   const auto snap = snapshot();
   const std::uint64_t version = snap ? snap->version : 0;
   const bool cache_only = degraded();
   const std::uint64_t flush_now =
       opts_.request_deadline_ms > 0 ? now_ms() : 0;
+  // One injectable-clock read per flush feeds every rolling-window update
+  // in this batch: O(1) extra clock traffic, not O(requests).
+  const std::uint64_t roll_now = flush_now != 0 ? flush_now : now_ms();
+  const std::uint64_t dequeue_us = steady_us();
 
   // Resolve every request to either a rendered error, a full cache hit,
   // or a row of the batched compute. All serially, in request order, so
@@ -254,6 +281,7 @@ void Server::resolve(std::vector<Pending>* batch) {
   std::vector<std::size_t> compute_rows;
   for (std::size_t i = 0; i < batch->size(); ++i) {
     Pending& p = (*batch)[i];
+    if (p.trace.id != 0) p.trace.dequeue_us = dequeue_us;
     if (is_rendered(p.response)) continue;
     if (opts_.request_deadline_ms > 0 &&
         flush_now >= p.arrival_ms + opts_.request_deadline_ms) {
@@ -261,6 +289,7 @@ void Server::resolve(std::vector<Pending>* batch) {
       // explicitly instead of spending compute on it.
       ++deadline_expired_;
       obs::count("serve.deadline_expired");
+      p.trace.code = kErrDeadline;
       p.response = render_error(
           p.req.id_json, version,
           {kErrDeadline,
@@ -270,12 +299,14 @@ void Server::resolve(std::vector<Pending>* batch) {
       continue;
     }
     if (!snap) {
+      p.trace.code = "unavailable";
       p.response = render_error(
           p.req.id_json, version,
           {"unavailable", "no model loaded"});
       continue;
     }
     if (p.req.params.size() != snap->num_features) {
+      p.trace.code = "bad-request";
       p.response = render_error(
           p.req.id_json, version,
           {"bad-request",
@@ -299,12 +330,15 @@ void Server::resolve(std::vector<Pending>* batch) {
     }
     if (all_hit) {
       obs::count("serve.cache_hit");
+      roll_cache_hits_.add(roll_now);
+      p.trace.cache_hit = true;
     } else if (cache_only) {
       // Degraded cache-only mode: hits above were served from the live
       // cache; a miss would need the compute path we are protecting, so
       // it gets a typed rejection with a retry hint.
       ++degraded_rejects_;
       obs::count("serve.degraded_rejects");
+      p.trace.code = kErrDegraded;
       p.response = render_error(
           p.req.id_json, version,
           {kErrDegraded,
@@ -312,11 +346,13 @@ void Server::resolve(std::vector<Pending>* batch) {
            opts_.retry_after_ms});
     } else {
       obs::count("serve.cache_miss");
+      roll_cache_misses_.add(roll_now);
       slot.compute = true;
       compute_rows.push_back(i);
     }
   }
 
+  const std::uint64_t batch_start_us = steady_us();
   if (!compute_rows.empty()) {
     const obs::Span compute_span("serve.batch_compute");
     Matrix configs(compute_rows.size(), snap->num_features);
@@ -347,6 +383,7 @@ void Server::resolve(std::vector<Pending>* batch) {
     }
   }
 
+  const std::uint64_t predict_done_us = steady_us();
   for (std::size_t i = 0; i < batch->size(); ++i) {
     Pending& p = (*batch)[i];
     const obs::Span request_span("serve.request");
@@ -355,6 +392,15 @@ void Server::resolve(std::vector<Pending>* batch) {
                                       slots[i].scales,
                                       slots[i].predictions);
       ++requests_served_;
+    }
+    note_response(p.trace.code.empty() ? "ok" : p.trace.code);
+    roll_requests_.add(roll_now);
+    roll_latency_.observe(roll_now, p.watch.seconds());
+    if (p.trace.id != 0) {
+      p.trace.batch_start_us = batch_start_us;
+      p.trace.predict_done_us = predict_done_us;
+      p.trace.render_us = steady_us();
+      slow_log_insert(p.trace);
     }
     obs::count("serve.requests");
     obs::observe("serve.latency_seconds", p.watch.seconds(),
@@ -367,6 +413,11 @@ void Server::flush(std::vector<Pending>* batch, std::ostream& out) {
   resolve(batch);
   for (const Pending& p : *batch) out << p.response << '\n';
   out.flush();
+  // The stream loop's transport is the ostream: a successful flush is the
+  // closest analogue of "bytes left the process".
+  for (const Pending& p : *batch) {
+    if (p.trace.id != 0) note_write_drained(p.trace.id);
+  }
   batch->clear();
 }
 
@@ -374,6 +425,7 @@ Server::BatchOutcome Server::handle_batch(std::span<const BatchLine> lines) {
   poll_reloads();
   BatchOutcome result;
   result.responses.resize(lines.size());
+  result.request_ids.resize(lines.size(), 0);
   std::vector<Pending> batch;
   std::vector<std::size_t> origin;  // window slot per batch entry
   const auto flush_into = [&] {
@@ -381,6 +433,7 @@ Server::BatchOutcome Server::handle_batch(std::span<const BatchLine> lines) {
     resolve(&batch);
     for (std::size_t j = 0; j < batch.size(); ++j) {
       result.responses[origin[j]] = std::move(batch[j].response);
+      result.request_ids[origin[j]] = batch[j].trace.id;
     }
     batch.clear();
     origin.clear();
@@ -392,6 +445,7 @@ Server::BatchOutcome Server::handle_batch(std::span<const BatchLine> lines) {
       ++too_large_;
       obs::count("serve.too_large");
       Pending pending;
+      pending.trace.code = kErrTooLarge;
       pending.response = render_error(
           "", model_version(),
           {kErrTooLarge,
@@ -422,6 +476,7 @@ Server::BatchOutcome Server::handle_batch(std::span<const BatchLine> lines) {
   flush_into();
   result.consumed = i;
   result.responses.resize(result.consumed);
+  result.request_ids.resize(result.consumed);
   return result;
 }
 
@@ -441,6 +496,7 @@ std::string Server::handle_control(const Request& req) {
   };
   switch (req.cmd) {
     case Request::Cmd::kPing: {
+      note_response("ok");
       std::string out = prefix("ping");
       out += ",\"schema\":\"";
       out += kProtocolSchema;
@@ -450,35 +506,8 @@ std::string Server::handle_control(const Request& req) {
       return out;
     }
     case Request::Cmd::kHealth: {
-      // The readiness probe a load balancer or watchdog polls: liveness
-      // plus *mode*. "ok" serves everything, "degraded" serves cache hits
-      // only, "unavailable" has no model at all.
-      const auto snap = snapshot();
-      const char* status =
-          !snap ? "unavailable" : (degraded() ? "degraded" : "ok");
-      std::string out = prefix("health");
-      out += ",\"schema\":\"";
-      out += kProtocolSchema;
-      out += "\",\"model_version\":";
-      out += std::to_string(version);
-      out += ",\"status\":\"";
-      out += status;
-      out += "\",\"max_pending\":";
-      out += std::to_string(opts_.max_pending);
-      out += ",\"shed\":";
-      out += std::to_string(sheds_);
-      out += ",\"too_large\":";
-      out += std::to_string(too_large_);
-      out += ",\"deadline_expired\":";
-      out += std::to_string(deadline_expired_);
-      out += ",\"reload_failure_streak\":";
-      out += std::to_string(reload_failure_streak_);
-      if (!snap || degraded()) {
-        out += ",\"retry_after_ms\":";
-        out += std::to_string(opts_.retry_after_ms);
-      }
-      out += '}';
-      return out;
+      note_response("ok");
+      return health_json(req.id_json);
     }
     case Request::Cmd::kReload: {
       const obs::Span span("serve.cmd_reload");
@@ -488,6 +517,7 @@ std::string Server::handle_control(const Request& req) {
         if (snap) path = snap->source_path;
       }
       if (path.empty()) {
+        note_response("bad-request");
         return render_error(req.id_json, version,
                             {"bad-request", "no model path to reload"});
       }
@@ -496,10 +526,12 @@ std::string Server::handle_control(const Request& req) {
         // The old snapshot is untouched: requests keep being answered by
         // the model that was live before the failed reload, and
         // poll_reloads retries on the backoff schedule.
+        note_response(error_code_name(result.error().code));
         return render_error(req.id_json, version,
                             {error_code_name(result.error().code),
                              result.error().to_string()});
       }
+      note_response("ok");
       std::string out = prefix("reload");
       out += ",\"model_version\":";
       out += std::to_string(model_version());
@@ -509,25 +541,49 @@ std::string Server::handle_control(const Request& req) {
       return out;
     }
     case Request::Cmd::kStats: {
+      // The same hpcp-stats/1 snapshot the admin plane's GET /statsz
+      // serves, wrapped in a protocol envelope so in-protocol probes need
+      // no second port.
+      note_response("ok");
       std::string out = prefix("stats");
       out += ",\"schema\":\"";
       out += kProtocolSchema;
-      out += "\",\"model_version\":";
-      out += std::to_string(version);
-      out += ",\"requests\":";
-      out += std::to_string(requests_served_);
-      out += ",\"cache_hits\":";
-      out += std::to_string(cache_.hits());
-      out += ",\"cache_misses\":";
-      out += std::to_string(cache_.misses());
-      out += ",\"cache_entries\":";
-      out += std::to_string(cache_.size());
-      out += ",\"cache_capacity\":";
-      out += std::to_string(cache_.max_entries());
+      out += "\",\"stats\":";
+      out += render_stats_json();
+      out += '}';
+      return out;
+    }
+    case Request::Cmd::kTraceDump: {
+      if (req.model_path.empty()) {
+        note_response("bad-request");
+        return render_error(
+            req.id_json, version,
+            {"bad-request", "trace-dump requires a \"path\" to write to"});
+      }
+      const auto events = obs::Tracer::instance().snapshot();
+      if (!obs::Tracer::instance().write_chrome_json(req.model_path)) {
+        note_response("io");
+        return render_error(
+            req.id_json, version,
+            {"io", "cannot write trace to " + req.model_path});
+      }
+      note_response("ok");
+      std::string out = prefix("trace-dump");
+      out += ",\"schema\":\"";
+      out += kProtocolSchema;
+      out += "\",\"path\":";
+      out += obs::json_quote(req.model_path);
+      out += ",\"events\":";
+      out += std::to_string(events.size());
+      out += ",\"dropped\":";
+      out += std::to_string(obs::Tracer::instance().dropped());
+      out += ",\"enabled\":";
+      out += obs::trace_enabled() ? "true" : "false";
       out += '}';
       return out;
     }
     case Request::Cmd::kShutdown: {
+      note_response("ok");
       std::string out = prefix("shutdown");
       out += '}';
       return out;
@@ -535,8 +591,52 @@ std::string Server::handle_control(const Request& req) {
     case Request::Cmd::kPredict:
       break;  // never routed here
   }
+  note_response("bad-request");
   return render_error(req.id_json, version,
                       {"bad-request", "unroutable command"});
+}
+
+std::string Server::health_json(const std::string& id_json) const {
+  // The readiness probe a load balancer or watchdog polls: liveness plus
+  // *mode*. "ok" serves everything, "degraded" serves cache hits only,
+  // "unavailable" has no model at all. Every field is a pure function of
+  // the request stream and the injectable clock, so probe responses are
+  // byte-stable under replay.
+  const auto snap = snapshot();
+  const char* status =
+      !snap ? "unavailable" : (degraded() ? "degraded" : "ok");
+  std::string out = "{";
+  if (!id_json.empty()) {
+    out += "\"id\":";
+    out += id_json;
+    out += ',';
+  }
+  out += "\"ok\":true,\"cmd\":\"health\",\"schema\":\"";
+  out += kProtocolSchema;
+  out += "\",\"model_version\":";
+  out += std::to_string(snap ? snap->version : 0);
+  out += ",\"status\":\"";
+  out += status;
+  out += "\",\"uptime_ms\":";
+  out += std::to_string(uptime_ms());
+  out += ",\"max_pending\":";
+  out += std::to_string(opts_.max_pending);
+  out += ",\"shed\":";
+  out += std::to_string(sheds_);
+  out += ",\"too_large\":";
+  out += std::to_string(too_large_);
+  out += ",\"deadline_expired\":";
+  out += std::to_string(deadline_expired_);
+  out += ",\"reload_failure_streak\":";
+  out += std::to_string(reload_failure_streak_);
+  out += ",\"responses\":";
+  append_code_counters(out);
+  if (!snap || degraded()) {
+    out += ",\"retry_after_ms\":";
+    out += std::to_string(opts_.retry_after_ms);
+  }
+  out += '}';
+  return out;
 }
 
 bool Server::run(std::istream& in, std::ostream& out) {
@@ -552,6 +652,7 @@ bool Server::run(std::istream& in, std::ostream& out) {
       ++too_large_;
       obs::count("serve.too_large");
       Pending pending;
+      pending.trace.code = kErrTooLarge;
       pending.response = render_error(
           "", model_version(),
           {kErrTooLarge,
@@ -587,6 +688,7 @@ std::string Server::handle_line(const std::string& line) {
   if (line.size() > opts_.max_line_bytes) {
     ++too_large_;
     obs::count("serve.too_large");
+    note_response(kErrTooLarge);
     return render_error(
         "", model_version(),
         {kErrTooLarge,
@@ -602,6 +704,188 @@ std::string Server::handle_line(const std::string& line) {
   std::string response = rendered.str();
   if (!response.empty() && response.back() == '\n') response.pop_back();
   return response;
+}
+
+std::uint64_t Server::uptime_ms() const {
+  const std::uint64_t now = now_ms();
+  return now > start_ms_ ? now - start_ms_ : 0;
+}
+
+void Server::note_response(const std::string& code) {
+  ++responses_by_code_[code];
+}
+
+void Server::append_code_counters(std::string& out) const {
+  out += '{';
+  bool first = true;
+  for (const auto& [code, n] : responses_by_code_) {
+    if (!first) out += ',';
+    first = false;
+    out += obs::json_quote(code);
+    out += ':';
+    out += std::to_string(n);
+  }
+  out += '}';
+}
+
+std::string Server::render_health_json() const { return health_json(""); }
+
+void Server::slow_log_insert(const RequestTrace& trace) {
+  if (slow_log_.size() < kSlowLogEntries) {
+    slow_log_.push_back(trace);
+    return;
+  }
+  std::size_t min_at = 0;
+  for (std::size_t i = 1; i < slow_log_.size(); ++i) {
+    if (slow_log_[i].total_us() < slow_log_[min_at].total_us()) min_at = i;
+  }
+  if (trace.total_us() > slow_log_[min_at].total_us()) {
+    slow_log_[min_at] = trace;
+  }
+}
+
+void Server::note_write_drained(std::uint64_t request_id) noexcept {
+  if (request_id == 0) return;
+  for (RequestTrace& t : slow_log_) {
+    if (t.id == request_id) {
+      if (t.write_drained_us == 0) t.write_drained_us = steady_us();
+      return;
+    }
+  }
+}
+
+std::vector<Server::RequestTrace> Server::slow_log() const {
+  std::vector<RequestTrace> out = slow_log_;
+  std::sort(out.begin(), out.end(),
+            [](const RequestTrace& a, const RequestTrace& b) {
+              if (a.total_us() != b.total_us()) {
+                return a.total_us() > b.total_us();
+              }
+              return a.id < b.id;
+            });
+  return out;
+}
+
+std::string Server::render_stats_json() const {
+  const std::uint64_t now = now_ms();
+  const auto snap = snapshot();
+  const char* status =
+      !snap ? "unavailable" : (degraded() ? "degraded" : "ok");
+
+  std::string out = "{\"schema\":\"hpcp-stats/1\",\"uptime_ms\":";
+  out += std::to_string(now > start_ms_ ? now - start_ms_ : 0);
+  out += ",\"model_version\":";
+  out += std::to_string(snap ? snap->version : 0);
+  out += ",\"status\":\"";
+  out += status;
+  out += "\",\"requests\":";
+  out += std::to_string(requests_served_);
+  out += ",\"queue_depth\":";
+  out += std::to_string(last_queue_depth_);
+  out += ",\"batch_lines\":";
+  out += std::to_string(last_batch_lines_);
+  out += ",\"batch_max\":";
+  out += std::to_string(opts_.batch_max);
+  out += ",\"batch_occupancy\":";
+  obs::json_number_into(
+      out, opts_.batch_max > 0
+               ? static_cast<double>(last_batch_lines_) /
+                     static_cast<double>(opts_.batch_max)
+               : 0.0);
+  out += ",\"cache_hits\":";
+  out += std::to_string(cache_.hits());
+  out += ",\"cache_misses\":";
+  out += std::to_string(cache_.misses());
+  out += ",\"cache_entries\":";
+  out += std::to_string(cache_.size());
+  out += ",\"cache_capacity\":";
+  out += std::to_string(cache_.max_entries());
+  out += ",\"cache_hit_rate\":";
+  const std::uint64_t lookups = cache_.hits() + cache_.misses();
+  obs::json_number_into(
+      out, lookups > 0 ? static_cast<double>(cache_.hits()) /
+                             static_cast<double>(lookups)
+                       : 0.0);
+  out += ",\"shed\":";
+  out += std::to_string(sheds_);
+  out += ",\"too_large\":";
+  out += std::to_string(too_large_);
+  out += ",\"deadline_expired\":";
+  out += std::to_string(deadline_expired_);
+  out += ",\"degraded_rejects\":";
+  out += std::to_string(degraded_rejects_);
+  out += ",\"responses\":";
+  append_code_counters(out);
+
+  // 1s / 10s / 60s trailing windows over the rolling rings. Latency
+  // quantiles are reported as the upper edge of the containing histogram
+  // bucket, in microseconds.
+  out += ",\"windows\":[";
+  static constexpr std::uint64_t kWindowsS[] = {1, 10, 60};
+  for (std::size_t w = 0; w < 3; ++w) {
+    if (w > 0) out += ',';
+    const std::uint64_t window_ms = kWindowsS[w] * 1000;
+    const std::uint64_t requests = roll_requests_.sum(now, window_ms);
+    const std::uint64_t shed = roll_sheds_.sum(now, window_ms);
+    const std::uint64_t hits = roll_cache_hits_.sum(now, window_ms);
+    const std::uint64_t misses = roll_cache_misses_.sum(now, window_ms);
+    const auto latency = roll_latency_.window(now, window_ms);
+    const auto bounds = roll_latency_.bounds();
+    out += "{\"window_s\":";
+    out += std::to_string(kWindowsS[w]);
+    out += ",\"requests\":";
+    out += std::to_string(requests);
+    out += ",\"shed\":";
+    out += std::to_string(shed);
+    out += ",\"shed_rate\":";
+    obs::json_number_into(
+        out, requests > 0 ? static_cast<double>(shed) /
+                                static_cast<double>(requests)
+                          : 0.0);
+    out += ",\"cache_hit_rate\":";
+    obs::json_number_into(
+        out, hits + misses > 0 ? static_cast<double>(hits) /
+                                     static_cast<double>(hits + misses)
+                               : 0.0);
+    out += ",\"latency_p50_us\":";
+    obs::json_number_into(out, latency.quantile(0.50, bounds) * 1e6);
+    out += ",\"latency_p95_us\":";
+    obs::json_number_into(out, latency.quantile(0.95, bounds) * 1e6);
+    out += ",\"latency_p99_us\":";
+    obs::json_number_into(out, latency.quantile(0.99, bounds) * 1e6);
+    out += '}';
+  }
+  out += ']';
+
+  out += ",\"slow_log\":[";
+  const auto slowest = slow_log();
+  for (std::size_t i = 0; i < slowest.size(); ++i) {
+    const RequestTrace& t = slowest[i];
+    if (i > 0) out += ',';
+    out += "{\"id\":";
+    out += std::to_string(t.id);
+    out += ",\"code\":";
+    out += obs::json_quote(t.code.empty() ? "ok" : t.code);
+    out += ",\"cache_hit\":";
+    out += t.cache_hit ? "true" : "false";
+    out += ",\"total_us\":";
+    out += std::to_string(t.total_us());
+    out += ",\"admit_us\":";
+    out += std::to_string(t.admit_us);
+    out += ",\"dequeue_us\":";
+    out += std::to_string(t.dequeue_us);
+    out += ",\"batch_start_us\":";
+    out += std::to_string(t.batch_start_us);
+    out += ",\"predict_done_us\":";
+    out += std::to_string(t.predict_done_us);
+    out += ",\"render_us\":";
+    out += std::to_string(t.render_us);
+    out += ",\"write_drained_us\":";
+    out += std::to_string(t.write_drained_us);
+    out += '}';
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace hpcp::serve

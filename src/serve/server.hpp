@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -162,6 +163,10 @@ class Server {
   /// true and the later lines were never looked at.
   struct BatchOutcome {
     std::vector<std::string> responses;
+    /// Lifecycle trace id per window slot (0 = the slot carried no
+    /// admitted predict request). A transport that knows when a response
+    /// actually left the process reports it via note_write_drained().
+    std::vector<std::uint64_t> request_ids;
     std::size_t consumed = 0;
     bool shutdown = false;
   };
@@ -206,6 +211,55 @@ class Server {
     return deadline_expired_;
   }
 
+  // --- Live observability plane (DESIGN.md "Observability") -------------
+
+  /// Slow-log capacity: the slowest-N completed requests are retained.
+  static constexpr std::size_t kSlowLogEntries = 16;
+
+  /// Lifecycle timestamps of one admitted predict request, microseconds on
+  /// the raw steady clock (diagnostics; deliberately NOT the injectable
+  /// clock, so stamping never perturbs deadline or chaos determinism).
+  /// write_drained_us stays 0 until a transport reports the bytes gone.
+  struct RequestTrace {
+    std::uint64_t id = 0;
+    std::uint64_t admit_us = 0;
+    std::uint64_t dequeue_us = 0;
+    std::uint64_t batch_start_us = 0;
+    std::uint64_t predict_done_us = 0;
+    std::uint64_t render_us = 0;
+    std::uint64_t write_drained_us = 0;
+    bool cache_hit = false;
+    std::string code;  ///< response code; empty until rendered => "ok"
+
+    /// admit -> write-drained when known, admit -> render otherwise.
+    [[nodiscard]] std::uint64_t total_us() const noexcept {
+      const std::uint64_t end =
+          write_drained_us != 0 ? write_drained_us : render_us;
+      return end > admit_us ? end - admit_us : 0;
+    }
+  };
+
+  /// The `hpcp-stats/1` snapshot: uptime, model_version, per-code response
+  /// counters, queue depth, batch occupancy, cache hit rate, 1s/10s/60s
+  /// windowed aggregates, and the slow log. Served verbatim by the admin
+  /// plane's GET /statsz and embedded in the {"cmd":"stats"} response.
+  [[nodiscard]] std::string render_stats_json() const;
+
+  /// The {"cmd":"health"} response body without a client id — what the
+  /// admin plane's GET /healthz serves. Reading it never touches counters.
+  [[nodiscard]] std::string render_health_json() const;
+
+  /// Transport callback: the response for request `request_id` has been
+  /// fully written to the peer (or flushed to the output stream). Stamps
+  /// write_drained on the matching slow-log entry when it is retained.
+  void note_write_drained(std::uint64_t request_id) noexcept;
+
+  /// Slow log, slowest first (ties broken by id). Completed requests only.
+  [[nodiscard]] std::vector<RequestTrace> slow_log() const;
+
+  /// Milliseconds since construction on the injectable clock.
+  [[nodiscard]] std::uint64_t uptime_ms() const;
+
  private:
   /// Immutable view of one loaded model; swapped wholesale on reload.
   struct Snapshot {
@@ -223,6 +277,7 @@ class Server {
     bool admitted = false;  ///< occupies an admission slot
     std::uint64_t arrival_ms = 0;  ///< set when deadlines are enabled
     obs::Stopwatch watch;  ///< started when the line was read
+    RequestTrace trace;    ///< id != 0 once admitted; code set when rendered
   };
 
   [[nodiscard]] std::shared_ptr<const Snapshot> snapshot() const;
@@ -251,8 +306,22 @@ class Server {
   /// resolve() + emit to `out`, one line per request, then clear.
   void flush(std::vector<Pending>* batch, std::ostream& out);
 
-  /// Ping / health / reload / stats / shutdown responses.
+  /// Ping / health / reload / stats / trace-dump / shutdown responses.
   [[nodiscard]] std::string handle_control(const Request& req);
+
+  /// Health body shared by the control path and GET /healthz; `id_json`
+  /// is prepended when non-empty.
+  [[nodiscard]] std::string health_json(const std::string& id_json) const;
+
+  /// Renders responses_by_code_ as a JSON object (keys sorted — std::map).
+  void append_code_counters(std::string& out) const;
+
+  /// Bumps the per-code response counter ("ok" or an error code); every
+  /// rendered response line passes through here exactly once.
+  void note_response(const std::string& code);
+
+  /// Retains `trace` when it ranks among the slowest kSlowLogEntries.
+  void slow_log_insert(const RequestTrace& trace);
 
   ServeOptions opts_;
   std::unique_ptr<ThreadPool> own_pool_;  ///< when opts_.threads >= 1
@@ -276,6 +345,22 @@ class Server {
   std::uint64_t too_large_ = 0;
   std::uint64_t deadline_expired_ = 0;
   std::uint64_t degraded_rejects_ = 0;
+
+  // Observability state (all touched only from the serving thread; the
+  // admin plane shares that thread by construction — see tcp.hpp).
+  std::uint64_t start_ms_ = 0;          ///< injectable-clock birth stamp
+  std::uint64_t next_request_id_ = 0;   ///< monotonically increasing
+  std::map<std::string, std::uint64_t> responses_by_code_;
+  std::size_t last_queue_depth_ = 0;    ///< admitted entries at last flush
+  std::size_t last_batch_lines_ = 0;    ///< batch size at last flush
+  std::vector<RequestTrace> slow_log_;  ///< unordered; <= kSlowLogEntries
+
+  // 1s buckets, 64 slots: windows up to 63s, so 1s/10s/60s all answerable.
+  obs::RollingCounter roll_requests_{1000, 64};
+  obs::RollingCounter roll_sheds_{1000, 64};
+  obs::RollingCounter roll_cache_hits_{1000, 64};
+  obs::RollingCounter roll_cache_misses_{1000, 64};
+  obs::RollingHistogram roll_latency_{obs::default_time_bounds(), 1000, 64};
 };
 
 }  // namespace hpcp::serve

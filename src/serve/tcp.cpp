@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/obs/obs.hpp"
+#include "src/serve/admin.hpp"
 
 namespace hpcp::serve {
 
@@ -55,6 +56,28 @@ struct Conn {
   bool dead = false;  ///< transport error; close without draining
   bool writable_armed = false;
   const char* reason = "eof";
+  std::uint64_t last_activity = 0;
+  /// Write-drained tracing: cumulative bytes ever queued / ever written
+  /// on this connection, plus (queued-bytes watermark, request id) marks.
+  /// Once written_bytes passes a mark the kernel has accepted that
+  /// request's whole response and Server::note_write_drained stamps it.
+  std::uint64_t queued_bytes = 0;
+  std::uint64_t written_bytes = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> marks;
+};
+
+/// One admin scrape connection (see admin.hpp): buffer the request head,
+/// write one HTTP response, close. Lives on the same epoll loop but never
+/// enters handle_batch and is never fault-injected — the data plane's
+/// response bytes cannot depend on scraping.
+struct AdminConn {
+  int fd = -1;
+  std::string inbuf;
+  std::string outbuf;
+  std::size_t out_off = 0;
+  bool responded = false;  ///< head complete; outbuf holds the response
+  bool dead = false;
+  bool writable_armed = false;
   std::uint64_t last_activity = 0;
 };
 
@@ -159,10 +182,115 @@ void drain_writes(Conn& c, FaultInjector* faults) {
       return;
     }
     c.out_off += static_cast<std::size_t>(n);
+    c.written_bytes += static_cast<std::uint64_t>(n);
     c.last_activity = steady_ms();
   }
   c.outbuf.clear();
   c.out_off = 0;
+}
+
+/// Stamps write-drained on every request whose response bytes the kernel
+/// has now fully accepted (written_bytes passed the mark's watermark).
+void pop_drained_marks(Conn& c, Server& server) {
+  std::size_t done = 0;
+  while (done < c.marks.size() && c.marks[done].first <= c.written_bytes) {
+    server.note_write_drained(c.marks[done].second);
+    ++done;
+  }
+  if (done > 0) {
+    c.marks.erase(c.marks.begin(),
+                  c.marks.begin() + static_cast<std::ptrdiff_t>(done));
+  }
+}
+
+/// Reads until the admin request head is complete (or overflows its
+/// bound), then renders the response into outbuf. EOF or a transport
+/// error before completion just kills the connection — there is nothing
+/// to answer.
+void admin_drain_reads(AdminConn& a, Server& server) {
+  char buf[1024];
+  for (;;) {
+    ssize_t n;
+    do {
+      n = ::recv(a.fd, buf, sizeof(buf), 0);
+    } while (n < 0 && errno == EINTR);
+    if (n == 0) {
+      // EOF before a complete head leaves nothing to answer; after the
+      // response it is just the client being done.
+      if (!a.responded) a.dead = true;
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      a.dead = true;
+      return;
+    }
+    a.last_activity = steady_ms();
+    // Trailing bytes after the head (an over-long request still being
+    // sent, extra headers) are drained and discarded: closing a socket
+    // with unread input would RST the response out from under the
+    // client.
+    if (a.responded) continue;
+    a.inbuf.append(buf, static_cast<std::size_t>(n));
+    const bool overflow = a.inbuf.size() > kMaxAdminRequestBytes;
+    if (overflow || admin_request_complete(a.inbuf)) {
+      a.outbuf = handle_admin_request(server, a.inbuf, overflow);
+      a.responded = true;
+    }
+  }
+}
+
+void admin_drain_writes(AdminConn& a) {
+  while (a.out_off < a.outbuf.size()) {
+    ssize_t n;
+    do {
+      n = ::send(a.fd, a.outbuf.data() + a.out_off,
+                 a.outbuf.size() - a.out_off, MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      a.dead = true;
+      return;
+    }
+    a.out_off += static_cast<std::size_t>(n);
+    a.last_activity = steady_ms();
+  }
+}
+
+/// Nonblocking loopback listener bound to 127.0.0.1:`*port`; on success
+/// `*port` is updated to the actually bound port (port 0 = kernel picks).
+Expected<int> make_loopback_listener(std::uint16_t* port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return io_error("socket");
+
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(*port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Error err = io_error("bind 127.0.0.1:" + std::to_string(*port));
+    ::close(fd);
+    return err;
+  }
+  if (::listen(fd, 64) != 0) {
+    const Error err = io_error("listen");
+    ::close(fd);
+    return err;
+  }
+  const int fl = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0) {
+    *port = ntohs(bound.sin_port);
+  }
+  return fd;
 }
 
 }  // namespace
@@ -175,37 +303,9 @@ Expected<void> run_tcp_server(Server& server, std::uint16_t port,
   // even if a future transport forgets the flag.
   std::signal(SIGPIPE, SIG_IGN);
 
-  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listener < 0) return io_error("socket");
-
-  const int one = 1;
-  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    const Error err = io_error("bind 127.0.0.1:" + std::to_string(port));
-    ::close(listener);
-    return err;
-  }
-  if (::listen(listener, 64) != 0) {
-    const Error err = io_error("listen");
-    ::close(listener);
-    return err;
-  }
-  const int fl = ::fcntl(listener, F_GETFL, 0);
-  ::fcntl(listener, F_SETFL, fl | O_NONBLOCK);
-
-  // Report the actual port (useful with port 0 = kernel-assigned).
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(listener, reinterpret_cast<sockaddr*>(&bound),
-                    &bound_len) == 0) {
-    port = ntohs(bound.sin_port);
-  }
+  Expected<int> listener_or = make_loopback_listener(&port);
+  if (!listener_or.has_value()) return listener_or.error();
+  const int listener = listener_or.value();
 
   const int epfd = ::epoll_create1(0);
   if (epfd < 0) {
@@ -223,14 +323,48 @@ Expected<void> run_tcp_server(Server& server, std::uint16_t port,
     return err;
   }
 
+  // The admin scrape plane is a second listener in the same epfd; a bind
+  // failure here is a startup error, not something to limp past — an
+  // operator who asked for observability should not silently lose it.
+  int admin_listener = -1;
+  std::uint16_t admin_port = 0;
+  if (opts.admin_port >= 0) {
+    admin_port = static_cast<std::uint16_t>(opts.admin_port);
+    Expected<int> admin_or = make_loopback_listener(&admin_port);
+    if (!admin_or.has_value()) {
+      ::close(epfd);
+      ::close(listener);
+      return admin_or.error();
+    }
+    admin_listener = admin_or.value();
+    epoll_event aev{};
+    aev.events = EPOLLIN;
+    aev.data.fd = admin_listener;
+    if (::epoll_ctl(epfd, EPOLL_CTL_ADD, admin_listener, &aev) != 0) {
+      const Error err = io_error("epoll_ctl add admin listener");
+      ::close(admin_listener);
+      ::close(epfd);
+      ::close(listener);
+      return err;
+    }
+  }
+
   log << "serve: listening on 127.0.0.1:" << port << '\n' << std::flush;
   if (opts.bound_port != nullptr) {
     opts.bound_port->store(port, std::memory_order_release);
+  }
+  if (admin_listener >= 0) {
+    log << "serve: admin listening on 127.0.0.1:" << admin_port << '\n'
+        << std::flush;
+    if (opts.admin_bound_port != nullptr) {
+      opts.admin_bound_port->store(admin_port, std::memory_order_release);
+    }
   }
 
   const std::size_t max_line = server.options().max_line_bytes;
   std::map<std::uint64_t, Conn> conns;  // keyed by accept order
   std::unordered_map<int, std::uint64_t> by_fd;
+  std::unordered_map<int, AdminConn> admin_conns;  // keyed by fd
   std::uint64_t next_id = 1;
   std::uint64_t seq = 0;
   bool shutdown = false;
@@ -252,13 +386,18 @@ Expected<void> run_tcp_server(Server& server, std::uint16_t port,
     // Wake at the earliest idle deadline (or block: an idle listener with
     // no deadline waits exactly like the old blocking accept did).
     int timeout = -1;
-    if (opts.io_timeout_ms > 0 && !conns.empty()) {
+    if (opts.io_timeout_ms > 0 && (!conns.empty() || !admin_conns.empty())) {
       const std::uint64_t now = steady_ms();
       std::uint64_t earliest = (std::numeric_limits<std::uint64_t>::max)();
       for (const auto& [id, c] : conns) {
         earliest = std::min(
             earliest,
             c.last_activity + static_cast<std::uint64_t>(opts.io_timeout_ms));
+      }
+      for (const auto& [fd, a] : admin_conns) {
+        earliest = std::min(
+            earliest,
+            a.last_activity + static_cast<std::uint64_t>(opts.io_timeout_ms));
       }
       timeout = earliest <= now
                     ? 0
@@ -275,7 +414,11 @@ Expected<void> run_tcp_server(Server& server, std::uint16_t port,
       for (auto& [id, c] : conns) {
         ::close(c.fd);
       }
+      for (auto& [fd, a] : admin_conns) {
+        ::close(fd);
+      }
       ::close(epfd);
+      if (admin_listener >= 0) ::close(admin_listener);
       ::close(listener);
       return err;
     }
@@ -312,6 +455,45 @@ Expected<void> run_tcp_server(Server& server, std::uint16_t port,
           conns.emplace(c.id, std::move(c));
           log << "serve: connection opened\n" << std::flush;
           obs::count("serve.connections");
+        }
+        continue;
+      }
+      if (admin_listener >= 0 && fd == admin_listener) {
+        for (;;) {
+          int afd;
+          do {
+            afd = ::accept4(admin_listener, nullptr, nullptr, SOCK_NONBLOCK);
+          } while (afd < 0 && errno == EINTR);
+          if (afd < 0) break;
+          if (admin_conns.size() >= opts.max_admin_connections) {
+            log << "serve: admin connection rejected (capacity)\n"
+                << std::flush;
+            ::close(afd);
+            continue;
+          }
+          epoll_event aev{};
+          aev.events = EPOLLIN;
+          aev.data.fd = afd;
+          if (::epoll_ctl(epfd, EPOLL_CTL_ADD, afd, &aev) != 0) {
+            ::close(afd);
+            continue;
+          }
+          AdminConn a;
+          a.fd = afd;
+          a.last_activity = steady_ms();
+          admin_conns.emplace(afd, std::move(a));
+        }
+        continue;
+      }
+      const auto ait = admin_conns.find(fd);
+      if (ait != admin_conns.end()) {
+        AdminConn& a = ait->second;
+        if ((events[e].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0 &&
+            !a.dead) {
+          admin_drain_reads(a, server);
+        }
+        if ((events[e].events & EPOLLOUT) != 0 && !a.dead) {
+          admin_drain_writes(a);
         }
         continue;
       }
@@ -355,8 +537,13 @@ Expected<void> run_tcp_server(Server& server, std::uint16_t port,
         if (outcome.responses[k].empty()) continue;
         const auto cit = conns.find(owner[k]);
         if (cit == conns.end() || cit->second.dead) continue;
-        cit->second.outbuf += outcome.responses[k];
-        cit->second.outbuf += '\n';
+        Conn& c = cit->second;
+        c.outbuf += outcome.responses[k];
+        c.outbuf += '\n';
+        c.queued_bytes += outcome.responses[k].size() + 1;
+        if (outcome.request_ids[k] != 0) {
+          c.marks.emplace_back(c.queued_bytes, outcome.request_ids[k]);
+        }
       }
       shutdown = outcome.shutdown;
     }
@@ -365,6 +552,7 @@ Expected<void> run_tcp_server(Server& server, std::uint16_t port,
     // level-triggered EPOLLOUT on an idle socket would spin the loop.
     for (auto& [id, c] : conns) {
       if (!c.dead && !c.outbuf.empty()) drain_writes(c, opts.faults);
+      pop_drained_marks(c, server);
       if (!c.dead && c.outbuf.size() - c.out_off > kMaxOutbufBytes) {
         c.dead = true;
         c.reason = "error";
@@ -401,6 +589,35 @@ Expected<void> run_tcp_server(Server& server, std::uint16_t port,
         ++it;
       }
     }
+
+    // Admin connections: push the response, close once it is fully
+    // written (one request per connection), sweep idlers and errors.
+    for (auto it = admin_conns.begin(); it != admin_conns.end();) {
+      AdminConn& a = it->second;
+      if (!a.dead && a.responded && a.out_off < a.outbuf.size()) {
+        admin_drain_writes(a);
+      }
+      const bool done = a.responded && a.out_off >= a.outbuf.size();
+      const bool timed_out =
+          opts.io_timeout_ms > 0 &&
+          now >= a.last_activity +
+                     static_cast<std::uint64_t>(opts.io_timeout_ms);
+      if (a.dead || done || timed_out) {
+        ::epoll_ctl(epfd, EPOLL_CTL_DEL, a.fd, nullptr);
+        ::close(a.fd);
+        it = admin_conns.erase(it);
+        continue;
+      }
+      const bool want = a.responded && a.out_off < a.outbuf.size();
+      if (want != a.writable_armed) {
+        epoll_event aev{};
+        aev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+        aev.data.fd = a.fd;
+        ::epoll_ctl(epfd, EPOLL_CTL_MOD, a.fd, &aev);
+        a.writable_armed = want;
+      }
+      ++it;
+    }
   }
 
   // Shutdown: best-effort flush of already-routed responses (the client
@@ -420,10 +637,16 @@ Expected<void> run_tcp_server(Server& server, std::uint16_t port,
       if (rc <= 0) break;
       drain_writes(c, opts.faults);
     }
+    pop_drained_marks(c, server);
     close_conn(c, "shutdown");
   }
   conns.clear();
+  for (auto& [fd, a] : admin_conns) {
+    ::close(fd);
+  }
+  admin_conns.clear();
   ::close(epfd);
+  if (admin_listener >= 0) ::close(admin_listener);
   ::close(listener);
   log << "serve: shutdown\n" << std::flush;
   return {};

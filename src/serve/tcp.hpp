@@ -62,6 +62,17 @@ struct TcpOptions {
   /// production (the CLI wires process_faults() here under
   /// HPCP_SERVE_FAULTS).
   FaultInjector* faults = nullptr;
+  /// Admin scrape plane (see admin.hpp): when >= 0, a second listener on
+  /// 127.0.0.1:`admin_port` joins the SAME epoll loop and answers HTTP
+  /// GET /metrics, /healthz and /statsz. Admin connections never enter
+  /// handle_batch and are never fault-injected, so scraping cannot
+  /// perturb data-plane response bytes. -1 (default) disables the plane.
+  int admin_port = -1;
+  /// Like `bound_port`, but for the admin listener (port 0 supported).
+  std::atomic<std::uint16_t>* admin_bound_port = nullptr;
+  /// Concurrent admin-connection bound; scrapers above it are closed
+  /// immediately. Deliberately small — this is a diagnostics plane.
+  std::size_t max_admin_connections = 8;
 };
 
 /// Listens on 127.0.0.1:`port` and serves connections until a client sends

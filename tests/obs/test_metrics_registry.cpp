@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -160,6 +161,30 @@ TEST_F(MetricsTest, ToPrometheusRendersCumulativeBuckets) {
   EXPECT_NE(text.find("test_hist_bucket{le=\"2\"} 2"), std::string::npos);
   EXPECT_NE(text.find("test_hist_bucket{le=\"+Inf\"} 3"), std::string::npos);
   EXPECT_NE(text.find("test_hist_count 3"), std::string::npos);
+}
+
+TEST_F(MetricsTest, ToPrometheusEscapesAdversarialLabelValues) {
+  // Exposition format requires backslash, double-quote, and newline to be
+  // escaped inside label values; an unescaped newline would split one
+  // sample into two bogus lines and break every scraper.
+  obs::MetricRegistry registry;
+  registry.counter("test.adversarial", {{"path", "back\\slash \"q\"\nend"}})
+      .add(1);
+  const std::string text = registry.to_prometheus();
+  EXPECT_NE(
+      text.find(
+          "test_adversarial{path=\"back\\\\slash \\\"q\\\"\\nend\"} 1"),
+      std::string::npos)
+      << text;
+  // Every non-comment line must still be a complete `name{...} value`
+  // sample — no raw newline survived into the exposition.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_NE(line.rfind(' '), std::string::npos) << line;
+    EXPECT_NE(line.find("test_adversarial"), std::string::npos) << line;
+  }
 }
 
 TEST_F(MetricsTest, GuardedHelpersNoOpWhileDisabled) {

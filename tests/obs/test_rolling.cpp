@@ -1,0 +1,191 @@
+#include "src/obs/rolling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+/// Rolling window primitives (obs::RollingCounter / RollingHistogram).
+/// Time is always injected: every scenario here is a pure function of the
+/// `now_ms` values fed in, which is exactly the property the serving layer
+/// leans on for deterministic replay (the server forwards its injectable
+/// clock).
+
+namespace hpcp {
+namespace {
+
+TEST(RollingCounter, SumsWithinWindowAndForgetsBeyondIt) {
+  obs::RollingCounter c(/*bucket_width_ms=*/100, /*num_buckets=*/4);
+  EXPECT_EQ(c.max_window_ms(), 300u);
+
+  c.add(10);        // bucket [0, 100)
+  c.add(10, 2);
+  c.add(150);       // bucket [100, 200)
+  EXPECT_EQ(c.sum(150, 300), 4u);
+  EXPECT_EQ(c.sum(150, 100), 1u);  // partial current + 0 prior buckets
+
+  // By now=450 a 300ms window reaches back to t=200: everything above
+  // has aged out, only a fresh event still shows.
+  c.add(350);
+  EXPECT_EQ(c.sum(450, 300), 1u);
+  EXPECT_EQ(c.sum(750, 300), 0u);
+}
+
+TEST(RollingCounter, CurrentPartialBucketAlwaysCounts) {
+  obs::RollingCounter c(1000, 64);
+  c.add(5);
+  c.add(999);
+  EXPECT_EQ(c.sum(999, 1000), 2u);
+  // Next bucket: the previous one is still inside a 2-bucket window but
+  // outside a 1-bucket window.
+  EXPECT_EQ(c.sum(1000, 2000), 2u);
+  EXPECT_EQ(c.sum(1000, 1000), 0u);
+}
+
+TEST(RollingCounter, RingReuseDropsEventsOlderThanCoverage) {
+  obs::RollingCounter c(10, 3);  // covers 20ms of history
+  c.add(0, 7);
+  // A full revolution later the slot for epoch-of-0 has been recycled;
+  // a late writer stamping an ancient time must be dropped, not corrupt
+  // a newer bucket.
+  c.add(100, 1);
+  c.add(0, 50);  // ancient: ring moved on
+  EXPECT_EQ(c.sum(100, 20), 1u);
+}
+
+TEST(RollingCounter, WindowClampsToMaxAndValidatesCtor) {
+  obs::RollingCounter c(100, 4);
+  c.add(0);
+  // Oversized window clamps to max_window_ms instead of double counting.
+  EXPECT_EQ(c.sum(50, 1000000), 1u);
+  EXPECT_THROW(obs::RollingCounter(0, 4), std::invalid_argument);
+  EXPECT_THROW(obs::RollingCounter(100, 1), std::invalid_argument);
+}
+
+TEST(RollingCounter, SnapshotIsDeterministicForAGivenEventStream) {
+  // Same injected-time event stream => same window sums, every time.
+  const auto run = [] {
+    obs::RollingCounter c(1000, 64);
+    std::uint64_t t = 0;
+    std::vector<std::uint64_t> sums;
+    for (int i = 0; i < 500; ++i) {
+      t += static_cast<std::uint64_t>(i % 37);
+      c.add(t);
+      if (i % 50 == 0) {
+        sums.push_back(c.sum(t, 1000));
+        sums.push_back(c.sum(t, 10000));
+        sums.push_back(c.sum(t, 60000));
+      }
+    }
+    return sums;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(RollingCounter, ConcurrentWritersLoseNothingWithinOneEpoch) {
+  obs::RollingCounter c(1000, 8);
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add(500);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.sum(500, 1000), kThreads * kPerThread);
+}
+
+TEST(RollingCounter, ConcurrentWritersRacingARotationStayConsistent) {
+  // Writers hammer a two-epoch boundary while the ring recycles slots:
+  // every event must land in its own epoch's bucket or be dropped as
+  // too old — never smear into the wrong bucket.
+  obs::RollingCounter c(10, 4);
+  constexpr std::size_t kThreads = 4;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &go, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      // Each thread alternates between two adjacent epochs.
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        c.add(i % 2 == 0 ? 10 * (t % 2) : 10 * (t % 2) + 10);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  // All events landed in epochs covering [0, 30): nothing may be lost
+  // (no writer ever stamped a time the ring had already recycled).
+  EXPECT_EQ(c.sum(25, 30), kThreads * kPerThread);
+}
+
+TEST(RollingHistogram, QuantilesAreUpperEdgesOfContainingBuckets) {
+  const std::vector<double> bounds{0.001, 0.01, 0.1, 1.0};
+  obs::RollingHistogram h(bounds, 1000, 8);
+  h.observe(0, 0.0005);  // bucket le=0.001
+  h.observe(0, 0.05);    // bucket le=0.1
+  h.observe(0, 0.05);
+  h.observe(0, 50.0);    // overflow, clamps to last bound
+  const auto w = h.window(0, 1000);
+  EXPECT_EQ(w.total, 4u);
+  EXPECT_DOUBLE_EQ(w.quantile(0.25, bounds), 0.001);
+  EXPECT_DOUBLE_EQ(w.quantile(0.5, bounds), 0.1);
+  EXPECT_DOUBLE_EQ(w.quantile(0.75, bounds), 0.1);
+  EXPECT_DOUBLE_EQ(w.quantile(1.0, bounds), 1.0);  // overflow clamp
+  EXPECT_DOUBLE_EQ(obs::RollingHistogram::Window{}.quantile(0.5, bounds),
+                   0.0);
+}
+
+TEST(RollingHistogram, WindowRotationSeparatesOldFromNew) {
+  const std::vector<double> bounds{1.0, 10.0};
+  obs::RollingHistogram h(bounds, 100, 4);
+  h.observe(0, 0.5);
+  h.observe(250, 5.0);
+  EXPECT_EQ(h.window(250, 300).total, 2u);
+  EXPECT_EQ(h.window(250, 100).total, 1u);
+  EXPECT_DOUBLE_EQ(h.window(250, 100).quantile(0.5, bounds), 10.0);
+  // After the ring covers only [200, 500), the first event is gone.
+  EXPECT_EQ(h.window(450, 300).total, 1u);
+}
+
+TEST(RollingHistogram, ConcurrentObserversWithinOneEpochLoseNothing) {
+  const std::vector<double> bounds{0.5};
+  obs::RollingHistogram h(bounds, 1000, 4);
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.observe(100, t % 2 == 0 ? 0.1 : 0.9);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto w = h.window(100, 1000);
+  EXPECT_EQ(w.total, kThreads * kPerThread);
+  ASSERT_EQ(w.counts.size(), 2u);
+  EXPECT_EQ(w.counts[0], kThreads / 2 * kPerThread);
+  EXPECT_EQ(w.counts[1], kThreads / 2 * kPerThread);
+}
+
+TEST(RollingHistogram, CtorValidatesBoundsAndGeometry) {
+  const std::vector<double> good{1.0, 2.0};
+  EXPECT_THROW(obs::RollingHistogram(std::vector<double>{}, 100, 4),
+               std::invalid_argument);
+  EXPECT_THROW(obs::RollingHistogram(std::vector<double>{2.0, 1.0}, 100, 4),
+               std::invalid_argument);
+  EXPECT_THROW(obs::RollingHistogram(good, 0, 4), std::invalid_argument);
+  EXPECT_THROW(obs::RollingHistogram(good, 100, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcp

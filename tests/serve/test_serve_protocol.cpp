@@ -102,6 +102,19 @@ TEST(ServeProtocol, ControlCommandsParse) {
   EXPECT_EQ(reload.model_path, "m.bin");
 }
 
+TEST(ServeProtocol, TraceDumpParsesItsTargetPath) {
+  const Request dump =
+      parse_ok(R"({"cmd":"trace-dump","path":"/tmp/t.json"})");
+  EXPECT_EQ(dump.cmd, Request::Cmd::kTraceDump);
+  EXPECT_EQ(dump.model_path, "/tmp/t.json");
+  // The path is optional at the protocol layer (the server rejects a
+  // missing one with its own typed error), but its type is not.
+  EXPECT_EQ(parse_ok(R"({"cmd":"trace-dump"})").cmd,
+            Request::Cmd::kTraceDump);
+  EXPECT_EQ(parse_fail(R"({"cmd":"trace-dump","path":7})").code,
+            "bad-request");
+}
+
 TEST(ServeProtocol, RenderPredictionsIsCanonical) {
   EXPECT_EQ(render_predictions("\"a\"", 3, {64, 256}, {0.5, 0.125}),
             R"({"id":"a","ok":true,"model_version":3,)"

@@ -12,7 +12,11 @@ faster than the baseline, but not more than `--tolerance` slower:
 `--two-sided` additionally rejects ratios more than (1 + tolerance) above
 the baseline (useful when chasing a specific optimisation, noisy on shared
 runners). `--require KEY>=VALUE` adds absolute floors on top — e.g. the
-serve acceptance bar `--require cache_hit_p50>=5`.
+serve acceptance bar `--require cache_hit_p50>=5`. `--require-max
+KEY<=VALUE` is the mirror-image absolute ceiling, for ratios where larger
+is *worse* — e.g. the observability tax `--require-max
+obs_on_vs_off<=1.01` (metrics on must cost at most 1% of replay
+wall-clock).
 
 Both files must carry the same `schema` and `short_mode` (a short-mode
 baseline must never be compared against a full-mode run), and every
@@ -47,16 +51,18 @@ def load(path):
         sys.exit(2)
 
 
-def parse_requirement(text):
-    if ">=" not in text:
-        print(f"error: --require expects KEY>=VALUE, got {text!r}",
+def parse_requirement(text, op=">="):
+    if op not in text:
+        flag = "--require" if op == ">=" else "--require-max"
+        print(f"error: {flag} expects KEY{op}VALUE, got {text!r}",
               file=sys.stderr)
         sys.exit(2)
-    key, _, value = text.partition(">=")
+    key, _, value = text.partition(op)
     try:
         return key.strip(), float(value)
     except ValueError:
-        print(f"error: --require value is not a number: {text!r}",
+        flag = "--require" if op == ">=" else "--require-max"
+        print(f"error: {flag} value is not a number: {text!r}",
               file=sys.stderr)
         sys.exit(2)
 
@@ -76,6 +82,10 @@ def main():
     parser.add_argument("--require", action="append", default=[],
                         metavar="KEY>=VALUE",
                         help="absolute floor on a fresh speedup")
+    parser.add_argument("--require-max", action="append", default=[],
+                        metavar="KEY<=VALUE",
+                        help="absolute ceiling on a fresh speedup (for "
+                             "ratios where larger is worse, e.g. overhead)")
     args = parser.parse_args()
     if not 0.0 <= args.tolerance < 1.0:
         print("error: --tolerance must be in [0, 1)", file=sys.stderr)
@@ -157,6 +167,22 @@ def main():
                 f"{fresh_value:.3f}")
         else:
             print(f"  {key}: {fresh_value:.3f} >= required {floor:g} [ok]")
+
+    for key, ceiling in (parse_requirement(t, op="<=")
+                         for t in args.require_max):
+        reason = skip_reason(key)
+        if reason is not None:
+            print(f"  {key}: required ceiling skipped ({reason})")
+            continue
+        fresh_value = fresh_speedups.get(key)
+        if not isinstance(fresh_value, (int, float)):
+            failures.append(f"fresh output missing required speedup {key!r}")
+        elif fresh_value > ceiling:
+            failures.append(
+                f"required ceiling {key} <= {ceiling:g} exceeded: "
+                f"{fresh_value:.3f}")
+        else:
+            print(f"  {key}: {fresh_value:.3f} <= required {ceiling:g} [ok]")
 
     fresh_determinism = fresh.get("determinism") or {}
     for key, flag in sorted((base.get("determinism") or {}).items()):

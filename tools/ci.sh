@@ -7,7 +7,7 @@
 #
 # Usage: tools/ci.sh [--skip-sanitizers] [--only STAGE]
 #                    [--build-dir-prefix PREFIX] [--artifact-dir DIR]
-#   STAGE  one of: release bench obs trace serve chaos cli asan
+#   STAGE  one of: release bench obs trace serve scrape chaos cli asan
 #   PREFIX build tree prefix, default "build-ci-" (trees land at
 #          <repo>/<prefix><name>; keep it matching .gitignore's build-*/)
 #   DIR    where bench/trace/metrics JSONs are written, default
@@ -130,7 +130,11 @@ EOF
       --require "overload_shed_vs_nocache>=2" \
       --require "deadline_vs_nocache>=2" \
       --require "concurrent_4conn_vs_1conn>=2" \
-      --require "concurrent_16conn_vs_1conn>=2"
+      --require "concurrent_16conn_vs_1conn>=2" \
+      --require-max "obs_on_vs_off<=1.01"
+    # The observability ceiling: serving with the metric registry and
+    # rolling SLO windows hot must cost at most 1% of nocache replay
+    # wall-clock (median of paired on/off runs, so host noise cancels).
     # The concurrent-replay floors carry min_cores: 4 in the scaling
     # block — cross-connection batching cannot speed anything up on a
     # single core, so the gate skips them on small runners.
@@ -401,6 +405,81 @@ EOF
   fi
 }
 
+# Scrape smoke: the admin observability plane end to end over real
+# sockets. A TCP daemon starts with --admin-port 0 (both ports kernel-
+# assigned, scraped from the startup log); raw-socket HTTP GETs validate
+# /metrics (Prometheus exposition), /healthz, and /statsz (hpcp-stats/1
+# schema, windows + slow log populated); {"cmd":"stats"} must wrap the
+# same snapshot in-protocol. Then the side-effect-freedom proof: the same
+# predict replay runs once with the admin plane idle and once with a
+# scraper hammering every route mid-replay — the data-plane response
+# streams must be byte-identical (scrapes may observe, never perturb).
+# The in-process twin of this stage (jsonlite-validated, chaos
+# interleavings) is tests/serve/test_serve_admin.cpp in the release/asan
+# matrices; this stage covers the installed CLI + real HTTP clients.
+stage_scrape() {
+  echo "=== [release] scrape-smoke ==="
+  if ! command -v python3 > /dev/null 2>&1; then
+    echo "python3 unavailable; scrape-smoke skipped"
+    return 0
+  fi
+  local dir="${artifact_dir}/scrape-smoke"
+  mkdir -p "${dir}"
+  "${cli}" generate --app heat3d --out "${dir}/hist.csv" \
+    --configs 24 --scales 1,2,4,8 --seed 3
+  "${cli}" train --history "${dir}/hist.csv" --targets 16,32 --seed 5 \
+    --save "${dir}/model.txt" > /dev/null
+
+  # Predicts only: health/stats responses carry wall-clock fields
+  # (uptime_ms, windows), so the byte-compared stream must stay free of
+  # them; the snapshot endpoints are validated on separate connections.
+  {
+    local i
+    for i in $(seq 1 40); do
+      printf '{"id":%d,"params":[%d,%d,%d],"scales":[16,32]}\n' \
+        "${i}" "$((200 + i * 7))" "$((100 + i * 3))" "$((1 + i % 3))"
+      printf '{"id":%d,"params":[256,150,2],"scales":[16,32]}\n' \
+        "$((1000 + i))"   # repeats: cache hits show up in the windows
+    done
+    printf 'not json at all\n'
+  } > "${dir}/replay.txt"
+
+  local mode
+  for mode in idle hammer; do
+    timeout 120 "${cli}" serve --model "${dir}/model.txt" --port 0 \
+      --admin-port 0 2> "${dir}/daemon-${mode}.log" &
+    local daemon_pid=$!
+    local data_port="" admin_port=""
+    local i
+    for i in $(seq 1 100); do
+      data_port="$(sed -n \
+        's/^serve: listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+        "${dir}/daemon-${mode}.log" | head -n 1)"
+      admin_port="$(sed -n \
+        's/^serve: admin listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+        "${dir}/daemon-${mode}.log" | head -n 1)"
+      [[ -n "${data_port}" && -n "${admin_port}" ]] && break
+      kill -0 "${daemon_pid}" 2> /dev/null || break
+      sleep 0.1
+    done
+    [[ -n "${data_port}" && -n "${admin_port}" ]] \
+      || { echo "daemon never announced both ports (${mode})" >&2; exit 1; }
+    timeout 60 python3 "${repo_root}/tools/scrape_smoke.py" \
+      "${data_port}" "${admin_port}" "${dir}/replay.txt" \
+      "${dir}/got-${mode}.txt" "${mode}" \
+      || { echo "scrape client failed (${mode})" >&2; exit 1; }
+    wait "${daemon_pid}" \
+      || { echo "daemon exited non-zero after shutdown (${mode})" >&2
+           exit 1; }
+  done
+  cmp -s "${dir}/got-idle.txt" "${dir}/got-hammer.txt" \
+    || { echo "admin scraping perturbed data-plane response bytes" >&2
+         diff "${dir}/got-idle.txt" "${dir}/got-hammer.txt" | head >&2 || true
+         exit 1; }
+  echo "scrape-smoke ok (admin endpoints valid, replay byte-identical" \
+       "with and without concurrent scraping)"
+}
+
 # Chaos stage: the deterministic fault-injection suite under a hang
 # watchdog (a hung scenario is a finding, not a stuck CI job), then
 # CLI-level chaos replays via HPCP_SERVE_FAULTS — the daemon must exit
@@ -518,11 +597,13 @@ if [[ -n "${only_stage}" ]]; then
     obs)     stage_obs ;;
     trace)   stage_trace ;;
     serve)   stage_serve ;;
+    scrape)  stage_scrape ;;
     chaos)   stage_chaos ;;
     cli)     stage_cli ;;
     asan)    stage_asan ;;
     *) echo "unknown stage: ${only_stage} (expected" \
-            "release|bench|obs|trace|serve|chaos|cli|asan)" >&2; exit 2 ;;
+            "release|bench|obs|trace|serve|scrape|chaos|cli|asan)" >&2
+       exit 2 ;;
   esac
   echo "=== stage ${only_stage} passed ==="
   exit 0
@@ -533,6 +614,7 @@ stage_bench
 stage_obs
 stage_trace
 stage_serve
+stage_scrape
 stage_chaos
 stage_cli
 if [[ "${skip_san}" -eq 0 ]]; then

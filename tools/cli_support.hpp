@@ -71,9 +71,9 @@ inline FlagSpec spec_for(const std::string& command) {
     add({"history", "out", "report"});
     spec.bool_flags = {"strict"};
   } else if (command == "serve") {
-    add({"model", "port", "threads", "batch-max", "cache-entries",
-         "cache-shards", "max-line-bytes", "max-pending", "deadline-ms",
-         "io-timeout-ms"});
+    add({"model", "port", "admin-port", "threads", "batch-max",
+         "cache-entries", "cache-shards", "max-line-bytes", "max-pending",
+         "deadline-ms", "io-timeout-ms", "max-conns", "seq-log"});
     spec.bool_flags = {"stdio"};
   } else {
     throw UsageError("unknown command: " + command);

@@ -288,9 +288,13 @@ int cmd_serve(const Args& args) {
   if (faults != nullptr) {
     std::cerr << "serve: FAULT INJECTION ACTIVE (HPCP_SERVE_FAULTS, seed="
               << faults->spec().seed << ")\n";
-    if (faults->spec().clock_skip > 0.0) {
-      opts.clock_ms = serve::make_skipping_clock(faults);
-    }
+    // Always virtualize the clock under chaos, not just when clock_skip
+    // is set: health/stats report uptime_ms, and the chaos harness cmp's
+    // two same-seed runs byte-for-byte — wall time must not leak in. With
+    // clock_skip=0 the injected clock is a pure +1ms-per-read counter
+    // (roll(0) consumes no RNG state, so transport fault decisions are
+    // unchanged).
+    opts.clock_ms = serve::make_skipping_clock(faults);
   }
 
   serve::Server server(opts);
@@ -326,6 +330,16 @@ int cmd_serve(const Args& args) {
                               args.get("seq-log"));
       }
       tcp_opts.seq_log = &seq_log;
+    }
+    if (args.has("admin-port")) {
+      const std::size_t admin_port = args.get_size("admin-port", 0);
+      if (admin_port > 65535) {
+        throw cli::UsageError("--admin-port expects a value in [0, 65535]");
+      }
+      tcp_opts.admin_port = static_cast<int>(admin_port);
+      // A scrape plane without metrics is an empty page; asking for the
+      // admin port is asking for the registry.
+      obs::set_metrics_enabled(true);
     }
     tcp_opts.faults = faults;
     serve::run_tcp_server(server, static_cast<std::uint16_t>(port),
@@ -399,6 +413,7 @@ void print_usage() {
       "           [--max-line-bytes N] [--max-pending N] [--deadline-ms N]\n"
       "           [--io-timeout-ms N (default 30000; 0 = no deadline)]\n"
       "           [--max-conns N] [--seq-log FILE]\n"
+      "           [--admin-port N (HTTP /metrics /healthz /statsz)]\n"
       "           (env HPCP_SERVE_FAULTS=chaos spec)\n"
       "observability (all commands):\n"
       "  [--trace FILE] [--metrics-out FILE] [--metrics-text FILE]\n";

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Raw-socket client for tools/ci.sh stage_scrape.
+
+Usage: scrape_smoke.py DATA_PORT ADMIN_PORT REPLAY_FILE OUT_FILE MODE
+
+Pipelines REPLAY_FILE through the daemon's data port and writes one
+response line per request line to OUT_FILE. In MODE "hammer" a scraper
+thread cycles raw HTTP GETs over every admin route (/metrics, /statsz,
+/healthz, and an unknown one) for the whole replay, and the script then
+validates each endpoint once more plus the in-protocol {"cmd":"stats"}
+snapshot. In MODE "idle" the admin port is never touched, so ci.sh can
+`cmp` the two OUT_FILEs: the scrape plane must be observational only —
+byte-identical data-plane responses with and without concurrent scraping.
+
+Exits non-zero (with a message on stderr) on any validation failure;
+always attempts a clean {"cmd":"shutdown"} so the daemon exits 0.
+"""
+
+import json
+import socket
+import sys
+import threading
+
+
+def http_get(port, target, timeout=10):
+    """One-shot HTTP/1.0 exchange; returns (status_code, body)."""
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as s:
+        s.sendall(f"GET {target} HTTP/1.0\r\n\r\n".encode())
+        raw = b""
+        while True:
+            chunk = s.recv(1 << 16)
+            if not chunk:
+                break
+            raw += chunk
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0].decode(errors="replace")
+    parts = status_line.split()
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise RuntimeError(f"malformed status line {status_line!r}")
+    return int(parts[1]), body
+
+
+def fail(message):
+    print(f"scrape_smoke: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_statsz_doc(doc, where):
+    if doc.get("schema") != "hpcp-stats/1":
+        fail(f"{where}: schema is {doc.get('schema')!r}, want hpcp-stats/1")
+    for key in ("uptime_ms", "model_version", "status", "requests",
+                "cache_hits", "cache_misses", "responses", "windows",
+                "slow_log"):
+        if key not in doc:
+            fail(f"{where}: missing key {key!r}")
+    windows = doc["windows"]
+    if [w.get("window_s") for w in windows] != [1, 10, 60]:
+        fail(f"{where}: windows are not the 1s/10s/60s triple: {windows!r}")
+    for w in windows:
+        for key in ("requests", "shed_rate", "cache_hit_rate",
+                    "latency_p50_us", "latency_p95_us", "latency_p99_us"):
+            if key not in w:
+                fail(f"{where}: window missing key {key!r}")
+    if not isinstance(doc["slow_log"], list):
+        fail(f"{where}: slow_log is not a list")
+
+
+def main():
+    if len(sys.argv) != 6 or sys.argv[5] not in ("idle", "hammer"):
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    data_port, admin_port = int(sys.argv[1]), int(sys.argv[2])
+    replay_path, out_path, mode = sys.argv[3], sys.argv[4], sys.argv[5]
+
+    with open(replay_path, "rb") as f:
+        lines = f.read().splitlines()
+
+    stop = threading.Event()
+    scraper_errors = []
+
+    def scraper():
+        targets = ("/metrics", "/statsz", "/healthz", "/no-such-route")
+        i = 0
+        while not stop.is_set():
+            target = targets[i % len(targets)]
+            i += 1
+            try:
+                status, _ = http_get(admin_port, target)
+            except Exception as exc:  # noqa: BLE001 - fail the stage
+                scraper_errors.append(f"GET {target}: {exc}")
+                return
+            want = 404 if target == "/no-such-route" else 200
+            if status != want:
+                scraper_errors.append(
+                    f"GET {target}: status {status}, want {want}")
+                return
+
+    threads = []
+    if mode == "hammer":
+        threads = [threading.Thread(target=scraper) for _ in range(2)]
+        for t in threads:
+            t.start()
+
+    try:
+        # The replay itself: pipeline everything, one response per line.
+        with socket.create_connection(("127.0.0.1", data_port),
+                                      timeout=30) as s:
+            stream = s.makefile("rwb")
+            stream.write(b"\n".join(lines) + b"\n")
+            stream.flush()
+            with open(out_path, "wb") as out:
+                for _ in lines:
+                    resp = stream.readline()
+                    if not resp:
+                        fail("data connection closed mid-replay")
+                    out.write(resp)
+    finally:
+        stop.set()
+        for t in threads:
+            t.join()
+    if scraper_errors:
+        fail("; ".join(scraper_errors))
+
+    if mode == "hammer":
+        # Endpoint validation after the replay, so the snapshots have
+        # traffic to report.
+        status, body = http_get(admin_port, "/metrics")
+        if status != 200:
+            fail(f"/metrics status {status}")
+        text = body.decode()
+        for needle in ("# TYPE serve_requests counter", "serve_requests ",
+                       "serve_admin_requests "):
+            if needle not in text:
+                fail(f"/metrics missing {needle!r}")
+        status, body = http_get(admin_port, "/statsz")
+        if status != 200:
+            fail(f"/statsz status {status}")
+        doc = json.loads(body)
+        validate_statsz_doc(doc, "/statsz")
+        if doc["requests"] < len(lines) - 1:
+            fail(f"/statsz requests {doc['requests']} < replay size")
+        if doc["cache_hits"] < 1:
+            fail("/statsz shows no cache hits after a repeat-heavy replay")
+        status, body = http_get(admin_port, "/healthz")
+        if status != 200:
+            fail(f"/healthz status {status}")
+        health = json.loads(body)
+        if health.get("status") != "ok" or health.get("ok") is not True:
+            fail(f"/healthz body unhealthy: {health!r}")
+
+        # The in-protocol snapshot must wrap the same hpcp-stats/1 doc.
+        with socket.create_connection(("127.0.0.1", data_port),
+                                      timeout=30) as s:
+            stream = s.makefile("rwb")
+            stream.write(b'{"id":"s1","cmd":"stats"}\n')
+            stream.flush()
+            resp = json.loads(stream.readline())
+        if resp.get("ok") is not True or resp.get("cmd") != "stats":
+            fail(f"stats command rejected: {resp!r}")
+        validate_statsz_doc(resp["stats"], 'cmd:"stats"')
+        print(f"scrape_smoke: endpoints ok "
+              f"(requests={doc['requests']}, "
+              f"cache_hits={doc['cache_hits']}, "
+              f"slow_log={len(doc['slow_log'])})")
+
+    with socket.create_connection(("127.0.0.1", data_port), timeout=30) as s:
+        stream = s.makefile("rwb")
+        stream.write(b'{"cmd":"shutdown"}\n')
+        stream.flush()
+        stream.readline()
+
+
+if __name__ == "__main__":
+    main()
