@@ -38,6 +38,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -50,6 +51,8 @@
 #include "src/core/two_level_model.hpp"
 #include "src/obs/jsonlite.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/registry/archive.hpp"
+#include "src/registry/registry.hpp"
 #include "src/serve/server.hpp"
 #include "src/serve/tcp.hpp"
 
@@ -92,6 +95,17 @@ std::string run_replay(const TwoLevelModel& model, ServeOptions opts,
   std::istringstream in(replay);
   std::ostringstream out;
   (void)server->run(in, out);
+  return out.str();
+}
+
+/// Same, but registry-mode: tenants resolved from the store at `root`.
+std::string run_registry_replay(const std::string& root, ServeOptions opts,
+                                const std::string& replay) {
+  Server server(opts);
+  server.attach_registry(root).value_or_throw();
+  std::istringstream in(replay);
+  std::ostringstream out;
+  (void)server.run(in, out);
   return out.str();
 }
 
@@ -359,8 +373,9 @@ void write_json(const std::string& path, bool short_mode,
                 double throughput_speedup, double overload_speedup,
                 double deadline_speedup, double conn4_speedup,
                 double conn16_speedup, double obs_on_vs_off,
-                bool byte_identical, bool byte_identical_overload,
-                bool byte_identical_concurrent, bool byte_identical_obs) {
+                double mmap_load_speedup, bool byte_identical,
+                bool byte_identical_overload, bool byte_identical_concurrent,
+                bool byte_identical_obs, bool byte_identical_registry) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -404,7 +419,12 @@ void write_json(const std::string& path, bool short_mode,
   out << "    \"concurrent_16conn_vs_1conn\": " << conn16_speedup << ",\n";
   // Observability tax: median on/off wall-clock ratio of the nocache
   // replay; the regression gate caps this with --require-max.
-  out << "    \"obs_on_vs_off\": " << obs_on_vs_off << "\n";
+  out << "    \"obs_on_vs_off\": " << obs_on_vs_off << ",\n";
+  // Registry cold start: sectioned binary archive (mmap open + binary
+  // parse) vs the legacy full text deserialize of the same model. The
+  // regression gate pins the acceptance floor (>= 5x).
+  out << "    \"mmap_load_vs_full_deserialize\": " << mmap_load_speedup
+      << "\n";
   out << "  },\n";
   // Which speedup ratios require real parallel hardware, and how much:
   // the regression gate skips a ratio (and its --require floor) when the
@@ -412,7 +432,8 @@ void write_json(const std::string& path, bool short_mode,
   out << "  \"scaling\": {\n";
   out << "    \"throughput_t8_vs_t1\": {\"min_cores\": 2},\n";
   out << "    \"concurrent_4conn_vs_1conn\": {\"min_cores\": 4},\n";
-  out << "    \"concurrent_16conn_vs_1conn\": {\"min_cores\": 4}\n";
+  out << "    \"concurrent_16conn_vs_1conn\": {\"min_cores\": 4},\n";
+  out << "    \"mmap_load_vs_full_deserialize\": {\"min_cores\": 2}\n";
   out << "  },\n";
   out << "  \"determinism\": {\n";
   out << "    \"byte_identical_responses\": "
@@ -422,22 +443,27 @@ void write_json(const std::string& path, bool short_mode,
   out << "    \"byte_identical_concurrent\": "
       << (byte_identical_concurrent ? "true" : "false") << ",\n";
   out << "    \"byte_identical_obs\": "
-      << (byte_identical_obs ? "true" : "false") << "\n";
+      << (byte_identical_obs ? "true" : "false") << ",\n";
+  out << "    \"byte_identical_registry\": "
+      << (byte_identical_registry ? "true" : "false") << "\n";
   out << "  }\n";
   out << "}\n";
   std::printf("\nspeedup: cache-hit p50 = %.2fx, throughput t8/t1 = %.2fx, "
               "overload-shed = %.2fx, deadline = %.2fx,\n"
               "         4conn/1conn = %.2fx, 16conn/1conn = %.2fx, "
-              "obs on/off = %.4fx (hardware_concurrency=%zu)\n"
+              "obs on/off = %.4fx, mmap-load = %.2fx "
+              "(hardware_concurrency=%zu)\n"
               "determinism: replay responses %s, shed replay %s, "
-              "concurrent replay %s, obs replay %s\nwrote %s\n",
+              "concurrent replay %s, obs replay %s, registry replay %s\n"
+              "wrote %s\n",
               cache_speedup, throughput_speedup, overload_speedup,
               deadline_speedup, conn4_speedup, conn16_speedup,
-              obs_on_vs_off, hw,
+              obs_on_vs_off, mmap_load_speedup, hw,
               byte_identical ? "byte-identical" : "DIFFER",
               byte_identical_overload ? "byte-identical" : "DIFFER",
               byte_identical_concurrent ? "byte-identical" : "DIFFER",
               byte_identical_obs ? "byte-identical" : "DIFFER",
+              byte_identical_registry ? "byte-identical" : "DIFFER",
               path.c_str());
 }
 
@@ -569,6 +595,94 @@ int main(int argc, char** argv) {
   }));
   cases.push_back(run_case("replay_deadline", reps, [&] {
     (void)run_replay(model, deadline_opts(), replay);
+  }));
+
+  // Registry cold start: the same fitted model published once as a legacy
+  // text archive and once as a sectioned binary archive, then loaded
+  // end-to-end (open + parse to a usable TwoLevelModel). The archive path
+  // mmaps the file and binary-parses one checksummed section, the text
+  // path re-tokenises the whole serialization — their ratio is the
+  // mmap_load_vs_full_deserialize gate. archive_open_mmap isolates the
+  // open-and-validate step (what a registry listing pays per archive).
+  const auto bench_dir =
+      std::filesystem::temp_directory_path() / "hpcp_bench_serve";
+  std::filesystem::remove_all(bench_dir);
+  std::filesystem::create_directories(bench_dir);
+  const std::string text_path = (bench_dir / "model.txt").string();
+  const std::string archive_path = (bench_dir / "model.hpcp").string();
+  model.save_file(text_path);
+  hpcp::registry::write_model_archive(
+      archive_path, model, {.tenant = "bench", .version = 1})
+      .value_or_throw();
+  const std::size_t load_reps = short_mode ? 20 : 50;
+  cases.push_back(run_case("model_load_text", load_reps, [&] {
+    (void)hpcp::registry::load_model_any(text_path).value_or_throw();
+  }));
+  cases.push_back(run_case("model_load_archive", load_reps, [&] {
+    (void)hpcp::registry::load_model_any(archive_path).value_or_throw();
+  }));
+  cases.push_back(run_case("archive_open_mmap", load_reps, [&] {
+    (void)hpcp::registry::ModelArchive::open(archive_path).value_or_throw();
+  }));
+
+  // 16-tenant registry replay: the fitted model published under sixteen
+  // tenant names, the replay re-addressed round-robin through the "model"
+  // routing field, and served under a resident budget of 4 — three out of
+  // four requests land outside the LRU window, so the case prices tenant
+  // resolution + pool churn, not just prediction. Byte identity across
+  // worker count and residency budget first: eviction pressure must never
+  // reach response bytes.
+  const std::string store_root = (bench_dir / "store").string();
+  {
+    const hpcp::bench::SectionTimer timer("publish 16-tenant store");
+    auto reg = hpcp::registry::Registry::open(store_root).value_or_throw();
+    for (int t = 0; t < 16; ++t) {
+      char tenant[16];
+      std::snprintf(tenant, sizeof(tenant), "tenant-%02d", t);
+      (void)reg.add_model(tenant, model).value_or_throw();
+    }
+  }
+  std::string registry_replay;
+  for (std::size_t i = 0; i < replay_lines.size(); ++i) {
+    char route[32];
+    std::snprintf(route, sizeof(route), "\"model\":\"tenant-%02zu\",",
+                  i % 16);
+    std::string line = replay_lines[i];
+    line.insert(1, route);  // '{' + routing field + original body
+    registry_replay += line;
+    registry_replay += '\n';
+  }
+
+  bool byte_identical_registry;
+  {
+    const hpcp::bench::SectionTimer timer("registry determinism replay x3");
+    ServeOptions reg_opts;
+    reg_opts.threads = 1;
+    reg_opts.max_resident_models = 4;
+    const std::string reference =
+        run_registry_replay(store_root, reg_opts, registry_replay);
+    reg_opts.threads = 8;
+    byte_identical_registry =
+        run_registry_replay(store_root, reg_opts, registry_replay) ==
+        reference;
+    reg_opts.max_resident_models = 16;
+    byte_identical_registry =
+        byte_identical_registry &&
+        run_registry_replay(store_root, reg_opts, registry_replay) ==
+            reference;
+    if (!byte_identical_registry) {
+      std::fprintf(stderr,
+                   "FATAL: registry replay responses differ across worker "
+                   "count / resident budget — tenant routing is not "
+                   "deterministic\n");
+      return 1;
+    }
+  }
+  cases.push_back(run_case("replay_registry16_t8", reps, [&] {
+    ServeOptions reg_opts;
+    reg_opts.threads = 8;
+    reg_opts.max_resident_models = 4;
+    (void)run_registry_replay(store_root, reg_opts, registry_replay);
   }));
 
   // Observability overhead: the same compute-bound nocache replay with
@@ -711,14 +825,17 @@ int main(int argc, char** argv) {
                                      find_case("replay_concurrent_4conn"));
   const double conn16_speedup = ratio(find_case("replay_1conn"),
                                       find_case("replay_concurrent_16conn"));
+  const double mmap_load_speedup =
+      ratio(find_case("model_load_text"), find_case("model_load_archive"));
 
   if (!json_path.empty()) {
     write_json(json_path, short_mode, cfg.num_train, replay_requests, hw,
                cases, cold, hot, load4, cache_speedup, throughput_speedup,
                overload_speedup, deadline_speedup, conn4_speedup,
-               conn16_speedup, obs_on_vs_off,
+               conn16_speedup, obs_on_vs_off, mmap_load_speedup,
                /*byte_identical=*/true, byte_identical_overload,
-               byte_identical_concurrent, byte_identical_obs);
+               byte_identical_concurrent, byte_identical_obs,
+               byte_identical_registry);
   }
   return 0;
 }

@@ -41,9 +41,18 @@ void Serializer::write(const std::vector<std::string>& v) {
   for (const auto& s : v) write(s);
 }
 
+std::istream& Deserializer::stream() {
+  if (in_ == nullptr) {
+    // Only reachable from a derived codec that forgot to override a text
+    // primitive — a programming error, but one that must not be UB.
+    throw std::logic_error("Deserializer has no input stream");
+  }
+  return *in_;
+}
+
 std::string Deserializer::next_token() {
   std::string token;
-  if (!(in_ >> token)) {
+  if (!(stream() >> token)) {
     throw std::runtime_error("model archive truncated");
   }
   return token;
@@ -78,10 +87,11 @@ bool Deserializer::read_bool() { return read_size() != 0; }
 std::string Deserializer::read_string() {
   const std::size_t len = read_size();
   // Skip the single separator space, then read exactly len bytes.
-  in_.get();
+  std::istream& in = stream();
+  in.get();
   std::string s(len, '\0');
-  in_.read(s.data(), static_cast<std::streamsize>(len));
-  if (static_cast<std::size_t>(in_.gcount()) != len) {
+  in.read(s.data(), static_cast<std::streamsize>(len));
+  if (static_cast<std::size_t>(in.gcount()) != len) {
     throw std::runtime_error("model archive truncated inside string");
   }
   return s;

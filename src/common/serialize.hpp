@@ -6,30 +6,41 @@
 #include <vector>
 
 /// \file serialize.hpp
-/// Minimal tagged text serialization for trained models.
+/// Minimal tagged serialization for trained models.
 ///
-/// Format: whitespace-separated tokens. Every object writes a tag before
-/// its payload and the reader verifies it, so version or structure
-/// mismatches fail loudly instead of mis-parsing. Doubles are written as
-/// hexfloats (exact round trip); strings are length-prefixed (may contain
-/// any byte except the record separator conventions don't matter — the
-/// length governs).
+/// The base classes implement the legacy *text* codec: whitespace-separated
+/// tokens, a tag before every object (the reader verifies it, so version or
+/// structure mismatches fail loudly instead of mis-parsing), doubles as
+/// hexfloats (exact round trip), strings length-prefixed.
+///
+/// Every primitive is virtual so an alternative codec can reuse the entire
+/// model save/load graph unchanged: the registry subsystem's
+/// BinarySerializer/BinaryDeserializer (src/registry/binary_codec.hpp)
+/// override these methods to read/write raw little-endian bytes — the
+/// mmap-friendly archive format — while InterpolationLevel::save(Serializer&)
+/// and friends stay codec-agnostic.
 
 namespace hpcp {
 
 class Serializer {
  public:
   explicit Serializer(std::ostream& out) : out_(out) {}
+  virtual ~Serializer() = default;
+  Serializer(const Serializer&) = delete;
+  Serializer& operator=(const Serializer&) = delete;
 
-  void tag(const std::string& name);
-  void write(double v);
-  void write(std::size_t v);
-  void write(std::int64_t v);
-  void write(bool v);
-  void write(const std::string& s);
-  void write(const std::vector<double>& v);
-  void write(const std::vector<std::size_t>& v);
-  void write(const std::vector<std::string>& v);
+  virtual void tag(const std::string& name);
+  virtual void write(double v);
+  virtual void write(std::size_t v);
+  virtual void write(std::int64_t v);
+  virtual void write(bool v);
+  virtual void write(const std::string& s);
+  virtual void write(const std::vector<double>& v);
+  virtual void write(const std::vector<std::size_t>& v);
+  virtual void write(const std::vector<std::string>& v);
+
+ protected:
+  [[nodiscard]] std::ostream& stream() noexcept { return out_; }
 
  private:
   std::ostream& out_;
@@ -37,22 +48,32 @@ class Serializer {
 
 class Deserializer {
  public:
-  explicit Deserializer(std::istream& in) : in_(in) {}
+  explicit Deserializer(std::istream& in) : in_(&in) {}
+  virtual ~Deserializer() = default;
+  Deserializer(const Deserializer&) = delete;
+  Deserializer& operator=(const Deserializer&) = delete;
 
   /// Throws std::runtime_error if the next tag differs.
-  void expect_tag(const std::string& name);
-  [[nodiscard]] double read_double();
-  [[nodiscard]] std::size_t read_size();
-  [[nodiscard]] std::int64_t read_int();
-  [[nodiscard]] bool read_bool();
-  [[nodiscard]] std::string read_string();
-  [[nodiscard]] std::vector<double> read_doubles();
-  [[nodiscard]] std::vector<std::size_t> read_sizes();
-  [[nodiscard]] std::vector<std::string> read_strings();
+  virtual void expect_tag(const std::string& name);
+  [[nodiscard]] virtual double read_double();
+  [[nodiscard]] virtual std::size_t read_size();
+  [[nodiscard]] virtual std::int64_t read_int();
+  [[nodiscard]] virtual bool read_bool();
+  [[nodiscard]] virtual std::string read_string();
+  [[nodiscard]] virtual std::vector<double> read_doubles();
+  [[nodiscard]] virtual std::vector<std::size_t> read_sizes();
+  [[nodiscard]] virtual std::vector<std::string> read_strings();
+
+ protected:
+  /// For codecs that do not read from an istream (e.g. the binary span
+  /// reader): the base text primitives are all overridden, so `in_` is
+  /// never dereferenced.
+  Deserializer() = default;
 
  private:
   [[nodiscard]] std::string next_token();
-  std::istream& in_;
+  [[nodiscard]] std::istream& stream();
+  std::istream* in_ = nullptr;
 };
 
 }  // namespace hpcp

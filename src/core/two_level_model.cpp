@@ -207,9 +207,13 @@ std::vector<double> TwoLevelModel::predict(
 }
 
 void TwoLevelModel::save(std::ostream& out) const {
+  Serializer s(out);
+  save(s);
+}
+
+void TwoLevelModel::save(Serializer& s) const {
   HPCP_REQUIRE(interpolation_.fitted() && extrapolation_.fitted(),
                "cannot save an unfitted model");
-  Serializer s(out);
   s.tag("hpcpredict-two-level-v1");
   s.write(opts_.display_name);
   s.write(opts_.prefer_measured_curve);
@@ -225,6 +229,10 @@ void TwoLevelModel::save(std::ostream& out) const {
 
 TwoLevelModel TwoLevelModel::load(std::istream& in) {
   Deserializer d(in);
+  return load(d);
+}
+
+TwoLevelModel TwoLevelModel::load(Deserializer& d) {
   d.expect_tag("hpcpredict-two-level-v1");
   TwoLevelModel model;
   model.opts_.display_name = d.read_string();

@@ -161,6 +161,12 @@ class TwoLevelModel final : public ExtrapolationModel {
   /// scaling-law supports, calibration — but not fit-time options.
   void save(std::ostream& out) const;
   [[nodiscard]] static TwoLevelModel load(std::istream& in);
+  /// Codec-agnostic persistence: the stream overloads above wrap these
+  /// with the legacy text codec; the registry's binary archive path
+  /// (src/registry/) passes its own Serializer/Deserializer subclass and
+  /// reuses the identical field graph.
+  void save(Serializer& s) const;
+  [[nodiscard]] static TwoLevelModel load(Deserializer& d);
   /// Atomic on-disk publish (temp file + fsync + rename): a crash or I/O
   /// failure mid-save leaves the previous archive at `path` intact and
   /// loadable, never a torn file. Throwing wrapper over save_file_checked.

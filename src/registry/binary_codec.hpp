@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/common/serialize.hpp"
+
+/// \file binary_codec.hpp (registry)
+/// Raw little-endian binary codec behind the `.hpcp` model archive.
+///
+/// The legacy text codec (src/common/serialize.hpp) round-trips doubles
+/// through hexfloat tokens — exact, but every value costs a strtod and the
+/// stream tokenizer. This codec writes the same logical field graph as raw
+/// bytes: u64 little-endian integers, the 8 raw bytes of every double
+/// (bit-exact by construction), and — the part that makes loading fast —
+/// whole `vector<double>` payloads as one contiguous block, so the reader
+/// is a bounds-checked memcpy instead of a parse. Model loads through this
+/// codec are what the `mmap_load_vs_full_deserialize` bench ratio measures.
+///
+/// Because the model classes serialize through virtual
+/// Serializer/Deserializer primitives, this file contains no model
+/// knowledge at all: BinarySerializer writes to any ostream,
+/// BinaryDeserializer reads from an in-memory byte span (an mmap'd archive
+/// section or a read() fallback buffer). Every read is bounds-checked
+/// against the span and throws std::runtime_error on overrun — the
+/// archive layer converts that to a typed BadData error, never UB.
+
+namespace hpcp::registry {
+
+/// Writes the binary wire format to an ostream. Tags are length-prefixed
+/// strings just like the text codec's semantic (the reader verifies them),
+/// so structure mismatches still fail loudly.
+class BinarySerializer final : public Serializer {
+ public:
+  explicit BinarySerializer(std::ostream& out) : Serializer(out) {}
+
+  void tag(const std::string& name) override;
+  void write(double v) override;
+  void write(std::size_t v) override;
+  void write(std::int64_t v) override;
+  void write(bool v) override;
+  void write(const std::string& s) override;
+  void write(const std::vector<double>& v) override;
+  void write(const std::vector<std::size_t>& v) override;
+  void write(const std::vector<std::string>& v) override;
+
+ private:
+  void put_u64(std::uint64_t v);
+  void put_bytes(const void* data, std::size_t n);
+};
+
+/// Reads the binary wire format from a byte span the caller keeps alive
+/// (the mmap'd section, or a heap buffer). `consumed()` reports how many
+/// bytes a successful parse used, so the archive layer can reject trailing
+/// garbage.
+class BinaryDeserializer final : public Deserializer {
+ public:
+  BinaryDeserializer(const unsigned char* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  void expect_tag(const std::string& name) override;
+  [[nodiscard]] double read_double() override;
+  [[nodiscard]] std::size_t read_size() override;
+  [[nodiscard]] std::int64_t read_int() override;
+  [[nodiscard]] bool read_bool() override;
+  [[nodiscard]] std::string read_string() override;
+  [[nodiscard]] std::vector<double> read_doubles() override;
+  [[nodiscard]] std::vector<std::size_t> read_sizes() override;
+  [[nodiscard]] std::vector<std::string> read_strings() override;
+
+  [[nodiscard]] std::size_t consumed() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return size_ - pos_;
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t take_u64();
+  /// Bounds check + advance; throws std::runtime_error on overrun.
+  [[nodiscard]] const unsigned char* take(std::size_t n);
+
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace hpcp::registry

@@ -36,6 +36,32 @@ std::string garbage_frame(std::uint64_t pick) {
   }
 }
 
+/// Tenant-routing frames are *well-formed* predict lines whose "model"
+/// field cycles through the routing taxonomy: plausible tenants that may
+/// or may not exist in the store, names that are invalid as directory
+/// components, and lookalikes of the default route. Unlike garbage frames
+/// they exercise the registry resolution path end-to-end; each still
+/// occupies exactly one protocol slot and must draw exactly one
+/// well-formed response (ok, unknown-model, or a typed width error).
+std::string tenant_frame(std::uint64_t pick, std::size_t counter) {
+  std::string model;
+  switch (pick % 8) {
+    case 0: model = "default"; break;
+    case 1: model = "beta"; break;
+    case 2: model = "tenant-" + std::to_string(pick % 20); break;
+    case 3: model = "ghost"; break;
+    case 4: model = "../escape"; break;
+    case 5: model = ".hidden"; break;
+    case 6: model = std::string(80, 'T'); break;
+    default: model = "DEFAULT"; break;  // case-sensitive lookalike
+  }
+  std::string line = "{\"id\":" + std::to_string(990000 + counter) +
+                     ",\"model\":\"" + model +
+                     "\",\"params\":[1.0,2.0],\"scales\":[64]}";
+  line += '\n';
+  return line;
+}
+
 bool parse_double(const std::string& value, double* out) {
   char* end = nullptr;
   *out = std::strtod(value.c_str(), &end);
@@ -84,6 +110,8 @@ Expected<FaultSpec> parse_fault_spec(const std::string& text) {
       spec.disconnect = p;
     } else if (key == "garbage") {
       spec.garbage = p;
+    } else if (key == "tenant") {
+      spec.tenant = p;
     } else if (key == "short_write") {
       spec.short_write = p;
     } else if (key == "write_error") {
@@ -171,6 +199,11 @@ ChaosStreambuf::int_type ChaosStreambuf::underflow() {
   if (active && at_line_start_ && injector_->roll(injector_->spec().garbage)) {
     pending_ = garbage_frame(injector_->uniform(7));
     ++garbage_frames_;
+    return underflow();
+  }
+  if (active && at_line_start_ && injector_->roll(injector_->spec().tenant)) {
+    ++tenant_frames_;
+    pending_ = tenant_frame(injector_->uniform(64), tenant_frames_);
     return underflow();
   }
   // Decide the read size before consuming the source, so a short read

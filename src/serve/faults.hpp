@@ -42,6 +42,10 @@ struct FaultSpec {
   double short_read = 0.0;   ///< read delivers a 1..8-byte sliver
   double disconnect = 0.0;   ///< input ends mid-line, permanently
   double garbage = 0.0;      ///< a garbage frame precedes the next line
+  double tenant = 0.0;       ///< a well-formed predict line naming a random
+                             ///< tenant precedes the next line (registry
+                             ///< routing chaos: known, unknown, and
+                             ///< hostile "model" values)
   double short_write = 0.0;  ///< write accepts only a sliver (fd layer)
   double write_error = 0.0;  ///< write fails outright, EPIPE-style
   double clock_skip = 0.0;   ///< clock read jumps forward clock_skip_ms
@@ -49,7 +53,8 @@ struct FaultSpec {
 
   [[nodiscard]] bool enabled() const noexcept {
     return short_read > 0.0 || disconnect > 0.0 || garbage > 0.0 ||
-           short_write > 0.0 || write_error > 0.0 || clock_skip > 0.0;
+           tenant > 0.0 || short_write > 0.0 || write_error > 0.0 ||
+           clock_skip > 0.0;
   }
 };
 
@@ -120,6 +125,10 @@ class ChaosStreambuf final : public std::streambuf {
   [[nodiscard]] std::size_t garbage_frames() const noexcept {
     return garbage_frames_;
   }
+  /// Number of injected tenant-routing predict frames so far.
+  [[nodiscard]] std::size_t tenant_frames() const noexcept {
+    return tenant_frames_;
+  }
 
  protected:
   int_type underflow() override;
@@ -130,6 +139,7 @@ class ChaosStreambuf final : public std::streambuf {
   bool disconnected_ = false;
   bool at_line_start_ = true;
   std::size_t garbage_frames_ = 0;
+  std::size_t tenant_frames_ = 0;
   std::string pending_;  ///< queued garbage frame bytes, delivered first
   char buf_[4096];
 };

@@ -37,13 +37,31 @@ PredictionCache::PredictionCache(std::size_t max_entries,
   }
 }
 
-std::string PredictionCache::make_key(std::span<const double> params,
+std::string PredictionCache::make_key(std::string_view tenant,
+                                      std::uint64_t model_version,
+                                      std::span<const double> params,
                                       std::size_t scale) {
-  std::string key(params.size_bytes() + sizeof(scale), '\0');
+  // Fixed-width fields (version, scale, params count) first, then the
+  // params block, then the tenant bytes as the remainder. The explicit
+  // params count is what makes the layout injective: params and tenant
+  // are both variable-width, so without it a tenant whose bytes spell an
+  // extra double would alias a params vector one element longer.
+  const std::size_t nparams = params.size();
+  std::string key(sizeof(model_version) + sizeof(scale) + sizeof(nparams) +
+                      params.size_bytes() + tenant.size(),
+                  '\0');
+  char* p = key.data();
+  std::memcpy(p, &model_version, sizeof(model_version));
+  p += sizeof(model_version);
+  std::memcpy(p, &scale, sizeof(scale));
+  p += sizeof(scale);
+  std::memcpy(p, &nparams, sizeof(nparams));
+  p += sizeof(nparams);
   if (!params.empty()) {
-    std::memcpy(key.data(), params.data(), params.size_bytes());
+    std::memcpy(p, params.data(), params.size_bytes());
+    p += params.size_bytes();
   }
-  std::memcpy(key.data() + params.size_bytes(), &scale, sizeof(scale));
+  if (!tenant.empty()) std::memcpy(p, tenant.data(), tenant.size());
   return key;
 }
 
@@ -51,13 +69,15 @@ PredictionCache::Shard& PredictionCache::shard_for(const std::string& key) {
   return *shards_[fnv1a(key) % shards_.size()];
 }
 
-std::optional<double> PredictionCache::lookup(std::span<const double> params,
+std::optional<double> PredictionCache::lookup(std::string_view tenant,
+                                              std::uint64_t model_version,
+                                              std::span<const double> params,
                                               std::size_t scale) {
   if (!enabled()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
-  const std::string key = make_key(params, scale);
+  const std::string key = make_key(tenant, model_version, params, scale);
   Shard& shard = shard_for(key);
   const std::lock_guard lock(shard.mutex);
   const auto it = shard.index.find(key);
@@ -70,10 +90,12 @@ std::optional<double> PredictionCache::lookup(std::span<const double> params,
   return it->second->value;
 }
 
-void PredictionCache::insert(std::span<const double> params,
+void PredictionCache::insert(std::string_view tenant,
+                             std::uint64_t model_version,
+                             std::span<const double> params,
                              std::size_t scale, double value) {
   if (!enabled()) return;
-  std::string key = make_key(params, scale);
+  std::string key = make_key(tenant, model_version, params, scale);
   Shard& shard = shard_for(key);
   const std::lock_guard lock(shard.mutex);
   const auto it = shard.index.find(key);

@@ -9,14 +9,25 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 /// \file prediction_cache.hpp (serve)
-/// Sharded LRU cache for served predictions, keyed by (feature vector,
-/// scale). A key's shard is chosen by a 64-bit FNV-1a hash of the raw key
-/// bytes; within a shard an exact byte-wise key lookup guards against hash
-/// collisions — a collision may cost a miss, never a wrong answer.
+/// Sharded LRU cache for served predictions, keyed by (tenant,
+/// model_version, feature vector, scale). A key's shard is chosen by a
+/// 64-bit FNV-1a hash of the raw key bytes; within a shard an exact
+/// byte-wise key lookup guards against hash collisions — a collision may
+/// cost a miss, never a wrong answer.
+///
+/// Tenant id and model version are part of the key *by construction*, not
+/// by convention: a reload (version bump) or a tenant switch can never
+/// serve a stale hit even if nobody remembers to clear() — the old
+/// entries simply stop matching and age out of the LRU. The single-model
+/// server still clears on install (keeping its hit/miss accounting
+/// byte-stable), but correctness no longer depends on it; the multi-tenant
+/// registry path relies on the keyed isolation alone, so one tenant's
+/// reload does not flush every other tenant's working set.
 ///
 /// Caching is value-transparent by construction: the stored value is the
 /// exact double the batched prediction path produced, and per-row
@@ -47,16 +58,21 @@ class PredictionCache {
     return shards_.size();
   }
 
-  /// The cached prediction for (params, scale), refreshing its LRU
-  /// position; nullopt on a miss. Counts a hit or a miss.
-  [[nodiscard]] std::optional<double> lookup(std::span<const double> params,
+  /// The cached prediction for (tenant, version, params, scale),
+  /// refreshing its LRU position; nullopt on a miss. Counts a hit or a
+  /// miss. `tenant` is "" for the single-model server.
+  [[nodiscard]] std::optional<double> lookup(std::string_view tenant,
+                                             std::uint64_t model_version,
+                                             std::span<const double> params,
                                              std::size_t scale);
 
-  /// Stores the prediction for (params, scale), evicting the shard's
-  /// least-recently-used entry when full. Overwrites an existing entry
-  /// (predictions are deterministic, so the value cannot actually change
-  /// for a fixed model; reloads clear() instead of relying on overwrite).
-  void insert(std::span<const double> params, std::size_t scale,
+  /// Stores the prediction, evicting the shard's least-recently-used
+  /// entry when full. Overwrites an existing entry (predictions are
+  /// deterministic for a fixed (tenant, version), so the value cannot
+  /// actually change; version is in the key, so a reload invalidates by
+  /// mismatch, never by overwrite).
+  void insert(std::string_view tenant, std::uint64_t model_version,
+              std::span<const double> params, std::size_t scale,
               double value);
 
   /// Drops every entry (model hot-reload invalidates all cached values).
@@ -73,7 +89,7 @@ class PredictionCache {
 
  private:
   struct Entry {
-    std::string key;  ///< raw bytes of (params, scale)
+    std::string key;  ///< bytes of (version, scale, nparams, params, tenant)
     double value = 0.0;
   };
   struct Shard {
@@ -83,7 +99,9 @@ class PredictionCache {
     std::size_t capacity = 0;
   };
 
-  [[nodiscard]] static std::string make_key(std::span<const double> params,
+  [[nodiscard]] static std::string make_key(std::string_view tenant,
+                                            std::uint64_t model_version,
+                                            std::span<const double> params,
                                             std::size_t scale);
   [[nodiscard]] Shard& shard_for(const std::string& key);
 

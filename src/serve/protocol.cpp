@@ -106,6 +106,15 @@ bool parse_request(const std::string& line, Request* out, ErrorInfo* err) {
   }
   if (cmd == "predict") {
     out->cmd = Request::Cmd::kPredict;
+    if (doc.contains("model")) {
+      if (doc.at("model").kind() != JsonValue::Kind::String) {
+        return fail(err, "bad-request", "model must be a string tenant name");
+      }
+      out->tenant = doc.at("model").as_string();
+      if (out->tenant.empty()) {
+        return fail(err, "bad-request", "model must not be empty");
+      }
+    }
     return parse_params(doc, out, err) && parse_scales(doc, out, err);
   }
   if (cmd == "ping") {
@@ -123,6 +132,15 @@ bool parse_request(const std::string& line, Request* out, ErrorInfo* err) {
         return fail(err, "bad-request", "model must be a string path");
       }
       out->model_path = doc.at("model").as_string();
+    }
+    if (doc.contains("tenant")) {
+      if (doc.at("tenant").kind() != JsonValue::Kind::String) {
+        return fail(err, "bad-request", "tenant must be a string");
+      }
+      out->tenant = doc.at("tenant").as_string();
+      if (out->tenant.empty()) {
+        return fail(err, "bad-request", "tenant must not be empty");
+      }
     }
     return true;
   }

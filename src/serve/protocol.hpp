@@ -14,9 +14,11 @@
 ///
 /// Requests:
 ///   {"id":"q1","params":[256,8,0.1],"scales":[64,256]}   predict (default)
+///   {"id":"q2","model":"tenant-a","params":[256,8]}       predict, named tenant
 ///   {"cmd":"ping"}                                        liveness probe
 ///   {"cmd":"health"}                                      readiness probe
 ///   {"cmd":"reload"} / {"cmd":"reload","model":"m.txt"}   hot model reload
+///   {"cmd":"reload","tenant":"tenant-a"}                  registry tenant reload
 ///   {"cmd":"stats"}                                       hpcp-stats/1 snapshot
 ///   {"cmd":"trace-dump","path":"t.json"}                  live Chrome-trace dump
 ///   {"cmd":"shutdown"}                                    stop the server
@@ -44,6 +46,13 @@ inline constexpr const char* kErrOverloaded = "overloaded";   ///< queue full, r
 inline constexpr const char* kErrDegraded = "degraded";       ///< cache-only mode, miss rejected
 inline constexpr const char* kErrDeadline = "deadline";       ///< request deadline expired
 
+/// Registry-mode error: the request named a tenant the registry does not
+/// know (or named any tenant on a single-model server). Unlike the codes
+/// above this is NOT a degraded response — it is a pure function of the
+/// request and the store, so it participates in the byte-identity
+/// contract like any other request-shaped error.
+inline constexpr const char* kErrUnknownModel = "unknown-model";
+
 /// One parsed request line.
 struct Request {
   enum class Cmd {
@@ -65,6 +74,11 @@ struct Request {
   /// reload: the archive to load (empty = original path). trace-dump: the
   /// output file for the Chrome-trace snapshot (required).
   std::string model_path;
+  /// predict: the `model` field — which registry tenant to serve from
+  /// (empty = the default tenant, or the single configured model).
+  /// reload: the `tenant` field — which tenant to reload (registry mode;
+  /// empty = the single model / every resident tenant per server policy).
+  std::string tenant;
 };
 
 /// A protocol-level failure, rendered as the response's `error` object.

@@ -119,6 +119,18 @@ void Server::install(Snapshot snap) {
   cache_.clear();
 }
 
+Expected<void> Server::attach_registry(const std::string& root) {
+  auto reg = registry::Registry::open(root);
+  if (!reg) return reg.error();
+  registry::PoolOptions popts;
+  popts.max_resident_models = opts_.max_resident_models;
+  popts.max_resident_bytes = opts_.max_resident_bytes;
+  model_pool_ =
+      std::make_unique<registry::ModelPool>(std::move(*reg), popts);
+  obs::gauge_set("serve.registry_mode", 1.0);
+  return {};
+}
+
 Expected<void> Server::load_model_file(const std::string& path) {
   const obs::Span span("serve.reload", path);
   auto loaded = TwoLevelModel::load_file_checked(path);
@@ -165,6 +177,14 @@ Expected<void> Server::try_reload(const std::string& path) {
 
 void Server::poll_reloads() {
   if (reload_flag().exchange(false)) {
+    if (model_pool_) {
+      // Registry-mode SIGHUP: pick up externally published tenants and
+      // versions, then epoch-swap every resident tenant. Per-tenant
+      // failures degrade only their tenant.
+      (void)model_pool_->refresh();
+      model_pool_->reload_all_resident();
+      return;
+    }
     const auto snap = snapshot();
     if (snap && !snap->source_path.empty()) {
       // SIGHUP reload is out-of-band: it produces no response line, so
@@ -271,11 +291,18 @@ void Server::resolve(std::vector<Pending>* batch) {
 
   // Resolve every request to either a rendered error, a full cache hit,
   // or a row of the batched compute. All serially, in request order, so
-  // cache hit/miss accounting and LRU movement are deterministic.
+  // cache hit/miss accounting, LRU movement, and (in registry mode)
+  // residency loads/evictions are deterministic.
   struct Slot {
     std::vector<std::size_t> scales;
     std::vector<double> predictions;
     bool compute = false;
+    const TwoLevelModel* model = nullptr;
+    std::uint64_t version = 0;   ///< per-row model version (cache key)
+    std::string tenant;          ///< cache key; "" = single-model mode
+    /// Registry mode: the residency pin — holds the resident model alive
+    /// for the whole flush even if the pool evicts it mid-window.
+    std::shared_ptr<const registry::ResidentModel> pin;
   };
   std::vector<Slot> slots(batch->size());
   std::vector<std::size_t> compute_rows;
@@ -298,30 +325,78 @@ void Server::resolve(std::vector<Pending>* batch) {
                "ms) expired before the response was produced"});
       continue;
     }
-    if (!snap) {
-      p.trace.code = "unavailable";
-      p.response = render_error(
-          p.req.id_json, version,
-          {"unavailable", "no model loaded"});
-      continue;
+    Slot& slot = slots[i];
+    if (model_pool_) {
+      // Registry mode: resolve the request's tenant ("model" field,
+      // absent = default) to a resident model, loading on a residency
+      // miss. A failed load is a typed error for this request only —
+      // every other tenant in the window is structurally unaffected.
+      slot.tenant = p.req.tenant.empty() ? registry::kDefaultTenant
+                                         : p.req.tenant;
+      if (!model_pool_->known(slot.tenant)) {
+        p.trace.code = kErrUnknownModel;
+        p.response = render_error(
+            p.req.id_json, 0,
+            {kErrUnknownModel,
+             "unknown model \"" + slot.tenant + "\": no such tenant in "
+             "the registry"});
+        continue;
+      }
+      auto acquired = model_pool_->acquire(slot.tenant);
+      if (!acquired) {
+        const std::string code = error_code_name(acquired.error().code);
+        p.trace.code = code;
+        p.response = render_error(p.req.id_json, 0,
+                                  {code, acquired.error().to_string()});
+        continue;
+      }
+      slot.pin = std::move(*acquired);
+      slot.model = &slot.pin->model;
+      slot.version = slot.pin->version;
+    } else {
+      if (!p.req.tenant.empty()) {
+        // Named-model requests need a registry behind the server; a
+        // single-model server knows no tenant names at all.
+        p.trace.code = kErrUnknownModel;
+        p.response = render_error(
+            p.req.id_json, version,
+            {kErrUnknownModel,
+             "unknown model \"" + p.req.tenant +
+                 "\": server is not running against a registry"});
+        continue;
+      }
+      if (!snap) {
+        p.trace.code = "unavailable";
+        p.response = render_error(
+            p.req.id_json, version,
+            {"unavailable", "no model loaded"});
+        continue;
+      }
+      slot.model = &snap->model;
+      slot.version = version;
     }
-    if (p.req.params.size() != snap->num_features) {
+    const std::size_t num_features = model_pool_
+                                         ? slot.pin->num_features
+                                         : snap->num_features;
+    if (p.req.params.size() != num_features) {
       p.trace.code = "bad-request";
       p.response = render_error(
-          p.req.id_json, version,
+          p.req.id_json, slot.version,
           {"bad-request",
            "params width mismatch: got " +
                std::to_string(p.req.params.size()) + ", model expects " +
-               std::to_string(snap->num_features)});
+               std::to_string(num_features)});
       continue;
     }
-    Slot& slot = slots[i];
-    slot.scales =
-        p.req.scales.empty() ? snap->default_scales : p.req.scales;
+    slot.scales = p.req.scales.empty()
+                      ? (model_pool_ ? slot.pin->default_scales
+                                     : snap->default_scales)
+                      : p.req.scales;
     slot.predictions.resize(slot.scales.size());
     bool all_hit = cache_.enabled();
     for (std::size_t s = 0; all_hit && s < slot.scales.size(); ++s) {
-      const auto hit = cache_.lookup(p.req.params, slot.scales[s]);
+      const auto hit = cache_.lookup(slot.tenant, slot.version,
+                                     p.req.params, slot.scales[s]);
       if (hit.has_value()) {
         slot.predictions[s] = *hit;
       } else {
@@ -340,7 +415,7 @@ void Server::resolve(std::vector<Pending>* batch) {
       obs::count("serve.degraded_rejects");
       p.trace.code = kErrDegraded;
       p.response = render_error(
-          p.req.id_json, version,
+          p.req.id_json, slot.version,
           {kErrDegraded,
            "server is in degraded cache-only mode; prediction not cached",
            opts_.retry_after_ms});
@@ -355,30 +430,54 @@ void Server::resolve(std::vector<Pending>* batch) {
   const std::uint64_t batch_start_us = steady_us();
   if (!compute_rows.empty()) {
     const obs::Span compute_span("serve.batch_compute");
-    Matrix configs(compute_rows.size(), snap->num_features);
-    for (std::size_t r = 0; r < compute_rows.size(); ++r) {
-      configs.set_row(r, (*batch)[compute_rows[r]].req.params);
+    // Group miss rows by resolved model, first-appearance order: one
+    // batched level-1 call per distinct model in the window. A
+    // single-model window (every non-registry server) is exactly one
+    // group, i.e. the classic path, byte for byte.
+    std::vector<const TwoLevelModel*> group_models;
+    std::vector<std::vector<std::size_t>> groups;
+    for (const std::size_t row : compute_rows) {
+      const TwoLevelModel* m = slots[row].model;
+      std::size_t g = 0;
+      while (g < group_models.size() && group_models[g] != m) ++g;
+      if (g == group_models.size()) {
+        group_models.push_back(m);
+        groups.emplace_back();
+      }
+      groups[g].push_back(row);
     }
-    // Level 1 batched over all miss rows at once; level 2 fans the
-    // per-row evaluation out over the pool. parallel_map writes results
-    // into index-ordered slots, so worker count never reorders anything.
-    const Matrix curves = snap->model.interpolation().predict_curves(configs);
-    auto results = parallel_map(
-        compute_rows.size(),
-        [&](std::size_t r) {
-          const Slot& slot = slots[compute_rows[r]];
-          return snap->model.predict_curve_at_scales(curves.row(r),
-                                                     slot.scales);
-        },
-        pool_);
-    // Cache inserts happen serially in request order — eviction order is
-    // part of the determinism contract.
-    for (std::size_t r = 0; r < compute_rows.size(); ++r) {
-      Slot& slot = slots[compute_rows[r]];
-      slot.predictions = std::move(results[r]);
-      const Pending& p = (*batch)[compute_rows[r]];
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const std::vector<std::size_t>& rows = groups[g];
+      const TwoLevelModel& model = *group_models[g];
+      Matrix configs(rows.size(), model.interpolation().num_features());
+      for (std::size_t r = 0; r < rows.size(); ++r) {
+        configs.set_row(r, (*batch)[rows[r]].req.params);
+      }
+      // Level 1 batched over the group's miss rows at once; level 2 fans
+      // the per-row evaluation out over the pool. parallel_map writes
+      // results into index-ordered slots, so worker count never reorders
+      // anything.
+      const Matrix curves = model.interpolation().predict_curves(configs);
+      auto results = parallel_map(
+          rows.size(),
+          [&](std::size_t r) {
+            const Slot& slot = slots[rows[r]];
+            return model.predict_curve_at_scales(curves.row(r),
+                                                 slot.scales);
+          },
+          pool_);
+      for (std::size_t r = 0; r < rows.size(); ++r) {
+        slots[rows[r]].predictions = std::move(results[r]);
+      }
+    }
+    // Cache inserts happen serially in request order (across groups, not
+    // group order) — eviction order is part of the determinism contract.
+    for (const std::size_t row : compute_rows) {
+      const Slot& slot = slots[row];
+      const Pending& p = (*batch)[row];
       for (std::size_t s = 0; s < slot.scales.size(); ++s) {
-        cache_.insert(p.req.params, slot.scales[s], slot.predictions[s]);
+        cache_.insert(slot.tenant, slot.version, p.req.params,
+                      slot.scales[s], slot.predictions[s]);
       }
     }
   }
@@ -388,7 +487,7 @@ void Server::resolve(std::vector<Pending>* batch) {
     Pending& p = (*batch)[i];
     const obs::Span request_span("serve.request");
     if (!is_rendered(p.response)) {
-      p.response = render_predictions(p.req.id_json, version,
+      p.response = render_predictions(p.req.id_json, slots[i].version,
                                       slots[i].scales,
                                       slots[i].predictions);
       ++requests_served_;
@@ -511,6 +610,55 @@ std::string Server::handle_control(const Request& req) {
     }
     case Request::Cmd::kReload: {
       const obs::Span span("serve.cmd_reload");
+      if (model_pool_) {
+        if (!req.model_path.empty()) {
+          note_response("bad-request");
+          return render_error(
+              req.id_json, version,
+              {"bad-request",
+               "reload by path is not available in registry mode; use "
+               "{\"cmd\":\"reload\",\"tenant\":...}"});
+        }
+        if (!req.tenant.empty()) {
+          // One tenant's epoch swap; failure degrades only that tenant
+          // (the old resident epoch, if any, keeps serving).
+          auto result = model_pool_->reload(req.tenant);
+          if (!result) {
+            const std::string code =
+                model_pool_->known(req.tenant)
+                    ? std::string(error_code_name(result.error().code))
+                    : std::string(kErrUnknownModel);
+            note_response(code);
+            return render_error(req.id_json, version,
+                                {code, result.error().to_string()});
+          }
+          note_response("ok");
+          std::string out = prefix("reload");
+          out += ",\"tenant\":";
+          out += obs::json_quote(req.tenant);
+          out += ",\"model_version\":";
+          out += std::to_string(*result);
+          out += '}';
+          return out;
+        }
+        // Tenant-less reload: pick up externally published archives, then
+        // epoch-swap every resident tenant.
+        (void)model_pool_->refresh();
+        model_pool_->reload_all_resident();
+        note_response("ok");
+        std::string out = prefix("reload");
+        out += ",\"registry\":true,\"resident\":";
+        out += std::to_string(model_pool_->resident_count());
+        out += '}';
+        return out;
+      }
+      if (!req.tenant.empty()) {
+        note_response(kErrUnknownModel);
+        return render_error(
+            req.id_json, version,
+            {kErrUnknownModel,
+             "tenant reload requires registry mode (serve --registry)"});
+      }
       std::string path = req.model_path;
       if (path.empty()) {
         const auto snap = snapshot();
@@ -603,8 +751,12 @@ std::string Server::health_json(const std::string& id_json) const {
   // the request stream and the injectable clock, so probe responses are
   // byte-stable under replay.
   const auto snap = snapshot();
+  // Registry mode has no single snapshot: readiness is the pool's (the
+  // store may be empty — requests then fail per-tenant, not globally).
   const char* status =
-      !snap ? "unavailable" : (degraded() ? "degraded" : "ok");
+      model_pool_ ? (degraded() ? "degraded" : "ok")
+                  : (!snap ? "unavailable"
+                           : (degraded() ? "degraded" : "ok"));
   std::string out = "{";
   if (!id_json.empty()) {
     out += "\"id\":";
@@ -631,7 +783,8 @@ std::string Server::health_json(const std::string& id_json) const {
   out += std::to_string(reload_failure_streak_);
   out += ",\"responses\":";
   append_code_counters(out);
-  if (!snap || degraded()) {
+  if (model_pool_) append_registry_block(out);
+  if ((!model_pool_ && !snap) || degraded()) {
     out += ",\"retry_after_ms\":";
     out += std::to_string(opts_.retry_after_ms);
   }
@@ -730,6 +883,47 @@ void Server::append_code_counters(std::string& out) const {
 
 std::string Server::render_health_json() const { return health_json(""); }
 
+void Server::append_registry_block(std::string& out) const {
+  // Pool totals plus per-tenant counters, sorted by tenant name (the
+  // pool's stats() is already sorted) — byte-stable under replay because
+  // every counter is driven serially from the serving thread.
+  out += ",\"registry\":{\"resident\":";
+  out += std::to_string(model_pool_->resident_count());
+  out += ",\"resident_bytes\":";
+  out += std::to_string(model_pool_->resident_bytes());
+  out += ",\"max_resident_models\":";
+  out += std::to_string(model_pool_->options().max_resident_models);
+  out += ",\"max_resident_bytes\":";
+  out += std::to_string(model_pool_->options().max_resident_bytes);
+  out += ",\"evictions\":";
+  out += std::to_string(model_pool_->total_evictions());
+  out += ",\"tenants\":{";
+  bool first = true;
+  for (const registry::TenantStats& t : model_pool_->stats()) {
+    if (!first) out += ',';
+    first = false;
+    out += obs::json_quote(t.tenant);
+    out += ":{\"version\":";
+    out += std::to_string(t.version);
+    out += ",\"resident\":";
+    out += t.resident ? "true" : "false";
+    out += ",\"hits\":";
+    out += std::to_string(t.hits);
+    out += ",\"loads\":";
+    out += std::to_string(t.loads);
+    out += ",\"evictions\":";
+    out += std::to_string(t.evictions);
+    out += ",\"load_failures\":";
+    out += std::to_string(t.load_failures);
+    if (!t.last_error.empty()) {
+      out += ",\"last_error\":";
+      out += obs::json_quote(t.last_error);
+    }
+    out += '}';
+  }
+  out += "}}";
+}
+
 void Server::slow_log_insert(const RequestTrace& trace) {
   if (slow_log_.size() < kSlowLogEntries) {
     slow_log_.push_back(trace);
@@ -770,7 +964,9 @@ std::string Server::render_stats_json() const {
   const std::uint64_t now = now_ms();
   const auto snap = snapshot();
   const char* status =
-      !snap ? "unavailable" : (degraded() ? "degraded" : "ok");
+      model_pool_ ? (degraded() ? "degraded" : "ok")
+                  : (!snap ? "unavailable"
+                           : (degraded() ? "degraded" : "ok"));
 
   std::string out = "{\"schema\":\"hpcp-stats/1\",\"uptime_ms\":";
   out += std::to_string(now > start_ms_ ? now - start_ms_ : 0);
@@ -816,6 +1012,7 @@ std::string Server::render_stats_json() const {
   out += std::to_string(degraded_rejects_);
   out += ",\"responses\":";
   append_code_counters(out);
+  if (model_pool_) append_registry_block(out);
 
   // 1s / 10s / 60s trailing windows over the rolling rings. Latency
   // quantiles are reported as the upper edge of the containing histogram

@@ -17,6 +17,7 @@
 #include "src/common/thread_pool.hpp"
 #include "src/core/two_level_model.hpp"
 #include "src/obs/obs.hpp"
+#include "src/registry/residency.hpp"
 #include "src/serve/prediction_cache.hpp"
 #include "src/serve/protocol.hpp"
 
@@ -71,6 +72,20 @@
 /// the advertised model_version, and clears the prediction cache. A failed
 /// reload (missing/corrupt/torn archive) reports a typed error, leaves the
 /// old model serving, and schedules a backoff retry.
+///
+/// Registry mode (attach_registry): instead of one fixed model the server
+/// fronts a registry::ModelPool — a predict request's optional "model"
+/// field names the tenant to serve from (absent = "default"), resolved
+/// per request against the LRU of resident models. Batches still share
+/// micro-batch windows across tenants; the compute step groups rows by
+/// resolved model, one batched level-1 call per distinct model, and every
+/// cache insert stays serial in request order, so the response stream is
+/// byte-identical to serving each tenant from its own single-model server.
+/// A tenant whose archive fails to load degrades only that tenant (typed
+/// error; pool keeps any old resident epoch serving); {"cmd":"reload",
+/// "tenant":T} swaps one tenant, a tenant-less reload (or SIGHUP)
+/// rescans the store and reloads every resident tenant. health/stats gain
+/// a "registry" block with per-tenant counters.
 
 namespace hpcp::serve {
 
@@ -110,6 +125,10 @@ struct ServeOptions {
   /// initial, then doubling, capped.
   std::uint64_t reload_backoff_initial_ms = 1000;
   std::uint64_t reload_backoff_max_ms = 30000;
+  /// Registry mode (attach_registry): resident-model LRU caps forwarded
+  /// to the ModelPool — count cap and byte budget (0 = unlimited bytes).
+  std::size_t max_resident_models = 4;
+  std::uint64_t max_resident_bytes = 0;
   /// Monotonic millisecond clock; unset = std::chrono::steady_clock. The
   /// chaos harness injects a deterministic skipping clock here.
   std::function<std::uint64_t()> clock_ms = {};
@@ -132,6 +151,23 @@ class Server {
   /// Installs an in-process model (tests, benches). `source_path` is what
   /// a later {"cmd":"reload"} without an explicit path will re-read.
   void set_model(TwoLevelModel model, std::string source_path);
+
+  /// Switches the server to registry mode: opens (or creates) the model
+  /// store at `root` and builds the resident-model pool under the
+  /// max_resident_models / max_resident_bytes options. Mutually exclusive
+  /// with the single-model snapshot in practice (the CLI enforces
+  /// --model XOR --registry); loading is lazy, so attaching an empty
+  /// store succeeds and requests fail per-tenant until models appear.
+  [[nodiscard]] Expected<void> attach_registry(const std::string& root);
+
+  /// True once attach_registry succeeded.
+  [[nodiscard]] bool registry_mode() const noexcept {
+    return model_pool_ != nullptr;
+  }
+  /// The resident-model pool (nullptr outside registry mode).
+  [[nodiscard]] registry::ModelPool* model_pool() noexcept {
+    return model_pool_.get();
+  }
 
   /// 0 until the first successful load; bumped by every successful reload.
   [[nodiscard]] std::uint64_t model_version() const;
@@ -316,6 +352,10 @@ class Server {
   /// Renders responses_by_code_ as a JSON object (keys sorted — std::map).
   void append_code_counters(std::string& out) const;
 
+  /// Registry mode only: appends `,"registry":{...}` with pool totals and
+  /// sorted per-tenant counters to a health/stats body.
+  void append_registry_block(std::string& out) const;
+
   /// Bumps the per-code response counter ("ok" or an error code); every
   /// rendered response line passes through here exactly once.
   void note_response(const std::string& code);
@@ -327,6 +367,9 @@ class Server {
   std::unique_ptr<ThreadPool> own_pool_;  ///< when opts_.threads >= 1
   ThreadPool* pool_ = nullptr;            ///< nullptr = global pool
   PredictionCache cache_;
+  /// Registry mode: the resident-model LRU (serving-thread confined,
+  /// like the resilience state). nullptr = classic single-model server.
+  std::unique_ptr<registry::ModelPool> model_pool_;
 
   mutable std::mutex snapshot_mutex_;
   std::shared_ptr<const Snapshot> snapshot_;

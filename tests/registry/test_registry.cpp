@@ -1,0 +1,341 @@
+/// Registry store + ModelPool residency unit tests: dense versioning and
+/// never-overwrite adds, manifest bytes, filesystem-as-source-of-truth
+/// rescans (crash healing), gc retention, tenant-name hygiene at the
+/// directory trust boundary, LRU eviction under count and byte budgets,
+/// pinned-tenant eviction immunity, and the per-tenant epoch swap whose
+/// failure degrades exactly one tenant.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/core/problem.hpp"
+#include "src/core/two_level_model.hpp"
+#include "src/registry/archive.hpp"
+#include "src/registry/registry.hpp"
+#include "src/registry/residency.hpp"
+
+namespace hpcp::registry {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// One tiny trained model per seed; distinct seeds give distinct
+/// predictions, which is what the pool tests key on.
+TwoLevelModel tiny_model(std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t n = 14;
+  const std::size_t d = 2;
+  ExtrapolationProblem problem;
+  problem.param_names = {"p0", "p1"};
+  problem.small_scales = {1, 2, 4, 8};
+  problem.target_scales = {16, 32};
+  problem.train_configs = Matrix(n, d);
+  problem.train_small_times = Matrix(n, problem.small_scales.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      problem.train_configs(i, j) = rng.uniform(1.0, 100.0);
+    }
+    const double base = rng.uniform(0.5, 50.0);
+    for (std::size_t s = 0; s < problem.small_scales.size(); ++s) {
+      const auto p = static_cast<double>(problem.small_scales[s]);
+      problem.train_small_times(i, s) =
+          base * (0.2 + 0.8 / p) * rng.lognormal_median(1.0, 0.05);
+    }
+  }
+  TwoLevelOptions opts;
+  opts.forest.num_trees = 5;
+  TwoLevelModel model(opts);
+  Rng fit_rng(seed);
+  model.fit_checked(problem, fit_rng).value_or_throw();
+  return model;
+}
+
+std::string fresh_root(const std::string& name) {
+  const std::string root = ::testing::TempDir() + "/" + name;
+  fs::remove_all(root);
+  return root;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(Registry, AddAssignsDenseVersionsAndNeverOverwrites) {
+  const std::string root = fresh_root("reg_add");
+  Registry reg = Registry::open(root).value_or_throw();
+  EXPECT_FALSE(reg.has_tenant("alpha"));
+  const TwoLevelModel m1 = tiny_model(1);
+  const TwoLevelModel m2 = tiny_model(2);
+  EXPECT_EQ(reg.add_model("alpha", m1).value_or_throw(), 1u);
+  EXPECT_EQ(reg.add_model("alpha", m2).value_or_throw(), 2u);
+  EXPECT_EQ(reg.latest_version("alpha"), 2u);
+  EXPECT_TRUE(fs::exists(reg.version_path("alpha", 1)));
+  EXPECT_TRUE(fs::exists(reg.version_path("alpha", 2)));
+  // Version 1's archive is untouched by the version-2 add.
+  const auto v1 = ModelArchive::open(reg.version_path("alpha", 1));
+  ASSERT_TRUE(v1.has_value());
+  EXPECT_EQ(v1->meta().version, 1u);
+  EXPECT_EQ(v1->meta().tenant, "alpha");
+}
+
+TEST(Registry, ManifestIsSortedAndDeterministic) {
+  const std::string root = fresh_root("reg_manifest");
+  Registry reg = Registry::open(root).value_or_throw();
+  const TwoLevelModel m = tiny_model(1);
+  (void)reg.add_model("zeta", m).value_or_throw();
+  (void)reg.add_model("alpha", m).value_or_throw();
+  (void)reg.add_model("alpha", m).value_or_throw();
+  EXPECT_EQ(read_file(reg.manifest_path()),
+            "{\"schema\":\"hpcp-registry/1\",\"tenants\":{"
+            "\"alpha\":{\"latest\":2,\"versions\":[1,2]},"
+            "\"zeta\":{\"latest\":1,\"versions\":[1]}}}\n");
+}
+
+TEST(Registry, OpenRescansTheFilesystemAsSourceOfTruth) {
+  const std::string root = fresh_root("reg_rescan");
+  {
+    Registry reg = Registry::open(root).value_or_throw();
+    (void)reg.add_model("alpha", tiny_model(1)).value_or_throw();
+  }
+  // Simulate a crash between archive publish and manifest rewrite: an
+  // archive exists that the manifest does not mention.
+  {
+    Registry reg = Registry::open(root).value_or_throw();
+    ArchiveMeta meta;
+    meta.tenant = "beta";
+    meta.version = 1;
+    fs::create_directories(fs::path(root) / "beta");
+    ASSERT_TRUE(write_model_archive((fs::path(root) / "beta" / "1.hpcp")
+                                        .string(),
+                                    tiny_model(2), meta)
+                    .has_value());
+  }
+  Registry reopened = Registry::open(root).value_or_throw();
+  EXPECT_TRUE(reopened.has_tenant("alpha"));
+  EXPECT_TRUE(reopened.has_tenant("beta"));  // healed from the tree
+  // Foreign junk neither becomes a tenant nor takes the scan down.
+  std::ofstream(fs::path(root) / "alpha" / "notes.txt") << "junk";
+  std::ofstream(fs::path(root) / "alpha" / "x.hpcp") << "bad stem";
+  fs::create_directories(fs::path(root) / ".hidden");
+  ASSERT_TRUE(reopened.rescan().has_value());
+  EXPECT_TRUE(reopened.has_tenant("alpha"));
+  EXPECT_FALSE(reopened.has_tenant(".hidden"));
+  EXPECT_EQ(reopened.latest_version("alpha"), 1u);
+}
+
+TEST(Registry, TenantNamesAreValidatedAtTheBoundary) {
+  EXPECT_TRUE(Registry::valid_tenant("alpha"));
+  EXPECT_TRUE(Registry::valid_tenant("a-b_c.d9"));
+  EXPECT_FALSE(Registry::valid_tenant(""));
+  EXPECT_FALSE(Registry::valid_tenant(".hidden"));
+  EXPECT_FALSE(Registry::valid_tenant("a/b"));
+  EXPECT_FALSE(Registry::valid_tenant("../escape"));
+  EXPECT_FALSE(Registry::valid_tenant(std::string(65, 'a')));
+
+  const std::string root = fresh_root("reg_names");
+  Registry reg = Registry::open(root).value_or_throw();
+  const auto added = reg.add_model("../escape", tiny_model(1));
+  ASSERT_FALSE(added.has_value());
+  EXPECT_EQ(added.error().code, ErrorCode::BadData);
+}
+
+TEST(Registry, GcKeepsTheNewestVersions) {
+  const std::string root = fresh_root("reg_gc");
+  Registry reg = Registry::open(root).value_or_throw();
+  const TwoLevelModel m = tiny_model(1);
+  for (int i = 0; i < 4; ++i) (void)reg.add_model("alpha", m).value_or_throw();
+  (void)reg.add_model("beta", m).value_or_throw();
+
+  const auto rejected = reg.gc(0);
+  ASSERT_FALSE(rejected.has_value());  // keep=0 would empty the store
+  EXPECT_EQ(rejected.error().code, ErrorCode::BadData);
+
+  EXPECT_EQ(reg.gc(2).value_or_throw(), 2u);  // alpha 1,2 removed
+  EXPECT_FALSE(fs::exists(reg.version_path("alpha", 1)));
+  EXPECT_FALSE(fs::exists(reg.version_path("alpha", 2)));
+  EXPECT_TRUE(fs::exists(reg.version_path("alpha", 3)));
+  EXPECT_TRUE(fs::exists(reg.version_path("alpha", 4)));
+  EXPECT_TRUE(fs::exists(reg.version_path("beta", 1)));
+  EXPECT_EQ(reg.latest_version("alpha"), 4u);
+  // A later add continues the dense numbering past the gc'd range.
+  EXPECT_EQ(reg.add_model("alpha", m).value_or_throw(), 5u);
+}
+
+TEST(ModelPool, AcquireLoadsOnceThenHits) {
+  const std::string root = fresh_root("pool_hits");
+  Registry reg = Registry::open(root).value_or_throw();
+  (void)reg.add_model("alpha", tiny_model(1)).value_or_throw();
+  ModelPool pool(std::move(reg), {});
+
+  EXPECT_FALSE(pool.known("ghost"));
+  const auto missing = pool.acquire("ghost");
+  ASSERT_FALSE(missing.has_value());
+  EXPECT_EQ(missing.error().code, ErrorCode::BadData);
+
+  const auto first = pool.acquire("alpha");
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ((*first)->version, 1u);
+  EXPECT_EQ((*first)->tenant, "alpha");
+  EXPECT_GT((*first)->bytes, 0u);
+  const auto second = pool.acquire("alpha");
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->get(), second->get());  // same resident object
+  EXPECT_EQ(pool.resident_count(), 1u);
+
+  const auto stats = pool.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].loads, 1u);
+  EXPECT_EQ(stats[0].hits, 1u);
+}
+
+TEST(ModelPool, EvictsColdestUnderCountCap) {
+  const std::string root = fresh_root("pool_lru");
+  Registry reg = Registry::open(root).value_or_throw();
+  for (const char* t : {"a", "b", "c"}) {
+    (void)reg.add_model(t, tiny_model(1)).value_or_throw();
+  }
+  PoolOptions opts;
+  opts.max_resident_models = 2;
+  ModelPool pool(std::move(reg), opts);
+
+  (void)pool.acquire("a").value_or_throw();
+  (void)pool.acquire("b").value_or_throw();
+  (void)pool.acquire("a").value_or_throw();  // refresh a: b is now coldest
+  (void)pool.acquire("c").value_or_throw();  // evicts b
+  EXPECT_EQ(pool.resident_count(), 2u);
+  EXPECT_EQ(pool.total_evictions(), 1u);
+  for (const auto& s : pool.stats()) {
+    if (s.tenant == "b") {
+      EXPECT_FALSE(s.resident);
+      EXPECT_EQ(s.evictions, 1u);
+    } else {
+      EXPECT_TRUE(s.resident);
+    }
+  }
+  // Re-acquiring b is a fresh load, not a hit.
+  (void)pool.acquire("b").value_or_throw();
+  for (const auto& s : pool.stats()) {
+    if (s.tenant == "b") {
+      EXPECT_EQ(s.loads, 2u);
+    }
+  }
+}
+
+TEST(ModelPool, PinnedTenantIsNeverTheVictim) {
+  const std::string root = fresh_root("pool_pin");
+  Registry reg = Registry::open(root).value_or_throw();
+  for (const char* t : {"a", "b", "c"}) {
+    (void)reg.add_model(t, tiny_model(1)).value_or_throw();
+  }
+  PoolOptions opts;
+  opts.max_resident_models = 1;
+  ModelPool pool(std::move(reg), opts);
+
+  // Hold the pin an in-flight batch would hold.
+  auto pinned = pool.acquire("a").value_or_throw();
+  (void)pool.acquire("b").value_or_throw();
+  // a is pinned and b is the fresh install: over budget is the lesser
+  // evil, nothing could be evicted.
+  EXPECT_EQ(pool.resident_count(), 2u);
+  EXPECT_EQ(pool.total_evictions(), 0u);
+  EXPECT_EQ(pinned->tenant, "a");
+
+  // Once the pin drops, the next install evicts all the way back down.
+  pinned.reset();
+  (void)pool.acquire("c").value_or_throw();
+  EXPECT_EQ(pool.resident_count(), 1u);
+  EXPECT_EQ(pool.total_evictions(), 2u);
+}
+
+TEST(ModelPool, ByteBudgetEvictsButAlwaysServesOne) {
+  const std::string root = fresh_root("pool_bytes");
+  Registry reg = Registry::open(root).value_or_throw();
+  for (const char* t : {"a", "b"}) {
+    (void)reg.add_model(t, tiny_model(1)).value_or_throw();
+  }
+  PoolOptions opts;
+  opts.max_resident_models = 8;
+  opts.max_resident_bytes = 1;  // smaller than any model
+  ModelPool pool(std::move(reg), opts);
+  (void)pool.acquire("a").value_or_throw();
+  // A single model over the byte budget is still admitted alone: the
+  // budget bounds hoarding, not service.
+  EXPECT_EQ(pool.resident_count(), 1u);
+  (void)pool.acquire("b").value_or_throw();
+  EXPECT_EQ(pool.resident_count(), 1u);  // a evicted to fit the budget
+  EXPECT_EQ(pool.total_evictions(), 1u);
+}
+
+TEST(ModelPool, ReloadSwapsToLatestAndFailureDegradesOnlyThatTenant) {
+  const std::string root = fresh_root("pool_reload");
+  Registry reg = Registry::open(root).value_or_throw();
+  (void)reg.add_model("alpha", tiny_model(1)).value_or_throw();
+  (void)reg.add_model("beta", tiny_model(2)).value_or_throw();
+  const std::string alpha_v2 = reg.version_path("alpha", 2);
+  ModelPool pool(std::move(reg), {});
+
+  const auto before = pool.acquire("alpha").value_or_throw();
+  EXPECT_EQ(before->version, 1u);
+
+  // Publish a corrupt version 2 out-of-band, as an external writer would,
+  // and refresh so the pool's registry view sees it.
+  fs::create_directories(fs::path(alpha_v2).parent_path());
+  std::ofstream(alpha_v2, std::ios::binary) << "HPCPARC1 garbage";
+  ASSERT_TRUE(pool.refresh().has_value());
+  const auto failed = pool.reload("alpha");
+  ASSERT_FALSE(failed.has_value());
+  EXPECT_EQ(failed.error().code, ErrorCode::BadData);
+  // The old epoch keeps serving alpha; beta is untouched.
+  const auto still = pool.acquire("alpha").value_or_throw();
+  EXPECT_EQ(still->version, 1u);
+  EXPECT_TRUE(pool.acquire("beta").has_value());
+  for (const auto& s : pool.stats()) {
+    if (s.tenant == "alpha") {
+      EXPECT_EQ(s.load_failures, 1u);
+      EXPECT_FALSE(s.last_error.empty());
+    }
+    if (s.tenant == "beta") {
+      EXPECT_EQ(s.load_failures, 0u);
+    }
+  }
+
+  // Replace with a healthy version 2: reload swaps the epoch, and the
+  // pinned old model object stays alive for its holder.
+  ArchiveMeta meta;
+  meta.tenant = "alpha";
+  meta.version = 2;
+  ASSERT_TRUE(
+      write_model_archive(alpha_v2, tiny_model(3), meta).has_value());
+  EXPECT_EQ(pool.reload("alpha").value_or_throw(), 2u);
+  const auto after = pool.acquire("alpha").value_or_throw();
+  EXPECT_EQ(after->version, 2u);
+  EXPECT_EQ(before->version, 1u);  // the pinned epoch is untouched
+}
+
+TEST(ModelPool, ReloadPicksUpExternallyPublishedTenants) {
+  const std::string root = fresh_root("pool_external");
+  Registry reg = Registry::open(root).value_or_throw();
+  ModelPool pool(std::move(reg), {});
+  EXPECT_FALSE(pool.known("late"));
+
+  Registry writer = Registry::open(root).value_or_throw();
+  (void)writer.add_model("late", tiny_model(4)).value_or_throw();
+  // reload() rescans when the tenant is unknown — the external publish
+  // becomes visible without restarting the pool.
+  EXPECT_EQ(pool.reload("late").value_or_throw(), 1u);
+  EXPECT_TRUE(pool.known("late"));
+}
+
+}  // namespace
+}  // namespace hpcp::registry

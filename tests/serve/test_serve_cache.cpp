@@ -1,9 +1,14 @@
 /// PredictionCache behaviour: exact-key hits, LRU eviction under a tiny
-/// bound, shard clamping, and the disabled (capacity 0) mode the serve
-/// determinism contract relies on being value-transparent.
+/// bound, shard clamping, the disabled (capacity 0) mode the serve
+/// determinism contract relies on being value-transparent, and the
+/// tenant/model-version key dimensions the multi-tenant registry path
+/// relies on for isolation (including the regression that would pass on
+/// the old params+scale-only key scheme).
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "src/serve/prediction_cache.hpp"
@@ -16,10 +21,10 @@ const std::vector<double> kB{1.0, 2.0, 4.0};
 
 TEST(PredictionCache, HitReturnsTheExactStoredValue) {
   PredictionCache cache(16);
-  EXPECT_FALSE(cache.lookup(kA, 64).has_value());
+  EXPECT_FALSE(cache.lookup("", 1, kA,64).has_value());
   const double v = 0.1 + 0.2;  // not exactly representable
-  cache.insert(kA, 64, v);
-  const auto hit = cache.lookup(kA, 64);
+  cache.insert("", 1, kA,64, v);
+  const auto hit = cache.lookup("", 1, kA,64);
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(*hit, v);  // bitwise, not approximately
   EXPECT_EQ(cache.hits(), 1u);
@@ -28,48 +33,48 @@ TEST(PredictionCache, HitReturnsTheExactStoredValue) {
 
 TEST(PredictionCache, KeyIsParamsAndScaleExactly) {
   PredictionCache cache(16);
-  cache.insert(kA, 64, 1.0);
-  EXPECT_FALSE(cache.lookup(kA, 128).has_value());  // same params, new scale
-  EXPECT_FALSE(cache.lookup(kB, 64).has_value());   // new params, same scale
-  ASSERT_TRUE(cache.lookup(kA, 64).has_value());
+  cache.insert("", 1, kA,64, 1.0);
+  EXPECT_FALSE(cache.lookup("", 1, kA,128).has_value());  // same params, new scale
+  EXPECT_FALSE(cache.lookup("", 1, kB,64).has_value());   // new params, same scale
+  ASSERT_TRUE(cache.lookup("", 1, kA,64).has_value());
 }
 
 TEST(PredictionCache, ZeroCapacityDisablesEverything) {
   PredictionCache cache(0);
   EXPECT_FALSE(cache.enabled());
-  cache.insert(kA, 64, 1.0);  // dropped
-  EXPECT_FALSE(cache.lookup(kA, 64).has_value());
+  cache.insert("", 1, kA,64, 1.0);  // dropped
+  EXPECT_FALSE(cache.lookup("", 1, kA,64).has_value());
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.misses(), 1u);  // disabled lookups still count misses
 }
 
 TEST(PredictionCache, EvictsLeastRecentlyUsedUnderTinyBound) {
   PredictionCache cache(2, 1);  // one shard so the LRU order is global
-  cache.insert(kA, 1, 1.0);
-  cache.insert(kA, 2, 2.0);
-  cache.insert(kA, 3, 3.0);  // evicts (kA, 1)
+  cache.insert("", 1, kA,1, 1.0);
+  cache.insert("", 1, kA,2, 2.0);
+  cache.insert("", 1, kA,3, 3.0);  // evicts (kA, 1)
   EXPECT_EQ(cache.size(), 2u);
-  EXPECT_FALSE(cache.lookup(kA, 1).has_value());
-  EXPECT_TRUE(cache.lookup(kA, 2).has_value());
-  EXPECT_TRUE(cache.lookup(kA, 3).has_value());
+  EXPECT_FALSE(cache.lookup("", 1, kA,1).has_value());
+  EXPECT_TRUE(cache.lookup("", 1, kA,2).has_value());
+  EXPECT_TRUE(cache.lookup("", 1, kA,3).has_value());
 }
 
 TEST(PredictionCache, LookupRefreshesLruPosition) {
   PredictionCache cache(2, 1);
-  cache.insert(kA, 1, 1.0);
-  cache.insert(kA, 2, 2.0);
-  ASSERT_TRUE(cache.lookup(kA, 1).has_value());  // 1 is now most recent
-  cache.insert(kA, 3, 3.0);                      // evicts 2, not 1
-  EXPECT_TRUE(cache.lookup(kA, 1).has_value());
-  EXPECT_FALSE(cache.lookup(kA, 2).has_value());
+  cache.insert("", 1, kA,1, 1.0);
+  cache.insert("", 1, kA,2, 2.0);
+  ASSERT_TRUE(cache.lookup("", 1, kA,1).has_value());  // 1 is now most recent
+  cache.insert("", 1, kA,3, 3.0);                      // evicts 2, not 1
+  EXPECT_TRUE(cache.lookup("", 1, kA,1).has_value());
+  EXPECT_FALSE(cache.lookup("", 1, kA,2).has_value());
 }
 
 TEST(PredictionCache, OverwriteDoesNotGrow) {
   PredictionCache cache(4, 1);
-  cache.insert(kA, 1, 1.0);
-  cache.insert(kA, 1, 2.0);
+  cache.insert("", 1, kA,1, 1.0);
+  cache.insert("", 1, kA,1, 2.0);
   EXPECT_EQ(cache.size(), 1u);
-  EXPECT_EQ(*cache.lookup(kA, 1), 2.0);
+  EXPECT_EQ(*cache.lookup("", 1, kA,1), 2.0);
 }
 
 TEST(PredictionCache, ShardCountIsClampedToCapacity) {
@@ -81,18 +86,56 @@ TEST(PredictionCache, ShardCountIsClampedToCapacity) {
 
 TEST(PredictionCache, TotalCapacityIsRespectedAcrossShards) {
   PredictionCache cache(5, 3);  // shard capacities 2 + 2 + 1
-  for (std::size_t s = 0; s < 100; ++s) cache.insert(kA, s, 1.0);
+  for (std::size_t s = 0; s < 100; ++s) cache.insert("", 1, kA,s, 1.0);
   EXPECT_LE(cache.size(), 5u);
   EXPECT_GT(cache.size(), 0u);
 }
 
+// Regression: the pre-registry key was (params, scale) only, and reload
+// correctness rested entirely on clear()-on-install. With the version in
+// the key, a version bump must miss even when nobody clears — on the old
+// scheme this lookup HITS and the test fails.
+TEST(PredictionCache, ModelVersionIsPartOfTheKey) {
+  PredictionCache cache(16);
+  cache.insert("", 1, kA, 64, 1.0);
+  EXPECT_FALSE(cache.lookup("", 2, kA, 64).has_value());
+  ASSERT_TRUE(cache.lookup("", 1, kA, 64).has_value());
+}
+
+// Regression companion: two tenants with identical params, scale, and
+// version must not see each other's entries — on the old scheme the
+// second tenant would hit the first tenant's value.
+TEST(PredictionCache, TenantIsPartOfTheKey) {
+  PredictionCache cache(16);
+  cache.insert("tenant-a", 1, kA, 64, 1.0);
+  cache.insert("tenant-b", 1, kA, 64, 2.0);
+  EXPECT_EQ(*cache.lookup("tenant-a", 1, kA, 64), 1.0);
+  EXPECT_EQ(*cache.lookup("tenant-b", 1, kA, 64), 2.0);
+  EXPECT_FALSE(cache.lookup("tenant-c", 1, kA, 64).has_value());
+  EXPECT_FALSE(cache.lookup("", 1, kA, 64).has_value());
+}
+
+// The key layout is fixed-width fields first, variable-width tenant last:
+// a tenant whose bytes look like an extra params double must not alias a
+// params vector one element longer.
+TEST(PredictionCache, TenantBytesCannotAliasParams) {
+  PredictionCache cache(16);
+  const std::vector<double> longer{1.0, 2.0, 3.0, 4.0};
+  double fourth = 4.0;
+  std::string fake(sizeof(double), '\0');
+  std::memcpy(fake.data(), &fourth, sizeof(double));
+  cache.insert(fake, 1, kA, 64, 1.0);
+  EXPECT_FALSE(cache.lookup("", 1, longer, 64).has_value());
+  ASSERT_TRUE(cache.lookup(fake, 1, kA, 64).has_value());
+}
+
 TEST(PredictionCache, ClearDropsEntriesButKeepsCounters) {
   PredictionCache cache(16);
-  cache.insert(kA, 1, 1.0);
-  ASSERT_TRUE(cache.lookup(kA, 1).has_value());
+  cache.insert("", 1, kA,1, 1.0);
+  ASSERT_TRUE(cache.lookup("", 1, kA,1).has_value());
   cache.clear();
   EXPECT_EQ(cache.size(), 0u);
-  EXPECT_FALSE(cache.lookup(kA, 1).has_value());
+  EXPECT_FALSE(cache.lookup("", 1, kA,1).has_value());
   EXPECT_EQ(cache.hits(), 1u);  // cumulative across the clear
   EXPECT_EQ(cache.misses(), 1u);
 }

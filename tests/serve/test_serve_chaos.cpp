@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -31,6 +32,7 @@
 #include "src/core/experiment.hpp"
 #include "src/core/two_level_model.hpp"
 #include "src/obs/jsonlite.hpp"
+#include "src/registry/registry.hpp"
 #include "src/serve/faults.hpp"
 #include "src/serve/server.hpp"
 #include "src/serve/tcp.hpp"
@@ -92,6 +94,24 @@ std::unique_ptr<Server> make_server(ServeOptions opts = {}) {
   return server;
 }
 
+/// A registry-mode server over a store holding the fixture model as both
+/// "default" and "beta" (version 1 each). The fault-free reference map
+/// still applies: fixture lines route to the default tenant at version 1,
+/// so their responses must be byte-identical to single-model serving.
+std::unique_ptr<Server> make_registry_server(ServeOptions opts = {}) {
+  static const std::string root = [] {
+    const std::string dir = ::testing::TempDir() + "/chaos_registry";
+    std::filesystem::remove_all(dir);
+    auto reg = registry::Registry::open(dir).value_or_throw();
+    (void)reg.add_model("default", fixture().model).value_or_throw();
+    (void)reg.add_model("beta", fixture().model).value_or_throw();
+    return dir;
+  }();
+  auto server = std::make_unique<Server>(opts);
+  server->attach_registry(root).value_or_throw();
+  return server;
+}
+
 std::vector<std::string> split_lines(const std::string& text) {
   std::vector<std::string> lines;
   std::size_t pos = 0;
@@ -135,10 +155,12 @@ struct ScenarioResult {
   std::size_t degraded_class = 0;
 };
 
-/// Runs one seeded scenario and checks invariants 2 and 3.
+/// Runs one seeded scenario and checks invariants 2 and 3. With
+/// `registry` the server resolves tenants from a store (the tenant fault
+/// axis routes injected predict lines through it).
 ScenarioResult run_scenario(const FaultSpec& spec,
                             const ServeOptions& opts,
-                            bool allow_deadline) {
+                            bool allow_deadline, bool registry = false) {
   const std::string delivered = capture_delivered(spec);
 
   FaultInjector injector(spec);
@@ -151,7 +173,8 @@ ScenarioResult run_scenario(const FaultSpec& spec,
   if (spec.clock_skip > 0.0) {
     run_opts.clock_ms = make_skipping_clock(&clock_injector);
   }
-  const auto server = make_server(run_opts);
+  const auto server =
+      registry ? make_registry_server(run_opts) : make_server(run_opts);
   (void)server->run(in, out);
 
   std::vector<std::string> expected;
@@ -243,6 +266,45 @@ TEST(ServeChaos, FullFaultMixScenarios) {
     // Tight batches exercise flush boundaries interacting with faults.
     total_responses +=
         run_scenario(spec, {.batch_max = 4, .cache_entries = 16}, false)
+            .responses;
+  }
+  EXPECT_GT(total_responses, 0u);
+}
+
+TEST(ServeChaos, TenantRoutingScenarios) {
+  // The tenant axis alone: injected well-formed predict lines whose
+  // "model" field cycles known tenants, unknown tenants, and hostile
+  // names. Every injected frame draws exactly one well-formed response
+  // (the known-tenant frames a typed width error, the rest unknown-model)
+  // and the surrounding fixture requests stay byte-identical to the
+  // single-model reference — routing chaos must not leak into neighbours.
+  std::size_t matched = 0;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    FaultSpec spec;
+    spec.seed = seed;
+    spec.tenant = 0.25;
+    matched += run_scenario(spec, {}, false, true).matched_reference;
+  }
+  // The tenant axis injects whole lines and drops none: every fixture
+  // request answered from the reference in every scenario.
+  EXPECT_EQ(matched, 100 * fixture().request_lines.size());
+}
+
+TEST(ServeChaos, TenantRoutingUnderTransportFaults) {
+  // Tenant routing composed with the transport fault mix, tight batches:
+  // flush windows now contain a random mix of tenants, exercising the
+  // grouped compute path under short reads and mid-line disconnects.
+  std::size_t total_responses = 0;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    FaultSpec spec;
+    spec.seed = seed;
+    spec.tenant = 0.15;
+    spec.garbage = 0.1;
+    spec.short_read = 0.3;
+    spec.disconnect = 0.03;
+    total_responses +=
+        run_scenario(spec, {.batch_max = 4, .cache_entries = 16}, false,
+                     true)
             .responses;
   }
   EXPECT_GT(total_responses, 0u);

@@ -33,13 +33,14 @@ std::vector<std::string> split_lines(const std::string& text) {
 
 TEST(FaultSpec, ParsesAllKeys) {
   const auto spec = parse_fault_spec(
-      "seed=42,short_read=0.25,disconnect=0.1,garbage=0.5,short_write=0.2,"
-      "write_error=0.05,clock_skip=0.3,clock_skip_ms=777");
+      "seed=42,short_read=0.25,disconnect=0.1,garbage=0.5,tenant=0.15,"
+      "short_write=0.2,write_error=0.05,clock_skip=0.3,clock_skip_ms=777");
   ASSERT_TRUE(spec.has_value()) << spec.error().to_string();
   EXPECT_EQ(spec->seed, 42u);
   EXPECT_DOUBLE_EQ(spec->short_read, 0.25);
   EXPECT_DOUBLE_EQ(spec->disconnect, 0.1);
   EXPECT_DOUBLE_EQ(spec->garbage, 0.5);
+  EXPECT_DOUBLE_EQ(spec->tenant, 0.15);
   EXPECT_DOUBLE_EQ(spec->short_write, 0.2);
   EXPECT_DOUBLE_EQ(spec->write_error, 0.05);
   EXPECT_DOUBLE_EQ(spec->clock_skip, 0.3);
@@ -135,6 +136,42 @@ TEST(ChaosStreambuf, GarbageFramesAreWholeExtraLines) {
     if (next < originals.size() && line == originals[next]) ++next;
   }
   EXPECT_EQ(next, originals.size());
+}
+
+TEST(ChaosStreambuf, TenantFramesAreWellFormedPredictLines) {
+  std::vector<std::string> originals;
+  std::string payload;
+  for (int i = 0; i < 40; ++i) {
+    originals.push_back("{\"id\":" + std::to_string(i) +
+                        ",\"cmd\":\"ping\"}");
+    payload += originals.back() + "\n";
+  }
+  FaultSpec spec;
+  spec.seed = 23;
+  spec.tenant = 0.5;
+  FaultInjector injector(spec);
+  std::istringstream source(payload);
+  ChaosStreambuf chaos(source.rdbuf(), &injector);
+  const auto lines = split_lines(drain(&chaos));
+  ASSERT_GT(chaos.tenant_frames(), 0u);
+  EXPECT_EQ(lines.size(), originals.size() + chaos.tenant_frames());
+  // Originals survive intact and in order; every injected frame is a
+  // parseable predict line carrying a "model" routing field.
+  std::size_t next = 0;
+  std::size_t injected = 0;
+  for (const auto& line : lines) {
+    if (next < originals.size() && line == originals[next]) {
+      ++next;
+      continue;
+    }
+    ++injected;
+    EXPECT_NE(line.find("\"model\":\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"params\":"), std::string::npos) << line;
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+  }
+  EXPECT_EQ(next, originals.size());
+  EXPECT_EQ(injected, chaos.tenant_frames());
 }
 
 TEST(ChaosStreambuf, DisconnectTruncatesAndPinsEof) {

@@ -7,7 +7,8 @@
 #
 # Usage: tools/ci.sh [--skip-sanitizers] [--only STAGE]
 #                    [--build-dir-prefix PREFIX] [--artifact-dir DIR]
-#   STAGE  one of: release bench obs trace serve scrape chaos cli asan
+#   STAGE  one of: release bench obs trace serve registry scrape chaos
+#          cli asan
 #   PREFIX build tree prefix, default "build-ci-" (trees land at
 #          <repo>/<prefix><name>; keep it matching .gitignore's build-*/)
 #   DIR    where bench/trace/metrics JSONs are written, default
@@ -131,7 +132,12 @@ EOF
       --require "deadline_vs_nocache>=2" \
       --require "concurrent_4conn_vs_1conn>=2" \
       --require "concurrent_16conn_vs_1conn>=2" \
+      --require "mmap_load_vs_full_deserialize>=5" \
       --require-max "obs_on_vs_off<=1.01"
+    # The registry cold-start floor: loading a model from the sectioned
+    # binary archive (mmap + one checksummed section parse) must beat the
+    # legacy full text deserialize by 5x — the whole point of the archive
+    # format is that tenant faults under LRU churn stay cheap.
     # The observability ceiling: serving with the metric registry and
     # rolling SLO windows hot must cost at most 1% of nocache replay
     # wall-clock (median of paired on/off runs, so host noise cancels).
@@ -405,6 +411,205 @@ EOF
   fi
 }
 
+# Registry smoke: the multi-tenant model store end to end through the
+# installed CLI. Publishes 16 tenants with `registry add`, then serves
+# the store under a resident-model budget of 4 — the mixed-tenant replay
+# continuously evicts and reloads archives — and requires byte-identical
+# response streams across worker counts, cache configurations, and
+# residency budgets over stdio, plus per-tenant byte-identity against
+# plain single-model servers over the epoll TCP front-end: tenant
+# routing, LRU churn, and cross-tenant batching must never reach
+# response bytes. Then the blast-radius check: corrupting one tenant's
+# archive degrades that tenant alone (typed bad-data) while every other
+# tenant keeps serving, and `registry gc` removes exactly the
+# superseded versions.
+stage_registry() {
+  echo "=== [release] registry-smoke ==="
+  local dir="${artifact_dir}/registry-smoke"
+  rm -rf "${dir}"
+  mkdir -p "${dir}"
+  "${cli}" generate --app heat3d --out "${dir}/hist.csv" \
+    --configs 24 --scales 1,2,4,8 --seed 3
+  "${cli}" train --history "${dir}/hist.csv" --targets 16,32 --seed 5 \
+    --save "${dir}/model.txt" > /dev/null
+
+  local store="${dir}/store"
+  local c t
+  for c in $(seq 0 15); do
+    t="$(printf 'tenant-%02d' "${c}")"
+    "${cli}" registry add --root "${store}" --tenant "${t}" \
+      --model "${dir}/model.txt" > /dev/null
+  done
+  [[ "$("${cli}" registry ls --root "${store}" | wc -l)" -eq 16 ]] \
+    || { echo "registry ls did not report 16 tenants" >&2; exit 1; }
+
+  # Per-tenant request files: conn-N.txt carries the "model" routing
+  # field, ref-N.txt is the same requests without it. A plain
+  # single-model replay of ref-N.txt is the ground truth the registry
+  # server must reproduce for that tenant, byte for byte (responses
+  # carry id + model_version, never the tenant name, so the comparison
+  # is direct).
+  local i
+  for c in $(seq 0 15); do
+    t="$(printf 'tenant-%02d' "${c}")"
+    : > "${dir}/conn-${c}.txt"
+    : > "${dir}/ref-${c}.txt"
+    for i in $(seq 1 6); do
+      printf '{"id":%d,"model":"%s","params":[%d,%d,%d],"scales":[16,32]}\n' \
+        "$((c * 100 + i))" "${t}" "$((200 + c * 11 + i * 7))" \
+        "$((100 + i * 3))" "$((1 + i % 3))" >> "${dir}/conn-${c}.txt"
+      printf '{"id":%d,"params":[%d,%d,%d],"scales":[16,32]}\n' \
+        "$((c * 100 + i))" "$((200 + c * 11 + i * 7))" \
+        "$((100 + i * 3))" "$((1 + i % 3))" >> "${dir}/ref-${c}.txt"
+    done
+    "${cli}" serve --model "${dir}/model.txt" --stdio \
+      < "${dir}/ref-${c}.txt" > "${dir}/expect-${c}.txt" 2> /dev/null
+  done
+
+  # Mixed-tenant stdio replay under eviction pressure: all 16 tenants
+  # interleaved (budget 4 => at most a quarter resident at once), an
+  # unknown tenant salted in (typed unknown-model, still deterministic).
+  : > "${dir}/replay.txt"
+  for i in $(seq 1 6); do
+    for c in $(seq 0 15); do
+      sed -n "${i}p" "${dir}/conn-${c}.txt" >> "${dir}/replay.txt"
+    done
+  done
+  printf '{"id":"ghost","model":"no-such-tenant","params":[1,2,3],"scales":[16]}\n' \
+    >> "${dir}/replay.txt"
+
+  local variant
+  for variant in "t1:--threads 1" "t8:--threads 8" \
+                 "t8-nocache:--threads 8 --cache-entries 0" \
+                 "t8-batch1:--threads 8 --batch-max 1" \
+                 "t1-budget16:--threads 1 --max-resident 16"; do
+    local name="${variant%%:*}"
+    local flags="${variant#*:}"
+    # shellcheck disable=SC2086
+    "${cli}" serve --registry "${store}" --stdio --max-resident 4 ${flags} \
+      < "${dir}/replay.txt" > "${dir}/out-${name}.txt" 2> /dev/null
+  done
+  local name
+  for name in t8 t8-nocache t8-batch1 t1-budget16; do
+    if ! cmp -s "${dir}/out-t1.txt" "${dir}/out-${name}.txt"; then
+      echo "registry responses differ between t1 and ${name}" >&2
+      diff "${dir}/out-t1.txt" "${dir}/out-${name}.txt" | head >&2 || true
+      exit 1
+    fi
+  done
+  [[ "$(grep -c '"ok":true' "${dir}/out-t1.txt")" -eq 96 ]] \
+    || { echo "mixed-tenant replay lost predictions" >&2; exit 1; }
+  grep -q '"id":"ghost","ok":false.*"code":"unknown-model"' \
+    "${dir}/out-t1.txt" \
+    || { echo "unknown tenant did not produce a typed unknown-model" \
+         "error" >&2; exit 1; }
+
+  # The epoll front-end: one connection per tenant against a live
+  # registry daemon under the same budget; each connection's responses
+  # must equal its tenant's single-model ground truth.
+  if command -v python3 > /dev/null 2>&1; then
+    timeout 120 "${cli}" serve --registry "${store}" --port 0 \
+      --max-resident 4 2> "${dir}/daemon.log" &
+    local daemon_pid=$!
+    local tcp_port=""
+    for i in $(seq 1 100); do
+      tcp_port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+        "${dir}/daemon.log" | head -n 1)"
+      [[ -n "${tcp_port}" ]] && break
+      kill -0 "${daemon_pid}" 2> /dev/null || break
+      sleep 0.1
+    done
+    [[ -n "${tcp_port}" ]] \
+      || { echo "registry TCP daemon never announced its port" >&2; exit 1; }
+    timeout 60 python3 - "${tcp_port}" "${dir}" 16 << 'EOF'
+import socket
+import sys
+import threading
+
+port, cdir, conns = int(sys.argv[1]), sys.argv[2], int(sys.argv[3])
+errors = []
+
+def client(c):
+    try:
+        with open(f"{cdir}/conn-{c}.txt", "rb") as f:
+            lines = f.read().splitlines()
+        with socket.create_connection(("127.0.0.1", port), timeout=30) as s:
+            stream = s.makefile("rwb")
+            stream.write(b"\n".join(lines) + b"\n")
+            stream.flush()
+            with open(f"{cdir}/got-{c}.txt", "wb") as out:
+                for _ in lines:
+                    resp = stream.readline()
+                    if not resp:
+                        raise RuntimeError(f"conn {c}: closed early")
+                    out.write(resp)
+    except Exception as exc:  # noqa: BLE001 - report and fail the stage
+        errors.append(f"conn {c}: {exc}")
+
+threads = [threading.Thread(target=client, args=(c,)) for c in range(conns)]
+for t in threads:
+    t.start()
+for t in threads:
+    t.join()
+if errors:
+    print("\n".join(errors), file=sys.stderr)
+    sys.exit(1)
+with socket.create_connection(("127.0.0.1", port), timeout=30) as s:
+    stream = s.makefile("rwb")
+    stream.write(b'{"cmd":"shutdown"}\n')
+    stream.flush()
+    stream.readline()
+EOF
+    wait "${daemon_pid}" \
+      || { echo "registry daemon exited non-zero after shutdown" >&2
+           exit 1; }
+    for c in $(seq 0 15); do
+      if ! cmp -s "${dir}/expect-${c}.txt" "${dir}/got-${c}.txt"; then
+        echo "tenant ${c} TCP responses differ from the single-model" \
+             "replay" >&2
+        diff "${dir}/expect-${c}.txt" "${dir}/got-${c}.txt" | head >&2 || true
+        exit 1
+      fi
+    done
+    echo "registry-tcp ok (16 tenants under budget 4, each byte-identical" \
+         "to its single-model replay)"
+  else
+    echo "python3 unavailable; registry TCP replay skipped"
+  fi
+
+  # Blast radius: tear one tenant's archive mid-byte — that tenant
+  # degrades to a typed bad-data error, its neighbours keep serving.
+  cp -r "${store}" "${dir}/store-corrupt"
+  printf 'HPCPARC1 torn mid-write' \
+    > "${dir}/store-corrupt/tenant-03/1.hpcp"
+  {
+    printf '{"id":"broken","model":"tenant-03","params":[210,110,2],"scales":[16,32]}\n'
+    printf '{"id":"healthy","model":"tenant-05","params":[210,110,2],"scales":[16,32]}\n'
+  } > "${dir}/corrupt-replay.txt"
+  "${cli}" serve --registry "${dir}/store-corrupt" --stdio \
+    < "${dir}/corrupt-replay.txt" > "${dir}/out-corrupt.txt" 2> /dev/null
+  grep -q '"id":"broken","ok":false.*"code":"bad-data"' \
+    "${dir}/out-corrupt.txt" \
+    || { echo "corrupt tenant archive did not produce a typed bad-data" \
+         "error" >&2; exit 1; }
+  grep -q '"id":"healthy","ok":true' "${dir}/out-corrupt.txt" \
+    || { echo "corrupting one tenant degraded its neighbours" >&2; exit 1; }
+
+  # gc keeps live versions: publish a second version for one tenant,
+  # collect with --keep 1, and exactly one archive (the superseded v1)
+  # goes away.
+  "${cli}" registry add --root "${store}" --tenant tenant-00 \
+    --model "${dir}/model.txt" > /dev/null
+  "${cli}" registry gc --root "${store}" --keep 1 \
+    | grep -q '^removed 1 ' \
+    || { echo "registry gc did not remove exactly the superseded" \
+         "version" >&2; exit 1; }
+  [[ -f "${store}/tenant-00/2.hpcp" && ! -f "${store}/tenant-00/1.hpcp" ]] \
+    || { echo "registry gc removed the wrong archive" >&2; exit 1; }
+  echo "registry-smoke ok (16-tenant store byte-identical across" \
+       "configs, corruption contained, gc exact)"
+}
+
 # Scrape smoke: the admin observability plane end to end over real
 # sockets. A TCP daemon starts with --admin-port 0 (both ports kernel-
 # assigned, scraped from the startup log); raw-socket HTTP GETs validate
@@ -597,12 +802,13 @@ if [[ -n "${only_stage}" ]]; then
     obs)     stage_obs ;;
     trace)   stage_trace ;;
     serve)   stage_serve ;;
+    registry) stage_registry ;;
     scrape)  stage_scrape ;;
     chaos)   stage_chaos ;;
     cli)     stage_cli ;;
     asan)    stage_asan ;;
     *) echo "unknown stage: ${only_stage} (expected" \
-            "release|bench|obs|trace|serve|scrape|chaos|cli|asan)" >&2
+            "release|bench|obs|trace|serve|registry|scrape|chaos|cli|asan)" >&2
        exit 2 ;;
   esac
   echo "=== stage ${only_stage} passed ==="
@@ -614,6 +820,7 @@ stage_bench
 stage_obs
 stage_trace
 stage_serve
+stage_registry
 stage_scrape
 stage_chaos
 stage_cli

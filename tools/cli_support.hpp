@@ -71,10 +71,15 @@ inline FlagSpec spec_for(const std::string& command) {
     add({"history", "out", "report"});
     spec.bool_flags = {"strict"};
   } else if (command == "serve") {
-    add({"model", "port", "admin-port", "threads", "batch-max",
-         "cache-entries", "cache-shards", "max-line-bytes", "max-pending",
-         "deadline-ms", "io-timeout-ms", "max-conns", "seq-log"});
+    add({"model", "registry", "max-resident", "resident-bytes", "port",
+         "admin-port", "threads", "batch-max", "cache-entries",
+         "cache-shards", "max-line-bytes", "max-pending", "deadline-ms",
+         "io-timeout-ms", "max-conns", "seq-log"});
     spec.bool_flags = {"stdio"};
+  } else if (command == "registry") {
+    // The action (ls|add|gc) is peeled off by main() before Args parsing —
+    // Args itself rejects positionals by design.
+    add({"root", "tenant", "model", "keep"});
   } else {
     throw UsageError("unknown command: " + command);
   }

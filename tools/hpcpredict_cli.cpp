@@ -15,10 +15,15 @@
 ///             Exit code 0 = clean, 3 = records quarantined, 1 = fatal
 ///             (unreadable/unusable file). Never crashes on corrupt input.
 ///   serve     Long-lived prediction server speaking the line-delimited
-///             hpcp-serve/1 JSON protocol: loads a saved --model once, then
-///             answers predict/ping/stats/reload/shutdown request lines on
+///             hpcp-serve/1 JSON protocol: loads a saved --model once (or
+///             fronts a multi-tenant --registry store), then answers
+///             predict/ping/stats/reload/shutdown request lines on
 ///             stdin/stdout (default, or --stdio) or over TCP (--port N).
-///             SIGHUP hot-reloads the model archive in place.
+///             SIGHUP hot-reloads the model archive (or every resident
+///             registry tenant) in place.
+///   registry  Manage a named+versioned model store: `ls` the tenants,
+///             `add` a model file as a tenant's next version, `gc` old
+///             versions. `serve --registry DIR` serves the same store.
 ///
 /// Every subcommand also takes the observability flags --trace FILE
 /// (Chrome trace-event JSON of pipeline spans), --metrics-out FILE
@@ -43,6 +48,7 @@
 #include <string>
 
 #include "src/hpcpredict.hpp"
+#include "src/registry/registry.hpp"
 #include "src/serve/server.hpp"
 #include "src/serve/tcp.hpp"
 #include "tools/cli_support.hpp"
@@ -267,6 +273,41 @@ int cmd_predict(const Args& args) {
   return 0;
 }
 
+int cmd_registry(const std::string& action, const Args& args) {
+  registry::Registry reg =
+      registry::Registry::open(args.get("root")).value_or_throw();
+  if (action == "ls") {
+    const auto tenants = reg.list();
+    if (tenants.empty()) {
+      std::cout << "registry " << reg.root() << ": empty\n";
+      return 0;
+    }
+    for (const auto& info : tenants) {
+      std::cout << info.tenant << "  latest=" << info.latest
+                << "  versions=" << info.versions.size()
+                << "  bytes=" << info.bytes << '\n';
+    }
+    return 0;
+  }
+  if (action == "add") {
+    const std::string tenant = args.get("tenant");
+    const std::uint64_t version =
+        reg.add_from_file(tenant, args.get("model")).value_or_throw();
+    std::cout << "added " << tenant << " version " << version << " ("
+              << reg.version_path(tenant, version) << ")\n";
+    return 0;
+  }
+  if (action == "gc") {
+    const std::size_t keep = args.get_size("keep", 1);
+    const std::size_t removed = reg.gc(keep).value_or_throw();
+    std::cout << "removed " << removed << " archive(s), keeping newest "
+              << keep << " version(s) per tenant\n";
+    return 0;
+  }
+  throw cli::UsageError("unknown registry action: " + action +
+                        " (expected ls, add, or gc)");
+}
+
 int cmd_serve(const Args& args) {
   serve::ServeOptions opts;
   opts.threads = args.get_size("threads", 0);
@@ -276,8 +317,14 @@ int cmd_serve(const Args& args) {
   opts.max_line_bytes = args.get_size("max-line-bytes", 1 << 20);
   opts.max_pending = args.get_size("max-pending", 256);
   opts.request_deadline_ms = args.get_size("deadline-ms", 0);
+  opts.max_resident_models = args.get_size("max-resident", 4);
+  opts.max_resident_bytes = args.get_size("resident-bytes", 0);
   if (args.has("port") && args.has("stdio")) {
     throw cli::UsageError("--port and --stdio are mutually exclusive");
+  }
+  if (args.has("model") == args.has("registry")) {
+    throw cli::UsageError(
+        "serve expects exactly one of --model FILE or --registry DIR");
   }
 
   // A peer that disconnects mid-response must surface as a write error on
@@ -298,14 +345,29 @@ int cmd_serve(const Args& args) {
   }
 
   serve::Server server(opts);
-  server.load_model_file(args.get("model")).value_or_throw();
   // Diagnostics go to stderr: in stdio mode stdout carries only protocol
   // response lines, so replayed sessions can be compared byte-for-byte.
-  std::cerr << "serve: loaded " << args.get("model") << " (model_version "
-            << server.model_version() << ", threads=" << opts.threads
-            << ", batch_max=" << opts.batch_max
-            << ", cache_entries=" << opts.cache_entries
-            << ", max_pending=" << opts.max_pending << ")\n";
+  if (args.has("registry")) {
+    server.attach_registry(args.get("registry")).value_or_throw();
+    std::cerr << "serve: registry " << args.get("registry") << " ("
+              << server.model_pool()->registry().list().size()
+              << " tenant(s), max_resident=" << opts.max_resident_models
+              << ", resident_bytes="
+              << (opts.max_resident_bytes > 0
+                      ? std::to_string(opts.max_resident_bytes)
+                      : std::string("unlimited"))
+              << ", threads=" << opts.threads
+              << ", batch_max=" << opts.batch_max
+              << ", cache_entries=" << opts.cache_entries
+              << ", max_pending=" << opts.max_pending << ")\n";
+  } else {
+    server.load_model_file(args.get("model")).value_or_throw();
+    std::cerr << "serve: loaded " << args.get("model") << " (model_version "
+              << server.model_version() << ", threads=" << opts.threads
+              << ", batch_max=" << opts.batch_max
+              << ", cache_entries=" << opts.cache_entries
+              << ", max_pending=" << opts.max_pending << ")\n";
+  }
   std::signal(SIGHUP,
               [](int) { serve::reload_flag().store(true); });
 
@@ -408,13 +470,17 @@ void print_usage() {
       "           [--scales ...] [--targets ...] [--seed S]\n"
       "  validate --history FILE [--strict] [--out CLEAN_FILE]\n"
       "           [--report QUARANTINE_FILE]\n"
-      "  serve    --model FILE [--port N | --stdio] [--threads N]\n"
+      "  serve    (--model FILE | --registry DIR) [--port N | --stdio]\n"
+      "           [--max-resident N] [--resident-bytes N] [--threads N]\n"
       "           [--batch-max N] [--cache-entries N] [--cache-shards N]\n"
       "           [--max-line-bytes N] [--max-pending N] [--deadline-ms N]\n"
       "           [--io-timeout-ms N (default 30000; 0 = no deadline)]\n"
       "           [--max-conns N] [--seq-log FILE]\n"
       "           [--admin-port N (HTTP /metrics /healthz /statsz)]\n"
       "           (env HPCP_SERVE_FAULTS=chaos spec)\n"
+      "  registry ls  --root DIR\n"
+      "  registry add --root DIR --tenant NAME --model FILE\n"
+      "  registry gc  --root DIR [--keep N (default 1)]\n"
       "observability (all commands):\n"
       "  [--trace FILE] [--metrics-out FILE] [--metrics-text FILE]\n";
 }
@@ -433,6 +499,19 @@ int main(int argc, char** argv) {
   // exception (including data errors on the non-validate paths) becomes
   // exit code 1 with a one-line message.
   try {
+    if (command == "registry") {
+      // The action (ls|add|gc) is a positional, which Args rejects by
+      // design; peel it before parsing the --flags.
+      if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
+        throw cli::UsageError("registry expects an action: ls, add, or gc");
+      }
+      const std::string action = argv[2];
+      const cli::FlagSpec spec = cli::spec_for(command);
+      const Args args(spec,
+                      std::vector<std::string>(argv + 3, argv + argc));
+      const cli::ObsSession obs_session(args);
+      return cmd_registry(action, args);
+    }
     const cli::FlagSpec spec = cli::spec_for(command);
     const Args args(spec, std::vector<std::string>(argv + 2, argv + argc));
     const cli::ObsSession obs_session(args);
