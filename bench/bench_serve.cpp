@@ -36,6 +36,7 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -49,6 +50,8 @@
 #include "bench/bench_common.hpp"
 #include "src/common/rng.hpp"
 #include "src/core/two_level_model.hpp"
+#include "src/ingest/pipeline.hpp"
+#include "src/ingest/run_log.hpp"
 #include "src/obs/jsonlite.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/registry/archive.hpp"
@@ -369,11 +372,13 @@ void write_json(const std::string& path, bool short_mode,
                 std::size_t num_configs, std::size_t replay_requests,
                 std::size_t hw, const std::vector<BenchCase>& cases,
                 const Latency& cold, const Latency& hot,
-                const LoadLatency& load4, double cache_speedup,
+                const LoadLatency& load4, const Latency& ingest,
+                double cache_speedup,
                 double throughput_speedup, double overload_speedup,
                 double deadline_speedup, double conn4_speedup,
                 double conn16_speedup, double obs_on_vs_off,
-                double mmap_load_speedup, bool byte_identical,
+                double mmap_load_speedup, double retrain_warm_speedup,
+                bool byte_identical,
                 bool byte_identical_overload, bool byte_identical_concurrent,
                 bool byte_identical_obs, bool byte_identical_registry) {
   std::ofstream out(path);
@@ -408,7 +413,12 @@ void write_json(const std::string& path, bool short_mode,
   out << "    \"hit_p50\": " << hot.p50_us << ",\n";
   out << "    \"hit_p95\": " << hot.p95_us << ",\n";
   out << "    \"load4_p50\": " << load4.p50_us << ",\n";
-  out << "    \"load4_p99\": " << load4.p99_us << "\n";
+  out << "    \"load4_p99\": " << load4.p99_us << ",\n";
+  // Per-record cost of {"cmd":"ingest"}: parse + validate + fsync'd log
+  // append + ack. The predict path never waits on this, but the append
+  // itself must stay cheap enough to ride the serving thread.
+  out << "    \"ingest_append_p50\": " << ingest.p50_us << ",\n";
+  out << "    \"ingest_append_p95\": " << ingest.p95_us << "\n";
   out << "  },\n";
   out << "  \"speedups\": {\n";
   out << "    \"cache_hit_p50\": " << cache_speedup << ",\n";
@@ -424,7 +434,11 @@ void write_json(const std::string& path, bool short_mode,
   // parse) vs the legacy full text deserialize of the same model. The
   // regression gate pins the acceptance floor (>= 5x).
   out << "    \"mmap_load_vs_full_deserialize\": " << mmap_load_speedup
-      << "\n";
+      << ",\n";
+  // Warm-started candidate fit (prior split structure reused, node values
+  // recomputed) vs the cold fit of the same log prefix — the payoff of
+  // the continuous-learning warm chain. Gated at >= 1.3x on capable hosts.
+  out << "    \"retrain_shadow_vs_cold\": " << retrain_warm_speedup << "\n";
   out << "  },\n";
   // Which speedup ratios require real parallel hardware, and how much:
   // the regression gate skips a ratio (and its --require floor) when the
@@ -433,7 +447,8 @@ void write_json(const std::string& path, bool short_mode,
   out << "    \"throughput_t8_vs_t1\": {\"min_cores\": 2},\n";
   out << "    \"concurrent_4conn_vs_1conn\": {\"min_cores\": 4},\n";
   out << "    \"concurrent_16conn_vs_1conn\": {\"min_cores\": 4},\n";
-  out << "    \"mmap_load_vs_full_deserialize\": {\"min_cores\": 2}\n";
+  out << "    \"mmap_load_vs_full_deserialize\": {\"min_cores\": 2},\n";
+  out << "    \"retrain_shadow_vs_cold\": {\"min_cores\": 2}\n";
   out << "  },\n";
   out << "  \"determinism\": {\n";
   out << "    \"byte_identical_responses\": "
@@ -806,6 +821,68 @@ int main(int argc, char** argv) {
   std::printf("latency under load4: p50=%.1fus p99=%.1fus\n", load4.p50_us,
               load4.p99_us);
 
+  // Continuous-learning loop. Append cost: the experiment's own run
+  // records streamed through the in-protocol {"cmd":"ingest"} path of a
+  // registry-mode server — parse + validate + fsync'd log append + ack per
+  // line. Retrain cost: a cold candidate fit of the resulting log vs the
+  // warm refit that reuses the cold fit's split structure, the exact pair
+  // the background scheduler alternates between once a tenant's warm chain
+  // is established.
+  Latency ingest_lat;
+  {
+    const hpcp::bench::SectionTimer timer(
+        "ingest appends + warm/cold candidate fits");
+    const std::string ingest_root = (bench_dir / "ingest_store").string();
+    std::filesystem::remove_all(ingest_root);
+    {
+      auto reg =
+          hpcp::registry::Registry::open(ingest_root).value_or_throw();
+      (void)reg.add_model("default", model).value_or_throw();
+    }
+    ServeOptions ingest_opts;
+    ingest_opts.threads = 1;
+    Server ingest_server(ingest_opts);
+    ingest_server.attach_registry(ingest_root).value_or_throw();
+    std::vector<std::string> ingest_lines;
+    for (const auto& rec : exp.history.records()) {
+      std::string line = "{\"cmd\":\"ingest\",\"run_id\":" +
+                         std::to_string(rec.run_id) + ",\"params\":[";
+      for (std::size_t i = 0; i < rec.params.size(); ++i) {
+        if (i > 0) line += ',';
+        hpcp::obs::json_number_into(line, rec.params[i]);
+      }
+      line += "],\"nprocs\":" + std::to_string(rec.nprocs) +
+              ",\"runtime\":";
+      hpcp::obs::json_number_into(line, rec.runtime);
+      line += '}';
+      ingest_lines.push_back(std::move(line));
+    }
+    ingest_lat = measure_latency(ingest_server, ingest_lines);
+    std::printf("ingest append: %zu records, p50=%.1fus p95=%.1fus\n",
+                ingest_lines.size(), ingest_lat.p50_us, ingest_lat.p95_us);
+
+    const auto log =
+        hpcp::ingest::RunLog::read_file(
+            hpcp::ingest::RunLog::log_path(ingest_root, "default"))
+            .value_or_throw();
+    const hpcp::ingest::RetrainOptions retrain_opts;
+    const auto cold_fit =
+        hpcp::ingest::fit_candidate(log.entries, SIZE_MAX, "default",
+                                    nullptr, retrain_opts)
+            .value_or_throw();
+    const std::size_t fit_reps = short_mode ? 2 : 4;
+    cases.push_back(run_case("retrain_cold", fit_reps, [&] {
+      (void)hpcp::ingest::fit_candidate(log.entries, SIZE_MAX, "default",
+                                        nullptr, retrain_opts)
+          .value_or_throw();
+    }));
+    cases.push_back(run_case("retrain_warm", fit_reps, [&] {
+      (void)hpcp::ingest::fit_candidate(log.entries, SIZE_MAX, "default",
+                                        &cold_fit.model, retrain_opts)
+          .value_or_throw();
+    }));
+  }
+
   auto find_case = [&cases](const std::string& name) -> double {
     for (const auto& c : cases) {
       if (c.name == name) return c.seconds;
@@ -827,12 +904,17 @@ int main(int argc, char** argv) {
                                       find_case("replay_concurrent_16conn"));
   const double mmap_load_speedup =
       ratio(find_case("model_load_text"), find_case("model_load_archive"));
+  const double retrain_warm_speedup =
+      ratio(find_case("retrain_cold"), find_case("retrain_warm"));
+  std::printf("retrain: warm refit %.2fx over cold fit\n",
+              retrain_warm_speedup);
 
   if (!json_path.empty()) {
     write_json(json_path, short_mode, cfg.num_train, replay_requests, hw,
-               cases, cold, hot, load4, cache_speedup, throughput_speedup,
-               overload_speedup, deadline_speedup, conn4_speedup,
-               conn16_speedup, obs_on_vs_off, mmap_load_speedup,
+               cases, cold, hot, load4, ingest_lat, cache_speedup,
+               throughput_speedup, overload_speedup, deadline_speedup,
+               conn4_speedup, conn16_speedup, obs_on_vs_off,
+               mmap_load_speedup, retrain_warm_speedup,
                /*byte_identical=*/true, byte_identical_overload,
                byte_identical_concurrent, byte_identical_obs,
                byte_identical_registry);

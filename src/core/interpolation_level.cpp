@@ -7,12 +7,20 @@
 
 namespace hpcp {
 
-void InterpolationLevel::fit(const ExtrapolationProblem& problem, Rng& rng,
-                             ThreadPool* pool) {
+std::size_t InterpolationLevel::fit(const ExtrapolationProblem& problem,
+                                    Rng& rng, ThreadPool* pool,
+                                    const InterpolationLevel* warm) {
   const obs::Span span("interp.fit");
   problem.validate();
   scales_ = problem.small_scales;
   forests_.assign(scales_.size(), RandomForest(forest_options_));
+
+  // A warm source is usable only when it models the exact same scale set
+  // with the same feature width — otherwise per-scale structures would be
+  // paired with the wrong data and the whole fit goes cold.
+  const bool warm_usable =
+      warm != nullptr && warm->fitted() && warm->scales_ == scales_ &&
+      warm->num_features() == problem.train_configs.cols();
 
   // One anchor draw from the caller's stream, then a scale-derived (not
   // order-derived) seed per forest: scale s mixes (anchor, scale value, s)
@@ -30,6 +38,7 @@ void InterpolationLevel::fit(const ExtrapolationProblem& problem, Rng& rng,
     scale_rngs.emplace_back(splitmix64(state));
   }
 
+  std::vector<char> warm_hits(scales_.size(), 0);
   const auto fit_scale = [&](std::size_t s) {
     const obs::Span scale_span("interp.fit_scale");
     auto y = problem.train_small_times.column(s);
@@ -38,6 +47,12 @@ void InterpolationLevel::fit(const ExtrapolationProblem& problem, Rng& rng,
         HPCP_REQUIRE(v > 0.0, "runtimes must be positive");
         v = std::log(v);
       }
+    }
+    if (warm_usable &&
+        forests_[s].warm_fit(warm->forests_[s], problem.train_configs, y,
+                             pool)) {
+      warm_hits[s] = 1;
+      return;
     }
     forests_[s].fit(problem.train_configs, y, scale_rngs[s], pool);
   };
@@ -51,6 +66,9 @@ void InterpolationLevel::fit(const ExtrapolationProblem& problem, Rng& rng,
   } else {
     parallel_for(scales_.size(), fit_scale, pool);
   }
+  std::size_t warm_scales = 0;
+  for (const char hit : warm_hits) warm_scales += hit != 0 ? 1 : 0;
+  return warm_scales;
 }
 
 std::vector<double> InterpolationLevel::predict_curve(

@@ -38,8 +38,17 @@ class InterpolationLevel {
   /// Fit one forest per small scale on (interp_configs, interp_small_times).
   /// Per-scale fits batch over `pool` (nullptr = the global pool); the
   /// fitted forests are bitwise independent of the pool size.
-  void fit(const ExtrapolationProblem& problem, Rng& rng,
-           ThreadPool* pool = nullptr);
+  ///
+  /// `warm`, when given and fitted on the same scale set with the same
+  /// feature width and tree count, seeds each scale's forest with the prior
+  /// split structure (RandomForest::warm_fit); scales whose prior structure
+  /// no longer covers the data fall back to a cold fit with that scale's
+  /// derived Rng stream. Returns how many scales took the warm path (0 for
+  /// a fully cold fit). The warm/cold choice depends only on the data, so
+  /// the fitted level stays bitwise independent of the pool size.
+  std::size_t fit(const ExtrapolationProblem& problem, Rng& rng,
+                  ThreadPool* pool = nullptr,
+                  const InterpolationLevel* warm = nullptr);
 
   /// Predicted small-scale runtime curve (one value per small scale).
   [[nodiscard]] std::vector<double> predict_curve(

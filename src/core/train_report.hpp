@@ -71,6 +71,9 @@ struct TrainReport {
   /// fitted model is bitwise identical for any value — this is purely a
   /// wall-time diagnostic next to `timings`.
   std::size_t threads = 0;
+  /// Interpolation forests that took the warm-start path (reused a prior
+  /// split structure instead of a full refit); 0 for a cold fit.
+  std::size_t warm_scales = 0;
   bool clustering_converged = true;
   std::vector<ClusterTrainInfo> clusters;
   /// Non-fatal oddities (solver iteration caps, re-clustering retries...)

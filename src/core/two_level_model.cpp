@@ -72,12 +72,18 @@ Expected<TrainReport> TwoLevelModel::fit_checked(
     timings.push_back({"twolevel.validate", watch.seconds()});
   }
 
+  std::size_t warm_scales = 0;
   {
     const obs::Span span("interpolation.fit");
     const obs::Stopwatch watch;
     interpolation_ =
         InterpolationLevel(opts_.forest, opts_.log_interpolation_target);
-    interpolation_.fit(problem, rng, pool);
+    const InterpolationLevel* warm =
+        fit_opts.warm_start != nullptr &&
+                fit_opts.warm_start->interpolation().fitted()
+            ? &fit_opts.warm_start->interpolation()
+            : nullptr;
+    warm_scales = interpolation_.fit(problem, rng, pool, warm);
     timings.push_back({"interpolation.fit", watch.seconds()});
   }
 
@@ -108,6 +114,7 @@ Expected<TrainReport> TwoLevelModel::fit_checked(
   // The extrapolation fit appended its sub-stage timings to the (reset)
   // report; put the outer stages first and close with the fit total.
   train_report_.threads = effective_threads;
+  train_report_.warm_scales = warm_scales;
   obs::gauge_set("train.threads", static_cast<double>(effective_threads));
   timings.insert(timings.end(), train_report_.timings.begin(),
                  train_report_.timings.end());

@@ -58,8 +58,17 @@ struct PredictionInterval {
 /// `threads >= 1` builds a dedicated pool of exactly that size for the
 /// fit. The fitted model is bitwise identical for every setting (see
 /// DESIGN.md, "Parallel training & determinism contract").
+class TwoLevelModel;
+
 struct TwoLevelFitOptions {
   std::size_t threads = 0;
+  /// Warm-start source for the interpolation forests: when it matches the
+  /// problem (same small scales, feature width, and tree count) each
+  /// scale's forest reuses the prior split structure and only recomputes
+  /// node values (RandomForest::warm_fit); mismatched or stale scales fall
+  /// back to a cold fit. The extrapolation level always refits from
+  /// scratch. Must outlive the fit call; nullptr = fully cold fit.
+  const TwoLevelModel* warm_start = nullptr;
 };
 
 class TwoLevelModel final : public ExtrapolationModel {

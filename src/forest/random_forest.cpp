@@ -110,6 +110,37 @@ void RandomForest::fit(const Matrix& x, std::span<const double> y, Rng& rng,
   }
 }
 
+bool RandomForest::warm_fit(const RandomForest& prior, const Matrix& x,
+                            std::span<const double> y, ThreadPool* pool) {
+  const obs::Span span("forest.warm_fit");
+  HPCP_REQUIRE(x.rows() == y.size(), "row count must match target length");
+  if (!prior.fitted() || x.rows() == 0 ||
+      prior.num_features_ != x.cols() ||
+      prior.trees_.size() != opts_.num_trees) {
+    return false;
+  }
+  // Route every row through every prior tree and recompute node values.
+  // Ensemble diversity is inherited from the prior structure (which came
+  // from bootstrapped fits); the refit itself is a pure function of the
+  // data, so it needs no RNG and stays thread-count invariant.
+  const std::size_t t = prior.trees_.size();
+  auto refits = parallel_map(
+      t,
+      [&](std::size_t i) { return prior.trees_[i].refit_leaves(x, y); },
+      pool);
+  for (const auto& refit : refits) {
+    if (!refit) return false;
+  }
+  obs::count("forest.warm_fits");
+  trees_.clear();
+  trees_.reserve(t);
+  for (auto& refit : refits) trees_.push_back(std::move(*refit));
+  num_features_ = x.cols();
+  flat_ = FlatForest::build(trees_);
+  oob_mse_.reset();
+  return true;
+}
+
 double RandomForest::predict(std::span<const double> features) const {
   HPCP_REQUIRE(fitted(), "predict before fit");
   double sum = 0.0;

@@ -46,6 +46,17 @@ class RandomForest {
   void fit(const Matrix& x, std::span<const double> y, Rng& rng,
            ThreadPool* pool = nullptr);
 
+  /// Warm refit from a prior ensemble: keeps `prior`'s split structure and
+  /// recomputes every node value from (x, y) — no split search, no
+  /// bootstrap, no RNG, so the result is bitwise identical at any pool
+  /// width. Returns false (leaving *this* untouched) when the prior does
+  /// not match (unfitted, different feature width or tree count) or some
+  /// leaf receives no rows; callers then fall back to a cold fit(). The
+  /// refitted ensemble has no OOB estimate.
+  [[nodiscard]] bool warm_fit(const RandomForest& prior, const Matrix& x,
+                              std::span<const double> y,
+                              ThreadPool* pool = nullptr);
+
   [[nodiscard]] double predict(std::span<const double> features) const;
 
   /// Batched prediction over every row of x (FlatForest fast path).

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -76,6 +77,14 @@ class RegressionTree {
 
   [[nodiscard]] double predict(std::span<const double> features) const;
   [[nodiscard]] std::vector<double> predict(const Matrix& x) const;
+
+  /// Warm refit: a copy of this tree with the split structure kept and
+  /// every node value recomputed as the mean target of the (x, y) rows
+  /// routed to it. No split search, no RNG — bitwise deterministic. Returns
+  /// nullopt when some leaf receives no rows (the prior structure no longer
+  /// covers the data and the caller should fall back to a cold fit).
+  [[nodiscard]] std::optional<RegressionTree> refit_leaves(
+      const Matrix& x, std::span<const double> y) const;
 
   [[nodiscard]] bool fitted() const noexcept { return !nodes_.empty(); }
   [[nodiscard]] std::size_t num_nodes() const noexcept { return nodes_.size(); }

@@ -1,0 +1,267 @@
+#include "src/ingest/run_log.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "src/obs/jsonlite.hpp"
+
+namespace hpcp::ingest {
+
+namespace {
+
+void append_number(std::string& out, double v) {
+  obs::json_number_into(out, v);
+}
+
+void append_size(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+/// A JSON number that is a non-negative integer, or nullopt.
+std::optional<std::uint64_t> as_index(const obs::JsonValue& v) {
+  if (v.kind() != obs::JsonValue::Kind::Number) return std::nullopt;
+  const double n = v.as_number();
+  if (!std::isfinite(n) || n < 0.0 || n != std::floor(n)) return std::nullopt;
+  return static_cast<std::uint64_t>(n);
+}
+
+std::optional<LogEntry> parse_entry(std::string_view line) {
+  obs::JsonValue doc;
+  try {
+    doc = obs::parse_json(line);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  try {
+    if (doc.at("schema").as_string() != kIngestSchema) return std::nullopt;
+    const std::string& type = doc.at("type").as_string();
+    LogEntry entry;
+    if (type == "config") {
+      entry.kind = LogEntry::Kind::kConfig;
+      for (const auto& name : doc.at("params").as_array()) {
+        entry.config.param_names.push_back(name.as_string());
+      }
+      for (const auto& scale : doc.at("target_scales").as_array()) {
+        const auto s = as_index(scale);
+        if (!s) return std::nullopt;
+        entry.config.target_scales.push_back(static_cast<std::size_t>(*s));
+      }
+      return entry;
+    }
+    if (type == "run") {
+      entry.kind = LogEntry::Kind::kRun;
+      const auto run_id = as_index(doc.at("run_id"));
+      const auto nprocs = as_index(doc.at("nprocs"));
+      if (!run_id || !nprocs) return std::nullopt;
+      entry.run.run_id = *run_id;
+      entry.run.nprocs = static_cast<std::size_t>(*nprocs);
+      // The runtime must be a number, but *any* finite number: failed runs
+      // recorded as 0 or negative are the quarantine layer's job, not a
+      // parse failure.
+      if (doc.at("runtime").kind() != obs::JsonValue::Kind::Number) {
+        return std::nullopt;
+      }
+      entry.run.runtime = doc.at("runtime").as_number();
+      for (const auto& p : doc.at("params").as_array()) {
+        if (p.kind() != obs::JsonValue::Kind::Number) return std::nullopt;
+        entry.run.params.push_back(p.as_number());
+      }
+      return entry;
+    }
+    if (type == "promote") {
+      entry.kind = LogEntry::Kind::kPromote;
+      const auto records = as_index(doc.at("records"));
+      const auto version = as_index(doc.at("version"));
+      const auto holdout = as_index(doc.at("holdout_scale"));
+      if (!records || !version || !holdout) return std::nullopt;
+      entry.promote.records = *records;
+      entry.promote.version = *version;
+      entry.promote.holdout_scale = static_cast<std::size_t>(*holdout);
+      entry.promote.verdict = doc.at("verdict").as_string();
+      entry.promote.candidate_mape = doc.at("candidate_mape").as_number();
+      entry.promote.incumbent_mape = doc.at("incumbent_mape").as_number();
+      return entry;
+    }
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string render_entry(const LogEntry& entry) {
+  std::string out = "{\"schema\":\"";
+  out += kIngestSchema;
+  out += "\",\"type\":\"";
+  switch (entry.kind) {
+    case LogEntry::Kind::kConfig: {
+      out += "config\",\"params\":[";
+      for (std::size_t i = 0; i < entry.config.param_names.size(); ++i) {
+        if (i > 0) out += ',';
+        out += obs::json_quote(entry.config.param_names[i]);
+      }
+      out += "],\"target_scales\":[";
+      for (std::size_t i = 0; i < entry.config.target_scales.size(); ++i) {
+        if (i > 0) out += ',';
+        append_size(out, entry.config.target_scales[i]);
+      }
+      out += "]}";
+      return out;
+    }
+    case LogEntry::Kind::kRun: {
+      out += "run\",\"run_id\":";
+      append_size(out, entry.run.run_id);
+      out += ",\"params\":[";
+      for (std::size_t i = 0; i < entry.run.params.size(); ++i) {
+        if (i > 0) out += ',';
+        append_number(out, entry.run.params[i]);
+      }
+      out += "],\"nprocs\":";
+      append_size(out, entry.run.nprocs);
+      out += ",\"runtime\":";
+      append_number(out, entry.run.runtime);
+      out += '}';
+      return out;
+    }
+    case LogEntry::Kind::kPromote: {
+      out += "promote\",\"records\":";
+      append_size(out, entry.promote.records);
+      out += ",\"version\":";
+      append_size(out, entry.promote.version);
+      out += ",\"verdict\":";
+      out += obs::json_quote(entry.promote.verdict);
+      out += ",\"holdout_scale\":";
+      append_size(out, entry.promote.holdout_scale);
+      out += ",\"candidate_mape\":";
+      append_number(out, entry.promote.candidate_mape);
+      out += ",\"incumbent_mape\":";
+      append_number(out, entry.promote.incumbent_mape);
+      out += '}';
+      return out;
+    }
+  }
+  return out;
+}
+
+LogReadResult parse_log(std::string_view text) {
+  LogReadResult result;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) {
+      // A line without its terminator is a torn append: recoverable by
+      // construction — everything before it is intact.
+      result.truncated_tail = true;
+      break;
+    }
+    const std::string_view line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    if (auto entry = parse_entry(line)) {
+      result.entries.push_back(std::move(*entry));
+    } else {
+      ++result.malformed_lines;
+    }
+  }
+  return result;
+}
+
+RunLog::RunLog(RunLog&& other) noexcept
+    : path_(std::move(other.path_)), fd_(std::exchange(other.fd_, -1)) {}
+
+RunLog& RunLog::operator=(RunLog&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(other.path_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+RunLog::~RunLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string RunLog::log_path(const std::string& root,
+                             const std::string& tenant) {
+  return root + "/" + tenant + "/" + kLogFileName;
+}
+
+Expected<RunLog> RunLog::open(const std::string& root,
+                              const std::string& tenant) {
+  // Best-effort directory creation: a tenant may start ingesting before
+  // its first archive exists. EEXIST is the common case, not an error.
+  (void)::mkdir(root.c_str(), 0777);
+  (void)::mkdir((root + "/" + tenant).c_str(), 0777);
+  RunLog log;
+  log.path_ = log_path(root, tenant);
+  log.fd_ = ::open(log.path_.c_str(),
+                   O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0666);
+  if (log.fd_ < 0) {
+    return Error{ErrorCode::Io,
+                 std::string("cannot open ingest log: ") +
+                     std::strerror(errno),
+                 log.path_};
+  }
+  return log;
+}
+
+Expected<void> RunLog::append(const LogEntry& entry) {
+  if (fd_ < 0) {
+    return Error{ErrorCode::Io, "ingest log is not open", path_};
+  }
+  std::string line = render_entry(entry);
+  line += '\n';
+  // One write per line against O_APPEND: a crash mid-call can only tear
+  // the final line, which the reader skips.
+  std::size_t written = 0;
+  while (written < line.size()) {
+    const ssize_t n =
+        ::write(fd_, line.data() + written, line.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Error{ErrorCode::Io,
+                   std::string("ingest log write failed: ") +
+                       std::strerror(errno),
+                   path_};
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    return Error{ErrorCode::Io,
+                 std::string("ingest log fsync failed: ") +
+                     std::strerror(errno),
+                 path_};
+  }
+  return {};
+}
+
+Expected<LogReadResult> RunLog::read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    // Distinguish "no log yet" (fine) from an unreadable file (Io).
+    struct stat st {};
+    if (::stat(path.c_str(), &st) != 0 && errno == ENOENT) {
+      return LogReadResult{};
+    }
+    return Error{ErrorCode::Io, "cannot open ingest log", path};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    return Error{ErrorCode::Io, "cannot read ingest log", path};
+  }
+  return parse_log(buf.str());
+}
+
+}  // namespace hpcp::ingest

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/platform/history.hpp"
+
+/// \file run_log.hpp (ingest)
+/// The append-only per-tenant run log — the durable input of the
+/// continuous-learning loop.
+///
+/// Layout: `<registry root>/<tenant>/ingest.jsonl`, one `hpcp-ingest/1`
+/// JSON record per line, three record types:
+///
+///   config   {"schema":"hpcp-ingest/1","type":"config",
+///             "params":["p0",...],"target_scales":[32,...]}
+///   run      {"schema":"hpcp-ingest/1","type":"run","run_id":N,
+///             "params":[...],"nprocs":N,"runtime":X}
+///   promote  {"schema":"hpcp-ingest/1","type":"promote","records":N,
+///             "version":V,"verdict":"...","holdout_scale":S,
+///             "candidate_mape":X,"incumbent_mape":Y}
+///
+/// The log is the source of truth of the whole loop: a `config` record
+/// pins the training spec (parameter names, target scales), `run` records
+/// carry raw site measurements, and each `promote` record marks a retrain
+/// attempt — how many run records the candidate consumed, the registry
+/// version it was published as (0 = rejected), and the shadow verdict.
+/// Everything downstream (pipeline.hpp) is a deterministic function of
+/// these bytes, which is what makes `hpcp ingest --rebuild` reproduce the
+/// served archive bit-for-bit at any thread count.
+///
+/// Appends are one write(2) of a whole line against an O_APPEND fd
+/// followed by fsync, so a crash can only lose or truncate the *tail*
+/// line; the reader skips an unterminated tail (and any malformed line)
+/// with a count instead of failing, mirroring the lenient CSV ingestion
+/// path. Semantically bad-but-representable records (non-positive
+/// runtimes, zero process counts, duplicate run ids) are deliberately
+/// kept for the validation layer to quarantine.
+
+namespace hpcp::ingest {
+
+inline constexpr const char* kIngestSchema = "hpcp-ingest/1";
+inline constexpr const char* kLogFileName = "ingest.jsonl";
+
+/// Training spec pinned at log creation.
+struct ConfigRecord {
+  std::vector<std::string> param_names;
+  std::vector<std::size_t> target_scales;
+};
+
+/// One retrain attempt and its shadow verdict.
+struct PromoteRecord {
+  std::uint64_t records = 0;      ///< run records the candidate consumed
+  std::uint64_t version = 0;      ///< registry version published (0 = none)
+  std::string verdict;            ///< "promoted", "rejected", ...
+  std::size_t holdout_scale = 0;  ///< leave-largest-scale-out holdout
+  double candidate_mape = 0.0;
+  double incumbent_mape = 0.0;
+};
+
+/// One parsed log line.
+struct LogEntry {
+  enum class Kind { kConfig, kRun, kPromote };
+  Kind kind = Kind::kRun;
+  ConfigRecord config;     ///< kConfig only
+  ExecutionRecord run;     ///< kRun only
+  PromoteRecord promote;   ///< kPromote only
+};
+
+/// Everything a read pass recovered from a log file.
+struct LogReadResult {
+  std::vector<LogEntry> entries;
+  std::size_t malformed_lines = 0;  ///< unparseable / wrong-schema lines
+  bool truncated_tail = false;      ///< unterminated final line skipped
+};
+
+/// Canonical single-line rendering (no trailing newline). Append exactly
+/// these bytes + '\n' — replay byte-identity depends on one rendering.
+[[nodiscard]] std::string render_entry(const LogEntry& entry);
+
+/// Parses a whole log text; never throws on content (see LogReadResult).
+[[nodiscard]] LogReadResult parse_log(std::string_view text);
+
+/// Writer + reader handle for one tenant's log. Move-only (owns the fd).
+class RunLog {
+ public:
+  RunLog() = default;
+  RunLog(RunLog&& other) noexcept;
+  RunLog& operator=(RunLog&& other) noexcept;
+  RunLog(const RunLog&) = delete;
+  RunLog& operator=(const RunLog&) = delete;
+  ~RunLog();
+
+  /// Opens (creating the directory and file as needed)
+  /// `<root>/<tenant>/ingest.jsonl` for appending.
+  [[nodiscard]] static Expected<RunLog> open(const std::string& root,
+                                             const std::string& tenant);
+
+  /// Path of a tenant's log, purely syntactic.
+  [[nodiscard]] static std::string log_path(const std::string& root,
+                                            const std::string& tenant);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
+
+  /// Appends one entry: a single whole-line write(2) + fsync. The entry is
+  /// durable (or the log is untouched past a torn tail) when this returns.
+  [[nodiscard]] Expected<void> append(const LogEntry& entry);
+
+  /// Reads and parses the whole log. A missing file is an empty log, not
+  /// an error (a fresh tenant has not ingested anything yet).
+  [[nodiscard]] static Expected<LogReadResult> read_file(
+      const std::string& path);
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+}  // namespace hpcp::ingest

@@ -6,6 +6,7 @@
 #include <system_error>
 
 #include "src/common/io.hpp"
+#include "src/obs/jsonlite.hpp"
 #include "src/registry/archive.hpp"
 
 namespace hpcp::registry {
@@ -172,6 +173,22 @@ Expected<std::size_t> Registry::gc(std::size_t keep) {
   return removed;
 }
 
+Expected<void> Registry::annotate(const std::string& tenant,
+                                  const std::string& key,
+                                  const std::string& value) {
+  if (!valid_tenant(tenant)) {
+    return Error{ErrorCode::BadData, "invalid tenant name", tenant};
+  }
+  notes_[tenant][key] = value;
+  return write_manifest();
+}
+
+const std::map<std::string, std::string>* Registry::annotations(
+    const std::string& tenant) const {
+  const auto it = notes_.find(tenant);
+  return it != notes_.end() ? &it->second : nullptr;
+}
+
 Expected<void> Registry::write_manifest() const {
   // tenants_ is a std::map, so the manifest's tenant order (and therefore
   // its bytes) is deterministic — the golden registry test pins it.
@@ -191,7 +208,23 @@ Expected<void> Registry::write_manifest() const {
       if (i > 0) out += ',';
       out += std::to_string(info.versions[i]);
     }
-    out += "]}";
+    out += ']';
+    // Annotations render only when present, so un-annotated stores keep
+    // their exact historical manifest bytes (the golden test pins them).
+    if (const auto notes = notes_.find(tenant);
+        notes != notes_.end() && !notes->second.empty()) {
+      out += ",\"notes\":{";
+      bool first_note = true;
+      for (const auto& [key, value] : notes->second) {
+        if (!first_note) out += ',';
+        first_note = false;
+        out += obs::json_quote(key);
+        out += ':';
+        out += obs::json_quote(value);
+      }
+      out += '}';
+    }
+    out += '}';
   }
   out += "}}\n";
   return atomic_write_file(manifest_path(), [&out](std::ostream& stream) {

@@ -81,11 +81,26 @@ class Registry {
   /// Re-reads the directory tree (external writers, crash recovery).
   [[nodiscard]] Expected<void> rescan();
 
+  /// Sets a per-tenant advisory annotation — e.g. the ingest loop's shadow
+  /// verdict — and rewrites the manifest, which carries annotations as a
+  /// "notes" object inside the tenant entry. Annotations are process-local
+  /// advisories over the filesystem truth: rescan() keeps them (they key
+  /// on the tenant name), but a fresh open() of the same root starts
+  /// without them — the ingest log is the durable record. Tenants without
+  /// annotations render exactly as before, so stores that never ingest
+  /// keep byte-identical manifests.
+  [[nodiscard]] Expected<void> annotate(const std::string& tenant,
+                                        const std::string& key,
+                                        const std::string& value);
+  [[nodiscard]] const std::map<std::string, std::string>* annotations(
+      const std::string& tenant) const;
+
  private:
   [[nodiscard]] Expected<void> write_manifest() const;
 
   std::string root_;
   std::map<std::string, TenantInfo> tenants_;
+  std::map<std::string, std::map<std::string, std::string>> notes_;
 };
 
 }  // namespace hpcp::registry

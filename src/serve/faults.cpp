@@ -62,6 +62,35 @@ std::string tenant_frame(std::uint64_t pick, std::size_t counter) {
   return line;
 }
 
+/// Ingest frames are *well-formed* {"cmd":"ingest"} lines that feed the
+/// continuous-learning loop its production diet: default and unknown
+/// tenants, plausible measurements, and semantically poisoned ones (zero,
+/// negative, or absurd runtimes; duplicate run ids) that must land in the
+/// quarantine ledger, never promote a bad candidate, and never crash the
+/// server. Each frame occupies exactly one protocol slot and draws exactly
+/// one well-formed ack or typed error.
+std::string ingest_frame(std::uint64_t pick, std::size_t counter) {
+  std::string model = pick % 5 == 0 ? "ghost" : "default";
+  double runtime = 10.0 + static_cast<double>(pick % 17);
+  switch (pick % 6) {
+    case 1: runtime = 0.0; break;        // semantic fault: not a duration
+    case 2: runtime = -3.5; break;       // semantic fault: negative
+    case 3: runtime = 1e30; break;       // absurd outlier
+    default: break;                      // plausible measurement
+  }
+  const std::uint64_t nprocs = 1ULL << (1 + pick % 6);  // 2..64
+  std::string line = "{\"id\":" + std::to_string(970000 + counter) +
+                     ",\"cmd\":\"ingest\",\"model\":\"" + model +
+                     "\",\"params\":[1.0,2.0],\"nprocs\":" +
+                     std::to_string(nprocs) + ",\"runtime\":";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", runtime);
+  line += buf;
+  line += ",\"run_id\":" + std::to_string(pick % 8);  // duplicates likely
+  line += "}\n";
+  return line;
+}
+
 bool parse_double(const std::string& value, double* out) {
   char* end = nullptr;
   *out = std::strtod(value.c_str(), &end);
@@ -112,6 +141,8 @@ Expected<FaultSpec> parse_fault_spec(const std::string& text) {
       spec.garbage = p;
     } else if (key == "tenant") {
       spec.tenant = p;
+    } else if (key == "ingest") {
+      spec.ingest = p;
     } else if (key == "short_write") {
       spec.short_write = p;
     } else if (key == "write_error") {
@@ -204,6 +235,11 @@ ChaosStreambuf::int_type ChaosStreambuf::underflow() {
   if (active && at_line_start_ && injector_->roll(injector_->spec().tenant)) {
     ++tenant_frames_;
     pending_ = tenant_frame(injector_->uniform(64), tenant_frames_);
+    return underflow();
+  }
+  if (active && at_line_start_ && injector_->roll(injector_->spec().ingest)) {
+    ++ingest_frames_;
+    pending_ = ingest_frame(injector_->uniform(96), ingest_frames_);
     return underflow();
   }
   // Decide the read size before consuming the source, so a short read

@@ -46,6 +46,11 @@ struct FaultSpec {
                              ///< tenant precedes the next line (registry
                              ///< routing chaos: known, unknown, and
                              ///< hostile "model" values)
+  double ingest = 0.0;       ///< a well-formed ingest line precedes the next
+                             ///< line (continuous-learning chaos: known and
+                             ///< unknown tenants, clean and semantically
+                             ///< poisoned measurements — the quarantine
+                             ///< layer's diet, never a crash)
   double short_write = 0.0;  ///< write accepts only a sliver (fd layer)
   double write_error = 0.0;  ///< write fails outright, EPIPE-style
   double clock_skip = 0.0;   ///< clock read jumps forward clock_skip_ms
@@ -53,8 +58,8 @@ struct FaultSpec {
 
   [[nodiscard]] bool enabled() const noexcept {
     return short_read > 0.0 || disconnect > 0.0 || garbage > 0.0 ||
-           tenant > 0.0 || short_write > 0.0 || write_error > 0.0 ||
-           clock_skip > 0.0;
+           tenant > 0.0 || ingest > 0.0 || short_write > 0.0 ||
+           write_error > 0.0 || clock_skip > 0.0;
   }
 };
 
@@ -129,6 +134,10 @@ class ChaosStreambuf final : public std::streambuf {
   [[nodiscard]] std::size_t tenant_frames() const noexcept {
     return tenant_frames_;
   }
+  /// Number of injected ingest frames so far.
+  [[nodiscard]] std::size_t ingest_frames() const noexcept {
+    return ingest_frames_;
+  }
 
  protected:
   int_type underflow() override;
@@ -140,6 +149,7 @@ class ChaosStreambuf final : public std::streambuf {
   bool at_line_start_ = true;
   std::size_t garbage_frames_ = 0;
   std::size_t tenant_frames_ = 0;
+  std::size_t ingest_frames_ = 0;
   std::string pending_;  ///< queued garbage frame bytes, delivered first
   char buf_[4096];
 };

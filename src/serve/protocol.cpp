@@ -33,7 +33,7 @@ bool render_id(const JsonValue& v, std::string* out, ErrorInfo* err) {
 
 bool parse_params(const JsonValue& doc, Request* out, ErrorInfo* err) {
   if (!doc.contains("params")) {
-    return fail(err, "bad-request", "predict request missing params");
+    return fail(err, "bad-request", "request missing params");
   }
   const JsonValue& params = doc.at("params");
   if (params.kind() != JsonValue::Kind::Array) {
@@ -78,6 +78,44 @@ bool parse_scales(const JsonValue& doc, Request* out, ErrorInfo* err) {
   return true;
 }
 
+/// Shared by ingest's nprocs and run_id: a non-negative integral JSON
+/// number that fits the target width.
+bool parse_uint_field(const JsonValue& doc, const char* key, bool required,
+                      std::uint64_t min, std::uint64_t* out,
+                      ErrorInfo* err) {
+  if (!doc.contains(key)) {
+    if (!required) return true;
+    return fail(err, "bad-request",
+                std::string("ingest request missing ") + key);
+  }
+  const JsonValue& v = doc.at(key);
+  if (v.kind() != JsonValue::Kind::Number) {
+    return fail(err, "bad-request",
+                std::string(key) + " must be an integer");
+  }
+  const double d = v.as_number();
+  if (!(d >= static_cast<double>(min)) || d != std::floor(d) || d > 1e15) {
+    return fail(err, "bad-request",
+                std::string(key) +
+                    " must be an integer >= " + std::to_string(min));
+  }
+  *out = static_cast<std::uint64_t>(d);
+  return true;
+}
+
+/// The optional "model" field naming a tenant (predict / ingest / retrain).
+bool parse_model_field(const JsonValue& doc, Request* out, ErrorInfo* err) {
+  if (!doc.contains("model")) return true;
+  if (doc.at("model").kind() != JsonValue::Kind::String) {
+    return fail(err, "bad-request", "model must be a string tenant name");
+  }
+  out->tenant = doc.at("model").as_string();
+  if (out->tenant.empty()) {
+    return fail(err, "bad-request", "model must not be empty");
+  }
+  return true;
+}
+
 }  // namespace
 
 bool parse_request(const std::string& line, Request* out, ErrorInfo* err) {
@@ -106,16 +144,8 @@ bool parse_request(const std::string& line, Request* out, ErrorInfo* err) {
   }
   if (cmd == "predict") {
     out->cmd = Request::Cmd::kPredict;
-    if (doc.contains("model")) {
-      if (doc.at("model").kind() != JsonValue::Kind::String) {
-        return fail(err, "bad-request", "model must be a string tenant name");
-      }
-      out->tenant = doc.at("model").as_string();
-      if (out->tenant.empty()) {
-        return fail(err, "bad-request", "model must not be empty");
-      }
-    }
-    return parse_params(doc, out, err) && parse_scales(doc, out, err);
+    return parse_model_field(doc, out, err) && parse_params(doc, out, err) &&
+           parse_scales(doc, out, err);
   }
   if (cmd == "ping") {
     out->cmd = Request::Cmd::kPing;
@@ -157,6 +187,37 @@ bool parse_request(const std::string& line, Request* out, ErrorInfo* err) {
       out->model_path = doc.at("path").as_string();
     }
     return true;
+  }
+  if (cmd == "ingest") {
+    out->cmd = Request::Cmd::kIngest;
+    if (!parse_model_field(doc, out, err) || !parse_params(doc, out, err)) {
+      return false;
+    }
+    std::uint64_t nprocs = 0;
+    if (!parse_uint_field(doc, "nprocs", /*required=*/true, 1, &nprocs,
+                          err)) {
+      return false;
+    }
+    out->nprocs = static_cast<std::size_t>(nprocs);
+    if (!doc.contains("runtime")) {
+      return fail(err, "bad-request", "ingest request missing runtime");
+    }
+    if (doc.at("runtime").kind() != JsonValue::Kind::Number ||
+        !std::isfinite(doc.at("runtime").as_number())) {
+      return fail(err, "bad-request", "runtime must be a finite number");
+    }
+    out->runtime = doc.at("runtime").as_number();
+    std::uint64_t run_id = 0;
+    if (!parse_uint_field(doc, "run_id", /*required=*/false, 0, &run_id,
+                          err)) {
+      return false;
+    }
+    out->run_id = run_id;
+    return true;
+  }
+  if (cmd == "retrain") {
+    out->cmd = Request::Cmd::kRetrain;
+    return parse_model_field(doc, out, err);
   }
   if (cmd == "shutdown") {
     out->cmd = Request::Cmd::kShutdown;

@@ -21,7 +21,15 @@
 ///   {"cmd":"reload","tenant":"tenant-a"}                  registry tenant reload
 ///   {"cmd":"stats"}                                       hpcp-stats/1 snapshot
 ///   {"cmd":"trace-dump","path":"t.json"}                  live Chrome-trace dump
+///   {"cmd":"ingest","model":"t","params":[256,8],
+///    "nprocs":64,"runtime":12.5,"run_id":7}               append a measured run
+///   {"cmd":"retrain","model":"t"}                         synchronous retrain
 ///   {"cmd":"shutdown"}                                    stop the server
+///
+/// `ingest` appends one measured run to the named tenant's run log
+/// (registry mode only; `model` absent = the default tenant, `run_id`
+/// optional) and acks without touching the predict path. `retrain` runs
+/// the shadow-gated retrain synchronously and reports the verdict.
 ///
 /// `id` (string or number) is echoed verbatim on the response. `params`
 /// are the model's training parameter columns, in history-schema order.
@@ -62,6 +70,8 @@ struct Request {
     kReload,
     kStats,
     kTraceDump,
+    kIngest,
+    kRetrain,
     kShutdown
   };
 
@@ -78,7 +88,15 @@ struct Request {
   /// (empty = the default tenant, or the single configured model).
   /// reload: the `tenant` field — which tenant to reload (registry mode;
   /// empty = the single model / every resident tenant per server policy).
+  /// ingest / retrain: the `model` field — which tenant's run log.
   std::string tenant;
+  /// ingest only: the measured run (process count, wall-clock seconds,
+  /// optional site-assigned run id). `runtime` passes the protocol layer
+  /// whenever it is a finite number — semantically bad measurements (zero,
+  /// negative) are the quarantine layer's call, not the parser's.
+  std::size_t nprocs = 0;
+  double runtime = 0.0;
+  std::uint64_t run_id = 0;
 };
 
 /// A protocol-level failure, rendered as the response's `error` object.

@@ -127,6 +127,10 @@ Expected<void> Server::attach_registry(const std::string& root) {
   popts.max_resident_bytes = opts_.max_resident_bytes;
   model_pool_ =
       std::make_unique<registry::ModelPool>(std::move(*reg), popts);
+  ingest::SchedulerOptions iopts;
+  iopts.retrain_records = opts_.retrain_records;
+  iopts.retrain_interval_ms = opts_.retrain_interval_ms;
+  ingest_ = std::make_unique<ingest::IngestScheduler>(*model_pool_, iopts);
   obs::gauge_set("serve.registry_mode", 1.0);
   return {};
 }
@@ -176,6 +180,16 @@ Expected<void> Server::try_reload(const std::string& path) {
 }
 
 void Server::poll_reloads() {
+  // The ingest pump rides the same between-batches hook as reloads: it
+  // completes finished background retrains (judge / publish / epoch-swap)
+  // and fires due triggers. Out-of-band like SIGHUP — no response lines,
+  // so replayed request streams stay aligned with their responses.
+  if (ingest_ != nullptr) {
+    for (const std::string& tenant : ingest_->pump(now_ms())) {
+      (void)tenant;
+      obs::count("serve.ingest_promotions");
+    }
+  }
   if (reload_flag().exchange(false)) {
     if (model_pool_) {
       // Registry-mode SIGHUP: pick up externally published tenants and
@@ -730,6 +744,84 @@ std::string Server::handle_control(const Request& req) {
       out += '}';
       return out;
     }
+    case Request::Cmd::kIngest: {
+      const obs::Span span("serve.cmd_ingest");
+      if (ingest_ == nullptr) {
+        // A single-model server has no registry to promote into and no
+        // tenant namespace; the rejection is a pure function of the
+        // request, so it participates in byte-identity like unknown-model.
+        note_response(kErrUnknownModel);
+        return render_error(
+            req.id_json, version,
+            {kErrUnknownModel,
+             "ingest requires registry mode (serve --registry)"});
+      }
+      const std::string tenant =
+          req.tenant.empty() ? registry::kDefaultTenant : req.tenant;
+      ExecutionRecord record;
+      record.params = req.params;
+      record.nprocs = req.nprocs;
+      record.runtime = req.runtime;
+      record.run_id = req.run_id;
+      auto appended = ingest_->append(tenant, record);
+      if (!appended) {
+        const std::string code = error_code_name(appended.error().code);
+        note_response(code);
+        return render_error(req.id_json, version,
+                            {code, appended.error().to_string()});
+      }
+      note_response("ok");
+      std::string out = prefix("ingest");
+      out += ",\"tenant\":";
+      out += obs::json_quote(tenant);
+      out += ",\"records\":";
+      out += std::to_string(*appended);
+      out += '}';
+      return out;
+    }
+    case Request::Cmd::kRetrain: {
+      const obs::Span span("serve.cmd_retrain");
+      if (ingest_ == nullptr) {
+        note_response(kErrUnknownModel);
+        return render_error(
+            req.id_json, version,
+            {kErrUnknownModel,
+             "retrain requires registry mode (serve --registry)"});
+      }
+      const std::string tenant =
+          req.tenant.empty() ? registry::kDefaultTenant : req.tenant;
+      auto outcome = ingest_->retrain_now(tenant);
+      if (!outcome) {
+        const std::string code = error_code_name(outcome.error().code);
+        note_response(code);
+        return render_error(req.id_json, version,
+                            {code, outcome.error().to_string()});
+      }
+      note_response("ok");
+      std::string out = prefix("retrain");
+      out += ",\"tenant\":";
+      out += obs::json_quote(tenant);
+      out += ",\"verdict\":";
+      out += obs::json_quote(outcome->marker.verdict);
+      out += ",\"promoted\":";
+      out += outcome->promoted ? "true" : "false";
+      out += ",\"model_version\":";
+      out += std::to_string(outcome->marker.version);
+      out += ",\"records\":";
+      out += std::to_string(outcome->marker.records);
+      out += ",\"holdout_scale\":";
+      out += std::to_string(outcome->marker.holdout_scale);
+      out += ",\"candidate_mape\":";
+      obs::json_number_into(out, outcome->marker.candidate_mape);
+      out += ",\"incumbent_mape\":";
+      obs::json_number_into(out, outcome->marker.incumbent_mape);
+      out += ",\"quarantined\":";
+      out += std::to_string(outcome->quarantined);
+      out += ",\"warm_scales\":";
+      out += std::to_string(outcome->warm_scales);
+      out += '}';
+      return out;
+    }
     case Request::Cmd::kShutdown: {
       note_response("ok");
       std::string out = prefix("shutdown");
@@ -784,6 +876,7 @@ std::string Server::health_json(const std::string& id_json) const {
   out += ",\"responses\":";
   append_code_counters(out);
   if (model_pool_) append_registry_block(out);
+  if (ingest_) append_ingest_block(out);
   if ((!model_pool_ && !snap) || degraded()) {
     out += ",\"retry_after_ms\":";
     out += std::to_string(opts_.retry_after_ms);
@@ -924,6 +1017,64 @@ void Server::append_registry_block(std::string& out) const {
   out += "}}";
 }
 
+void Server::append_ingest_block(std::string& out) const {
+  // Session totals plus per-tenant verdict state, sorted by tenant (the
+  // scheduler's stats() is already sorted). Counters are per-process on
+  // purpose: the log is the durable account, and session-local counters
+  // keep replayed response streams byte-identical even when two runs
+  // share a store.
+  const ingest::IngestScheduler::Totals totals = ingest_->totals();
+  out += ",\"ingest\":{\"appended\":";
+  out += std::to_string(totals.appended);
+  out += ",\"retrains\":";
+  out += std::to_string(totals.retrains);
+  out += ",\"promotions\":";
+  out += std::to_string(totals.promotions);
+  out += ",\"rejections\":";
+  out += std::to_string(totals.rejections);
+  out += ",\"in_flight\":";
+  out += std::to_string(totals.in_flight);
+  out += ",\"retrain_records\":";
+  out += std::to_string(opts_.retrain_records);
+  out += ",\"retrain_interval_ms\":";
+  out += std::to_string(opts_.retrain_interval_ms);
+  out += ",\"tenants\":{";
+  bool first = true;
+  for (const auto& [tenant, stats] : ingest_->stats()) {
+    if (!first) out += ',';
+    first = false;
+    out += obs::json_quote(tenant);
+    out += ":{\"appended\":";
+    out += std::to_string(stats.appended);
+    out += ",\"retrains\":";
+    out += std::to_string(stats.retrains);
+    out += ",\"promotions\":";
+    out += std::to_string(stats.promotions);
+    out += ",\"rejections\":";
+    out += std::to_string(stats.rejections);
+    out += ",\"quarantined\":";
+    out += std::to_string(stats.quarantined);
+    out += ",\"in_flight\":";
+    out += stats.in_flight ? "true" : "false";
+    if (!stats.last_verdict.empty()) {
+      out += ",\"last_verdict\":";
+      out += obs::json_quote(stats.last_verdict);
+      out += ",\"last_version\":";
+      out += std::to_string(stats.last_version);
+      out += ",\"holdout_scale\":";
+      out += std::to_string(stats.last_holdout_scale);
+      out += ",\"candidate_mape\":";
+      obs::json_number_into(out, stats.last_candidate_mape);
+      out += ",\"incumbent_mape\":";
+      obs::json_number_into(out, stats.last_incumbent_mape);
+      out += ",\"warm_scales\":";
+      out += std::to_string(stats.warm_scales);
+    }
+    out += '}';
+  }
+  out += "}}";
+}
+
 void Server::slow_log_insert(const RequestTrace& trace) {
   if (slow_log_.size() < kSlowLogEntries) {
     slow_log_.push_back(trace);
@@ -1013,6 +1164,7 @@ std::string Server::render_stats_json() const {
   out += ",\"responses\":";
   append_code_counters(out);
   if (model_pool_) append_registry_block(out);
+  if (ingest_) append_ingest_block(out);
 
   // 1s / 10s / 60s trailing windows over the rolling rings. Latency
   // quantiles are reported as the upper edge of the containing histogram

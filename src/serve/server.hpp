@@ -16,6 +16,7 @@
 #include "src/common/error.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/core/two_level_model.hpp"
+#include "src/ingest/scheduler.hpp"
 #include "src/obs/obs.hpp"
 #include "src/registry/residency.hpp"
 #include "src/serve/prediction_cache.hpp"
@@ -129,6 +130,13 @@ struct ServeOptions {
   /// to the ModelPool — count cap and byte budget (0 = unlimited bytes).
   std::size_t max_resident_models = 4;
   std::uint64_t max_resident_bytes = 0;
+  /// Continuous-learning triggers, forwarded to the IngestScheduler
+  /// (registry mode only). `retrain_records` run records since the last
+  /// attempt fire a background retrain; `retrain_interval_ms` retrains any
+  /// tenant with new data on a wall-clock cadence. Both default off —
+  /// {"cmd":"retrain"} always works regardless.
+  std::size_t retrain_records = 0;
+  std::uint64_t retrain_interval_ms = 0;
   /// Monotonic millisecond clock; unset = std::chrono::steady_clock. The
   /// chaos harness injects a deterministic skipping clock here.
   std::function<std::uint64_t()> clock_ms = {};
@@ -167,6 +175,11 @@ class Server {
   /// The resident-model pool (nullptr outside registry mode).
   [[nodiscard]] registry::ModelPool* model_pool() noexcept {
     return model_pool_.get();
+  }
+  /// The continuous-learning scheduler (nullptr outside registry mode).
+  /// Serving-thread confined, like the pool it feeds.
+  [[nodiscard]] ingest::IngestScheduler* ingest_scheduler() noexcept {
+    return ingest_.get();
   }
 
   /// 0 until the first successful load; bumped by every successful reload.
@@ -356,6 +369,10 @@ class Server {
   /// sorted per-tenant counters to a health/stats body.
   void append_registry_block(std::string& out) const;
 
+  /// Registry mode only: appends `,"ingest":{...}` with the scheduler's
+  /// session totals and sorted per-tenant verdict state.
+  void append_ingest_block(std::string& out) const;
+
   /// Bumps the per-code response counter ("ok" or an error code); every
   /// rendered response line passes through here exactly once.
   void note_response(const std::string& code);
@@ -370,6 +387,9 @@ class Server {
   /// Registry mode: the resident-model LRU (serving-thread confined,
   /// like the resilience state). nullptr = classic single-model server.
   std::unique_ptr<registry::ModelPool> model_pool_;
+  /// Registry mode: the continuous-learning loop (append / retrain /
+  /// shadow-gated promote). Pumped between batches alongside reloads.
+  std::unique_ptr<ingest::IngestScheduler> ingest_;
 
   mutable std::mutex snapshot_mutex_;
   std::shared_ptr<const Snapshot> snapshot_;

@@ -99,8 +99,12 @@ std::unique_ptr<Server> make_server(ServeOptions opts = {}) {
 /// still applies: fixture lines route to the default tenant at version 1,
 /// so their responses must be byte-identical to single-model serving.
 std::unique_ptr<Server> make_registry_server(ServeOptions opts = {}) {
+  // Root is keyed by pid: ctest runs each TEST as its own process, and a
+  // parallel run must not let one process remove_all a store another is
+  // serving from (the ingest scenarios append to this store mid-run).
   static const std::string root = [] {
-    const std::string dir = ::testing::TempDir() + "/chaos_registry";
+    const std::string dir = ::testing::TempDir() + "/chaos_registry_" +
+                            std::to_string(::getpid());
     std::filesystem::remove_all(dir);
     auto reg = registry::Registry::open(dir).value_or_throw();
     (void)reg.add_model("default", fixture().model).value_or_throw();
@@ -216,6 +220,19 @@ ScenarioResult run_scenario(const FaultSpec& spec,
           << "seed=" << spec.seed << " line " << i
           << ": non-degraded response must be byte-identical";
       ++result.matched_reference;
+    } else if (expected[i].find("\"cmd\":\"ingest\"") != std::string::npos) {
+      // Injected ingest frames are well-formed requests: a known tenant
+      // draws an ack (append succeeded — semantic quarantine happens at
+      // retrain time), an unknown tenant a typed error. Never anything
+      // else, and never a crash.
+      const bool acked =
+          responses[i].find("\"ok\":true,\"cmd\":\"ingest\"") !=
+          std::string::npos;
+      const bool refused =
+          responses[i].find("\"ok\":false") != std::string::npos;
+      EXPECT_TRUE(acked || refused)
+          << "seed=" << spec.seed << " line " << i << ": " << responses[i]
+          << " for input: " << expected[i];
     } else {
       // Garbage frames and truncated lines must be rejected, not served.
       EXPECT_NE(responses[i].find("\"ok\":false"), std::string::npos)
@@ -299,6 +316,45 @@ TEST(ServeChaos, TenantRoutingUnderTransportFaults) {
     FaultSpec spec;
     spec.seed = seed;
     spec.tenant = 0.15;
+    spec.garbage = 0.1;
+    spec.short_read = 0.3;
+    spec.disconnect = 0.03;
+    total_responses +=
+        run_scenario(spec, {.batch_max = 4, .cache_entries = 16}, false,
+                     true)
+            .responses;
+  }
+  EXPECT_GT(total_responses, 0u);
+}
+
+TEST(ServeChaos, IngestScenarios) {
+  // The ingest axis alone: injected well-formed {"cmd":"ingest"} lines —
+  // known and unknown tenants, clean and semantically poisoned
+  // measurements (zero/negative/absurd runtimes, duplicate run ids). The
+  // poison is the quarantine layer's problem at retrain time; at append
+  // time every frame draws exactly one ack or typed error, and the
+  // surrounding predict stream stays byte-identical to the reference.
+  std::size_t matched = 0;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    FaultSpec spec;
+    spec.seed = seed;
+    spec.ingest = 0.25;
+    matched += run_scenario(spec, {}, false, true).matched_reference;
+  }
+  // The ingest axis injects whole lines and drops none: every fixture
+  // request answered from the reference in every scenario.
+  EXPECT_EQ(matched, 60 * fixture().request_lines.size());
+}
+
+TEST(ServeChaos, IngestUnderTransportFaults) {
+  // Ingest composed with the transport fault mix and tight batches: the
+  // fsync'd append path now interleaves with short reads, garbage, and
+  // mid-line disconnects inside the same flush windows.
+  std::size_t total_responses = 0;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    FaultSpec spec;
+    spec.seed = seed;
+    spec.ingest = 0.15;
     spec.garbage = 0.1;
     spec.short_read = 0.3;
     spec.disconnect = 0.03;

@@ -19,6 +19,8 @@
 #include <utility>
 #include <vector>
 
+#include <unistd.h>
+
 #include "src/core/experiment.hpp"
 #include "src/core/two_level_model.hpp"
 #include "src/obs/jsonlite.hpp"
@@ -41,7 +43,10 @@ struct Fixture {
 const Fixture& fixture() {
   static const Fixture* f = [] {
     auto* out = new Fixture;
-    out->registry_root = ::testing::TempDir() + "/mt_store";
+    // Pid-keyed: parallel ctest runs each TEST as its own process, and
+    // this remove_all must never hit a store a sibling is serving from.
+    out->registry_root =
+        ::testing::TempDir() + "/mt_store_" + std::to_string(::getpid());
     std::filesystem::remove_all(out->registry_root);
     auto reg = registry::Registry::open(out->registry_root).value_or_throw();
     std::uint64_t seed = 300;

@@ -126,15 +126,28 @@ def main():
             f"fresh {fresh.get('short_mode')} — comparing different "
             "workload sizes")
 
+    # Key *presence* is checked before any scaling skip: a key the fresh
+    # run does not emit at all is a contract violation (renamed bench case,
+    # stale binary), and a single-core runner must not be able to hide it.
+    # skip_reason only ever excuses the value comparison.
     fresh_speedups = fresh.get("speedups") or {}
-    for key, baseline_value in sorted((base.get("speedups") or {}).items()):
+    base_speedups = base.get("speedups") or {}
+    missing = sorted(set(base_speedups) - set(fresh_speedups))
+    if missing:
+        failures.append(
+            f"fresh output is missing baseline speedup key(s) "
+            f"{missing} — fresh emits {sorted(fresh_speedups)}")
+    for key, baseline_value in sorted(base_speedups.items()):
+        fresh_value = fresh_speedups.get(key)
+        if not isinstance(fresh_value, (int, float)):
+            if key not in missing:
+                failures.append(
+                    f"speedup {key!r} is not a number in the fresh "
+                    f"output: {fresh_value!r}")
+            continue
         reason = skip_reason(key)
         if reason is not None:
             print(f"  {key}: skipped ({reason})")
-            continue
-        fresh_value = fresh_speedups.get(key)
-        if not isinstance(fresh_value, (int, float)):
-            failures.append(f"fresh output missing speedup {key!r}")
             continue
         floor = baseline_value * (1.0 - args.tolerance)
         verdict = "ok"
@@ -154,14 +167,18 @@ def main():
               f"fresh {fresh_value:.3f}x [{verdict}]")
 
     for key, floor in map(parse_requirement, args.require):
+        fresh_value = fresh_speedups.get(key)
+        if not isinstance(fresh_value, (int, float)):
+            failures.append(
+                f"fresh output missing required speedup {key!r} "
+                f"(got {fresh_value!r}; fresh emits "
+                f"{sorted(fresh_speedups)})")
+            continue
         reason = skip_reason(key)
         if reason is not None:
             print(f"  {key}: required floor skipped ({reason})")
             continue
-        fresh_value = fresh_speedups.get(key)
-        if not isinstance(fresh_value, (int, float)):
-            failures.append(f"fresh output missing required speedup {key!r}")
-        elif fresh_value < floor:
+        if fresh_value < floor:
             failures.append(
                 f"required floor {key} >= {floor:g} not met: "
                 f"{fresh_value:.3f}")
@@ -170,14 +187,18 @@ def main():
 
     for key, ceiling in (parse_requirement(t, op="<=")
                          for t in args.require_max):
+        fresh_value = fresh_speedups.get(key)
+        if not isinstance(fresh_value, (int, float)):
+            failures.append(
+                f"fresh output missing required speedup {key!r} "
+                f"(got {fresh_value!r}; fresh emits "
+                f"{sorted(fresh_speedups)})")
+            continue
         reason = skip_reason(key)
         if reason is not None:
             print(f"  {key}: required ceiling skipped ({reason})")
             continue
-        fresh_value = fresh_speedups.get(key)
-        if not isinstance(fresh_value, (int, float)):
-            failures.append(f"fresh output missing required speedup {key!r}")
-        elif fresh_value > ceiling:
+        if fresh_value > ceiling:
             failures.append(
                 f"required ceiling {key} <= {ceiling:g} exceeded: "
                 f"{fresh_value:.3f}")

@@ -8,7 +8,7 @@
 # Usage: tools/ci.sh [--skip-sanitizers] [--only STAGE]
 #                    [--build-dir-prefix PREFIX] [--artifact-dir DIR]
 #   STAGE  one of: release bench obs trace serve registry scrape chaos
-#          cli asan
+#          ingest cli asan
 #   PREFIX build tree prefix, default "build-ci-" (trees land at
 #          <repo>/<prefix><name>; keep it matching .gitignore's build-*/)
 #   DIR    where bench/trace/metrics JSONs are written, default
@@ -133,6 +133,7 @@ EOF
       --require "concurrent_4conn_vs_1conn>=2" \
       --require "concurrent_16conn_vs_1conn>=2" \
       --require "mmap_load_vs_full_deserialize>=5" \
+      --require "retrain_shadow_vs_cold>=1.3" \
       --require-max "obs_on_vs_off<=1.01"
     # The registry cold-start floor: loading a model from the sectioned
     # binary archive (mmap + one checksummed section parse) must beat the
@@ -772,6 +773,127 @@ stage_chaos() {
        "torn archive typed)"
 }
 
+# Continuous-learning smoke: the ingest pipeline end to end through the
+# installed CLI. Seeds a deliberately weak incumbent (trained on 6
+# configurations), streams run records through {"cmd":"ingest"} over
+# stdio AND the epoll TCP front end, forces an in-protocol retrain, and
+# asserts the shadow gate promoted the candidate (trained on the streamed
+# 24-configuration history, judged on the held-out largest scale). Then
+# the flagship contract: `hpcp ingest --rebuild` reconstructs the
+# promoted model from the append-only log alone — byte-identical at
+# --threads 1 and --threads 4, and byte-identical to the archive the
+# live server published. Every input is seeded, so the verdict and the
+# bytes are stable on any host.
+stage_ingest() {
+  echo "=== [release] ingest-smoke ==="
+  local dir="${artifact_dir}/ingest-smoke"
+  rm -rf "${dir}"
+  mkdir -p "${dir}"
+  "${cli}" generate --app heat3d --out "${dir}/hist.csv" \
+    --configs 24 --scales 1,2,4,8 --seed 3
+  "${cli}" generate --app heat3d --out "${dir}/hist-weak.csv" \
+    --configs 6 --scales 1,2,4,8 --seed 9
+  "${cli}" train --history "${dir}/hist-weak.csv" --targets 16,32 --seed 5 \
+    --save "${dir}/weak.txt" > /dev/null
+  local store="${dir}/store"
+  "${cli}" registry add --root "${store}" --tenant default \
+    --model "${dir}/weak.txt" > /dev/null
+
+  # The streamed diet: history rows rendered as in-protocol ingest lines
+  # (the log keeps raw measurements; quarantine happens at retrain time).
+  # 40 records over stdio, 40 more over TCP into the same tenant log.
+  awk -F, 'NR > 1 {
+    printf "{\"cmd\":\"ingest\",\"run_id\":%d,\"params\":[%s,%s,%s]," \
+           "\"nprocs\":%d,\"runtime\":%s}\n", $6, $1, $2, $3, $4, $5
+  }' "${dir}/hist.csv" > "${dir}/ingest-lines.txt"
+  head -n 40 "${dir}/ingest-lines.txt" > "${dir}/stdio-batch.txt"
+  sed -n '41,80p' "${dir}/ingest-lines.txt" > "${dir}/tcp-batch.txt"
+  printf '{"cmd":"shutdown"}\n' >> "${dir}/stdio-batch.txt"
+
+  "${cli}" serve --registry "${store}" --stdio \
+    < "${dir}/stdio-batch.txt" > "${dir}/out-stdio.txt" 2> /dev/null
+  [[ "$(grep -c '"ok":true,"cmd":"ingest"' "${dir}/out-stdio.txt")" -eq 40 ]] \
+    || { echo "stdio leg did not ack all 40 ingest records" >&2; exit 1; }
+  grep -q '"records":40' "${dir}/out-stdio.txt" \
+    || { echo "stdio ingest ack counter never reached 40" >&2; exit 1; }
+
+  {
+    cat "${dir}/tcp-batch.txt"
+    printf '{"cmd":"retrain"}\n'
+    printf '{"cmd":"health"}\n'
+    printf '{"cmd":"shutdown"}\n'
+  } > "${dir}/tcp-replay.txt"
+  if command -v python3 > /dev/null 2>&1; then
+    timeout 120 "${cli}" serve --registry "${store}" --port 0 \
+      2> "${dir}/daemon.log" &
+    local daemon_pid=$!
+    local tcp_port=""
+    local i
+    for i in $(seq 1 100); do
+      tcp_port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+        "${dir}/daemon.log" | head -n 1)"
+      [[ -n "${tcp_port}" ]] && break
+      kill -0 "${daemon_pid}" 2> /dev/null || break
+      sleep 0.1
+    done
+    [[ -n "${tcp_port}" ]] \
+      || { echo "ingest TCP daemon never announced its port" >&2; exit 1; }
+    timeout 60 python3 - "${tcp_port}" "${dir}/tcp-replay.txt" \
+      "${dir}/out-tcp.txt" << 'EOF'
+import socket
+import sys
+
+port, replay, out_path = int(sys.argv[1]), sys.argv[2], sys.argv[3]
+with open(replay, "rb") as f:
+    lines = f.read().splitlines()
+with socket.create_connection(("127.0.0.1", port), timeout=30) as s:
+    stream = s.makefile("rwb")
+    stream.write(b"\n".join(lines) + b"\n")
+    stream.flush()
+    with open(out_path, "wb") as out:
+        for _ in lines:
+            resp = stream.readline()
+            if not resp:
+                raise RuntimeError("connection closed early")
+            out.write(resp)
+EOF
+    wait "${daemon_pid}" \
+      || { echo "ingest daemon exited non-zero after shutdown" >&2; exit 1; }
+  else
+    echo "python3 unavailable; running the TCP leg over stdio instead"
+    "${cli}" serve --registry "${store}" --stdio \
+      < "${dir}/tcp-replay.txt" > "${dir}/out-tcp.txt" 2> /dev/null
+  fi
+  [[ "$(grep -c '"ok":true,"cmd":"ingest"' "${dir}/out-tcp.txt")" -eq 40 ]] \
+    || { echo "TCP leg did not ack all 40 ingest records" >&2; exit 1; }
+  grep -q '"verdict":"promoted"' "${dir}/out-tcp.txt" \
+    || { echo "forced retrain did not promote the candidate over the" \
+         "weak incumbent" >&2
+         grep '"cmd":"retrain"' "${dir}/out-tcp.txt" | head >&2 || true
+         exit 1; }
+  grep -q '"promoted":true' "${dir}/out-tcp.txt" \
+    || { echo "retrain ack missing promoted flag" >&2; exit 1; }
+  grep -q '"model_version":2' "${dir}/out-tcp.txt" \
+    || { echo "promotion did not publish registry version 2" >&2; exit 1; }
+  grep -q '"ingest":{' "${dir}/out-tcp.txt" \
+    || { echo "health response carries no ingest block" >&2; exit 1; }
+
+  # The replay gate: the promoted archive reconstructed from the log
+  # alone, at two thread counts, must match the published bytes exactly.
+  "${cli}" ingest --registry "${store}" --rebuild "${dir}/replay-t1.hpcp" \
+    --threads 1 > /dev/null
+  "${cli}" ingest --registry "${store}" --rebuild "${dir}/replay-t4.hpcp" \
+    --threads 4 > /dev/null
+  cmp -s "${dir}/replay-t1.hpcp" "${dir}/replay-t4.hpcp" \
+    || { echo "log replay differs between --threads 1 and --threads 4" >&2
+         exit 1; }
+  cmp -s "${dir}/replay-t1.hpcp" "${store}/default/2.hpcp" \
+    || { echo "log replay does not reproduce the published archive" >&2
+         exit 1; }
+  echo "ingest-smoke ok (80 records over stdio+TCP, candidate promoted," \
+       "log replay byte-identical at 2 thread counts and to the store)"
+}
+
 # End-to-end determinism check through the CLI: the same history trained
 # at --threads 1 and --threads 8 must save byte-identical model files.
 # This exercises the whole user-facing path (CSV ingestion -> fit ->
@@ -795,36 +917,57 @@ stage_cli() {
        "byte-identical)"
 }
 
+# Per-stage wall-clock accounting: every stage runs through run_stage,
+# which records its duration, and the EXIT trap prints a summary table
+# whether the matrix passed or died mid-stage — so a slow or hung stage
+# is visible from the log tail without artifact archaeology.
+stage_summary_names=()
+stage_summary_secs=()
+print_stage_summary() {
+  [[ "${#stage_summary_names[@]}" -eq 0 ]] && return 0
+  echo ""
+  echo "=== per-stage wall-clock ==="
+  printf '  %-10s %9s\n' "stage" "seconds"
+  local i total=0
+  for i in "${!stage_summary_names[@]}"; do
+    printf '  %-10s %9d\n' "${stage_summary_names[$i]}" \
+      "${stage_summary_secs[$i]}"
+    total=$((total + stage_summary_secs[i]))
+  done
+  printf '  %-10s %9d\n' "total" "${total}"
+}
+trap print_stage_summary EXIT
+run_stage() {
+  local name="$1"
+  local t0="${SECONDS}"
+  "stage_${name}"
+  stage_summary_names+=("${name}")
+  stage_summary_secs+=("$((SECONDS - t0))")
+}
+
 if [[ -n "${only_stage}" ]]; then
   case "${only_stage}" in
-    release) stage_release ;;
-    bench)   stage_bench ;;
-    obs)     stage_obs ;;
-    trace)   stage_trace ;;
-    serve)   stage_serve ;;
-    registry) stage_registry ;;
-    scrape)  stage_scrape ;;
-    chaos)   stage_chaos ;;
-    cli)     stage_cli ;;
-    asan)    stage_asan ;;
-    *) echo "unknown stage: ${only_stage} (expected" \
-            "release|bench|obs|trace|serve|registry|scrape|chaos|cli|asan)" >&2
+    release|bench|obs|trace|serve|registry|scrape|chaos|ingest|cli|asan)
+      run_stage "${only_stage}" ;;
+    *) echo "unknown stage: ${only_stage} (expected release|bench|obs|" \
+            "trace|serve|registry|scrape|chaos|ingest|cli|asan)" >&2
        exit 2 ;;
   esac
   echo "=== stage ${only_stage} passed ==="
   exit 0
 fi
 
-stage_release
-stage_bench
-stage_obs
-stage_trace
-stage_serve
-stage_registry
-stage_scrape
-stage_chaos
-stage_cli
+run_stage release
+run_stage bench
+run_stage obs
+run_stage trace
+run_stage serve
+run_stage registry
+run_stage scrape
+run_stage chaos
+run_stage ingest
+run_stage cli
 if [[ "${skip_san}" -eq 0 ]]; then
-  stage_asan
+  run_stage asan
 fi
 echo "=== CI matrix passed ==="

@@ -74,8 +74,12 @@ inline FlagSpec spec_for(const std::string& command) {
     add({"model", "registry", "max-resident", "resident-bytes", "port",
          "admin-port", "threads", "batch-max", "cache-entries",
          "cache-shards", "max-line-bytes", "max-pending", "deadline-ms",
-         "io-timeout-ms", "max-conns", "seq-log"});
+         "io-timeout-ms", "max-conns", "seq-log", "retrain-records",
+         "retrain-interval-ms"});
     spec.bool_flags = {"stdio"};
+  } else if (command == "ingest") {
+    add({"registry", "tenant", "history", "rebuild", "threads"});
+    spec.bool_flags = {"retrain"};
   } else if (command == "registry") {
     // The action (ls|add|gc) is peeled off by main() before Args parsing —
     // Args itself rejects positionals by design.

@@ -24,6 +24,11 @@
 ///   registry  Manage a named+versioned model store: `ls` the tenants,
 ///             `add` a model file as a tenant's next version, `gc` old
 ///             versions. `serve --registry DIR` serves the same store.
+///   ingest    Drive the continuous-learning loop offline: append measured
+///             runs to a tenant's append-only run log, retrain through the
+///             shadow gate (--retrain; exit 3 when the candidate loses), or
+///             rebuild the promoted model bit-for-bit from the log alone
+///             (--rebuild OUT — the replay-determinism gate in CI).
 ///
 /// Every subcommand also takes the observability flags --trace FILE
 /// (Chrome trace-event JSON of pipeline spans), --metrics-out FILE
@@ -48,6 +53,9 @@
 #include <string>
 
 #include "src/hpcpredict.hpp"
+#include "src/ingest/pipeline.hpp"
+#include "src/ingest/scheduler.hpp"
+#include "src/registry/archive.hpp"
 #include "src/registry/registry.hpp"
 #include "src/serve/server.hpp"
 #include "src/serve/tcp.hpp"
@@ -308,6 +316,92 @@ int cmd_registry(const std::string& action, const Args& args) {
                         " (expected ls, add, or gc)");
 }
 
+int cmd_ingest(const Args& args) {
+  // The offline face of the continuous-learning loop: append measured runs
+  // to a tenant's append-only log, optionally retrain through the shadow
+  // gate, or rebuild the promoted model bit-for-bit from the log alone.
+  const std::string root = args.get("registry");
+  const std::string tenant =
+      args.has("tenant") ? args.get("tenant") : registry::kDefaultTenant;
+
+  if (args.has("rebuild")) {
+    // Replay is a pure function of the log: same log, same options -> the
+    // same archive bytes at any --threads, byte-compared in CI.
+    const std::string log_path =
+        root + "/" + tenant + "/" + ingest::kLogFileName;
+    const auto read = ingest::RunLog::read_file(log_path).value_or_throw();
+    if (read.truncated_tail) {
+      std::cerr << "ingest: log has a truncated tail record (ignored)\n";
+    }
+    if (read.malformed_lines > 0) {
+      std::cerr << "ingest: " << read.malformed_lines
+                << " malformed log line(s) skipped\n";
+    }
+    ingest::RetrainOptions ropts;
+    ropts.threads = args.get_size("threads", 0);
+    const auto replay =
+        ingest::replay_log(read.entries, tenant, ropts).value_or_throw();
+    registry::ArchiveMeta meta;
+    meta.tenant = tenant;
+    meta.version = replay.version;
+    registry::write_model_archive(args.get("rebuild"), replay.model, meta)
+        .value_or_throw();
+    std::cout << "rebuilt " << tenant << " version " << replay.version
+              << " from " << log_path << " (" << replay.promotions
+              << " promotion(s), " << replay.rejections
+              << " rejection(s)) -> " << args.get("rebuild") << '\n';
+    return 0;
+  }
+
+  registry::Registry reg = registry::Registry::open(root).value_or_throw();
+  registry::ModelPool pool(std::move(reg), {});
+  ingest::IngestScheduler scheduler(pool, {});
+
+  if (args.has("history")) {
+    const HistoryLoad load =
+        load_history_csv("history", csv_read_file(args.get("history")))
+            .value_or_throw();
+    if (!load.bad_rows.empty()) {
+      std::cout << "skipped " << load.bad_rows.size()
+                << " unparseable row(s)\n";
+    }
+    std::uint64_t appended = 0;
+    for (const ExecutionRecord& record : load.store.records()) {
+      appended = scheduler.append(tenant, record).value_or_throw();
+    }
+    std::cout << "appended " << appended << " run record(s) to tenant "
+              << tenant << '\n';
+  }
+
+  if (args.has("retrain")) {
+    const ingest::ShadowOutcome outcome =
+        scheduler.retrain_now(tenant).value_or_throw();
+    std::cout << "retrain " << tenant << ": verdict="
+              << outcome.marker.verdict
+              << " records=" << outcome.marker.records
+              << " holdout_scale=" << outcome.marker.holdout_scale
+              << " candidate_mape="
+              << format_double(outcome.marker.candidate_mape, 4)
+              << " incumbent_mape="
+              << format_double(outcome.marker.incumbent_mape, 4)
+              << " quarantined=" << outcome.quarantined
+              << " warm_scales=" << outcome.warm_scales;
+    if (outcome.promoted) {
+      std::cout << " -> promoted as version " << outcome.marker.version;
+    } else {
+      std::cout << " -> incumbent keeps serving";
+    }
+    std::cout << '\n';
+    return outcome.promoted ? 0 : 3;
+  }
+
+  if (!args.has("history")) {
+    throw cli::UsageError(
+        "ingest expects --history FILE, --retrain, or --rebuild OUT");
+  }
+  return 0;
+}
+
 int cmd_serve(const Args& args) {
   serve::ServeOptions opts;
   opts.threads = args.get_size("threads", 0);
@@ -319,6 +413,13 @@ int cmd_serve(const Args& args) {
   opts.request_deadline_ms = args.get_size("deadline-ms", 0);
   opts.max_resident_models = args.get_size("max-resident", 4);
   opts.max_resident_bytes = args.get_size("resident-bytes", 0);
+  opts.retrain_records = args.get_size("retrain-records", 0);
+  opts.retrain_interval_ms = args.get_size("retrain-interval-ms", 0);
+  if ((opts.retrain_records > 0 || opts.retrain_interval_ms > 0) &&
+      !args.has("registry")) {
+    throw cli::UsageError(
+        "--retrain-records / --retrain-interval-ms require --registry");
+  }
   if (args.has("port") && args.has("stdio")) {
     throw cli::UsageError("--port and --stdio are mutually exclusive");
   }
@@ -458,7 +559,7 @@ int cmd_evaluate(const Args& args) {
 void print_usage() {
   std::cout <<
       "usage: hpcpredict_cli "
-      "<generate|train|predict|evaluate|validate|serve> [--flags]\n"
+      "<generate|train|predict|evaluate|validate|serve|ingest> [--flags]\n"
       "  generate --app NAME --out FILE [--configs N] [--scales 1,2,4,8,16]\n"
       "           [--runs-per-point N] [--seed S]\n"
       "  train    --history FILE --targets P1,P2,... [--save FILE]\n"
@@ -477,7 +578,13 @@ void print_usage() {
       "           [--io-timeout-ms N (default 30000; 0 = no deadline)]\n"
       "           [--max-conns N] [--seq-log FILE]\n"
       "           [--admin-port N (HTTP /metrics /healthz /statsz)]\n"
+      "           [--retrain-records N] [--retrain-interval-ms N]\n"
       "           (env HPCP_SERVE_FAULTS=chaos spec)\n"
+      "  ingest   --registry DIR [--tenant NAME] (--history FILE |\n"
+      "           --retrain | --rebuild OUT [--threads N])\n"
+      "           appends runs to the tenant's run log, retrains through\n"
+      "           the shadow gate (exit 3 = rejected), or rebuilds the\n"
+      "           promoted model bit-for-bit from the log\n"
       "  registry ls  --root DIR\n"
       "  registry add --root DIR --tenant NAME --model FILE\n"
       "  registry gc  --root DIR [--keep N (default 1)]\n"
@@ -520,6 +627,7 @@ int main(int argc, char** argv) {
     if (command == "predict") return cmd_predict(args);
     if (command == "evaluate") return cmd_evaluate(args);
     if (command == "serve") return cmd_serve(args);
+    if (command == "ingest") return cmd_ingest(args);
     return cmd_validate(args);
   } catch (const cli::UsageError& e) {
     std::cerr << "error: " << e.what() << '\n';
